@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * what the complex-scoring detail buffers cost TermJoin (the paper's
+//!   `if (!s)` branches in Fig. 11);
+//! * what the child-count index buys over store navigation in isolation;
+//! * the stack-based structural join against a nested-loop reference;
+//! * histogram construction for quantile-derived Pick thresholds
+//!   (Sec. 5.3 auxiliary data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tix_bench::Fixture;
+use tix_corpus::workloads;
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::structural::{nested_loop_join_count, structural_join_count};
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+use tix_store::DocId;
+
+fn bench_detail_buffers(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("ablation_detail_buffers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let (a, b) = (workloads::pair_term(3000, 0), workloads::pair_term(3000, 1));
+    let terms = [a.as_str(), b.as_str()];
+    let simple = SimpleScorer::new(vec![0.8, 0.6]);
+    group.bench_function("simple_no_buffers", |bench| {
+        bench.iter(|| {
+            black_box(TermJoin::new(&fixture.store, &fixture.index, &terms, &simple).run().len())
+        })
+    });
+    let complex = ComplexScorer::new(vec![0.8, 0.6], ChildCountMode::Index);
+    group.bench_function("complex_with_buffers", |bench| {
+        bench.iter(|| {
+            black_box(TermJoin::new(&fixture.store, &fixture.index, &terms, &complex).run().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_child_count_access(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("ablation_child_count");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    // Count children of every element of one document both ways.
+    let nodes: Vec<_> = fixture.store.elements_of(DocId(0)).collect();
+    group.bench_function("index_lookup", |bench| {
+        bench.iter(|| {
+            let total: u32 = nodes.iter().map(|&n| fixture.store.child_count(n)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("navigation", |bench| {
+        bench.iter(|| {
+            let total: u32 = nodes
+                .iter()
+                .map(|&n| fixture.store.count_children_by_navigation(n))
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_structural_join(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("ablation_structural_join");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let term = workloads::pair_term(1000, 0);
+    let descendants: Vec<_> = fixture.index.postings(&term).iter().map(|p| p.node_ref()).collect();
+    // Ancestor side: the elements of the first 40 documents (a nested loop
+    // over the full list would dominate the bench budget).
+    let ancestors: Vec<_> = (0..40)
+        .flat_map(|d| fixture.store.elements_of(DocId(d)))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("stack_merge", descendants.len()),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                black_box(
+                    structural_join_count(&fixture.store, ancestors.iter().copied(), &descendants)
+                        .len(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("nested_loop", descendants.len()),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                black_box(
+                    nested_loop_join_count(&fixture.store, ancestors.iter().copied(), &descendants)
+                        .len(),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_histogram_pick(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("ablation_histogram_pick");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let input = fixture.pick_input(20_000);
+    group.bench_function("fixed_threshold", |bench| {
+        bench.iter(|| black_box(pick_stream(&fixture.store, &input, &PickParams::paper()).len()))
+    });
+    group.bench_function("histogram_quantile_threshold", |bench| {
+        bench.iter(|| {
+            let params = PickParams::from_scores(&input, 0.8, 0.5);
+            black_box(pick_stream(&fixture.store, &input, &params).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detail_buffers,
+    bench_child_count_access,
+    bench_structural_join,
+    bench_histogram_pick
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Sec. 6 Pick experiment: stack-based
+//! parent/child redundancy elimination over scored inputs of increasing
+//! size (the paper reports 0.01–1.03 s over 200–55,000 nodes on its 2003
+//! testbed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tix_bench::Fixture;
+
+fn bench_pick(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("pick_redundancy_elimination");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[200usize, 1_000, 5_000, 20_000, 55_000] {
+        let input = fixture.pick_input(n);
+        if input.len() < n {
+            continue;
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |bench, input| {
+            bench.iter(|| black_box(fixture.run_pick(input)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pick);
+criterion_main!(benches);

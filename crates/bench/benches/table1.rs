@@ -1,0 +1,41 @@
+//! Criterion bench for Table 1: two equal-frequency terms, simple scoring,
+//! the four methods. Representative frequency rows on the small fixture
+//! (1/10 scale — row ids give the paper's nominal frequencies); the full
+//! sweep is produced by the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tix_bench::{Fixture, Method};
+use tix_corpus::workloads;
+use tix_exec::termjoin::SimpleScorer;
+
+fn bench_table1(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+    let mut group = c.benchmark_group("table1_simple_scoring");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &freq in &[20usize, 1000, 10_000] {
+        let (a, b) = (workloads::pair_term(freq, 0), workloads::pair_term(freq, 1));
+        let terms = [a.as_str(), b.as_str()];
+        for method in [
+            Method::Comp1,
+            Method::Comp2,
+            Method::GeneralizedMeet,
+            Method::TermJoin,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), freq),
+                &terms,
+                |bench, terms| {
+                    bench.iter(|| black_box(fixture.run_method(method, terms, &scorer)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Table 3: term 1 fixed at 1,000 occurrences, term 2
+//! varying, complex scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tix_bench::{Fixture, Method};
+use tix_corpus::workloads;
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer};
+
+fn bench_table3(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("table3_fixed_term1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &freq in &[20usize, 1000, 7000] {
+        let t2 = workloads::table3_term2(freq);
+        let terms = [workloads::TABLE3_TERM1, t2.as_str()];
+        for method in [
+            Method::Comp1,
+            Method::Comp2,
+            Method::GeneralizedMeet,
+            Method::TermJoin,
+            Method::EnhancedTermJoin,
+        ] {
+            let mode = if method == Method::EnhancedTermJoin {
+                ChildCountMode::Index
+            } else {
+                ChildCountMode::Navigate
+            };
+            let scorer = ComplexScorer::new(vec![0.8, 0.6], mode);
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), freq),
+                &terms,
+                |bench, terms| {
+                    bench.iter(|| black_box(fixture.run_method(method, terms, &scorer)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Table 4: increasing query size (2 → 7 terms of
+//! frequency ≈ 1,500), complex scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tix_bench::{Fixture, Method};
+use tix_corpus::workloads;
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer};
+
+fn bench_table4(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("table4_query_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let all_terms: Vec<String> = (0..7).map(workloads::table4_term).collect();
+    for &n in &[2usize, 4, 7] {
+        let terms: Vec<&str> = all_terms[..n].iter().map(String::as_str).collect();
+        for method in [
+            Method::Comp1,
+            Method::Comp2,
+            Method::GeneralizedMeet,
+            Method::TermJoin,
+            Method::EnhancedTermJoin,
+        ] {
+            let mode = if method == Method::EnhancedTermJoin {
+                ChildCountMode::Index
+            } else {
+                ChildCountMode::Navigate
+            };
+            let scorer = ComplexScorer::new(vec![0.8, 0.6], mode);
+            group.bench_with_input(BenchmarkId::new(method.label(), n), &terms, |bench, terms| {
+                bench.iter(|| black_box(fixture.run_method(method, terms, &scorer)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

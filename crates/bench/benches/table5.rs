@@ -1,0 +1,35 @@
+//! Criterion bench for Table 5: PhraseFinder vs the Comp3 composite on
+//! representative phrase rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tix_bench::Fixture;
+use tix_corpus::workloads;
+use tix_exec::phrase::{comp3, phrase_finder};
+
+fn bench_table5(c: &mut Criterion) {
+    let fixture = Fixture::small();
+    let mut group = c.benchmark_group("table5_phrase");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // Rows 1 (large result), 8 (small result), 11 (high-frequency terms).
+    for &row in &[0usize, 7, 10] {
+        let (a, b) = workloads::table5_terms(row);
+        let terms = [a.as_str(), b.as_str()];
+        group.bench_with_input(
+            BenchmarkId::new("PhraseFinder", row + 1),
+            &terms,
+            |bench, terms| {
+                bench.iter(|| black_box(phrase_finder(&fixture.store, &fixture.index, terms).len()))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("Comp3", row + 1), &terms, |bench, terms| {
+            bench.iter(|| black_box(comp3(&fixture.store, &fixture.index, terms).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

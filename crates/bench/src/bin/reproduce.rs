@@ -1,0 +1,288 @@
+//! Regenerate every table of the paper's experimental evaluation (Sec. 6).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tix-bench --bin reproduce [-- TABLE…]
+//!   TABLE ∈ { table1 table2 table3 table4 table5 pick all }   (default: all)
+//!
+//! environment:
+//!   TIX_ARTICLES  corpus size in articles        (default 3000)
+//!   TIX_SCALE     planted-frequency scale factor (default 1.0)
+//! ```
+//!
+//! The methodology follows the paper: each cell is run five times, the
+//! fastest and slowest readings are dropped, and the remaining three are
+//! averaged. All cells are reported in **milliseconds** (the paper reports
+//! seconds against a 2003 disk-resident 5 GB TIMBER database; our store is
+//! in-memory, so absolute numbers are smaller across the board — the
+//! comparisons of interest are *between methods*).
+
+use std::time::Duration;
+
+use tix_bench::{fmt_ms, paper_timing, Fixture, Method};
+use tix_corpus::{workloads, CorpusSpec};
+use tix_exec::phrase::{comp3, phrase_finder};
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tables: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["figures", "table1", "table2", "table3", "table4", "table5", "pick"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let articles: usize = std::env::var("TIX_ARTICLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
+    let scale: f64 = std::env::var("TIX_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    let spec = CorpusSpec { articles, ..CorpusSpec::default() };
+    eprintln!(
+        "building corpus: {articles} articles (~{} nodes), plant scale {scale} …",
+        spec.approx_nodes()
+    );
+    let start = std::time::Instant::now();
+    let fixture = Fixture::build(spec, scale);
+    eprintln!(
+        "corpus ready in {:.1} s: {}",
+        start.elapsed().as_secs_f64(),
+        fixture.store.stats()
+    );
+    println!("# TIX experiment reproduction");
+    println!();
+    println!("corpus: {}", fixture.store.stats());
+    println!("plant scale: {scale} (row labels give the paper's nominal frequencies)");
+    println!("all timings in milliseconds; five runs per cell, min/max dropped, rest averaged");
+
+    for table in tables {
+        match table {
+            "table1" => table1(&fixture),
+            "table2" => table2(&fixture),
+            "table3" => table3(&fixture),
+            "table4" => table4(&fixture),
+            "table5" => table5(&fixture),
+            "pick" => pick_experiment(&fixture),
+            "figures" => figures(),
+            other => eprintln!("unknown table {other:?} — skipping"),
+        }
+    }
+}
+
+fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+fn header(cols: &[&str]) {
+    print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    print_row(&cols.iter().map(|_| "---".to_string()).collect::<Vec<_>>());
+}
+
+/// Time one method × term-list cell.
+fn cell<S: tix_exec::termjoin::TermJoinScorer>(
+    fixture: &Fixture,
+    method: Method,
+    terms: &[&str],
+    scorer: &S,
+) -> Duration {
+    paper_timing(|| {
+        let n = fixture.run_method(method, terms, scorer);
+        std::hint::black_box(n);
+    })
+}
+
+/// Figures 6 and 8: the worked Query 2 results on the Fig. 1 example
+/// database (also asserted exactly by `tests/figures.rs`).
+fn figures() {
+    use tix_core::ops;
+    use tix_core::pattern::{EdgeKind, PatternTree, Predicate};
+    use tix_core::scoring::paper::ScoreFoo;
+    use tix_core::scoring::ScoreContext;
+    use tix_core::Collection;
+
+    let (store, _, _) = tix_corpus::fig1::load().expect("fig. 1 database loads");
+    let mut pattern = PatternTree::new();
+    let n1 = pattern.add_root(Predicate::tag("article"));
+    let n2 = pattern.add_child(n1, EdgeKind::Child, Predicate::tag("author"));
+    let n3 = pattern.add_child(
+        n2,
+        EdgeKind::Child,
+        Predicate::And(vec![Predicate::tag("sname"), Predicate::content_eq("Doe")]),
+    );
+    let n4 = pattern.add_child(n1, EdgeKind::SelfOrDescendant, Predicate::True);
+    pattern.score_primary(
+        n4,
+        ScoreFoo::shared(&["search engine"], &["internet", "information retrieval"]),
+    );
+    pattern.score_from_descendant(n1, n4);
+
+    let input = Collection::document(&store, "articles.xml").expect("loaded");
+    let projected = ops::project(&store, &input, &pattern, &[n1, n3, n4]);
+    println!("\n## Figure 6 — Query 2 under scored projection\n");
+    println!("```");
+    for tree in projected.iter() {
+        print!("{}", tree.outline(&store));
+    }
+    println!("```");
+    let ctx = ScoreContext::new(&store);
+    let picked = ops::pick(&ctx, &projected, n4, &ops::FractionPick::paper(), pattern.rules());
+    println!("\n## Figure 8 — projection followed by Pick\n");
+    println!("```");
+    for tree in picked.iter() {
+        print!("{}", tree.outline(&store));
+    }
+    println!("```");
+}
+
+/// Table 1: two terms of equal frequency, increasing; simple scoring.
+fn table1(fixture: &Fixture) {
+    println!("\n## Table 1 — two index terms, increasing frequency, simple scoring\n");
+    let methods = [Method::Comp1, Method::Comp2, Method::GeneralizedMeet, Method::TermJoin];
+    let mut cols = vec!["approx. term freq"];
+    cols.extend(methods.iter().map(|m| m.label()));
+    header(&cols);
+    let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+    for &freq in workloads::TABLE12_FREQUENCIES {
+        let (a, b) = (workloads::pair_term(freq, 0), workloads::pair_term(freq, 1));
+        let terms = [a.as_str(), b.as_str()];
+        let mut cells = vec![freq.to_string()];
+        for method in methods {
+            cells.push(fmt_ms(cell(fixture, method, &terms, &scorer)));
+        }
+        print_row(&cells);
+    }
+}
+
+/// Table 2: as Table 1 but with the complex scoring function and the
+/// Enhanced TermJoin column.
+fn table2(fixture: &Fixture) {
+    println!("\n## Table 2 — two index terms, increasing frequency, complex scoring\n");
+    let methods = [
+        Method::Comp1,
+        Method::Comp2,
+        Method::GeneralizedMeet,
+        Method::TermJoin,
+        Method::EnhancedTermJoin,
+    ];
+    let mut cols = vec!["approx. term freq"];
+    cols.extend(methods.iter().map(|m| m.label()));
+    header(&cols);
+    for &freq in workloads::TABLE12_FREQUENCIES {
+        let (a, b) = (workloads::pair_term(freq, 0), workloads::pair_term(freq, 1));
+        let terms = [a.as_str(), b.as_str()];
+        let mut cells = vec![freq.to_string()];
+        for method in methods {
+            cells.push(fmt_ms(complex_cell(fixture, method, &terms)));
+        }
+        print_row(&cells);
+    }
+}
+
+fn complex_cell(fixture: &Fixture, method: Method, terms: &[&str]) -> Duration {
+    let mode = if method == Method::EnhancedTermJoin {
+        ChildCountMode::Index
+    } else {
+        ChildCountMode::Navigate
+    };
+    let scorer = ComplexScorer::new(vec![0.8, 0.6], mode);
+    cell(fixture, method, terms, &scorer)
+}
+
+/// Table 3: term 1 fixed at 1,000; term 2 varies; complex scoring.
+fn table3(fixture: &Fixture) {
+    println!("\n## Table 3 — term1 fixed at 1,000, term2 varying, complex scoring\n");
+    let methods = [
+        Method::Comp1,
+        Method::Comp2,
+        Method::GeneralizedMeet,
+        Method::TermJoin,
+        Method::EnhancedTermJoin,
+    ];
+    let mut cols = vec!["approx. term2 freq"];
+    cols.extend(methods.iter().map(|m| m.label()));
+    header(&cols);
+    for &freq in workloads::TABLE3_TERM2_FREQUENCIES {
+        let t2 = workloads::table3_term2(freq);
+        let terms = [workloads::TABLE3_TERM1, t2.as_str()];
+        let mut cells = vec![freq.to_string()];
+        for method in methods {
+            cells.push(fmt_ms(complex_cell(fixture, method, &terms)));
+        }
+        print_row(&cells);
+    }
+}
+
+/// Table 4: increasing number of terms, each ≈ 1,500; complex scoring.
+fn table4(fixture: &Fixture) {
+    println!("\n## Table 4 — increasing query size (terms ≈ 1,500 each), complex scoring\n");
+    let methods = [
+        Method::Comp1,
+        Method::Comp2,
+        Method::GeneralizedMeet,
+        Method::TermJoin,
+        Method::EnhancedTermJoin,
+    ];
+    let mut cols = vec!["# terms in query"];
+    cols.extend(methods.iter().map(|m| m.label()));
+    header(&cols);
+    let all_terms: Vec<String> = (0..7).map(workloads::table4_term).collect();
+    for &n in workloads::TABLE4_TERM_COUNTS {
+        let terms: Vec<&str> = all_terms[..n].iter().map(String::as_str).collect();
+        let mut cells = vec![n.to_string()];
+        for method in methods {
+            cells.push(fmt_ms(complex_cell(fixture, method, &terms)));
+        }
+        print_row(&cells);
+    }
+}
+
+/// Table 5: PhraseFinder vs Comp3 on 13 two-term phrases.
+fn table5(fixture: &Fixture) {
+    println!("\n## Table 5 — PhraseFinder vs composite (Comp3) on 13 phrases\n");
+    header(&["query", "term1 freq", "term2 freq", "result size", "Comp3", "PhraseFinder"]);
+    for (i, _row) in workloads::TABLE5_ROWS.iter().enumerate() {
+        let (a, b) = workloads::table5_terms(i);
+        let terms = [a.as_str(), b.as_str()];
+        let f1 = fixture.index.collection_frequency(&a);
+        let f2 = fixture.index.collection_frequency(&b);
+        let result_size = phrase_finder(&fixture.store, &fixture.index, &terms).len();
+        let c3 = paper_timing(|| {
+            std::hint::black_box(comp3(&fixture.store, &fixture.index, &terms).len());
+        });
+        let pf = paper_timing(|| {
+            std::hint::black_box(phrase_finder(&fixture.store, &fixture.index, &terms).len());
+        });
+        print_row(&[
+            (i + 1).to_string(),
+            f1.to_string(),
+            f2.to_string(),
+            result_size.to_string(),
+            fmt_ms(c3),
+            fmt_ms(pf),
+        ]);
+    }
+}
+
+/// The Sec. 6 Pick experiment: parent/child redundancy elimination over
+/// inputs of 200 to 55,000 nodes.
+fn pick_experiment(fixture: &Fixture) {
+    println!("\n## Pick — parent/child redundancy elimination (Sec. 6 prose)\n");
+    header(&["input size (nodes)", "picked", "time"]);
+    for &n in &[200usize, 1_000, 5_000, 20_000, 55_000] {
+        let input = fixture.pick_input(n);
+        if input.len() < n {
+            eprintln!("corpus too small for a {n}-node pick input — skipping");
+            continue;
+        }
+        let picked = fixture.run_pick(&input);
+        let time = paper_timing(|| {
+            std::hint::black_box(fixture.run_pick(&input));
+        });
+        print_row(&[n.to_string(), picked.to_string(), fmt_ms(time)]);
+    }
+}

@@ -1,0 +1,61 @@
+//! # tix-core
+//!
+//! The **TIX algebra** — the primary contribution of *"Querying Structured
+//! Text in an XML Database"* (SIGMOD 2003): a bulk algebra over collections
+//! of **scored ordered labeled trees** that folds information-retrieval
+//! relevance scoring into a database-style query framework.
+//!
+//! The pieces map one-to-one onto the paper's Section 3:
+//!
+//! | Paper concept               | Type here                                  |
+//! |-----------------------------|--------------------------------------------|
+//! | Scored data tree (Def. 1)   | [`ScoredTree`]                             |
+//! | Scored pattern tree (Def. 2)| [`PatternTree`] = (T, F, S)                |
+//! | Scored selection σ          | [`ops::select`]                            |
+//! | Scored projection π         | [`ops::project`]                           |
+//! | Scored join ⨝ / product ×   | [`ops::join`]                              |
+//! | Threshold τ (new)           | [`ops::threshold`]                         |
+//! | Pick ρ (new)                | [`ops::pick`]                              |
+//! | Fig. 9 user functions       | [`scoring::paper`] (`ScoreFoo`, `ScoreSim`, `ScoreBar`, `PickFoo`) |
+//!
+//! Scored trees do not copy document content: they reference nodes in a
+//! [`tix_store::Store`] and carry scores alongside, so operators stay cheap
+//! and the store stays shared and immutable.
+//!
+//! The reference implementations here favour clarity and serve as the
+//! correctness oracle; the pipelined access methods that make them fast
+//! (TermJoin, PhraseFinder, the stack-based Pick) live in `tix-exec` and are
+//! differential-tested against these.
+//!
+//! ```
+//! use tix_core::{pattern::{EdgeKind, PatternTree, Predicate}, ops, Collection};
+//! use tix_core::scoring::paper::ScoreFoo;
+//! use tix_store::Store;
+//! use std::sync::Arc;
+//!
+//! let mut store = Store::new();
+//! store.load_str("d.xml", "<article><p>rust databases</p><p>other</p></article>").unwrap();
+//!
+//! // Pattern: $1 = article, $2 =ad*= any element, scored by ScoreFoo.
+//! let mut pattern = PatternTree::new();
+//! let root = pattern.add_root(Predicate::tag("article"));
+//! let unit = pattern.add_child(root, EdgeKind::SelfOrDescendant, Predicate::True);
+//! pattern.score_primary(unit, ScoreFoo::shared(&["rust databases"], &[]));
+//! pattern.score_from_descendant(root, unit);
+//!
+//! let input = Collection::documents(&store);
+//! let result = ops::select(&store, &input, &pattern);
+//! assert!(!result.is_empty());
+//! ```
+
+pub mod collection;
+pub mod histogram;
+pub mod matching;
+pub mod ops;
+pub mod pattern;
+pub mod scored_tree;
+pub mod scoring;
+
+pub use collection::Collection;
+pub use pattern::{PatternNodeId, PatternTree};
+pub use scored_tree::{NodeSource, ScoredTree, TreeEntry};

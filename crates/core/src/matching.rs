@@ -1,0 +1,253 @@
+//! Pattern-tree matching: enumerate the witness bindings of a scored
+//! pattern tree against a subtree of the store.
+//!
+//! This is the reference (logical-level) matcher used by the algebra
+//! operators. It walks the pattern in preorder and backtracks over
+//! candidate data nodes, using the tag index where a pattern node has a
+//! known tag and the region encoding for the structural checks. The
+//! high-performance access methods in `tix-exec` specialize frequent
+//! operator combinations away from this generic path — exactly the paper's
+//! framing in Sec. 5.1.
+
+use tix_store::{NodeRef, Store};
+
+use crate::pattern::{EdgeKind, PatternNode, PatternTree, Predicate};
+
+/// One witness: the data node bound to each pattern node, in
+/// [`PatternTree::nodes`] order.
+pub type Binding = Vec<NodeRef>;
+
+/// Enumerate all bindings of `pattern` within the subtree rooted at
+/// `scope` (the pattern root may bind to `scope` itself or any descendant
+/// element).
+///
+/// # Panics
+/// Panics if the pattern does not have exactly one root.
+pub fn matches(store: &Store, pattern: &PatternTree, scope: NodeRef) -> Vec<Binding> {
+    let mut roots = pattern.roots();
+    let root = roots.next().expect("pattern must have a root");
+    assert!(roots.next().is_none(), "pattern must have exactly one root");
+
+    let order = pattern.nodes();
+    let mut out = Vec::new();
+    let mut binding: Vec<Option<NodeRef>> = vec![None; order.len()];
+    extend(store, pattern, order, scope, root, 0, &mut binding, &mut out);
+    out
+}
+
+/// Recursive backtracking over pattern nodes in their (preorder) insertion
+/// order. `pos` indexes `order`.
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    store: &Store,
+    pattern: &PatternTree,
+    order: &[PatternNode],
+    scope: NodeRef,
+    _root: &PatternNode,
+    pos: usize,
+    binding: &mut Vec<Option<NodeRef>>,
+    out: &mut Vec<Binding>,
+) {
+    if pos == order.len() {
+        out.push(binding.iter().map(|b| b.expect("complete binding")).collect());
+        return;
+    }
+    let pnode = &order[pos];
+    let candidates: Vec<NodeRef> = match pnode.parent {
+        None => candidates_in_scope(store, scope, &pnode.predicate),
+        Some(parent_id) => {
+            let parent_pos = order
+                .iter()
+                .position(|n| n.id == parent_id)
+                .expect("parent precedes child in insertion order");
+            let anchor = binding[parent_pos].expect("parent bound before child");
+            candidates_under(store, anchor, pnode.edge, &pnode.predicate)
+        }
+    };
+    for candidate in candidates {
+        binding[pos] = Some(candidate);
+        extend(store, pattern, order, scope, _root, pos + 1, binding, out);
+    }
+    binding[pos] = None;
+}
+
+/// Candidates for the pattern root: `scope` itself or any descendant
+/// element satisfying the predicate.
+fn candidates_in_scope(store: &Store, scope: NodeRef, predicate: &Predicate) -> Vec<NodeRef> {
+    if let Some(tag) = known_tag(predicate) {
+        // Tag-index access path, narrowed to the scope's region.
+        let list = store.elements_with_tag(tag);
+        let end = store.end_key(scope);
+        let lo = list.partition_point(|n| *n < scope);
+        let hi = list.partition_point(|n| n.doc < scope.doc || (n.doc == scope.doc && n.node <= end));
+        list[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&n| predicate.eval(store, n))
+            .collect()
+    } else {
+        store
+            .descendants_or_self(scope)
+            .filter(|&n| predicate.eval(store, n))
+            .collect()
+    }
+}
+
+/// Candidates related to `anchor` by `edge` and satisfying the predicate.
+fn candidates_under(
+    store: &Store,
+    anchor: NodeRef,
+    edge: EdgeKind,
+    predicate: &Predicate,
+) -> Vec<NodeRef> {
+    match edge {
+        EdgeKind::Child => store
+            .children(anchor)
+            .filter(|&n| predicate.eval(store, n))
+            .collect(),
+        EdgeKind::Descendant => store
+            .descendants_or_self(anchor)
+            .skip(1)
+            .filter(|&n| predicate.eval(store, n))
+            .collect(),
+        EdgeKind::SelfOrDescendant => store
+            .descendants_or_self(anchor)
+            .filter(|&n| predicate.eval(store, n))
+            .collect(),
+    }
+}
+
+/// Extract the single tag a predicate requires, if statically known
+/// (a top-level `TagEq`, or one inside a conjunction).
+fn known_tag(predicate: &Predicate) -> Option<&str> {
+    match predicate {
+        Predicate::TagEq(t) => Some(t),
+        Predicate::And(parts) => parts.iter().find_map(known_tag),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{EdgeKind, PatternTree, Predicate};
+    use tix_store::{DocId, NodeIdx};
+
+    fn nref(i: u32) -> NodeRef {
+        NodeRef::new(DocId(0), NodeIdx(i))
+    }
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        // a=0 [ b=1 [c=2] b=3 [d=4 [c=5]] ]
+        s.load_str("t.xml", "<a><b><c/></b><b><d><c/></d></b></a>").unwrap();
+        s
+    }
+
+    #[test]
+    fn child_edge() {
+        let store = store();
+        let mut p = PatternTree::new();
+        let a = p.add_root(Predicate::tag("a"));
+        p.add_child(a, EdgeKind::Child, Predicate::tag("b"));
+        let bindings = matches(&store, &p, nref(0));
+        assert_eq!(bindings.len(), 2);
+        assert_eq!(bindings[0], vec![nref(0), nref(1)]);
+        assert_eq!(bindings[1], vec![nref(0), nref(3)]);
+    }
+
+    #[test]
+    fn descendant_edge() {
+        let store = store();
+        let mut p = PatternTree::new();
+        let b = p.add_root(Predicate::tag("b"));
+        p.add_child(b, EdgeKind::Descendant, Predicate::tag("c"));
+        let bindings = matches(&store, &p, nref(0));
+        // b(1)→c(2) and b(3)→c(5) (through d).
+        assert_eq!(bindings.len(), 2);
+        assert_eq!(bindings[0], vec![nref(1), nref(2)]);
+        assert_eq!(bindings[1], vec![nref(3), nref(5)]);
+    }
+
+    #[test]
+    fn self_or_descendant_includes_self() {
+        let store = store();
+        let mut p = PatternTree::new();
+        let a = p.add_root(Predicate::tag("a"));
+        p.add_child(a, EdgeKind::SelfOrDescendant, Predicate::True);
+        let bindings = matches(&store, &p, nref(0));
+        // Every element of the document, including a itself.
+        assert_eq!(bindings.len(), 6);
+        assert_eq!(bindings[0][1], nref(0));
+    }
+
+    #[test]
+    fn proper_descendant_excludes_self() {
+        let store = store();
+        let mut p = PatternTree::new();
+        let a = p.add_root(Predicate::tag("a"));
+        p.add_child(a, EdgeKind::Descendant, Predicate::True);
+        let bindings = matches(&store, &p, nref(0));
+        assert_eq!(bindings.len(), 5);
+        assert!(bindings.iter().all(|b| b[1] != nref(0)));
+    }
+
+    #[test]
+    fn scope_restricts_matches() {
+        let store = store();
+        let mut p = PatternTree::new();
+        p.add_root(Predicate::tag("c"));
+        // Scoped to the second b: only c=5 matches.
+        let bindings = matches(&store, &p, nref(3));
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0], vec![nref(5)]);
+    }
+
+    #[test]
+    fn sibling_pattern_nodes() {
+        let store = store();
+        let mut p = PatternTree::new();
+        let a = p.add_root(Predicate::tag("a"));
+        p.add_child(a, EdgeKind::Child, Predicate::tag("b"));
+        p.add_child(a, EdgeKind::Descendant, Predicate::tag("d"));
+        let bindings = matches(&store, &p, nref(0));
+        // Both b bindings pair with the single d.
+        assert_eq!(bindings.len(), 2);
+        assert!(bindings.iter().all(|b| b[2] == nref(4)));
+    }
+
+    #[test]
+    fn no_match_empty() {
+        let store = store();
+        let mut p = PatternTree::new();
+        p.add_root(Predicate::tag("nothere"));
+        assert!(matches(&store, &p, nref(0)).is_empty());
+    }
+
+    #[test]
+    fn content_predicate_filters() {
+        let mut s = Store::new();
+        s.load_str("t.xml", "<r><x>keep</x><x>drop</x></r>").unwrap();
+        let mut p = PatternTree::new();
+        p.add_root(Predicate::And(vec![
+            Predicate::tag("x"),
+            Predicate::content_eq("keep"),
+        ]));
+        let bindings = matches(&s, &p, nref(0));
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0][0], nref(1));
+    }
+
+    #[test]
+    fn multi_doc_tag_index_respects_scope() {
+        let mut s = Store::new();
+        s.load_str("a.xml", "<r><x/></r>").unwrap();
+        s.load_str("b.xml", "<r><x/><x/></r>").unwrap();
+        let mut p = PatternTree::new();
+        p.add_root(Predicate::tag("x"));
+        let scope_b = NodeRef::new(DocId(1), NodeIdx(0));
+        assert_eq!(matches(&s, &p, scope_b).len(), 2);
+        let scope_a = NodeRef::new(DocId(0), NodeIdx(0));
+        assert_eq!(matches(&s, &p, scope_a).len(), 1);
+    }
+}

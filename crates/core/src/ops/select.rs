@@ -1,0 +1,155 @@
+//! Scored selection — σ_P(C) (Sec. 3.2.1).
+
+use tix_store::Store;
+
+use crate::collection::Collection;
+use crate::matching::matches;
+use crate::pattern::PatternTree;
+use crate::scored_tree::ScoredTree;
+use crate::scoring::ScoreContext;
+
+use super::apply_derived_rules;
+
+/// Scored selection: each output tree is one **witness** of the pattern
+/// against one input tree — the matched nodes only, structured by their
+/// nearest-ancestor relationships (the paper's Fig. 5 trees).
+///
+/// Scoring: data nodes matching primary IR-nodes are scored by their
+/// scoring function; secondary IR-nodes then derive their scores within
+/// each witness (for a single witness, "max over matches" degenerates to
+/// the one bound node, so `$1.score = $4.score` behaves exactly as in
+/// Fig. 5).
+pub fn select(store: &Store, input: &Collection, pattern: &PatternTree) -> Collection {
+    let ctx = ScoreContext::new(store);
+    select_with_ctx(&ctx, input, pattern)
+}
+
+/// [`select`] with an explicit scoring context (e.g. one carrying an
+/// inverted index for index-based scorers).
+pub fn select_with_ctx(
+    ctx: &ScoreContext<'_>,
+    input: &Collection,
+    pattern: &PatternTree,
+) -> Collection {
+    let store = ctx.store;
+    let mut out = Collection::new();
+    for tree in input.iter() {
+        for root_entry in tree.entries().iter().filter(|e| e.parent.is_none()) {
+            let Some(scope) = root_entry.source.stored() else { continue };
+            for binding in matches(store, pattern, scope) {
+                let nodes = pattern
+                    .nodes()
+                    .iter()
+                    .zip(&binding)
+                    .map(|(pnode, &data)| {
+                        let score = pattern.eval_primary(ctx, pnode.id, data);
+                        (data, score, vec![pnode.id])
+                    })
+                    .collect();
+                let mut witness = ScoredTree::from_stored(store, nodes);
+                apply_derived_rules(ctx, &mut witness, pattern.rules());
+                out.push(witness);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{EdgeKind, Predicate};
+    use crate::scoring::paper::ScoreFoo;
+
+    fn fixture() -> Store {
+        let mut store = Store::new();
+        store
+            .load_str(
+                "t.xml",
+                "<article><author><sname>Doe</sname></author>\
+                 <p>search engine overview</p>\
+                 <p>unrelated content</p></article>",
+            )
+            .unwrap();
+        store
+    }
+
+    /// Query-2-shaped pattern: article / author / sname="Doe", plus an ad*
+    /// IR variable scored on "search engine".
+    fn query2ish(store: &Store) -> (PatternTree, crate::PatternNodeId) {
+        let _ = store;
+        let mut p = PatternTree::new();
+        let n1 = p.add_root(Predicate::tag("article"));
+        let n2 = p.add_child(n1, EdgeKind::Child, Predicate::tag("author"));
+        let _n3 = p.add_child(
+            n2,
+            EdgeKind::Child,
+            Predicate::And(vec![Predicate::tag("sname"), Predicate::content_eq("Doe")]),
+        );
+        let n4 = p.add_child(n1, EdgeKind::SelfOrDescendant, Predicate::True);
+        p.score_primary(n4, ScoreFoo::shared(&["search engine"], &[]));
+        p.score_from_descendant(n1, n4);
+        (p, n4)
+    }
+
+    #[test]
+    fn one_witness_per_match() {
+        let store = fixture();
+        let (pattern, _) = query2ish(&store);
+        let input = Collection::documents(&store);
+        let result = select(&store, &input, &pattern);
+        // $4 ranges over all 5 elements (article, author, sname, p, p).
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn primary_and_secondary_scores() {
+        let store = fixture();
+        let (pattern, n4) = query2ish(&store);
+        let input = Collection::documents(&store);
+        let result = select(&store, &input, &pattern);
+        // Find the witness where $4 bound the relevant paragraph.
+        let relevant: Vec<_> = result
+            .iter()
+            .filter(|t| t.max_score(n4) == Some(0.8))
+            .collect();
+        assert!(!relevant.is_empty());
+        // Secondary rule propagated to the root: tree score = 0.8.
+        assert_eq!(relevant[0].score(), Some(0.8));
+    }
+
+    #[test]
+    fn self_match_scores_root_as_unit() {
+        let store = fixture();
+        let (pattern, n4) = query2ish(&store);
+        let input = Collection::documents(&store);
+        let result = select(&store, &input, &pattern);
+        // The witness where $4 = article itself: one merged root entry
+        // bound to both $1 and $4 (the paper's Fig. 5(c) case).
+        let self_match: Vec<_> = result
+            .iter()
+            .filter(|t| t.entries()[0].vars.len() == 2) // article bound $1 and $4
+            .collect();
+        assert_eq!(self_match.len(), 1);
+        // article subtree contains "search engine" once → 0.8.
+        assert_eq!(self_match[0].max_score(n4), Some(0.8));
+    }
+
+    #[test]
+    fn no_match_for_wrong_author() {
+        let mut store = Store::new();
+        store
+            .load_str("t.xml", "<article><author><sname>Smith</sname></author><p>search engine</p></article>")
+            .unwrap();
+        let (pattern, _) = query2ish(&store);
+        let input = Collection::documents(&store);
+        assert!(select(&store, &input, &pattern).is_empty());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let store = fixture();
+        let (pattern, _) = query2ish(&store);
+        assert!(select(&store, &Collection::new(), &pattern).is_empty());
+    }
+}

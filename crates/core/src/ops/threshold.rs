@@ -1,0 +1,139 @@
+//! The Threshold operator — τ_{P,TC}(C) (Sec. 3.3.1).
+
+use crate::collection::Collection;
+use crate::pattern::PatternNodeId;
+
+/// One threshold condition over a query IR-node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdCond {
+    /// Keep trees with at least one `var`-bound node scoring **higher than**
+    /// `min` (the paper's value condition `V`).
+    MinScore {
+        /// The query IR-node.
+        var: PatternNodeId,
+        /// The exclusive lower bound.
+        min: f64,
+    },
+    /// Keep trees with at least one `var`-bound node whose **global rank**
+    /// (by score, across all input trees) is within the top `k` (the
+    /// paper's rank condition `K`).
+    TopK {
+        /// The query IR-node.
+        var: PatternNodeId,
+        /// How many top-ranked nodes qualify.
+        k: usize,
+    },
+}
+
+/// Apply a set of threshold conditions; a tree must satisfy **all** of them
+/// to be retained.
+pub fn threshold(input: &Collection, conditions: &[ThresholdCond]) -> Collection {
+    // Pre-compute rank cutoffs for TopK conditions: the k-th highest score
+    // among var-bound nodes across the whole collection.
+    let cutoffs: Vec<Option<f64>> = conditions
+        .iter()
+        .map(|cond| match cond {
+            ThresholdCond::TopK { var, k } => {
+                let mut scores: Vec<f64> = input
+                    .iter()
+                    .flat_map(|t| t.bound(*var).filter_map(|(_, e)| e.score))
+                    .collect();
+                scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                if *k == 0 || scores.is_empty() {
+                    None
+                } else {
+                    Some(scores[(*k - 1).min(scores.len() - 1)])
+                }
+            }
+            ThresholdCond::MinScore { .. } => None,
+        })
+        .collect();
+
+    input
+        .iter()
+        .filter(|tree| {
+            conditions.iter().zip(&cutoffs).all(|(cond, cutoff)| match cond {
+                ThresholdCond::MinScore { var, min } => tree
+                    .bound(*var)
+                    .any(|(_, e)| e.score.is_some_and(|s| s > *min)),
+                ThresholdCond::TopK { var, .. } => match cutoff {
+                    Some(cut) => tree
+                        .bound(*var)
+                        .any(|(_, e)| e.score.is_some_and(|s| s >= *cut)),
+                    None => false,
+                },
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scored_tree::ScoredTree;
+    use tix_store::{DocId, NodeIdx, NodeRef, Store};
+
+    fn fixture() -> (Store, Collection, PatternNodeId) {
+        let mut store = Store::new();
+        store.load_str("t.xml", "<a><b/><c/><d/><e/></a>").unwrap();
+        let var = PatternNodeId(4);
+        let mk = |i: u32, score: f64| {
+            ScoredTree::from_stored(
+                &store,
+                vec![(NodeRef::new(DocId(0), NodeIdx(i)), Some(score), vec![var])],
+            )
+        };
+        let collection =
+            Collection::from_trees(vec![mk(1, 0.5), mk(2, 2.0), mk(3, 5.0), mk(4, 1.0)]);
+        (store, collection, var)
+    }
+
+    #[test]
+    fn min_score_is_exclusive() {
+        let (_s, input, var) = fixture();
+        let kept = threshold(&input, &[ThresholdCond::MinScore { var, min: 1.0 }]);
+        assert_eq!(kept.len(), 2); // 2.0 and 5.0; 1.0 itself is excluded
+    }
+
+    #[test]
+    fn top_k_global_rank() {
+        let (_s, input, var) = fixture();
+        let kept = threshold(&input, &[ThresholdCond::TopK { var, k: 2 }]);
+        let scores: Vec<_> = kept.iter().map(|t| t.score().unwrap()).collect();
+        assert_eq!(scores, vec![2.0, 5.0]); // collection order preserved
+    }
+
+    #[test]
+    fn top_zero_keeps_nothing() {
+        let (_s, input, var) = fixture();
+        assert!(threshold(&input, &[ThresholdCond::TopK { var, k: 0 }]).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_population_keeps_all() {
+        let (_s, input, var) = fixture();
+        assert_eq!(threshold(&input, &[ThresholdCond::TopK { var, k: 100 }]).len(), 4);
+    }
+
+    #[test]
+    fn conditions_conjoin() {
+        let (_s, input, var) = fixture();
+        let kept = threshold(
+            &input,
+            &[
+                ThresholdCond::TopK { var, k: 3 },
+                ThresholdCond::MinScore { var, min: 1.5 },
+            ],
+        );
+        assert_eq!(kept.len(), 2); // top-3 = {5.0, 2.0, 1.0}; >1.5 = {5.0, 2.0}
+    }
+
+    #[test]
+    fn wrong_var_filters_everything() {
+        let (_s, input, _) = fixture();
+        let other = PatternNodeId(99);
+        assert!(threshold(&input, &[ThresholdCond::MinScore { var: other, min: 0.0 }])
+            .is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's Figure 1 example database, verbatim.
+//!
+//! `articles.xml` holds the "Internet Technologies" article whose third
+//! chapter is about search and retrieval; `reviews.xml` holds two reviews.
+//! Every golden figure test (Figs. 5–8) and the quickstart example run
+//! against these documents. Node identifiers in the comments (`#a1` …)
+//! follow the paper's labels.
+
+use tix_store::{DocId, LoadError, Store};
+
+/// The paper's `articles.xml` (Figure 1, left).
+///
+/// Element text is chosen so the paper's term counts hold exactly under
+/// `ScoreFoo({"search engine"}, {"internet", "information retrieval"})`:
+/// e.g. paragraph `#a18` contains "search engines" once (score 0.8) and
+/// `#a19` contains "search engine" and "information retrieval" once each
+/// (score 0.8 + 0.6 = 1.4).
+pub const ARTICLES_XML: &str = r#"<article>
+<article-title>Internet Technologies</article-title>
+<author id="first">
+<fname>Jane</fname>
+<sname>Doe</sname>
+</author>
+<chapter>
+<ct>Caching and Replication</ct>
+<p>caching proxies replicate content across the network for faster delivery</p>
+</chapter>
+<chapter>
+<ct>Streaming Video</ct>
+<p>streaming protocols deliver video frames with low latency</p>
+</chapter>
+<chapter>
+<ct>Search and Retrieval</ct>
+<section>
+<section-title>Search Engine Basics</section-title>
+<p>crawlers index pages and answer keyword queries at scale</p>
+</section>
+<section>
+<section-title>Information Retrieval Techniques</section-title>
+<p>ranking models order results by estimated usefulness</p>
+</section>
+<section>
+<section-title>Examples</section-title>
+<p>Here are some IR based search engines: AskAway FindFast LookSmart</p>
+<p>search engine NewsInEssence uses a new information retrieval technology to cluster news</p>
+<p>semantic information retrieval techniques are also being incorporated into some search engines today</p>
+</section>
+</chapter>
+</article>"#;
+
+/// The paper's `reviews.xml` (Figure 1, right).
+pub const REVIEWS_XML: &str = r#"<reviews>
+<review id="1">
+<title>Internet Technologies</title>
+<reviewer>
+<fname>John</fname>
+<sname>Doe</sname>
+</reviewer>
+<comments>a thorough survey of the modern internet stack</comments>
+<rating>5</rating>
+</review>
+<review id="2">
+<title>WWW Technologies</title>
+<reviewer>Anonymous</reviewer>
+<comments>covers the classic web protocols in depth</comments>
+<rating>3</rating>
+</review>
+</reviews>"#;
+
+/// Load both Figure 1 documents into a fresh store.
+///
+/// Returns `(store, articles_doc, reviews_doc)`.
+pub fn load() -> Result<(Store, DocId, DocId), LoadError> {
+    let mut store = Store::new();
+    let articles = store.load_str("articles.xml", ARTICLES_XML)?;
+    let reviews = store.load_str("reviews.xml", REVIEWS_XML)?;
+    Ok((store, articles, reviews))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_cleanly() {
+        let (store, articles, reviews) = load().unwrap();
+        assert_eq!(store.doc_count(), 2);
+        assert_eq!(store.doc(articles).name(), "articles.xml");
+        assert_eq!(store.doc(reviews).name(), "reviews.xml");
+    }
+
+    #[test]
+    fn structure_matches_figure1() {
+        let (store, _, _) = load().unwrap();
+        assert_eq!(store.elements_with_tag("article").len(), 1);
+        assert_eq!(store.elements_with_tag("chapter").len(), 3);
+        assert_eq!(store.elements_with_tag("section").len(), 3);
+        assert_eq!(store.elements_with_tag("review").len(), 2);
+        // The third chapter's "Examples" section has three paragraphs; the
+        // first two chapters have one each.
+        assert_eq!(store.elements_with_tag("p").len(), 7);
+    }
+
+    #[test]
+    fn author_is_doe() {
+        let (store, _, _) = load().unwrap();
+        let sname = store.elements_with_tag("sname")[0];
+        assert_eq!(store.text_content(sname), "Doe");
+    }
+}

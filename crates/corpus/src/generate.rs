@@ -1,0 +1,386 @@
+//! The corpus generator: IEEE-article-shaped XML with planted terms.
+
+use std::fmt;
+
+use tix_store::{DocId, LoadError, Store};
+use tix_xml::{Attribute, Writer};
+
+use crate::rng::Rng;
+use crate::spec::{CorpusSpec, PlantSpec};
+use crate::zipf::Zipf;
+
+/// Salt for the plant-placement RNG stream (independent of text streams).
+const PLANT_SALT: u64 = 0x504C414E54; // "PLANT"
+/// Salt base for per-article text streams.
+const ARTICLE_SALT: u64 = 0x41525431; // "ART1"
+
+/// First-name pool used for `<fnm>` elements.
+const FIRST_NAMES: &[&str] = &["jane", "john", "mary", "wei", "anna", "omar", "lena", "ivan"];
+/// Surname pool used for `<snm>` elements. "doe" is present so the paper's
+/// Query 2 author predicate (`sname = "Doe"`) selects a real subset.
+const SURNAMES: &[&str] = &["doe", "smith", "chen", "garcia", "kumar", "novak", "rossi", "sato"];
+
+/// Plant-specification validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlantError {
+    /// A planted term collides with the background vocabulary namespace
+    /// (`w` followed by digits) — its frequency would not be exact.
+    CollidesWithVocab(String),
+    /// A planted term is not a single lowercase alphanumeric token, so it
+    /// would not round-trip through the tokenizer.
+    NotAToken(String),
+    /// More insertions were requested than the corpus has paragraph slots
+    /// to comfortably hold (more than ~8 per paragraph on average).
+    TooDense { insertions: usize, paragraphs: usize },
+}
+
+impl fmt::Display for PlantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlantError::CollidesWithVocab(t) => {
+                write!(f, "planted term {t:?} collides with background vocabulary")
+            }
+            PlantError::NotAToken(t) => {
+                write!(f, "planted term {t:?} is not a single lowercase alphanumeric token")
+            }
+            PlantError::TooDense { insertions, paragraphs } => write!(
+                f,
+                "{insertions} insertions is too dense for {paragraphs} paragraphs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlantError {}
+
+/// One planting operation assigned to a specific paragraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlantOp {
+    /// Insert one occurrence of `terms[idx]`.
+    Term(u32),
+    /// Insert the phrase `phrases[idx].first phrases[idx].second`,
+    /// adjacent (`true`) or merely co-occurring (`false`).
+    Phrase { idx: u32, adjacent: bool },
+}
+
+/// Deterministic corpus generator. See the crate docs for the overall
+/// design; the same `(spec, plants)` always generates the same bytes.
+pub struct Generator {
+    spec: CorpusSpec,
+    plants: PlantSpec,
+    /// Plant operations per global paragraph index.
+    plan: Vec<Vec<PlantOp>>,
+    /// Background vocabulary: `vocab[rank]` = `w{rank}`.
+    vocab: Vec<String>,
+    zipf: Zipf,
+    root_rng: Rng,
+}
+
+impl Generator {
+    /// Validate `plants` and precompute plant placement.
+    pub fn new(spec: CorpusSpec, plants: PlantSpec) -> Result<Self, PlantError> {
+        let paragraphs = spec.paragraph_count();
+        let insertions = plants.total_insertions();
+        if insertions > paragraphs.saturating_mul(8) {
+            return Err(PlantError::TooDense { insertions, paragraphs });
+        }
+        for term in plants
+            .terms
+            .iter()
+            .map(|t| t.term.as_str())
+            .chain(plants.phrases.iter().flat_map(|p| [p.first.as_str(), p.second.as_str()]))
+        {
+            if !is_token(term) {
+                return Err(PlantError::NotAToken(term.to_string()));
+            }
+            if in_vocab_namespace(term) {
+                return Err(PlantError::CollidesWithVocab(term.to_string()));
+            }
+        }
+
+        let root_rng = Rng::new(spec.seed);
+        let mut plan = vec![Vec::new(); paragraphs];
+        let mut plant_rng = root_rng.fork(PLANT_SALT);
+        for (i, term) in plants.terms.iter().enumerate() {
+            for _ in 0..term.count {
+                plan[plant_rng.index(paragraphs)].push(PlantOp::Term(i as u32));
+            }
+        }
+        for (i, phrase) in plants.phrases.iter().enumerate() {
+            for _ in 0..phrase.adjacent {
+                plan[plant_rng.index(paragraphs)]
+                    .push(PlantOp::Phrase { idx: i as u32, adjacent: true });
+            }
+            for _ in 0..phrase.cooccurring {
+                plan[plant_rng.index(paragraphs)]
+                    .push(PlantOp::Phrase { idx: i as u32, adjacent: false });
+            }
+        }
+
+        let vocab = (0..spec.vocab_size).map(|r| format!("w{r}")).collect();
+        let zipf = Zipf::new(spec.vocab_size, spec.zipf_exponent);
+        Ok(Generator { spec, plants, plan, vocab, zipf, root_rng })
+    }
+
+    /// The corpus shape this generator was built with.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Number of documents (= articles) the corpus contains.
+    pub fn document_count(&self) -> usize {
+        self.spec.articles
+    }
+
+    /// Generate article `i` (0-based). Returns `(document name, xml)`.
+    ///
+    /// Articles are independent: each uses its own forked RNG stream, so
+    /// they may be generated lazily and in any order.
+    pub fn document(&self, i: usize) -> (String, String) {
+        assert!(i < self.spec.articles, "article index out of range");
+        let mut rng = self.root_rng.fork(ARTICLE_SALT.wrapping_add(i as u64));
+        let name = format!("article{i:05}.xml");
+        let xml = self.article_xml(i, &mut rng);
+        (name, xml)
+    }
+
+    /// Generate every document and load it into `store`.
+    pub fn load_into(&self, store: &mut Store) -> Result<Vec<DocId>, LoadError> {
+        let mut ids = Vec::with_capacity(self.spec.articles);
+        for i in 0..self.spec.articles {
+            let (name, xml) = self.document(i);
+            ids.push(store.load_str(&name, &xml)?);
+        }
+        Ok(ids)
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn article_xml(&self, article: usize, rng: &mut Rng) -> String {
+        let spec = &self.spec;
+        let mut writer = Writer::with_capacity(
+            spec.sections_per_article
+                * spec.subsections_per_section
+                * spec.paragraphs_per_subsection
+                * spec.words_per_paragraph
+                * 7,
+        );
+        writer.start_element(
+            "article",
+            &[Attribute { name: "id".into(), value: format!("a{article}") }],
+        );
+        // Front matter: title and one or two authors.
+        writer.start_element("fm", &[]);
+        writer.start_element("atl", &[]);
+        let title_len = rng.range(4, 8);
+        writer.text(&self.background_words(rng, title_len));
+        writer.end_element("atl");
+        let authors = rng.range(1, 2);
+        for a in 0..authors {
+            let order = if a == 0 { "first" } else { "other" };
+            writer.start_element(
+                "au",
+                &[Attribute { name: "order".into(), value: order.into() }],
+            );
+            writer.start_element("fnm", &[]);
+            writer.text(FIRST_NAMES[rng.index(FIRST_NAMES.len())]);
+            writer.end_element("fnm");
+            writer.start_element("snm", &[]);
+            writer.text(SURNAMES[rng.index(SURNAMES.len())]);
+            writer.end_element("snm");
+            writer.end_element("au");
+        }
+        writer.end_element("fm");
+        // Body.
+        writer.start_element("bdy", &[]);
+        for s in 0..spec.sections_per_article {
+            writer.start_element("sec", &[]);
+            writer.start_element("st", &[]);
+            let st_len = rng.range(2, 5);
+            writer.text(&self.background_words(rng, st_len));
+            writer.end_element("st");
+            for ss in 0..spec.subsections_per_section {
+                writer.start_element("ss1", &[]);
+                for p in 0..spec.paragraphs_per_subsection {
+                    let global = self.paragraph_index(article, s, ss, p);
+                    writer.start_element("p", &[]);
+                    writer.text(&self.paragraph_text(global, rng));
+                    writer.end_element("p");
+                }
+                writer.end_element("ss1");
+            }
+            writer.end_element("sec");
+        }
+        writer.end_element("bdy");
+        writer.end_element("article");
+        writer.finish()
+    }
+
+    /// Global paragraph index of `(article, section, subsection, paragraph)`.
+    fn paragraph_index(&self, article: usize, s: usize, ss: usize, p: usize) -> usize {
+        ((article * self.spec.sections_per_article + s) * self.spec.subsections_per_section
+            + ss)
+            * self.spec.paragraphs_per_subsection
+            + p
+    }
+
+    fn background_words(&self, rng: &mut Rng, n: usize) -> String {
+        let mut out = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.vocab[self.zipf.sample(rng)]);
+        }
+        out
+    }
+
+    /// Build the text of a paragraph: jittered background words with the
+    /// planned plant operations spliced in.
+    fn paragraph_text(&self, global: usize, rng: &mut Rng) -> String {
+        let w = self.spec.words_per_paragraph;
+        let n = rng.range((w / 2).max(4), w + w / 2);
+        let mut tokens: Vec<&str> = Vec::with_capacity(n + 4);
+        for _ in 0..n {
+            tokens.push(&self.vocab[self.zipf.sample(rng)]);
+        }
+        let ops = &self.plan[global];
+        if !ops.is_empty() {
+            self.apply_plants(ops, &mut tokens, rng);
+        }
+        tokens.join(" ")
+    }
+
+    fn apply_plants<'a>(&'a self, ops: &[PlantOp], tokens: &mut Vec<&'a str>, rng: &mut Rng) {
+        // Phase 1: standalone terms and co-occurring (non-adjacent) pairs.
+        for op in ops {
+            match *op {
+                PlantOp::Term(idx) => {
+                    let pos = rng.index(tokens.len() + 1);
+                    tokens.insert(pos, &self.plants.terms[idx as usize].term);
+                }
+                PlantOp::Phrase { idx, adjacent: false } => {
+                    let phrase = &self.plants.phrases[idx as usize];
+                    let first_pos = rng.index(tokens.len() + 1);
+                    tokens.insert(first_pos, &phrase.first);
+                    // Choose a slot for `second` that is not immediately
+                    // after `first` (which would accidentally form the
+                    // phrase).
+                    let mut second_pos = rng.index(tokens.len() + 1);
+                    while second_pos == first_pos + 1 {
+                        second_pos = rng.index(tokens.len() + 1);
+                    }
+                    tokens.insert(second_pos, &phrase.second);
+                }
+                PlantOp::Phrase { adjacent: true, .. } => {}
+            }
+        }
+        // Phase 2: adjacent pairs, inserted right-to-left at distinct gaps so
+        // that no later insertion can split an earlier pair.
+        let adjacent: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                PlantOp::Phrase { idx, adjacent: true } => Some(idx),
+                _ => None,
+            })
+            .collect();
+        if adjacent.is_empty() {
+            return;
+        }
+        let mut gaps: Vec<usize> = Vec::with_capacity(adjacent.len());
+        for _ in &adjacent {
+            let mut gap = rng.index(tokens.len() + 1);
+            let mut tries = 0;
+            while gaps.contains(&gap) && tries < 32 {
+                gap = rng.index(tokens.len() + 1);
+                tries += 1;
+            }
+            if gaps.contains(&gap) {
+                // Pathological density: fall back to appending at the end,
+                // beyond every sampled gap.
+                gap = tokens.len() + 1 + gaps.len();
+            }
+            gaps.push(gap);
+        }
+        let mut pairs: Vec<(usize, u32)> = gaps.into_iter().zip(adjacent).collect();
+        pairs.sort_by(|a, b| b.0.cmp(&a.0)); // descending gap
+        for (gap, idx) in pairs {
+            let phrase = &self.plants.phrases[idx as usize];
+            let gap = gap.min(tokens.len());
+            tokens.insert(gap, &phrase.second);
+            tokens.insert(gap, &phrase.first);
+        }
+    }
+}
+
+fn is_token(term: &str) -> bool {
+    !term.is_empty()
+        && term
+            .chars()
+            .all(|c| c.is_alphanumeric() && !c.is_uppercase())
+}
+
+fn in_vocab_namespace(term: &str) -> bool {
+    term.len() > 1
+        && term.starts_with('w')
+        && term[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlantSpec;
+
+    #[test]
+    fn deterministic_output() {
+        let spec = CorpusSpec::tiny();
+        let plants = PlantSpec::default().with_term("alpha", 5);
+        let g1 = Generator::new(spec.clone(), plants.clone()).unwrap();
+        let g2 = Generator::new(spec, plants).unwrap();
+        for i in 0..g1.document_count() {
+            assert_eq!(g1.document(i), g2.document(i));
+        }
+    }
+
+    #[test]
+    fn documents_parse() {
+        let generator = Generator::new(CorpusSpec::tiny(), PlantSpec::default()).unwrap();
+        for i in 0..generator.document_count() {
+            let (_, xml) = generator.document(i);
+            tix_xml::Document::parse(&xml).unwrap();
+        }
+    }
+
+    #[test]
+    fn vocab_collision_rejected() {
+        let err = Generator::new(CorpusSpec::tiny(), PlantSpec::default().with_term("w12", 1));
+        assert!(matches!(err, Err(PlantError::CollidesWithVocab(_))));
+    }
+
+    #[test]
+    fn non_token_rejected() {
+        for bad in ["two words", "", "UPPER", "hy-phen"] {
+            let err = Generator::new(CorpusSpec::tiny(), PlantSpec::default().with_term(bad, 1));
+            assert!(matches!(err, Err(PlantError::NotAToken(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn density_limit() {
+        let spec = CorpusSpec::tiny();
+        let too_many = spec.paragraph_count() * 9;
+        let err = Generator::new(spec, PlantSpec::default().with_term("alpha", too_many));
+        assert!(matches!(err, Err(PlantError::TooDense { .. })));
+    }
+
+    #[test]
+    fn load_into_store() {
+        let generator = Generator::new(CorpusSpec::tiny(), PlantSpec::default()).unwrap();
+        let mut store = Store::new();
+        let ids = generator.load_into(&mut store).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert!(store.node_count() > 50);
+        assert!(!store.elements_with_tag("article").is_empty());
+        assert!(!store.elements_with_tag("p").is_empty());
+    }
+}

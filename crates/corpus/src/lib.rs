@@ -1,0 +1,48 @@
+//! # tix-corpus
+//!
+//! Deterministic synthetic corpus and workload generator for the TIX
+//! experiments.
+//!
+//! The paper evaluates on the INEX collection (IEEE Transactions articles,
+//! 18 M elements, 500 MB), which is licensed and unavailable. Per the
+//! reproduction's substitution rule (see `DESIGN.md` §4) this crate
+//! generates a structurally equivalent collection:
+//!
+//! * IEEE-article shape: `article → fm(atl, au…) + bdy(sec → ss1 → p)`;
+//! * Zipf-distributed background vocabulary, so posting-list lengths are
+//!   realistically skewed;
+//! * **exact planted term frequencies** — each Tables 1–4 row's "approx.
+//!   term freq." is reproduced by planting dedicated terms with that exact
+//!   collection frequency;
+//! * **planted phrases** with controlled adjacency and co-occurrence
+//!   counts, reproducing Table 5's term-frequency / result-size profile.
+//!
+//! Everything is deterministic from the spec's seed — no external RNG
+//! dependency, identical bytes on every machine.
+//!
+//! ```
+//! use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+//! use tix_store::Store;
+//!
+//! let spec = CorpusSpec::tiny();
+//! let plants = PlantSpec::default().with_term("needle", 12);
+//! let generator = Generator::new(spec, plants).unwrap();
+//! let mut store = Store::new();
+//! generator.load_into(&mut store).unwrap();
+//!
+//! // The planted frequency is exact:
+//! let index = tix_index::InvertedIndex::build(&store);
+//! assert_eq!(index.collection_frequency("needle"), 12);
+//! ```
+
+pub mod fig1;
+mod generate;
+mod rng;
+mod spec;
+pub mod workloads;
+mod zipf;
+
+pub use generate::{Generator, PlantError};
+pub use rng::Rng;
+pub use spec::{CorpusSpec, PlantSpec, PlantedPhrase, PlantedTerm};
+pub use zipf::Zipf;

@@ -1,0 +1,139 @@
+//! A tiny, fully deterministic PRNG.
+//!
+//! The experiments must be reproducible bit-for-bit across machines and
+//! toolchain versions, so instead of depending on `rand` (whose `StdRng`
+//! stream is explicitly not stable across crate versions) we use SplitMix64
+//! — a well-known 64-bit mixer with excellent statistical quality for
+//! non-cryptographic use.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Derive an independent child generator. Used to give every paragraph
+    /// its own stream so documents can be generated in any order.
+    pub fn fork(&self, salt: u64) -> Rng {
+        // Mix the salt through one SplitMix round so forks with adjacent
+        // salts are decorrelated.
+        let mut child = Rng::new(self.state ^ salt.wrapping_mul(0x9E3779B97F4A7C15));
+        child.next_u64();
+        Rng::new(child.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire-style widening multiply avoids modulo bias well enough for
+        // corpus generation (bound ≪ 2^64).
+        (((self.next_u64() >> 11) as u128 * bound as u128) >> 53) as u64
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.index(hi - lo + 1)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let rng = Rng::new(5);
+        let mut c1 = rng.fork(0);
+        let mut c2 = rng.fork(1);
+        let differing = (0..64).filter(|_| c1.next_u64() != c2.next_u64()).count();
+        assert!(differing > 60);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+}

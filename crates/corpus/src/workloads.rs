@@ -1,0 +1,190 @@
+//! The paper's experiment parameter grids (Tables 1–5 and the Pick
+//! experiment), expressed as plant specifications so that the benchmark
+//! harness and the `reproduce` binary agree on term names and frequencies.
+//!
+//! Naming scheme for planted terms (all lowercase alphanumeric, outside the
+//! background `w{digits}` namespace):
+//!
+//! * `qt{freq}a` / `qt{freq}b` — the two-term pairs of Tables 1 and 2;
+//! * `t3fix` (frequency 1 000) and `t3v{freq}` — Table 3;
+//! * `t4x{i}` (i = 0..7, each ≈1 500) — Table 4;
+//! * `ph{i}a` / `ph{i}b` — the 13 phrases of Table 5.
+
+use crate::spec::PlantSpec;
+
+/// Approximate term frequencies of Tables 1 and 2 (both use the same grid).
+pub const TABLE12_FREQUENCIES: &[usize] =
+    &[20, 100, 200, 300, 500, 1000, 2000, 3000, 5500, 7000, 10_000];
+
+/// Frequency of term 1 in Table 3 (fixed).
+pub const TABLE3_TERM1_FREQUENCY: usize = 1000;
+
+/// Frequencies of term 2 in Table 3.
+pub const TABLE3_TERM2_FREQUENCIES: &[usize] = &[20, 200, 1000, 3000, 7000];
+
+/// Query sizes (number of terms) in Table 4.
+pub const TABLE4_TERM_COUNTS: &[usize] = &[2, 3, 4, 5, 6, 7];
+
+/// Per-term frequency in Table 4 ("around 1,500").
+pub const TABLE4_FREQUENCY: usize = 1500;
+
+/// One Table 5 row: term frequencies and the phrase-result size the paper
+/// measured. Our generator plants `result` adjacent occurrences and
+/// `cooccurring` extra same-node co-occurrences (the work Comp3's filter
+/// step pays for), with standalone occurrences making up the totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table5Row {
+    /// Total collection frequency of the first term.
+    pub term1_frequency: usize,
+    /// Total collection frequency of the second term.
+    pub term2_frequency: usize,
+    /// Number of text nodes containing the exact phrase.
+    pub result_size: usize,
+}
+
+/// The 13 phrases of Table 5, scaled by 1/20 from the paper's INEX
+/// frequencies (121,076 → 6,054, …) to match the default corpus size. The
+/// *ratios* between term frequency, intersection size, and phrase-result
+/// size — which drive the Comp3 vs PhraseFinder gap — are preserved.
+pub const TABLE5_ROWS: &[Table5Row] = &[
+    Table5Row { term1_frequency: 6054, term2_frequency: 2247, result_size: 1400 },
+    Table5Row { term1_frequency: 6054, term2_frequency: 3984, result_size: 23 },
+    Table5Row { term1_frequency: 5363, term2_frequency: 7324, result_size: 61 },
+    Table5Row { term1_frequency: 5363, term2_frequency: 3984, result_size: 61 },
+    Table5Row { term1_frequency: 4920, term2_frequency: 7324, result_size: 44 },
+    Table5Row { term1_frequency: 6054, term2_frequency: 7324, result_size: 59 },
+    Table5Row { term1_frequency: 4524, term2_frequency: 3440, result_size: 6 },
+    Table5Row { term1_frequency: 6054, term2_frequency: 2299, result_size: 2 },
+    Table5Row { term1_frequency: 6054, term2_frequency: 5363, result_size: 16 },
+    Table5Row { term1_frequency: 4920, term2_frequency: 1402, result_size: 23 },
+    Table5Row { term1_frequency: 7324, term2_frequency: 3440, result_size: 69 },
+    Table5Row { term1_frequency: 6054, term2_frequency: 3440, result_size: 12 },
+    Table5Row { term1_frequency: 4920, term2_frequency: 5363, result_size: 1 },
+];
+
+/// Extra same-node co-occurrences planted per Table 5 phrase, so the
+/// intersection Comp3 must post-filter is meaningfully larger than the
+/// phrase result (the effect the paper attributes Comp3's cost to).
+pub const TABLE5_COOCCURRENCE: usize = 400;
+
+/// Term name for a Table 1/2 pair member (`which` is 0 or 1).
+pub fn pair_term(freq: usize, which: usize) -> String {
+    let suffix = if which == 0 { 'a' } else { 'b' };
+    format!("qt{freq}{suffix}")
+}
+
+/// Term name for Table 3's varying second term.
+pub fn table3_term2(freq: usize) -> String {
+    format!("t3v{freq}")
+}
+
+/// Table 3's fixed first term.
+pub const TABLE3_TERM1: &str = "t3fix";
+
+/// Term name for the `i`-th Table 4 term.
+pub fn table4_term(i: usize) -> String {
+    format!("t4x{i}")
+}
+
+/// Phrase term names for Table 5 row `i`.
+pub fn table5_terms(i: usize) -> (String, String) {
+    (format!("ph{i}a"), format!("ph{i}b"))
+}
+
+/// Build the complete plant specification for every table, scaled by
+/// `scale` (1.0 = the frequencies above).
+///
+/// Frequencies below 1 after scaling are clamped to 1.
+pub fn paper_plants(scale: f64) -> PlantSpec {
+    let s = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    let mut plants = PlantSpec::default();
+    // Tables 1 & 2: a pair of terms per frequency step.
+    for &freq in TABLE12_FREQUENCIES {
+        plants = plants
+            .with_term(&pair_term(freq, 0), s(freq))
+            .with_term(&pair_term(freq, 1), s(freq));
+    }
+    // Table 3: fixed term1 plus a term per term2 frequency.
+    plants = plants.with_term(TABLE3_TERM1, s(TABLE3_TERM1_FREQUENCY));
+    for &freq in TABLE3_TERM2_FREQUENCIES {
+        plants = plants.with_term(&table3_term2(freq), s(freq));
+    }
+    // Table 4: seven terms at ~1,500 each.
+    for i in 0..*TABLE4_TERM_COUNTS.last().expect("non-empty") {
+        plants = plants.with_term(&table4_term(i), s(TABLE4_FREQUENCY));
+    }
+    // Table 5: phrases. Standalone occurrences top the totals up past the
+    // planted adjacent/co-occurring ones.
+    for (i, row) in TABLE5_ROWS.iter().enumerate() {
+        let (a, b) = table5_terms(i);
+        let adjacent = s(row.result_size);
+        let cooccurring = s(TABLE5_COOCCURRENCE);
+        let planted_each = adjacent + cooccurring;
+        plants = plants.with_phrase(&a, &b, adjacent, cooccurring);
+        let t1 = s(row.term1_frequency).saturating_sub(planted_each);
+        let t2 = s(row.term2_frequency).saturating_sub(planted_each);
+        if t1 > 0 {
+            plants = plants.with_term(&a, t1);
+        }
+        if t2 > 0 {
+            plants = plants.with_term(&b, t2);
+        }
+    }
+    plants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_names_are_valid_tokens() {
+        let plants = paper_plants(1.0);
+        for term in &plants.terms {
+            assert!(term.term.chars().all(|c| c.is_ascii_alphanumeric()));
+            assert!(!term.term.starts_with('w') || !term.term[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn full_scale_totals() {
+        let plants = paper_plants(1.0);
+        // Tables 1/2 alone plant 2 × Σ freqs = 59,240 occurrences.
+        let expected_t12: usize = TABLE12_FREQUENCIES.iter().sum::<usize>() * 2;
+        assert!(plants.total_insertions() > expected_t12);
+        // Everything fits the default corpus comfortably.
+        let spec = crate::CorpusSpec::default();
+        assert!(plants.total_insertions() < spec.paragraph_count() * 8);
+    }
+
+    #[test]
+    fn scaling_clamps_to_one() {
+        let plants = paper_plants(0.000001);
+        assert!(plants.terms.iter().all(|t| t.count >= 1));
+    }
+
+    #[test]
+    fn table5_phrase_totals_match_frequencies() {
+        // For each row, adjacent + cooccurring + standalone == row totals.
+        let plants = paper_plants(1.0);
+        for (i, row) in TABLE5_ROWS.iter().enumerate() {
+            let (a, _) = table5_terms(i);
+            let phrase = plants
+                .phrases
+                .iter()
+                .find(|p| p.first == a)
+                .expect("phrase planted");
+            let standalone: usize = plants
+                .terms
+                .iter()
+                .filter(|t| t.term == a)
+                .map(|t| t.count)
+                .sum();
+            assert_eq!(
+                phrase.adjacent + phrase.cooccurring + standalone,
+                row.term1_frequency,
+                "row {i}"
+            );
+        }
+    }
+}

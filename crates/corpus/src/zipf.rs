@@ -1,0 +1,99 @@
+//! Zipf-distributed sampling for the background vocabulary.
+//!
+//! Real IR collections have heavily skewed term frequencies; posting-list
+//! length distributions matter to every algorithm under test, so the
+//! background text follows a Zipf law rather than a uniform draw.
+
+use crate::rng::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i]` = P(rank ≤ i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (classic text uses
+    /// s ≈ 1.0–1.2).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for value in &mut cdf {
+            *value /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_most_frequent() {
+        let zipf = Zipf::new(50, 1.1);
+        let mut rng = Rng::new(2);
+        let mut counts = [0usize; 50];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+    }
+
+    #[test]
+    fn skew_roughly_zipfian() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = Rng::new(3);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // rank 0 should occur roughly 2x rank 1 and 10x rank 9.
+        let r0 = counts[0] as f64;
+        assert!((r0 / counts[1] as f64) > 1.5 && (r0 / counts[1] as f64) < 2.7);
+        assert!((r0 / counts[9] as f64) > 6.0 && (r0 / counts[9] as f64) < 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end checks that planted frequencies are exact once the corpus is
+//! loaded and indexed — the property every benchmark table depends on.
+
+use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+fn build(plants: PlantSpec) -> (Store, InvertedIndex) {
+    let generator = Generator::new(CorpusSpec::small(), plants).unwrap();
+    let mut store = Store::new();
+    generator.load_into(&mut store).unwrap();
+    let index = InvertedIndex::build(&store);
+    (store, index)
+}
+
+#[test]
+fn standalone_term_frequencies_are_exact() {
+    let plants = PlantSpec::default()
+        .with_term("alpha", 1)
+        .with_term("beta", 37)
+        .with_term("gamma", 500);
+    let (_, index) = build(plants);
+    assert_eq!(index.collection_frequency("alpha"), 1);
+    assert_eq!(index.collection_frequency("beta"), 37);
+    assert_eq!(index.collection_frequency("gamma"), 500);
+}
+
+#[test]
+fn phrase_adjacency_counts_are_exact() {
+    let plants = PlantSpec::default().with_phrase("srchx", "engx", 25, 40);
+    let (_, index) = build(plants);
+    // Total frequency of each term = adjacent + co-occurring plantings.
+    assert_eq!(index.collection_frequency("srchx"), 65);
+    assert_eq!(index.collection_frequency("engx"), 65);
+    // Count exact adjacencies (same text node, consecutive offsets).
+    let first = index.postings("srchx");
+    let second = index.postings("engx");
+    let mut adjacent = 0;
+    for p in first {
+        if second
+            .iter()
+            .any(|q| q.doc == p.doc && q.node == p.node && q.offset == p.offset + 1)
+        {
+            adjacent += 1;
+        }
+    }
+    assert_eq!(adjacent, 25, "planted adjacencies must be exact");
+    // Count same-node co-occurrences (what Comp3's intersection sees).
+    let mut cooccur_nodes = std::collections::HashSet::new();
+    for p in first {
+        if second.iter().any(|q| q.doc == p.doc && q.node == p.node) {
+            cooccur_nodes.insert((p.doc, p.node));
+        }
+    }
+    // Plantings land in uniformly random paragraphs, so a few may share a
+    // paragraph; the distinct-node count is bounded by the planting count
+    // and must be close to it.
+    assert!(
+        (60..=65).contains(&cooccur_nodes.len()),
+        "distinct co-occurrence nodes: {}",
+        cooccur_nodes.len()
+    );
+}
+
+#[test]
+fn mixed_phrase_and_standalone() {
+    // Table 5 style: phrase plantings plus standalone occurrences of the
+    // same terms elsewhere.
+    let plants = PlantSpec::default()
+        .with_phrase("ph0a", "ph0b", 10, 20)
+        .with_term("ph0a", 70)
+        .with_term("ph0b", 30);
+    let (_, index) = build(plants);
+    assert_eq!(index.collection_frequency("ph0a"), 100);
+    assert_eq!(index.collection_frequency("ph0b"), 60);
+}
+
+#[test]
+fn background_text_is_skewed() {
+    let (_, index) = build(PlantSpec::default());
+    // Zipf: the most frequent background word should dominate mid-rank ones.
+    let w0 = index.collection_frequency("w0");
+    let w50 = index.collection_frequency("w50");
+    assert!(w0 > 0 && w50 > 0, "vocabulary should be exercised");
+    assert!(w0 > 5 * w50, "w0={w0} w50={w50}");
+}
+
+#[test]
+fn corpus_shape_is_inexlike() {
+    let (store, _) = build(PlantSpec::default());
+    let stats = store.stats();
+    assert_eq!(stats.documents, 200);
+    assert!(stats.max_depth >= 5, "article/bdy/sec/ss1/p nesting");
+    let spec = CorpusSpec::small();
+    assert_eq!(
+        store.elements_with_tag("p").len(),
+        spec.paragraph_count(),
+        "every paragraph present"
+    );
+    assert_eq!(store.elements_with_tag("article").len(), spec.articles);
+}
+
+#[test]
+fn paper_plants_fit_and_load() {
+    // Verify the real experiment plant spec at reduced scale loads and the
+    // planted frequencies survive exactly.
+    let plants = tix_corpus::workloads::paper_plants(0.02);
+    let generator = Generator::new(CorpusSpec::small(), plants).unwrap();
+    let mut store = Store::new();
+    generator.load_into(&mut store).unwrap();
+    let index = InvertedIndex::build(&store);
+    // qt1000a scaled by 0.02 → exactly 20 occurrences.
+    assert_eq!(index.collection_frequency("qt1000a"), 20);
+    assert_eq!(index.collection_frequency("qt10000b"), 200);
+}

@@ -1,0 +1,242 @@
+//! The **Composite** baselines (Sec. 6.1): TermJoin's functionality built
+//! from standard operators, exactly as the paper's operator expression
+//!
+//! ```text
+//!   σ_P(C) = ⋃_i γ_i(σ_{P_i}(C))
+//! ```
+//!
+//! * [`comp1`] evaluates the expression directly: per-term index scan →
+//!   **ancestor expansion** (one materialized witness record per
+//!   (occurrence, ancestor) pair) → sort-based grouping → k-way union.
+//!   The materialized intermediate result grows as `frequency × depth`,
+//!   which is why Comp1 scales super-linearly in Table 1.
+//! * [`comp2`] pushes structural joins down, "as advised by recent
+//!   studies": per term, a stack-tree structural join of the **entire
+//!   element list** (the ancestor side has no tag constraint — the `ad*`
+//!   unit can be any element) against the postings. The full-element scan
+//!   per term makes its cost large but nearly flat in the term frequency.
+//!
+//! Both produce results identical to TermJoin (differential-tested),
+//! slower — the whole point of Table 1/2 in the paper.
+
+use tix_index::InvertedIndex;
+use tix_store::{NodeRef, Store};
+
+use crate::scored::{ScoredNode, TermHit};
+use crate::structural::structural_join_count;
+use crate::termjoin::{count_nonzero_children, TermJoinScorer};
+
+/// A materialized "witness" record flowing between Comp1's standard
+/// operators — the tree-at-a-time record shape a TIMBER-style engine
+/// pipelines, with per-record heap allocations and all.
+struct WitnessRecord {
+    node: NodeRef,
+    counters: Vec<u32>,
+    hits: Vec<TermHit>,
+}
+
+/// Comp1: the direct standard-operator composition.
+pub fn comp1<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+) -> Vec<ScoredNode> {
+    let keep_detail = scorer.needs_detail();
+    let n = terms.len();
+    // One grouped, sorted stream per term (the γ_i(σ_{P_i}(C)) legs).
+    let mut legs: Vec<Vec<WitnessRecord>> = Vec::with_capacity(n);
+    for (t, term) in terms.iter().enumerate() {
+        // σ_{P_i}: index scan + ancestor expansion, materializing one
+        // record per (occurrence, ancestor) pair.
+        let mut expanded: Vec<WitnessRecord> = Vec::new();
+        for posting in index.postings(term) {
+            let text = posting.node_ref();
+            let mut cursor = store.parent(text);
+            while let Some(anc) = cursor {
+                let mut counters = vec![0u32; n];
+                counters[t] = 1;
+                let hits = if keep_detail {
+                    vec![TermHit { node: posting.node, offset: posting.offset, term: t as u16 }]
+                } else {
+                    Vec::new()
+                };
+                expanded.push(WitnessRecord { node: anc, counters, hits });
+                cursor = store.parent(anc);
+            }
+        }
+        // γ_i: sort-based grouping on node id.
+        expanded.sort_by_key(|r| r.node);
+        let mut grouped: Vec<WitnessRecord> = Vec::new();
+        for record in expanded {
+            match grouped.last_mut() {
+                Some(last) if last.node == record.node => {
+                    for (a, b) in last.counters.iter_mut().zip(&record.counters) {
+                        *a += b;
+                    }
+                    last.hits.extend_from_slice(&record.hits);
+                }
+                _ => grouped.push(record),
+            }
+        }
+        legs.push(grouped);
+    }
+    // ⋃: k-way merge-union on node id, then score.
+    union_and_score(store, legs, scorer, keep_detail)
+}
+
+/// Comp2: structural joins pushed down. Per term, a stack-based structural
+/// join of the full element list against the term's text nodes yields
+/// grouped per-ancestor counts without the quadratic expansion — but every
+/// term pays a full scan of the element list.
+pub fn comp2<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+) -> Vec<ScoredNode> {
+    let keep_detail = scorer.needs_detail();
+    let n = terms.len();
+    let mut legs: Vec<Vec<WitnessRecord>> = Vec::with_capacity(n);
+    for (t, term) in terms.iter().enumerate() {
+        let postings = index.postings(term);
+        let text_nodes: Vec<NodeRef> = postings.iter().map(|p| p.node_ref()).collect();
+        // The ancestor side: EVERY element in the database, scanned in
+        // document order (the pattern's ad* node has no tag constraint).
+        let all_elements = store.doc_ids().flat_map(|d| store.elements_of(d));
+        let mut counted = structural_join_count(store, all_elements, &text_nodes);
+        counted.sort_by_key(|&(node, _)| node);
+        let grouped = counted
+            .into_iter()
+            .map(|(node, count)| {
+                let mut counters = vec![0u32; n];
+                counters[t] = count;
+                let hits = if keep_detail {
+                    // Recover this ancestor's hits from the posting range.
+                    let end = store.end_key(node);
+                    let lo = postings.partition_point(|p| (p.doc, p.node) < (node.doc, node.node));
+                    let hi = postings.partition_point(|p| (p.doc, p.node) <= (node.doc, end));
+                    postings[lo..hi]
+                        .iter()
+                        .map(|p| TermHit { node: p.node, offset: p.offset, term: t as u16 })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                WitnessRecord { node, counters, hits }
+            })
+            .collect();
+        legs.push(grouped);
+    }
+    union_and_score(store, legs, scorer, keep_detail)
+}
+
+/// k-way union of per-term grouped legs (each sorted by node), combining
+/// counters and hit buffers, then scoring each node.
+fn union_and_score<S: TermJoinScorer>(
+    store: &Store,
+    legs: Vec<Vec<WitnessRecord>>,
+    scorer: &S,
+    keep_detail: bool,
+) -> Vec<ScoredNode> {
+    let n_terms = legs.len();
+    let mut cursors = vec![0usize; n_terms];
+    let mut out = Vec::new();
+    loop {
+        // Find the smallest node across leg heads.
+        let mut min: Option<NodeRef> = None;
+        for (leg, &c) in legs.iter().zip(&cursors) {
+            if let Some(record) = leg.get(c) {
+                min = Some(match min {
+                    Some(m) if m <= record.node => m,
+                    _ => record.node,
+                });
+            }
+        }
+        let Some(node) = min else { break };
+        let mut counters = vec![0u32; n_terms];
+        let mut hits: Vec<TermHit> = Vec::new();
+        for (leg, cursor) in legs.iter().zip(cursors.iter_mut()) {
+            if let Some(record) = leg.get(*cursor) {
+                if record.node == node {
+                    for (a, b) in counters.iter_mut().zip(&record.counters) {
+                        *a += b;
+                    }
+                    hits.extend_from_slice(&record.hits);
+                    *cursor += 1;
+                }
+            }
+        }
+        let nonzero = if keep_detail {
+            count_nonzero_children(store, node, hits.iter().map(|h| h.node))
+        } else {
+            0
+        };
+        let score = scorer.score(store, node, &counters, &hits, nonzero);
+        out.push(ScoredNode::new(node, score));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scored::{results_equal, sort_by_node};
+    use crate::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+
+    fn fixture() -> (Store, InvertedIndex) {
+        let mut store = Store::new();
+        store
+            .load_str("a.xml", "<a><b>x y</b><c><d>x q</d><e>y z</e></c><f>z x</f></a>")
+            .unwrap();
+        store
+            .load_str("b.xml", "<a><b>q</b><c>x y x</c></a>")
+            .unwrap();
+        let index = InvertedIndex::build(&store);
+        (store, index)
+    }
+
+    #[test]
+    fn comp1_agrees_with_termjoin_simple() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+        let c1 = sort_by_node(comp1(&store, &index, &["x", "y"], &scorer));
+        let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y"], &scorer).run());
+        assert!(results_equal(&c1, &tj, 1e-9), "\nc1={c1:?}\ntj={tj:?}");
+    }
+
+    #[test]
+    fn comp2_agrees_with_termjoin_simple() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+        let c2 = sort_by_node(comp2(&store, &index, &["x", "y"], &scorer));
+        let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y"], &scorer).run());
+        assert!(results_equal(&c2, &tj, 1e-9), "\nc2={c2:?}\ntj={tj:?}");
+    }
+
+    #[test]
+    fn comp1_agrees_with_termjoin_complex() {
+        let (store, index) = fixture();
+        let scorer = ComplexScorer::uniform(ChildCountMode::Index);
+        let c1 = sort_by_node(comp1(&store, &index, &["x", "y", "z"], &scorer));
+        let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y", "z"], &scorer).run());
+        assert!(results_equal(&c1, &tj, 1e-9), "\nc1={c1:?}\ntj={tj:?}");
+    }
+
+    #[test]
+    fn comp2_agrees_with_termjoin_complex() {
+        let (store, index) = fixture();
+        let scorer = ComplexScorer::uniform(ChildCountMode::Index);
+        let c2 = sort_by_node(comp2(&store, &index, &["x", "y", "z"], &scorer));
+        let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y", "z"], &scorer).run());
+        assert!(results_equal(&c2, &tj, 1e-9), "\nc2={c2:?}\ntj={tj:?}");
+    }
+
+    #[test]
+    fn empty_result_for_absent_terms() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        assert!(comp1(&store, &index, &["nosuch"], &scorer).is_empty());
+        assert!(comp2(&store, &index, &["nosuch"], &scorer).is_empty());
+    }
+}

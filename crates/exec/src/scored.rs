@@ -1,0 +1,79 @@
+//! Shared record types flowing between access methods.
+
+use tix_store::{NodeIdx, NodeRef};
+
+/// A scored element — the unit every score-generating access method emits
+/// and every score-utilizing method consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredNode {
+    /// The element.
+    pub node: NodeRef,
+    /// Its relevance score.
+    pub score: f64,
+}
+
+impl ScoredNode {
+    /// Build from parts.
+    pub fn new(node: NodeRef, score: f64) -> Self {
+        ScoredNode { node, score }
+    }
+}
+
+/// One term occurrence retained for complex scoring (the paper's
+/// "BufferAndList" kept per stack entry under `if (!s)` in Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TermHit {
+    /// The text node containing the occurrence (within the scored node's
+    /// document).
+    pub node: NodeIdx,
+    /// Document-wide word offset of the occurrence.
+    pub offset: u32,
+    /// Which query term this hit belongs to (index into the query's term
+    /// list).
+    pub term: u16,
+}
+
+/// Sort scored nodes into document order (canonical form for differential
+/// comparisons between access methods).
+pub fn sort_by_node(mut nodes: Vec<ScoredNode>) -> Vec<ScoredNode> {
+    nodes.sort_by_key(|s| s.node);
+    nodes
+}
+
+/// Assert-style helper: true when two result sets contain the same nodes
+/// with scores equal to within `eps`.
+pub fn results_equal(a: &[ScoredNode], b: &[ScoredNode], eps: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.node == y.node && (x.score - y.score).abs() <= eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tix_store::DocId;
+
+    fn sn(doc: u32, node: u32, score: f64) -> ScoredNode {
+        ScoredNode::new(NodeRef::new(DocId(doc), NodeIdx(node)), score)
+    }
+
+    #[test]
+    fn sort_is_document_order() {
+        let sorted = sort_by_node(vec![sn(1, 0, 1.0), sn(0, 5, 2.0), sn(0, 2, 3.0)]);
+        let keys: Vec<(u32, u32)> = sorted.iter().map(|s| (s.node.doc.0, s.node.node.0)).collect();
+        assert_eq!(keys, [(0, 2), (0, 5), (1, 0)]);
+    }
+
+    #[test]
+    fn equality_with_epsilon() {
+        let a = vec![sn(0, 1, 1.0)];
+        let b = vec![sn(0, 1, 1.0 + 1e-12)];
+        assert!(results_equal(&a, &b, 1e-9));
+        let c = vec![sn(0, 1, 1.1)];
+        assert!(!results_equal(&a, &c, 1e-9));
+        let d = vec![sn(0, 2, 1.0)];
+        assert!(!results_equal(&a, &d, 1e-9));
+        assert!(!results_equal(&a, &[], 1e-9));
+    }
+}

@@ -1,0 +1,126 @@
+//! Pull-based pipelining over scored-node streams.
+//!
+//! The paper's setting is "a set-oriented, **pipelined**, database-style
+//! query evaluation engine" — operators pull records from their children
+//! one at a time. [`TermJoin`](crate::termjoin::TermJoin) is already a
+//! Rust `Iterator`; this module adds the score-utilizing stages so whole
+//! plans compose without materialization, plus explicit notes on which
+//! operators *must* block (Pick, rank-Threshold).
+
+use std::collections::VecDeque;
+
+use tix_store::Store;
+
+use crate::pick::PickParams;
+use crate::scored::ScoredNode;
+
+/// Extension adapters over any scored-node iterator.
+pub trait ScoredStreamExt: Iterator<Item = ScoredNode> + Sized {
+    /// Streaming value threshold: keep nodes scoring strictly above `min`
+    /// (non-blocking — the paper's Threshold-by-V "can be directly
+    /// expressed … as a selection on the score attribute").
+    fn min_score(self, min: f64) -> MinScoreStream<Self> {
+        MinScoreStream { inner: self, min }
+    }
+
+    /// Blocking top-k by score (rank threshold). Consumes the input on the
+    /// first `next()` — rank conditions need global knowledge (Sec. 3.3.1).
+    fn top_k(self, k: usize) -> TopKStream {
+        TopKStream { drained: crate::topk::top_k(self, k).into(), }
+    }
+
+    /// Blocking Pick: parent/child redundancy elimination (Sec. 5.3). The
+    /// input must arrive in document order. "The algorithm presented here
+    /// is blocking" — the whole input is consumed before the first output.
+    fn pick(self, store: &Store, params: PickParams) -> PickStream {
+        let input: Vec<ScoredNode> = self.collect();
+        PickStream { drained: crate::pick::pick_stream(store, &input, &params).into() }
+    }
+}
+
+impl<I: Iterator<Item = ScoredNode>> ScoredStreamExt for I {}
+
+/// See [`ScoredStreamExt::min_score`].
+pub struct MinScoreStream<I> {
+    inner: I,
+    min: f64,
+}
+
+impl<I: Iterator<Item = ScoredNode>> Iterator for MinScoreStream<I> {
+    type Item = ScoredNode;
+
+    fn next(&mut self) -> Option<ScoredNode> {
+        self.inner.by_ref().find(|s| s.score > self.min)
+    }
+}
+
+/// See [`ScoredStreamExt::top_k`].
+pub struct TopKStream {
+    drained: VecDeque<ScoredNode>,
+}
+
+impl Iterator for TopKStream {
+    type Item = ScoredNode;
+
+    fn next(&mut self) -> Option<ScoredNode> {
+        self.drained.pop_front()
+    }
+}
+
+/// See [`ScoredStreamExt::pick`].
+pub struct PickStream {
+    drained: VecDeque<ScoredNode>,
+}
+
+impl Iterator for PickStream {
+    type Item = ScoredNode;
+
+    fn next(&mut self) -> Option<ScoredNode> {
+        self.drained.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scored::sort_by_node;
+    use crate::termjoin::{SimpleScorer, TermJoin};
+    use tix_index::InvertedIndex;
+
+    #[test]
+    fn full_pipeline_composes() {
+        let mut store = Store::new();
+        store
+            .load_str(
+                "t.xml",
+                "<a><sec><p>x x x</p><p>x</p></sec><sec><p>y</p></sec></a>",
+            )
+            .unwrap();
+        let index = InvertedIndex::build(&store);
+        let scorer = SimpleScorer::uniform();
+        // TermJoin → sort to document order → Pick → min_score → top_k.
+        let scored = sort_by_node(TermJoin::new(&store, &index, &["x"], &scorer).run());
+        let results: Vec<ScoredNode> = scored
+            .into_iter()
+            .pick(&store, PickParams { relevance_threshold: 1.0, fraction: 0.5 })
+            .min_score(0.5)
+            .top_k(2)
+            .collect();
+        assert!(!results.is_empty());
+        assert!(results.len() <= 2);
+        assert!(results.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn min_score_is_lazy() {
+        let mut store = Store::new();
+        store.load_str("t.xml", "<a><p>z</p></a>").unwrap();
+        let nodes = vec![
+            ScoredNode::new(tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(0)), 1.0),
+            ScoredNode::new(tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(1)), 3.0),
+        ];
+        let mut stream = nodes.into_iter().min_score(2.0);
+        assert_eq!(stream.next().map(|s| s.score), Some(3.0));
+        assert_eq!(stream.next(), None);
+    }
+}

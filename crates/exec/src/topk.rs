@@ -1,0 +1,101 @@
+//! Threshold evaluation over scored-node streams (Sec. 5.3).
+//!
+//! Value-based thresholding is a streaming filter; rank-based (top-k)
+//! thresholding keeps a bounded min-heap, the standard technique from the
+//! top-k literature the paper cites ([8, 5]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::scored::ScoredNode;
+
+/// Min-heap wrapper ordering scored nodes by ascending score.
+struct MinByScore(ScoredNode);
+
+impl PartialEq for MinByScore {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.score == other.0.score
+    }
+}
+impl Eq for MinByScore {}
+impl PartialOrd for MinByScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MinByScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; NaN scores sort as smallest so they are
+        // evicted first.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Keep only nodes scoring strictly above `min` (the paper's value
+/// condition `V`).
+pub fn min_score<I: IntoIterator<Item = ScoredNode>>(input: I, min: f64) -> Vec<ScoredNode> {
+    input.into_iter().filter(|s| s.score > min).collect()
+}
+
+/// The `k` highest-scoring nodes, in descending score order, computed with
+/// a bounded heap (O(n log k)); ties broken by document order of arrival.
+pub fn top_k<I: IntoIterator<Item = ScoredNode>>(input: I, k: usize) -> Vec<ScoredNode> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<MinByScore> = BinaryHeap::with_capacity(k + 1);
+    for node in input {
+        heap.push(MinByScore(node));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<ScoredNode> = heap.into_iter().map(|m| m.0).collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tix_store::{DocId, NodeIdx, NodeRef};
+
+    fn sn(i: u32, score: f64) -> ScoredNode {
+        ScoredNode::new(NodeRef::new(DocId(0), NodeIdx(i)), score)
+    }
+
+    #[test]
+    fn min_score_strict() {
+        let kept = min_score(vec![sn(0, 1.0), sn(1, 2.0), sn(2, 3.0)], 2.0);
+        assert_eq!(kept, vec![sn(2, 3.0)]);
+    }
+
+    #[test]
+    fn top_k_basics() {
+        let input = vec![sn(0, 1.0), sn(1, 5.0), sn(2, 3.0), sn(3, 4.0)];
+        let top = top_k(input, 2);
+        assert_eq!(top, vec![sn(1, 5.0), sn(3, 4.0)]);
+    }
+
+    #[test]
+    fn top_k_zero_and_oversized() {
+        assert!(top_k(vec![sn(0, 1.0)], 0).is_empty());
+        assert_eq!(top_k(vec![sn(0, 1.0)], 10).len(), 1);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let input: Vec<ScoredNode> =
+            (0..100).map(|i| sn(i, ((i * 37) % 100) as f64)).collect();
+        let top = top_k(input.clone(), 10);
+        let mut sorted = input;
+        sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let expect: Vec<f64> = sorted[..10].iter().map(|s| s.score).collect();
+        let got: Vec<f64> = top.iter().map(|s| s.score).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,181 @@
+//! Differential tests: every access method must produce results identical
+//! to its baseline / reference implementation on randomized corpora. This
+//! is the correctness backbone of the reproduction — the paper's Table 1–5
+//! comparisons are only meaningful because all methods compute the same
+//! answer.
+
+use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+use tix_exec::composite::{comp1, comp2};
+use tix_exec::meet::generalized_meet;
+use tix_exec::phrase::{comp3, phrase_finder};
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::{results_equal, sort_by_node, ScoredNode};
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin, TermJoinScorer};
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+fn corpus(seed: u64, plants: PlantSpec) -> (Store, InvertedIndex) {
+    let spec = CorpusSpec { seed, ..CorpusSpec::tiny() };
+    let generator = Generator::new(spec, plants).unwrap();
+    let mut store = Store::new();
+    generator.load_into(&mut store).unwrap();
+    let index = InvertedIndex::build(&store);
+    (store, index)
+}
+
+fn assert_all_agree<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+    label: &str,
+) {
+    let tj = sort_by_node(TermJoin::new(store, index, terms, scorer).run());
+    let c1 = sort_by_node(comp1(store, index, terms, scorer));
+    let c2 = sort_by_node(comp2(store, index, terms, scorer));
+    let gm = sort_by_node(generalized_meet(store, index, terms, scorer));
+    assert!(results_equal(&tj, &c1, 1e-9), "{label}: TermJoin vs Comp1");
+    assert!(results_equal(&tj, &c2, 1e-9), "{label}: TermJoin vs Comp2");
+    assert!(results_equal(&tj, &gm, 1e-9), "{label}: TermJoin vs Meet");
+}
+
+#[test]
+fn termjoin_simple_all_methods_agree() {
+    for seed in 0..5u64 {
+        let plants = PlantSpec::default()
+            .with_term("alpha", 30)
+            .with_term("beta", 12)
+            .with_term("gamma", 3);
+        let (store, index) = corpus(seed, plants);
+        let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+        assert_all_agree(&store, &index, &["alpha", "beta"], &scorer, &format!("seed {seed}"));
+        assert_all_agree(
+            &store,
+            &index,
+            &["alpha", "beta", "gamma"],
+            &scorer,
+            &format!("seed {seed} 3-term"),
+        );
+    }
+}
+
+#[test]
+fn termjoin_complex_all_methods_agree() {
+    for seed in 100..104u64 {
+        let plants = PlantSpec::default().with_term("alpha", 25).with_term("beta", 10);
+        let (store, index) = corpus(seed, plants);
+        for mode in [ChildCountMode::Index, ChildCountMode::Navigate] {
+            let scorer = ComplexScorer::uniform(mode);
+            assert_all_agree(
+                &store,
+                &index,
+                &["alpha", "beta"],
+                &scorer,
+                &format!("seed {seed} mode {mode:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn termjoin_on_background_terms() {
+    // Background Zipf terms (uncontrolled frequencies, shared text nodes).
+    let (store, index) = corpus(7, PlantSpec::default());
+    let scorer = SimpleScorer::uniform();
+    assert_all_agree(&store, &index, &["w0", "w1"], &scorer, "background w0/w1");
+    let complex = ComplexScorer::uniform(ChildCountMode::Index);
+    assert_all_agree(&store, &index, &["w0", "w3"], &complex, "background complex");
+}
+
+#[test]
+fn termjoin_output_covers_exactly_ancestors_of_hits() {
+    let plants = PlantSpec::default().with_term("needle", 8);
+    let (store, index) = corpus(42, plants);
+    let scorer = SimpleScorer::uniform();
+    let out = sort_by_node(TermJoin::new(&store, &index, &["needle"], &scorer).run());
+    // Reference: the set of ancestors of posting text nodes.
+    let mut expected: Vec<_> = index
+        .postings("needle")
+        .iter()
+        .flat_map(|p| store.ancestors(p.node_ref()))
+        .collect();
+    expected.sort();
+    expected.dedup();
+    let got: Vec<_> = out.iter().map(|s| s.node).collect();
+    assert_eq!(got, expected);
+    // And each score equals the subtree occurrence count.
+    for s in &out {
+        let count = index.count_in_subtree(&store, "needle", s.node);
+        assert!((s.score - count as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn phrase_finder_agrees_with_comp3_on_planted_phrases() {
+    for seed in 0..5u64 {
+        let plants = PlantSpec::default()
+            .with_phrase("srch", "engn", 12, 20)
+            .with_term("srch", 15)
+            .with_term("engn", 9);
+        let (store, index) = corpus(seed, plants);
+        let pf = sort_by_node(phrase_finder(&store, &index, &["srch", "engn"]));
+        let c3 = sort_by_node(comp3(&store, &index, &["srch", "engn"]));
+        assert!(results_equal(&pf, &c3, 1e-12), "seed {seed}\npf={pf:?}\nc3={c3:?}");
+        // Every planted adjacency is found.
+        let total: f64 = pf.iter().map(|s| s.score).sum();
+        assert!(total >= 12.0, "seed {seed}: found {total}");
+    }
+}
+
+#[test]
+fn phrase_finder_agrees_on_background_bigrams() {
+    // High-frequency background words form accidental bigrams — a much
+    // nastier case than planted phrases.
+    let (store, index) = corpus(3, PlantSpec::default());
+    for pair in [["w0", "w1"], ["w1", "w0"], ["w0", "w0"], ["w2", "w5"]] {
+        let pf = sort_by_node(phrase_finder(&store, &index, &[pair[0], pair[1]]));
+        let c3 = sort_by_node(comp3(&store, &index, &[pair[0], pair[1]]));
+        assert!(results_equal(&pf, &c3, 1e-12), "{pair:?}\npf={pf:?}\nc3={c3:?}");
+    }
+}
+
+#[test]
+fn stack_pick_agrees_with_reference_pick() {
+    use tix_core::ops::{FractionPick, PickCriterion};
+    use tix_core::pattern::PatternNodeId;
+    use tix_core::ScoredTree;
+
+    for seed in 0..6u64 {
+        let plants = PlantSpec::default().with_term("alpha", 40).with_term("beta", 15);
+        let (store, index) = corpus(seed, plants);
+        // Produce a realistic scored stream via TermJoin.
+        let scorer = SimpleScorer::new(vec![1.0, 0.7]);
+        let scored = sort_by_node(TermJoin::new(&store, &index, &["alpha", "beta"], &scorer).run());
+
+        // Stack-based access method.
+        let picked_fast = pick_stream(&store, &scored, &PickParams::paper());
+
+        // Reference: build a ScoredTree and use the algebra's picked set.
+        let var = PatternNodeId(4);
+        let tree = ScoredTree::from_stored(
+            &store,
+            scored.iter().map(|s| (s.node, Some(s.score), vec![var])).collect(),
+        );
+        let criterion = FractionPick::paper();
+        let picked_ref = tix_core::ops::picked_entries(&tree, var, &criterion);
+        let expected: Vec<ScoredNode> = tree
+            .entries()
+            .iter()
+            .zip(&picked_ref)
+            .filter(|(_, &p)| p)
+            .map(|(e, _)| {
+                ScoredNode::new(e.source.stored().unwrap(), e.score.unwrap())
+            })
+            .collect();
+        assert!(
+            results_equal(&picked_fast, &expected, 1e-12),
+            "seed {seed}\nfast={picked_fast:?}\nref={expected:?}"
+        );
+        let _ = &criterion as &dyn PickCriterion;
+    }
+}

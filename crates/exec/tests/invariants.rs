@@ -1,0 +1,72 @@
+//! Property tests on operator invariants that differential tests don't
+//! cover: score-modifying algebra laws and stream-adapter semantics.
+
+use proptest::prelude::*;
+use tix_exec::modify::{scored_union, Combine};
+use tix_exec::scored::ScoredNode;
+use tix_exec::topk;
+use tix_store::{DocId, NodeIdx, NodeRef};
+
+fn scored_set() -> impl Strategy<Value = Vec<ScoredNode>> {
+    prop::collection::btree_map(0u32..40, 0u32..100, 0..12).prop_map(|m| {
+        m.into_iter()
+            .map(|(node, score)| {
+                ScoredNode::new(NodeRef::new(DocId(0), NodeIdx(node)), score as f64 / 4.0)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Union with equal weights and WeightedSum is commutative.
+    #[test]
+    fn union_commutative(a in scored_set(), b in scored_set()) {
+        let ab = scored_union(&a, &b, 1.0, 1.0, Combine::WeightedSum);
+        let ba = scored_union(&b, &a, 1.0, 1.0, Combine::WeightedSum);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Union against the empty set with weight 1 is the identity.
+    #[test]
+    fn union_identity(a in scored_set()) {
+        let u = scored_union(&a, &[], 1.0, 1.0, Combine::WeightedSum);
+        prop_assert_eq!(u, a);
+    }
+
+    /// The union's node set is exactly the set union of the inputs, in
+    /// document order.
+    #[test]
+    fn union_covers_both(a in scored_set(), b in scored_set()) {
+        let u = scored_union(&a, &b, 1.0, 1.0, Combine::Max);
+        let mut expected: Vec<NodeRef> =
+            a.iter().chain(&b).map(|s| s.node).collect();
+        expected.sort();
+        expected.dedup();
+        let got: Vec<NodeRef> = u.iter().map(|s| s.node).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// top_k returns the k highest scores of the input, descending.
+    #[test]
+    fn top_k_is_sorted_prefix(a in scored_set(), k in 0usize..16) {
+        let top = topk::top_k(a.clone(), k);
+        prop_assert!(top.len() <= k.min(a.len()).max(0));
+        prop_assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
+        // No input element outscores the worst member of a full top-k.
+        if top.len() == k && k > 0 {
+            let cutoff = top.last().unwrap().score;
+            let better = a.iter().filter(|s| s.score > cutoff).count();
+            prop_assert!(better <= k);
+        }
+    }
+
+    /// min_score is exactly a filter.
+    #[test]
+    fn min_score_is_filter(a in scored_set(), min in 0u32..100) {
+        let min = min as f64 / 4.0;
+        let kept = topk::min_score(a.clone(), min);
+        let expected: Vec<ScoredNode> =
+            a.into_iter().filter(|s| s.score > min).collect();
+        prop_assert_eq!(kept, expected);
+    }
+}

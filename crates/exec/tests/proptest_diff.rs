@@ -1,0 +1,104 @@
+//! Property-based differential tests on *arbitrary* XML shapes (deep
+//! nesting, mixed content, repeated terms in one text node) — corpus-shaped
+//! trees are regular; these are not.
+
+use proptest::prelude::*;
+use tix_exec::composite::{comp1, comp2};
+use tix_exec::meet::generalized_meet;
+use tix_exec::phrase::{comp3, phrase_finder};
+use tix_exec::scored::{results_equal, sort_by_node};
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+/// Tiny term alphabet so collisions and repetitions are frequent.
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![Just("qq"), Just("zz"), Just("kk"), Just("pad")],
+        1..6,
+    )
+    .prop_map(|words| words.join(" "))
+}
+
+fn subtree(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        text_strategy().boxed()
+    } else {
+        prop::collection::vec(
+            prop_oneof![
+                text_strategy(),
+                ("[a-d]", subtree(depth - 1))
+                    .prop_map(|(tag, inner)| format!("<{tag}>{inner}</{tag}>")),
+            ],
+            0..4,
+        )
+        .prop_map(|parts| parts.concat())
+        .boxed()
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    subtree(4).prop_map(|inner| format!("<root>{inner}</root>"))
+}
+
+fn load(xmls: &[String]) -> (Store, InvertedIndex) {
+    let mut store = Store::new();
+    for (i, xml) in xmls.iter().enumerate() {
+        store.load_str(&format!("d{i}.xml"), xml).unwrap();
+    }
+    let index = InvertedIndex::build(&store);
+    (store, index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_termjoin_methods_agree_simple(docs in prop::collection::vec(doc_strategy(), 1..3)) {
+        let (store, index) = load(&docs);
+        let scorer = SimpleScorer::new(vec![0.8, 0.6]);
+        let terms = ["qq", "zz"];
+        let tj = sort_by_node(TermJoin::new(&store, &index, &terms, &scorer).run());
+        let c1 = sort_by_node(comp1(&store, &index, &terms, &scorer));
+        let c2 = sort_by_node(comp2(&store, &index, &terms, &scorer));
+        let gm = sort_by_node(generalized_meet(&store, &index, &terms, &scorer));
+        prop_assert!(results_equal(&tj, &c1, 1e-9), "Comp1\ntj={tj:?}\nc1={c1:?}");
+        prop_assert!(results_equal(&tj, &c2, 1e-9), "Comp2\ntj={tj:?}\nc2={c2:?}");
+        prop_assert!(results_equal(&tj, &gm, 1e-9), "Meet\ntj={tj:?}\ngm={gm:?}");
+    }
+
+    #[test]
+    fn all_termjoin_methods_agree_complex(docs in prop::collection::vec(doc_strategy(), 1..3)) {
+        let (store, index) = load(&docs);
+        let terms = ["qq", "zz", "kk"];
+        for mode in [ChildCountMode::Index, ChildCountMode::Navigate] {
+            let scorer = ComplexScorer::uniform(mode);
+            let tj = sort_by_node(TermJoin::new(&store, &index, &terms, &scorer).run());
+            let c1 = sort_by_node(comp1(&store, &index, &terms, &scorer));
+            let gm = sort_by_node(generalized_meet(&store, &index, &terms, &scorer));
+            prop_assert!(results_equal(&tj, &c1, 1e-9), "{mode:?}\ntj={tj:?}\nc1={c1:?}");
+            prop_assert!(results_equal(&tj, &gm, 1e-9), "{mode:?}\ntj={tj:?}\ngm={gm:?}");
+        }
+    }
+
+    #[test]
+    fn phrase_methods_agree(docs in prop::collection::vec(doc_strategy(), 1..3)) {
+        let (store, index) = load(&docs);
+        for pair in [["qq", "zz"], ["qq", "qq"], ["zz", "kk"]] {
+            let pf = sort_by_node(phrase_finder(&store, &index, &pair.to_vec()));
+            let c3 = sort_by_node(comp3(&store, &index, &pair.to_vec()));
+            prop_assert!(results_equal(&pf, &c3, 1e-12), "{pair:?}\npf={pf:?}\nc3={c3:?}");
+        }
+    }
+
+    #[test]
+    fn termjoin_scores_match_subtree_counts(docs in prop::collection::vec(doc_strategy(), 1..3)) {
+        let (store, index) = load(&docs);
+        let scorer = SimpleScorer::uniform();
+        let out = TermJoin::new(&store, &index, &["qq"], &scorer).run();
+        for s in &out {
+            let count = index.count_in_subtree(&store, "qq", s.node) as f64;
+            prop_assert!((s.score - count).abs() < 1e-9, "{} vs {}", s.score, count);
+        }
+    }
+}

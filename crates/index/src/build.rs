@@ -1,0 +1,253 @@
+//! Index construction and lookup.
+
+use std::collections::HashMap;
+
+use tix_store::{DocId, NodeIdx, NodeKind, NodeRef, Store};
+
+use crate::postings::{Posting, PostingList, TermId, TermStats};
+use crate::tokenize::tokenize;
+
+/// A positional inverted index over every text node in a [`Store`].
+///
+/// Built once after loading; the store is immutable afterwards (the paper's
+/// experiments are all read-only over a loaded INEX corpus).
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    dictionary: HashMap<String, TermId>,
+    term_names: Vec<String>,
+    lists: Vec<PostingList>,
+    /// Total tokens indexed (collection length, for scoring normalization).
+    total_tokens: u64,
+}
+
+impl InvertedIndex {
+    /// Index every text node of every document in `store`.
+    ///
+    /// Word offsets restart at 0 for each document and increase across
+    /// text-node boundaries in document order.
+    pub fn build(store: &Store) -> Self {
+        let mut index = InvertedIndex::default();
+        for doc_id in store.doc_ids() {
+            index.index_document(store, doc_id);
+        }
+        index
+    }
+
+    fn index_document(&mut self, store: &Store, doc_id: DocId) {
+        let doc = store.doc(doc_id);
+        let mut offset = 0u32;
+        for i in 0..doc.len() as u32 {
+            let idx = NodeIdx(i);
+            if doc.node(idx).kind() != NodeKind::Text {
+                continue;
+            }
+            for token in tokenize(doc.text(idx)) {
+                let term_id = self.intern(&token.term);
+                self.lists[term_id.0 as usize].push(Posting { doc: doc_id, node: idx, offset });
+                offset += 1;
+                self.total_tokens += 1;
+            }
+        }
+    }
+
+    /// Register a fully-built posting list under `term` (snapshot loading).
+    pub(crate) fn insert_list(&mut self, term: String, list: PostingList) {
+        let id = TermId(self.term_names.len() as u32);
+        self.dictionary.insert(term.clone(), id);
+        self.term_names.push(term);
+        self.lists.push(list);
+    }
+
+    /// Restore the collection-length counter (snapshot loading).
+    pub(crate) fn set_total_tokens(&mut self, total: u64) {
+        self.total_tokens = total;
+    }
+
+    fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.dictionary.get(term) {
+            return id;
+        }
+        let id = TermId(self.term_names.len() as u32);
+        self.term_names.push(term.to_string());
+        self.dictionary.insert(term.to_string(), id);
+        self.lists.push(PostingList::default());
+        id
+    }
+
+    /// The dictionary id for `term` (case-sensitive on the normalized,
+    /// i.e. lowercased, form).
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dictionary.get(term).copied()
+    }
+
+    /// Resolve a term id back to its string.
+    pub fn term_str(&self, id: TermId) -> &str {
+        &self.term_names[id.0 as usize]
+    }
+
+    /// Posting list for `term`; empty slice if the term never occurs.
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.list(term).map(PostingList::postings).unwrap_or(&[])
+    }
+
+    /// The full posting-list structure for `term`.
+    pub fn list(&self, term: &str) -> Option<&PostingList> {
+        self.term_id(term).map(|id| &self.lists[id.0 as usize])
+    }
+
+    /// Posting list by id.
+    pub fn list_by_id(&self, id: TermId) -> &PostingList {
+        &self.lists[id.0 as usize]
+    }
+
+    /// Total occurrences of `term` in the collection — the "term frequency"
+    /// axis of the paper's Tables 1–4.
+    pub fn collection_frequency(&self, term: &str) -> usize {
+        self.list(term).map(PostingList::collection_frequency).unwrap_or(0)
+    }
+
+    /// Number of distinct documents containing `term`.
+    pub fn doc_frequency(&self, term: &str) -> u32 {
+        self.list(term).map(PostingList::doc_frequency).unwrap_or(0)
+    }
+
+    /// Inverse document frequency with add-one smoothing:
+    /// `ln((1 + N) / (1 + df))`.
+    pub fn idf(&self, term: &str, total_docs: usize) -> f64 {
+        let df = self.doc_frequency(term) as f64;
+        ((1.0 + total_docs as f64) / (1.0 + df)).ln()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.term_names.len()
+    }
+
+    /// Total tokens indexed across the collection.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Statistics for every term (workload tooling).
+    pub fn term_stats(&self) -> impl Iterator<Item = TermStats> + '_ {
+        self.term_names.iter().zip(&self.lists).map(|(term, list)| TermStats {
+            term: term.clone(),
+            collection_frequency: list.collection_frequency(),
+            doc_frequency: list.doc_frequency(),
+            node_frequency: list.node_frequency(),
+        })
+    }
+
+    /// Find terms whose collection frequency falls within
+    /// `[target - tolerance, target + tolerance]`, sorted by distance from
+    /// the target. Used by the benchmark harness to select query terms the
+    /// way the paper did ("we kept selecting different pairs of terms ...
+    /// with increasing term frequency").
+    pub fn terms_with_frequency_near(&self, target: usize, tolerance: usize) -> Vec<TermStats> {
+        let mut out: Vec<TermStats> = self
+            .term_stats()
+            .filter(|s| s.collection_frequency.abs_diff(target) <= tolerance)
+            .collect();
+        out.sort_by_key(|s| (s.collection_frequency.abs_diff(target), s.term.clone()));
+        out
+    }
+
+    /// Count occurrences of `term` within the subtree rooted at `node` by
+    /// binary-searching the posting list on the region encoding. This is the
+    /// `count(term, $a/alltext())` primitive of the paper's `ScoreFoo`
+    /// (Fig. 9), evaluated from the index rather than by re-tokenizing.
+    pub fn count_in_subtree(&self, store: &Store, term: &str, node: NodeRef) -> usize {
+        let postings = self.postings(term);
+        let end = store.end_key(node);
+        let lo = postings.partition_point(|p| (p.doc, p.node) < (node.doc, node.node));
+        let hi = postings.partition_point(|p| (p.doc, p.node) <= (node.doc, end));
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tix_store::Store;
+
+    fn indexed(xml: &str) -> (Store, InvertedIndex) {
+        let mut store = Store::new();
+        store.load_str("t.xml", xml).unwrap();
+        let index = InvertedIndex::build(&store);
+        (store, index)
+    }
+
+    #[test]
+    fn frequencies() {
+        let (_, index) = indexed("<a><p>x y x</p><p>x</p></a>");
+        assert_eq!(index.collection_frequency("x"), 3);
+        assert_eq!(index.collection_frequency("y"), 1);
+        assert_eq!(index.collection_frequency("z"), 0);
+        assert_eq!(index.term_count(), 2);
+        assert_eq!(index.total_tokens(), 4);
+    }
+
+    #[test]
+    fn offsets_document_wide() {
+        let (_, index) = indexed("<a><p>one two</p><p>three</p></a>");
+        assert_eq!(index.postings("one")[0].offset, 0);
+        assert_eq!(index.postings("two")[0].offset, 1);
+        assert_eq!(index.postings("three")[0].offset, 2);
+    }
+
+    #[test]
+    fn offsets_restart_per_document() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a>alpha</a>").unwrap();
+        store.load_str("b.xml", "<a>beta</a>").unwrap();
+        let index = InvertedIndex::build(&store);
+        assert_eq!(index.postings("alpha")[0].offset, 0);
+        assert_eq!(index.postings("beta")[0].offset, 0);
+    }
+
+    #[test]
+    fn postings_in_document_order() {
+        let (_, index) = indexed("<a><p>w</p><q><r>w</r></q><p>w</p></a>");
+        let nodes: Vec<u32> = index.postings("w").iter().map(|p| p.node.as_u32()).collect();
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn case_normalization() {
+        let (_, index) = indexed("<a>Search SEARCH search</a>");
+        assert_eq!(index.collection_frequency("search"), 3);
+        assert_eq!(index.collection_frequency("Search"), 0); // lookup is normalized form
+    }
+
+    #[test]
+    fn doc_frequency_and_idf() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a>common rare</a>").unwrap();
+        store.load_str("b.xml", "<a>common</a>").unwrap();
+        let index = InvertedIndex::build(&store);
+        assert_eq!(index.doc_frequency("common"), 2);
+        assert_eq!(index.doc_frequency("rare"), 1);
+        assert!(index.idf("rare", 2) > index.idf("common", 2));
+    }
+
+    #[test]
+    fn count_in_subtree_via_region() {
+        // a=0 [p=1 t=2] [q=3 [r=4 t=5] t=6]
+        let (store, index) = indexed("<a><p>w</p><q><r>w w</r>w</q></a>");
+        let a = NodeRef::new(DocId(0), NodeIdx(0));
+        let q = NodeRef::new(DocId(0), NodeIdx(3));
+        let p = NodeRef::new(DocId(0), NodeIdx(1));
+        assert_eq!(index.count_in_subtree(&store, "w", a), 4);
+        assert_eq!(index.count_in_subtree(&store, "w", q), 3);
+        assert_eq!(index.count_in_subtree(&store, "w", p), 1);
+        assert_eq!(index.count_in_subtree(&store, "missing", a), 0);
+    }
+
+    #[test]
+    fn terms_with_frequency_near() {
+        let (_, index) = indexed("<a><p>x x x x</p><p>y y</p><p>z</p></a>");
+        let near2 = index.terms_with_frequency_near(2, 1);
+        let names: Vec<_> = near2.iter().map(|s| s.term.as_str()).collect();
+        assert_eq!(names, ["y", "z"]); // y exact (dist 0), z dist 1
+    }
+}

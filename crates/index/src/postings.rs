@@ -1,0 +1,147 @@
+//! Posting lists and per-term statistics.
+
+use tix_store::{DocId, NodeIdx, NodeRef};
+
+/// Identifies a term in the index's dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// One occurrence of a term.
+///
+/// Postings are ordered by `(doc, node, offset)` — global document order —
+/// which is what the single-merge-pass algorithms require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Posting {
+    /// Document of the occurrence.
+    pub doc: DocId,
+    /// The **text node** containing the occurrence.
+    pub node: NodeIdx,
+    /// Document-wide word offset of the occurrence (0-based; increments
+    /// across text-node boundaries, so adjacency within a node is
+    /// `offset` difference 1).
+    pub offset: u32,
+}
+
+impl Posting {
+    /// The occurrence's text node as a store-wide reference.
+    pub fn node_ref(&self) -> NodeRef {
+        NodeRef::new(self.doc, self.node)
+    }
+}
+
+/// The occurrences of one term, in global document order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    pub(crate) postings: Vec<Posting>,
+    /// Number of distinct documents containing the term.
+    pub(crate) doc_frequency: u32,
+    /// Number of distinct text nodes containing the term.
+    pub(crate) node_frequency: u32,
+}
+
+impl PostingList {
+    /// All postings, ordered by `(doc, node, offset)`.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Total occurrences in the collection (collection frequency; this is
+    /// the "term frequency" axis of the paper's Tables 1–4).
+    pub fn collection_frequency(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of distinct documents containing the term.
+    pub fn doc_frequency(&self) -> u32 {
+        self.doc_frequency
+    }
+
+    /// Number of distinct text nodes containing the term.
+    pub fn node_frequency(&self) -> u32 {
+        self.node_frequency
+    }
+
+    /// True when the term never occurs.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Reassemble a list from deserialized parts (snapshot loading). The
+    /// caller guarantees document order.
+    pub(crate) fn from_parts(
+        postings: Vec<Posting>,
+        doc_frequency: u32,
+        node_frequency: u32,
+    ) -> Self {
+        PostingList { postings, doc_frequency, node_frequency }
+    }
+
+    pub(crate) fn push(&mut self, posting: Posting) {
+        debug_assert!(
+            self.postings.last().map_or(true, |last| *last < posting),
+            "postings must arrive in document order"
+        );
+        match self.postings.last() {
+            Some(last) if last.doc == posting.doc => {
+                if last.node != posting.node {
+                    self.node_frequency += 1;
+                }
+            }
+            _ => {
+                self.doc_frequency += 1;
+                self.node_frequency += 1;
+            }
+        }
+        self.postings.push(posting);
+    }
+}
+
+/// A snapshot of one term's statistics, for workload tooling and tf·idf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermStats {
+    /// The term.
+    pub term: String,
+    /// Total occurrences in the collection.
+    pub collection_frequency: usize,
+    /// Distinct documents containing the term.
+    pub doc_frequency: u32,
+    /// Distinct text nodes containing the term.
+    pub node_frequency: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(doc: u32, node: u32, offset: u32) -> Posting {
+        Posting { doc: DocId(doc), node: NodeIdx(node), offset }
+    }
+
+    #[test]
+    fn frequencies_tracked() {
+        let mut list = PostingList::default();
+        list.push(p(0, 1, 0));
+        list.push(p(0, 1, 5)); // same node
+        list.push(p(0, 3, 9)); // new node, same doc
+        list.push(p(1, 0, 0)); // new doc
+        assert_eq!(list.collection_frequency(), 4);
+        assert_eq!(list.doc_frequency(), 2);
+        assert_eq!(list.node_frequency(), 3);
+    }
+
+    #[test]
+    fn posting_order_is_document_order() {
+        assert!(p(0, 5, 9) < p(1, 0, 0));
+        assert!(p(0, 5, 1) < p(0, 5, 2));
+        assert!(p(0, 4, 9) < p(0, 5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "document order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_asserts() {
+        let mut list = PostingList::default();
+        list.push(p(0, 5, 0));
+        list.push(p(0, 1, 0));
+    }
+}

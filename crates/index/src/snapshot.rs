@@ -1,0 +1,204 @@
+//! Binary persistence for the inverted index.
+//!
+//! Rebuilding the index re-tokenizes the entire collection; for a corpus
+//! in the paper's 500 MB class that is far more expensive than reading the
+//! posting lists back. The format mirrors the store snapshot's style:
+//!
+//! ```text
+//! magic "TIXIDX" + version u8
+//! total_tokens u64
+//! term count u32, then per term:
+//!     name          : u32 len, bytes
+//!     doc_frequency : u32
+//!     node_frequency: u32
+//!     postings      : u32 count, then (doc u32, node u32, offset u32)*
+//! ```
+
+use std::io::{self, Read, Write};
+
+use tix_store::{DocId, NodeIdx};
+
+use crate::build::InvertedIndex;
+use crate::postings::{Posting, PostingList};
+
+const MAGIC: &[u8; 6] = b"TIXIDX";
+const VERSION: u8 = 1;
+
+/// Errors raised while reading an index snapshot.
+#[derive(Debug)]
+pub enum IndexSnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an index snapshot.
+    BadMagic,
+    /// Unsupported version byte.
+    UnsupportedVersion(u8),
+    /// Structural corruption.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IndexSnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexSnapshotError::Io(e) => write!(f, "index snapshot I/O error: {e}"),
+            IndexSnapshotError::BadMagic => write!(f, "not a TIX index snapshot"),
+            IndexSnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported index snapshot version {v}")
+            }
+            IndexSnapshotError::Corrupt(what) => write!(f, "corrupt index snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexSnapshotError {}
+
+impl From<io::Error> for IndexSnapshotError {
+    fn from(e: io::Error) -> Self {
+        IndexSnapshotError::Io(e)
+    }
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+impl InvertedIndex {
+    /// Serialize the index into `w`.
+    pub fn save_snapshot(&self, mut w: impl Write) -> io::Result<()> {
+        let w = &mut w;
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        w.write_all(&self.total_tokens().to_le_bytes())?;
+        w_u32(w, self.term_count() as u32)?;
+        for id in 0..self.term_count() as u32 {
+            let term_id = crate::postings::TermId(id);
+            let name = self.term_str(term_id);
+            w_u32(w, name.len() as u32)?;
+            w.write_all(name.as_bytes())?;
+            let list = self.list_by_id(term_id);
+            w_u32(w, list.doc_frequency())?;
+            w_u32(w, list.node_frequency())?;
+            w_u32(w, list.postings().len() as u32)?;
+            for p in list.postings() {
+                w_u32(w, p.doc.0)?;
+                w_u32(w, p.node.as_u32())?;
+                w_u32(w, p.offset)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load an index written by [`InvertedIndex::save_snapshot`].
+    pub fn load_snapshot(mut r: impl Read) -> Result<InvertedIndex, IndexSnapshotError> {
+        let r = &mut r;
+        let mut magic = [0u8; 6];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(IndexSnapshotError::BadMagic);
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(IndexSnapshotError::UnsupportedVersion(version[0]));
+        }
+        let mut total = [0u8; 8];
+        r.read_exact(&mut total)?;
+        let total_tokens = u64::from_le_bytes(total);
+        let term_count = r_u32(r)? as usize;
+        let mut index = InvertedIndex::default();
+        for _ in 0..term_count {
+            let name_len = r_u32(r)? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| IndexSnapshotError::Corrupt("non-UTF-8 term"))?;
+            let doc_frequency = r_u32(r)?;
+            let node_frequency = r_u32(r)?;
+            let posting_count = r_u32(r)? as usize;
+            let mut postings = Vec::with_capacity(posting_count);
+            let mut last: Option<Posting> = None;
+            for _ in 0..posting_count {
+                let posting = Posting {
+                    doc: DocId(r_u32(r)?),
+                    node: NodeIdx(r_u32(r)?),
+                    offset: r_u32(r)?,
+                };
+                if let Some(prev) = last {
+                    if prev >= posting {
+                        return Err(IndexSnapshotError::Corrupt("postings out of order"));
+                    }
+                }
+                last = Some(posting);
+                postings.push(posting);
+            }
+            let list = PostingList::from_parts(postings, doc_frequency, node_frequency);
+            index.insert_list(name, list);
+        }
+        index.set_total_tokens(total_tokens);
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tix_store::Store;
+
+    fn sample_index() -> InvertedIndex {
+        let mut store = Store::new();
+        store
+            .load_str("a.xml", "<a><p>alpha beta alpha</p><p>gamma</p></a>")
+            .unwrap();
+        store.load_str("b.xml", "<a><p>beta</p></a>").unwrap();
+        InvertedIndex::build(&store)
+    }
+
+    fn roundtrip(index: &InvertedIndex) -> InvertedIndex {
+        let mut buf = Vec::new();
+        index.save_snapshot(&mut buf).unwrap();
+        InvertedIndex::load_snapshot(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_postings_and_stats() {
+        let index = sample_index();
+        let loaded = roundtrip(&index);
+        assert_eq!(index.term_count(), loaded.term_count());
+        assert_eq!(index.total_tokens(), loaded.total_tokens());
+        for term in ["alpha", "beta", "gamma"] {
+            assert_eq!(index.postings(term), loaded.postings(term), "{term}");
+            assert_eq!(index.doc_frequency(term), loaded.doc_frequency(term), "{term}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            InvertedIndex::load_snapshot(&b"GARBAGE!"[..]),
+            Err(IndexSnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        index.save_snapshot(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(InvertedIndex::load_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let index = InvertedIndex::default();
+        let loaded = roundtrip(&index);
+        assert_eq!(loaded.term_count(), 0);
+        assert_eq!(loaded.total_tokens(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Word tokenization.
+//!
+//! The tokenizer is deliberately simple and deterministic — lowercased
+//! alphanumeric runs — because the experiments depend on *exact* control of
+//! term frequencies, not on linguistic niceties. Stemming and stopwording
+//! are orthogonal to everything the paper measures.
+
+/// A token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The normalized (lowercased) term.
+    pub term: String,
+    /// Byte offset of the token's first character in the input.
+    pub byte_offset: usize,
+}
+
+/// Split `text` into lowercase alphanumeric tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is
+/// a separator. `don't` tokenizes as `don`, `t` — crude but consistent with
+/// classic IR tokenizers and, crucially, reversible by the corpus generator.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            tokens.push(Token { term: text[s..i].to_lowercase(), byte_offset: s });
+        }
+    }
+    if let Some(s) = start {
+        tokens.push(Token { term: text[s..].to_lowercase(), byte_offset: s });
+    }
+    tokens
+}
+
+/// Tokenize and return only the terms (convenience for tests and scorers).
+pub fn terms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.term).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split() {
+        assert_eq!(terms("search engine"), ["search", "engine"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(terms("IR-based, search!"), ["ir", "based", "search"]);
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(terms("v2 engine 42"), ["v2", "engine", "42"]);
+    }
+
+    #[test]
+    fn lowercased() {
+        assert_eq!(terms("Search ENGINE"), ["search", "engine"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(terms("").is_empty());
+        assert!(terms("  \t\n .,;").is_empty());
+    }
+
+    #[test]
+    fn byte_offsets() {
+        let tokens = tokenize("ab  cd");
+        assert_eq!(tokens[0].byte_offset, 0);
+        assert_eq!(tokens[1].byte_offset, 4);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(terms("héllo wörld"), ["héllo", "wörld"]);
+    }
+}

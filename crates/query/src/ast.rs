@@ -1,0 +1,228 @@
+//! Abstract syntax of the extended-XQuery dialect.
+
+/// A step in a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `//tag` — descendant element with this tag.
+    Descendant(String),
+    /// `/tag` — child element with this tag.
+    Child(String),
+    /// `/descendant-or-self::*` — the `ad*` unit-of-retrieval step.
+    DescendantOrSelfAny,
+    /// `[/a/b/text() = "v"]` — structural predicate on the preceding step:
+    /// a child chain whose text content equals the value.
+    Predicate {
+        /// Tags along the predicate's child chain.
+        path: Vec<String>,
+        /// Required text content.
+        equals: String,
+    },
+    /// `[@name = "v"]` — attribute predicate on the preceding step.
+    AttrPredicate {
+        /// Attribute name.
+        name: String,
+        /// Required attribute value.
+        equals: String,
+    },
+}
+
+/// A rooted path: `document("name.xml") step*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// The document name given to `document(...)`.
+    pub document: String,
+    /// The steps after the document node.
+    pub steps: Vec<Step>,
+}
+
+/// `For $var in path`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForClause {
+    /// The bound variable (without the `$`).
+    pub var: String,
+    /// Its binding path.
+    pub path: PathExpr,
+}
+
+/// A `Score` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreClause {
+    /// `Score $var using ScoreFoo($var, {primary…}, {secondary…})`.
+    Foo {
+        /// The scored variable.
+        var: String,
+        /// Primary phrases (weight 0.8).
+        primary: Vec<String>,
+        /// Secondary phrases (weight 0.6).
+        secondary: Vec<String>,
+    },
+    /// `Score $out using ScoreSim($left/tag, $right/tag)` — a scored join
+    /// condition between two `For` sources.
+    Sim {
+        /// Variable receiving the join score.
+        out: String,
+        /// Left source variable.
+        left_var: String,
+        /// Child tag of the left variable compared.
+        left_child: String,
+        /// Right source variable.
+        right_var: String,
+        /// Child tag of the right variable compared.
+        right_child: String,
+    },
+    /// `Score $out using ScoreBar($join, $scored)` — combine a join score
+    /// with an IR score (the output tree's root score).
+    Bar {
+        /// Variable receiving the combined score.
+        out: String,
+        /// The join-score variable.
+        join: String,
+        /// The IR-scored variable.
+        scored: String,
+    },
+}
+
+/// `Pick $var using PickFoo($var[, threshold, fraction])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PickClause {
+    /// The picked variable.
+    pub var: String,
+    /// Relevance threshold (default 0.8, the paper's value).
+    pub threshold: f64,
+    /// Required relevant-children fraction (default 0.5).
+    pub fraction: f64,
+}
+
+/// `Threshold $var/@score > value [stop after k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdClause {
+    /// The thresholded variable.
+    pub var: String,
+    /// Exclusive minimum score.
+    pub min_score: f64,
+    /// Optional result-count cap.
+    pub stop_after: Option<usize>,
+}
+
+/// A complete query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    /// The `For` clauses, in order (two or more form a product/join).
+    pub fors: Vec<ForClause>,
+    /// The `Score` clauses, in order.
+    pub scores: Vec<ScoreClause>,
+    /// The `Pick` clauses.
+    pub picks: Vec<PickClause>,
+    /// `Return $var` — which variable's bindings become result items
+    /// (defaults to the first `For` variable).
+    pub ret: Option<String>,
+    /// `Sortby(score)`.
+    pub sortby_score: bool,
+    /// The `Threshold` clause.
+    pub threshold: Option<ThresholdClause>,
+}
+
+impl Query {
+    /// The variable whose bindings are returned.
+    pub fn return_var(&self) -> Option<&str> {
+        self.ret
+            .as_deref()
+            .or_else(|| self.fors.first().map(|f| f.var.as_str()))
+    }
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Descendant(tag) => write!(f, "//{tag}"),
+            Step::Child(tag) => write!(f, "/{tag}"),
+            Step::DescendantOrSelfAny => write!(f, "/descendant-or-self::*"),
+            Step::Predicate { path, equals } => {
+                write!(f, "[")?;
+                for tag in path {
+                    write!(f, "/{tag}")?;
+                }
+                write!(f, "/text()=\"{equals}\"]")
+            }
+            Step::AttrPredicate { name, equals } => {
+                write!(f, "[@{name}=\"{equals}\"]")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "document(\"{}\")", self.document)?;
+        for step in &self.steps {
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_phrases(f: &mut std::fmt::Formatter<'_>, phrases: &[String]) -> std::fmt::Result {
+    write!(f, "{{")?;
+    for (i, p) in phrases.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "\"{p}\"")?;
+    }
+    write!(f, "}}")
+}
+
+impl std::fmt::Display for ScoreClause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreClause::Foo { var, primary, secondary } => {
+                write!(f, "Score ${var} using ScoreFoo(${var}, ")?;
+                fmt_phrases(f, primary)?;
+                write!(f, ", ")?;
+                fmt_phrases(f, secondary)?;
+                write!(f, ")")
+            }
+            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => write!(
+                f,
+                "Score ${out} using ScoreSim(${left_var}/{left_child}, ${right_var}/{right_child})"
+            ),
+            ScoreClause::Bar { out, join, scored } => {
+                write!(f, "Score ${out} using ScoreBar(${join}, ${scored})")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    /// Canonical dialect text: `parse(query.to_string())` reproduces the
+    /// AST (property-tested in `tests/roundtrip.rs`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fc in &self.fors {
+            writeln!(f, "For ${} in {}", fc.var, fc.path)?;
+        }
+        for sc in &self.scores {
+            writeln!(f, "{sc}")?;
+        }
+        for pc in &self.picks {
+            writeln!(
+                f,
+                "Pick ${} using PickFoo(${}, {}, {})",
+                pc.var, pc.var, pc.threshold, pc.fraction
+            )?;
+        }
+        if let Some(ret) = &self.ret {
+            writeln!(f, "Return ${ret}")?;
+        }
+        if self.sortby_score {
+            writeln!(f, "Sortby(score)")?;
+        }
+        if let Some(t) = &self.threshold {
+            write!(f, "Threshold ${}/@score > {}", t.var, t.min_score)?;
+            if let Some(k) = t.stop_after {
+                write!(f, " stop after {k}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}

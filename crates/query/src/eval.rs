@@ -1,0 +1,551 @@
+//! Compile the AST onto the TIX algebra and evaluate it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tix_core::ops;
+use tix_core::pattern::{Agg, EdgeKind, PatternNodeId, PatternTree, Predicate, ScoreInput, ScoreRule};
+use tix_core::scoring::paper::{score_bar_combiner, ScoreFoo, ScoreSim};
+use tix_core::scoring::ScoreContext;
+use tix_core::{Collection, ScoredTree};
+use tix_store::{NodeRef, Store};
+
+use crate::ast::{ForClause, Query, ScoreClause, Step, ThresholdClause};
+use crate::parser::{parse, ParseError};
+
+/// Query execution failure.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The text did not parse.
+    Parse(ParseError),
+    /// `document("…")` named a document that is not loaded.
+    UnknownDocument(String),
+    /// The query uses a combination outside the supported dialect.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::UnknownDocument(d) => write!(f, "document {d:?} is not loaded"),
+            QueryError::Unsupported(what) => write!(f, "unsupported query: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// One answer of a query, rendered the way the paper's `Return` clause
+/// does: `<result><score>…</score>{$a}</result>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultItem {
+    /// The returned node (None for a synthesized join root).
+    pub node: Option<NodeRef>,
+    /// The node's tag (None for text nodes / synthetic roots).
+    pub tag: Option<String>,
+    /// The node's score, if the query scored it.
+    pub score: Option<f64>,
+    /// The rendered `<result>` element.
+    pub xml: String,
+}
+
+/// Parse and evaluate a query text against a store.
+pub fn run_query(store: &Store, text: &str) -> Result<Vec<ResultItem>, QueryError> {
+    run(store, &parse(text)?)
+}
+
+/// Evaluate a parsed query.
+pub fn run(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError> {
+    match query.fors.len() {
+        1 => eval_single(store, query),
+        2 => eval_join(store, query),
+        n => Err(QueryError::Unsupported(format!(
+            "{n} For clauses (the dialect supports 1, or 2 for a join)"
+        ))),
+    }
+}
+
+/// Pattern compiled from one `For` clause.
+struct CompiledFor {
+    pattern: PatternTree,
+    /// The pattern node the For variable binds to.
+    var_node: PatternNodeId,
+    /// The pattern root.
+    root_node: PatternNodeId,
+    /// The document collection to match against.
+    input: Collection,
+}
+
+fn compile_for(
+    store: &Store,
+    clause: &ForClause,
+    first_id: u32,
+) -> Result<CompiledFor, QueryError> {
+    let input = Collection::document(store, &clause.path.document)
+        .ok_or_else(|| QueryError::UnknownDocument(clause.path.document.clone()))?;
+    let mut pattern = PatternTree::with_first_id(first_id);
+    let mut current: Option<PatternNodeId> = None;
+    let mut root_node: Option<PatternNodeId> = None;
+    let mut compiled_attr_constraints: Vec<(PatternNodeId, String, String)> = Vec::new();
+    for step in &clause.path.steps {
+        match step {
+            Step::Descendant(tag) | Step::Child(tag) => {
+                // A leading `/tag` behaves like `//tag` (the document node
+                // is the scope root); an inner `/tag` is a pc edge.
+                let next = match current {
+                    None => pattern.add_root(Predicate::tag(tag)),
+                    Some(parent) => {
+                        let edge = if matches!(step, Step::Child(_)) {
+                            EdgeKind::Child
+                        } else {
+                            EdgeKind::Descendant
+                        };
+                        pattern.add_child(parent, edge, Predicate::tag(tag))
+                    }
+                };
+                if root_node.is_none() {
+                    root_node = Some(next);
+                }
+                current = Some(next);
+            }
+            Step::DescendantOrSelfAny => {
+                let parent = current.ok_or_else(|| {
+                    QueryError::Unsupported(
+                        "descendant-or-self::* as the first step".to_string(),
+                    )
+                })?;
+                let next = pattern.add_child(parent, EdgeKind::SelfOrDescendant, Predicate::True);
+                current = Some(next);
+            }
+            Step::AttrPredicate { name, equals } => {
+                // Attribute predicates constrain the anchor node itself;
+                // the matcher has no "refine existing node" operation, so
+                // the constraint is attached as an extra pattern child is
+                // not possible — instead rebuild is avoided by noting the
+                // anchor and strengthening its predicate in place.
+                let anchor = current.ok_or_else(|| {
+                    QueryError::Unsupported("attribute predicate before any step".to_string())
+                })?;
+                compiled_attr_constraints.push((anchor, name.clone(), equals.clone()));
+            }
+            Step::Predicate { path, equals } => {
+                let anchor = current.ok_or_else(|| {
+                    QueryError::Unsupported("predicate before any step".to_string())
+                })?;
+                let mut cursor = anchor;
+                for (i, tag) in path.iter().enumerate() {
+                    let predicate = if i + 1 == path.len() {
+                        Predicate::And(vec![Predicate::tag(tag), Predicate::content_eq(equals)])
+                    } else {
+                        Predicate::tag(tag)
+                    };
+                    cursor = pattern.add_child(cursor, EdgeKind::Child, predicate);
+                }
+                // `current` stays on the anchor: the predicate constrains,
+                // it does not move the binding.
+            }
+        }
+    }
+    let var_node = current.ok_or_else(|| {
+        QueryError::Unsupported("a For path needs at least one step".to_string())
+    })?;
+    pattern.strengthen(&compiled_attr_constraints);
+    Ok(CompiledFor {
+        pattern,
+        var_node,
+        root_node: root_node.expect("set with the first step"),
+        input,
+    })
+}
+
+/// Attach a `Score … using ScoreFoo` clause to a compiled pattern.
+fn attach_score_foo(compiled: &mut CompiledFor, primary: &[String], secondary: &[String]) {
+    let scorer = Arc::new(ScoreFoo::new(primary.to_vec(), secondary.to_vec()));
+    compiled.pattern.score_primary(compiled.var_node, scorer);
+    if compiled.var_node != compiled.root_node {
+        compiled
+            .pattern
+            .score_from_descendant(compiled.root_node, compiled.var_node);
+    }
+}
+
+fn eval_single(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError> {
+    let clause = &query.fors[0];
+    let mut compiled = compile_for(store, clause, 1)?;
+    for score in &query.scores {
+        match score {
+            ScoreClause::Foo { var, primary, secondary } => {
+                if var != &clause.var {
+                    return Err(QueryError::Unsupported(format!(
+                        "Score on ${var}, which is not a For variable"
+                    )));
+                }
+                attach_score_foo(&mut compiled, primary, secondary);
+            }
+            other => {
+                return Err(QueryError::Unsupported(format!(
+                    "{other:?} requires two For clauses"
+                )))
+            }
+        }
+    }
+    let ctx = ScoreContext::new(store);
+    let pl = [compiled.root_node, compiled.var_node];
+    let mut result = ops::project(store, &compiled.input, &compiled.pattern, &pl);
+
+    for pick in &query.picks {
+        if pick.var != clause.var {
+            return Err(QueryError::Unsupported(format!(
+                "Pick on ${}, which is not the For variable",
+                pick.var
+            )));
+        }
+        let criterion = ops::FractionPick {
+            relevance_threshold: pick.threshold,
+            fraction: pick.fraction,
+        };
+        result = ops::pick(&ctx, &result, compiled.var_node, &criterion, compiled.pattern.rules());
+    }
+
+    // Enumerate the variable's bindings as result items.
+    let mut items: Vec<ResultItem> = result
+        .iter()
+        .flat_map(|tree| {
+            tree.bound(compiled.var_node)
+                .filter_map(|(_, entry)| entry.source.stored().map(|n| (n, entry.score)))
+                .collect::<Vec<_>>()
+        })
+        .map(|(node, score)| render_item(store, node, score))
+        .collect();
+    finalize(query, &clause.var, &mut items)?;
+    Ok(items)
+}
+
+fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError> {
+    let (left_for, right_for) = (&query.fors[0], &query.fors[1]);
+    let mut left = compile_for(store, left_for, 1)?;
+    // Disjoint id space for the right side.
+    let mut right = compile_for(store, right_for, 100)?;
+
+    let mut sim: Option<(PatternNodeId, PatternNodeId, String)> = None; // (lchild, rchild, out var)
+    let mut bar: Option<(String, String, String)> = None; // (out, join, scored)
+    for score in &query.scores {
+        match score {
+            ScoreClause::Foo { var, primary, secondary } => {
+                let target = if var == &left_for.var {
+                    &mut left
+                } else if var == &right_for.var {
+                    &mut right
+                } else {
+                    return Err(QueryError::Unsupported(format!(
+                        "Score on unknown variable ${var}"
+                    )));
+                };
+                attach_score_foo(target, primary, secondary);
+            }
+            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => {
+                if left_var != &left_for.var || right_var != &right_for.var {
+                    return Err(QueryError::Unsupported(
+                        "ScoreSim arguments must be the two For variables in order".to_string(),
+                    ));
+                }
+                let lchild =
+                    left.pattern.add_child(left.var_node, EdgeKind::Child, Predicate::tag(left_child));
+                let rchild = right.pattern.add_child(
+                    right.var_node,
+                    EdgeKind::Child,
+                    Predicate::tag(right_child),
+                );
+                sim = Some((lchild, rchild, out.clone()));
+            }
+            ScoreClause::Bar { out, join, scored } => {
+                bar = Some((out.clone(), join.clone(), scored.clone()));
+            }
+        }
+    }
+    let (lchild, rchild, sim_out) =
+        sim.ok_or_else(|| QueryError::Unsupported("a join needs a ScoreSim clause".to_string()))?;
+
+    let ctx = ScoreContext::new(store);
+    let left_coll = ops::select(store, &left.input, &left.pattern);
+    let right_coll = ops::select(store, &right.input, &right.pattern);
+
+    // Threshold on the join-score variable becomes the condition's
+    // min_score (evaluated during the join, as in the paper's Query 3).
+    let join_min = query
+        .threshold
+        .as_ref()
+        .filter(|t| t.var == sim_out)
+        .map(|t| t.min_score);
+
+    let root_var = PatternNodeId(900);
+    let join_score_var = PatternNodeId(901);
+    let conditions = [ops::JoinCondition {
+        left: lchild,
+        right: rchild,
+        scorer: Arc::new(ScoreSim),
+        output: join_score_var,
+        min_score: join_min,
+    }];
+    let mut root_rules: Vec<ScoreRule> = Vec::new();
+    if let Some((_out, join, scored)) = &bar {
+        if join != &sim_out {
+            return Err(QueryError::Unsupported(format!(
+                "ScoreBar's first argument ${join} must be the ScoreSim output ${sim_out}"
+            )));
+        }
+        let scored_node = if scored == &left_for.var {
+            left.var_node
+        } else if scored == &right_for.var {
+            right.var_node
+        } else {
+            return Err(QueryError::Unsupported(format!(
+                "ScoreBar's second argument ${scored} must be a For variable"
+            )));
+        };
+        root_rules.push(ScoreRule::Combined {
+            node: root_var,
+            inputs: vec![ScoreInput::Aux(join_score_var), ScoreInput::Var(scored_node, Agg::Max)],
+            combine: score_bar_combiner(),
+        });
+    }
+    let joined = ops::join(&ctx, &left_coll, &right_coll, &conditions, root_var, &root_rules);
+
+    let mut items: Vec<ResultItem> = joined.iter().map(|t| render_join_item(store, t)).collect();
+    // The root score variable for threshold/sort purposes is ScoreBar's out
+    // (or the sim output, already folded in as min_score).
+    let score_var = bar.as_ref().map(|(out, _, _)| out.clone()).unwrap_or(sim_out);
+    finalize(query, &score_var, &mut items)?;
+    Ok(items)
+}
+
+/// Apply Threshold / Sortby to rendered items.
+fn finalize(query: &Query, score_var: &str, items: &mut Vec<ResultItem>) -> Result<(), QueryError> {
+    if let Some(ThresholdClause { var, min_score, stop_after }) = &query.threshold {
+        // A threshold on the join-score variable was already applied inside
+        // the join; only apply here when it names the result variable.
+        if var == score_var || Some(var.as_str()) == query.return_var() {
+            items.retain(|item| item.score.is_some_and(|s| s > *min_score));
+            if let Some(k) = stop_after {
+                sort_items(items);
+                items.truncate(*k);
+            }
+        }
+    }
+    if query.sortby_score {
+        sort_items(items);
+    }
+    Ok(())
+}
+
+fn sort_items(items: &mut [ResultItem]) {
+    items.sort_by(|a, b| match (a.score, b.score) {
+        (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+}
+
+fn render_item(store: &Store, node: NodeRef, score: Option<f64>) -> ResultItem {
+    let body = store.subtree_xml(node);
+    let xml = match score {
+        Some(s) => format!("<result><score>{s}</score>{body}</result>"),
+        None => format!("<result>{body}</result>"),
+    };
+    ResultItem {
+        node: Some(node),
+        tag: store.tag_name(node).map(str::to_string),
+        score,
+        xml,
+    }
+}
+
+fn render_join_item(store: &Store, tree: &ScoredTree) -> ResultItem {
+    let score = tree.score();
+    let mut body = String::new();
+    // Render the subtrees of the synthetic root's direct children.
+    for (i, entry) in tree.entries().iter().enumerate() {
+        if entry.parent == Some(0) && i != 0 {
+            if let Some(node) = entry.source.stored() {
+                body.push_str(&store.subtree_xml(node));
+            }
+        }
+    }
+    let xml = match score {
+        Some(s) => format!("<tix_prod_root><score>{s}</score>{body}</tix_prod_root>"),
+        None => format!("<tix_prod_root>{body}</tix_prod_root>"),
+    };
+    ResultItem { node: None, tag: Some("tix_prod_root".to_string()), score, xml }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_store() -> Store {
+        let mut store = Store::new();
+        store
+            .load_str(
+                "articles.xml",
+                "<article><article-title>Internet Technologies</article-title>\
+                 <author><sname>Doe</sname></author>\
+                 <chapter><p>all about the search engine</p>\
+                 <p>unrelated paragraph</p></chapter></article>",
+            )
+            .unwrap();
+        store
+            .load_str(
+                "reviews.xml",
+                r#"<reviews><review id="1"><title>Internet Technologies</title><rating>5</rating></review><review id="2"><title>Gardening</title><rating>3</rating></review></reviews>"#,
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn query1_scoring_and_threshold() {
+        let store = fig1_store();
+        let items = run_query(
+            &store,
+            r#"
+            For $a in document("articles.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {"internet"})
+            Return $a
+            Sortby(score)
+            Threshold $a/@score > 0.7
+            "#,
+        )
+        .unwrap();
+        assert!(!items.is_empty());
+        // Best item: the article (0.8 + 0.6 = 1.4).
+        assert_eq!(items[0].tag.as_deref(), Some("article"));
+        assert!((items[0].score.unwrap() - 1.4).abs() < 1e-9);
+        assert!(items.iter().all(|i| i.score.unwrap() > 0.7));
+        assert!(items[0].xml.starts_with("<result><score>"));
+    }
+
+    #[test]
+    fn query2_author_predicate() {
+        let store = fig1_store();
+        let query = r#"
+            For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {})
+            Sortby(score)
+            Threshold $a/@score > 0.5
+        "#;
+        let items = run_query(&store, query).unwrap();
+        assert!(!items.is_empty());
+        // Same query against a non-matching author returns nothing.
+        let none = run_query(&store, &query.replace("Doe", "Smith")).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn pick_eliminates_redundancy() {
+        let store = fig1_store();
+        let items = run_query(
+            &store,
+            r#"
+            For $a in document("articles.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {})
+            Pick $a using PickFoo($a)
+            Sortby(score)
+            "#,
+        )
+        .unwrap();
+        // Parent/child redundancy elimination: no returned node is the
+        // *direct* parent of another returned node. (Non-adjacent
+        // ancestor/descendant pairs are allowed — the paper's Fig. 8
+        // returns both chapter #a10 and its grandchild #a18.)
+        for a in &items {
+            for b in &items {
+                if let (Some(na), Some(nb)) = (a.node, b.node) {
+                    assert!(store.parent(nb) != Some(na), "{na} is parent of {nb}");
+                }
+            }
+        }
+        assert!(!items.is_empty());
+    }
+
+    #[test]
+    fn query3_join() {
+        let store = fig1_store();
+        let items = run_query(
+            &store,
+            r#"
+            For $a in document("articles.xml")//article
+            For $b in document("reviews.xml")//review
+            Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+            Score $j using ScoreSim($a/article-title, $b/title)
+            Score $r using ScoreBar($j, $a)
+            Threshold $j/@score > 1
+            Sortby(score)
+            "#,
+        )
+        .unwrap();
+        // Only the "Internet Technologies" review passes simScore > 1.
+        assert_eq!(items.len(), 1);
+        let item = &items[0];
+        assert_eq!(item.tag.as_deref(), Some("tix_prod_root"));
+        // simScore 2 + article score (0.8 for "search engine" + 0.6 for
+        // "internet" in the title) = 3.4.
+        assert!((item.score.unwrap() - 3.4).abs() < 1e-9, "{:?}", item.score);
+        assert!(item.xml.contains("<review id=\"1\">"));
+        assert!(item.xml.contains("<article>"));
+    }
+
+    #[test]
+    fn attribute_predicate_filters() {
+        let store = fig1_store();
+        let hit = run_query(
+            &store,
+            r#"For $a in document("reviews.xml")//review[@id="1"]/descendant-or-self::*
+               Score $a using ScoreFoo($a, {"internet"}, {})
+               Sortby(score)
+               Threshold $a/@score > 0.5"#,
+        )
+        .unwrap();
+        assert!(!hit.is_empty());
+        // The other review has no "internet" in its title; with @id="2" the
+        // same query returns nothing above threshold.
+        let miss = run_query(
+            &store,
+            r#"For $a in document("reviews.xml")//review[@id="2"]/descendant-or-self::*
+               Score $a using ScoreFoo($a, {"internet"}, {})
+               Sortby(score)
+               Threshold $a/@score > 0.5"#,
+        )
+        .unwrap();
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn unknown_document_errors() {
+        let store = fig1_store();
+        let err = run_query(&store, r#"For $a in document("nope.xml")//x"#).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownDocument(_)));
+    }
+
+    #[test]
+    fn three_fors_unsupported() {
+        let store = fig1_store();
+        let err = run_query(
+            &store,
+            r#"
+            For $a in document("articles.xml")//article
+            For $b in document("articles.xml")//article
+            For $c in document("articles.xml")//article
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported(_)));
+    }
+}

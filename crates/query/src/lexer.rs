@@ -1,0 +1,213 @@
+//! Tokenizer for the extended-XQuery dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare word: keywords (`For`, `Score`, …), function and tag names.
+    Ident(String),
+    /// `$name`.
+    Var(String),
+    /// A quoted string (single or double quotes).
+    Str(String),
+    /// A number literal.
+    Num(f64),
+    /// `//`
+    DoubleSlash,
+    /// `/`
+    Slash,
+    /// `::`
+    DoubleColon,
+    /// `:=`
+    Assign,
+    /// One of `( ) { } [ ] , = > < @ *`.
+    Punct(char),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Var(s) => write!(f, "${s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::DoubleSlash => write!(f, "//"),
+            Token::Slash => write!(f, "/"),
+            Token::DoubleColon => write!(f, "::"),
+            Token::Assign => write!(f, ":="),
+            Token::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Hand-rolled lexer; see [`Lexer::tokenize`].
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenize the whole input. Returns an error message with byte offset
+    /// on unexpected characters or unterminated strings.
+    pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+        let mut tokens = Vec::new();
+        let bytes = input.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => i += 1,
+                '/' => {
+                    if bytes.get(i + 1) == Some(&b'/') {
+                        tokens.push(Token::DoubleSlash);
+                        i += 2;
+                    } else {
+                        tokens.push(Token::Slash);
+                        i += 1;
+                    }
+                }
+                ':' => {
+                    match bytes.get(i + 1) {
+                        Some(b':') => {
+                            tokens.push(Token::DoubleColon);
+                            i += 2;
+                        }
+                        Some(b'=') => {
+                            tokens.push(Token::Assign);
+                            i += 2;
+                        }
+                        _ => return Err(format!("stray ':' at byte {i}")),
+                    }
+                }
+                '$' => {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && (bytes[j] as char).is_alphanumeric() {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(format!("empty variable name at byte {i}"));
+                    }
+                    tokens.push(Token::Var(input[start..j].to_string()));
+                    i = j;
+                }
+                '"' | '\'' => {
+                    let quote = c;
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] as char != quote {
+                        j += 1;
+                    }
+                    if j >= bytes.len() {
+                        return Err(format!("unterminated string at byte {i}"));
+                    }
+                    tokens.push(Token::Str(input[start..j].to_string()));
+                    i = j + 1;
+                }
+                '(' | ')' | '{' | '}' | '[' | ']' | ',' | '=' | '>' | '<' | '@' | '*' => {
+                    tokens.push(Token::Punct(c));
+                    i += 1;
+                }
+                _ if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut j = i;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                    {
+                        j += 1;
+                    }
+                    let text = &input[start..j];
+                    let value = text
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+                    tokens.push(Token::Num(value));
+                    i = j;
+                }
+                _ if c.is_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut j = i;
+                    while j < bytes.len() {
+                        let cj = bytes[j] as char;
+                        if cj.is_alphanumeric() || cj == '_' || cj == '-' {
+                            j += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(input[start..j].to_string()));
+                    i = j;
+                }
+                _ => return Err(format!("unexpected character {c:?} at byte {i}")),
+            }
+        }
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let tokens = Lexer::tokenize(r#"For $a in document("x.xml")//article"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("For".into()),
+                Token::Var("a".into()),
+                Token::Ident("in".into()),
+                Token::Ident("document".into()),
+                Token::Punct('('),
+                Token::Str("x.xml".into()),
+                Token::Punct(')'),
+                Token::DoubleSlash,
+                Token::Ident("article".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_and_assign() {
+        let tokens = Lexer::tokenize("descendant-or-self::* := $b").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("descendant-or-self".into()),
+                Token::DoubleColon,
+                Token::Punct('*'),
+                Token::Assign,
+                Token::Var("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_braces() {
+        let tokens = Lexer::tokenize(r#"{"search engine", "ir"} > 4.5"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Punct('{'),
+                Token::Str("search engine".into()),
+                Token::Punct(','),
+                Token::Str("ir".into()),
+                Token::Punct('}'),
+                Token::Punct('>'),
+                Token::Num(4.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quotes() {
+        let tokens = Lexer::tokenize("'Doe'").unwrap();
+        assert_eq!(tokens, vec![Token::Str("Doe".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::tokenize("\"unterminated").is_err());
+        assert!(Lexer::tokenize("$").is_err());
+        assert!(Lexer::tokenize("a : b").is_err());
+        assert!(Lexer::tokenize("#").is_err());
+    }
+}

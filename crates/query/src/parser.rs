@@ -1,0 +1,472 @@
+//! Recursive-descent parser for the extended-XQuery dialect.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token};
+
+/// A parse failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query text into a [`Query`].
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::tokenize(input).map_err(ParseError)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, ParseError> {
+        Err(ParseError(format!(
+            "{what}, found {}",
+            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        )))
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError(format!(
+                "expected {c:?}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(word) => Ok(()),
+            other => Err(ParseError(format!(
+                "expected {word:?}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn var(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Var(name)) => Ok(name),
+            other => Err(ParseError(format!(
+                "expected a $variable, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(ParseError(format!(
+                "expected a string literal, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(n),
+            other => Err(ParseError(format!(
+                "expected a number, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn keyword_is(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(word))
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut query = Query::default();
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Token::Ident(word)) => {
+                    let word = word.clone();
+                    if word.eq_ignore_ascii_case("For") {
+                        query.fors.push(self.for_clause()?);
+                    } else if word.eq_ignore_ascii_case("Score") {
+                        query.scores.push(self.score_clause()?);
+                    } else if word.eq_ignore_ascii_case("Pick") {
+                        query.picks.push(self.pick_clause()?);
+                    } else if word.eq_ignore_ascii_case("Return") {
+                        self.next();
+                        query.ret = Some(self.var()?);
+                    } else if word.eq_ignore_ascii_case("Sortby") {
+                        self.next();
+                        self.expect_punct('(')?;
+                        self.expect_keyword("score")?;
+                        self.expect_punct(')')?;
+                        query.sortby_score = true;
+                    } else if word.eq_ignore_ascii_case("Threshold") {
+                        query.threshold = Some(self.threshold_clause()?);
+                    } else {
+                        return self.err("expected a clause keyword");
+                    }
+                }
+                Some(_) => return self.err("expected a clause keyword"),
+            }
+        }
+        if query.fors.is_empty() {
+            return Err(ParseError("a query needs at least one For clause".into()));
+        }
+        Ok(query)
+    }
+
+    fn for_clause(&mut self) -> Result<ForClause, ParseError> {
+        self.expect_keyword("For")?;
+        let var = self.var()?;
+        // `in` and `:=` are interchangeable binders in Fig. 10.
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("in") => {}
+            Some(Token::Assign) => {}
+            other => {
+                return Err(ParseError(format!(
+                    "expected 'in' or ':=', found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        }
+        let path = self.path_expr()?;
+        Ok(ForClause { var, path })
+    }
+
+    fn path_expr(&mut self) -> Result<PathExpr, ParseError> {
+        self.expect_keyword("document")?;
+        self.expect_punct('(')?;
+        let document = self.string()?;
+        self.expect_punct(')')?;
+        let mut steps = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::DoubleSlash) => {
+                    self.next();
+                    let tag = self.tag_name()?;
+                    steps.push(Step::Descendant(tag));
+                }
+                Some(Token::Slash) => {
+                    self.next();
+                    if self.keyword_is("descendant-or-self") {
+                        self.next();
+                        match self.next() {
+                            Some(Token::DoubleColon) => {}
+                            _ => return self.err("expected '::' after descendant-or-self"),
+                        }
+                        self.expect_punct('*')?;
+                        steps.push(Step::DescendantOrSelfAny);
+                    } else {
+                        let tag = self.tag_name()?;
+                        steps.push(Step::Child(tag));
+                    }
+                }
+                Some(Token::Punct('[')) => {
+                    self.next();
+                    steps.push(self.predicate_body()?);
+                }
+                _ => break,
+            }
+        }
+        if steps.is_empty() {
+            return self.err("a path needs at least one step after document(...)");
+        }
+        Ok(PathExpr { document, steps })
+    }
+
+    fn tag_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(tag)) => Ok(tag),
+            other => Err(ParseError(format!(
+                "expected a tag name, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// Parses `[/a/b/text() = "v"]` or `[@name = "v"]` after the opening
+    /// `[`.
+    fn predicate_body(&mut self) -> Result<Step, ParseError> {
+        if self.peek() == Some(&Token::Punct('@')) {
+            self.next();
+            let name = self.tag_name()?;
+            self.expect_punct('=')?;
+            let equals = self.string()?;
+            self.expect_punct(']')?;
+            return Ok(Step::AttrPredicate { name, equals });
+        }
+        let mut path = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Slash) => {
+                    self.next();
+                    if self.keyword_is("text") {
+                        self.next();
+                        self.expect_punct('(')?;
+                        self.expect_punct(')')?;
+                        break;
+                    }
+                    path.push(self.tag_name()?);
+                }
+                _ => return self.err("expected '/' in predicate path"),
+            }
+        }
+        self.expect_punct('=')?;
+        let equals = self.string()?;
+        self.expect_punct(']')?;
+        if path.is_empty() {
+            return self.err("predicate path needs at least one tag");
+        }
+        Ok(Step::Predicate { path, equals })
+    }
+
+    fn score_clause(&mut self) -> Result<ScoreClause, ParseError> {
+        self.expect_keyword("Score")?;
+        let target = self.var()?;
+        self.expect_keyword("using")?;
+        let func = self.tag_name()?;
+        self.expect_punct('(')?;
+        let clause = if func.eq_ignore_ascii_case("ScoreFoo") {
+            let var = self.var()?;
+            if var != target {
+                return Err(ParseError(format!(
+                    "ScoreFoo's first argument (${var}) must be the scored variable (${target})"
+                )));
+            }
+            self.expect_punct(',')?;
+            let primary = self.phrase_set()?;
+            self.expect_punct(',')?;
+            let secondary = self.phrase_set()?;
+            ScoreClause::Foo { var: target, primary, secondary }
+        } else if func.eq_ignore_ascii_case("ScoreSim") {
+            let left_var = self.var()?;
+            match self.next() {
+                Some(Token::Slash) => {}
+                _ => return self.err("expected '/' after ScoreSim's first variable"),
+            }
+            let left_child = self.tag_name()?;
+            self.expect_punct(',')?;
+            let right_var = self.var()?;
+            match self.next() {
+                Some(Token::Slash) => {}
+                _ => return self.err("expected '/' after ScoreSim's second variable"),
+            }
+            let right_child = self.tag_name()?;
+            ScoreClause::Sim { out: target, left_var, left_child, right_var, right_child }
+        } else if func.eq_ignore_ascii_case("ScoreBar") {
+            let join = self.var()?;
+            self.expect_punct(',')?;
+            let scored = self.var()?;
+            ScoreClause::Bar { out: target, join, scored }
+        } else {
+            return Err(ParseError(format!(
+                "unknown scoring function {func:?} (expected ScoreFoo, ScoreSim, or ScoreBar)"
+            )));
+        };
+        self.expect_punct(')')?;
+        Ok(clause)
+    }
+
+    fn phrase_set(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_punct('{')?;
+        let mut phrases = Vec::new();
+        if self.peek() != Some(&Token::Punct('}')) {
+            loop {
+                phrases.push(self.string()?);
+                match self.peek() {
+                    Some(Token::Punct(',')) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect_punct('}')?;
+        Ok(phrases)
+    }
+
+    fn pick_clause(&mut self) -> Result<PickClause, ParseError> {
+        self.expect_keyword("Pick")?;
+        let target = self.var()?;
+        self.expect_keyword("using")?;
+        self.expect_keyword("PickFoo")?;
+        self.expect_punct('(')?;
+        let var = self.var()?;
+        if var != target {
+            return Err(ParseError(format!(
+                "PickFoo's argument (${var}) must be the picked variable (${target})"
+            )));
+        }
+        let (mut threshold, mut fraction) = (0.8, 0.5);
+        if self.peek() == Some(&Token::Punct(',')) {
+            self.next();
+            threshold = self.number()?;
+            self.expect_punct(',')?;
+            fraction = self.number()?;
+        }
+        self.expect_punct(')')?;
+        Ok(PickClause { var: target, threshold, fraction })
+    }
+
+    fn threshold_clause(&mut self) -> Result<ThresholdClause, ParseError> {
+        self.expect_keyword("Threshold")?;
+        let var = self.var()?;
+        match self.next() {
+            Some(Token::Slash) => {}
+            _ => return self.err("expected '/@score' after Threshold variable"),
+        }
+        self.expect_punct('@')?;
+        self.expect_keyword("score")?;
+        self.expect_punct('>')?;
+        let min_score = self.number()?;
+        let stop_after = if self.keyword_is("stop") {
+            self.next();
+            self.expect_keyword("after")?;
+            Some(self.number()? as usize)
+        } else {
+            None
+        };
+        Ok(ThresholdClause { var, min_score, stop_after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_query1() {
+        let q = parse(
+            r#"
+            For $a in document("articles.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+            Pick $a using PickFoo($a)
+            Return $a
+            Sortby(score)
+            Threshold $a/@score > 4 stop after 5
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.fors.len(), 1);
+        assert_eq!(q.fors[0].var, "a");
+        assert_eq!(
+            q.fors[0].path.steps,
+            vec![Step::Descendant("article".into()), Step::DescendantOrSelfAny]
+        );
+        assert_eq!(q.scores.len(), 1);
+        match &q.scores[0] {
+            ScoreClause::Foo { primary, secondary, .. } => {
+                assert_eq!(primary, &["search engine"]);
+                assert_eq!(secondary, &["internet", "information retrieval"]);
+            }
+            other => panic!("unexpected score clause {other:?}"),
+        }
+        assert_eq!(q.picks.len(), 1);
+        assert!(q.sortby_score);
+        let t = q.threshold.unwrap();
+        assert_eq!(t.min_score, 4.0);
+        assert_eq!(t.stop_after, Some(5));
+    }
+
+    #[test]
+    fn parse_query2_predicate() {
+        let q = parse(
+            r#"
+            For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {})
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            q.fors[0].path.steps,
+            vec![
+                Step::Descendant("article".into()),
+                Step::Predicate { path: vec!["author".into(), "sname".into()], equals: "Doe".into() },
+                Step::DescendantOrSelfAny,
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_join_query() {
+        let q = parse(
+            r#"
+            For $a in document("articles.xml")//article
+            For $b in document("reviews.xml")//review
+            Score $j using ScoreSim($a/article-title, $b/title)
+            Threshold $j/@score > 1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.fors.len(), 2);
+        match &q.scores[0] {
+            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => {
+                assert_eq!(out, "j");
+                assert_eq!(left_var, "a");
+                assert_eq!(left_child, "article-title");
+                assert_eq!(right_var, "b");
+                assert_eq!(right_child, "title");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_attribute_predicate() {
+        let q = parse(r#"For $a in document("d.xml")//review[@id="2"]/title"#).unwrap();
+        assert_eq!(
+            q.fors[0].path.steps,
+            vec![
+                Step::Descendant("review".into()),
+                Step::AttrPredicate { name: "id".into(), equals: "2".into() },
+                Step::Child("title".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn pick_with_params() {
+        let q = parse(
+            r#"
+            For $a in document("d.xml")//p
+            Pick $a using PickFoo($a, 0.5, 0.3)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.picks[0].threshold, 0.5);
+        assert_eq!(q.picks[0].fraction, 0.3);
+    }
+
+    #[test]
+    fn errors_are_described() {
+        assert!(parse("").unwrap_err().0.contains("at least one For"));
+        assert!(parse("For $a in nowhere").is_err());
+        assert!(parse(r#"For $a in document("d")//p Score $a using Nope($a)"#).is_err());
+        assert!(parse(r#"For $a in document("d")//p Score $b using ScoreFoo($a, {}, {})"#)
+            .is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property test: pretty-printing a query AST and re-parsing it yields the
+//! same AST — pinning the parser and printer to one grammar.
+
+use proptest::prelude::*;
+use tix_query::{parse, ForClause, PathExpr, PickClause, Query, ScoreClause, Step, ThresholdClause};
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,4}"
+}
+
+fn tag_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    // Phrases are free text between quotes; exclude the quote itself.
+    "[a-z]( [a-z]{1,6}){0,2}"
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    // First step always //tag; then optional predicate; then optional
+    // child/descendant steps; optionally ending in descendant-or-self::*.
+    (
+        tag_name(),
+        prop::option::of((prop::collection::vec(tag_name(), 1..3), phrase())),
+        prop::option::of((tag_name(), phrase())),
+        prop::collection::vec((any::<bool>(), tag_name()), 0..2),
+        any::<bool>(),
+    )
+        .prop_map(|(first, pred, attr, inner, ad_star)| {
+            let mut steps = vec![Step::Descendant(first)];
+            if let Some((path, equals)) = pred {
+                steps.push(Step::Predicate { path, equals });
+            }
+            if let Some((name, equals)) = attr {
+                steps.push(Step::AttrPredicate { name, equals });
+            }
+            for (child, tag) in inner {
+                steps.push(if child { Step::Child(tag) } else { Step::Descendant(tag) });
+            }
+            if ad_star {
+                steps.push(Step::DescendantOrSelfAny);
+            }
+            steps
+        })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        var_name(),
+        "[a-z]{1,8}\\.xml",
+        steps(),
+        prop::option::of((prop::collection::vec(phrase(), 0..3), prop::collection::vec(phrase(), 0..3))),
+        prop::option::of((0u32..20, 1u32..10)),
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of((0u32..100, prop::option::of(1usize..20))),
+    )
+        .prop_map(
+            |(var, document, steps, score, pick, ret, sortby, threshold)| {
+                let mut q = Query {
+                    fors: vec![ForClause {
+                        var: var.clone(),
+                        path: PathExpr { document, steps },
+                    }],
+                    ..Query::default()
+                };
+                if let Some((primary, secondary)) = score {
+                    q.scores.push(ScoreClause::Foo { var: var.clone(), primary, secondary });
+                }
+                if let Some((t, f)) = pick {
+                    // Use dyadic fractions so the f64 → text → f64 trip is
+                    // exact.
+                    q.picks.push(PickClause {
+                        var: var.clone(),
+                        threshold: t as f64 / 16.0,
+                        fraction: f as f64 / 16.0,
+                    });
+                }
+                if ret {
+                    q.ret = Some(var.clone());
+                }
+                q.sortby_score = sortby;
+                if let Some((min, stop_after)) = threshold {
+                    q.threshold = Some(ThresholdClause {
+                        var,
+                        min_score: min as f64 / 4.0,
+                        stop_after,
+                    });
+                }
+                q
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{printed}\n{e}"));
+        prop_assert_eq!(q, reparsed, "printed form:\n{}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "[ -~\\n]{0,160}") {
+        let _ = parse(&text);
+    }
+}

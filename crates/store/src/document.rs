@@ -1,0 +1,335 @@
+//! Per-document storage: the preorder node table, text arena, and
+//! attribute table.
+
+use std::fmt;
+
+use tix_xml::{Event, Reader};
+
+use crate::interner::{Interner, Symbol};
+use crate::node::{NodeIdx, NodeKind, NodeRec, NO_PARENT};
+
+/// Errors raised while loading a document into the store.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The underlying XML was not well-formed.
+    Xml(tix_xml::Error),
+    /// More than `u32::MAX - 1` nodes in one document.
+    TooManyNodes,
+    /// Deeper than `u16::MAX` levels.
+    TooDeep,
+    /// A document with this name is already loaded.
+    DuplicateName(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Xml(e) => write!(f, "XML parse error: {e}"),
+            LoadError::TooManyNodes => write!(f, "document exceeds node-count limit"),
+            LoadError::TooDeep => write!(f, "document exceeds depth limit"),
+            LoadError::DuplicateName(name) => {
+                write!(f, "a document named {name:?} is already loaded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tix_xml::Error> for LoadError {
+    fn from(e: tix_xml::Error) -> Self {
+        LoadError::Xml(e)
+    }
+}
+
+/// An attribute record: `node` is the owning element's preorder number,
+/// `name` the interned attribute name, and `(value_start, value_len)` a
+/// range in the document's attribute-value arena.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AttrRec {
+    pub(crate) node: u32,
+    pub(crate) name: Symbol,
+    pub(crate) value_start: u32,
+    pub(crate) value_len: u32,
+}
+
+/// One loaded document: node table in preorder, text arena, attributes.
+///
+/// Comments, processing instructions, and whitespace-only text runs are
+/// dropped at load time — they are not addressable by the algebra and carry
+/// no scoring-relevant text.
+#[derive(Debug, Clone, Default)]
+pub struct DocData {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<NodeRec>,
+    /// Text node payloads index into this: `(offset, len)` into `text_bytes`.
+    pub(crate) texts: Vec<(u32, u32)>,
+    pub(crate) text_bytes: String,
+    /// Sorted by `node` (naturally, since attributes are emitted at `Start`).
+    pub(crate) attrs: Vec<AttrRec>,
+    pub(crate) attr_bytes: String,
+}
+
+impl DocData {
+    /// The document's registered name (e.g. `"articles.xml"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stored nodes (elements + text nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a document with no stored nodes (cannot happen for
+    /// successfully loaded documents, which have at least a root element).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The document element. Always node 0: comments and PIs before the
+    /// root are not stored.
+    pub fn root(&self) -> NodeIdx {
+        NodeIdx(0)
+    }
+
+    /// The node record at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn node(&self, idx: NodeIdx) -> &NodeRec {
+        &self.nodes[idx.index()]
+    }
+
+    /// Text payload of a text node (empty string for elements).
+    pub fn text(&self, idx: NodeIdx) -> &str {
+        let rec = self.node(idx);
+        match rec.kind {
+            NodeKind::Text => {
+                let (off, len) = self.texts[rec.payload as usize];
+                &self.text_bytes[off as usize..(off + len) as usize]
+            }
+            NodeKind::Element => "",
+        }
+    }
+
+    /// Attribute `name` of element `idx`, if present.
+    pub(crate) fn attribute(&self, idx: NodeIdx, name: Symbol) -> Option<&str> {
+        let start = self.attrs.partition_point(|a| a.node < idx.as_u32());
+        self.attrs[start..]
+            .iter()
+            .take_while(|a| a.node == idx.as_u32())
+            .find(|a| a.name == name)
+            .map(|a| {
+                &self.attr_bytes[a.value_start as usize..(a.value_start + a.value_len) as usize]
+            })
+    }
+
+    /// All attributes of element `idx` as `(name symbol, value)` pairs.
+    pub(crate) fn attributes(&self, idx: NodeIdx) -> impl Iterator<Item = (Symbol, &str)> {
+        let start = self.attrs.partition_point(|a| a.node < idx.as_u32());
+        self.attrs[start..]
+            .iter()
+            .take_while(move |a| a.node == idx.as_u32())
+            .map(|a| {
+                (
+                    a.name,
+                    &self.attr_bytes
+                        [a.value_start as usize..(a.value_start + a.value_len) as usize],
+                )
+            })
+    }
+
+    /// Parse `xml` into a node table. `tags` and `attr_names` are the
+    /// store-wide interners.
+    pub(crate) fn load(
+        name: &str,
+        xml: &str,
+        tags: &mut Interner,
+        attr_names: &mut Interner,
+    ) -> Result<Self, LoadError> {
+        let mut doc = DocData { name: name.to_string(), ..DocData::default() };
+        let mut reader = Reader::new(xml);
+        // Stack of open element node indexes.
+        let mut open: Vec<u32> = Vec::new();
+        loop {
+            match reader.next_event()? {
+                Event::Start { tag, attributes } => {
+                    let idx = doc.push_node(
+                        NodeKind::Element,
+                        tags.intern(&tag),
+                        open.last().copied(),
+                    )?;
+                    for attr in &attributes {
+                        let value_start = doc.attr_bytes.len() as u32;
+                        doc.attr_bytes.push_str(&attr.value);
+                        doc.attrs.push(AttrRec {
+                            node: idx,
+                            name: attr_names.intern(&attr.name),
+                            value_start,
+                            value_len: attr.value.len() as u32,
+                        });
+                    }
+                    open.push(idx);
+                }
+                Event::End { .. } => {
+                    let idx = open.pop().expect("reader guarantees balance");
+                    // All descendants have been pushed; the last node pushed
+                    // is this element's last descendant.
+                    doc.nodes[idx as usize].end = (doc.nodes.len() - 1) as u32;
+                }
+                Event::Text(text) => {
+                    // Inter-element (whitespace-only) text carries no
+                    // queryable content; dropping it keeps child counts and
+                    // node numbering meaningful for document-centric data.
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    let slot = doc.texts.len() as u32;
+                    let off = doc.text_bytes.len() as u32;
+                    doc.text_bytes.push_str(&text);
+                    doc.texts.push((off, text.len() as u32));
+                    let idx = doc.push_node(NodeKind::Text, Symbol::from_u32(0), open.last().copied())?;
+                    doc.nodes[idx as usize].payload = slot;
+                    doc.nodes[idx as usize].end = idx;
+                }
+                Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+                Event::Eof => break,
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Append a node record, maintaining the parent's child count.
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        tag: Symbol,
+        parent: Option<u32>,
+    ) -> Result<u32, LoadError> {
+        let idx = self.nodes.len();
+        if idx >= (u32::MAX - 1) as usize {
+            return Err(LoadError::TooManyNodes);
+        }
+        let level = match parent {
+            Some(p) => {
+                let parent_rec = &mut self.nodes[p as usize];
+                // Elements use `payload` as their child count.
+                parent_rec.payload += 1;
+                parent_rec
+                    .level
+                    .checked_add(1)
+                    .ok_or(LoadError::TooDeep)?
+            }
+            None => 0,
+        };
+        self.nodes.push(NodeRec {
+            end: idx as u32, // provisional; fixed at Event::End for elements
+            parent: parent.unwrap_or(NO_PARENT),
+            level,
+            kind,
+            tag,
+            payload: 0,
+        });
+        Ok(idx as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(xml: &str) -> (DocData, Interner, Interner) {
+        let mut tags = Interner::new();
+        let mut attr_names = Interner::new();
+        let doc = DocData::load("t.xml", xml, &mut tags, &mut attr_names).unwrap();
+        (doc, tags, attr_names)
+    }
+
+    #[test]
+    fn preorder_numbering() {
+        let (doc, tags, _) = load("<a><b>x</b><c/></a>");
+        // Preorder: a=0, b=1, text=2, c=3.
+        assert_eq!(doc.len(), 4);
+        assert_eq!(tags.resolve(doc.node(NodeIdx(0)).tag()), "a");
+        assert_eq!(tags.resolve(doc.node(NodeIdx(1)).tag()), "b");
+        assert_eq!(doc.node(NodeIdx(2)).kind(), NodeKind::Text);
+        assert_eq!(tags.resolve(doc.node(NodeIdx(3)).tag()), "c");
+    }
+
+    #[test]
+    fn region_encoding_end_keys() {
+        let (doc, _, _) = load("<a><b>x</b><c/></a>");
+        assert_eq!(doc.node(NodeIdx(0)).end(), NodeIdx(3)); // a spans all
+        assert_eq!(doc.node(NodeIdx(1)).end(), NodeIdx(2)); // b spans its text
+        assert_eq!(doc.node(NodeIdx(2)).end(), NodeIdx(2)); // text is a leaf
+        assert_eq!(doc.node(NodeIdx(3)).end(), NodeIdx(3)); // c is a leaf
+    }
+
+    #[test]
+    fn levels() {
+        let (doc, _, _) = load("<a><b><c/></b></a>");
+        assert_eq!(doc.node(NodeIdx(0)).level(), 0);
+        assert_eq!(doc.node(NodeIdx(1)).level(), 1);
+        assert_eq!(doc.node(NodeIdx(2)).level(), 2);
+    }
+
+    #[test]
+    fn child_counts_maintained() {
+        let (doc, _, _) = load("<a><b>x</b><c/><d>y z</d></a>");
+        // a has children b, c, d = 3; b has 1 (text); d has 1 (text run).
+        assert_eq!(doc.node(NodeIdx(0)).payload, 3);
+        assert_eq!(doc.node(NodeIdx(1)).payload, 1);
+    }
+
+    #[test]
+    fn text_stored_and_retrievable() {
+        let (doc, _, _) = load("<a>hello <b>world</b></a>");
+        assert_eq!(doc.text(NodeIdx(1)), "hello ");
+        assert_eq!(doc.text(NodeIdx(3)), "world");
+        assert_eq!(doc.text(NodeIdx(0)), ""); // element
+    }
+
+    #[test]
+    fn attributes_stored() {
+        let (doc, _, attr_names) = load(r#"<a x="1"><b y="2" z="3"/></a>"#);
+        let x = attr_names.get("x").unwrap();
+        let y = attr_names.get("y").unwrap();
+        let z = attr_names.get("z").unwrap();
+        assert_eq!(doc.attribute(NodeIdx(0), x), Some("1"));
+        assert_eq!(doc.attribute(NodeIdx(1), y), Some("2"));
+        assert_eq!(doc.attribute(NodeIdx(1), z), Some("3"));
+        assert_eq!(doc.attribute(NodeIdx(0), y), None);
+    }
+
+    #[test]
+    fn comments_not_stored() {
+        let (doc, _, _) = load("<a><!-- hi --><b/></a>");
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_text_not_stored() {
+        let (doc, _, _) = load("<a>\n  <b>x</b>\n  <c/>\n</a>");
+        // a, b, "x", c — the indentation runs are gone.
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.node(NodeIdx(0)).payload, 2); // child count unpolluted
+    }
+
+    #[test]
+    fn malformed_is_error() {
+        let mut tags = Interner::new();
+        let mut attr_names = Interner::new();
+        assert!(matches!(
+            DocData::load("bad.xml", "<a><b></a>", &mut tags, &mut attr_names),
+            Err(LoadError::Xml(_))
+        ));
+    }
+}

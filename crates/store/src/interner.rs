@@ -1,0 +1,132 @@
+//! String interning for tag and attribute names.
+//!
+//! The INEX-scale corpus has millions of elements but only a few hundred
+//! distinct tag names, so nodes store a 4-byte [`Symbol`] and resolve it
+//! through the store's interner.
+
+use std::collections::HashMap;
+
+/// An interned string. Symbols are only meaningful relative to the
+/// [`Interner`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense integer value of this symbol (0-based, contiguous).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct a symbol from its dense integer value.
+    ///
+    /// The caller is responsible for the value having come from the same
+    /// interner; `resolve` panics otherwise.
+    pub fn from_u32(value: u32) -> Self {
+        Symbol(value)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] map.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Look up `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (Symbol(i as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = Interner::new();
+        let a1 = interner.intern("article");
+        let a2 = interner.intern("article");
+        assert_eq!(a1, a2);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(interner.resolve(a), "a");
+        assert_eq!(interner.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.get("x"), None);
+        let x = interner.intern("x");
+        assert_eq!(interner.get("x"), Some(x));
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut interner = Interner::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(interner.intern(name).as_u32(), i as u32);
+        }
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut interner = Interner::new();
+        interner.intern("x");
+        interner.intern("y");
+        let names: Vec<_> = interner.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["x", "y"]);
+    }
+}

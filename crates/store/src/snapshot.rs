@@ -1,0 +1,347 @@
+//! Binary snapshot persistence for the store.
+//!
+//! The paper's database (TIMBER) is disk-resident; ours is in-memory, but
+//! re-parsing a multi-hundred-megabyte corpus on every start would make
+//! the system unusable as a database. A snapshot serializes the loaded
+//! store — node tables, text arenas, attributes, interners — into a
+//! length-prefixed little-endian binary format that loads back with no
+//! re-parsing and no re-numbering (node ids are stable across
+//! save/load, so saved query results stay valid).
+//!
+//! The format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic "TIXSNAP" + version u8
+//! tag interner      : u32 count, then (u32 len, bytes)*
+//! attr-name interner: same
+//! documents         : u32 count, then per document
+//!     name          : u32 len, bytes
+//!     nodes         : u32 count, then (end u32, parent u32, level u16,
+//!                     kind u8, tag u32, payload u32)*
+//!     texts         : u32 count, then (off u32, len u32)*
+//!     text_bytes    : u32 len, bytes
+//!     attrs         : u32 count, then (node u32, name u32, off u32, len u32)*
+//!     attr_bytes    : u32 len, bytes
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::document::{AttrRec, DocData};
+use crate::interner::{Interner, Symbol};
+use crate::node::{NodeKind, NodeRec};
+use crate::store::Store;
+
+const MAGIC: &[u8; 7] = b"TIXSNAP";
+const VERSION: u8 = 1;
+
+/// Errors raised while reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a TIX snapshot.
+    BadMagic,
+    /// The snapshot version is not supported by this build.
+    UnsupportedVersion(u8),
+    /// Structural corruption (an offset or symbol out of range).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a TIX snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---- primitive writers/readers ---------------------------------------------
+
+fn w_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn w_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
+    w_u32(w, b.len() as u32)?;
+    w.write_all(b)
+}
+
+fn r_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn r_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn r_string(r: &mut impl Read) -> Result<String, SnapshotError> {
+    let len = r_u32(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| SnapshotError::Corrupt("non-UTF-8 string"))
+}
+
+fn w_interner(w: &mut impl Write, interner: &Interner) -> io::Result<()> {
+    w_u32(w, interner.len() as u32)?;
+    for (_, name) in interner.iter() {
+        w_bytes(w, name.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn r_interner(r: &mut impl Read) -> Result<Interner, SnapshotError> {
+    let count = r_u32(r)?;
+    let mut interner = Interner::new();
+    for _ in 0..count {
+        interner.intern(&r_string(r)?);
+    }
+    Ok(interner)
+}
+
+// ---- store-level API --------------------------------------------------------
+
+impl Store {
+    /// Serialize the whole store into `w`.
+    pub fn save_snapshot(&self, mut w: impl Write) -> io::Result<()> {
+        let w = &mut w;
+        w.write_all(MAGIC)?;
+        w_u8(w, VERSION)?;
+        w_interner(w, self.tags_interner())?;
+        w_interner(w, self.attr_names_interner())?;
+        let docs = self.docs();
+        w_u32(w, docs.len() as u32)?;
+        for doc in docs {
+            w_bytes(w, doc.name.as_bytes())?;
+            w_u32(w, doc.nodes.len() as u32)?;
+            for rec in &doc.nodes {
+                w_u32(w, rec.end)?;
+                w_u32(w, rec.parent)?;
+                w_u16(w, rec.level)?;
+                w_u8(w, match rec.kind {
+                    NodeKind::Element => 0,
+                    NodeKind::Text => 1,
+                })?;
+                w_u32(w, rec.tag.as_u32())?;
+                w_u32(w, rec.payload)?;
+            }
+            w_u32(w, doc.texts.len() as u32)?;
+            for &(off, len) in &doc.texts {
+                w_u32(w, off)?;
+                w_u32(w, len)?;
+            }
+            w_bytes(w, doc.text_bytes.as_bytes())?;
+            w_u32(w, doc.attrs.len() as u32)?;
+            for attr in &doc.attrs {
+                w_u32(w, attr.node)?;
+                w_u32(w, attr.name.as_u32())?;
+                w_u32(w, attr.value_start)?;
+                w_u32(w, attr.value_len)?;
+            }
+            w_bytes(w, doc.attr_bytes.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Load a store from a snapshot previously written by
+    /// [`Store::save_snapshot`]. Node and document ids are identical to the
+    /// saved store's.
+    pub fn load_snapshot(mut r: impl Read) -> Result<Store, SnapshotError> {
+        let r = &mut r;
+        let mut magic = [0u8; 7];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r_u8(r)?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let tags = r_interner(r)?;
+        let attr_names = r_interner(r)?;
+        let doc_count = r_u32(r)?;
+        let mut docs = Vec::with_capacity(doc_count as usize);
+        for _ in 0..doc_count {
+            let name = r_string(r)?;
+            let node_count = r_u32(r)? as usize;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                let end = r_u32(r)?;
+                let parent = r_u32(r)?;
+                let level = r_u16(r)?;
+                let kind = match r_u8(r)? {
+                    0 => NodeKind::Element,
+                    1 => NodeKind::Text,
+                    _ => return Err(SnapshotError::Corrupt("unknown node kind")),
+                };
+                let tag_raw = r_u32(r)?;
+                if kind == NodeKind::Element && tag_raw as usize >= tags.len() {
+                    return Err(SnapshotError::Corrupt("tag symbol out of range"));
+                }
+                let payload = r_u32(r)?;
+                nodes.push(NodeRec {
+                    end,
+                    parent,
+                    level,
+                    kind,
+                    tag: Symbol::from_u32(tag_raw),
+                    payload,
+                });
+            }
+            let text_count = r_u32(r)? as usize;
+            let mut texts = Vec::with_capacity(text_count);
+            for _ in 0..text_count {
+                texts.push((r_u32(r)?, r_u32(r)?));
+            }
+            let text_bytes = r_string(r)?;
+            for &(off, len) in &texts {
+                if (off as usize + len as usize) > text_bytes.len() {
+                    return Err(SnapshotError::Corrupt("text range out of bounds"));
+                }
+            }
+            let attr_count = r_u32(r)? as usize;
+            let mut attrs = Vec::with_capacity(attr_count);
+            for _ in 0..attr_count {
+                attrs.push(AttrRec {
+                    node: r_u32(r)?,
+                    name: Symbol::from_u32(r_u32(r)?),
+                    value_start: r_u32(r)?,
+                    value_len: r_u32(r)?,
+                });
+            }
+            let attr_bytes = r_string(r)?;
+            for attr in &attrs {
+                if (attr.value_start as usize + attr.value_len as usize) > attr_bytes.len() {
+                    return Err(SnapshotError::Corrupt("attribute range out of bounds"));
+                }
+                if attr.name.as_u32() as usize >= attr_names.len() {
+                    return Err(SnapshotError::Corrupt("attribute symbol out of range"));
+                }
+            }
+            docs.push(DocData { name, nodes, texts, text_bytes, attrs, attr_bytes });
+        }
+        Store::from_parts(tags, attr_names, docs)
+            .map_err(|_| SnapshotError::Corrupt("duplicate document name"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{DocId, NodeIdx, NodeRef};
+
+    fn sample_store() -> Store {
+        let mut store = Store::new();
+        store
+            .load_str("a.xml", r#"<article id="1"><p>alpha beta</p><p a="x">gamma</p></article>"#)
+            .unwrap();
+        store.load_str("b.xml", "<review><title>T</title></review>").unwrap();
+        store
+    }
+
+    fn roundtrip(store: &Store) -> Store {
+        let mut buf = Vec::new();
+        store.save_snapshot(&mut buf).unwrap();
+        Store::load_snapshot(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let loaded = roundtrip(&store);
+        assert_eq!(store.stats(), loaded.stats());
+        // Serialization of every document is byte-identical.
+        for doc in store.doc_ids() {
+            let root = NodeRef::new(doc, NodeIdx(0));
+            assert_eq!(store.subtree_xml(root), loaded.subtree_xml(root));
+        }
+        // Names, attributes, and the tag index survive.
+        assert_eq!(loaded.doc_by_name("a.xml"), Some(DocId(0)));
+        assert_eq!(
+            loaded.attribute(NodeRef::new(DocId(0), NodeIdx(0)), "id"),
+            Some("1")
+        );
+        assert_eq!(
+            store.elements_with_tag("p"),
+            loaded.elements_with_tag("p")
+        );
+    }
+
+    #[test]
+    fn node_ids_are_stable() {
+        let store = sample_store();
+        let loaded = roundtrip(&store);
+        let node = NodeRef::new(DocId(0), NodeIdx(3));
+        assert_eq!(store.tag_name(node), loaded.tag_name(node));
+        assert_eq!(store.text_content(node), loaded.text_content(node));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Store::load_snapshot(&b"NOTASNAP"[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_snapshot(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Store::load_snapshot(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_snapshot(&mut buf).unwrap();
+        buf[7] = 99; // version byte
+        let err = Store::load_snapshot(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = Store::new();
+        let loaded = roundtrip(&store);
+        assert_eq!(loaded.doc_count(), 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The store: loaded documents, interners, and the navigation / index API
+//! used by every layer above.
+
+use std::collections::HashMap;
+
+use crate::document::{DocData, LoadError};
+use crate::interner::{Interner, Symbol};
+use crate::node::{DocId, NodeIdx, NodeKind, NodeRef, NO_PARENT};
+use crate::stats::StoreStats;
+
+/// An in-memory XML database: documents, tag index, navigation.
+///
+/// See the crate docs for the role this plays in the reproduction.
+#[derive(Debug, Default)]
+pub struct Store {
+    docs: Vec<DocData>,
+    by_name: HashMap<String, DocId>,
+    tags: Interner,
+    attr_names: Interner,
+    /// Tag index: `tag_elements[tag.as_u32()]` lists every element with that
+    /// tag, in global document order. This is the pattern-tree leaf access
+    /// path (the equivalent of TIMBER's element index).
+    tag_elements: Vec<Vec<NodeRef>>,
+}
+
+impl Store {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Parse and load `xml` under `name`.
+    pub fn load_str(&mut self, name: &str, xml: &str) -> Result<DocId, LoadError> {
+        if self.by_name.contains_key(name) {
+            return Err(LoadError::DuplicateName(name.to_string()));
+        }
+        let doc = DocData::load(name, xml, &mut self.tags, &mut self.attr_names)?;
+        let id = DocId(self.docs.len() as u32);
+        // Extend the tag index with this document's elements, preserving
+        // global document order (docs are appended in load order).
+        self.tag_elements.resize(self.tags.len(), Vec::new());
+        for (i, rec) in doc.nodes.iter().enumerate() {
+            if rec.kind == NodeKind::Element {
+                self.tag_elements[rec.tag.as_u32() as usize]
+                    .push(NodeRef::new(id, NodeIdx(i as u32)));
+            }
+        }
+        self.by_name.insert(name.to_string(), id);
+        self.docs.push(doc);
+        Ok(id)
+    }
+
+    // ---- documents -------------------------------------------------------
+
+    /// Number of loaded documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The document data for `id`.
+    pub fn doc(&self, id: DocId) -> &DocData {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Look up a document by registered name.
+    pub fn doc_by_name(&self, name: &str) -> Option<DocId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all loaded document ids.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// Total stored nodes across all documents.
+    pub fn node_count(&self) -> usize {
+        self.docs.iter().map(DocData::len).sum()
+    }
+
+    // ---- node basics ------------------------------------------------------
+
+    /// Kind of `node`.
+    pub fn kind(&self, node: NodeRef) -> NodeKind {
+        self.doc(node.doc).node(node.node).kind()
+    }
+
+    /// Tag name of `node` if it is an element.
+    pub fn tag_name(&self, node: NodeRef) -> Option<&str> {
+        let rec = self.doc(node.doc).node(node.node);
+        match rec.kind() {
+            NodeKind::Element => Some(self.tags.resolve(rec.tag())),
+            NodeKind::Text => None,
+        }
+    }
+
+    /// Interned tag symbol of `node` if it is an element.
+    pub fn tag_symbol(&self, node: NodeRef) -> Option<Symbol> {
+        let rec = self.doc(node.doc).node(node.node);
+        match rec.kind() {
+            NodeKind::Element => Some(rec.tag()),
+            NodeKind::Text => None,
+        }
+    }
+
+    /// Text payload of a text node (empty for elements).
+    pub fn text(&self, node: NodeRef) -> &str {
+        self.doc(node.doc).text(node.node)
+    }
+
+    /// Attribute value by name.
+    pub fn attribute(&self, node: NodeRef, name: &str) -> Option<&str> {
+        let sym = self.attr_names.get(name)?;
+        self.doc(node.doc).attribute(node.node, sym)
+    }
+
+    /// All attributes of `node` as `(name, value)` pairs.
+    pub fn attributes(&self, node: NodeRef) -> impl Iterator<Item = (&str, &str)> {
+        self.doc(node.doc)
+            .attributes(node.node)
+            .map(|(sym, value)| (self.attr_names.resolve(sym), value))
+    }
+
+    /// End key (preorder number of the last descendant) of `node`.
+    pub fn end_key(&self, node: NodeRef) -> NodeIdx {
+        self.doc(node.doc).node(node.node).end()
+    }
+
+    /// Depth of `node` below its document root (root = 0).
+    pub fn level(&self, node: NodeRef) -> u16 {
+        self.doc(node.doc).node(node.node).level()
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (including itself).
+    pub fn subtree_size(&self, node: NodeRef) -> usize {
+        let rec = self.doc(node.doc).node(node.node);
+        (rec.end - node.node.as_u32()) as usize + 1
+    }
+
+    // ---- navigation --------------------------------------------------------
+
+    /// Parent of `node`, or `None` for a document root.
+    pub fn parent(&self, node: NodeRef) -> Option<NodeRef> {
+        let rec = self.doc(node.doc).node(node.node);
+        if rec.parent == NO_PARENT {
+            None
+        } else {
+            Some(NodeRef::new(node.doc, NodeIdx(rec.parent)))
+        }
+    }
+
+    /// Iterate `node`'s ancestors from parent up to the document root.
+    pub fn ancestors(&self, node: NodeRef) -> Ancestors<'_> {
+        Ancestors { store: self, next: self.parent(node) }
+    }
+
+    /// True when `anc` is a proper ancestor of `desc`.
+    ///
+    /// This is the region-encoding containment test the stack algorithms
+    /// rely on: `anc.start < desc.start ∧ desc.start ≤ anc.end`.
+    pub fn is_ancestor(&self, anc: NodeRef, desc: NodeRef) -> bool {
+        anc.doc == desc.doc
+            && anc.node < desc.node
+            && desc.node.as_u32() <= self.doc(anc.doc).node(anc.node).end
+    }
+
+    /// True when `anc` is `desc` or a proper ancestor of it (the paper's
+    /// `ad*` / `descendant-or-self` relationship).
+    pub fn is_self_or_ancestor(&self, anc: NodeRef, desc: NodeRef) -> bool {
+        anc == desc || self.is_ancestor(anc, desc)
+    }
+
+    /// True when `parent` is the parent of `child`.
+    pub fn is_parent(&self, parent: NodeRef, child: NodeRef) -> bool {
+        self.parent(child) == Some(parent)
+    }
+
+    /// Iterate the direct children of `node` in document order.
+    ///
+    /// Uses the region encoding: the first child is at `node + 1`, and each
+    /// next child follows its predecessor's end key.
+    pub fn children(&self, node: NodeRef) -> Children<'_> {
+        let rec = self.doc(node.doc).node(node.node);
+        let first = node.node.as_u32() + 1;
+        Children {
+            store: self,
+            doc: node.doc,
+            next: if first <= rec.end { Some(first) } else { None },
+            last: rec.end,
+        }
+    }
+
+    /// O(1) child count from the child-count index (the *Enhanced TermJoin*
+    /// access path — see Tables 2–4 of the paper).
+    pub fn child_count(&self, node: NodeRef) -> u32 {
+        let rec = self.doc(node.doc).node(node.node);
+        match rec.kind() {
+            NodeKind::Element => rec.payload,
+            NodeKind::Text => 0,
+        }
+    }
+
+    /// Child count computed by navigating the stored subtree, touching every
+    /// descendant record.
+    ///
+    /// This deliberately models what the paper describes for plain TermJoin
+    /// under complex scoring: "a data access to the database is performed
+    /// and some navigation is needed to get the number of children". The
+    /// speed gap between this and [`Store::child_count`] is what the
+    /// Enhanced TermJoin rows in Tables 2–4 measure.
+    pub fn count_children_by_navigation(&self, node: NodeRef) -> u32 {
+        let doc = self.doc(node.doc);
+        let rec = doc.node(node.node);
+        let child_level = rec.level + 1;
+        let mut count = 0u32;
+        for i in node.node.as_u32() + 1..=rec.end {
+            if doc.nodes[i as usize].level == child_level {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Iterate `node` and its whole subtree in document order (preorder).
+    pub fn descendants_or_self(&self, node: NodeRef) -> impl Iterator<Item = NodeRef> + '_ {
+        let end = self.doc(node.doc).node(node.node).end;
+        let doc = node.doc;
+        (node.node.as_u32()..=end).map(move |i| NodeRef::new(doc, NodeIdx(i)))
+    }
+
+    /// Concatenated text of every text node in `node`'s subtree — the
+    /// paper's `alltext()` (Fig. 9).
+    pub fn text_content(&self, node: NodeRef) -> String {
+        let doc = self.doc(node.doc);
+        let rec = doc.node(node.node);
+        let mut out = String::new();
+        for i in node.node.as_u32()..=rec.end {
+            if doc.nodes[i as usize].kind == NodeKind::Text {
+                out.push_str(doc.text(NodeIdx(i)));
+            }
+        }
+        out
+    }
+
+    // ---- indexes -----------------------------------------------------------
+
+    /// The interned symbol for `tag`, if any element uses it.
+    pub fn tag(&self, tag: &str) -> Option<Symbol> {
+        self.tags.get(tag)
+    }
+
+    /// Resolve a tag symbol to its name.
+    pub fn tag_str(&self, sym: Symbol) -> &str {
+        self.tags.resolve(sym)
+    }
+
+    /// Every element with tag `tag`, in global document order (the tag
+    /// index / element list).
+    pub fn elements_with_tag(&self, tag: &str) -> &[NodeRef] {
+        match self.tags.get(tag) {
+            Some(sym) => self
+                .tag_elements
+                .get(sym.as_u32() as usize)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// Iterate over **all** elements of a document in document order by
+    /// scanning the node table. This is the access path the Comp2 baseline
+    /// is forced through (structural join against the full element list),
+    /// which is why its cost is large but flat in Table 1.
+    pub fn elements_of(&self, doc: DocId) -> impl Iterator<Item = NodeRef> + '_ {
+        self.docs[doc.0 as usize]
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, rec)| rec.kind == NodeKind::Element)
+            .map(move |(i, _)| NodeRef::new(doc, NodeIdx(i as u32)))
+    }
+
+    /// Serialize the subtree rooted at `node` back to XML (result
+    /// rendering for query answers).
+    pub fn subtree_xml(&self, node: NodeRef) -> String {
+        use tix_xml::{Attribute, Writer};
+        let mut writer = Writer::new();
+        let doc = self.doc(node.doc);
+        // Explicit close-stack over the region encoding.
+        let mut open: Vec<(u32, String)> = Vec::new();
+        for i in node.node.as_u32()..=doc.node(node.node).end {
+            while let Some(&(end, _)) = open.last() {
+                if i > end {
+                    let (_, tag) = open.pop().expect("checked non-empty");
+                    writer.end_element(&tag);
+                } else {
+                    break;
+                }
+            }
+            let idx = NodeIdx(i);
+            let rec = doc.node(idx);
+            match rec.kind() {
+                NodeKind::Element => {
+                    let tag = self.tags.resolve(rec.tag()).to_string();
+                    let attrs: Vec<Attribute> = doc
+                        .attributes(idx)
+                        .map(|(sym, value)| Attribute {
+                            name: self.attr_names.resolve(sym).to_string(),
+                            value: value.to_string(),
+                        })
+                        .collect();
+                    if rec.end() == idx {
+                        writer.empty_element(&tag, &attrs);
+                    } else {
+                        writer.start_element(&tag, &attrs);
+                        open.push((rec.end().as_u32(), tag));
+                    }
+                }
+                NodeKind::Text => writer.text(doc.text(idx)),
+            }
+        }
+        while let Some((_, tag)) = open.pop() {
+            writer.end_element(&tag);
+        }
+        writer.finish()
+    }
+
+    /// Gather database-wide statistics (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::gather(self)
+    }
+
+    pub(crate) fn docs(&self) -> &[DocData] {
+        &self.docs
+    }
+
+    pub(crate) fn tags_interner(&self) -> &Interner {
+        &self.tags
+    }
+
+    pub(crate) fn attr_names_interner(&self) -> &Interner {
+        &self.attr_names
+    }
+
+    /// Rebuild a store from deserialized parts (snapshot loading): the
+    /// name map and tag index are reconstructed from the node tables.
+    /// Fails if two documents share a name.
+    pub(crate) fn from_parts(
+        tags: Interner,
+        attr_names: Interner,
+        docs: Vec<DocData>,
+    ) -> Result<Store, ()> {
+        let mut store = Store {
+            docs: Vec::new(),
+            by_name: HashMap::new(),
+            tags,
+            attr_names,
+            tag_elements: Vec::new(),
+        };
+        store.tag_elements.resize(store.tags.len(), Vec::new());
+        for doc in docs {
+            let id = DocId(store.docs.len() as u32);
+            if store.by_name.insert(doc.name.clone(), id).is_some() {
+                return Err(());
+            }
+            for (i, rec) in doc.nodes.iter().enumerate() {
+                if rec.kind == NodeKind::Element {
+                    store.tag_elements[rec.tag.as_u32() as usize]
+                        .push(NodeRef::new(id, NodeIdx(i as u32)));
+                }
+            }
+            store.docs.push(doc);
+        }
+        Ok(store)
+    }
+}
+
+/// Iterator over a node's ancestors. See [`Store::ancestors`].
+pub struct Ancestors<'a> {
+    store: &'a Store,
+    next: Option<NodeRef>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeRef;
+
+    fn next(&mut self) -> Option<NodeRef> {
+        let node = self.next?;
+        self.next = self.store.parent(node);
+        Some(node)
+    }
+}
+
+/// Iterator over a node's direct children. See [`Store::children`].
+pub struct Children<'a> {
+    store: &'a Store,
+    doc: DocId,
+    next: Option<u32>,
+    last: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeRef;
+
+    fn next(&mut self) -> Option<NodeRef> {
+        let idx = self.next?;
+        let node = NodeRef::new(self.doc, NodeIdx(idx));
+        let end = self.store.doc(self.doc).node(NodeIdx(idx)).end;
+        self.next = if end < self.last { Some(end + 1) } else { None };
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(xml: &str) -> (Store, DocId) {
+        let mut store = Store::new();
+        let doc = store.load_str("t.xml", xml).unwrap();
+        (store, doc)
+    }
+
+    fn nref(doc: DocId, i: u32) -> NodeRef {
+        NodeRef::new(doc, NodeIdx(i))
+    }
+
+    #[test]
+    fn children_iteration_skips_subtrees() {
+        // a=0, b=1, c=2, d=3, e=4 — a's children are b and d.
+        let (store, doc) = store_with("<a><b><c/></b><d><e/></d></a>");
+        let kids: Vec<_> = store
+            .children(nref(doc, 0))
+            .map(|n| store.tag_name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(kids, ["b", "d"]);
+    }
+
+    #[test]
+    fn leaf_has_no_children() {
+        let (store, doc) = store_with("<a><b/></a>");
+        assert_eq!(store.children(nref(doc, 1)).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_bottom_up() {
+        let (store, doc) = store_with("<a><b><c/></b></a>");
+        let ancs: Vec<_> = store
+            .ancestors(nref(doc, 2))
+            .map(|n| store.tag_name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(ancs, ["b", "a"]);
+    }
+
+    #[test]
+    fn is_ancestor_matches_region_encoding() {
+        let (store, doc) = store_with("<a><b><c/></b><d/></a>");
+        let a = nref(doc, 0);
+        let b = nref(doc, 1);
+        let c = nref(doc, 2);
+        let d = nref(doc, 3);
+        assert!(store.is_ancestor(a, b));
+        assert!(store.is_ancestor(a, c));
+        assert!(store.is_ancestor(b, c));
+        assert!(store.is_ancestor(a, d));
+        assert!(!store.is_ancestor(b, d));
+        assert!(!store.is_ancestor(c, b));
+        assert!(!store.is_ancestor(a, a)); // proper
+        assert!(store.is_self_or_ancestor(a, a)); // ad*
+    }
+
+    #[test]
+    fn cross_document_never_related() {
+        let mut store = Store::new();
+        let d1 = store.load_str("a.xml", "<a><b/></a>").unwrap();
+        let d2 = store.load_str("b.xml", "<a><b/></a>").unwrap();
+        assert!(!store.is_ancestor(nref(d1, 0), nref(d2, 1)));
+    }
+
+    #[test]
+    fn tag_index_global_document_order() {
+        let mut store = Store::new();
+        let d1 = store.load_str("a.xml", "<a><p/><q/><p/></a>").unwrap();
+        let d2 = store.load_str("b.xml", "<a><p/></a>").unwrap();
+        let ps = store.elements_with_tag("p");
+        assert_eq!(ps, &[nref(d1, 1), nref(d1, 3), nref(d2, 1)]);
+        assert!(store.elements_with_tag("nosuch").is_empty());
+    }
+
+    #[test]
+    fn child_count_index_vs_navigation_agree() {
+        let (store, doc) = store_with("<a><b><c/><d/></b><e>t</e><f/></a>");
+        for i in 0..store.doc(doc).len() as u32 {
+            let n = nref(doc, i);
+            assert_eq!(
+                store.child_count(n),
+                store.count_children_by_navigation(n),
+                "node {i}"
+            );
+        }
+        assert_eq!(store.child_count(nref(doc, 0)), 3);
+    }
+
+    #[test]
+    fn text_content_is_alltext() {
+        let (store, doc) = store_with("<a>x<b>y<c>z</c></b>w</a>");
+        assert_eq!(store.text_content(nref(doc, 0)), "xyzw");
+        assert_eq!(store.text_content(nref(doc, 2)), "yz");
+    }
+
+    #[test]
+    fn doc_lookup_by_name() {
+        let mut store = Store::new();
+        let id = store.load_str("articles.xml", "<a/>").unwrap();
+        assert_eq!(store.doc_by_name("articles.xml"), Some(id));
+        assert_eq!(store.doc_by_name("other.xml"), None);
+        assert!(matches!(
+            store.load_str("articles.xml", "<b/>"),
+            Err(LoadError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn attributes_via_store() {
+        let (store, doc) = store_with(r#"<a id="1"><b id="2" class="x"/></a>"#);
+        assert_eq!(store.attribute(nref(doc, 0), "id"), Some("1"));
+        assert_eq!(store.attribute(nref(doc, 1), "class"), Some("x"));
+        assert_eq!(store.attribute(nref(doc, 1), "missing"), None);
+        let all: Vec<_> = store.attributes(nref(doc, 1)).collect();
+        assert_eq!(all, vec![("id", "2"), ("class", "x")]);
+    }
+
+    #[test]
+    fn elements_of_scans_in_order() {
+        let (store, doc) = store_with("<a>t<b/>u<c/></a>");
+        let elems: Vec<_> = store
+            .elements_of(doc)
+            .map(|n| store.tag_name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(elems, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn subtree_size() {
+        let (store, doc) = store_with("<a><b><c/></b><d/></a>");
+        assert_eq!(store.subtree_size(nref(doc, 0)), 4);
+        assert_eq!(store.subtree_size(nref(doc, 1)), 2);
+        assert_eq!(store.subtree_size(nref(doc, 3)), 1);
+    }
+
+    #[test]
+    fn subtree_xml_roundtrip() {
+        let (store, doc) = store_with(r#"<a x="1">hi<b><c/>there</b><d/></a>"#);
+        assert_eq!(
+            store.subtree_xml(nref(doc, 0)),
+            r#"<a x="1">hi<b><c/>there</b><d/></a>"#
+        );
+        assert_eq!(store.subtree_xml(nref(doc, 2)), "<b><c/>there</b>");
+        assert_eq!(store.subtree_xml(nref(doc, 3)), "<c/>");
+    }
+
+    #[test]
+    fn descendants_or_self_order() {
+        let (store, doc) = store_with("<a><b><c/></b><d/></a>");
+        let order: Vec<_> = store
+            .descendants_or_self(nref(doc, 1))
+            .map(|n| n.node.as_u32())
+            .collect();
+        assert_eq!(order, [1, 2]);
+    }
+}

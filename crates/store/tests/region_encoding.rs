@@ -1,0 +1,113 @@
+//! Property tests for the region-encoding invariants the stack-based
+//! algorithms in `tix-exec` depend on.
+
+use proptest::prelude::*;
+use tix_store::{NodeIdx, NodeRef, Store};
+
+/// Generate a random small XML document as a string.
+fn xml_strategy() -> impl Strategy<Value = String> {
+    // A tree of elements from a tiny tag alphabet with occasional text.
+    fn subtree(depth: u32) -> BoxedStrategy<String> {
+        if depth == 0 {
+            prop_oneof![
+                Just(String::new()),
+                "[a-z]{1,6}".prop_map(|t| t),
+            ]
+            .boxed()
+        } else {
+            prop::collection::vec(
+                prop_oneof![
+                    "[a-z]{1,6}".prop_map(|t| t),
+                    ("[abcd]", subtree(depth - 1))
+                        .prop_map(|(tag, inner)| format!("<{tag}>{inner}</{tag}>")),
+                ],
+                0..4,
+            )
+            .prop_map(|parts| parts.concat())
+            .boxed()
+        }
+    }
+    subtree(4).prop_map(|inner| format!("<root>{inner}</root>"))
+}
+
+proptest! {
+    /// ancestor(a, d) from region encoding must equal ancestorship derived
+    /// by walking parent pointers.
+    #[test]
+    fn containment_equals_parent_chain(xml in xml_strategy()) {
+        let mut store = Store::new();
+        let doc = store.load_str("p.xml", &xml).unwrap();
+        let n = store.doc(doc).len() as u32;
+        for a in 0..n {
+            for d in 0..n {
+                let a_ref = NodeRef::new(doc, NodeIdx(a));
+                let d_ref = NodeRef::new(doc, NodeIdx(d));
+                let by_region = store.is_ancestor(a_ref, d_ref);
+                let by_chain = store.ancestors(d_ref).any(|x| x == a_ref);
+                prop_assert_eq!(by_region, by_chain, "a={} d={}", a, d);
+            }
+        }
+    }
+
+    /// Children iteration must agree with the parent pointers, in order.
+    #[test]
+    fn children_match_parent_pointers(xml in xml_strategy()) {
+        let mut store = Store::new();
+        let doc = store.load_str("p.xml", &xml).unwrap();
+        let n = store.doc(doc).len() as u32;
+        for p in 0..n {
+            let p_ref = NodeRef::new(doc, NodeIdx(p));
+            let by_iter: Vec<NodeRef> = store.children(p_ref).collect();
+            let by_parent: Vec<NodeRef> = (0..n)
+                .map(|i| NodeRef::new(doc, NodeIdx(i)))
+                .filter(|&c| store.parent(c) == Some(p_ref))
+                .collect();
+            prop_assert_eq!(by_iter, by_parent);
+        }
+    }
+
+    /// The child-count index must always agree with real navigation.
+    #[test]
+    fn child_count_index_is_consistent(xml in xml_strategy()) {
+        let mut store = Store::new();
+        let doc = store.load_str("p.xml", &xml).unwrap();
+        for i in 0..store.doc(doc).len() as u32 {
+            let node = NodeRef::new(doc, NodeIdx(i));
+            prop_assert_eq!(
+                store.child_count(node),
+                store.count_children_by_navigation(node)
+            );
+            prop_assert_eq!(store.child_count(node) as usize, store.children(node).count());
+        }
+    }
+
+    /// Levels increase by exactly one along parent-child edges.
+    #[test]
+    fn levels_are_depths(xml in xml_strategy()) {
+        let mut store = Store::new();
+        let doc = store.load_str("p.xml", &xml).unwrap();
+        for i in 1..store.doc(doc).len() as u32 {
+            let node = NodeRef::new(doc, NodeIdx(i));
+            let parent = store.parent(node).unwrap();
+            prop_assert_eq!(store.level(node), store.level(parent) + 1);
+        }
+    }
+
+    /// Subtree text equals the concatenation of descendant text nodes found
+    /// by exhaustive scan.
+    #[test]
+    fn text_content_is_exhaustive(xml in xml_strategy()) {
+        let mut store = Store::new();
+        let doc = store.load_str("p.xml", &xml).unwrap();
+        let n = store.doc(doc).len() as u32;
+        for i in 0..n {
+            let node = NodeRef::new(doc, NodeIdx(i));
+            let expected: String = (0..n)
+                .map(|j| NodeRef::new(doc, NodeIdx(j)))
+                .filter(|&t| t == node || store.is_ancestor(node, t))
+                .map(|t| store.text(t))
+                .collect();
+            prop_assert_eq!(store.text_content(node), expected);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The high-level convenience wrapper around the layered system.
+
+use tix_core::scoring::ScoreContext;
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::{sort_by_node, ScoredNode};
+use tix_exec::termjoin::{SimpleScorer, TermJoin, TermJoinScorer};
+use tix_exec::{phrase, topk};
+use tix_index::InvertedIndex;
+use tix_store::{DocId, LoadError, Store};
+
+/// An XML database with IR-style querying: a [`Store`], an on-demand
+/// [`InvertedIndex`], and shortcuts to the most common access-method
+/// pipelines.
+///
+/// For full control (custom scorers, the algebra operators, the XQuery
+/// dialect) use the layer crates directly; `Database` just wires the
+/// common paths together.
+#[derive(Debug, Default)]
+pub struct Database {
+    store: Store,
+    index: Option<InvertedIndex>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Parse and load a document. Invalidates the index.
+    pub fn load(&mut self, name: &str, xml: &str) -> Result<DocId, LoadError> {
+        self.index = None;
+        self.store.load_str(name, xml)
+    }
+
+    /// Build (or rebuild) the inverted index over everything loaded.
+    pub fn build_index(&mut self) {
+        self.index = Some(InvertedIndex::build(&self.store));
+    }
+
+    /// Install a pre-built index (e.g. loaded from an index snapshot). The
+    /// caller is responsible for it matching the loaded store.
+    pub fn set_index(&mut self, index: InvertedIndex) {
+        self.index = Some(index);
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable store access (e.g. for the corpus generator's `load_into`).
+    /// Invalidates the index.
+    pub fn store_mut(&mut self) -> &mut Store {
+        self.index = None;
+        &mut self.store
+    }
+
+    /// The inverted index.
+    ///
+    /// # Panics
+    /// Panics if [`Database::build_index`] has not been called since the
+    /// last load.
+    pub fn index(&self) -> &InvertedIndex {
+        self.index
+            .as_ref()
+            .expect("call Database::build_index() after loading documents")
+    }
+
+    /// A scoring context carrying the store and index.
+    pub fn score_context(&self) -> ScoreContext<'_> {
+        match &self.index {
+            Some(index) => ScoreContext::with_index(&self.store, index),
+            None => ScoreContext::new(&self.store),
+        }
+    }
+
+    /// Score every element containing any of `terms` (subtree containment)
+    /// with uniform weights, via the TermJoin access method. Results are
+    /// sorted by descending score (ties in document order).
+    pub fn term_join(&self, terms: &[&str]) -> Vec<ScoredNode> {
+        self.term_join_with(terms, &SimpleScorer::uniform())
+    }
+
+    /// [`Database::term_join`] with a custom scorer.
+    pub fn term_join_with<S: TermJoinScorer>(&self, terms: &[&str], scorer: &S) -> Vec<ScoredNode> {
+        let mut out = TermJoin::new(&self.store, self.index(), terms, scorer).run();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        out
+    }
+
+    /// Text nodes containing the exact phrase, with occurrence counts
+    /// (PhraseFinder access method).
+    pub fn find_phrase(&self, phrase_terms: &[&str]) -> Vec<ScoredNode> {
+        sort_by_node(phrase::phrase_finder(&self.store, self.index(), phrase_terms))
+    }
+
+    /// The classic end-to-end IR pipeline: TermJoin scoring → stack-based
+    /// Pick (parent/child redundancy elimination) → top-k. Returns at most
+    /// `k` picked elements, best first.
+    pub fn search(&self, terms: &[&str], pick: PickParams, k: usize) -> Vec<ScoredNode> {
+        let scorer = SimpleScorer::uniform();
+        let scored = sort_by_node(TermJoin::new(&self.store, self.index(), terms, &scorer).run());
+        let picked = pick_stream(&self.store, &scored, &pick);
+        topk::top_k(picked, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.load(
+            "a.xml",
+            "<article><sec><p>rust xml database systems</p></sec>\
+             <sec><p>cooking with rust the metal</p></sec></article>",
+        )
+        .unwrap();
+        db.build_index();
+        db
+    }
+
+    #[test]
+    fn term_join_sorted_by_score() {
+        let db = db();
+        let out = db.term_join(&["rust", "xml"]);
+        assert!(!out.is_empty());
+        assert!(out.windows(2).all(|w| w[0].score >= w[1].score));
+        // Top hit: the article (3 hits) ... ties resolved by doc order.
+        assert_eq!(db.store().tag_name(out[0].node), Some("article"));
+    }
+
+    #[test]
+    fn phrase_search() {
+        let db = db();
+        let out = db.find_phrase(&["xml", "database"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 1.0);
+    }
+
+    #[test]
+    fn search_pipeline_picks_and_limits() {
+        let db = db();
+        let out = db.search(&["rust"], PickParams { relevance_threshold: 1.0, fraction: 0.5 }, 5);
+        assert!(!out.is_empty());
+        assert!(out.len() <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_index")]
+    fn index_access_without_build_panics() {
+        let mut db = Database::new();
+        db.load("a.xml", "<a>x</a>").unwrap();
+        let _ = db.index();
+    }
+
+    #[test]
+    fn load_invalidates_index() {
+        let mut db = db();
+        db.load("b.xml", "<b>fresh</b>").unwrap();
+        db.build_index();
+        assert_eq!(db.index().collection_frequency("fresh"), 1);
+    }
+}

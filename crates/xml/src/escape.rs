@@ -1,0 +1,144 @@
+//! Entity escaping and unescaping.
+//!
+//! Only the five predefined XML entities and numeric character references
+//! are supported; that is all document-centric corpora such as INEX use
+//! (DTD-defined entities are out of scope for the reproduction).
+
+use std::borrow::Cow;
+
+use crate::error::{Error, ErrorKind, Result};
+
+/// Escape `text` for use as element character data (`<`, `>`, `&`).
+///
+/// Returns a borrowed slice when no escaping is needed, so serializing
+/// mostly-clean corpora does not allocate.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| matches!(c, '<' | '>' | '&'))
+}
+
+/// Escape `text` for use inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| matches!(c, '<' | '>' | '&' | '"' | '\''))
+}
+
+fn escape_with(text: &str, needs: impl Fn(char) -> bool) -> Cow<'_, str> {
+    if !text.chars().any(&needs) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        if needs(c) {
+            match c {
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '&' => out.push_str("&amp;"),
+                '"' => out.push_str("&quot;"),
+                '\'' => out.push_str("&apos;"),
+                _ => unreachable!("escape predicate only selects markup chars"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve entity and character references in `text`.
+///
+/// `offset` is the byte position of `text` in the overall input and is used
+/// only for error reporting. Returns a borrowed slice when the input
+/// contains no `&`.
+pub fn unescape(text: &str, offset: usize) -> Result<Cow<'_, str>> {
+    if !text.contains('&') {
+        return Ok(Cow::Borrowed(text));
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    let mut pos = offset;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        pos += amp;
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| Error::new(ErrorKind::UnknownEntity(clip(after)), pos))?;
+        let name = &after[..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with('#') => out.push(parse_char_ref(&name[1..], pos)?),
+            _ => return Err(Error::new(ErrorKind::UnknownEntity(name.to_string()), pos)),
+        }
+        rest = &after[semi + 1..];
+        pos += 1 + semi + 1;
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn parse_char_ref(body: &str, pos: usize) -> Result<char> {
+    let bad = || Error::new(ErrorKind::BadCharRef(body.to_string()), pos);
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).map_err(|_| bad())?
+    } else {
+        body.parse::<u32>().map_err(|_| bad())?
+    };
+    char::from_u32(code).ok_or_else(bad)
+}
+
+fn clip(s: &str) -> String {
+    s.chars().take(16).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_passthrough_borrows() {
+        assert!(matches!(escape_text("plain text"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_markup() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi'"#), "say &quot;hi&apos;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", 0).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors() {
+        let err = unescape("x&nbsp;y", 10).unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::UnknownEntity("nbsp".into()));
+        assert_eq!(err.offset(), 11);
+    }
+
+    #[test]
+    fn unescape_overflow_char_ref_errors() {
+        assert!(unescape("&#x110000;", 0).is_err());
+        assert!(unescape("&#;", 0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let original = "a <tag attr=\"v'\"> & more";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+}

@@ -1,0 +1,118 @@
+//! XML serializer.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::reader::Attribute;
+
+/// An append-only XML writer producing a `String`.
+///
+/// The writer does not validate balance; [`crate::Document::to_xml`] drives
+/// it from a tree that is balanced by construction, and the corpus generator
+/// drives it directly for speed.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Create a writer with a preallocated buffer, for bulk generation.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Writer { out: String::with_capacity(bytes) }
+    }
+
+    /// Write `<tag attr="...">`.
+    pub fn start_element(&mut self, tag: &str, attributes: &[Attribute]) {
+        self.open_tag(tag, attributes);
+        self.out.push('>');
+    }
+
+    /// Write `<tag attr="..."/>`.
+    pub fn empty_element(&mut self, tag: &str, attributes: &[Attribute]) {
+        self.open_tag(tag, attributes);
+        self.out.push_str("/>");
+    }
+
+    fn open_tag(&mut self, tag: &str, attributes: &[Attribute]) {
+        self.out.push('<');
+        self.out.push_str(tag);
+        for attr in attributes {
+            self.out.push(' ');
+            self.out.push_str(&attr.name);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(&attr.value));
+            self.out.push('"');
+        }
+    }
+
+    /// Write `</tag>`.
+    pub fn end_element(&mut self, tag: &str) {
+        self.out.push_str("</");
+        self.out.push_str(tag);
+        self.out.push('>');
+    }
+
+    /// Write escaped character data.
+    pub fn text(&mut self, text: &str) {
+        self.out.push_str(&escape_text(text));
+    }
+
+    /// Write a comment. The body must not contain `--`.
+    pub fn comment(&mut self, text: &str) {
+        self.out.push_str("<!--");
+        self.out.push_str(text);
+        self.out.push_str("-->");
+    }
+
+    /// Write a processing instruction.
+    pub fn pi(&mut self, target: &str, data: &str) {
+        self.out.push_str("<?");
+        self.out.push_str(target);
+        if !data.is_empty() {
+            self.out.push(' ');
+            self.out.push_str(data);
+        }
+        self.out.push_str("?>");
+    }
+
+    /// Current length of the serialized output in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Consume the writer and return the serialized document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_document() {
+        let mut writer = Writer::new();
+        writer.start_element("a", &[Attribute { name: "x".into(), value: "1<2".into() }]);
+        writer.text("hi & bye");
+        writer.empty_element("b", &[]);
+        writer.end_element("a");
+        assert_eq!(writer.finish(), r#"<a x="1&lt;2">hi &amp; bye<b/></a>"#);
+    }
+
+    #[test]
+    fn pi_and_comment() {
+        let mut writer = Writer::new();
+        writer.pi("style", "href=x");
+        writer.comment(" c ");
+        assert_eq!(writer.finish(), "<?style href=x?><!-- c -->");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: random DOM trees survive serialize → parse → serialize.
+
+use proptest::prelude::*;
+use tix_xml::{Attribute, Document, NodeId, NodeKind};
+
+/// A recursively generated tree description fed into the DOM builder.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element { tag: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}"
+}
+
+/// Text without leading/trailing issues is not required: any printable text
+/// that is non-empty after trimming must round-trip. Fully-whitespace text is
+/// excluded because adjacent text runs are a parser-level representation
+/// choice, not content.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{1,20}".prop_filter("non-whitespace", |s| !s.trim().is_empty())
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        (name_strategy(), prop::collection::vec((name_strategy(), "[ -~]{0,10}"), 0..3))
+            .prop_map(|(tag, attrs)| Tree::Element { tag, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), "[ -~]{0,10}"), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
+    match tree {
+        Tree::Element { tag, attrs, children } => {
+            let attrs: Vec<Attribute> = attrs
+                .iter()
+                .scan(std::collections::HashSet::new(), |seen, (k, v)| {
+                    Some(if seen.insert(k.clone()) {
+                        Some(Attribute { name: k.clone(), value: v.clone() })
+                    } else {
+                        None
+                    })
+                })
+                .flatten()
+                .collect();
+            let id = doc.append(parent, NodeKind::Element { tag: tag.clone(), attributes: attrs });
+            for child in children {
+                build(doc, id, child);
+            }
+        }
+        Tree::Text(text) => {
+            doc.append_text(parent, text);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_serialize_is_identity(tree in tree_strategy()) {
+        // Force a root element (text at top level is not a document).
+        let tree = match tree {
+            t @ Tree::Element { .. } => t,
+            t @ Tree::Text(_) => Tree::Element {
+                tag: "root".into(),
+                attrs: vec![],
+                children: vec![t],
+            },
+        };
+        let mut doc = Document::new();
+        let vr = doc.virtual_root();
+        build(&mut doc, vr, &tree);
+        let first = doc.to_xml();
+        let reparsed = Document::parse(&first).unwrap();
+        let second = reparsed.to_xml();
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn parse_never_panics(input in "[ -~<>&\"']{0,200}") {
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn text_content_matches_input_text(words in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let joined = words.join(" ");
+        let xml = format!("<a><b>{joined}</b></a>");
+        let doc = Document::parse(&xml).unwrap();
+        prop_assert_eq!(doc.text_content(doc.root_element().unwrap()), joined);
+    }
+}

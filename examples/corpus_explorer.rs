@@ -1,0 +1,108 @@
+//! Corpus explorer: generate an INEX-like corpus, index it, and compare
+//! every Sec. 5/6 access method on a live query — a miniature of the
+//! paper's experimental setup with timings printed per method.
+//!
+//! Run with: `cargo run --release --example corpus_explorer`
+
+use std::time::Instant;
+
+use tix::corpus::{CorpusSpec, Generator, PlantSpec};
+use tix::exec::composite::{comp1, comp2};
+use tix::exec::meet::generalized_meet;
+use tix::exec::phrase::{comp3, phrase_finder};
+use tix::exec::pick::{pick_stream, PickParams};
+use tix::exec::scored::sort_by_node;
+use tix::exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+use tix::Database;
+
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("  {label:<22} {:>10.3} ms", start.elapsed().as_secs_f64() * 1e3);
+    out
+}
+
+fn main() {
+    // A mid-size corpus with one planted topic and one planted phrase.
+    let spec = CorpusSpec {
+        articles: 400,
+        ..CorpusSpec::default()
+    };
+    let plants = PlantSpec::default()
+        .with_term("quantum", 800)
+        .with_term("entangle", 300)
+        .with_phrase("bell", "state", 60, 200)
+        .with_term("bell", 500)
+        .with_term("state", 400);
+    println!("generating {} articles (~{} nodes)…", spec.articles, spec.approx_nodes());
+    let generator = Generator::new(spec, plants).expect("valid plant spec");
+    let mut db = Database::new();
+    let start = Instant::now();
+    generator.load_into(db.store_mut()).expect("corpus loads");
+    println!("loaded in {:.2} s: {}", start.elapsed().as_secs_f64(), db.store().stats());
+    let start = Instant::now();
+    db.build_index();
+    println!(
+        "indexed in {:.2} s: {} terms, {} tokens",
+        start.elapsed().as_secs_f64(),
+        db.index().term_count(),
+        db.index().total_tokens()
+    );
+
+    // TermJoin vs every baseline, simple scoring.
+    let terms = ["quantum", "entangle"];
+    println!(
+        "\nscoring query {:?} (freqs {} / {}), simple scorer:",
+        terms,
+        db.index().collection_frequency(terms[0]),
+        db.index().collection_frequency(terms[1]),
+    );
+    let simple = SimpleScorer::new(vec![0.8, 0.6]);
+    let tj = timed("TermJoin", || {
+        sort_by_node(TermJoin::new(db.store(), db.index(), &terms, &simple).run())
+    });
+    let c1 = timed("Comp1", || sort_by_node(comp1(db.store(), db.index(), &terms, &simple)));
+    let c2 = timed("Comp2", || sort_by_node(comp2(db.store(), db.index(), &terms, &simple)));
+    let gm = timed("Generalized Meet", || {
+        sort_by_node(generalized_meet(db.store(), db.index(), &terms, &simple))
+    });
+    assert_eq!(tj.len(), c1.len());
+    assert_eq!(tj.len(), c2.len());
+    assert_eq!(tj.len(), gm.len());
+    println!("  → {} scored elements, all methods agree", tj.len());
+
+    // Complex scoring: plain vs Enhanced.
+    println!("\ncomplex scorer (plain navigation vs child-count index):");
+    let plain = ComplexScorer::uniform(ChildCountMode::Navigate);
+    let enhanced = ComplexScorer::uniform(ChildCountMode::Index);
+    timed("TermJoin (plain)", || {
+        TermJoin::new(db.store(), db.index(), &terms, &plain).run()
+    });
+    timed("Enhanced TermJoin", || {
+        TermJoin::new(db.store(), db.index(), &terms, &enhanced).run()
+    });
+
+    // PhraseFinder vs Comp3.
+    println!("\nphrase \"bell state\":");
+    let pf = timed("PhraseFinder", || {
+        sort_by_node(phrase_finder(db.store(), db.index(), &["bell", "state"]))
+    });
+    let c3 = timed("Comp3", || sort_by_node(comp3(db.store(), db.index(), &["bell", "state"])));
+    assert_eq!(pf, c3);
+    println!("  → {} phrase-bearing text nodes", pf.len());
+
+    // Pick over the scored stream.
+    println!("\nPick over the TermJoin output ({} nodes):", tj.len());
+    let picked = timed("stack-based Pick", || {
+        pick_stream(db.store(), &tj, &PickParams { relevance_threshold: 1.0, fraction: 0.5 })
+    });
+    println!("  → {} irredundant units of retrieval", picked.len());
+    for s in picked.iter().take(5) {
+        println!(
+            "    {} <{}> score {:.1}",
+            s.node,
+            db.store().tag_name(s.node).unwrap_or("?"),
+            s.score
+        );
+    }
+}

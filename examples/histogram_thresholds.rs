@@ -1,0 +1,59 @@
+//! Histogram-assisted thresholds (Sec. 5.3 of the paper): instead of
+//! asking the user for an absolute relevance cutoff — "unrealistic …
+//! since they have no idea of the distribution of the scores for a given
+//! query" — build the auxiliary score histogram and derive the Pick
+//! threshold from a quantile.
+//!
+//! Run with: `cargo run --release --example histogram_thresholds`
+
+use tix::core::histogram::ScoreHistogram;
+use tix::corpus::{CorpusSpec, Generator, PlantSpec};
+use tix::exec::pick::{pick_stream, PickParams};
+use tix::exec::scored::sort_by_node;
+use tix::exec::termjoin::{SimpleScorer, TermJoin};
+use tix::Database;
+
+fn main() {
+    // A corpus with one planted topic.
+    let plants = PlantSpec::default().with_term("fusion", 600).with_term("plasma", 250);
+    let generator = Generator::new(CorpusSpec::small(), plants).expect("valid plants");
+    let mut db = Database::new();
+    generator.load_into(db.store_mut()).expect("corpus loads");
+    db.build_index();
+    println!("corpus: {}", db.store().stats());
+
+    // Score with TermJoin.
+    let scorer = SimpleScorer::new(vec![1.0, 0.7]);
+    let scored = sort_by_node(
+        TermJoin::new(db.store(), db.index(), &["fusion", "plasma"], &scorer).run(),
+    );
+    println!("{} scored elements", scored.len());
+
+    // The auxiliary data: a histogram of the score distribution.
+    let histogram = ScoreHistogram::build(scored.iter().map(|s| s.score), 32);
+    println!(
+        "score distribution: min {:.2}, max {:.2}, median {:.2}, p90 {:.2}",
+        histogram.min(),
+        histogram.max(),
+        histogram.quantile(0.5),
+        histogram.quantile(0.9),
+    );
+
+    // Pick at three quantile-derived thresholds and show how the result
+    // granularity shifts.
+    for q in [0.5, 0.8, 0.95] {
+        let params = PickParams::from_histogram(&histogram, q, 0.5);
+        let picked = pick_stream(db.store(), &scored, &params);
+        let tags: std::collections::BTreeMap<&str, usize> =
+            picked.iter().fold(Default::default(), |mut acc, s| {
+                *acc.entry(db.store().tag_name(s.node).unwrap_or("?")).or_default() += 1;
+                acc
+            });
+        println!(
+            "quantile {q:.2} → threshold {:.2} → {} picked {:?}",
+            params.relevance_threshold,
+            picked.len(),
+            tags
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: load the paper's Figure 1 database, score it with
+//! `ScoreFoo`, and walk through selection → projection → Pick → Threshold
+//! (the paper's Example 3.1).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tix::core::ops;
+use tix::core::pattern::{EdgeKind, PatternTree, Predicate};
+use tix::core::scoring::paper::ScoreFoo;
+use tix::core::scoring::ScoreContext;
+use tix::core::Collection;
+use tix::corpus::fig1;
+
+fn main() {
+    // 1. Load the example database (articles.xml + reviews.xml of Fig. 1).
+    let (store, _articles, _reviews) = fig1::load().expect("example database loads");
+    println!("loaded: {}", store.stats());
+
+    // 2. Build the scored pattern tree for the paper's Query 2 (Fig. 3):
+    //    articles by "Doe", and any component ($4, the ad* variable)
+    //    scored on "search engine" / "internet" / "information retrieval".
+    let mut pattern = PatternTree::new();
+    let n1 = pattern.add_root(Predicate::tag("article"));
+    let n2 = pattern.add_child(n1, EdgeKind::Child, Predicate::tag("author"));
+    let n3 = pattern.add_child(
+        n2,
+        EdgeKind::Child,
+        Predicate::And(vec![Predicate::tag("sname"), Predicate::content_eq("Doe")]),
+    );
+    let n4 = pattern.add_child(n1, EdgeKind::SelfOrDescendant, Predicate::True);
+    pattern.score_primary(
+        n4,
+        ScoreFoo::shared(&["search engine"], &["internet", "information retrieval"]),
+    );
+    pattern.score_from_descendant(n1, n4); // $1.score = $4.score
+
+    let input = Collection::document(&store, "articles.xml").expect("document is loaded");
+
+    // 3. Scored projection (the paper's Fig. 6).
+    let projected = ops::project(&store, &input, &pattern, &[n1, n3, n4]);
+    println!("\n— projection (Fig. 6) —");
+    for tree in projected.iter() {
+        print!("{}", tree.outline(&store));
+    }
+
+    // 4. Pick: parent/child redundancy elimination (Fig. 8).
+    let ctx = ScoreContext::new(&store);
+    let picked = ops::pick(&ctx, &projected, n4, &ops::FractionPick::paper(), pattern.rules());
+    println!("\n— after Pick (Fig. 8) —");
+    for tree in picked.iter() {
+        print!("{}", tree.outline(&store));
+    }
+
+    // 5. Rank what survived and show the best unit of retrieval.
+    let mut survivors: Vec<(f64, String)> = picked
+        .iter()
+        .flat_map(|tree| {
+            tree.bound(n4)
+                .filter_map(|(_, e)| {
+                    let node = e.source.stored()?;
+                    Some((e.score?, store.subtree_xml(node)))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    survivors.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let (score, xml) = &survivors[0];
+    println!("\n— top result (score {score:.1}) —\n{xml}");
+}

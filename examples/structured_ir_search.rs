@@ -1,0 +1,80 @@
+//! Structured IR-style search with the extended-XQuery dialect: the
+//! paper's Queries 1 and 2 (Fig. 10) against the Figure 1 database, and
+//! the same shape against a generated corpus.
+//!
+//! Run with: `cargo run --example structured_ir_search`
+
+use tix::corpus::{fig1, CorpusSpec, Generator, PlantSpec};
+use tix::query::run_query;
+use tix::store::Store;
+
+fn show(title: &str, items: &[tix::query::ResultItem]) {
+    println!("\n=== {title} ===");
+    if items.is_empty() {
+        println!("(no results)");
+    }
+    for (i, item) in items.iter().enumerate() {
+        let tag = item.tag.as_deref().unwrap_or("?");
+        let score = item.score.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into());
+        let preview: String = item.xml.chars().take(96).collect();
+        println!("{:>2}. <{tag}> score={score}  {preview}…", i + 1);
+    }
+}
+
+fn main() {
+    // Part 1: the paper's own examples.
+    let (store, _, _) = fig1::load().expect("figure 1 database loads");
+
+    let query1 = r#"
+        For $a in document("articles.xml")//article/descendant-or-self::*
+        Score $a using ScoreFoo($a, {"search engine"},
+                                {"internet", "information retrieval"})
+        Pick $a using PickFoo($a)
+        Return $a
+        Sortby(score)
+        Threshold $a/@score > 0.5 stop after 5
+    "#;
+    show("Query 1: simple IR-style", &run_query(&store, query1).unwrap());
+
+    let query2 = r#"
+        For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/descendant-or-self::*
+        Score $a using ScoreFoo($a, {"search engine"},
+                                {"internet", "information retrieval"})
+        Pick $a using PickFoo($a)
+        Return $a
+        Sortby(score)
+        Threshold $a/@score > 4 stop after 5
+    "#;
+    show("Query 2: structured IR-style", &run_query(&store, query2).unwrap());
+
+    // Part 2: the same query shape against a synthetic 200-article corpus
+    // with a planted topic.
+    let plants = PlantSpec::default()
+        .with_phrase("vector", "search", 25, 40)
+        .with_term("vector", 100)
+        .with_term("ranking", 60);
+    let generator = Generator::new(CorpusSpec::small(), plants).unwrap();
+    let mut corpus_store = Store::new();
+    generator.load_into(&mut corpus_store).unwrap();
+    println!("\ncorpus: {}", corpus_store.stats());
+
+    // Find an article that actually mentions the planted topic, then ask
+    // for its most relevant components.
+    let index = tix::index::InvertedIndex::build(&corpus_store);
+    let doc = index.postings("vector")[0].doc;
+    let doc_name = corpus_store.doc(doc).name().to_string();
+    let corpus_query = format!(
+        r#"
+        For $a in document("{doc_name}")//article/descendant-or-self::*
+        Score $a using ScoreFoo($a, {{"vector"}}, {{"ranking"}})
+        Pick $a using PickFoo($a, 0.7, 0.5)
+        Return $a
+        Sortby(score)
+        Threshold $a/@score > 0.5 stop after 3
+    "#
+    );
+    show(
+        &format!("components of {doc_name} about 'vector'"),
+        &run_query(&corpus_store, &corpus_query).unwrap(),
+    );
+}

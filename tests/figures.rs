@@ -1,0 +1,311 @@
+//! Golden reproduction of the paper's worked figures.
+//!
+//! The Figure 1 example database ships in `tix_corpus::fig1` with text
+//! engineered so the paper's term counts hold exactly. These tests assert,
+//! number for number, the results the paper shows in:
+//!
+//! * **Fig. 5** — Query 2 under scored selection (scores 0.8 / 3.6 / 5.6);
+//! * **Fig. 6** — Query 2 under scored projection (the 12-node tree);
+//! * **Fig. 7** — Query 3's scored join (root score 2.8);
+//! * **Fig. 8** — projection followed by Pick (article[5.0] with
+//!   chapter[5.0], section-title[0.8], p[0.8], p[1.4], p[1.4]);
+//! * **Example 3.1** — the 4-step plan whose top Threshold result is the
+//!   `<chapter>` node (#a10).
+
+use std::sync::Arc;
+
+use tix::core::ops;
+use tix::core::pattern::{
+    Agg, EdgeKind, PatternNodeId, PatternTree, Predicate, ScoreInput, ScoreRule,
+};
+use tix::core::scoring::paper::{score_bar_combiner, ScoreFoo, ScoreSim};
+use tix::core::scoring::ScoreContext;
+use tix::core::{Collection, ScoredTree};
+use tix::corpus::fig1;
+use tix::store::{NodeIdx, NodeRef, Store};
+
+/// Node indexes in `fig1::ARTICLES_XML` (whitespace text is not stored):
+/// 0 article · 1 article-title · 3 author · 6 sname · 8/13/18 chapters ·
+/// 21/26/31 sections · 22/27/32 section-titles · 34/36/38 the Examples
+/// paragraphs (the paper's #a18/#a19/#a20).
+mod n {
+    pub const ARTICLE: u32 = 0;
+    pub const ARTICLE_TITLE: u32 = 1;
+    pub const SNAME: u32 = 6;
+    pub const CHAPTER3: u32 = 18; // the paper's #a10
+    pub const SECTION1: u32 = 21; // #a12
+    pub const ST1: u32 = 22; // #a13
+    pub const SECTION2: u32 = 26; // #a14
+    pub const ST2: u32 = 27; // #a15
+    pub const SECTION3: u32 = 31; // #a16
+    pub const P18: u32 = 34; // #a18
+    pub const P19: u32 = 36; // #a19
+    pub const P20: u32 = 38; // #a20
+}
+
+fn aref(store: &Store, idx: u32) -> NodeRef {
+    NodeRef::new(store.doc_by_name("articles.xml").unwrap(), NodeIdx(idx))
+}
+
+/// The Query 2 pattern of the paper's Figure 3.
+struct Query2 {
+    pattern: PatternTree,
+    n1: PatternNodeId,
+    n3: PatternNodeId,
+    n4: PatternNodeId,
+}
+
+fn query2_pattern() -> Query2 {
+    let mut pattern = PatternTree::new();
+    let n1 = pattern.add_root(Predicate::tag("article"));
+    let n2 = pattern.add_child(n1, EdgeKind::Child, Predicate::tag("author"));
+    let n3 = pattern.add_child(
+        n2,
+        EdgeKind::Child,
+        Predicate::And(vec![Predicate::tag("sname"), Predicate::content_eq("Doe")]),
+    );
+    let n4 = pattern.add_child(n1, EdgeKind::SelfOrDescendant, Predicate::True);
+    pattern.score_primary(
+        n4,
+        ScoreFoo::shared(&["search engine"], &["internet", "information retrieval"]),
+    );
+    pattern.score_from_descendant(n1, n4);
+    Query2 { pattern, n1, n3, n4 }
+}
+
+fn score_of(tree: &ScoredTree, store: &Store, idx: u32) -> Option<f64> {
+    tree.entries()
+        .iter()
+        .find(|e| e.source.stored() == Some(aref(store, idx)))
+        .and_then(|e| e.score)
+}
+
+#[test]
+fn figure5_selection_witnesses() {
+    let (store, _, _) = fig1::load().unwrap();
+    let q = query2_pattern();
+    let input = Collection::document(&store, "articles.xml").unwrap();
+    let result = ops::select(&store, &input, &q.pattern);
+    // $4 ranges over all 24 elements of articles.xml.
+    assert_eq!(result.len(), 24);
+
+    // Fig. 5(a): the witness where $4 bound #a18 — article[0.8] with the
+    // paragraph scored 0.8.
+    let a = result
+        .iter()
+        .find(|t| t.bound(q.n4).any(|(_, e)| e.source.stored() == Some(aref(&store, n::P18))))
+        .expect("witness for #a18");
+    assert!((a.score().unwrap() - 0.8).abs() < 1e-9);
+    assert!((score_of(a, &store, n::P18).unwrap() - 0.8).abs() < 1e-9);
+
+    // Fig. 5(b): $4 = section #a16, scored 3.6.
+    let b = result
+        .iter()
+        .find(|t| {
+            t.bound(q.n4).any(|(_, e)| e.source.stored() == Some(aref(&store, n::SECTION3)))
+        })
+        .expect("witness for #a16");
+    assert!((b.score().unwrap() - 3.6).abs() < 1e-9, "{:?}", b.score());
+
+    // Fig. 5(c): $4 = the article itself — one merged root entry bound to
+    // both $1 and $4, scored 5.6.
+    let c = result
+        .iter()
+        .find(|t| t.entries()[0].vars.len() == 2)
+        .expect("self-match witness");
+    assert!((c.score().unwrap() - 5.6).abs() < 1e-9, "{:?}", c.score());
+    assert_eq!(c.len(), 3); // article, author, sname
+}
+
+#[test]
+fn figure6_projection_tree() {
+    let (store, _, _) = fig1::load().unwrap();
+    let q = query2_pattern();
+    let input = Collection::document(&store, "articles.xml").unwrap();
+    let result = ops::project(&store, &input, &q.pattern, &[q.n1, q.n3, q.n4]);
+    assert_eq!(result.len(), 1);
+    let tree = &result.trees()[0];
+
+    // Exactly the nodes of Fig. 6, in document order, with its scores.
+    let expected: &[(u32, Option<f64>)] = &[
+        (n::ARTICLE, Some(5.6)),
+        (n::ARTICLE_TITLE, Some(0.6)),
+        (n::SNAME, None),
+        (n::CHAPTER3, Some(5.0)),
+        (n::SECTION1, Some(0.8)),
+        (n::ST1, Some(0.8)),
+        (n::SECTION2, Some(0.6)),
+        (n::ST2, Some(0.6)),
+        (n::SECTION3, Some(3.6)),
+        (n::P18, Some(0.8)),
+        (n::P19, Some(1.4)),
+        (n::P20, Some(1.4)),
+    ];
+    let got: Vec<(u32, Option<f64>)> = tree
+        .entries()
+        .iter()
+        .map(|e| (e.source.stored().unwrap().node.as_u32(), e.score))
+        .collect();
+    let expected_rounded: Vec<(u32, Option<f64>)> = expected.to_vec();
+    let got_rounded: Vec<(u32, Option<f64>)> = got
+        .iter()
+        .map(|&(n, s)| (n, s.map(|v| (v * 10.0).round() / 10.0)))
+        .collect();
+    assert_eq!(got_rounded, expected_rounded, "\noutline:\n{}", tree.outline(&store));
+}
+
+#[test]
+fn figure8_pick_result() {
+    let (store, _, _) = fig1::load().unwrap();
+    let q = query2_pattern();
+    let input = Collection::document(&store, "articles.xml").unwrap();
+    let projected = ops::project(&store, &input, &q.pattern, &[q.n1, q.n3, q.n4]);
+    let ctx = ScoreContext::new(&store);
+    let picked = ops::pick(
+        &ctx,
+        &projected,
+        q.n4,
+        &ops::FractionPick::paper(),
+        q.pattern.rules(),
+    );
+    assert_eq!(picked.len(), 1);
+    let tree = &picked.trees()[0];
+    // Fig. 8: article[5.0] (root, score recomputed after pruning), sname,
+    // chapter[5.0], section-title[0.8] re-linked under chapter, and the
+    // three paragraphs.
+    let expected: &[(u32, Option<f64>)] = &[
+        (n::ARTICLE, Some(5.0)),
+        (n::SNAME, None),
+        (n::CHAPTER3, Some(5.0)),
+        (n::ST1, Some(0.8)),
+        (n::P18, Some(0.8)),
+        (n::P19, Some(1.4)),
+        (n::P20, Some(1.4)),
+    ];
+    let got: Vec<(u32, Option<f64>)> = tree
+        .entries()
+        .iter()
+        .map(|e| {
+            (
+                e.source.stored().unwrap().node.as_u32(),
+                e.score.map(|v| (v * 10.0).round() / 10.0),
+            )
+        })
+        .collect();
+    assert_eq!(got, expected, "\noutline:\n{}", tree.outline(&store));
+
+    // The paper's structural detail: section-title #a13 now hangs directly
+    // off chapter #a10 (its own section was pruned).
+    let chapter_pos = tree
+        .entries()
+        .iter()
+        .position(|e| e.source.stored() == Some(aref(&store, n::CHAPTER3)))
+        .unwrap() as u32;
+    let st = tree
+        .entries()
+        .iter()
+        .find(|e| e.source.stored() == Some(aref(&store, n::ST1)))
+        .unwrap();
+    assert_eq!(st.parent, Some(chapter_pos));
+}
+
+#[test]
+fn figure7_join_result() {
+    let (store, _, _) = fig1::load().unwrap();
+
+    // Fig. 4's pattern, split into its two sides: $2..$6 articles,
+    // $7..$8 reviews.
+    let mut left = PatternTree::with_first_id(2);
+    let n2 = left.add_root(Predicate::tag("article"));
+    let n3 = left.add_child(n2, EdgeKind::Child, Predicate::tag("article-title"));
+    let n4 = left.add_child(n2, EdgeKind::Child, Predicate::tag("author"));
+    let _n5 = left.add_child(
+        n4,
+        EdgeKind::Child,
+        Predicate::And(vec![Predicate::tag("sname"), Predicate::content_eq("Doe")]),
+    );
+    let n6 = left.add_child(n2, EdgeKind::SelfOrDescendant, Predicate::True);
+    left.score_primary(
+        n6,
+        ScoreFoo::shared(&["search engine"], &["internet", "information retrieval"]),
+    );
+    left.score_from_descendant(n2, n6);
+
+    let mut right = PatternTree::with_first_id(7);
+    let n7 = right.add_root(Predicate::tag("review"));
+    let n8 = right.add_child(n7, EdgeKind::Child, Predicate::tag("title"));
+
+    let left_coll = ops::select(&store, &Collection::document(&store, "articles.xml").unwrap(), &left);
+    let right_coll = ops::select(&store, &Collection::document(&store, "reviews.xml").unwrap(), &right);
+
+    let root_var = PatternNodeId(1); // Fig. 4's $1 = tix_prod_root
+    let join_score = PatternNodeId(99); // $joinScore
+    let conditions = [ops::JoinCondition {
+        left: n3,
+        right: n8,
+        scorer: Arc::new(ScoreSim),
+        output: join_score,
+        min_score: None,
+    }];
+    let rules = [ScoreRule::Combined {
+        node: root_var,
+        inputs: vec![ScoreInput::Aux(join_score), ScoreInput::Var(n6, Agg::Max)],
+        combine: score_bar_combiner(),
+    }];
+    let ctx = ScoreContext::new(&store);
+    let joined = ops::join(&ctx, &left_coll, &right_coll, &conditions, root_var, &rules);
+
+    // 24 article witnesses × 2 reviews.
+    assert_eq!(joined.len(), 48);
+
+    // Fig. 7's tree: the witness where $6 = #a18 (0.8) paired with review 1
+    // ("Internet Technologies", simScore 2) → tix_prod_root[2.8].
+    let fig7 = joined
+        .iter()
+        .filter(|t| {
+            t.aux(join_score) == Some(2.0)
+                && t.entries()
+                    .iter()
+                    .any(|e| e.source.stored() == Some(aref(&store, n::P18)))
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(fig7.len(), 1);
+    assert_eq!(fig7[0].score(), Some(2.8));
+
+    // Review 2 ("WWW Technologies") shares one word with the article title.
+    let with_r2: Vec<_> = joined.iter().filter(|t| t.aux(join_score) == Some(1.0)).collect();
+    assert_eq!(with_r2.len(), 24);
+}
+
+/// Example 3.1: projection → Pick → per-IR-node selection → Threshold
+/// top-1; the winner contains the chapter #a10.
+#[test]
+fn example_3_1_workflow() {
+    let (store, _, _) = fig1::load().unwrap();
+    let q = query2_pattern();
+    let ctx = ScoreContext::new(&store);
+    let input = Collection::document(&store, "articles.xml").unwrap();
+
+    // Step 1: projection (Fig. 6).
+    let projected = ops::project(&store, &input, &q.pattern, &[q.n1, q.n3, q.n4]);
+    // Step 2: Pick (Fig. 8).
+    let picked = ops::pick(&ctx, &projected, q.n4, &ops::FractionPick::paper(), q.pattern.rules());
+    // Step 3: one tree per remaining primary data IR-node ("a collection of
+    // five trees, corresponding to the five primary data IR-nodes").
+    let tree = &picked.trees()[0];
+    let per_node: Collection = tree
+        .bound(q.n4)
+        .map(|(_, e)| {
+            ScoredTree::from_stored(
+                &store,
+                vec![(e.source.stored().unwrap(), e.score, vec![q.n4])],
+            )
+        })
+        .collect();
+    assert_eq!(per_node.len(), 5);
+    // Step 4: Threshold keeps the top-1 ranked result.
+    let top = ops::threshold(&per_node, &[ops::ThresholdCond::TopK { var: q.n4, k: 1 }]);
+    assert_eq!(top.len(), 1);
+    let winner = top.trees()[0].entries()[0].source.stored().unwrap();
+    assert_eq!(winner, aref(&store, n::CHAPTER3), "the paper's #a10");
+}

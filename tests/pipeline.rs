@@ -1,0 +1,142 @@
+//! End-to-end pipeline tests over the synthetic corpus: generator → store →
+//! index → access methods → Pick/Threshold, cross-checking layers against
+//! each other at integration level.
+
+use tix::corpus::{workloads, CorpusSpec, Generator, PlantSpec};
+use tix::exec::pick::{pick_stream, PickParams};
+use tix::exec::scored::sort_by_node;
+use tix::exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+use tix::exec::{phrase, topk};
+use tix::Database;
+
+fn build_db(plants: PlantSpec) -> Database {
+    let generator = Generator::new(CorpusSpec::small(), plants).unwrap();
+    let mut db = Database::new();
+    generator.load_into(db.store_mut()).unwrap();
+    db.build_index();
+    db
+}
+
+#[test]
+fn termjoin_scores_reflect_planted_frequencies() {
+    let db = build_db(PlantSpec::default().with_term("alpha", 120).with_term("beta", 40));
+    let scorer = SimpleScorer::uniform();
+    let scored = TermJoin::new(db.store(), db.index(), &["alpha", "beta"], &scorer).run();
+    // Every article root's score sums to the occurrences it contains;
+    // the global sum over document roots equals the planted totals.
+    let root_sum: f64 = scored
+        .iter()
+        .filter(|s| s.node.node.as_u32() == 0)
+        .map(|s| s.score)
+        .sum();
+    assert!((root_sum - 160.0).abs() < 1e-9, "got {root_sum}");
+}
+
+#[test]
+fn search_pipeline_returns_granular_units() {
+    let db = build_db(PlantSpec::default().with_term("needle", 60));
+    let results = db.search(&["needle"], PickParams { relevance_threshold: 1.0, fraction: 0.5 }, 10);
+    assert!(!results.is_empty());
+    assert!(results.len() <= 10);
+    // Parent/child exclusivity holds across the returned set.
+    for a in &results {
+        for b in &results {
+            assert!(
+                a.node == b.node || db.store().parent(b.node) != Some(a.node),
+                "{} is the parent of {}",
+                a.node,
+                b.node
+            );
+        }
+    }
+}
+
+#[test]
+fn phrase_pipeline_matches_planted_adjacencies() {
+    let db = build_db(
+        PlantSpec::default()
+            .with_phrase("lorem", "ipsum", 18, 30)
+            .with_term("lorem", 50)
+            .with_term("ipsum", 20),
+    );
+    let matches = db.find_phrase(&["lorem", "ipsum"]);
+    let total: f64 = matches.iter().map(|s| s.score).sum();
+    // All 18 planted adjacencies are found (chance adjacencies from the
+    // standalone plantings can only add).
+    assert!(total >= 18.0, "got {total}");
+    // And Comp3 sees exactly the same matches.
+    let c3 = sort_by_node(phrase::comp3(db.store(), db.index(), &["lorem", "ipsum"]));
+    assert_eq!(matches, c3);
+}
+
+#[test]
+fn complex_scoring_pipeline_enhanced_equals_plain() {
+    let db = build_db(PlantSpec::default().with_term("alpha", 80).with_term("beta", 25));
+    let plain = ComplexScorer::uniform(ChildCountMode::Navigate);
+    let enhanced = ComplexScorer::uniform(ChildCountMode::Index);
+    let a = sort_by_node(TermJoin::new(db.store(), db.index(), &["alpha", "beta"], &plain).run());
+    let b =
+        sort_by_node(TermJoin::new(db.store(), db.index(), &["alpha", "beta"], &enhanced).run());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.node, y.node);
+        assert!((x.score - y.score).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn topk_over_pick_is_stable() {
+    let db = build_db(PlantSpec::default().with_term("gamma", 100));
+    let scorer = SimpleScorer::uniform();
+    let scored = sort_by_node(TermJoin::new(db.store(), db.index(), &["gamma"], &scorer).run());
+    let picked = pick_stream(db.store(), &scored, &PickParams { relevance_threshold: 2.0, fraction: 0.5 });
+    let top = topk::top_k(picked.clone(), 5);
+    assert!(top.len() <= 5);
+    assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
+    // Top-k is a subset of the picked set.
+    for t in &top {
+        assert!(picked.iter().any(|p| p.node == t.node));
+    }
+}
+
+#[test]
+fn paper_workload_plants_resolve_in_index() {
+    // Scaled-down version of the real experiment setup.
+    let plants = workloads::paper_plants(0.05);
+    let generator = Generator::new(CorpusSpec::small(), plants).unwrap();
+    let mut db = Database::new();
+    generator.load_into(db.store_mut()).unwrap();
+    db.build_index();
+    for &freq in workloads::TABLE12_FREQUENCIES {
+        let expect = ((freq as f64 * 0.05).round() as usize).max(1);
+        for which in 0..2 {
+            let term = workloads::pair_term(freq, which);
+            assert_eq!(
+                db.index().collection_frequency(&term),
+                expect,
+                "term {term}"
+            );
+        }
+    }
+    // Table 5 phrase rows resolve too.
+    let (a, b) = workloads::table5_terms(0);
+    assert!(db.index().collection_frequency(&a) > 0);
+    assert!(db.index().collection_frequency(&b) > 0);
+    assert!(!db.find_phrase(&[&a, &b]).is_empty());
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_query_results() {
+    let db = build_db(PlantSpec::default().with_term("persist", 30));
+    let mut buf = Vec::new();
+    db.store().save_snapshot(&mut buf).unwrap();
+    let reloaded = tix::store::Store::load_snapshot(buf.as_slice()).unwrap();
+    assert_eq!(db.store().stats(), reloaded.stats());
+    // The full stack works on the reloaded store with identical results.
+    let index = tix::index::InvertedIndex::build(&reloaded);
+    assert_eq!(index.collection_frequency("persist"), 30);
+    let scorer = SimpleScorer::uniform();
+    let before = sort_by_node(TermJoin::new(db.store(), db.index(), &["persist"], &scorer).run());
+    let after = sort_by_node(TermJoin::new(&reloaded, &index, &["persist"], &scorer).run());
+    assert_eq!(before, after);
+}
