@@ -26,13 +26,21 @@ fn bench_detail_buffers(c: &mut Criterion) {
     let simple = SimpleScorer::new(vec![0.8, 0.6]);
     group.bench_function("simple_no_buffers", |bench| {
         bench.iter(|| {
-            black_box(TermJoin::new(&fixture.store, &fixture.index, &terms, &simple).run().len())
+            black_box(
+                TermJoin::new(&fixture.store, &fixture.index, &terms, &simple)
+                    .run()
+                    .len(),
+            )
         })
     });
     let complex = ComplexScorer::new(vec![0.8, 0.6], ChildCountMode::Index);
     group.bench_function("complex_with_buffers", |bench| {
         bench.iter(|| {
-            black_box(TermJoin::new(&fixture.store, &fixture.index, &terms, &complex).run().len())
+            black_box(
+                TermJoin::new(&fixture.store, &fixture.index, &terms, &complex)
+                    .run()
+                    .len(),
+            )
         })
     });
     group.finish();
@@ -69,7 +77,12 @@ fn bench_structural_join(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(1));
     let term = workloads::pair_term(1000, 0);
-    let descendants: Vec<_> = fixture.index.postings(&term).iter().map(|p| p.node_ref()).collect();
+    let descendants: Vec<_> = fixture
+        .index
+        .postings(&term)
+        .iter()
+        .map(|p| p.node_ref())
+        .collect();
     // Ancestor side: the elements of the first 40 documents (a nested loop
     // over the full list would dominate the bench budget).
     let ancestors: Vec<_> = (0..40)

@@ -28,9 +28,7 @@ fn bench_table1(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(method.label(), freq),
                 &terms,
-                |bench, terms| {
-                    bench.iter(|| black_box(fixture.run_method(method, terms, &scorer)))
-                },
+                |bench, terms| bench.iter(|| black_box(fixture.run_method(method, terms, &scorer))),
             );
         }
     }

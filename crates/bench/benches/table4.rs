@@ -29,9 +29,11 @@ fn bench_table4(c: &mut Criterion) {
                 ChildCountMode::Navigate
             };
             let scorer = ComplexScorer::new(vec![0.8, 0.6], mode);
-            group.bench_with_input(BenchmarkId::new(method.label(), n), &terms, |bench, terms| {
-                bench.iter(|| black_box(fixture.run_method(method, terms, &scorer)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), n),
+                &terms,
+                |bench, terms| bench.iter(|| black_box(fixture.run_method(method, terms, &scorer))),
+            );
         }
     }
     group.finish();

@@ -24,9 +24,13 @@ fn bench_table5(c: &mut Criterion) {
                 bench.iter(|| black_box(phrase_finder(&fixture.store, &fixture.index, terms).len()))
             },
         );
-        group.bench_with_input(BenchmarkId::new("Comp3", row + 1), &terms, |bench, terms| {
-            bench.iter(|| black_box(comp3(&fixture.store, &fixture.index, terms).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("Comp3", row + 1),
+            &terms,
+            |bench, terms| {
+                bench.iter(|| black_box(comp3(&fixture.store, &fixture.index, terms).len()))
+            },
+        );
     }
     group.finish();
 }

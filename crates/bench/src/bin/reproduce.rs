@@ -28,7 +28,9 @@ use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tables: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["figures", "table1", "table2", "table3", "table4", "table5", "pick"]
+        vec![
+            "figures", "table1", "table2", "table3", "table4", "table5", "pick",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -42,7 +44,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
 
-    let spec = CorpusSpec { articles, ..CorpusSpec::default() };
+    let spec = CorpusSpec {
+        articles,
+        ..CorpusSpec::default()
+    };
     eprintln!(
         "building corpus: {articles} articles (~{} nodes), plant scale {scale} …",
         spec.approx_nodes()
@@ -130,7 +135,13 @@ fn figures() {
     }
     println!("```");
     let ctx = ScoreContext::new(&store);
-    let picked = ops::pick(&ctx, &projected, n4, &ops::FractionPick::paper(), pattern.rules());
+    let picked = ops::pick(
+        &ctx,
+        &projected,
+        n4,
+        &ops::FractionPick::paper(),
+        pattern.rules(),
+    );
     println!("\n## Figure 8 — projection followed by Pick\n");
     println!("```");
     for tree in picked.iter() {
@@ -142,7 +153,12 @@ fn figures() {
 /// Table 1: two terms of equal frequency, increasing; simple scoring.
 fn table1(fixture: &Fixture) {
     println!("\n## Table 1 — two index terms, increasing frequency, simple scoring\n");
-    let methods = [Method::Comp1, Method::Comp2, Method::GeneralizedMeet, Method::TermJoin];
+    let methods = [
+        Method::Comp1,
+        Method::Comp2,
+        Method::GeneralizedMeet,
+        Method::TermJoin,
+    ];
     let mut cols = vec!["approx. term freq"];
     cols.extend(methods.iter().map(|m| m.label()));
     header(&cols);
@@ -244,7 +260,14 @@ fn table4(fixture: &Fixture) {
 /// Table 5: PhraseFinder vs Comp3 on 13 two-term phrases.
 fn table5(fixture: &Fixture) {
     println!("\n## Table 5 — PhraseFinder vs composite (Comp3) on 13 phrases\n");
-    header(&["query", "term1 freq", "term2 freq", "result size", "Comp3", "PhraseFinder"]);
+    header(&[
+        "query",
+        "term1 freq",
+        "term2 freq",
+        "result size",
+        "Comp3",
+        "PhraseFinder",
+    ]);
     for (i, _row) in workloads::TABLE5_ROWS.iter().enumerate() {
         let (a, b) = workloads::table5_terms(i);
         let terms = [a.as_str(), b.as_str()];

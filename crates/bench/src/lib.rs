@@ -40,7 +40,11 @@ impl Fixture {
         let mut store = Store::new();
         generator.load_into(&mut store).expect("corpus loads");
         let index = InvertedIndex::build(&store);
-        Fixture { store, index, scale }
+        Fixture {
+            store,
+            index,
+            scale,
+        }
     }
 
     /// The benchmark-scale fixture (the default corpus, full paper
@@ -59,15 +63,24 @@ impl Fixture {
 
     /// Run a score-generating method over `terms` and return the result
     /// count (keeps the optimizer honest in timing loops).
-    pub fn run_method<S: TermJoinScorer>(&self, method: Method, terms: &[&str], scorer: &S) -> usize {
+    pub fn run_method<S: TermJoinScorer>(
+        &self,
+        method: Method,
+        terms: &[&str],
+        scorer: &S,
+    ) -> usize {
         match method {
             Method::TermJoin | Method::EnhancedTermJoin => {
                 tix_exec::termjoin::TermJoin::new(&self.store, &self.index, terms, scorer)
                     .run()
                     .len()
             }
-            Method::Comp1 => tix_exec::composite::comp1(&self.store, &self.index, terms, scorer).len(),
-            Method::Comp2 => tix_exec::composite::comp2(&self.store, &self.index, terms, scorer).len(),
+            Method::Comp1 => {
+                tix_exec::composite::comp1(&self.store, &self.index, terms, scorer).len()
+            }
+            Method::Comp2 => {
+                tix_exec::composite::comp2(&self.store, &self.index, terms, scorer).len()
+            }
             Method::GeneralizedMeet => {
                 tix_exec::meet::generalized_meet(&self.store, &self.index, terms, scorer).len()
             }
@@ -103,6 +116,41 @@ impl Fixture {
     /// Time one Pick run over an input of `n` nodes.
     pub fn run_pick(&self, input: &[ScoredNode]) -> usize {
         pick_stream(&self.store, input, &PickParams::paper()).len()
+    }
+
+    /// [`Fixture::run_method`] for the parallel TermJoin variant: the same
+    /// scored output, document-partitioned over `threads` workers. Only
+    /// meaningful for the TermJoin methods (the baselines have no parallel
+    /// implementation); panics on other methods.
+    pub fn run_method_parallel<S: TermJoinScorer>(
+        &self,
+        method: Method,
+        terms: &[&str],
+        scorer: &S,
+        threads: usize,
+    ) -> usize {
+        match method {
+            Method::TermJoin | Method::EnhancedTermJoin => tix_exec::parallel::term_join_parallel(
+                &self.store,
+                &self.index,
+                terms,
+                scorer,
+                threads,
+            )
+            .len(),
+            other => panic!("{} has no parallel variant", other.label()),
+        }
+    }
+
+    /// One PhraseFinder run over `threads` workers; returns the match count.
+    pub fn run_phrase_parallel(&self, terms: &[&str], threads: usize) -> usize {
+        tix_exec::parallel::phrase_finder_parallel(&self.store, &self.index, terms, threads).len()
+    }
+
+    /// One Pick run over `threads` workers; returns the picked count.
+    pub fn run_pick_parallel(&self, input: &[ScoredNode], threads: usize) -> usize {
+        tix_exec::parallel::pick_stream_parallel(&self.store, input, &PickParams::paper(), threads)
+            .len()
     }
 }
 
@@ -182,7 +230,10 @@ mod tests {
         assert!(n > 0);
         assert_eq!(fixture.run_method(Method::Comp1, &terms, &scorer), n);
         assert_eq!(fixture.run_method(Method::Comp2, &terms, &scorer), n);
-        assert_eq!(fixture.run_method(Method::GeneralizedMeet, &terms, &scorer), n);
+        assert_eq!(
+            fixture.run_method(Method::GeneralizedMeet, &terms, &scorer),
+            n
+        );
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! tix load   <snapshot> <file.xml>…      load XML files, write a snapshot
 //! tix gen    <snapshot> [articles] [seed] generate a synthetic corpus
 //! tix stats  <snapshot>                  corpus statistics
-//! tix search <snapshot> <term>… [-k N] [-t THRESHOLD]
+//! tix search <snapshot> <term>… [-k N] [-t THRESHOLD] [--threads N]
 //!                                        TermJoin → Pick → top-k search
-//! tix phrase <snapshot> <term> <term>…   exact-phrase lookup (PhraseFinder)
+//! tix phrase <snapshot> <term> <term>… [--threads N]
+//!                                        exact-phrase lookup (PhraseFinder)
 //! tix query  <snapshot> <file|->         run an extended-XQuery query
 //! ```
 
@@ -32,8 +33,7 @@ mod commands {
         }
         let mut store = Store::new();
         for path in files {
-            let xml = fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let xml = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let name = std::path::Path::new(path)
                 .file_name()
                 .and_then(|n| n.to_str())
@@ -43,14 +43,21 @@ mod commands {
                 .map_err(|e| format!("cannot load {path}: {e}"))?;
         }
         write_snapshot(&store, snapshot)?;
-        Ok(format!("loaded {} → {snapshot}: {}", files.len(), store.stats()))
+        Ok(format!(
+            "loaded {} → {snapshot}: {}",
+            files.len(),
+            store.stats()
+        ))
     }
 
     /// Generate a synthetic corpus and write a snapshot.
     pub fn generate(snapshot: &str, articles: usize, seed: u64) -> Result<String, String> {
-        let spec = CorpusSpec { articles, seed, ..CorpusSpec::default() };
-        let generator =
-            Generator::new(spec, PlantSpec::default()).map_err(|e| e.to_string())?;
+        let spec = CorpusSpec {
+            articles,
+            seed,
+            ..CorpusSpec::default()
+        };
+        let generator = Generator::new(spec, PlantSpec::default()).map_err(|e| e.to_string())?;
         let mut store = Store::new();
         generator.load_into(&mut store).map_err(|e| e.to_string())?;
         write_snapshot(&store, snapshot)?;
@@ -69,15 +76,19 @@ mod commands {
         terms: &[String],
         k: usize,
         threshold: f64,
+        threads: Option<usize>,
     ) -> Result<String, String> {
         if terms.is_empty() {
             return Err("search: at least one term required".into());
         }
-        let db = database(snapshot)?;
+        let db = database(snapshot, threads)?;
         let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
         let results = db.search(
             &term_refs,
-            PickParams { relevance_threshold: threshold, fraction: 0.5 },
+            PickParams {
+                relevance_threshold: threshold,
+                fraction: 0.5,
+            },
             k,
         );
         let mut out = format!("{} results\n", results.len());
@@ -95,11 +106,15 @@ mod commands {
     }
 
     /// PhraseFinder lookup.
-    pub fn phrase(snapshot: &str, terms: &[String]) -> Result<String, String> {
+    pub fn phrase(
+        snapshot: &str,
+        terms: &[String],
+        threads: Option<usize>,
+    ) -> Result<String, String> {
         if terms.len() < 2 {
             return Err("phrase: at least two terms required".into());
         }
-        let db = database(snapshot)?;
+        let db = database(snapshot, threads)?;
         let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
         let matches = db.find_phrase(&term_refs);
         let mut out = format!("{} text nodes contain the phrase\n", matches.len());
@@ -135,10 +150,15 @@ mod commands {
     }
 
     /// Open a snapshot plus its sidecar index (`<snapshot>.idx`), building
-    /// and caching the index on first use.
-    fn database(snapshot: &str) -> Result<Database, String> {
+    /// and caching the index on first use. `threads` overrides the default
+    /// worker count (`TIX_THREADS` / machine parallelism) for the index
+    /// build and all queries; results are identical either way.
+    fn database(snapshot: &str, threads: Option<usize>) -> Result<Database, String> {
         let store = read_snapshot(snapshot)?;
         let mut db = Database::new();
+        if let Some(threads) = threads {
+            db.set_threads(threads);
+        }
         *db.store_mut() = store;
         let idx_path = format!("{snapshot}.idx");
         match fs::File::open(&idx_path) {
@@ -179,9 +199,12 @@ usage:
   tix load   <snapshot> <file.xml>…       load XML files, write a snapshot
   tix gen    <snapshot> [articles] [seed] generate a synthetic corpus
   tix stats  <snapshot>                   corpus statistics
-  tix search <snapshot> <term>… [-k N] [-t THRESHOLD]
-  tix phrase <snapshot> <term> <term>…
+  tix search <snapshot> <term>… [-k N] [-t THRESHOLD] [--threads N]
+  tix phrase <snapshot> <term> <term>… [--threads N]
   tix query  <snapshot> <file|->          run an extended-XQuery query
+
+Query commands run document-partitioned over worker threads (--threads,
+else TIX_THREADS, else all cores); results are identical at any count.
 ";
 
 fn main() -> ExitCode {
@@ -233,6 +256,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let mut terms = Vec::new();
             let mut k = 10usize;
             let mut threshold = 0.5f64;
+            let mut threads = None;
             let mut it = rest[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -244,14 +268,35 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                         let v = it.next().ok_or("-t needs a value")?;
                         threshold = v.parse().map_err(|_| format!("bad -t value {v:?}"))?;
                     }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        threads = Some(
+                            v.parse()
+                                .map_err(|_| format!("bad --threads value {v:?}"))?,
+                        );
+                    }
                     term => terms.push(term.to_string()),
                 }
             }
-            commands::search(snapshot, &terms, k, threshold)
+            commands::search(snapshot, &terms, k, threshold, threads)
         }
         "phrase" => {
             let snapshot = rest.first().ok_or("phrase: snapshot path required")?;
-            commands::phrase(snapshot, &rest[1..])
+            let mut terms = Vec::new();
+            let mut threads = None;
+            let mut it = rest[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--threads" {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    threads = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad --threads value {v:?}"))?,
+                    );
+                } else {
+                    terms.push(arg.clone());
+                }
+            }
+            commands::phrase(snapshot, &terms, threads)
         }
         "query" => {
             let snapshot = rest.first().ok_or("query: snapshot path required")?;
@@ -315,11 +360,7 @@ mod tests {
     #[test]
     fn query_from_file() {
         let xml_path = tmp("qdoc.xml");
-        fs::write(
-            &xml_path,
-            "<article><p>search engine design</p></article>",
-        )
-        .unwrap();
+        fs::write(&xml_path, "<article><p>search engine design</p></article>").unwrap();
         let snap = tmp("qdoc.snap");
         dispatch(&["load".into(), snap.clone(), xml_path]).unwrap();
         let query_path = tmp("q.tixql");
@@ -335,6 +376,48 @@ mod tests {
         .unwrap();
         let out = dispatch(&["query".into(), snap, query_path]).unwrap();
         assert!(out.contains("<result><score>"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_results() {
+        let xml_path = tmp("threaded.xml");
+        fs::write(
+            &xml_path,
+            "<article><sec><p>parallel rust engine</p></sec><sec><p>rust again</p></sec></article>",
+        )
+        .unwrap();
+        let snap = tmp("threaded.snap");
+        dispatch(&["load".into(), snap.clone(), xml_path]).unwrap();
+        let base = dispatch(&["search".into(), snap.clone(), "rust".into()]).unwrap();
+        for threads in ["1", "2", "8"] {
+            let out = dispatch(&[
+                "search".into(),
+                snap.clone(),
+                "rust".into(),
+                "--threads".into(),
+                threads.into(),
+            ])
+            .unwrap();
+            assert_eq!(out, base, "--threads {threads}");
+        }
+        let phrase_base = dispatch(&[
+            "phrase".into(),
+            snap.clone(),
+            "parallel".into(),
+            "rust".into(),
+        ])
+        .unwrap();
+        let phrase_par = dispatch(&[
+            "phrase".into(),
+            snap,
+            "parallel".into(),
+            "rust".into(),
+            "--threads".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        assert_eq!(phrase_par, phrase_base);
+        assert!(dispatch(&["search".into(), "x".into(), "--threads".into()]).is_err());
     }
 
     #[test]

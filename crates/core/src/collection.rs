@@ -35,10 +35,8 @@ impl Collection {
 
     /// The collection holding just one named document's tree.
     pub fn document(store: &Store, name: &str) -> Option<Self> {
-        store.doc_by_name(name).map(|doc| {
-            Collection {
-                trees: vec![ScoredTree::document(NodeRef::new(doc, NodeIdx(0)))],
-            }
+        store.doc_by_name(name).map(|doc| Collection {
+            trees: vec![ScoredTree::document(NodeRef::new(doc, NodeIdx(0)))],
         })
     }
 
@@ -76,13 +74,11 @@ impl Collection {
     /// extended XQuery); unscored trees sort last. Ties keep collection
     /// order (stable).
     pub fn sort_by_score_desc(&mut self) {
-        self.trees.sort_by(|a, b| {
-            match (a.score(), b.score()) {
-                (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
-                (Some(_), None) => std::cmp::Ordering::Less,
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
-            }
+        self.trees.sort_by(|a, b| match (a.score(), b.score()) {
+            (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
         });
     }
 }
@@ -98,7 +94,9 @@ impl IntoIterator for Collection {
 
 impl FromIterator<ScoredTree> for Collection {
     fn from_iter<I: IntoIterator<Item = ScoredTree>>(iter: I) -> Self {
-        Collection { trees: iter.into_iter().collect() }
+        Collection {
+            trees: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -115,7 +113,10 @@ mod tests {
         store.load_str("b.xml", "<b/>").unwrap();
         let c = Collection::documents(&store);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.trees()[0].entries()[0].source.stored().unwrap().doc, DocId(0));
+        assert_eq!(
+            c.trees()[0].entries()[0].source.stored().unwrap().doc,
+            DocId(0)
+        );
     }
 
     #[test]
@@ -133,7 +134,11 @@ mod tests {
         let mk = |i: u32, score: Option<f64>| {
             ScoredTree::from_stored(
                 &store,
-                vec![(NodeRef::new(DocId(0), NodeIdx(i)), score, vec![PatternNodeId(1)])],
+                vec![(
+                    NodeRef::new(DocId(0), NodeIdx(i)),
+                    score,
+                    vec![PatternNodeId(1)],
+                )],
             )
         };
         let mut c = Collection::from_trees(vec![mk(0, Some(1.0)), mk(1, None), mk(2, Some(5.0))]);

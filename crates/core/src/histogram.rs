@@ -25,9 +25,11 @@ impl ScoreHistogram {
     pub fn build(scores: impl IntoIterator<Item = f64>, buckets: usize) -> Self {
         assert!(buckets > 0, "at least one bucket required");
         let scores: Vec<f64> = scores.into_iter().filter(|s| s.is_finite()).collect();
-        let (min, max) = scores.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
-            (lo.min(s), hi.max(s))
-        });
+        let (min, max) = scores
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
         if scores.is_empty() {
             return ScoreHistogram {
                 buckets: vec![0; buckets],
@@ -43,7 +45,13 @@ impl ScoreHistogram {
             let idx = (((s - min) / width) as usize).min(buckets - 1);
             hist[idx] += 1;
         }
-        ScoreHistogram { buckets: hist, bucket_width: width, min, max, count: scores.len() }
+        ScoreHistogram {
+            buckets: hist,
+            bucket_width: width,
+            min,
+            max,
+            count: scores.len(),
+        }
     }
 
     /// Total observations.
@@ -79,7 +87,11 @@ impl ScoreHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             let next = acc + c as f64;
             if next >= target && c > 0 {
-                let within = if c > 0 { (target - acc) / c as f64 } else { 0.0 };
+                let within = if c > 0 {
+                    (target - acc) / c as f64
+                } else {
+                    0.0
+                };
                 return self.min + (i as f64 + within.clamp(0.0, 1.0)) * self.bucket_width;
             }
             acc = next;
@@ -96,8 +108,8 @@ impl ScoreHistogram {
         if threshold > self.max {
             return 0;
         }
-        let idx = (((threshold - self.min) / self.bucket_width) as usize)
-            .min(self.buckets.len() - 1);
+        let idx =
+            (((threshold - self.min) / self.bucket_width) as usize).min(self.buckets.len() - 1);
         self.buckets[idx..].iter().sum()
     }
 }

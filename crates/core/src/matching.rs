@@ -31,7 +31,7 @@ pub fn matches(store: &Store, pattern: &PatternTree, scope: NodeRef) -> Vec<Bind
     let order = pattern.nodes();
     let mut out = Vec::new();
     let mut binding: Vec<Option<NodeRef>> = vec![None; order.len()];
-    extend(store, pattern, order, scope, root, 0, &mut binding, &mut out);
+    extend(store, order, scope, root, 0, &mut binding, &mut out);
     out
 }
 
@@ -40,7 +40,6 @@ pub fn matches(store: &Store, pattern: &PatternTree, scope: NodeRef) -> Vec<Bind
 #[allow(clippy::too_many_arguments)]
 fn extend(
     store: &Store,
-    pattern: &PatternTree,
     order: &[PatternNode],
     scope: NodeRef,
     _root: &PatternNode,
@@ -49,7 +48,12 @@ fn extend(
     out: &mut Vec<Binding>,
 ) {
     if pos == order.len() {
-        out.push(binding.iter().map(|b| b.expect("complete binding")).collect());
+        out.push(
+            binding
+                .iter()
+                .map(|b| b.expect("complete binding"))
+                .collect(),
+        );
         return;
     }
     let pnode = &order[pos];
@@ -66,7 +70,7 @@ fn extend(
     };
     for candidate in candidates {
         binding[pos] = Some(candidate);
-        extend(store, pattern, order, scope, _root, pos + 1, binding, out);
+        extend(store, order, scope, _root, pos + 1, binding, out);
     }
     binding[pos] = None;
 }
@@ -79,7 +83,8 @@ fn candidates_in_scope(store: &Store, scope: NodeRef, predicate: &Predicate) -> 
         let list = store.elements_with_tag(tag);
         let end = store.end_key(scope);
         let lo = list.partition_point(|n| *n < scope);
-        let hi = list.partition_point(|n| n.doc < scope.doc || (n.doc == scope.doc && n.node <= end));
+        let hi =
+            list.partition_point(|n| n.doc < scope.doc || (n.doc == scope.doc && n.node <= end));
         list[lo..hi]
             .iter()
             .copied()
@@ -140,7 +145,8 @@ mod tests {
     fn store() -> Store {
         let mut s = Store::new();
         // a=0 [ b=1 [c=2] b=3 [d=4 [c=5]] ]
-        s.load_str("t.xml", "<a><b><c/></b><b><d><c/></d></b></a>").unwrap();
+        s.load_str("t.xml", "<a><b><c/></b><b><d><c/></d></b></a>")
+            .unwrap();
         s
     }
 
@@ -227,7 +233,8 @@ mod tests {
     #[test]
     fn content_predicate_filters() {
         let mut s = Store::new();
-        s.load_str("t.xml", "<r><x>keep</x><x>drop</x></r>").unwrap();
+        s.load_str("t.xml", "<r><x>keep</x><x>drop</x></r>")
+            .unwrap();
         let mut p = PatternTree::new();
         p.add_root(Predicate::And(vec![
             Predicate::tag("x"),

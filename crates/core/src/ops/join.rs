@@ -84,9 +84,13 @@ pub fn join(
             for cond in conditions {
                 let mut best: Option<f64> = None;
                 for (_, le) in t1.bound(cond.left) {
-                    let Some(ln) = le.source.stored() else { continue };
+                    let Some(ln) = le.source.stored() else {
+                        continue;
+                    };
                     for (_, re) in t2.bound(cond.right) {
-                        let Some(rn) = re.source.stored() else { continue };
+                        let Some(rn) = re.source.stored() else {
+                            continue;
+                        };
                         let s = cond.scorer.score(ctx, ln, rn);
                         best = Some(best.map_or(s, |b: f64| b.max(s)));
                     }
@@ -148,9 +152,20 @@ mod tests {
         // Left: article with its title ($2=article, $3=title, $6=unit).
         let mut left = PatternTree::new();
         let a = left.add_root(Predicate::tag("article"));
-        let at = left.add_child(a, crate::pattern::EdgeKind::Child, Predicate::tag("article-title"));
-        let unit = left.add_child(a, crate::pattern::EdgeKind::SelfOrDescendant, Predicate::True);
-        left.score_primary(unit, crate::scoring::paper::ScoreFoo::shared(&["search engine"], &[]));
+        let at = left.add_child(
+            a,
+            crate::pattern::EdgeKind::Child,
+            Predicate::tag("article-title"),
+        );
+        let unit = left.add_child(
+            a,
+            crate::pattern::EdgeKind::SelfOrDescendant,
+            Predicate::True,
+        );
+        left.score_primary(
+            unit,
+            crate::scoring::paper::ScoreFoo::shared(&["search engine"], &[]),
+        );
         let c1 = crate::ops::select(&store, &Collection::documents(&store), &left);
         let _ = (at, unit);
 
@@ -216,7 +231,10 @@ mod tests {
         }];
         let rules = [ScoreRule::Combined {
             node: root_var,
-            inputs: vec![ScoreInput::Aux(join_score), ScoreInput::Var(unit_var, Agg::Max)],
+            inputs: vec![
+                ScoreInput::Aux(join_score),
+                ScoreInput::Var(unit_var, Agg::Max),
+            ],
             combine: score_bar_combiner(),
         }];
         let result = join(&ctx, &c1, &c2, &conditions, root_var, &rules);

@@ -45,7 +45,11 @@ pub fn apply_derived_rules(_ctx: &ScoreContext<'_>, tree: &mut ScoredTree, rules
                     }
                 }
             }
-            ScoreRule::Combined { node, inputs, combine } => {
+            ScoreRule::Combined {
+                node,
+                inputs,
+                combine,
+            } => {
                 let values: Vec<f64> = inputs
                     .iter()
                     .map(|input| match input {

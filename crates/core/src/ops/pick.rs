@@ -44,7 +44,10 @@ impl FractionPick {
     /// The exact parameters of the paper's `PickFoo`: threshold 0.8,
     /// fraction 50 %.
     pub fn paper() -> Self {
-        FractionPick { relevance_threshold: 0.8, fraction: 0.5 }
+        FractionPick {
+            relevance_threshold: 0.8,
+            fraction: 0.5,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ impl PickCriterion for FractionPick {
         if children.is_empty() {
             return self.is_relevant(tree, idx);
         }
-        let relevant = children.iter().filter(|&&c| self.is_relevant(tree, c)).count();
+        let relevant = children
+            .iter()
+            .filter(|&&c| self.is_relevant(tree, c))
+            .count();
         (relevant as f64) / (children.len() as f64) > self.fraction
     }
 }
@@ -156,14 +162,11 @@ pub fn horizontal_pick(
             if !ei.bound_to(var) || drop[i] {
                 continue;
             }
-            for j in (i + 1)..n {
+            for (j, drop_j) in drop.iter_mut().enumerate().skip(i + 1) {
                 let ej = &tree.entries()[j];
-                if ej.bound_to(var)
-                    && ej.parent == ei.parent
-                    && !drop[j]
-                    && same_class(&tree, i, j)
+                if ej.bound_to(var) && ej.parent == ei.parent && !*drop_j && same_class(&tree, i, j)
                 {
-                    drop[j] = true;
+                    *drop_j = true;
                 }
             }
         }
@@ -196,8 +199,8 @@ mod tests {
             .unwrap();
         let v1 = PatternNodeId(1); // the structural root variable
         let v4 = PatternNodeId(4); // the IR unit variable
-        // Node indexes: root=0 title=1 chap=2 s1=3 t1=4 s2=5 t2=6 s3=7
-        // p1=8 p2=9 p3=10.
+                                   // Node indexes: root=0 title=1 chap=2 s1=3 t1=4 s2=5 t2=6 s3=7
+                                   // p1=8 p2=9 p3=10.
         let tree = ScoredTree::from_stored(
             &store,
             vec![

@@ -43,7 +43,9 @@ pub fn project_with_ctx(
     let mut out = Collection::new();
     for tree in input.iter() {
         for root_entry in tree.entries().iter().filter(|e| e.parent.is_none()) {
-            let Some(scope) = root_entry.source.stored() else { continue };
+            let Some(scope) = root_entry.source.stored() else {
+                continue;
+            };
             let bindings = matches(store, pattern, scope);
             if bindings.is_empty() {
                 continue;
@@ -68,10 +70,12 @@ pub fn project_with_ctx(
             // "(zero-score nodes are removed)" rule.
             let mut nodes: Vec<(NodeRef, Option<f64>, Vec<PatternNodeId>)> = Vec::new();
             for (node, vars) in vars_by_node {
-                let score = vars.iter().find_map(|&v| pattern.eval_primary(ctx, v, node));
+                let score = vars
+                    .iter()
+                    .find_map(|&v| pattern.eval_primary(ctx, v, node));
                 let has_non_ir = vars.iter().any(|&v| !pattern.is_ir_node(v));
                 match score {
-                    Some(s) if s == 0.0 => {
+                    Some(0.0) => {
                         if has_non_ir {
                             nodes.push((node, None, vars));
                         }
@@ -123,7 +127,13 @@ mod tests {
         let n4 = pattern.add_child(n1, EdgeKind::SelfOrDescendant, Predicate::True);
         pattern.score_primary(n4, ScoreFoo::shared(&["search engine"], &[]));
         pattern.score_from_descendant(n1, n4);
-        Fixture { store, pattern, n1, n3, n4 }
+        Fixture {
+            store,
+            pattern,
+            n1,
+            n3,
+            n4,
+        }
     }
 
     #[test]
@@ -148,7 +158,10 @@ mod tests {
             .iter()
             .map(|e| e.source.stored().and_then(|n| f.store.tag_name(n)))
             .collect();
-        assert_eq!(tags, vec![Some("article"), Some("sname"), Some("sec"), Some("p")]);
+        assert_eq!(
+            tags,
+            vec![Some("article"), Some("sname"), Some("sec"), Some("p")]
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub fn select_with_ctx(
     let mut out = Collection::new();
     for tree in input.iter() {
         for root_entry in tree.entries().iter().filter(|e| e.parent.is_none()) {
-            let Some(scope) = root_entry.source.stored() else { continue };
+            let Some(scope) = root_entry.source.stored() else {
+                continue;
+            };
             for binding in matches(store, pattern, scope) {
                 let nodes = pattern
                     .nodes()
@@ -139,7 +141,10 @@ mod tests {
     fn no_match_for_wrong_author() {
         let mut store = Store::new();
         store
-            .load_str("t.xml", "<article><author><sname>Smith</sname></author><p>search engine</p></article>")
+            .load_str(
+                "t.xml",
+                "<article><author><sname>Smith</sname></author><p>search engine</p></article>",
+            )
             .unwrap();
         let (pattern, _) = query2ish(&store);
         let input = Collection::documents(&store);

@@ -52,17 +52,20 @@ pub fn threshold(input: &Collection, conditions: &[ThresholdCond]) -> Collection
     input
         .iter()
         .filter(|tree| {
-            conditions.iter().zip(&cutoffs).all(|(cond, cutoff)| match cond {
-                ThresholdCond::MinScore { var, min } => tree
-                    .bound(*var)
-                    .any(|(_, e)| e.score.is_some_and(|s| s > *min)),
-                ThresholdCond::TopK { var, .. } => match cutoff {
-                    Some(cut) => tree
+            conditions
+                .iter()
+                .zip(&cutoffs)
+                .all(|(cond, cutoff)| match cond {
+                    ThresholdCond::MinScore { var, min } => tree
                         .bound(*var)
-                        .any(|(_, e)| e.score.is_some_and(|s| s >= *cut)),
-                    None => false,
-                },
-            })
+                        .any(|(_, e)| e.score.is_some_and(|s| s > *min)),
+                    ThresholdCond::TopK { var, .. } => match cutoff {
+                        Some(cut) => tree
+                            .bound(*var)
+                            .any(|(_, e)| e.score.is_some_and(|s| s >= *cut)),
+                        None => false,
+                    },
+                })
         })
         .cloned()
         .collect()
@@ -113,7 +116,10 @@ mod tests {
     #[test]
     fn k_larger_than_population_keeps_all() {
         let (_s, input, var) = fixture();
-        assert_eq!(threshold(&input, &[ThresholdCond::TopK { var, k: 100 }]).len(), 4);
+        assert_eq!(
+            threshold(&input, &[ThresholdCond::TopK { var, k: 100 }]).len(),
+            4
+        );
     }
 
     #[test]
@@ -133,7 +139,13 @@ mod tests {
     fn wrong_var_filters_everything() {
         let (_s, input, _) = fixture();
         let other = PatternNodeId(99);
-        assert!(threshold(&input, &[ThresholdCond::MinScore { var: other, min: 0.0 }])
-            .is_empty());
+        assert!(threshold(
+            &input,
+            &[ThresholdCond::MinScore {
+                var: other,
+                min: 0.0
+            }]
+        )
+        .is_empty());
     }
 }

@@ -149,6 +149,10 @@ impl Agg {
     }
 }
 
+/// The combining function of a [`ScoreRule::Combined`] rule: maps the
+/// gathered input scores (missing inputs arrive as 0) to the node's score.
+pub type ScoreCombiner = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
 /// An input to a [`ScoreRule::Combined`] rule.
 #[derive(Clone)]
 pub enum ScoreInput {
@@ -200,7 +204,7 @@ pub enum ScoreRule {
         /// Input scores, in the order the combiner expects them.
         inputs: Vec<ScoreInput>,
         /// The combining function; missing inputs arrive as 0.
-        combine: Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+        combine: ScoreCombiner,
     },
 }
 
@@ -213,7 +217,12 @@ impl fmt::Debug for ScoreRule {
             ScoreRule::FromDescendant { node, source, agg } => {
                 write!(f, "FromDescendant({node} <- {agg:?} {source})")
             }
-            ScoreRule::Join { left, right, output, scorer } => {
+            ScoreRule::Join {
+                left,
+                right,
+                output,
+                scorer,
+            } => {
                 write!(f, "Join({output} <- {}({left}, {right}))", scorer.name())
             }
             ScoreRule::Combined { node, inputs, .. } => {
@@ -256,7 +265,10 @@ impl PatternTree {
     /// Fig. 4 numbers the two sides `$2…$6` and `$7…$8`).
     pub fn with_first_id(first: u32) -> Self {
         assert!(first >= 1, "pattern ids start at 1");
-        PatternTree { next_id: first - 1, ..PatternTree::default() }
+        PatternTree {
+            next_id: first - 1,
+            ..PatternTree::default()
+        }
     }
 
     fn fresh_id(&mut self) -> PatternNodeId {
@@ -268,7 +280,12 @@ impl PatternTree {
     /// operator matches two independent patterns).
     pub fn add_root(&mut self, predicate: Predicate) -> PatternNodeId {
         let id = self.fresh_id();
-        self.nodes.push(PatternNode { id, parent: None, edge: EdgeKind::Child, predicate });
+        self.nodes.push(PatternNode {
+            id,
+            parent: None,
+            edge: EdgeKind::Child,
+            predicate,
+        });
         id
     }
 
@@ -282,9 +299,17 @@ impl PatternTree {
         edge: EdgeKind,
         predicate: Predicate,
     ) -> PatternNodeId {
-        assert!(self.node(parent).is_some(), "unknown parent pattern node {parent}");
+        assert!(
+            self.node(parent).is_some(),
+            "unknown parent pattern node {parent}"
+        );
         let id = self.fresh_id();
-        self.nodes.push(PatternNode { id, parent: Some(parent), edge, predicate });
+        self.nodes.push(PatternNode {
+            id,
+            parent: Some(parent),
+            edge,
+            predicate,
+        });
         id
     }
 
@@ -295,7 +320,11 @@ impl PatternTree {
 
     /// Declare `node` a secondary IR-node with `node.score = max(source.score)`.
     pub fn score_from_descendant(&mut self, node: PatternNodeId, source: PatternNodeId) {
-        self.rules.push(ScoreRule::FromDescendant { node, source, agg: Agg::Max });
+        self.rules.push(ScoreRule::FromDescendant {
+            node,
+            source,
+            agg: Agg::Max,
+        });
     }
 
     /// Declare a scored join condition; returns the auxiliary variable
@@ -307,7 +336,12 @@ impl PatternTree {
         scorer: Arc<dyn JoinScorer>,
     ) -> PatternNodeId {
         let output = self.fresh_id();
-        self.rules.push(ScoreRule::Join { left, right, scorer, output });
+        self.rules.push(ScoreRule::Join {
+            left,
+            right,
+            scorer,
+            output,
+        });
         output
     }
 
@@ -316,9 +350,13 @@ impl PatternTree {
         &mut self,
         node: PatternNodeId,
         inputs: Vec<ScoreInput>,
-        combine: Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+        combine: ScoreCombiner,
     ) {
-        self.rules.push(ScoreRule::Combined { node, inputs, combine });
+        self.rules.push(ScoreRule::Combined {
+            node,
+            inputs,
+            combine,
+        });
     }
 
     /// Strengthen existing pattern nodes with additional attribute-equality
@@ -393,8 +431,14 @@ impl PatternTree {
 
     /// Evaluate the primary score for a data node bound to pattern node
     /// `id`; `None` when `id` has no primary scorer.
-    pub fn eval_primary(&self, ctx: &ScoreContext<'_>, id: PatternNodeId, node: NodeRef) -> Option<f64> {
-        self.primary_scorer(id).map(|scorer| scorer.score(ctx, node))
+    pub fn eval_primary(
+        &self,
+        ctx: &ScoreContext<'_>,
+        id: PatternNodeId,
+        node: NodeRef,
+    ) -> Option<f64> {
+        self.primary_scorer(id)
+            .map(|scorer| scorer.score(ctx, node))
     }
 }
 
@@ -442,8 +486,9 @@ mod tests {
         assert!(Predicate::content_eq("Doe").eval(&store, b));
         assert!(Predicate::AttrEq("id".into(), "7".into()).eval(&store, a));
         assert!(Predicate::ContentContains("DOE".into()).eval(&store, b));
-        assert!(Predicate::And(vec![Predicate::tag("b"), Predicate::content_eq("Doe")])
-            .eval(&store, b));
+        assert!(
+            Predicate::And(vec![Predicate::tag("b"), Predicate::content_eq("Doe")]).eval(&store, b)
+        );
         assert!(Predicate::Or(vec![Predicate::tag("z"), Predicate::tag("b")]).eval(&store, b));
         assert!(Predicate::Not(Box::new(Predicate::tag("z"))).eval(&store, b));
         // Text nodes never match.

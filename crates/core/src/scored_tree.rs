@@ -78,7 +78,10 @@ impl ScoredTree {
     /// The nodes are sorted into document order and linked to their nearest
     /// retained ancestor; duplicates (same stored node) are merged, with
     /// later scores overriding `None` and variable sets unioned.
-    pub fn from_stored(store: &Store, nodes: Vec<(NodeRef, Option<f64>, Vec<PatternNodeId>)>) -> Self {
+    pub fn from_stored(
+        store: &Store,
+        nodes: Vec<(NodeRef, Option<f64>, Vec<PatternNodeId>)>,
+    ) -> Self {
         let mut nodes = nodes;
         nodes.sort_by_key(|(node, _, _)| *node);
         // Merge duplicates.
@@ -110,10 +113,18 @@ impl ScoredTree {
             }
             let parent = stack.last().map(|&(_, idx)| idx);
             let idx = entries.len() as u32;
-            entries.push(TreeEntry { source: NodeSource::Stored(node), score, parent, vars });
+            entries.push(TreeEntry {
+                source: NodeSource::Stored(node),
+                score,
+                parent,
+                vars,
+            });
             stack.push((node, idx));
         }
-        ScoredTree { entries, aux: Vec::new() }
+        ScoredTree {
+            entries,
+            aux: Vec::new(),
+        }
     }
 
     /// Build a single-entry tree for a document root (the initial
@@ -279,7 +290,12 @@ fn clip(s: &str) -> String {
 
 impl fmt::Display for ScoredTree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ScoredTree({} entries, score {:?})", self.entries.len(), self.score())
+        write!(
+            f,
+            "ScoredTree({} entries, score {:?})",
+            self.entries.len(),
+            self.score()
+        )
     }
 }
 
@@ -325,10 +341,7 @@ mod tests {
         let v2 = PatternNodeId(2);
         let tree = ScoredTree::from_stored(
             &store,
-            vec![
-                (nref(0), None, vec![v1]),
-                (nref(0), Some(3.0), vec![v2]),
-            ],
+            vec![(nref(0), None, vec![v1]), (nref(0), Some(3.0), vec![v2])],
         );
         assert_eq!(tree.len(), 1);
         let entry = &tree.entries()[0];

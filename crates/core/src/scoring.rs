@@ -30,7 +30,10 @@ impl<'a> ScoreContext<'a> {
 
     /// Context with an index.
     pub fn with_index(store: &'a Store, index: &'a InvertedIndex) -> Self {
-        ScoreContext { store, index: Some(index) }
+        ScoreContext {
+            store,
+            index: Some(index),
+        }
     }
 }
 
@@ -93,7 +96,12 @@ pub mod paper {
     impl ScoreFoo {
         /// Build with the paper's weights (0.8 / 0.6).
         pub fn new(primary: Vec<String>, secondary: Vec<String>) -> Self {
-            ScoreFoo { primary, secondary, primary_weight: 0.8, secondary_weight: 0.6 }
+            ScoreFoo {
+                primary,
+                secondary,
+                primary_weight: 0.8,
+                secondary_weight: 0.6,
+            }
         }
 
         /// Convenience constructor returning an `Arc<dyn NodeScorer>`.
@@ -133,10 +141,8 @@ pub mod paper {
         fn score(&self, ctx: &ScoreContext<'_>, left: NodeRef, right: NodeRef) -> f64 {
             let a = terms(&ctx.store.text_content(left));
             let b = terms(&ctx.store.text_content(right));
-            let set_a: std::collections::HashSet<&str> =
-                a.iter().map(String::as_str).collect();
-            let set_b: std::collections::HashSet<&str> =
-                b.iter().map(String::as_str).collect();
+            let set_a: std::collections::HashSet<&str> = a.iter().map(String::as_str).collect();
+            let set_b: std::collections::HashSet<&str> = b.iter().map(String::as_str).collect();
             set_a.intersection(&set_b).count() as f64
         }
 
@@ -158,7 +164,7 @@ pub mod paper {
 
     /// `ScoreBar` as a combiner closure for
     /// [`crate::pattern::ScoreRule::Combined`] (inputs: `[score1, score2]`).
-    pub fn score_bar_combiner() -> Arc<dyn Fn(&[f64]) -> f64 + Send + Sync> {
+    pub fn score_bar_combiner() -> crate::pattern::ScoreCombiner {
         Arc::new(|inputs: &[f64]| {
             let score1 = inputs.first().copied().unwrap_or(0.0);
             let score2 = inputs.get(1).copied().unwrap_or(0.0);
@@ -185,7 +191,9 @@ impl TfIdfScorer {
 
     /// Convenience constructor returning an `Arc<dyn NodeScorer>`.
     pub fn shared(terms: &[&str]) -> Arc<dyn NodeScorer> {
-        Arc::new(TfIdfScorer::new(terms.iter().map(|s| s.to_string()).collect()))
+        Arc::new(TfIdfScorer::new(
+            terms.iter().map(|s| s.to_string()).collect(),
+        ))
     }
 }
 
@@ -255,7 +263,10 @@ mod tests {
     fn phrase_count_basics() {
         assert_eq!(phrase_count("search engine", "search engine"), 1);
         assert_eq!(phrase_count("Search Engine Basics", "search engine"), 1);
-        assert_eq!(phrase_count("search engines are search engines", "search engine"), 2);
+        assert_eq!(
+            phrase_count("search engines are search engines", "search engine"),
+            2
+        );
         assert_eq!(phrase_count("nothing here", "search engine"), 0);
         assert_eq!(phrase_count("anything", ""), 0);
     }
@@ -304,7 +315,9 @@ mod tests {
     #[test]
     fn tfidf_prefers_rare_terms() {
         let mut store = Store::new();
-        store.load_str("a.xml", "<a><p>common rare</p></a>").unwrap();
+        store
+            .load_str("a.xml", "<a><p>common rare</p></a>")
+            .unwrap();
         store.load_str("b.xml", "<a><p>common</p></a>").unwrap();
         store.load_str("c.xml", "<a><p>common</p></a>").unwrap();
         let index = tix_index::InvertedIndex::build(&store);

@@ -15,10 +15,14 @@ const PLANT_SALT: u64 = 0x504C414E54; // "PLANT"
 const ARTICLE_SALT: u64 = 0x41525431; // "ART1"
 
 /// First-name pool used for `<fnm>` elements.
-const FIRST_NAMES: &[&str] = &["jane", "john", "mary", "wei", "anna", "omar", "lena", "ivan"];
+const FIRST_NAMES: &[&str] = &[
+    "jane", "john", "mary", "wei", "anna", "omar", "lena", "ivan",
+];
 /// Surname pool used for `<snm>` elements. "doe" is present so the paper's
 /// Query 2 author predicate (`sname = "Doe"`) selects a real subset.
-const SURNAMES: &[&str] = &["doe", "smith", "chen", "garcia", "kumar", "novak", "rossi", "sato"];
+const SURNAMES: &[&str] = &[
+    "doe", "smith", "chen", "garcia", "kumar", "novak", "rossi", "sato",
+];
 
 /// Plant-specification validation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +35,10 @@ pub enum PlantError {
     NotAToken(String),
     /// More insertions were requested than the corpus has paragraph slots
     /// to comfortably hold (more than ~8 per paragraph on average).
-    TooDense { insertions: usize, paragraphs: usize },
+    TooDense {
+        insertions: usize,
+        paragraphs: usize,
+    },
 }
 
 impl fmt::Display for PlantError {
@@ -41,9 +48,15 @@ impl fmt::Display for PlantError {
                 write!(f, "planted term {t:?} collides with background vocabulary")
             }
             PlantError::NotAToken(t) => {
-                write!(f, "planted term {t:?} is not a single lowercase alphanumeric token")
+                write!(
+                    f,
+                    "planted term {t:?} is not a single lowercase alphanumeric token"
+                )
             }
-            PlantError::TooDense { insertions, paragraphs } => write!(
+            PlantError::TooDense {
+                insertions,
+                paragraphs,
+            } => write!(
                 f,
                 "{insertions} insertions is too dense for {paragraphs} paragraphs"
             ),
@@ -82,14 +95,17 @@ impl Generator {
         let paragraphs = spec.paragraph_count();
         let insertions = plants.total_insertions();
         if insertions > paragraphs.saturating_mul(8) {
-            return Err(PlantError::TooDense { insertions, paragraphs });
+            return Err(PlantError::TooDense {
+                insertions,
+                paragraphs,
+            });
         }
-        for term in plants
-            .terms
-            .iter()
-            .map(|t| t.term.as_str())
-            .chain(plants.phrases.iter().flat_map(|p| [p.first.as_str(), p.second.as_str()]))
-        {
+        for term in plants.terms.iter().map(|t| t.term.as_str()).chain(
+            plants
+                .phrases
+                .iter()
+                .flat_map(|p| [p.first.as_str(), p.second.as_str()]),
+        ) {
             if !is_token(term) {
                 return Err(PlantError::NotAToken(term.to_string()));
             }
@@ -108,18 +124,29 @@ impl Generator {
         }
         for (i, phrase) in plants.phrases.iter().enumerate() {
             for _ in 0..phrase.adjacent {
-                plan[plant_rng.index(paragraphs)]
-                    .push(PlantOp::Phrase { idx: i as u32, adjacent: true });
+                plan[plant_rng.index(paragraphs)].push(PlantOp::Phrase {
+                    idx: i as u32,
+                    adjacent: true,
+                });
             }
             for _ in 0..phrase.cooccurring {
-                plan[plant_rng.index(paragraphs)]
-                    .push(PlantOp::Phrase { idx: i as u32, adjacent: false });
+                plan[plant_rng.index(paragraphs)].push(PlantOp::Phrase {
+                    idx: i as u32,
+                    adjacent: false,
+                });
             }
         }
 
         let vocab = (0..spec.vocab_size).map(|r| format!("w{r}")).collect();
         let zipf = Zipf::new(spec.vocab_size, spec.zipf_exponent);
-        Ok(Generator { spec, plants, plan, vocab, zipf, root_rng })
+        Ok(Generator {
+            spec,
+            plants,
+            plan,
+            vocab,
+            zipf,
+            root_rng,
+        })
     }
 
     /// The corpus shape this generator was built with.
@@ -167,7 +194,10 @@ impl Generator {
         );
         writer.start_element(
             "article",
-            &[Attribute { name: "id".into(), value: format!("a{article}") }],
+            &[Attribute {
+                name: "id".into(),
+                value: format!("a{article}"),
+            }],
         );
         // Front matter: title and one or two authors.
         writer.start_element("fm", &[]);
@@ -180,7 +210,10 @@ impl Generator {
             let order = if a == 0 { "first" } else { "other" };
             writer.start_element(
                 "au",
-                &[Attribute { name: "order".into(), value: order.into() }],
+                &[Attribute {
+                    name: "order".into(),
+                    value: order.into(),
+                }],
             );
             writer.start_element("fnm", &[]);
             writer.text(FIRST_NAMES[rng.index(FIRST_NAMES.len())]);
@@ -218,8 +251,7 @@ impl Generator {
 
     /// Global paragraph index of `(article, section, subsection, paragraph)`.
     fn paragraph_index(&self, article: usize, s: usize, ss: usize, p: usize) -> usize {
-        ((article * self.spec.sections_per_article + s) * self.spec.subsections_per_section
-            + ss)
+        ((article * self.spec.sections_per_article + s) * self.spec.subsections_per_section + ss)
             * self.spec.paragraphs_per_subsection
             + p
     }
@@ -259,7 +291,10 @@ impl Generator {
                     let pos = rng.index(tokens.len() + 1);
                     tokens.insert(pos, &self.plants.terms[idx as usize].term);
                 }
-                PlantOp::Phrase { idx, adjacent: false } => {
+                PlantOp::Phrase {
+                    idx,
+                    adjacent: false,
+                } => {
                     let phrase = &self.plants.phrases[idx as usize];
                     let first_pos = rng.index(tokens.len() + 1);
                     tokens.insert(first_pos, &phrase.first);
@@ -280,7 +315,10 @@ impl Generator {
         let adjacent: Vec<u32> = ops
             .iter()
             .filter_map(|op| match *op {
-                PlantOp::Phrase { idx, adjacent: true } => Some(idx),
+                PlantOp::Phrase {
+                    idx,
+                    adjacent: true,
+                } => Some(idx),
                 _ => None,
             })
             .collect();
@@ -303,7 +341,7 @@ impl Generator {
             gaps.push(gap);
         }
         let mut pairs: Vec<(usize, u32)> = gaps.into_iter().zip(adjacent).collect();
-        pairs.sort_by(|a, b| b.0.cmp(&a.0)); // descending gap
+        pairs.sort_by_key(|p| std::cmp::Reverse(p.0)); // descending gap
         for (gap, idx) in pairs {
             let phrase = &self.plants.phrases[idx as usize];
             let gap = gap.min(tokens.len());
@@ -321,9 +359,7 @@ fn is_token(term: &str) -> bool {
 }
 
 fn in_vocab_namespace(term: &str) -> bool {
-    term.len() > 1
-        && term.starts_with('w')
-        && term[1..].chars().all(|c| c.is_ascii_digit())
+    term.len() > 1 && term.starts_with('w') && term[1..].chars().all(|c| c.is_ascii_digit())
 }
 
 #[cfg(test)]

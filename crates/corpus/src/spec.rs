@@ -98,8 +98,7 @@ impl CorpusSpec {
                 + self.sections_per_article
                     * (per_section
                         + self.subsections_per_section
-                            * (per_subsection
-                                + self.paragraphs_per_subsection * per_paragraph)))
+                            * (per_subsection + self.paragraphs_per_subsection * per_paragraph)))
     }
 }
 
@@ -147,7 +146,10 @@ pub struct PlantSpec {
 impl PlantSpec {
     /// Add a standalone planted term (builder style).
     pub fn with_term(mut self, term: &str, count: usize) -> Self {
-        self.terms.push(PlantedTerm { term: term.to_string(), count });
+        self.terms.push(PlantedTerm {
+            term: term.to_string(),
+            count,
+        });
         self
     }
 
@@ -172,7 +174,11 @@ impl PlantSpec {
     /// paragraph capacity).
     pub fn total_insertions(&self) -> usize {
         self.terms.iter().map(|t| t.count).sum::<usize>()
-            + self.phrases.iter().map(|p| p.adjacent + p.cooccurring).sum::<usize>()
+            + self
+                .phrases
+                .iter()
+                .map(|p| p.adjacent + p.cooccurring)
+                .sum::<usize>()
     }
 }
 

@@ -47,19 +47,71 @@ pub struct Table5Row {
 /// *ratios* between term frequency, intersection size, and phrase-result
 /// size — which drive the Comp3 vs PhraseFinder gap — are preserved.
 pub const TABLE5_ROWS: &[Table5Row] = &[
-    Table5Row { term1_frequency: 6054, term2_frequency: 2247, result_size: 1400 },
-    Table5Row { term1_frequency: 6054, term2_frequency: 3984, result_size: 23 },
-    Table5Row { term1_frequency: 5363, term2_frequency: 7324, result_size: 61 },
-    Table5Row { term1_frequency: 5363, term2_frequency: 3984, result_size: 61 },
-    Table5Row { term1_frequency: 4920, term2_frequency: 7324, result_size: 44 },
-    Table5Row { term1_frequency: 6054, term2_frequency: 7324, result_size: 59 },
-    Table5Row { term1_frequency: 4524, term2_frequency: 3440, result_size: 6 },
-    Table5Row { term1_frequency: 6054, term2_frequency: 2299, result_size: 2 },
-    Table5Row { term1_frequency: 6054, term2_frequency: 5363, result_size: 16 },
-    Table5Row { term1_frequency: 4920, term2_frequency: 1402, result_size: 23 },
-    Table5Row { term1_frequency: 7324, term2_frequency: 3440, result_size: 69 },
-    Table5Row { term1_frequency: 6054, term2_frequency: 3440, result_size: 12 },
-    Table5Row { term1_frequency: 4920, term2_frequency: 5363, result_size: 1 },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 2247,
+        result_size: 1400,
+    },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 3984,
+        result_size: 23,
+    },
+    Table5Row {
+        term1_frequency: 5363,
+        term2_frequency: 7324,
+        result_size: 61,
+    },
+    Table5Row {
+        term1_frequency: 5363,
+        term2_frequency: 3984,
+        result_size: 61,
+    },
+    Table5Row {
+        term1_frequency: 4920,
+        term2_frequency: 7324,
+        result_size: 44,
+    },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 7324,
+        result_size: 59,
+    },
+    Table5Row {
+        term1_frequency: 4524,
+        term2_frequency: 3440,
+        result_size: 6,
+    },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 2299,
+        result_size: 2,
+    },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 5363,
+        result_size: 16,
+    },
+    Table5Row {
+        term1_frequency: 4920,
+        term2_frequency: 1402,
+        result_size: 23,
+    },
+    Table5Row {
+        term1_frequency: 7324,
+        term2_frequency: 3440,
+        result_size: 69,
+    },
+    Table5Row {
+        term1_frequency: 6054,
+        term2_frequency: 3440,
+        result_size: 12,
+    },
+    Table5Row {
+        term1_frequency: 4920,
+        term2_frequency: 5363,
+        result_size: 1,
+    },
 ];
 
 /// Extra same-node co-occurrences planted per Table 5 phrase, so the
@@ -142,7 +194,9 @@ mod tests {
         let plants = paper_plants(1.0);
         for term in &plants.terms {
             assert!(term.term.chars().all(|c| c.is_ascii_alphanumeric()));
-            assert!(!term.term.starts_with('w') || !term.term[1..].chars().all(|c| c.is_ascii_digit()));
+            assert!(
+                !term.term.starts_with('w') || !term.term[1..].chars().all(|c| c.is_ascii_digit())
+            );
         }
     }
 

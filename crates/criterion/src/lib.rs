@@ -1,0 +1,347 @@
+//! In-tree stand-in for the [criterion](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! implements — dependency-free — the API subset the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain warm-up + sample loop around `Instant`: it
+//! reports mean / min / max per sample and does no statistical analysis,
+//! HTML reports, or baseline comparison. Passing `--bench` style CLI
+//! filters is accepted but ignored.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot delete benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level handle; create via [`Criterion::default`].
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI arguments. The real crate filters benchmarks here; this
+    /// stand-in accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_bench(name, sample_size, measurement_time, warm_up_time, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration; from
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Record the per-iteration workload size for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name, optionally `function/parameter` shaped.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups where the function is implied).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Accepts `&str`, `String`, or [`BenchmarkId`] as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration workload size, reported as a rate alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, warm-up first, then `sample_size` timed samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the timed samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Split the measurement budget into sample_size samples and size
+        // each sample so it runs a meaningful number of iterations.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        self.iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples (closure never called iter)");
+        return;
+    }
+    let iters = bencher.iters_per_sample.max(1);
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / mean / 1e6),
+        Throughput::Bytes(n) => format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0)),
+    });
+    println!(
+        "{label}: mean {}  [min {}  max {}]{}",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point: run each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("t");
+        group
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::new("sum", 10), |b| {
+                b.iter(|| (0..10u64).sum::<u64>())
+            });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-8), "25.0 ns");
+    }
+}

@@ -57,11 +57,19 @@ pub fn comp1<S: TermJoinScorer>(
                 let mut counters = vec![0u32; n];
                 counters[t] = 1;
                 let hits = if keep_detail {
-                    vec![TermHit { node: posting.node, offset: posting.offset, term: t as u16 }]
+                    vec![TermHit {
+                        node: posting.node,
+                        offset: posting.offset,
+                        term: t as u16,
+                    }]
                 } else {
                     Vec::new()
                 };
-                expanded.push(WitnessRecord { node: anc, counters, hits });
+                expanded.push(WitnessRecord {
+                    node: anc,
+                    counters,
+                    hits,
+                });
                 cursor = store.parent(anc);
             }
         }
@@ -118,12 +126,20 @@ pub fn comp2<S: TermJoinScorer>(
                     let hi = postings.partition_point(|p| (p.doc, p.node) <= (node.doc, end));
                     postings[lo..hi]
                         .iter()
-                        .map(|p| TermHit { node: p.node, offset: p.offset, term: t as u16 })
+                        .map(|p| TermHit {
+                            node: p.node,
+                            offset: p.offset,
+                            term: t as u16,
+                        })
                         .collect()
                 } else {
                     Vec::new()
                 };
-                WitnessRecord { node, counters, hits }
+                WitnessRecord {
+                    node,
+                    counters,
+                    hits,
+                }
             })
             .collect();
         legs.push(grouped);
@@ -187,7 +203,10 @@ mod tests {
     fn fixture() -> (Store, InvertedIndex) {
         let mut store = Store::new();
         store
-            .load_str("a.xml", "<a><b>x y</b><c><d>x q</d><e>y z</e></c><f>z x</f></a>")
+            .load_str(
+                "a.xml",
+                "<a><b>x y</b><c><d>x q</d><e>y z</e></c><f>z x</f></a>",
+            )
             .unwrap();
         store
             .load_str("b.xml", "<a><b>q</b><c>x y x</c></a>")

@@ -42,13 +42,30 @@
 //! * [`topk`] — Threshold evaluation: streaming min-score filtering and
 //!   heap-based top-k (the techniques referenced from [8, 5]).
 //!
-//! Every access method is differential-tested against the reference
-//! implementations in `tix-core` (or, for TermJoin's baselines, against
-//! each other — they must produce identical scored results).
+//! ## Parallel execution
+//!
+//! * [`parallel`] — document-partitioned parallel variants of TermJoin,
+//!   PhraseFinder, and Pick. Outputs are bit-identical to the sequential
+//!   methods at every thread count (see that module's docs for why).
+//!
+//! ## Testing discipline
+//!
+//! The score-generating and score-utilizing access methods — TermJoin
+//! (simple and complex scoring, both child-count modes), PhraseFinder, and
+//! Pick — are differential-tested against independent implementations:
+//! TermJoin against the `Comp1`/`Comp2` compositions and Generalized Meet,
+//! PhraseFinder against `Comp3`, and Pick against the algebra-level
+//! reference in `tix_core::ops::pick`, on both fixed corpora and
+//! property-generated random collections (`tests/proptest_diff.rs`,
+//! `tests/proptest_corpus_diff.rs`). The parallel variants are additionally
+//! required to match the sequential ones exactly
+//! (`tests/parallel_equivalence.rs`). The score-modifying methods
+//! ([`modify`]) are covered by example-level tests only.
 
 pub mod composite;
 pub mod meet;
 pub mod modify;
+pub mod parallel;
 pub mod phrase;
 pub mod pick;
 pub mod scored;

@@ -45,7 +45,11 @@ pub fn generalized_meet<S: TermJoinScorer>(
                 });
                 group.counters[t] += 1;
                 if keep_detail {
-                    group.hits.push(TermHit { node: posting.node, offset: posting.offset, term: t as u16 });
+                    group.hits.push(TermHit {
+                        node: posting.node,
+                        offset: posting.offset,
+                        term: t as u16,
+                    });
                 }
                 cursor = store.parent(anc);
             }
@@ -92,7 +96,10 @@ mod tests {
         let scorer = SimpleScorer::new(vec![0.8, 0.6]);
         let meet = sort_by_node(generalized_meet(&store, &index, &["x", "y"], &scorer));
         let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y"], &scorer).run());
-        assert!(results_equal(&meet, &tj, 1e-9), "\nmeet={meet:?}\ntj={tj:?}");
+        assert!(
+            results_equal(&meet, &tj, 1e-9),
+            "\nmeet={meet:?}\ntj={tj:?}"
+        );
     }
 
     #[test]
@@ -101,7 +108,10 @@ mod tests {
         let scorer = ComplexScorer::uniform(ChildCountMode::Index);
         let meet = sort_by_node(generalized_meet(&store, &index, &["x", "y", "z"], &scorer));
         let tj = sort_by_node(TermJoin::new(&store, &index, &["x", "y", "z"], &scorer).run());
-        assert!(results_equal(&meet, &tj, 1e-9), "\nmeet={meet:?}\ntj={tj:?}");
+        assert!(
+            results_equal(&meet, &tj, 1e-9),
+            "\nmeet={meet:?}\ntj={tj:?}"
+        );
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl Combine {
                     sum
                 }
             }
-            Combine::Max => sa.unwrap_or(f64::NEG_INFINITY).max(sb.unwrap_or(f64::NEG_INFINITY)),
+            Combine::Max => sa
+                .unwrap_or(f64::NEG_INFINITY)
+                .max(sb.unwrap_or(f64::NEG_INFINITY)),
         }
     }
 }
@@ -63,8 +65,14 @@ pub fn scored_union(
     w2: f64,
     combine: Combine,
 ) -> Vec<ScoredNode> {
-    debug_assert!(a.windows(2).all(|w| w[0].node < w[1].node), "A must be document-ordered");
-    debug_assert!(b.windows(2).all(|w| w[0].node < w[1].node), "B must be document-ordered");
+    debug_assert!(
+        a.windows(2).all(|w| w[0].node < w[1].node),
+        "A must be document-ordered"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0].node < w[1].node),
+        "B must be document-ordered"
+    );
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() || j < b.len() {
@@ -78,19 +86,31 @@ pub fn scored_union(
                 j += 1;
             }
             (Some(x), Some(y)) if x.node < y.node => {
-                out.push(ScoredNode::new(x.node, combine.apply(Some(x.score), None, w1, w2)));
+                out.push(ScoredNode::new(
+                    x.node,
+                    combine.apply(Some(x.score), None, w1, w2),
+                ));
                 i += 1;
             }
             (Some(_), Some(y)) => {
-                out.push(ScoredNode::new(y.node, combine.apply(None, Some(y.score), w1, w2)));
+                out.push(ScoredNode::new(
+                    y.node,
+                    combine.apply(None, Some(y.score), w1, w2),
+                ));
                 j += 1;
             }
             (Some(x), None) => {
-                out.push(ScoredNode::new(x.node, combine.apply(Some(x.score), None, w1, w2)));
+                out.push(ScoredNode::new(
+                    x.node,
+                    combine.apply(Some(x.score), None, w1, w2),
+                ));
                 i += 1;
             }
             (None, Some(y)) => {
-                out.push(ScoredNode::new(y.node, combine.apply(None, Some(y.score), w1, w2)));
+                out.push(ScoredNode::new(
+                    y.node,
+                    combine.apply(None, Some(y.score), w1, w2),
+                ));
                 j += 1;
             }
             (None, None) => unreachable!("loop condition"),

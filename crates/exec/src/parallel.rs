@@ -1,0 +1,137 @@
+//! Document-partitioned parallel variants of the access methods.
+//!
+//! TermJoin, PhraseFinder, and Pick are all single merge passes over
+//! streams ordered by `(doc, node, offset)`, and none of them carries any
+//! state across a document boundary: TermJoin's ancestor stack fully
+//! drains before the first posting of the next document is absorbed,
+//! PhraseFinder's zipper only equates postings with equal `(doc, node)`,
+//! and Pick's covers check requires equal `doc`. Splitting the inputs at
+//! document boundaries, evaluating each chunk independently, and
+//! concatenating the per-chunk outputs in document order therefore yields
+//! **exactly** the sequential output — same nodes, same order, bit-
+//! identical `f64` scores — at every thread count. The equivalence tests
+//! in `tests/parallel_equivalence.rs` enforce this with `==`, not an
+//! epsilon.
+//!
+//! Work is split into more chunks than workers (so documents of uneven
+//! size balance) and chunk results are stitched back in input order by
+//! [`tix_parallel::parallel_map`].
+
+use tix_index::{InvertedIndex, Posting};
+use tix_store::{DocId, Store};
+
+use crate::phrase::{phrase_finder_on_lists, PhraseMatch};
+use crate::pick::{pick_stream, PickParams};
+use crate::scored::ScoredNode;
+use crate::termjoin::{TermJoin, TermJoinScorer};
+
+/// Chunks per worker: oversplitting lets the work-stealing map balance
+/// documents of uneven size without affecting the (deterministic) output.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// [`TermJoin`] over `terms`, fanned out over `threads` workers by
+/// document chunk. Output is identical to
+/// `TermJoin::new(store, index, terms, scorer).run()` for any `threads`;
+/// `threads <= 1` runs the sequential algorithm on the calling thread.
+pub fn term_join_parallel<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+    threads: usize,
+) -> Vec<ScoredNode> {
+    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
+    if threads <= 1 {
+        return TermJoin::with_lists(store, lists, scorer).run();
+    }
+    let chunks = doc_chunks(store, &lists, threads);
+    let results = tix_parallel::parallel_map(&chunks, threads, |chunk| {
+        TermJoin::with_lists(store, chunk.clone(), scorer).run()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// [`crate::phrase::phrase_finder`] fanned out over `threads` workers by
+/// document chunk; identical output for any `threads`.
+pub fn phrase_finder_parallel(
+    store: &Store,
+    index: &InvertedIndex,
+    phrase_terms: &[&str],
+    threads: usize,
+) -> Vec<PhraseMatch> {
+    assert!(phrase_terms.len() >= 2, "a phrase has at least two terms");
+    let lists: Vec<&[Posting]> = phrase_terms.iter().map(|t| index.postings(t)).collect();
+    if threads <= 1 {
+        return phrase_finder_on_lists(&lists);
+    }
+    let chunks = doc_chunks(store, &lists, threads);
+    let results =
+        tix_parallel::parallel_map(&chunks, threads, |chunk| phrase_finder_on_lists(chunk));
+    results.into_iter().flatten().collect()
+}
+
+/// [`pick_stream`] fanned out over `threads` workers by document chunk;
+/// identical output for any `threads`. The containment hierarchy Pick
+/// reconstructs never spans documents, so the scored stream splits cleanly
+/// at document boundaries.
+pub fn pick_stream_parallel(
+    store: &Store,
+    scored: &[ScoredNode],
+    params: &PickParams,
+    threads: usize,
+) -> Vec<ScoredNode> {
+    if threads <= 1 {
+        return pick_stream(store, scored, params);
+    }
+    // Segment the stream at document boundaries, then group segments.
+    let mut starts: Vec<usize> = Vec::new();
+    let mut prev: Option<DocId> = None;
+    for (i, s) in scored.iter().enumerate() {
+        if prev != Some(s.node.doc) {
+            starts.push(i);
+            prev = Some(s.node.doc);
+        }
+    }
+    let groups = tix_parallel::chunk_ranges(starts.len(), threads * CHUNKS_PER_WORKER);
+    let chunks: Vec<&[ScoredNode]> = groups
+        .into_iter()
+        .map(|g| {
+            let lo = starts[g.start];
+            let hi = starts.get(g.end).copied().unwrap_or(scored.len());
+            &scored[lo..hi]
+        })
+        .collect();
+    let results =
+        tix_parallel::parallel_map(&chunks, threads, |chunk| pick_stream(store, chunk, params));
+    results.into_iter().flatten().collect()
+}
+
+/// Split the posting lists at document boundaries into chunk-local list
+/// vectors, one entry per document chunk, in document order. Chunks
+/// partition the store's documents, so concatenating per-chunk outputs
+/// reproduces the sequential stream.
+fn doc_chunks<'a>(
+    store: &Store,
+    lists: &[&'a [Posting]],
+    threads: usize,
+) -> Vec<Vec<&'a [Posting]>> {
+    let docs: Vec<DocId> = store.doc_ids().collect();
+    tix_parallel::chunk_ranges(docs.len(), threads * CHUNKS_PER_WORKER)
+        .into_iter()
+        .map(|range| {
+            let lo = docs[range.start];
+            let hi = docs.get(range.end).copied();
+            lists
+                .iter()
+                .map(|list| {
+                    let a = list.partition_point(|p| p.doc < lo);
+                    let b = match hi {
+                        Some(hi) => list.partition_point(|p| p.doc < hi),
+                        None => list.len(),
+                    };
+                    &list[a..b]
+                })
+                .collect()
+        })
+        .collect()
+}

@@ -29,17 +29,23 @@ pub fn phrase_finder(
     assert!(k >= 2, "a phrase has at least two terms");
     let lists: Vec<&[tix_index::Posting]> =
         phrase_terms.iter().map(|t| index.postings(t)).collect();
+    phrase_finder_on_lists(&lists)
+}
+
+/// The PhraseFinder core over posting-list slices (one per phrase term, in
+/// phrase order). [`phrase_finder`] is this over the full index lists; the
+/// document-partitioned parallel driver calls it per document chunk.
+pub fn phrase_finder_on_lists(lists: &[&[tix_index::Posting]]) -> Vec<PhraseMatch> {
+    let k = lists.len();
+    assert!(k >= 2, "a phrase has at least two terms");
     if lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
     let mut cursors = vec![0usize; k];
     let mut out = Vec::new();
-    'outer: loop {
-        // Zipper: advance every cursor to a common (doc, node).
-        let mut target = match lists[0].get(cursors[0]) {
-            Some(p) => (p.doc, p.node),
-            None => break,
-        };
+    // Zipper: advance every cursor to a common (doc, node).
+    'outer: while let Some(first) = lists[0].get(cursors[0]) {
+        let mut target = (first.doc, first.node);
         let mut stable = 0;
         while stable < k {
             for (i, list) in lists.iter().enumerate() {
@@ -61,9 +67,12 @@ pub fn phrase_finder(
             }
         }
         // All lists sit on `target`: verify adjacency with offsets.
-        let count = count_adjacent_runs(&lists, &cursors, target);
+        let count = count_adjacent_runs(lists, &cursors, target);
         if count > 0 {
-            out.push(ScoredNode::new(NodeRef::new(target.0, target.1), count as f64));
+            out.push(ScoredNode::new(
+                NodeRef::new(target.0, target.1),
+                count as f64,
+            ));
         }
         // Move every cursor past this node.
         for (i, list) in lists.iter().enumerate() {
@@ -120,8 +129,7 @@ pub fn comp3(store: &Store, index: &InvertedIndex, phrase_terms: &[&str]) -> Vec
     let node_lists: Vec<Vec<NodeRef>> = phrase_terms
         .iter()
         .map(|t| {
-            let mut nodes: Vec<NodeRef> =
-                index.postings(t).iter().map(|p| p.node_ref()).collect();
+            let mut nodes: Vec<NodeRef> = index.postings(t).iter().map(|p| p.node_ref()).collect();
             nodes.dedup();
             nodes
         })
@@ -261,7 +269,9 @@ pub fn score_ancestors_of_phrases(store: &Store, matches: &[PhraseMatch]) -> Vec
         out.push(ScoredNode::new(node, count));
     };
     for m in matches {
-        let anchor = store.parent(m.node).expect("text node has an element parent");
+        let anchor = store
+            .parent(m.node)
+            .expect("text node has an element parent");
         while let Some(&(top, end, _)) = stack.last() {
             if top.doc == anchor.doc && top.node <= anchor.node && anchor.node.as_u32() <= end {
                 break;

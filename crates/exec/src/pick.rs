@@ -30,7 +30,10 @@ pub struct PickParams {
 impl PickParams {
     /// The paper's parameters: threshold 0.8, fraction 50 %.
     pub fn paper() -> Self {
-        PickParams { relevance_threshold: 0.8, fraction: 0.5 }
+        PickParams {
+            relevance_threshold: 0.8,
+            fraction: 0.5,
+        }
     }
 
     /// Derive the relevance threshold from a score distribution instead of
@@ -46,16 +49,17 @@ impl PickParams {
         quantile: f64,
         fraction: f64,
     ) -> Self {
-        PickParams { relevance_threshold: histogram.quantile(quantile), fraction }
+        PickParams {
+            relevance_threshold: histogram.quantile(quantile),
+            fraction,
+        }
     }
 
     /// Build the score histogram for a scored stream and derive the
     /// threshold from `quantile` in one step.
     pub fn from_scores(scored: &[ScoredNode], quantile: f64, fraction: f64) -> Self {
-        let histogram = tix_core::histogram::ScoreHistogram::build(
-            scored.iter().map(|s| s.score),
-            64,
-        );
+        let histogram =
+            tix_core::histogram::ScoreHistogram::build(scored.iter().map(|s| s.score), 64);
         Self::from_histogram(&histogram, quantile, fraction)
     }
 }
@@ -83,8 +87,14 @@ pub fn pick_stream(store: &Store, scored: &[ScoredNode], params: &PickParams) ->
         scored.windows(2).all(|w| w[0].node < w[1].node),
         "input must be unique and document-ordered"
     );
-    let mut states: Vec<NodeState> =
-        vec![NodeState { parent: None, children: 0, relevant_children: 0 }; n];
+    let mut states: Vec<NodeState> = vec![
+        NodeState {
+            parent: None,
+            children: 0,
+            relevant_children: 0
+        };
+        n
+    ];
     // Stack of (input index, end key) — the containment chain.
     let mut stack: Vec<(u32, NodeRef, u32)> = Vec::new();
     for (i, s) in scored.iter().enumerate() {
@@ -200,7 +210,14 @@ mod tests {
         let store = fixture();
         // root (1/2 children relevant → not worth), chap not in input,
         // s3 (3 children, all relevant → worth)... then p's suppressed.
-        let scored = vec![sn(0, 0.1), sn(1, 0.1), sn(7, 2.0), sn(8, 1.0), sn(9, 1.0), sn(10, 1.0)];
+        let scored = vec![
+            sn(0, 0.1),
+            sn(1, 0.1),
+            sn(7, 2.0),
+            sn(8, 1.0),
+            sn(9, 1.0),
+            sn(10, 1.0),
+        ];
         let picked = pick_stream(&store, &scored, &PickParams::paper());
         let nodes: Vec<u32> = picked.iter().map(|s| s.node.node.as_u32()).collect();
         assert_eq!(nodes, vec![7]);

@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn sort_is_document_order() {
         let sorted = sort_by_node(vec![sn(1, 0, 1.0), sn(0, 5, 2.0), sn(0, 2, 3.0)]);
-        let keys: Vec<(u32, u32)> = sorted.iter().map(|s| (s.node.doc.0, s.node.node.0)).collect();
+        let keys: Vec<(u32, u32)> = sorted
+            .iter()
+            .map(|s| (s.node.doc.0, s.node.node.0))
+            .collect();
         assert_eq!(keys, [(0, 2), (0, 5), (1, 0)]);
     }
 

@@ -26,7 +26,9 @@ pub trait ScoredStreamExt: Iterator<Item = ScoredNode> + Sized {
     /// Blocking top-k by score (rank threshold). Consumes the input on the
     /// first `next()` — rank conditions need global knowledge (Sec. 3.3.1).
     fn top_k(self, k: usize) -> TopKStream {
-        TopKStream { drained: crate::topk::top_k(self, k).into(), }
+        TopKStream {
+            drained: crate::topk::top_k(self, k).into(),
+        }
     }
 
     /// Blocking Pick: parent/child redundancy elimination (Sec. 5.3). The
@@ -34,7 +36,9 @@ pub trait ScoredStreamExt: Iterator<Item = ScoredNode> + Sized {
     /// is blocking" — the whole input is consumed before the first output.
     fn pick(self, store: &Store, params: PickParams) -> PickStream {
         let input: Vec<ScoredNode> = self.collect();
-        PickStream { drained: crate::pick::pick_stream(store, &input, &params).into() }
+        PickStream {
+            drained: crate::pick::pick_stream(store, &input, &params).into(),
+        }
     }
 }
 
@@ -102,7 +106,13 @@ mod tests {
         let scored = sort_by_node(TermJoin::new(&store, &index, &["x"], &scorer).run());
         let results: Vec<ScoredNode> = scored
             .into_iter()
-            .pick(&store, PickParams { relevance_threshold: 1.0, fraction: 0.5 })
+            .pick(
+                &store,
+                PickParams {
+                    relevance_threshold: 1.0,
+                    fraction: 0.5,
+                },
+            )
             .min_score(0.5)
             .top_k(2)
             .collect();
@@ -116,8 +126,14 @@ mod tests {
         let mut store = Store::new();
         store.load_str("t.xml", "<a><p>z</p></a>").unwrap();
         let nodes = vec![
-            ScoredNode::new(tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(0)), 1.0),
-            ScoredNode::new(tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(1)), 3.0),
+            ScoredNode::new(
+                tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(0)),
+                1.0,
+            ),
+            ScoredNode::new(
+                tix_store::NodeRef::new(tix_store::DocId(0), tix_store::NodeIdx(1)),
+                3.0,
+            ),
         ];
         let mut stream = nodes.into_iter().min_score(2.0);
         assert_eq!(stream.next().map(|s| s.score), Some(3.0));

@@ -50,7 +50,11 @@ pub fn structural_join_count(
             (None, Some(_)) => false,
             (None, None) => break,
         };
-        let event = if take_ancestor { *anc_iter.peek().expect("peeked") } else { descendants[d] };
+        let event = if take_ancestor {
+            *anc_iter.peek().expect("peeked")
+        } else {
+            descendants[d]
+        };
         // Retire frames whose subtree lies entirely before the event.
         while let Some(top) = stack.last() {
             if covers(top, event) {
@@ -118,7 +122,11 @@ mod tests {
         // ancestors: all elements; descendants: all <c>.
         let ancestors: Vec<NodeRef> = store.elements_of(DocId(0)).collect();
         let descendants = store.elements_with_tag("c").to_vec();
-        let fast = sorted(structural_join_count(&store, ancestors.clone(), &descendants));
+        let fast = sorted(structural_join_count(
+            &store,
+            ancestors.clone(),
+            &descendants,
+        ));
         let slow = sorted(nested_loop_join_count(&store, ancestors, &descendants));
         assert_eq!(fast, slow);
         // a contains 4 c's (and c self-matches count too).
@@ -139,10 +147,13 @@ mod tests {
         let mut store = Store::new();
         store.load_str("a.xml", "<a><x/></a>").unwrap();
         store.load_str("b.xml", "<a><x/></a>").unwrap();
-        let ancestors: Vec<NodeRef> =
-            store.doc_ids().flat_map(|d| store.elements_of(d)).collect();
+        let ancestors: Vec<NodeRef> = store.doc_ids().flat_map(|d| store.elements_of(d)).collect();
         let descendants = store.elements_with_tag("x").to_vec();
-        let fast = sorted(structural_join_count(&store, ancestors.clone(), &descendants));
+        let fast = sorted(structural_join_count(
+            &store,
+            ancestors.clone(),
+            &descendants,
+        ));
         let slow = sorted(nested_loop_join_count(&store, ancestors, &descendants));
         assert_eq!(fast, slow);
         assert_eq!(fast.len(), 4); // both a's and both x's (self-match)
@@ -179,9 +190,8 @@ pub fn structural_join_pairs(
             descendants[d]
         };
         while let Some(&(top, end)) = stack.last() {
-            let covers = top.doc == event.doc
-                && top.node <= event.node
-                && event.node.as_u32() <= end;
+            let covers =
+                top.doc == event.doc && top.node <= event.node && event.node.as_u32() <= end;
             if covers {
                 break;
             }

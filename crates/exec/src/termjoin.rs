@@ -82,7 +82,9 @@ impl SimpleScorer {
     /// The running example's weights: 0.8 for the first (primary) term,
     /// 0.6 for the rest.
     pub fn paper() -> Self {
-        SimpleScorer { weights: vec![0.8, 0.6] }
+        SimpleScorer {
+            weights: vec![0.8, 0.6],
+        }
     }
 
     fn weight(&self, term: usize) -> f64 {
@@ -133,12 +135,20 @@ pub struct ComplexScorer {
 impl ComplexScorer {
     /// Complex scorer with the given weights and child-count mode.
     pub fn new(weights: Vec<f64>, mode: ChildCountMode) -> Self {
-        ComplexScorer { base: SimpleScorer::new(weights), mode, node_distance_factor: 10.0 }
+        ComplexScorer {
+            base: SimpleScorer::new(weights),
+            mode,
+            node_distance_factor: 10.0,
+        }
     }
 
     /// Uniform weights.
     pub fn uniform(mode: ChildCountMode) -> Self {
-        ComplexScorer { base: SimpleScorer::uniform(), mode, node_distance_factor: 10.0 }
+        ComplexScorer {
+            base: SimpleScorer::uniform(),
+            mode,
+            node_distance_factor: 10.0,
+        }
     }
 
     /// Minimum distance between hits of *different* terms, or `None` when
@@ -249,6 +259,23 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
         }
     }
 
+    /// Set up a TermJoin directly over posting-list slices (in the same
+    /// order as the query terms). This is how the document-partitioned
+    /// parallel driver hands each worker its slice of the document axis;
+    /// `new` is equivalent to `with_lists` over the full lists.
+    pub fn with_lists(store: &'a Store, lists: Vec<&'a [Posting]>, scorer: &'a S) -> Self {
+        TermJoin {
+            store,
+            scorer,
+            cursors: vec![0; lists.len()],
+            lists,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+            keep_detail: scorer.needs_detail(),
+            exhausted: false,
+        }
+    }
+
     /// Run to completion and collect all scored elements.
     pub fn run(self) -> Vec<ScoredNode> {
         self.collect()
@@ -276,9 +303,7 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
 
     /// True when `frame`'s subtree contains `node` (ancestor-or-self).
     fn covers(frame: &Frame, node: NodeRef) -> bool {
-        frame.node.doc == node.doc
-            && frame.node.node <= node.node
-            && node.node <= frame.end
+        frame.node.doc == node.doc && frame.node.node <= node.node && node.node <= frame.end
     }
 
     /// Pop the top frame, fold it into its parent, and emit its score.
@@ -348,7 +373,11 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
         debug_assert_eq!(top.node, anchor);
         top.counters[term as usize] += 1;
         if self.keep_detail {
-            top.detail.push(TermHit { node: posting.node, offset: posting.offset, term });
+            top.detail.push(TermHit {
+                node: posting.node,
+                offset: posting.offset,
+                term,
+            });
         }
         if top.last_text_child != Some(posting.node) {
             top.nonzero_children += 1;
@@ -432,9 +461,8 @@ mod tests {
     fn simple_two_terms() {
         let (store, index) = fixture();
         let scorer = SimpleScorer::uniform();
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["x", "y"], &scorer).run(),
-        );
+        let out =
+            crate::scored::sort_by_node(TermJoin::new(&store, &index, &["x", "y"], &scorer).run());
         // Elements with hits: a (3), b (2), c (1).
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], ScoredNode::new(nref(0, 0), 3.0)); // a
@@ -446,9 +474,8 @@ mod tests {
     fn weights_respected() {
         let (store, index) = fixture();
         let scorer = SimpleScorer::new(vec![0.8, 0.6]);
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["x", "y"], &scorer).run(),
-        );
+        let out =
+            crate::scored::sort_by_node(TermJoin::new(&store, &index, &["x", "y"], &scorer).run());
         // a: 2x + 1y = 2*0.8 + 0.6 = 2.2
         assert!((out[0].score - 2.2).abs() < 1e-9);
     }
@@ -465,9 +492,7 @@ mod tests {
     fn single_term_scores_every_ancestor() {
         let (store, index) = fixture();
         let scorer = SimpleScorer::uniform();
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["z"], &scorer).run(),
-        );
+        let out = crate::scored::sort_by_node(TermJoin::new(&store, &index, &["z"], &scorer).run());
         // z occurs once under d: ancestors a and d.
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].node, nref(0, 0));
@@ -481,9 +506,7 @@ mod tests {
         store.load_str("b.xml", "<a><p>q q</p></a>").unwrap();
         let index = InvertedIndex::build(&store);
         let scorer = SimpleScorer::uniform();
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["q"], &scorer).run(),
-        );
+        let out = crate::scored::sort_by_node(TermJoin::new(&store, &index, &["q"], &scorer).run());
         // Two elements per doc (a, p).
         assert_eq!(out.len(), 4);
         assert_eq!(out[0].node.doc, DocId(0));
@@ -506,12 +529,14 @@ mod tests {
     fn complex_scorer_ratio() {
         let (store, index) = fixture();
         let scorer = ComplexScorer::uniform(ChildCountMode::Index);
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["x"], &scorer).run(),
-        );
+        let out = crate::scored::sort_by_node(TermJoin::new(&store, &index, &["x"], &scorer).run());
         // a has 3 children (b, c, d); two contain "x" → ratio 2/3; base 2.
         let a = out.iter().find(|s| s.node == nref(0, 0)).unwrap();
-        assert!((a.score - 2.0 * (2.0 / 3.0)).abs() < 1e-9, "got {}", a.score);
+        assert!(
+            (a.score - 2.0 * (2.0 / 3.0)).abs() < 1e-9,
+            "got {}",
+            a.score
+        );
         // b: 1 child (text), nonzero 1 → ratio 1; base 1.
         let b = out.iter().find(|s| s.node == nref(0, 1)).unwrap();
         assert!((b.score - 1.0).abs() < 1e-9);
@@ -538,9 +563,8 @@ mod tests {
             .unwrap();
         let index = InvertedIndex::build(&store);
         let scorer = ComplexScorer::uniform(ChildCountMode::Index);
-        let out = crate::scored::sort_by_node(
-            TermJoin::new(&store, &index, &["u", "v"], &scorer).run(),
-        );
+        let out =
+            crate::scored::sort_by_node(TermJoin::new(&store, &index, &["u", "v"], &scorer).run());
         // p1 (node 1) has distance 1; p2 (node 3) distance 8.
         let p1 = out.iter().find(|s| s.node == nref(0, 1)).unwrap();
         let p2 = out.iter().find(|s| s.node == nref(0, 3)).unwrap();
@@ -571,7 +595,9 @@ pub struct IdfScorer {
 impl IdfScorer {
     /// Precompute idf weights for `terms` against `index`.
     pub fn new(index: &InvertedIndex, total_docs: usize, terms: &[&str]) -> Self {
-        IdfScorer { idf: terms.iter().map(|t| index.idf(t, total_docs)).collect() }
+        IdfScorer {
+            idf: terms.iter().map(|t| index.idf(t, total_docs)).collect(),
+        }
     }
 }
 

@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn top_k_matches_full_sort() {
-        let input: Vec<ScoredNode> =
-            (0..100).map(|i| sn(i, ((i * 37) % 100) as f64)).collect();
+        let input: Vec<ScoredNode> = (0..100).map(|i| sn(i, ((i * 37) % 100) as f64)).collect();
         let top = top_k(input.clone(), 10);
         let mut sorted = input;
         sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());

@@ -15,7 +15,10 @@ use tix_index::InvertedIndex;
 use tix_store::Store;
 
 fn corpus(seed: u64, plants: PlantSpec) -> (Store, InvertedIndex) {
-    let spec = CorpusSpec { seed, ..CorpusSpec::tiny() };
+    let spec = CorpusSpec {
+        seed,
+        ..CorpusSpec::tiny()
+    };
     let generator = Generator::new(spec, plants).unwrap();
     let mut store = Store::new();
     generator.load_into(&mut store).unwrap();
@@ -48,7 +51,13 @@ fn termjoin_simple_all_methods_agree() {
             .with_term("gamma", 3);
         let (store, index) = corpus(seed, plants);
         let scorer = SimpleScorer::new(vec![0.8, 0.6]);
-        assert_all_agree(&store, &index, &["alpha", "beta"], &scorer, &format!("seed {seed}"));
+        assert_all_agree(
+            &store,
+            &index,
+            &["alpha", "beta"],
+            &scorer,
+            &format!("seed {seed}"),
+        );
         assert_all_agree(
             &store,
             &index,
@@ -62,7 +71,9 @@ fn termjoin_simple_all_methods_agree() {
 #[test]
 fn termjoin_complex_all_methods_agree() {
     for seed in 100..104u64 {
-        let plants = PlantSpec::default().with_term("alpha", 25).with_term("beta", 10);
+        let plants = PlantSpec::default()
+            .with_term("alpha", 25)
+            .with_term("beta", 10);
         let (store, index) = corpus(seed, plants);
         for mode in [ChildCountMode::Index, ChildCountMode::Navigate] {
             let scorer = ComplexScorer::uniform(mode);
@@ -84,7 +95,13 @@ fn termjoin_on_background_terms() {
     let scorer = SimpleScorer::uniform();
     assert_all_agree(&store, &index, &["w0", "w1"], &scorer, "background w0/w1");
     let complex = ComplexScorer::uniform(ChildCountMode::Index);
-    assert_all_agree(&store, &index, &["w0", "w3"], &complex, "background complex");
+    assert_all_agree(
+        &store,
+        &index,
+        &["w0", "w3"],
+        &complex,
+        "background complex",
+    );
 }
 
 #[test]
@@ -120,7 +137,10 @@ fn phrase_finder_agrees_with_comp3_on_planted_phrases() {
         let (store, index) = corpus(seed, plants);
         let pf = sort_by_node(phrase_finder(&store, &index, &["srch", "engn"]));
         let c3 = sort_by_node(comp3(&store, &index, &["srch", "engn"]));
-        assert!(results_equal(&pf, &c3, 1e-12), "seed {seed}\npf={pf:?}\nc3={c3:?}");
+        assert!(
+            results_equal(&pf, &c3, 1e-12),
+            "seed {seed}\npf={pf:?}\nc3={c3:?}"
+        );
         // Every planted adjacency is found.
         let total: f64 = pf.iter().map(|s| s.score).sum();
         assert!(total >= 12.0, "seed {seed}: found {total}");
@@ -135,7 +155,10 @@ fn phrase_finder_agrees_on_background_bigrams() {
     for pair in [["w0", "w1"], ["w1", "w0"], ["w0", "w0"], ["w2", "w5"]] {
         let pf = sort_by_node(phrase_finder(&store, &index, &[pair[0], pair[1]]));
         let c3 = sort_by_node(comp3(&store, &index, &[pair[0], pair[1]]));
-        assert!(results_equal(&pf, &c3, 1e-12), "{pair:?}\npf={pf:?}\nc3={c3:?}");
+        assert!(
+            results_equal(&pf, &c3, 1e-12),
+            "{pair:?}\npf={pf:?}\nc3={c3:?}"
+        );
     }
 }
 
@@ -146,7 +169,9 @@ fn stack_pick_agrees_with_reference_pick() {
     use tix_core::ScoredTree;
 
     for seed in 0..6u64 {
-        let plants = PlantSpec::default().with_term("alpha", 40).with_term("beta", 15);
+        let plants = PlantSpec::default()
+            .with_term("alpha", 40)
+            .with_term("beta", 15);
         let (store, index) = corpus(seed, plants);
         // Produce a realistic scored stream via TermJoin.
         let scorer = SimpleScorer::new(vec![1.0, 0.7]);
@@ -159,7 +184,10 @@ fn stack_pick_agrees_with_reference_pick() {
         let var = PatternNodeId(4);
         let tree = ScoredTree::from_stored(
             &store,
-            scored.iter().map(|s| (s.node, Some(s.score), vec![var])).collect(),
+            scored
+                .iter()
+                .map(|s| (s.node, Some(s.score), vec![var]))
+                .collect(),
         );
         let criterion = FractionPick::paper();
         let picked_ref = tix_core::ops::picked_entries(&tree, var, &criterion);
@@ -168,9 +196,7 @@ fn stack_pick_agrees_with_reference_pick() {
             .iter()
             .zip(&picked_ref)
             .filter(|(_, &p)| p)
-            .map(|(e, _)| {
-                ScoredNode::new(e.source.stored().unwrap(), e.score.unwrap())
-            })
+            .map(|(e, _)| ScoredNode::new(e.source.stored().unwrap(), e.score.unwrap()))
             .collect();
         assert!(
             results_equal(&picked_fast, &expected, 1e-12),

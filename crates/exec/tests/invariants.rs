@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn top_k_is_sorted_prefix(a in scored_set(), k in 0usize..16) {
         let top = topk::top_k(a.clone(), k);
-        prop_assert!(top.len() <= k.min(a.len()).max(0));
+        prop_assert!(top.len() <= k.min(a.len()));
         prop_assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
         // No input element outscores the worst member of a full top-k.
         if top.len() == k && k > 0 {

@@ -1,0 +1,142 @@
+//! The parallel access methods must be *bit-identical* to their sequential
+//! counterparts — same nodes, same order, same `f64` scores compared with
+//! `==`, no epsilon — at every thread count, including thread counts far
+//! exceeding the document count.
+
+use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+use tix_exec::parallel::{phrase_finder_parallel, pick_stream_parallel, term_join_parallel};
+use tix_exec::phrase::phrase_finder;
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::sort_by_node;
+use tix_exec::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn empty_store() -> Store {
+    Store::new()
+}
+
+fn single_doc_store() -> Store {
+    let mut store = Store::new();
+    store
+        .load_str(
+            "one.xml",
+            "<a><s><p>alpha beta alpha</p><p>beta gamma</p></s>\
+             <s><p>alpha beta</p></s></a>",
+        )
+        .unwrap();
+    store
+}
+
+fn many_doc_store() -> Store {
+    let spec = CorpusSpec {
+        articles: 9,
+        ..CorpusSpec::tiny()
+    };
+    let plants = PlantSpec::default()
+        .with_term("alpha", 12)
+        .with_term("beta", 8)
+        .with_phrase("alpha", "beta", 5, 4);
+    let mut store = Store::new();
+    Generator::new(spec, plants)
+        .unwrap()
+        .load_into(&mut store)
+        .unwrap();
+    store
+}
+
+fn fixtures() -> Vec<(&'static str, Store)> {
+    vec![
+        ("empty", empty_store()),
+        ("single-doc", single_doc_store()),
+        ("many-doc", many_doc_store()),
+    ]
+}
+
+#[test]
+fn term_join_simple_scorer_matches_sequential() {
+    for (name, store) in fixtures() {
+        let index = InvertedIndex::build(&store);
+        let scorer = SimpleScorer::paper();
+        let expected = TermJoin::new(&store, &index, &["alpha", "beta"], &scorer).run();
+        for threads in THREADS {
+            let got = term_join_parallel(&store, &index, &["alpha", "beta"], &scorer, threads);
+            assert_eq!(got, expected, "{name} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn term_join_complex_scorer_matches_sequential_both_modes() {
+    for (name, store) in fixtures() {
+        let index = InvertedIndex::build(&store);
+        for mode in [ChildCountMode::Navigate, ChildCountMode::Index] {
+            let scorer = ComplexScorer::uniform(mode);
+            let expected = TermJoin::new(&store, &index, &["alpha", "beta"], &scorer).run();
+            for threads in THREADS {
+                let got = term_join_parallel(&store, &index, &["alpha", "beta"], &scorer, threads);
+                assert_eq!(got, expected, "{name} {mode:?} at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn term_join_with_absent_term_matches_sequential() {
+    for (name, store) in fixtures() {
+        let index = InvertedIndex::build(&store);
+        let scorer = SimpleScorer::uniform();
+        let terms = ["alpha", "never-indexed"];
+        let expected = TermJoin::new(&store, &index, &terms, &scorer).run();
+        for threads in THREADS {
+            let got = term_join_parallel(&store, &index, &terms, &scorer, threads);
+            assert_eq!(got, expected, "{name} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn phrase_finder_matches_sequential() {
+    for (name, store) in fixtures() {
+        let index = InvertedIndex::build(&store);
+        let expected = phrase_finder(&store, &index, &["alpha", "beta"]);
+        for threads in THREADS {
+            let got = phrase_finder_parallel(&store, &index, &["alpha", "beta"], threads);
+            assert_eq!(got, expected, "{name} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn pick_stream_matches_sequential() {
+    for (name, store) in fixtures() {
+        let index = InvertedIndex::build(&store);
+        let scorer = SimpleScorer::uniform();
+        let scored = sort_by_node(TermJoin::new(&store, &index, &["alpha", "beta"], &scorer).run());
+        for params in [
+            PickParams::paper(),
+            PickParams {
+                relevance_threshold: 2.0,
+                fraction: 0.3,
+            },
+        ] {
+            let expected = pick_stream(&store, &scored, &params);
+            for threads in THREADS {
+                let got = pick_stream_parallel(&store, &scored, &params, threads);
+                assert_eq!(got, expected, "{name} {params:?} at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_beyond_doc_count_is_fine() {
+    let store = single_doc_store();
+    let index = InvertedIndex::build(&store);
+    let scorer = SimpleScorer::uniform();
+    let expected = TermJoin::new(&store, &index, &["alpha"], &scorer).run();
+    let got = term_join_parallel(&store, &index, &["alpha"], &scorer, 64);
+    assert_eq!(got, expected);
+}

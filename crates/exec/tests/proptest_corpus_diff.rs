@@ -1,0 +1,186 @@
+//! Property-based differential tests on *randomized corpus collections* —
+//! the generator's article shape with randomized seeds, sizes, and plant
+//! densities. Complements `proptest_diff.rs` (arbitrary XML shapes) with
+//! the regular, deep, multi-document trees the paper's experiments use.
+//!
+//! Every access method is checked against its baseline on every generated
+//! collection:
+//!
+//! * TermJoin (simple + complex scorer, both [`ChildCountMode`]s) vs
+//!   `composite::comp1`, `composite::comp2`, `meet::generalized_meet`;
+//! * `phrase_finder` vs `phrase::comp3`;
+//! * `pick_stream` vs the `tix-core` reference (`ops::picked_entries`).
+//!
+//! Case counts are deliberately low (corpus generation dominates the cost);
+//! `PROPTEST_CASES` scales them up for a soak run.
+
+use proptest::prelude::*;
+use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+use tix_exec::composite::{comp1, comp2};
+use tix_exec::meet::generalized_meet;
+use tix_exec::phrase::{comp3, phrase_finder};
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::{results_equal, sort_by_node, ScoredNode};
+use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin, TermJoinScorer};
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+/// A randomized collection: corpus shape, seed, and plant densities.
+#[derive(Debug, Clone)]
+struct Collection {
+    articles: usize,
+    seed: u64,
+    alpha: usize,
+    beta: usize,
+    gamma: usize,
+    adjacent: usize,
+    cooccurring: usize,
+}
+
+fn collection_strategy() -> impl Strategy<Value = Collection> {
+    (
+        1usize..6,
+        0u64..1 << 32,
+        0usize..25,
+        0usize..12,
+        0usize..6,
+        0usize..8,
+        0usize..8,
+    )
+        .prop_map(
+            |(articles, seed, alpha, beta, gamma, adjacent, cooccurring)| Collection {
+                articles,
+                seed,
+                alpha,
+                beta,
+                gamma,
+                adjacent,
+                cooccurring,
+            },
+        )
+}
+
+fn build(c: &Collection) -> (Store, InvertedIndex) {
+    let spec = CorpusSpec {
+        articles: c.articles,
+        seed: c.seed,
+        ..CorpusSpec::tiny()
+    };
+    let plants = PlantSpec::default()
+        .with_term("alpha", c.alpha)
+        .with_term("beta", c.beta)
+        .with_term("gamma", c.gamma)
+        .with_phrase("srch", "engn", c.adjacent, c.cooccurring);
+    let generator = Generator::new(spec, plants).expect("plants fit the tiny shape");
+    let mut store = Store::new();
+    generator.load_into(&mut store).expect("corpus loads");
+    let index = InvertedIndex::build(&store);
+    (store, index)
+}
+
+/// Panics (inside the proptest harness, which reports the failing inputs)
+/// unless all four score-generating methods agree on `terms`.
+fn assert_termjoin_agrees<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+    label: &str,
+) {
+    let tj = sort_by_node(TermJoin::new(store, index, terms, scorer).run());
+    let c1 = sort_by_node(comp1(store, index, terms, scorer));
+    let c2 = sort_by_node(comp2(store, index, terms, scorer));
+    let gm = sort_by_node(generalized_meet(store, index, terms, scorer));
+    assert!(results_equal(&tj, &c1, 1e-9), "{label}: TermJoin vs Comp1");
+    assert!(results_equal(&tj, &c2, 1e-9), "{label}: TermJoin vs Comp2");
+    assert!(results_equal(&tj, &gm, 1e-9), "{label}: TermJoin vs Meet");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn termjoin_simple_agrees_on_random_collections(c in collection_strategy()) {
+        let (store, index) = build(&c);
+        let scorer = SimpleScorer::new(vec![0.8, 0.6, 0.4]);
+        assert_termjoin_agrees(&store, &index, &["alpha", "beta"], &scorer, "2-term");
+        assert_termjoin_agrees(&store, &index, &["alpha", "beta", "gamma"], &scorer, "3-term");
+        // Background Zipf terms share text nodes with the plants.
+        assert_termjoin_agrees(&store, &index, &["alpha", "w0"], &scorer, "mixed");
+    }
+
+    #[test]
+    fn termjoin_complex_agrees_on_random_collections(c in collection_strategy()) {
+        let (store, index) = build(&c);
+        for mode in [ChildCountMode::Index, ChildCountMode::Navigate] {
+            let scorer = ComplexScorer::uniform(mode);
+            assert_termjoin_agrees(
+                &store,
+                &index,
+                &["alpha", "beta"],
+                &scorer,
+                &format!("{mode:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn phrase_finder_agrees_on_random_collections(c in collection_strategy()) {
+        let (store, index) = build(&c);
+        // The planted phrase, its reversal (matches only by accident), and a
+        // background bigram.
+        for pair in [["srch", "engn"], ["engn", "srch"], ["w0", "w1"]] {
+            let pf = sort_by_node(phrase_finder(&store, &index, pair.as_ref()));
+            let c3 = sort_by_node(comp3(&store, &index, pair.as_ref()));
+            prop_assert!(results_equal(&pf, &c3, 1e-12), "{pair:?}\npf={pf:?}\nc3={c3:?}");
+        }
+        // Every planted adjacency is found.
+        let pf = phrase_finder(&store, &index, &["srch", "engn"]);
+        let total: f64 = pf.iter().map(|s| s.score).sum();
+        prop_assert!(total >= c.adjacent as f64, "found {total} < planted {}", c.adjacent);
+    }
+
+    #[test]
+    fn pick_stream_agrees_on_random_collections(
+        c in collection_strategy(),
+        threshold_tenths in 0u32..30,
+        fraction_tenths in 0u32..10,
+    ) {
+        use tix_core::ops::{picked_entries, FractionPick};
+        use tix_core::pattern::PatternNodeId;
+        use tix_core::ScoredTree;
+
+        let (store, index) = build(&c);
+        let scorer = SimpleScorer::new(vec![1.0, 0.7]);
+        let scored =
+            sort_by_node(TermJoin::new(&store, &index, &["alpha", "beta"], &scorer).run());
+
+        let params = PickParams {
+            relevance_threshold: threshold_tenths as f64 / 10.0,
+            fraction: fraction_tenths as f64 / 10.0,
+        };
+        let picked_fast = pick_stream(&store, &scored, &params);
+
+        let var = PatternNodeId(4);
+        let tree = ScoredTree::from_stored(
+            &store,
+            scored.iter().map(|s| (s.node, Some(s.score), vec![var])).collect(),
+        );
+        let criterion = FractionPick {
+            relevance_threshold: params.relevance_threshold,
+            fraction: params.fraction,
+        };
+        let picked_ref = picked_entries(&tree, var, &criterion);
+        let expected: Vec<ScoredNode> = tree
+            .entries()
+            .iter()
+            .zip(&picked_ref)
+            .filter(|(_, &p)| p)
+            .map(|(e, _)| ScoredNode::new(e.source.stored().unwrap(), e.score.unwrap()))
+            .collect();
+        prop_assert!(
+            results_equal(&picked_fast, &expected, 1e-12),
+            "{params:?}\nfast={picked_fast:?}\nref={expected:?}"
+        );
+    }
+}

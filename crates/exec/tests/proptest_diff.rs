@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use tix_exec::composite::{comp1, comp2};
 use tix_exec::meet::generalized_meet;
 use tix_exec::phrase::{comp3, phrase_finder};
-use tix_exec::scored::{results_equal, sort_by_node};
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::{results_equal, sort_by_node, ScoredNode};
 use tix_exec::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
 use tix_index::InvertedIndex;
 use tix_store::Store;
@@ -75,8 +76,10 @@ proptest! {
             let scorer = ComplexScorer::uniform(mode);
             let tj = sort_by_node(TermJoin::new(&store, &index, &terms, &scorer).run());
             let c1 = sort_by_node(comp1(&store, &index, &terms, &scorer));
+            let c2 = sort_by_node(comp2(&store, &index, &terms, &scorer));
             let gm = sort_by_node(generalized_meet(&store, &index, &terms, &scorer));
             prop_assert!(results_equal(&tj, &c1, 1e-9), "{mode:?}\ntj={tj:?}\nc1={c1:?}");
+            prop_assert!(results_equal(&tj, &c2, 1e-9), "{mode:?}\ntj={tj:?}\nc2={c2:?}");
             prop_assert!(results_equal(&tj, &gm, 1e-9), "{mode:?}\ntj={tj:?}\ngm={gm:?}");
         }
     }
@@ -85,10 +88,56 @@ proptest! {
     fn phrase_methods_agree(docs in prop::collection::vec(doc_strategy(), 1..3)) {
         let (store, index) = load(&docs);
         for pair in [["qq", "zz"], ["qq", "qq"], ["zz", "kk"]] {
-            let pf = sort_by_node(phrase_finder(&store, &index, &pair.to_vec()));
-            let c3 = sort_by_node(comp3(&store, &index, &pair.to_vec()));
+            let pf = sort_by_node(phrase_finder(&store, &index, pair.as_ref()));
+            let c3 = sort_by_node(comp3(&store, &index, pair.as_ref()));
             prop_assert!(results_equal(&pf, &c3, 1e-12), "{pair:?}\npf={pf:?}\nc3={c3:?}");
         }
+    }
+
+    #[test]
+    fn pick_stream_agrees_with_reference(
+        docs in prop::collection::vec(doc_strategy(), 1..3),
+        threshold_tenths in 0u32..40,
+        fraction_tenths in 0u32..10,
+    ) {
+        use tix_core::ops::{picked_entries, FractionPick};
+        use tix_core::pattern::PatternNodeId;
+        use tix_core::ScoredTree;
+
+        let (store, index) = load(&docs);
+        // A realistic document-ordered scored stream via TermJoin.
+        let scorer = SimpleScorer::new(vec![1.0, 0.7]);
+        let scored =
+            sort_by_node(TermJoin::new(&store, &index, &["qq", "zz"], &scorer).run());
+
+        let params = PickParams {
+            relevance_threshold: threshold_tenths as f64 / 10.0,
+            fraction: fraction_tenths as f64 / 10.0,
+        };
+        let picked_fast = pick_stream(&store, &scored, &params);
+
+        // Reference: the algebra's picked set over an explicit ScoredTree.
+        let var = PatternNodeId(4);
+        let tree = ScoredTree::from_stored(
+            &store,
+            scored.iter().map(|s| (s.node, Some(s.score), vec![var])).collect(),
+        );
+        let criterion = FractionPick {
+            relevance_threshold: params.relevance_threshold,
+            fraction: params.fraction,
+        };
+        let picked_ref = picked_entries(&tree, var, &criterion);
+        let expected: Vec<ScoredNode> = tree
+            .entries()
+            .iter()
+            .zip(&picked_ref)
+            .filter(|(_, &p)| p)
+            .map(|(e, _)| ScoredNode::new(e.source.stored().unwrap(), e.score.unwrap()))
+            .collect();
+        prop_assert!(
+            results_equal(&picked_fast, &expected, 1e-12),
+            "{params:?}\nfast={picked_fast:?}\nref={expected:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,36 @@ impl InvertedIndex {
         index
     }
 
+    /// [`build`](Self::build), but with per-document posting extraction
+    /// fanned out over `threads` workers.
+    ///
+    /// The result is **identical** to the sequential build — same term-id
+    /// assignment, same posting order, byte-identical snapshot — for any
+    /// thread count. Extraction records each document's terms in
+    /// first-occurrence order; the merge then walks documents in document
+    /// order and interns terms in that recorded order, which reproduces
+    /// exactly the interleaving the sequential pass would have seen.
+    /// `threads <= 1` degrades to a sequential extract-and-merge on the
+    /// calling thread.
+    pub fn build_with_threads(store: &Store, threads: usize) -> Self {
+        let doc_ids: Vec<DocId> = store.doc_ids().collect();
+        let extracted = tix_parallel::parallel_map(&doc_ids, threads, |&doc_id| {
+            extract_document(store, doc_id)
+        });
+        let mut index = InvertedIndex::default();
+        for doc in extracted {
+            index.total_tokens += doc.tokens;
+            for (term, postings) in doc.terms {
+                let id = index.intern(&term);
+                let list = &mut index.lists[id.0 as usize];
+                for posting in postings {
+                    list.push(posting);
+                }
+            }
+        }
+        index
+    }
+
     fn index_document(&mut self, store: &Store, doc_id: DocId) {
         let doc = store.doc(doc_id);
         let mut offset = 0u32;
@@ -43,7 +73,11 @@ impl InvertedIndex {
             }
             for token in tokenize(doc.text(idx)) {
                 let term_id = self.intern(&token.term);
-                self.lists[term_id.0 as usize].push(Posting { doc: doc_id, node: idx, offset });
+                self.lists[term_id.0 as usize].push(Posting {
+                    doc: doc_id,
+                    node: idx,
+                    offset,
+                });
                 offset += 1;
                 self.total_tokens += 1;
             }
@@ -103,7 +137,9 @@ impl InvertedIndex {
     /// Total occurrences of `term` in the collection — the "term frequency"
     /// axis of the paper's Tables 1–4.
     pub fn collection_frequency(&self, term: &str) -> usize {
-        self.list(term).map(PostingList::collection_frequency).unwrap_or(0)
+        self.list(term)
+            .map(PostingList::collection_frequency)
+            .unwrap_or(0)
     }
 
     /// Number of distinct documents containing `term`.
@@ -130,12 +166,15 @@ impl InvertedIndex {
 
     /// Statistics for every term (workload tooling).
     pub fn term_stats(&self) -> impl Iterator<Item = TermStats> + '_ {
-        self.term_names.iter().zip(&self.lists).map(|(term, list)| TermStats {
-            term: term.clone(),
-            collection_frequency: list.collection_frequency(),
-            doc_frequency: list.doc_frequency(),
-            node_frequency: list.node_frequency(),
-        })
+        self.term_names
+            .iter()
+            .zip(&self.lists)
+            .map(|(term, list)| TermStats {
+                term: term.clone(),
+                collection_frequency: list.collection_frequency(),
+                doc_frequency: list.doc_frequency(),
+                node_frequency: list.node_frequency(),
+            })
     }
 
     /// Find terms whose collection frequency falls within
@@ -163,6 +202,50 @@ impl InvertedIndex {
         let hi = postings.partition_point(|p| (p.doc, p.node) <= (node.doc, end));
         hi - lo
     }
+}
+
+/// One document's postings as extracted by a parallel-build worker:
+/// `terms` holds the document's distinct terms in first-occurrence order,
+/// each with its postings in `(node, offset)` order.
+struct DocPostings {
+    terms: Vec<(String, Vec<Posting>)>,
+    tokens: u64,
+}
+
+/// Tokenize one document into per-term posting runs. This is the per-worker
+/// half of [`InvertedIndex::build_with_threads`]; it touches only `doc_id`'s
+/// nodes, so any number of extractions can run concurrently over a shared
+/// `&Store`.
+fn extract_document(store: &Store, doc_id: DocId) -> DocPostings {
+    let doc = store.doc(doc_id);
+    let mut terms: Vec<(String, Vec<Posting>)> = Vec::new();
+    let mut slots: HashMap<String, usize> = HashMap::new();
+    let mut offset = 0u32;
+    let mut tokens = 0u64;
+    for i in 0..doc.len() as u32 {
+        let idx = NodeIdx(i);
+        if doc.node(idx).kind() != NodeKind::Text {
+            continue;
+        }
+        for token in tokenize(doc.text(idx)) {
+            let slot = match slots.get(&token.term) {
+                Some(&slot) => slot,
+                None => {
+                    slots.insert(token.term.clone(), terms.len());
+                    terms.push((token.term, Vec::new()));
+                    terms.len() - 1
+                }
+            };
+            terms[slot].1.push(Posting {
+                doc: doc_id,
+                node: idx,
+                offset,
+            });
+            offset += 1;
+            tokens += 1;
+        }
+    }
+    DocPostings { terms, tokens }
 }
 
 #[cfg(test)]
@@ -208,7 +291,11 @@ mod tests {
     #[test]
     fn postings_in_document_order() {
         let (_, index) = indexed("<a><p>w</p><q><r>w</r></q><p>w</p></a>");
-        let nodes: Vec<u32> = index.postings("w").iter().map(|p| p.node.as_u32()).collect();
+        let nodes: Vec<u32> = index
+            .postings("w")
+            .iter()
+            .map(|p| p.node.as_u32())
+            .collect();
         assert!(nodes.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -36,6 +36,6 @@ mod snapshot;
 mod tokenize;
 
 pub use build::InvertedIndex;
-pub use snapshot::IndexSnapshotError;
 pub use postings::{Posting, PostingList, TermId, TermStats};
+pub use snapshot::IndexSnapshotError;
 pub use tokenize::{terms, tokenize, Token};

@@ -73,12 +73,16 @@ impl PostingList {
         doc_frequency: u32,
         node_frequency: u32,
     ) -> Self {
-        PostingList { postings, doc_frequency, node_frequency }
+        PostingList {
+            postings,
+            doc_frequency,
+            node_frequency,
+        }
     }
 
     pub(crate) fn push(&mut self, posting: Posting) {
         debug_assert!(
-            self.postings.last().map_or(true, |last| *last < posting),
+            self.postings.last().is_none_or(|last| *last < posting),
             "postings must arrive in document order"
         );
         match self.postings.last() {
@@ -114,7 +118,11 @@ mod tests {
     use super::*;
 
     fn p(doc: u32, node: u32, offset: u32) -> Posting {
-        Posting { doc: DocId(doc), node: NodeIdx(node), offset }
+        Posting {
+            doc: DocId(doc),
+            node: NodeIdx(node),
+            offset,
+        }
     }
 
     #[test]

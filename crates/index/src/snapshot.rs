@@ -173,7 +173,11 @@ mod tests {
         assert_eq!(index.total_tokens(), loaded.total_tokens());
         for term in ["alpha", "beta", "gamma"] {
             assert_eq!(index.postings(term), loaded.postings(term), "{term}");
-            assert_eq!(index.doc_frequency(term), loaded.doc_frequency(term), "{term}");
+            assert_eq!(
+                index.doc_frequency(term),
+                loaded.doc_frequency(term),
+                "{term}"
+            );
         }
     }
 

@@ -28,11 +28,17 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 start = Some(i);
             }
         } else if let Some(s) = start.take() {
-            tokens.push(Token { term: text[s..i].to_lowercase(), byte_offset: s });
+            tokens.push(Token {
+                term: text[s..i].to_lowercase(),
+                byte_offset: s,
+            });
         }
     }
     if let Some(s) = start {
-        tokens.push(Token { term: text[s..].to_lowercase(), byte_offset: s });
+        tokens.push(Token {
+            term: text[s..].to_lowercase(),
+            byte_offset: s,
+        });
     }
     tokens
 }

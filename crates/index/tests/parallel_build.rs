@@ -1,0 +1,91 @@
+//! Parallel index construction must be indistinguishable from sequential:
+//! same term-id assignment, same posting order, same statistics, and —
+//! the strongest form — byte-identical snapshots for every thread count.
+
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+fn snapshot_bytes(index: &InvertedIndex) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    index.save_snapshot(&mut bytes).expect("snapshot to memory");
+    bytes
+}
+
+fn assert_identical_across_threads(store: &Store) {
+    let sequential = InvertedIndex::build(store);
+    let expected = snapshot_bytes(&sequential);
+    for threads in [1, 2, 8] {
+        let parallel = InvertedIndex::build_with_threads(store, threads);
+        assert_eq!(
+            snapshot_bytes(&parallel),
+            expected,
+            "snapshot differs from sequential at {threads} threads"
+        );
+        assert_eq!(parallel.term_count(), sequential.term_count());
+        assert_eq!(parallel.total_tokens(), sequential.total_tokens());
+    }
+}
+
+#[test]
+fn empty_store() {
+    assert_identical_across_threads(&Store::new());
+}
+
+#[test]
+fn single_document() {
+    let mut store = Store::new();
+    store
+        .load_str(
+            "a.xml",
+            "<a><p>search engine search</p><q>index engine</q></a>",
+        )
+        .unwrap();
+    assert_identical_across_threads(&store);
+}
+
+#[test]
+fn many_documents_with_shared_and_unique_terms() {
+    let mut store = Store::new();
+    for i in 0..17 {
+        // `common` in every doc, `only{i}` unique, plus per-doc repetition
+        // patterns so doc/node frequencies differ between terms.
+        let xml = format!(
+            "<doc><t>common only{i} common</t><s>word{} shared</s></doc>",
+            i % 3
+        );
+        store.load_str(&format!("d{i}.xml"), &xml).unwrap();
+    }
+    assert_identical_across_threads(&store);
+}
+
+#[test]
+fn generated_corpus() {
+    use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+
+    let spec = CorpusSpec {
+        articles: 12,
+        ..CorpusSpec::tiny()
+    };
+    let plants = PlantSpec::default()
+        .with_term("planted", 9)
+        .with_phrase("alpha", "beta", 4, 3);
+    let mut store = Store::new();
+    Generator::new(spec, plants)
+        .unwrap()
+        .load_into(&mut store)
+        .unwrap();
+    assert_identical_across_threads(&store);
+}
+
+#[test]
+fn term_ids_match_first_occurrence_order() {
+    let mut store = Store::new();
+    store.load_str("a.xml", "<a>zeta alpha zeta</a>").unwrap();
+    store.load_str("b.xml", "<a>beta alpha</a>").unwrap();
+    let index = InvertedIndex::build_with_threads(&store, 4);
+    // Interning order is first occurrence across docs in doc order,
+    // exactly as the sequential pass produces.
+    assert_eq!(index.term_id("zeta").unwrap().0, 0);
+    assert_eq!(index.term_id("alpha").unwrap().0, 1);
+    assert_eq!(index.term_id("beta").unwrap().0, 2);
+}

@@ -1,0 +1,173 @@
+//! Parallel primitives for document-partitioned execution.
+//!
+//! TIX's access methods (TermJoin, PhraseFinder, Pick) and the inverted
+//! index builder are all single passes over document-ordered data with no
+//! state crossing a document boundary, so they parallelise by partitioning
+//! the document axis: evaluate chunks of documents independently and
+//! concatenate the per-chunk outputs in document order. The result is
+//! *identical* — bit for bit — to the sequential run, because each
+//! document's computation is unchanged; only the schedule differs.
+//!
+//! This module supplies the two building blocks for that pattern:
+//!
+//! * [`default_threads`] — the worker count, from `TIX_THREADS` or the
+//!   machine's available parallelism;
+//! * [`parallel_map`] — map a function over a slice on scoped threads,
+//!   returning results in input order.
+//!
+//! There is no thread pool: workers are `std::thread::scope` threads that
+//! live for one call. For the index- and query-sized work units this crate
+//! is used for, spawn cost is noise; in exchange there is no global state,
+//! no shutdown ordering, and no unsafe code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count to use when the caller does not choose one: the
+/// `TIX_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TIX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` using up to `threads` workers, returning results
+/// in input order.
+///
+/// With `threads <= 1` (or fewer than two items) this runs sequentially on
+/// the calling thread — the degenerate case costs nothing and spawns
+/// nothing. Workers claim items from a shared counter, so uneven item
+/// costs still balance. If `f` panics on any worker the panic is
+/// propagated to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item was processed")
+        })
+        .collect()
+}
+
+/// Split `0..len` into at most `parts` contiguous ranges of near-equal
+/// size, in order. Returns an empty vector for `len == 0`.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(
+                out,
+                items.iter().map(|&x| x * x).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&[1u32, 2, 3], 2, |&x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= parts.max(1));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert!(!w[1].is_empty());
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! The [`Arbitrary`] trait and [`any`], for `any::<T>()` call sites.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`: `any::<bool>()`, `any::<u32>()`, …
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range strategy behind the integer/bool [`Arbitrary`] impls.
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for FullRange<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Arbitrary for $ty {
+                type Strategy = FullRange<$ty>;
+
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_values() {
+        let strat = any::<bool>();
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn integers_vary() {
+        let strat = any::<u32>();
+        let mut rng = TestRng::new(3);
+        let a = strat.generate(&mut rng);
+        let b = strat.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! In-tree stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! implements — dependency-free — exactly the API subset the workspace's
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, tuple and range strategies,
+//! regex-like string strategies, [`collection::vec`] /
+//! [`collection::btree_map`] / [`option::of`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case prints its generated inputs and the
+//!   seed instead;
+//! * **fully deterministic** — every run uses a fixed seed
+//!   ([`test_runner::DEFAULT_SEED`]) unless `TIX_PROPTEST_SEED` overrides
+//!   it, so failures always reproduce;
+//! * the case count honours `PROPTEST_CASES` (env) over the per-test
+//!   [`test_runner::ProptestConfig`], exactly like the real runner.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run a block of property tests. Supports the same surface syntax as the
+/// real macro for the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, s in "[a-z]{1,4}") { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases: u32 = std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(__config.cases);
+                let __seed: u64 = $crate::test_runner::seed_from_env();
+                let __strategies = ( $($strat,)+ );
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        __seed,
+                        stringify!($name),
+                        __case,
+                    );
+                    let ( $($arg,)+ ) = {
+                        let ( $(ref $arg,)+ ) = __strategies;
+                        ( $($crate::strategy::Strategy::generate($arg, &mut __rng),)+ )
+                    };
+                    let __values = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg,)+
+                    );
+                    let __outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(move || { $body }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "[proptest] {} failed at case {}/{} (seed {}; rerun with \
+                             TIX_PROPTEST_SEED={})\ninputs:\n{}",
+                            stringify!($name), __case, __cases, __seed, __seed, __values,
+                        );
+                        std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test (panics with the formatted
+/// message on failure; the runner prints the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// (The real macro supports weighted arms; the workspace only uses the
+/// unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

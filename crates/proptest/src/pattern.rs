@@ -1,0 +1,264 @@
+//! Generation of strings from the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, `\`-escapes (`\n`, `\t`, `\r`,
+//! `\.`…), character classes `[a-z0-9_.-]` (ranges, escapes, literal `-`
+//! last), groups `( … )`, and the quantifiers `{n}`, `{n,m}`, `?`, `*`,
+//! `+` (`*`/`+` are capped at 8 repetitions — generation, not matching).
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0;
+    gen_seq(&chars, &mut pos, chars.len(), rng, &mut out);
+    out
+}
+
+fn gen_seq(p: &[char], pos: &mut usize, end: usize, rng: &mut TestRng, out: &mut String) {
+    while *pos < end {
+        gen_atom(p, pos, rng, out);
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    /// Group body span `[start, end)` (parens excluded).
+    Group(usize, usize),
+}
+
+fn gen_atom(p: &[char], pos: &mut usize, rng: &mut TestRng, out: &mut String) {
+    let atom = match p[*pos] {
+        '[' => {
+            *pos += 1;
+            Atom::Class(parse_class(p, pos))
+        }
+        '(' => {
+            let open = *pos;
+            let close = matching_paren(p, open);
+            *pos = close + 1;
+            Atom::Group(open + 1, close)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = unescape(p[*pos]);
+            *pos += 1;
+            Atom::Literal(c)
+        }
+        c => {
+            *pos += 1;
+            Atom::Literal(c)
+        }
+    };
+    let (lo, hi) = parse_quantifier(p, pos);
+    let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+    for _ in 0..reps {
+        match &atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+            Atom::Group(start, end) => {
+                let mut inner = *start;
+                gen_seq(p, &mut inner, *end, rng, out);
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parse a class body after the opening `[`, consuming the closing `]`.
+fn parse_class(p: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    while p[*pos] != ']' {
+        let lo = if p[*pos] == '\\' {
+            *pos += 1;
+            let c = unescape(p[*pos]);
+            *pos += 1;
+            c
+        } else {
+            let c = p[*pos];
+            *pos += 1;
+            c
+        };
+        // A `-` is a range separator only between two class members.
+        if p[*pos] == '-' && p[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = if p[*pos] == '\\' {
+                *pos += 1;
+                let c = unescape(p[*pos]);
+                *pos += 1;
+                c
+            } else {
+                let c = p[*pos];
+                *pos += 1;
+                c
+            };
+            assert!(lo <= hi, "invalid class range {lo}-{hi}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    *pos += 1; // consume ']'
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+        .sum();
+    let mut i = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = (hi as u64) - (lo as u64) + 1;
+        if i < span {
+            return char::from_u32(lo as u32 + i as u32).expect("class chars are valid");
+        }
+        i -= span;
+    }
+    unreachable!("index within total span")
+}
+
+fn matching_paren(p: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < p.len() {
+        match p[i] {
+            '\\' => i += 1,
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    panic!("unbalanced parentheses in pattern");
+}
+
+/// Parse an optional quantifier; `(1, 1)` when absent.
+fn parse_quantifier(p: &[char], pos: &mut usize) -> (usize, usize) {
+    if *pos >= p.len() {
+        return (1, 1);
+    }
+    match p[*pos] {
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            (0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            (1, 8)
+        }
+        '{' => {
+            *pos += 1;
+            let lo = parse_number(p, pos);
+            let hi = if p[*pos] == ',' {
+                *pos += 1;
+                parse_number(p, pos)
+            } else {
+                lo
+            };
+            assert_eq!(p[*pos], '}', "unterminated quantifier");
+            *pos += 1;
+            (lo, hi)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(p: &[char], pos: &mut usize) -> usize {
+    let start = *pos;
+    while p[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    p[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("quantifier number")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::new(99);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        for s in samples("ab\\.c", 5) {
+            assert_eq!(s, "ab.c");
+        }
+    }
+
+    #[test]
+    fn class_with_range_and_literals() {
+        for s in samples("[a-z0-9_.-]", 200) {
+            let c = s.chars().next().unwrap();
+            assert!(
+                c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c),
+                "unexpected {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_quantifier() {
+        for s in samples("[a-z]{2,5}", 100) {
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+        }
+        for s in samples("x{3}", 5) {
+            assert_eq!(s, "xxx");
+        }
+    }
+
+    #[test]
+    fn group_with_quantifier() {
+        // The query-crate phrase pattern.
+        for s in samples("[a-z]( [a-z]{1,6}){0,2}", 100) {
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            assert_eq!(words[0].len(), 1);
+            for w in &words[1..] {
+                assert!((1..=6).contains(&w.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class_with_specials() {
+        for s in samples("[ -~<>&\"']{0,20}", 50) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn newline_escape_in_class() {
+        let joined = samples("[ -~\\n]{0,40}", 50).concat();
+        assert!(joined
+            .chars()
+            .all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+}

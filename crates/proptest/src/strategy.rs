@@ -1,0 +1,323 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from a deterministic RNG. Unlike the real
+/// crate there is no shrinking: `generate` *is* the whole contract.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Keep only values satisfying `pred`, regenerating on rejection.
+    fn prop_filter<R, P>(self, whence: R, pred: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        R: Into<String>,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Type-erase into a clonable, reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf; `recurse` wraps a
+    /// strategy for depth *n* into one for depth *n + 1*. The `_desired_size`
+    /// and `_expected_branch` hints of the real API are accepted and
+    /// ignored; recursion depth is bounded by `depth`.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, P> {
+    source: S,
+    whence: String,
+    pred: P,
+}
+
+impl<S, P> Strategy for Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (cheaply clonable).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice over same-typed strategies (the engine behind
+/// [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    lo + rng.below(span.saturating_add(1).max(1)) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// String strategies from a regex-like pattern (see [`crate::pattern`]).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::pattern::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($(ref $name,)+) = *self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0usize..1).generate(&mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let strat = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("nonzero", |&v| v != 0);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v > 0);
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let strat = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut rng = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(Tree::Leaf).boxed().prop_recursive(4, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = rng();
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let strat = (0u32..4, Just("x"), 1usize..2);
+        let mut rng = rng();
+        let (a, b, c) = strat.generate(&mut rng);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+        assert_eq!(c, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Seed used when `TIX_PROPTEST_SEED` is not set. Fixed so every `cargo
+/// test` run generates the same cases — failures always reproduce.
+pub const DEFAULT_SEED: u64 = 0x7115_5EED_CAFE_F00D;
+
+/// The effective base seed: `TIX_PROPTEST_SEED` (decimal) or
+/// [`DEFAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    std::env::var("TIX_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Per-test configuration. Only `cases` is honoured; the `PROPTEST_CASES`
+/// environment variable overrides it (matching the real runner).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A small, fast, deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The RNG for one case of one named test: mixes the base seed, the
+    /// test name, and the case index so every case is independent.
+    pub fn for_case(seed: u64, test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(seed ^ h ^ ((case as u64) << 17 | 1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n` is 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TestRng::for_case(1, "t", 0);
+        let mut b = TestRng::for_case(1, "t", 0);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn cases_diverge() {
+        let mut a = TestRng::for_case(1, "t", 0);
+        let mut b = TestRng::for_case(1, "t", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            assert!(rng.below(13) < 13);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+}

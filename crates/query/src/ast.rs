@@ -175,14 +175,24 @@ fn fmt_phrases(f: &mut std::fmt::Formatter<'_>, phrases: &[String]) -> std::fmt:
 impl std::fmt::Display for ScoreClause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScoreClause::Foo { var, primary, secondary } => {
+            ScoreClause::Foo {
+                var,
+                primary,
+                secondary,
+            } => {
                 write!(f, "Score ${var} using ScoreFoo(${var}, ")?;
                 fmt_phrases(f, primary)?;
                 write!(f, ", ")?;
                 fmt_phrases(f, secondary)?;
                 write!(f, ")")
             }
-            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => write!(
+            ScoreClause::Sim {
+                out,
+                left_var,
+                left_child,
+                right_var,
+                right_child,
+            } => write!(
                 f,
                 "Score ${out} using ScoreSim(${left_var}/{left_child}, ${right_var}/{right_child})"
             ),

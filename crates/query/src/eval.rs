@@ -4,7 +4,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use tix_core::ops;
-use tix_core::pattern::{Agg, EdgeKind, PatternNodeId, PatternTree, Predicate, ScoreInput, ScoreRule};
+use tix_core::pattern::{
+    Agg, EdgeKind, PatternNodeId, PatternTree, Predicate, ScoreInput, ScoreRule,
+};
 use tix_core::scoring::paper::{score_bar_combiner, ScoreFoo, ScoreSim};
 use tix_core::scoring::ScoreContext;
 use tix_core::{Collection, ScoredTree};
@@ -117,9 +119,7 @@ fn compile_for(
             }
             Step::DescendantOrSelfAny => {
                 let parent = current.ok_or_else(|| {
-                    QueryError::Unsupported(
-                        "descendant-or-self::* as the first step".to_string(),
-                    )
+                    QueryError::Unsupported("descendant-or-self::* as the first step".to_string())
                 })?;
                 let next = pattern.add_child(parent, EdgeKind::SelfOrDescendant, Predicate::True);
                 current = Some(next);
@@ -153,9 +153,8 @@ fn compile_for(
             }
         }
     }
-    let var_node = current.ok_or_else(|| {
-        QueryError::Unsupported("a For path needs at least one step".to_string())
-    })?;
+    let var_node = current
+        .ok_or_else(|| QueryError::Unsupported("a For path needs at least one step".to_string()))?;
     pattern.strengthen(&compiled_attr_constraints);
     Ok(CompiledFor {
         pattern,
@@ -181,7 +180,11 @@ fn eval_single(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryErr
     let mut compiled = compile_for(store, clause, 1)?;
     for score in &query.scores {
         match score {
-            ScoreClause::Foo { var, primary, secondary } => {
+            ScoreClause::Foo {
+                var,
+                primary,
+                secondary,
+            } => {
                 if var != &clause.var {
                     return Err(QueryError::Unsupported(format!(
                         "Score on ${var}, which is not a For variable"
@@ -211,7 +214,13 @@ fn eval_single(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryErr
             relevance_threshold: pick.threshold,
             fraction: pick.fraction,
         };
-        result = ops::pick(&ctx, &result, compiled.var_node, &criterion, compiled.pattern.rules());
+        result = ops::pick(
+            &ctx,
+            &result,
+            compiled.var_node,
+            &criterion,
+            compiled.pattern.rules(),
+        );
     }
 
     // Enumerate the variable's bindings as result items.
@@ -238,7 +247,11 @@ fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError
     let mut bar: Option<(String, String, String)> = None; // (out, join, scored)
     for score in &query.scores {
         match score {
-            ScoreClause::Foo { var, primary, secondary } => {
+            ScoreClause::Foo {
+                var,
+                primary,
+                secondary,
+            } => {
                 let target = if var == &left_for.var {
                     &mut left
                 } else if var == &right_for.var {
@@ -250,14 +263,23 @@ fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError
                 };
                 attach_score_foo(target, primary, secondary);
             }
-            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => {
+            ScoreClause::Sim {
+                out,
+                left_var,
+                left_child,
+                right_var,
+                right_child,
+            } => {
                 if left_var != &left_for.var || right_var != &right_for.var {
                     return Err(QueryError::Unsupported(
                         "ScoreSim arguments must be the two For variables in order".to_string(),
                     ));
                 }
-                let lchild =
-                    left.pattern.add_child(left.var_node, EdgeKind::Child, Predicate::tag(left_child));
+                let lchild = left.pattern.add_child(
+                    left.var_node,
+                    EdgeKind::Child,
+                    Predicate::tag(left_child),
+                );
                 let rchild = right.pattern.add_child(
                     right.var_node,
                     EdgeKind::Child,
@@ -312,23 +334,41 @@ fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError
         };
         root_rules.push(ScoreRule::Combined {
             node: root_var,
-            inputs: vec![ScoreInput::Aux(join_score_var), ScoreInput::Var(scored_node, Agg::Max)],
+            inputs: vec![
+                ScoreInput::Aux(join_score_var),
+                ScoreInput::Var(scored_node, Agg::Max),
+            ],
             combine: score_bar_combiner(),
         });
     }
-    let joined = ops::join(&ctx, &left_coll, &right_coll, &conditions, root_var, &root_rules);
+    let joined = ops::join(
+        &ctx,
+        &left_coll,
+        &right_coll,
+        &conditions,
+        root_var,
+        &root_rules,
+    );
 
     let mut items: Vec<ResultItem> = joined.iter().map(|t| render_join_item(store, t)).collect();
     // The root score variable for threshold/sort purposes is ScoreBar's out
     // (or the sim output, already folded in as min_score).
-    let score_var = bar.as_ref().map(|(out, _, _)| out.clone()).unwrap_or(sim_out);
+    let score_var = bar
+        .as_ref()
+        .map(|(out, _, _)| out.clone())
+        .unwrap_or(sim_out);
     finalize(query, &score_var, &mut items)?;
     Ok(items)
 }
 
 /// Apply Threshold / Sortby to rendered items.
 fn finalize(query: &Query, score_var: &str, items: &mut Vec<ResultItem>) -> Result<(), QueryError> {
-    if let Some(ThresholdClause { var, min_score, stop_after }) = &query.threshold {
+    if let Some(ThresholdClause {
+        var,
+        min_score,
+        stop_after,
+    }) = &query.threshold
+    {
         // A threshold on the join-score variable was already applied inside
         // the join; only apply here when it names the result variable.
         if var == score_var || Some(var.as_str()) == query.return_var() {
@@ -383,7 +423,12 @@ fn render_join_item(store: &Store, tree: &ScoredTree) -> ResultItem {
         Some(s) => format!("<tix_prod_root><score>{s}</score>{body}</tix_prod_root>"),
         None => format!("<tix_prod_root>{body}</tix_prod_root>"),
     };
-    ResultItem { node: None, tag: Some("tix_prod_root".to_string()), score, xml }
+    ResultItem {
+        node: None,
+        tag: Some("tix_prod_root".to_string()),
+        score,
+        xml,
+    }
 }
 
 #[cfg(test)]

@@ -64,19 +64,17 @@ impl Lexer {
                         i += 1;
                     }
                 }
-                ':' => {
-                    match bytes.get(i + 1) {
-                        Some(b':') => {
-                            tokens.push(Token::DoubleColon);
-                            i += 2;
-                        }
-                        Some(b'=') => {
-                            tokens.push(Token::Assign);
-                            i += 2;
-                        }
-                        _ => return Err(format!("stray ':' at byte {i}")),
+                ':' => match bytes.get(i + 1) {
+                    Some(b':') => {
+                        tokens.push(Token::DoubleColon);
+                        i += 2;
                     }
-                }
+                    Some(b'=') => {
+                        tokens.push(Token::Assign);
+                        i += 2;
+                    }
+                    _ => return Err(format!("stray ':' at byte {i}")),
+                },
                 '$' => {
                     let start = i + 1;
                     let mut j = start;

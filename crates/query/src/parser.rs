@@ -44,7 +44,9 @@ impl Parser {
     fn err<T>(&self, what: &str) -> Result<T, ParseError> {
         Err(ParseError(format!(
             "{what}, found {}",
-            self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            self.peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of input".into())
         )))
     }
 
@@ -53,7 +55,9 @@ impl Parser {
             Some(Token::Punct(p)) if p == c => Ok(()),
             other => Err(ParseError(format!(
                 "expected {c:?}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -63,7 +67,9 @@ impl Parser {
             Some(Token::Ident(w)) if w.eq_ignore_ascii_case(word) => Ok(()),
             other => Err(ParseError(format!(
                 "expected {word:?}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -73,7 +79,9 @@ impl Parser {
             Some(Token::Var(name)) => Ok(name),
             other => Err(ParseError(format!(
                 "expected a $variable, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -83,7 +91,9 @@ impl Parser {
             Some(Token::Str(s)) => Ok(s),
             other => Err(ParseError(format!(
                 "expected a string literal, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -93,7 +103,9 @@ impl Parser {
             Some(Token::Num(n)) => Ok(n),
             other => Err(ParseError(format!(
                 "expected a number, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -149,7 +161,9 @@ impl Parser {
             other => {
                 return Err(ParseError(format!(
                     "expected 'in' or ':=', found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         }
@@ -203,7 +217,9 @@ impl Parser {
             Some(Token::Ident(tag)) => Ok(tag),
             other => Err(ParseError(format!(
                 "expected a tag name, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -261,7 +277,11 @@ impl Parser {
             let primary = self.phrase_set()?;
             self.expect_punct(',')?;
             let secondary = self.phrase_set()?;
-            ScoreClause::Foo { var: target, primary, secondary }
+            ScoreClause::Foo {
+                var: target,
+                primary,
+                secondary,
+            }
         } else if func.eq_ignore_ascii_case("ScoreSim") {
             let left_var = self.var()?;
             match self.next() {
@@ -276,12 +296,22 @@ impl Parser {
                 _ => return self.err("expected '/' after ScoreSim's second variable"),
             }
             let right_child = self.tag_name()?;
-            ScoreClause::Sim { out: target, left_var, left_child, right_var, right_child }
+            ScoreClause::Sim {
+                out: target,
+                left_var,
+                left_child,
+                right_var,
+                right_child,
+            }
         } else if func.eq_ignore_ascii_case("ScoreBar") {
             let join = self.var()?;
             self.expect_punct(',')?;
             let scored = self.var()?;
-            ScoreClause::Bar { out: target, join, scored }
+            ScoreClause::Bar {
+                out: target,
+                join,
+                scored,
+            }
         } else {
             return Err(ParseError(format!(
                 "unknown scoring function {func:?} (expected ScoreFoo, ScoreSim, or ScoreBar)"
@@ -329,7 +359,11 @@ impl Parser {
             fraction = self.number()?;
         }
         self.expect_punct(')')?;
-        Ok(PickClause { var: target, threshold, fraction })
+        Ok(PickClause {
+            var: target,
+            threshold,
+            fraction,
+        })
     }
 
     fn threshold_clause(&mut self) -> Result<ThresholdClause, ParseError> {
@@ -350,7 +384,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(ThresholdClause { var, min_score, stop_after })
+        Ok(ThresholdClause {
+            var,
+            min_score,
+            stop_after,
+        })
     }
 }
 
@@ -375,11 +413,16 @@ mod tests {
         assert_eq!(q.fors[0].var, "a");
         assert_eq!(
             q.fors[0].path.steps,
-            vec![Step::Descendant("article".into()), Step::DescendantOrSelfAny]
+            vec![
+                Step::Descendant("article".into()),
+                Step::DescendantOrSelfAny
+            ]
         );
         assert_eq!(q.scores.len(), 1);
         match &q.scores[0] {
-            ScoreClause::Foo { primary, secondary, .. } => {
+            ScoreClause::Foo {
+                primary, secondary, ..
+            } => {
                 assert_eq!(primary, &["search engine"]);
                 assert_eq!(secondary, &["internet", "information retrieval"]);
             }
@@ -405,7 +448,10 @@ mod tests {
             q.fors[0].path.steps,
             vec![
                 Step::Descendant("article".into()),
-                Step::Predicate { path: vec!["author".into(), "sname".into()], equals: "Doe".into() },
+                Step::Predicate {
+                    path: vec!["author".into(), "sname".into()],
+                    equals: "Doe".into()
+                },
                 Step::DescendantOrSelfAny,
             ]
         );
@@ -424,7 +470,13 @@ mod tests {
         .unwrap();
         assert_eq!(q.fors.len(), 2);
         match &q.scores[0] {
-            ScoreClause::Sim { out, left_var, left_child, right_var, right_child } => {
+            ScoreClause::Sim {
+                out,
+                left_var,
+                left_child,
+                right_var,
+                right_child,
+            } => {
                 assert_eq!(out, "j");
                 assert_eq!(left_var, "a");
                 assert_eq!(left_child, "article-title");
@@ -442,7 +494,10 @@ mod tests {
             q.fors[0].path.steps,
             vec![
                 Step::Descendant("review".into()),
-                Step::AttrPredicate { name: "id".into(), equals: "2".into() },
+                Step::AttrPredicate {
+                    name: "id".into(),
+                    equals: "2".into()
+                },
                 Step::Child("title".into()),
             ]
         );
@@ -466,7 +521,8 @@ mod tests {
         assert!(parse("").unwrap_err().0.contains("at least one For"));
         assert!(parse("For $a in nowhere").is_err());
         assert!(parse(r#"For $a in document("d")//p Score $a using Nope($a)"#).is_err());
-        assert!(parse(r#"For $a in document("d")//p Score $b using ScoreFoo($a, {}, {})"#)
-            .is_err());
+        assert!(
+            parse(r#"For $a in document("d")//p Score $b using ScoreFoo($a, {}, {})"#).is_err()
+        );
     }
 }

@@ -2,7 +2,9 @@
 //! same AST — pinning the parser and printer to one grammar.
 
 use proptest::prelude::*;
-use tix_query::{parse, ForClause, PathExpr, PickClause, Query, ScoreClause, Step, ThresholdClause};
+use tix_query::{
+    parse, ForClause, PathExpr, PickClause, Query, ScoreClause, Step, ThresholdClause,
+};
 
 fn var_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,4}"
@@ -36,7 +38,11 @@ fn steps() -> impl Strategy<Value = Vec<Step>> {
                 steps.push(Step::AttrPredicate { name, equals });
             }
             for (child, tag) in inner {
-                steps.push(if child { Step::Child(tag) } else { Step::Descendant(tag) });
+                steps.push(if child {
+                    Step::Child(tag)
+                } else {
+                    Step::Descendant(tag)
+                });
             }
             if ad_star {
                 steps.push(Step::DescendantOrSelfAny);
@@ -50,7 +56,10 @@ fn query() -> impl Strategy<Value = Query> {
         var_name(),
         "[a-z]{1,8}\\.xml",
         steps(),
-        prop::option::of((prop::collection::vec(phrase(), 0..3), prop::collection::vec(phrase(), 0..3))),
+        prop::option::of((
+            prop::collection::vec(phrase(), 0..3),
+            prop::collection::vec(phrase(), 0..3),
+        )),
         prop::option::of((0u32..20, 1u32..10)),
         any::<bool>(),
         any::<bool>(),
@@ -66,7 +75,11 @@ fn query() -> impl Strategy<Value = Query> {
                     ..Query::default()
                 };
                 if let Some((primary, secondary)) = score {
-                    q.scores.push(ScoreClause::Foo { var: var.clone(), primary, secondary });
+                    q.scores.push(ScoreClause::Foo {
+                        var: var.clone(),
+                        primary,
+                        secondary,
+                    });
                 }
                 if let Some((t, f)) = pick {
                     // Use dyadic fractions so the f64 → text → f64 trip is

@@ -155,18 +155,18 @@ impl DocData {
         tags: &mut Interner,
         attr_names: &mut Interner,
     ) -> Result<Self, LoadError> {
-        let mut doc = DocData { name: name.to_string(), ..DocData::default() };
+        let mut doc = DocData {
+            name: name.to_string(),
+            ..DocData::default()
+        };
         let mut reader = Reader::new(xml);
         // Stack of open element node indexes.
         let mut open: Vec<u32> = Vec::new();
         loop {
             match reader.next_event()? {
                 Event::Start { tag, attributes } => {
-                    let idx = doc.push_node(
-                        NodeKind::Element,
-                        tags.intern(&tag),
-                        open.last().copied(),
-                    )?;
+                    let idx =
+                        doc.push_node(NodeKind::Element, tags.intern(&tag), open.last().copied())?;
                     for attr in &attributes {
                         let value_start = doc.attr_bytes.len() as u32;
                         doc.attr_bytes.push_str(&attr.value);
@@ -196,7 +196,8 @@ impl DocData {
                     let off = doc.text_bytes.len() as u32;
                     doc.text_bytes.push_str(&text);
                     doc.texts.push((off, text.len() as u32));
-                    let idx = doc.push_node(NodeKind::Text, Symbol::from_u32(0), open.last().copied())?;
+                    let idx =
+                        doc.push_node(NodeKind::Text, Symbol::from_u32(0), open.last().copied())?;
                     doc.nodes[idx as usize].payload = slot;
                     doc.nodes[idx as usize].end = idx;
                 }
@@ -223,10 +224,7 @@ impl DocData {
                 let parent_rec = &mut self.nodes[p as usize];
                 // Elements use `payload` as their child count.
                 parent_rec.payload += 1;
-                parent_rec
-                    .level
-                    .checked_add(1)
-                    .ok_or(LoadError::TooDeep)?
+                parent_rec.level.checked_add(1).ok_or(LoadError::TooDeep)?
             }
             None => 0,
         };

@@ -40,8 +40,8 @@ mod stats;
 mod store;
 
 pub use document::{DocData, LoadError};
-pub use snapshot::SnapshotError;
 pub use interner::{Interner, Symbol};
 pub use node::{DocId, NodeIdx, NodeKind, NodeRec, NodeRef};
+pub use snapshot::SnapshotError;
 pub use stats::StoreStats;
 pub use store::Store;

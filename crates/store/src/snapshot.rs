@@ -155,10 +155,13 @@ impl Store {
                 w_u32(w, rec.end)?;
                 w_u32(w, rec.parent)?;
                 w_u16(w, rec.level)?;
-                w_u8(w, match rec.kind {
-                    NodeKind::Element => 0,
-                    NodeKind::Text => 1,
-                })?;
+                w_u8(
+                    w,
+                    match rec.kind {
+                        NodeKind::Element => 0,
+                        NodeKind::Text => 1,
+                    },
+                )?;
                 w_u32(w, rec.tag.as_u32())?;
                 w_u32(w, rec.payload)?;
             }
@@ -255,7 +258,14 @@ impl Store {
                     return Err(SnapshotError::Corrupt("attribute symbol out of range"));
                 }
             }
-            docs.push(DocData { name, nodes, texts, text_bytes, attrs, attr_bytes });
+            docs.push(DocData {
+                name,
+                nodes,
+                texts,
+                text_bytes,
+                attrs,
+                attr_bytes,
+            });
         }
         Store::from_parts(tags, attr_names, docs)
             .map_err(|_| SnapshotError::Corrupt("duplicate document name"))
@@ -270,9 +280,14 @@ mod tests {
     fn sample_store() -> Store {
         let mut store = Store::new();
         store
-            .load_str("a.xml", r#"<article id="1"><p>alpha beta</p><p a="x">gamma</p></article>"#)
+            .load_str(
+                "a.xml",
+                r#"<article id="1"><p>alpha beta</p><p a="x">gamma</p></article>"#,
+            )
             .unwrap();
-        store.load_str("b.xml", "<review><title>T</title></review>").unwrap();
+        store
+            .load_str("b.xml", "<review><title>T</title></review>")
+            .unwrap();
         store
     }
 
@@ -298,10 +313,7 @@ mod tests {
             loaded.attribute(NodeRef::new(DocId(0), NodeIdx(0)), "id"),
             Some("1")
         );
-        assert_eq!(
-            store.elements_with_tag("p"),
-            loaded.elements_with_tag("p")
-        );
+        assert_eq!(store.elements_with_tag("p"), loaded.elements_with_tag("p"));
     }
 
     #[test]

@@ -150,7 +150,10 @@ impl Store {
 
     /// Iterate `node`'s ancestors from parent up to the document root.
     pub fn ancestors(&self, node: NodeRef) -> Ancestors<'_> {
-        Ancestors { store: self, next: self.parent(node) }
+        Ancestors {
+            store: self,
+            next: self.parent(node),
+        }
     }
 
     /// True when `anc` is a proper ancestor of `desc`.

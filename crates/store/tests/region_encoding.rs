@@ -9,11 +9,7 @@ fn xml_strategy() -> impl Strategy<Value = String> {
     // A tree of elements from a tiny tag alphabet with occasional text.
     fn subtree(depth: u32) -> BoxedStrategy<String> {
         if depth == 0 {
-            prop_oneof![
-                Just(String::new()),
-                "[a-z]{1,6}".prop_map(|t| t),
-            ]
-            .boxed()
+            prop_oneof![Just(String::new()), "[a-z]{1,6}".prop_map(|t| t),].boxed()
         } else {
             prop::collection::vec(
                 prop_oneof![

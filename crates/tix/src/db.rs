@@ -1,10 +1,11 @@
 //! The high-level convenience wrapper around the layered system.
 
 use tix_core::scoring::ScoreContext;
-use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::parallel::{phrase_finder_parallel, pick_stream_parallel, term_join_parallel};
+use tix_exec::pick::PickParams;
 use tix_exec::scored::{sort_by_node, ScoredNode};
-use tix_exec::termjoin::{SimpleScorer, TermJoin, TermJoinScorer};
-use tix_exec::{phrase, topk};
+use tix_exec::termjoin::{SimpleScorer, TermJoinScorer};
+use tix_exec::topk;
 use tix_index::InvertedIndex;
 use tix_store::{DocId, LoadError, Store};
 
@@ -15,16 +16,47 @@ use tix_store::{DocId, LoadError, Store};
 /// For full control (custom scorers, the algebra operators, the XQuery
 /// dialect) use the layer crates directly; `Database` just wires the
 /// common paths together.
-#[derive(Debug, Default)]
+///
+/// ## Parallelism
+///
+/// Index construction and every query entry point run document-partitioned
+/// over a configurable number of worker threads — the `TIX_THREADS`
+/// environment variable by default, overridable per database with
+/// [`Database::set_threads`]. Results are **identical** to single-threaded
+/// execution at any thread count (enforced by the equivalence tests in
+/// `tix-exec` and `tix-index`); threads only change wall-clock time.
+#[derive(Debug)]
 pub struct Database {
     store: Store,
     index: Option<InvertedIndex>,
+    threads: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            store: Store::new(),
+            index: None,
+            threads: tix_parallel::default_threads(),
+        }
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database using [`tix_parallel::default_threads`] workers.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Set the worker-thread count for index builds and queries. `1` means
+    /// fully sequential execution on the calling thread.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker-thread count used for index builds and queries.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Parse and load a document. Invalidates the index.
@@ -33,9 +65,10 @@ impl Database {
         self.store.load_str(name, xml)
     }
 
-    /// Build (or rebuild) the inverted index over everything loaded.
+    /// Build (or rebuild) the inverted index over everything loaded,
+    /// fanning per-document extraction out over the configured threads.
     pub fn build_index(&mut self) {
-        self.index = Some(InvertedIndex::build(&self.store));
+        self.index = Some(InvertedIndex::build_with_threads(&self.store, self.threads));
     }
 
     /// Install a pre-built index (e.g. loaded from an index snapshot). The
@@ -84,7 +117,7 @@ impl Database {
 
     /// [`Database::term_join`] with a custom scorer.
     pub fn term_join_with<S: TermJoinScorer>(&self, terms: &[&str], scorer: &S) -> Vec<ScoredNode> {
-        let mut out = TermJoin::new(&self.store, self.index(), terms, scorer).run();
+        let mut out = term_join_parallel(&self.store, self.index(), terms, scorer, self.threads);
         out.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -97,7 +130,12 @@ impl Database {
     /// Text nodes containing the exact phrase, with occurrence counts
     /// (PhraseFinder access method).
     pub fn find_phrase(&self, phrase_terms: &[&str]) -> Vec<ScoredNode> {
-        sort_by_node(phrase::phrase_finder(&self.store, self.index(), phrase_terms))
+        sort_by_node(phrase_finder_parallel(
+            &self.store,
+            self.index(),
+            phrase_terms,
+            self.threads,
+        ))
     }
 
     /// The classic end-to-end IR pipeline: TermJoin scoring → stack-based
@@ -105,9 +143,39 @@ impl Database {
     /// `k` picked elements, best first.
     pub fn search(&self, terms: &[&str], pick: PickParams, k: usize) -> Vec<ScoredNode> {
         let scorer = SimpleScorer::uniform();
-        let scored = sort_by_node(TermJoin::new(&self.store, self.index(), terms, &scorer).run());
-        let picked = pick_stream(&self.store, &scored, &pick);
+        let scored = sort_by_node(term_join_parallel(
+            &self.store,
+            self.index(),
+            terms,
+            &scorer,
+            self.threads,
+        ));
+        let picked = pick_stream_parallel(&self.store, &scored, &pick, self.threads);
         topk::top_k(picked, k)
+    }
+
+    /// Run [`Database::search`] for several queries, fanning the *queries*
+    /// out over the configured threads (each individual search runs
+    /// sequentially, so workers are never oversubscribed). Results are in
+    /// query order and identical to calling `search` per query.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<&str>],
+        pick: PickParams,
+        k: usize,
+    ) -> Vec<Vec<ScoredNode>> {
+        tix_parallel::parallel_map(queries, self.threads, |terms| {
+            let scorer = SimpleScorer::uniform();
+            let scored = sort_by_node(term_join_parallel(
+                &self.store,
+                self.index(),
+                terms,
+                &scorer,
+                1,
+            ));
+            let picked = pick_stream_parallel(&self.store, &scored, &pick, 1);
+            topk::top_k(picked, k)
+        })
     }
 }
 
@@ -123,6 +191,19 @@ mod tests {
              <sec><p>cooking with rust the metal</p></sec></article>",
         )
         .unwrap();
+        db.build_index();
+        db
+    }
+
+    fn multi_doc_db() -> Database {
+        let mut db = Database::new();
+        for i in 0..7 {
+            let xml = format!(
+                "<article><sec><p>rust xml database number{i}</p></sec>\
+                 <sec><p>xml rust and more rust</p></sec></article>"
+            );
+            db.load(&format!("d{i}.xml"), &xml).unwrap();
+        }
         db.build_index();
         db
     }
@@ -148,7 +229,14 @@ mod tests {
     #[test]
     fn search_pipeline_picks_and_limits() {
         let db = db();
-        let out = db.search(&["rust"], PickParams { relevance_threshold: 1.0, fraction: 0.5 }, 5);
+        let out = db.search(
+            &["rust"],
+            PickParams {
+                relevance_threshold: 1.0,
+                fraction: 0.5,
+            },
+            5,
+        );
         assert!(!out.is_empty());
         assert!(out.len() <= 5);
     }
@@ -167,5 +255,68 @@ mod tests {
         db.load("b.xml", "<b>fresh</b>").unwrap();
         db.build_index();
         assert_eq!(db.index().collection_frequency("fresh"), 1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_entry_point() {
+        let mut db = multi_doc_db();
+        db.set_threads(1);
+        db.build_index();
+        let term_join = db.term_join(&["rust", "xml"]);
+        let phrase = db.find_phrase(&["rust", "xml"]);
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let search = db.search(&["rust"], pick, 10);
+        for threads in [2, 8] {
+            db.set_threads(threads);
+            db.build_index();
+            assert_eq!(
+                db.term_join(&["rust", "xml"]),
+                term_join,
+                "{threads} threads"
+            );
+            assert_eq!(
+                db.find_phrase(&["rust", "xml"]),
+                phrase,
+                "{threads} threads"
+            );
+            assert_eq!(db.search(&["rust"], pick, 10), search, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_individual_searches() {
+        let mut db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let queries: Vec<Vec<&str>> = vec![
+            vec!["rust"],
+            vec!["xml", "database"],
+            vec!["nosuchterm"],
+            vec!["rust", "xml"],
+        ];
+        for threads in [1, 2, 8] {
+            db.set_threads(threads);
+            let batch = db.search_batch(&queries, pick, 5);
+            assert_eq!(batch.len(), queries.len());
+            for (terms, result) in queries.iter().zip(&batch) {
+                assert_eq!(
+                    result,
+                    &db.search(terms, pick, 5),
+                    "{terms:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_threads_clamps_zero_to_one() {
+        let mut db = Database::new();
+        db.set_threads(0);
+        assert_eq!(db.threads(), 1);
     }
 }

@@ -32,7 +32,10 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// An element with a tag name and attributes.
-    Element { tag: String, attributes: Vec<Attribute> },
+    Element {
+        tag: String,
+        attributes: Vec<Attribute>,
+    },
     /// A run of character data.
     Text(String),
     /// A comment (`<!-- ... -->`).
@@ -68,7 +71,10 @@ impl Document {
     pub fn new() -> Self {
         Document {
             nodes: vec![NodeData {
-                kind: NodeKind::Element { tag: String::new(), attributes: Vec::new() },
+                kind: NodeKind::Element {
+                    tag: String::new(),
+                    attributes: Vec::new(),
+                },
                 parent: None,
                 first_child: None,
                 last_child: None,
@@ -153,7 +159,10 @@ impl Document {
     pub fn append_element(&mut self, parent: NodeId, tag: &str) -> NodeId {
         self.append(
             parent,
-            NodeKind::Element { tag: tag.to_string(), attributes: Vec::new() },
+            NodeKind::Element {
+                tag: tag.to_string(),
+                attributes: Vec::new(),
+            },
         )
     }
 
@@ -199,12 +208,19 @@ impl Document {
 
     /// Iterate over the children of `id` in document order.
     pub fn children(&self, id: NodeId) -> Children<'_> {
-        Children { doc: self, next: self.nodes[id.index()].first_child }
+        Children {
+            doc: self,
+            next: self.nodes[id.index()].first_child,
+        }
     }
 
     /// Iterate over `id` and all of its descendants in document order.
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, next: Some(id), top: id }
+        Descendants {
+            doc: self,
+            next: Some(id),
+            top: id,
+        }
     }
 
     /// Concatenated text of all text nodes in the subtree rooted at `id` —

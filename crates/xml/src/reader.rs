@@ -4,7 +4,6 @@
 //! well-formedness checking for the supported subset: balanced tags,
 //! attribute syntax, entity resolution, and single-root documents.
 
-
 use crate::error::{Error, ErrorKind, Result};
 use crate::escape::unescape;
 
@@ -22,7 +21,10 @@ pub struct Attribute {
 pub enum Event {
     /// `<tag attr="v">` or the open part of `<tag/>` (the latter is
     /// immediately followed by a matching [`Event::End`]).
-    Start { tag: String, attributes: Vec<Attribute> },
+    Start {
+        tag: String,
+        attributes: Vec<Attribute>,
+    },
     /// `</tag>`, or the synthesized close of an empty-element tag.
     End { tag: String },
     /// Character data with entities resolved. CDATA sections also surface
@@ -172,7 +174,10 @@ impl<'a> Reader<'a> {
             Ok(())
         } else {
             match self.peek() {
-                Some(found) => Err(self.err(ErrorKind::UnexpectedChar { expected: token, found })),
+                Some(found) => Err(self.err(ErrorKind::UnexpectedChar {
+                    expected: token,
+                    found,
+                })),
                 None => Err(self.err(ErrorKind::UnexpectedEof(token))),
             }
         }
@@ -238,7 +243,10 @@ impl<'a> Reader<'a> {
         let quote = match self.peek() {
             Some(q @ ('"' | '\'')) => q,
             Some(found) => {
-                return Err(self.err(ErrorKind::UnexpectedChar { expected: "quote", found }))
+                return Err(self.err(ErrorKind::UnexpectedChar {
+                    expected: "quote",
+                    found,
+                }))
             }
             None => return Err(self.err(ErrorKind::UnexpectedEof("attribute value"))),
         };
@@ -416,7 +424,10 @@ mod tests {
         assert_eq!(
             ev("<a>x</a>"),
             vec![
-                Event::Start { tag: "a".into(), attributes: vec![] },
+                Event::Start {
+                    tag: "a".into(),
+                    attributes: vec![]
+                },
                 Event::Text("x".into()),
                 Event::End { tag: "a".into() },
                 Event::Eof,
@@ -429,7 +440,10 @@ mod tests {
         assert_eq!(
             ev("<a/>"),
             vec![
-                Event::Start { tag: "a".into(), attributes: vec![] },
+                Event::Start {
+                    tag: "a".into(),
+                    attributes: vec![]
+                },
                 Event::End { tag: "a".into() },
                 Event::Eof,
             ]
@@ -442,8 +456,20 @@ mod tests {
         match &events[0] {
             Event::Start { attributes, .. } => {
                 assert_eq!(attributes.len(), 2);
-                assert_eq!(attributes[0], Attribute { name: "x".into(), value: "1".into() });
-                assert_eq!(attributes[1], Attribute { name: "y".into(), value: "two".into() });
+                assert_eq!(
+                    attributes[0],
+                    Attribute {
+                        name: "x".into(),
+                        value: "1".into()
+                    }
+                );
+                assert_eq!(
+                    attributes[1],
+                    Attribute {
+                        name: "y".into(),
+                        value: "two".into()
+                    }
+                );
             }
             other => panic!("expected start event, got {other:?}"),
         }
@@ -465,7 +491,10 @@ mod tests {
 
     #[test]
     fn cdata_is_text() {
-        assert_eq!(ev("<a><![CDATA[<raw> & unescaped]]></a>")[1], Event::Text("<raw> & unescaped".into()));
+        assert_eq!(
+            ev("<a><![CDATA[<raw> & unescaped]]></a>")[1],
+            Event::Text("<raw> & unescaped".into())
+        );
     }
 
     #[test]
@@ -474,14 +503,23 @@ mod tests {
         assert_eq!(events[0], Event::Comment(" hi ".into()));
         assert_eq!(
             events[2],
-            Event::ProcessingInstruction { target: "foo".into(), data: "bar".into() }
+            Event::ProcessingInstruction {
+                target: "foo".into(),
+                data: "bar".into()
+            }
         );
     }
 
     #[test]
     fn doctype_skipped() {
         let events = ev("<!DOCTYPE article [ <!ELEMENT a (#PCDATA)> ]><a/>");
-        assert_eq!(events[0], Event::Start { tag: "a".into(), attributes: vec![] });
+        assert_eq!(
+            events[0],
+            Event::Start {
+                tag: "a".into(),
+                attributes: vec![]
+            }
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ impl Writer {
 
     /// Create a writer with a preallocated buffer, for bulk generation.
     pub fn with_capacity(bytes: usize) -> Self {
-        Writer { out: String::with_capacity(bytes) }
+        Writer {
+            out: String::with_capacity(bytes),
+        }
     }
 
     /// Write `<tag attr="...">`.
@@ -101,7 +103,13 @@ mod tests {
     #[test]
     fn basic_document() {
         let mut writer = Writer::new();
-        writer.start_element("a", &[Attribute { name: "x".into(), value: "1<2".into() }]);
+        writer.start_element(
+            "a",
+            &[Attribute {
+                name: "x".into(),
+                value: "1<2".into(),
+            }],
+        );
         writer.text("hi & bye");
         writer.empty_element("b", &[]);
         writer.end_element("a");

@@ -6,7 +6,11 @@ use tix_xml::{Attribute, Document, NodeId, NodeKind};
 /// A recursively generated tree description fed into the DOM builder.
 #[derive(Debug, Clone)]
 enum Tree {
-    Element { tag: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
     Text(String),
 }
 
@@ -25,8 +29,15 @@ fn text_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         text_strategy().prop_map(Tree::Text),
-        (name_strategy(), prop::collection::vec((name_strategy(), "[ -~]{0,10}"), 0..3))
-            .prop_map(|(tag, attrs)| Tree::Element { tag, attrs, children: vec![] }),
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), "[ -~]{0,10}"), 0..3)
+        )
+            .prop_map(|(tag, attrs)| Tree::Element {
+                tag,
+                attrs,
+                children: vec![]
+            }),
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         (
@@ -34,25 +45,42 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             prop::collection::vec((name_strategy(), "[ -~]{0,10}"), 0..3),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
+            .prop_map(|(tag, attrs, children)| Tree::Element {
+                tag,
+                attrs,
+                children,
+            })
     })
 }
 
 fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
     match tree {
-        Tree::Element { tag, attrs, children } => {
+        Tree::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             let attrs: Vec<Attribute> = attrs
                 .iter()
                 .scan(std::collections::HashSet::new(), |seen, (k, v)| {
                     Some(if seen.insert(k.clone()) {
-                        Some(Attribute { name: k.clone(), value: v.clone() })
+                        Some(Attribute {
+                            name: k.clone(),
+                            value: v.clone(),
+                        })
                     } else {
                         None
                     })
                 })
                 .flatten()
                 .collect();
-            let id = doc.append(parent, NodeKind::Element { tag: tag.clone(), attributes: attrs });
+            let id = doc.append(
+                parent,
+                NodeKind::Element {
+                    tag: tag.clone(),
+                    attributes: attrs,
+                },
+            );
             for child in children {
                 build(doc, id, child);
             }

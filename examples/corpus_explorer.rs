@@ -18,7 +18,10 @@ use tix::Database;
 fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let out = f();
-    println!("  {label:<22} {:>10.3} ms", start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "  {label:<22} {:>10.3} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
     out
 }
 
@@ -34,12 +37,20 @@ fn main() {
         .with_phrase("bell", "state", 60, 200)
         .with_term("bell", 500)
         .with_term("state", 400);
-    println!("generating {} articles (~{} nodes)…", spec.articles, spec.approx_nodes());
+    println!(
+        "generating {} articles (~{} nodes)…",
+        spec.articles,
+        spec.approx_nodes()
+    );
     let generator = Generator::new(spec, plants).expect("valid plant spec");
     let mut db = Database::new();
     let start = Instant::now();
     generator.load_into(db.store_mut()).expect("corpus loads");
-    println!("loaded in {:.2} s: {}", start.elapsed().as_secs_f64(), db.store().stats());
+    println!(
+        "loaded in {:.2} s: {}",
+        start.elapsed().as_secs_f64(),
+        db.store().stats()
+    );
     let start = Instant::now();
     db.build_index();
     println!(
@@ -61,8 +72,12 @@ fn main() {
     let tj = timed("TermJoin", || {
         sort_by_node(TermJoin::new(db.store(), db.index(), &terms, &simple).run())
     });
-    let c1 = timed("Comp1", || sort_by_node(comp1(db.store(), db.index(), &terms, &simple)));
-    let c2 = timed("Comp2", || sort_by_node(comp2(db.store(), db.index(), &terms, &simple)));
+    let c1 = timed("Comp1", || {
+        sort_by_node(comp1(db.store(), db.index(), &terms, &simple))
+    });
+    let c2 = timed("Comp2", || {
+        sort_by_node(comp2(db.store(), db.index(), &terms, &simple))
+    });
     let gm = timed("Generalized Meet", || {
         sort_by_node(generalized_meet(db.store(), db.index(), &terms, &simple))
     });
@@ -87,14 +102,23 @@ fn main() {
     let pf = timed("PhraseFinder", || {
         sort_by_node(phrase_finder(db.store(), db.index(), &["bell", "state"]))
     });
-    let c3 = timed("Comp3", || sort_by_node(comp3(db.store(), db.index(), &["bell", "state"])));
+    let c3 = timed("Comp3", || {
+        sort_by_node(comp3(db.store(), db.index(), &["bell", "state"]))
+    });
     assert_eq!(pf, c3);
     println!("  → {} phrase-bearing text nodes", pf.len());
 
     // Pick over the scored stream.
     println!("\nPick over the TermJoin output ({} nodes):", tj.len());
     let picked = timed("stack-based Pick", || {
-        pick_stream(db.store(), &tj, &PickParams { relevance_threshold: 1.0, fraction: 0.5 })
+        pick_stream(
+            db.store(),
+            &tj,
+            &PickParams {
+                relevance_threshold: 1.0,
+                fraction: 0.5,
+            },
+        )
     });
     println!("  → {} irredundant units of retrieval", picked.len());
     for s in picked.iter().take(5) {

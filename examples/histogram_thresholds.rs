@@ -15,7 +15,9 @@ use tix::Database;
 
 fn main() {
     // A corpus with one planted topic.
-    let plants = PlantSpec::default().with_term("fusion", 600).with_term("plasma", 250);
+    let plants = PlantSpec::default()
+        .with_term("fusion", 600)
+        .with_term("plasma", 250);
     let generator = Generator::new(CorpusSpec::small(), plants).expect("valid plants");
     let mut db = Database::new();
     generator.load_into(db.store_mut()).expect("corpus loads");
@@ -24,9 +26,8 @@ fn main() {
 
     // Score with TermJoin.
     let scorer = SimpleScorer::new(vec![1.0, 0.7]);
-    let scored = sort_by_node(
-        TermJoin::new(db.store(), db.index(), &["fusion", "plasma"], &scorer).run(),
-    );
+    let scored =
+        sort_by_node(TermJoin::new(db.store(), db.index(), &["fusion", "plasma"], &scorer).run());
     println!("{} scored elements", scored.len());
 
     // The auxiliary data: a histogram of the score distribution.
@@ -46,7 +47,8 @@ fn main() {
         let picked = pick_stream(db.store(), &scored, &params);
         let tags: std::collections::BTreeMap<&str, usize> =
             picked.iter().fold(Default::default(), |mut acc, s| {
-                *acc.entry(db.store().tag_name(s.node).unwrap_or("?")).or_default() += 1;
+                *acc.entry(db.store().tag_name(s.node).unwrap_or("?"))
+                    .or_default() += 1;
                 acc
             });
         println!(

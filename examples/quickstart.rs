@@ -45,7 +45,13 @@ fn main() {
 
     // 4. Pick: parent/child redundancy elimination (Fig. 8).
     let ctx = ScoreContext::new(&store);
-    let picked = ops::pick(&ctx, &projected, n4, &ops::FractionPick::paper(), pattern.rules());
+    let picked = ops::pick(
+        &ctx,
+        &projected,
+        n4,
+        &ops::FractionPick::paper(),
+        pattern.rules(),
+    );
     println!("\n— after Pick (Fig. 8) —");
     for tree in picked.iter() {
         print!("{}", tree.outline(&store));

@@ -38,7 +38,11 @@ fn main() {
     )
     .expect("query evaluates");
     for item in &items {
-        println!("score {:.1}: {}", item.score.unwrap_or(0.0), clip(&item.xml, 120));
+        println!(
+            "score {:.1}: {}",
+            item.score.unwrap_or(0.0),
+            clip(&item.xml, 120)
+        );
     }
 
     // Route B: the algebra, reproducing Fig. 7's witness-level trees.
@@ -67,7 +71,11 @@ fn main() {
         &Collection::document(&store, "reviews.xml").unwrap(),
         &right,
     );
-    println!("{} article witnesses × {} reviews", articles.len(), reviews.len());
+    println!(
+        "{} article witnesses × {} reviews",
+        articles.len(),
+        reviews.len()
+    );
 
     let root_var = PatternNodeId(1);
     let join_score = PatternNodeId(99);

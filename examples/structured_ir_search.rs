@@ -15,7 +15,10 @@ fn show(title: &str, items: &[tix::query::ResultItem]) {
     }
     for (i, item) in items.iter().enumerate() {
         let tag = item.tag.as_deref().unwrap_or("?");
-        let score = item.score.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into());
+        let score = item
+            .score
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "-".into());
         let preview: String = item.xml.chars().take(96).collect();
         println!("{:>2}. <{tag}> score={score}  {preview}…", i + 1);
     }
@@ -34,7 +37,10 @@ fn main() {
         Sortby(score)
         Threshold $a/@score > 0.5 stop after 5
     "#;
-    show("Query 1: simple IR-style", &run_query(&store, query1).unwrap());
+    show(
+        "Query 1: simple IR-style",
+        &run_query(&store, query1).unwrap(),
+    );
 
     let query2 = r#"
         For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/descendant-or-self::*
@@ -45,7 +51,10 @@ fn main() {
         Sortby(score)
         Threshold $a/@score > 4 stop after 5
     "#;
-    show("Query 2: structured IR-style", &run_query(&store, query2).unwrap());
+    show(
+        "Query 2: structured IR-style",
+        &run_query(&store, query2).unwrap(),
+    );
 
     // Part 2: the same query shape against a synthetic 200-article corpus
     // with a planted topic.

@@ -70,7 +70,12 @@ fn query2_pattern() -> Query2 {
         ScoreFoo::shared(&["search engine"], &["internet", "information retrieval"]),
     );
     pattern.score_from_descendant(n1, n4);
-    Query2 { pattern, n1, n3, n4 }
+    Query2 {
+        pattern,
+        n1,
+        n3,
+        n4,
+    }
 }
 
 fn score_of(tree: &ScoredTree, store: &Store, idx: u32) -> Option<f64> {
@@ -93,7 +98,10 @@ fn figure5_selection_witnesses() {
     // paragraph scored 0.8.
     let a = result
         .iter()
-        .find(|t| t.bound(q.n4).any(|(_, e)| e.source.stored() == Some(aref(&store, n::P18))))
+        .find(|t| {
+            t.bound(q.n4)
+                .any(|(_, e)| e.source.stored() == Some(aref(&store, n::P18)))
+        })
         .expect("witness for #a18");
     assert!((a.score().unwrap() - 0.8).abs() < 1e-9);
     assert!((score_of(a, &store, n::P18).unwrap() - 0.8).abs() < 1e-9);
@@ -102,7 +110,8 @@ fn figure5_selection_witnesses() {
     let b = result
         .iter()
         .find(|t| {
-            t.bound(q.n4).any(|(_, e)| e.source.stored() == Some(aref(&store, n::SECTION3)))
+            t.bound(q.n4)
+                .any(|(_, e)| e.source.stored() == Some(aref(&store, n::SECTION3)))
         })
         .expect("witness for #a16");
     assert!((b.score().unwrap() - 3.6).abs() < 1e-9, "{:?}", b.score());
@@ -151,7 +160,12 @@ fn figure6_projection_tree() {
         .iter()
         .map(|&(n, s)| (n, s.map(|v| (v * 10.0).round() / 10.0)))
         .collect();
-    assert_eq!(got_rounded, expected_rounded, "\noutline:\n{}", tree.outline(&store));
+    assert_eq!(
+        got_rounded,
+        expected_rounded,
+        "\noutline:\n{}",
+        tree.outline(&store)
+    );
 }
 
 #[test]
@@ -235,8 +249,16 @@ fn figure7_join_result() {
     let n7 = right.add_root(Predicate::tag("review"));
     let n8 = right.add_child(n7, EdgeKind::Child, Predicate::tag("title"));
 
-    let left_coll = ops::select(&store, &Collection::document(&store, "articles.xml").unwrap(), &left);
-    let right_coll = ops::select(&store, &Collection::document(&store, "reviews.xml").unwrap(), &right);
+    let left_coll = ops::select(
+        &store,
+        &Collection::document(&store, "articles.xml").unwrap(),
+        &left,
+    );
+    let right_coll = ops::select(
+        &store,
+        &Collection::document(&store, "reviews.xml").unwrap(),
+        &right,
+    );
 
     let root_var = PatternNodeId(1); // Fig. 4's $1 = tix_prod_root
     let join_score = PatternNodeId(99); // $joinScore
@@ -273,7 +295,10 @@ fn figure7_join_result() {
     assert_eq!(fig7[0].score(), Some(2.8));
 
     // Review 2 ("WWW Technologies") shares one word with the article title.
-    let with_r2: Vec<_> = joined.iter().filter(|t| t.aux(join_score) == Some(1.0)).collect();
+    let with_r2: Vec<_> = joined
+        .iter()
+        .filter(|t| t.aux(join_score) == Some(1.0))
+        .collect();
     assert_eq!(with_r2.len(), 24);
 }
 
@@ -289,7 +314,13 @@ fn example_3_1_workflow() {
     // Step 1: projection (Fig. 6).
     let projected = ops::project(&store, &input, &q.pattern, &[q.n1, q.n3, q.n4]);
     // Step 2: Pick (Fig. 8).
-    let picked = ops::pick(&ctx, &projected, q.n4, &ops::FractionPick::paper(), q.pattern.rules());
+    let picked = ops::pick(
+        &ctx,
+        &projected,
+        q.n4,
+        &ops::FractionPick::paper(),
+        q.pattern.rules(),
+    );
     // Step 3: one tree per remaining primary data IR-node ("a collection of
     // five trees, corresponding to the five primary data IR-nodes").
     let tree = &picked.trees()[0];

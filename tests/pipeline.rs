@@ -19,7 +19,11 @@ fn build_db(plants: PlantSpec) -> Database {
 
 #[test]
 fn termjoin_scores_reflect_planted_frequencies() {
-    let db = build_db(PlantSpec::default().with_term("alpha", 120).with_term("beta", 40));
+    let db = build_db(
+        PlantSpec::default()
+            .with_term("alpha", 120)
+            .with_term("beta", 40),
+    );
     let scorer = SimpleScorer::uniform();
     let scored = TermJoin::new(db.store(), db.index(), &["alpha", "beta"], &scorer).run();
     // Every article root's score sums to the occurrences it contains;
@@ -35,7 +39,14 @@ fn termjoin_scores_reflect_planted_frequencies() {
 #[test]
 fn search_pipeline_returns_granular_units() {
     let db = build_db(PlantSpec::default().with_term("needle", 60));
-    let results = db.search(&["needle"], PickParams { relevance_threshold: 1.0, fraction: 0.5 }, 10);
+    let results = db.search(
+        &["needle"],
+        PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        },
+        10,
+    );
     assert!(!results.is_empty());
     assert!(results.len() <= 10);
     // Parent/child exclusivity holds across the returned set.
@@ -71,7 +82,11 @@ fn phrase_pipeline_matches_planted_adjacencies() {
 
 #[test]
 fn complex_scoring_pipeline_enhanced_equals_plain() {
-    let db = build_db(PlantSpec::default().with_term("alpha", 80).with_term("beta", 25));
+    let db = build_db(
+        PlantSpec::default()
+            .with_term("alpha", 80)
+            .with_term("beta", 25),
+    );
     let plain = ComplexScorer::uniform(ChildCountMode::Navigate);
     let enhanced = ComplexScorer::uniform(ChildCountMode::Index);
     let a = sort_by_node(TermJoin::new(db.store(), db.index(), &["alpha", "beta"], &plain).run());
@@ -89,7 +104,14 @@ fn topk_over_pick_is_stable() {
     let db = build_db(PlantSpec::default().with_term("gamma", 100));
     let scorer = SimpleScorer::uniform();
     let scored = sort_by_node(TermJoin::new(db.store(), db.index(), &["gamma"], &scorer).run());
-    let picked = pick_stream(db.store(), &scored, &PickParams { relevance_threshold: 2.0, fraction: 0.5 });
+    let picked = pick_stream(
+        db.store(),
+        &scored,
+        &PickParams {
+            relevance_threshold: 2.0,
+            fraction: 0.5,
+        },
+    );
     let top = topk::top_k(picked.clone(), 5);
     assert!(top.len() <= 5);
     assert!(top.windows(2).all(|w| w[0].score >= w[1].score));

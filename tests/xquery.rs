@@ -24,7 +24,9 @@ fn query1_simple_ir_style() {
     assert_eq!(items.len(), 1);
     assert_eq!(items[0].tag.as_deref(), Some("chapter"));
     assert!((items[0].score.unwrap() - 5.0).abs() < 1e-9);
-    assert!(items[0].xml.contains("<section-title>Search Engine Basics</section-title>"));
+    assert!(items[0]
+        .xml
+        .contains("<section-title>Search Engine Basics</section-title>"));
 }
 
 #[test]
