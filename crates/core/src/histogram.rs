@@ -6,6 +6,8 @@
 //! data IR-nodes matching a query IR-node with respect to the score" so
 //! thresholds can be given as quantiles.
 
+use crate::scoring::count_f64;
+
 /// An equi-width histogram over non-negative scores.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreHistogram {
@@ -39,10 +41,12 @@ impl ScoreHistogram {
                 count: 0,
             };
         }
-        let width = ((max - min) / buckets as f64).max(f64::MIN_POSITIVE);
+        let width = ((max - min) / count_f64(buckets)).max(f64::MIN_POSITIVE);
         let mut hist = vec![0usize; buckets];
         for &s in &scores {
+            // lint:allow(no-as-cast): float→usize truncation is the bucket rule; clamped below
             let idx = (((s - min) / width) as usize).min(buckets - 1);
+            // lint:allow(no-slice-index): idx clamped to buckets - 1 above
             hist[idx] += 1;
         }
         ScoreHistogram {
@@ -82,17 +86,17 @@ impl ScoreHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        let target = q * self.count as f64;
+        let target = q * count_f64(self.count);
         let mut acc = 0.0;
         for (i, &c) in self.buckets.iter().enumerate() {
-            let next = acc + c as f64;
+            let next = acc + count_f64(c);
             if next >= target && c > 0 {
                 let within = if c > 0 {
-                    (target - acc) / c as f64
+                    (target - acc) / count_f64(c)
                 } else {
                     0.0
                 };
-                return self.min + (i as f64 + within.clamp(0.0, 1.0)) * self.bucket_width;
+                return self.min + (count_f64(i) + within.clamp(0.0, 1.0)) * self.bucket_width;
             }
             acc = next;
         }
@@ -108,8 +112,10 @@ impl ScoreHistogram {
         if threshold > self.max {
             return 0;
         }
-        let idx =
-            (((threshold - self.min) / self.bucket_width) as usize).min(self.buckets.len() - 1);
+        // lint:allow(no-as-cast): float→usize truncation is the bucket rule; clamped below
+        let raw = ((threshold - self.min) / self.bucket_width) as usize;
+        let idx = raw.min(self.buckets.len() - 1);
+        // lint:allow(no-slice-index): idx clamped to len - 1 above
         self.buckets[idx..].iter().sum()
     }
 }

@@ -25,6 +25,7 @@ pub type Binding = Vec<NodeRef>;
 /// Panics if the pattern does not have exactly one root.
 pub fn matches(store: &Store, pattern: &PatternTree, scope: NodeRef) -> Vec<Binding> {
     let mut roots = pattern.roots();
+    // lint:allow(no-unwrap): documented panic contract above
     let root = roots.next().expect("pattern must have a root");
     assert!(roots.next().is_none(), "pattern must have exactly one root");
 
@@ -47,32 +48,33 @@ fn extend(
     binding: &mut Vec<Option<NodeRef>>,
     out: &mut Vec<Binding>,
 ) {
-    if pos == order.len() {
-        out.push(
-            binding
-                .iter()
-                .map(|b| b.expect("complete binding"))
-                .collect(),
-        );
+    let Some(pnode) = order.get(pos) else {
+        // Every slot is filled on the way down (binding[i] is set before
+        // recursing to i + 1), so flatten preserves the arity.
+        out.push(binding.iter().flatten().copied().collect());
         return;
-    }
-    let pnode = &order[pos];
+    };
     let candidates: Vec<NodeRef> = match pnode.parent {
         None => candidates_in_scope(store, scope, &pnode.predicate),
         Some(parent_id) => {
-            let parent_pos = order
+            let anchor = order
                 .iter()
                 .position(|n| n.id == parent_id)
-                .expect("parent precedes child in insertion order");
-            let anchor = binding[parent_pos].expect("parent bound before child");
+                .and_then(|parent_pos| binding.get(parent_pos).copied().flatten())
+                // lint:allow(no-unwrap): PatternTree insertion order guarantees the parent precedes its child and is bound
+                .expect("parent bound before child");
             candidates_under(store, anchor, pnode.edge, &pnode.predicate)
         }
     };
     for candidate in candidates {
-        binding[pos] = Some(candidate);
+        if let Some(slot) = binding.get_mut(pos) {
+            *slot = Some(candidate);
+        }
         extend(store, order, scope, _root, pos + 1, binding, out);
     }
-    binding[pos] = None;
+    if let Some(slot) = binding.get_mut(pos) {
+        *slot = None;
+    }
 }
 
 /// Candidates for the pattern root: `scope` itself or any descendant
@@ -85,7 +87,8 @@ fn candidates_in_scope(store: &Store, scope: NodeRef, predicate: &Predicate) -> 
         let lo = list.partition_point(|n| *n < scope);
         let hi =
             list.partition_point(|n| n.doc < scope.doc || (n.doc == scope.doc && n.node <= end));
-        list[lo..hi]
+        list.get(lo..hi)
+            .unwrap_or(&[])
             .iter()
             .copied()
             .filter(|&n| predicate.eval(store, n))

@@ -25,7 +25,7 @@ pub fn group_order_by_score(
     group_var: PatternNodeId,
 ) -> ScoredTree {
     let mut order: Vec<usize> = (0..input.len()).collect();
-    let key = |i: usize| input.trees()[i].max_score(var);
+    let key = |i: usize| input.trees().get(i).and_then(|t| t.max_score(var));
     order.sort_by(|&a, &b| match (key(a), key(b)) {
         (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
         (Some(_), None) => std::cmp::Ordering::Less,
@@ -40,7 +40,9 @@ pub fn group_order_by_score(
         vars: vec![group_var],
     });
     for i in order {
-        let tree = &input.trees()[i];
+        let Some(tree) = input.trees().get(i) else {
+            continue;
+        };
         let offset = grouped.len() as u32;
         for entry in tree.entries() {
             let mut entry = entry.clone();
@@ -76,7 +78,7 @@ pub fn retain_leftmost(grouped: &ScoredTree, k: usize) -> Collection {
         // whose ancestor chain reaches `start`.
         let mut members = vec![start];
         for i in (start + 1)..grouped.len() {
-            let mut cursor = grouped.entries()[i].parent;
+            let mut cursor = grouped.entries().get(i).and_then(|e| e.parent);
             let mut inside = false;
             while let Some(p) = cursor {
                 if p as usize == start {
@@ -86,7 +88,7 @@ pub fn retain_leftmost(grouped: &ScoredTree, k: usize) -> Collection {
                 if p == 0 {
                     break;
                 }
-                cursor = grouped.entries()[p as usize].parent;
+                cursor = grouped.entries().get(p as usize).and_then(|e| e.parent);
             }
             if inside {
                 members.push(i);
@@ -96,7 +98,10 @@ pub fn retain_leftmost(grouped: &ScoredTree, k: usize) -> Collection {
         }
         let mut tree = ScoredTree::new();
         for &m in &members {
-            let mut entry = grouped.entries()[m].clone();
+            let Some(entry) = grouped.entries().get(m) else {
+                continue;
+            };
+            let mut entry = entry.clone();
             entry.parent = entry.parent.and_then(|p| {
                 members
                     .iter()

@@ -9,7 +9,7 @@
 use crate::collection::Collection;
 use crate::pattern::{PatternNodeId, ScoreRule};
 use crate::scored_tree::ScoredTree;
-use crate::scoring::ScoreContext;
+use crate::scoring::{count_f64, ScoreContext};
 
 use super::apply_derived_rules;
 
@@ -53,8 +53,9 @@ impl FractionPick {
 
 impl PickCriterion for FractionPick {
     fn is_relevant(&self, tree: &ScoredTree, idx: usize) -> bool {
-        tree.entries()[idx]
-            .score
+        tree.entries()
+            .get(idx)
+            .and_then(|e| e.score)
             .is_some_and(|s| s >= self.relevance_threshold)
     }
 
@@ -66,7 +67,7 @@ impl PickCriterion for FractionPick {
             .iter()
             .filter(|&&c| self.is_relevant(tree, c))
             .count();
-        (relevant as f64) / (children.len() as f64) > self.fraction
+        count_f64(relevant) / count_f64(children.len()) > self.fraction
     }
 }
 
@@ -88,17 +89,41 @@ pub fn picked_entries(
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, entry) in tree.entries().iter().enumerate() {
         if let Some(p) = entry.parent {
-            children[p as usize].push(i);
+            // lint:allow(no-as-cast): u32 index → usize widening is lossless
+            if let Some(list) = children.get_mut(p as usize) {
+                list.push(i);
+            }
         }
     }
     let mut picked = vec![false; n];
-    for i in 0..n {
-        let entry = &tree.entries()[i];
+    for (i, entry) in tree.entries().iter().enumerate() {
         if !entry.bound_to(var) {
             continue;
         }
-        let parent_picked = entry.parent.is_some_and(|p| picked[p as usize]);
-        picked[i] = !parent_picked && criterion.is_worth(tree, i, &children[i]);
+        let parent_picked = entry
+            .parent
+            // lint:allow(no-as-cast): u32 index → usize widening is lossless
+            .is_some_and(|p| picked.get(p as usize).copied().unwrap_or(false));
+        let kids: &[usize] = children.get(i).map_or(&[], Vec::as_slice);
+        let worth = !parent_picked && criterion.is_worth(tree, i, kids);
+        if let Some(slot) = picked.get_mut(i) {
+            *slot = worth;
+        }
+    }
+    // §4.3: the picked set must satisfy the vertical exclusivity rule —
+    // no picked entry has a picked ancestor.
+    tix_invariants::check! {
+        tix_invariants::assert_picked_exclusive(
+            n,
+            |i| picked.get(i).copied().unwrap_or(false),
+            |i| {
+                tree.entries()
+                    .get(i)
+                    .and_then(|e| e.parent)
+                    // lint:allow(no-as-cast): u32 index → usize widening is lossless
+                    .map(|p| p as usize)
+            },
+        );
     }
     picked
 }
@@ -121,7 +146,7 @@ pub fn pick(
         let picked = picked_entries(tree, var, criterion);
         let mut tree = tree.clone();
         for (i, entry) in tree.entries_mut().iter_mut().enumerate() {
-            if entry.bound_to(var) && !picked[i] {
+            if entry.bound_to(var) && !picked.get(i).copied().unwrap_or(false) {
                 entry.vars.retain(|&v| v != var);
                 if entry.vars.is_empty() {
                     // Fully unpicked: marked for removal below.
@@ -158,19 +183,45 @@ pub fn horizontal_pick(
         let n = tree.len();
         let mut drop = vec![false; n];
         for i in 0..n {
-            let ei = &tree.entries()[i];
-            if !ei.bound_to(var) || drop[i] {
+            let Some(ei) = tree.entries().get(i) else {
+                continue;
+            };
+            if !ei.bound_to(var) || drop.get(i).copied().unwrap_or(false) {
                 continue;
             }
+            let ei_parent = ei.parent;
             for (j, drop_j) in drop.iter_mut().enumerate().skip(i + 1) {
-                let ej = &tree.entries()[j];
-                if ej.bound_to(var) && ej.parent == ei.parent && !*drop_j && same_class(&tree, i, j)
+                let Some(ej) = tree.entries().get(j) else {
+                    continue;
+                };
+                if ej.bound_to(var) && ej.parent == ei_parent && !*drop_j && same_class(&tree, i, j)
                 {
                     *drop_j = true;
                 }
             }
         }
-        tree.retain(|i, _| !drop[i]);
+        // Sec. 3.3.2 horizontal rule: after elimination, at most one
+        // var-bound entry survives per (parent, class) sibling group.
+        tix_invariants::check! {
+            tix_invariants::assert_horizontal_dedup(
+                n,
+                |i| {
+                    tree.entries().get(i).is_some_and(|e| e.bound_to(var))
+                        && !drop.get(i).copied().unwrap_or(false)
+                },
+                |i, j| {
+                    let (Some(ei), Some(ej)) = (tree.entries().get(i), tree.entries().get(j))
+                    else {
+                        return false;
+                    };
+                    ei.bound_to(var)
+                        && ej.bound_to(var)
+                        && ei.parent == ej.parent
+                        && same_class(&tree, i, j)
+                },
+            );
+        }
+        tree.retain(|i, _| !drop.get(i).copied().unwrap_or(false));
         out.push(tree);
     }
     out

@@ -42,14 +42,14 @@ pub fn threshold(input: &Collection, conditions: &[ThresholdCond]) -> Collection
                 if *k == 0 || scores.is_empty() {
                     None
                 } else {
-                    Some(scores[(*k - 1).min(scores.len() - 1)])
+                    scores.get((*k - 1).min(scores.len() - 1)).copied()
                 }
             }
             ThresholdCond::MinScore { .. } => None,
         })
         .collect();
 
-    input
+    let result: Collection = input
         .iter()
         .filter(|tree| {
             conditions
@@ -68,7 +68,21 @@ pub fn threshold(input: &Collection, conditions: &[ThresholdCond]) -> Collection
                 })
         })
         .cloned()
-        .collect()
+        .collect();
+    // §4.2: every retained tree's best var-bound score must clear the
+    // value condition — Threshold may never let a sub-threshold tree
+    // through.
+    tix_invariants::check! {
+        for cond in conditions {
+            if let ThresholdCond::MinScore { var, min } = cond {
+                tix_invariants::assert_scores_above(
+                    result.iter().filter_map(|t| t.max_score(*var)),
+                    *min,
+                );
+            }
+        }
+    }
+    result
 }
 
 #[cfg(test)]

@@ -168,7 +168,7 @@ impl ScoredTree {
 
     /// The score of the tree = the score of its (first) root (Def. 1).
     pub fn score(&self) -> Option<f64> {
-        self.root().and_then(|r| self.entries[r].score)
+        self.entries.iter().find(|e| e.parent.is_none())?.score
     }
 
     /// Indexes of the direct children of entry `idx`.
@@ -214,34 +214,40 @@ impl ScoredTree {
     /// parent pointers to their nearest surviving ancestor.
     pub fn retain(&mut self, mut keep: impl FnMut(usize, &TreeEntry) -> bool) {
         let n = self.entries.len();
-        let mut kept = vec![false; n];
-        for (i, entry) in self.entries.iter().enumerate() {
-            kept[i] = keep(i, entry);
-        }
+        let kept: Vec<bool> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| keep(i, entry))
+            .collect();
         // Map each old index to the nearest kept ancestor (old index).
-        let mut nearest_kept_anc: Vec<Option<u32>> = vec![None; n];
-        for i in 0..n {
-            let parent = self.entries[i].parent;
-            nearest_kept_anc[i] = match parent {
-                Some(p) if kept[p as usize] => Some(p),
-                Some(p) => nearest_kept_anc[p as usize],
+        // Parents precede their children in document order, so each
+        // lookup only consults already-computed prefixes.
+        let mut nearest_kept_anc: Vec<Option<u32>> = Vec::with_capacity(n);
+        for entry in &self.entries {
+            let anc = match entry.parent {
+                Some(p) if kept.get(p as usize).copied().unwrap_or(false) => Some(p),
+                Some(p) => nearest_kept_anc.get(p as usize).copied().flatten(),
                 None => None,
             };
+            nearest_kept_anc.push(anc);
         }
-        let mut new_index: Vec<Option<u32>> = vec![None; n];
+        let mut new_index: Vec<Option<u32>> = Vec::with_capacity(n);
         let mut next = 0u32;
-        for i in 0..n {
-            if kept[i] {
-                new_index[i] = Some(next);
+        for &k in &kept {
+            if k {
+                new_index.push(Some(next));
                 next += 1;
+            } else {
+                new_index.push(None);
             }
         }
         let old_entries = std::mem::take(&mut self.entries);
-        for (i, mut entry) in old_entries.into_iter().enumerate() {
-            if !kept[i] {
+        for ((mut entry, k), anc) in old_entries.into_iter().zip(kept).zip(nearest_kept_anc) {
+            if !k {
                 continue;
             }
-            entry.parent = nearest_kept_anc[i].and_then(|p| new_index[p as usize]);
+            entry.parent = anc.and_then(|p| new_index.get(p as usize).copied().flatten());
             self.entries.push(entry);
         }
     }
@@ -256,13 +262,16 @@ impl ScoredTree {
     /// tests (tags resolved through `store`).
     pub fn outline(&self, store: &Store) -> String {
         let mut out = String::new();
-        // Depth of each entry within the retained tree.
-        let mut depth = vec![0usize; self.entries.len()];
-        for (i, entry) in self.entries.iter().enumerate() {
-            if let Some(p) = entry.parent {
-                depth[i] = depth[p as usize] + 1;
-            }
-            for _ in 0..depth[i] {
+        // Depth of each entry within the retained tree (parents precede
+        // children, so each lookup hits an already-filled slot).
+        let mut depth: Vec<usize> = Vec::with_capacity(self.entries.len());
+        for entry in self.entries.iter() {
+            let d = entry
+                .parent
+                .and_then(|p| depth.get(p as usize).copied())
+                .map_or(0, |pd| pd + 1);
+            depth.push(d);
+            for _ in 0..d {
                 out.push_str("  ");
             }
             match &entry.source {

@@ -69,9 +69,20 @@ pub fn phrase_count(text: &str, phrase: &str) -> usize {
     let mut rest = haystack.as_str();
     while let Some(pos) = rest.find(&needle) {
         count += 1;
+        // lint:allow(no-slice-index): pos + needle.len() is the end of the match find() located
         rest = &rest[pos + needle.len()..];
     }
     count
+}
+
+/// Convert an occurrence count to `f64` for score arithmetic.
+///
+/// Counts are bounded by the collection's token count, far below 2^53,
+/// so the conversion is exact — this is the one sanctioned `as` cast on
+/// the scoring path.
+pub fn count_f64(n: usize) -> f64 {
+    // lint:allow(no-as-cast): counts are < 2^53, conversion is exact
+    n as f64
 }
 
 /// The functions of the paper's Figure 9.
@@ -118,10 +129,10 @@ pub mod paper {
             let text = ctx.store.text_content(node);
             let mut score = 0.0;
             for phrase in &self.primary {
-                score += self.primary_weight * phrase_count(&text, phrase) as f64;
+                score += self.primary_weight * count_f64(phrase_count(&text, phrase));
             }
             for phrase in &self.secondary {
-                score += self.secondary_weight * phrase_count(&text, phrase) as f64;
+                score += self.secondary_weight * count_f64(phrase_count(&text, phrase));
             }
             score
         }
@@ -143,7 +154,7 @@ pub mod paper {
             let b = terms(&ctx.store.text_content(right));
             let set_a: std::collections::HashSet<&str> = a.iter().map(String::as_str).collect();
             let set_b: std::collections::HashSet<&str> = b.iter().map(String::as_str).collect();
-            set_a.intersection(&set_b).count() as f64
+            count_f64(set_a.intersection(&set_b).count())
         }
 
         fn name(&self) -> &str {
@@ -198,14 +209,19 @@ impl TfIdfScorer {
 }
 
 impl NodeScorer for TfIdfScorer {
+    /// # Panics
+    /// Panics if the context has no inverted index: tf·idf is undefined
+    /// without document frequencies, and silently scoring 0 would corrupt
+    /// rankings, so misconfiguration fails loudly.
     fn score(&self, ctx: &ScoreContext<'_>, node: NodeRef) -> f64 {
         let index = ctx
             .index
+            // lint:allow(no-unwrap): documented panic contract above
             .expect("TfIdfScorer requires a ScoreContext with an inverted index");
         let docs = ctx.store.doc_count();
         self.terms
             .iter()
-            .map(|t| index.count_in_subtree(ctx.store, t, node) as f64 * index.idf(t, docs))
+            .map(|t| count_f64(index.count_in_subtree(ctx.store, t, node)) * index.idf(t, docs))
             .sum()
     }
 
@@ -236,8 +252,10 @@ impl JoinScorer for CosineScorer {
             .filter_map(|(t, &w)| b.get(t).map(|&v| w * v))
             .sum();
         let norm = |m: &HashMap<String, f64>| m.values().map(|v| v * v).sum::<f64>().sqrt();
+        // Norms are non-negative, so `<= 0.0` is exactly the zero test —
+        // without comparing floats for equality.
         let denom = norm(&a) * norm(&b);
-        if denom == 0.0 {
+        if denom <= 0.0 {
             0.0
         } else {
             dot / denom

@@ -55,7 +55,9 @@ pub fn comp1<S: TermJoinScorer>(
             let mut cursor = store.parent(text);
             while let Some(anc) = cursor {
                 let mut counters = vec![0u32; n];
-                counters[t] = 1;
+                if let Some(slot) = counters.get_mut(t) {
+                    *slot = 1;
+                }
                 let hits = if keep_detail {
                     vec![TermHit {
                         node: posting.node,
@@ -118,13 +120,17 @@ pub fn comp2<S: TermJoinScorer>(
             .into_iter()
             .map(|(node, count)| {
                 let mut counters = vec![0u32; n];
-                counters[t] = count;
+                if let Some(slot) = counters.get_mut(t) {
+                    *slot = count;
+                }
                 let hits = if keep_detail {
                     // Recover this ancestor's hits from the posting range.
                     let end = store.end_key(node);
                     let lo = postings.partition_point(|p| (p.doc, p.node) < (node.doc, node.node));
                     let hi = postings.partition_point(|p| (p.doc, p.node) <= (node.doc, end));
-                    postings[lo..hi]
+                    postings
+                        .get(lo..hi)
+                        .unwrap_or(&[])
                         .iter()
                         .map(|p| TermHit {
                             node: p.node,

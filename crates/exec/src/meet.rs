@@ -43,7 +43,9 @@ pub fn generalized_meet<S: TermJoinScorer>(
                     counters: vec![0; terms.len()],
                     hits: Vec::new(),
                 });
-                group.counters[t] += 1;
+                if let Some(counter) = group.counters.get_mut(t) {
+                    *counter += 1;
+                }
                 if keep_detail {
                     group.hits.push(TermHit {
                         node: posting.node,

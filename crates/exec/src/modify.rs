@@ -65,14 +65,19 @@ pub fn scored_union(
     w2: f64,
     combine: Combine,
 ) -> Vec<ScoredNode> {
-    debug_assert!(
-        a.windows(2).all(|w| w[0].node < w[1].node),
-        "A must be document-ordered"
-    );
-    debug_assert!(
-        b.windows(2).all(|w| w[0].node < w[1].node),
-        "B must be document-ordered"
-    );
+    // Example 5.2 precondition: both inputs are unique and document-ordered.
+    tix_invariants::check! {
+        tix_invariants::assert_stream_sorted_unique(a.len(), |i| {
+            // lint:allow(no-slice-index): i < a.len() by the try_ contract
+            let s = &a[i];
+            (s.node.doc.0, s.node.node.as_u32())
+        });
+        tix_invariants::assert_stream_sorted_unique(b.len(), |i| {
+            // lint:allow(no-slice-index): i < b.len() by the try_ contract
+            let s = &b[i];
+            (s.node.doc.0, s.node.node.as_u32())
+        });
+    }
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() || j < b.len() {

@@ -95,10 +95,10 @@ pub fn pick_stream_parallel(
     let groups = tix_parallel::chunk_ranges(starts.len(), threads * CHUNKS_PER_WORKER);
     let chunks: Vec<&[ScoredNode]> = groups
         .into_iter()
-        .map(|g| {
-            let lo = starts[g.start];
+        .filter_map(|g| {
+            let &lo = starts.get(g.start)?;
             let hi = starts.get(g.end).copied().unwrap_or(scored.len());
-            &scored[lo..hi]
+            scored.get(lo..hi)
         })
         .collect();
     let results =
@@ -119,17 +119,14 @@ fn doc_chunks<'a>(
     tix_parallel::chunk_ranges(docs.len(), threads * CHUNKS_PER_WORKER)
         .into_iter()
         .map(|range| {
-            let lo = docs[range.start];
+            let lo = docs.get(range.start).copied();
             let hi = docs.get(range.end).copied();
             lists
                 .iter()
                 .map(|list| {
-                    let a = list.partition_point(|p| p.doc < lo);
-                    let b = match hi {
-                        Some(hi) => list.partition_point(|p| p.doc < hi),
-                        None => list.len(),
-                    };
-                    &list[a..b]
+                    let a = lo.map_or(list.len(), |lo| list.partition_point(|p| p.doc < lo));
+                    let b = hi.map_or(list.len(), |hi| list.partition_point(|p| p.doc < hi));
+                    list.get(a..b).unwrap_or(&[])
                 })
                 .collect()
         })

@@ -8,6 +8,7 @@
 //! re-reads each candidate's text from the store to check the phrase — the
 //! "extra work done at the filter level" the paper measures.
 
+use tix_core::scoring::count_f64;
 use tix_index::InvertedIndex;
 use tix_store::{NodeRef, Store};
 
@@ -41,22 +42,24 @@ pub fn phrase_finder_on_lists(lists: &[&[tix_index::Posting]]) -> Vec<PhraseMatc
     if lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
     }
-    let mut cursors = vec![0usize; k];
+    // Pair each list with its cursor so the zipper below never indexes.
+    let mut zipped: Vec<(usize, &[tix_index::Posting])> =
+        lists.iter().map(|&list| (0usize, list)).collect();
     let mut out = Vec::new();
     // Zipper: advance every cursor to a common (doc, node).
-    'outer: while let Some(first) = lists[0].get(cursors[0]) {
+    'outer: while let Some(first) = zipped.first().and_then(|&(c, list)| list.get(c).copied()) {
         let mut target = (first.doc, first.node);
         let mut stable = 0;
         while stable < k {
-            for (i, list) in lists.iter().enumerate() {
-                while let Some(p) = list.get(cursors[i]) {
+            for (cursor, list) in zipped.iter_mut() {
+                while let Some(p) = list.get(*cursor) {
                     if (p.doc, p.node) < target {
-                        cursors[i] += 1;
+                        *cursor += 1;
                     } else {
                         break;
                     }
                 }
-                match list.get(cursors[i]) {
+                match list.get(*cursor) {
                     None => break 'outer,
                     Some(p) if (p.doc, p.node) > target => {
                         target = (p.doc, p.node);
@@ -67,18 +70,18 @@ pub fn phrase_finder_on_lists(lists: &[&[tix_index::Posting]]) -> Vec<PhraseMatc
             }
         }
         // All lists sit on `target`: verify adjacency with offsets.
-        let count = count_adjacent_runs(lists, &cursors, target);
+        let count = count_adjacent_runs(&zipped, target);
         if count > 0 {
             out.push(ScoredNode::new(
                 NodeRef::new(target.0, target.1),
-                count as f64,
+                count_f64(count),
             ));
         }
         // Move every cursor past this node.
-        for (i, list) in lists.iter().enumerate() {
-            while let Some(p) = list.get(cursors[i]) {
+        for (cursor, list) in zipped.iter_mut() {
+            while let Some(p) = list.get(*cursor) {
                 if (p.doc, p.node) == target {
-                    cursors[i] += 1;
+                    *cursor += 1;
                 } else {
                     break;
                 }
@@ -91,29 +94,30 @@ pub fn phrase_finder_on_lists(lists: &[&[tix_index::Posting]]) -> Vec<PhraseMatc
 /// Within one text node, count positions where term 0's offset `o` is
 /// followed by term 1 at `o+1`, term 2 at `o+2`, … (in-order adjacency).
 fn count_adjacent_runs(
-    lists: &[&[tix_index::Posting]],
-    cursors: &[usize],
+    zipped: &[(usize, &[tix_index::Posting])],
     target: (tix_store::DocId, tix_store::NodeIdx),
 ) -> usize {
     // Collect each term's offsets within the node (lists are offset-sorted).
-    let offsets: Vec<Vec<u32>> = lists
+    let offsets: Vec<Vec<u32>> = zipped
         .iter()
-        .zip(cursors)
-        .map(|(list, &c)| {
-            list[c..]
+        .map(|&(c, list)| {
+            list.get(c..)
+                .unwrap_or(&[])
                 .iter()
                 .take_while(|p| (p.doc, p.node) == target)
                 .map(|p| p.offset)
                 .collect()
         })
         .collect();
-    offsets[0]
+    let Some((first, rest)) = offsets.split_first() else {
+        return 0;
+    };
+    first
         .iter()
         .filter(|&&start| {
-            offsets[1..]
-                .iter()
-                .enumerate()
-                .all(|(i, list)| list.binary_search(&(start + 1 + i as u32)).is_ok())
+            rest.iter().enumerate().all(|(i, list)| {
+                u32::try_from(i + 1).is_ok_and(|step| list.binary_search(&(start + step)).is_ok())
+            })
         })
         .count()
 }
@@ -135,16 +139,19 @@ pub fn comp3(store: &Store, index: &InvertedIndex, phrase_terms: &[&str]) -> Vec
         })
         .collect();
     // Step 2: k-way sorted intersection (materialized candidate list).
-    let mut candidates: Vec<NodeRef> = node_lists[0].clone();
-    for list in &node_lists[1..] {
+    let Some((first_nodes, rest_lists)) = node_lists.split_first() else {
+        return Vec::new();
+    };
+    let mut candidates: Vec<NodeRef> = first_nodes.clone();
+    for list in rest_lists {
         let mut kept = Vec::with_capacity(candidates.len().min(list.len()));
         let (mut i, mut j) = (0usize, 0usize);
-        while i < candidates.len() && j < list.len() {
-            match candidates[i].cmp(&list[j]) {
+        while let (Some(&a), Some(&b)) = (candidates.get(i), list.get(j)) {
+            match a.cmp(&b) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    kept.push(candidates[i]);
+                    kept.push(a);
                     i += 1;
                     j += 1;
                 }
@@ -162,7 +169,7 @@ pub fn comp3(store: &Store, index: &InvertedIndex, phrase_terms: &[&str]) -> Vec
                 .windows(k)
                 .filter(|w| w.iter().zip(&lowered).all(|(a, b)| a == b))
                 .count();
-            (count > 0).then(|| ScoredNode::new(node, count as f64))
+            (count > 0).then(|| ScoredNode::new(node, count_f64(count)))
         })
         .collect()
 }
@@ -262,16 +269,20 @@ pub fn score_ancestors_of_phrases(store: &Store, matches: &[PhraseMatch]) -> Vec
     // Stack frames: (element, end key, accumulated phrase count).
     let mut stack: Vec<(NodeRef, u32, f64)> = Vec::new();
     let pop = |stack: &mut Vec<(NodeRef, u32, f64)>, out: &mut Vec<ScoredNode>| {
-        let (node, _, count) = stack.pop().expect("pop on empty stack");
+        let Some((node, _, count)) = stack.pop() else {
+            return;
+        };
         if let Some(parent) = stack.last_mut() {
             parent.2 += count;
         }
         out.push(ScoredNode::new(node, count));
     };
     for m in matches {
-        let anchor = store
-            .parent(m.node)
-            .expect("text node has an element parent");
+        // A match is always a text node, which is never a document root;
+        // skip rather than panic if handed something else.
+        let Some(anchor) = store.parent(m.node) else {
+            continue;
+        };
         while let Some(&(top, end, _)) = stack.last() {
             if top.doc == anchor.doc && top.node <= anchor.node && anchor.node.as_u32() <= end {
                 break;
@@ -293,7 +304,18 @@ pub fn score_ancestors_of_phrases(store: &Store, matches: &[PhraseMatch]) -> Vec
                 stack.push((node, store.end_key(node).as_u32(), 0.0));
             }
         }
-        stack.last_mut().expect("anchor frame ensured").2 += m.score;
+        // Same loop invariant as TermJoin's Fig. 11 stack: one contiguous
+        // ancestor chain, outer frames covering inner ones.
+        tix_invariants::check! {
+            tix_invariants::assert_stack_ancestor_chain(stack.len(), |anc, desc| {
+                // lint:allow(no-slice-index): anc/desc < stack.len() by the try_ contract
+                let ((a, a_end, _), (d, _, _)) = (stack[anc], stack[desc]);
+                a.doc == d.doc && a.node <= d.node && d.node.as_u32() <= a_end
+            });
+        }
+        if let Some(top) = stack.last_mut() {
+            top.2 += m.score;
+        }
     }
     while !stack.is_empty() {
         pop(&mut stack, &mut out);

@@ -68,7 +68,7 @@ impl PickParams {
 #[derive(Debug, Clone, Copy)]
 struct NodeState {
     /// Index of the nearest input-set ancestor, if any.
-    parent: Option<u32>,
+    parent: Option<usize>,
     children: u32,
     relevant_children: u32,
 }
@@ -83,10 +83,14 @@ struct NodeState {
 /// experiment measures for 200 to 55 000 input nodes.
 pub fn pick_stream(store: &Store, scored: &[ScoredNode], params: &PickParams) -> Vec<ScoredNode> {
     let n = scored.len();
-    debug_assert!(
-        scored.windows(2).all(|w| w[0].node < w[1].node),
-        "input must be unique and document-ordered"
-    );
+    // Fig. 12 precondition: the stream is unique and document-ordered.
+    tix_invariants::check! {
+        tix_invariants::assert_stream_sorted_unique(n, |i| {
+            // lint:allow(no-slice-index): i < n by the try_ contract
+            let s = &scored[i];
+            (s.node.doc.0, s.node.node.as_u32())
+        });
+    }
     let mut states: Vec<NodeState> = vec![
         NodeState {
             parent: None,
@@ -95,8 +99,8 @@ pub fn pick_stream(store: &Store, scored: &[ScoredNode], params: &PickParams) ->
         };
         n
     ];
-    // Stack of (input index, end key) — the containment chain.
-    let mut stack: Vec<(u32, NodeRef, u32)> = Vec::new();
+    // Stack of (input index, node, end key) — the containment chain.
+    let mut stack: Vec<(usize, NodeRef, u32)> = Vec::new();
     for (i, s) in scored.iter().enumerate() {
         while let Some(&(_, top, end)) = stack.last() {
             let covers = top.doc == s.node.doc && s.node.node.as_u32() <= end;
@@ -106,25 +110,62 @@ pub fn pick_stream(store: &Store, scored: &[ScoredNode], params: &PickParams) ->
             stack.pop();
         }
         if let Some(&(parent_idx, _, _)) = stack.last() {
-            states[i].parent = Some(parent_idx);
-            states[parent_idx as usize].children += 1;
-            if s.score >= params.relevance_threshold {
-                states[parent_idx as usize].relevant_children += 1;
+            if let Some(state) = states.get_mut(i) {
+                state.parent = Some(parent_idx);
+            }
+            if let Some(parent_state) = states.get_mut(parent_idx) {
+                parent_state.children += 1;
+                if s.score >= params.relevance_threshold {
+                    parent_state.relevant_children += 1;
+                }
             }
         }
-        stack.push((i as u32, s.node, store.end_key(s.node).as_u32()));
+        stack.push((i, s.node, store.end_key(s.node).as_u32()));
+    }
+    // The nearest-ancestor pass leaves parentless nodes exactly when no
+    // other input node covers them, so the input-set roots must form an
+    // antichain of regions (§4.3).
+    tix_invariants::check! {
+        let roots: Vec<(u32, u32, u32)> = scored
+            .iter()
+            .zip(&states)
+            .filter(|(_, st)| st.parent.is_none())
+            .map(|(s, _)| {
+                (
+                    s.node.doc.0,
+                    s.node.node.as_u32(),
+                    store.end_key(s.node).as_u32(),
+                )
+            })
+            .collect();
+        tix_invariants::assert_antichain(roots.len(), |i| {
+            // lint:allow(no-slice-index): i < roots.len() by the try_ contract
+            roots[i]
+        });
     }
     // Top-down resolution (parents precede children in document order).
     let mut picked = vec![false; n];
-    for i in 0..n {
-        let state = states[i];
+    for (i, (s, state)) in scored.iter().zip(&states).enumerate() {
         let worth = if state.children == 0 {
-            scored[i].score >= params.relevance_threshold
+            s.score >= params.relevance_threshold
         } else {
-            (state.relevant_children as f64) / (state.children as f64) > params.fraction
+            f64::from(state.relevant_children) / f64::from(state.children) > params.fraction
         };
-        let parent_picked = state.parent.is_some_and(|p| picked[p as usize]);
-        picked[i] = worth && !parent_picked;
+        let parent_picked = state
+            .parent
+            .is_some_and(|p| picked.get(p).copied().unwrap_or(false));
+        if let Some(slot) = picked.get_mut(i) {
+            *slot = worth && !parent_picked;
+        }
+    }
+    // §4.3 vertical exclusivity on the output, same rule as the algebra
+    // operator in tix-core.
+    tix_invariants::check! {
+        tix_invariants::assert_picked_exclusive(
+            n,
+            |i| picked.get(i).copied().unwrap_or(false),
+            |i| states.get(i).and_then(|st| st.parent),
+        );
     }
     scored
         .iter()

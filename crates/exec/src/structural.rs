@@ -31,7 +31,9 @@ pub fn structural_join_count(
     }
 
     fn pop(stack: &mut Vec<(NodeRef, u32, u32)>, out: &mut Vec<(NodeRef, u32)>) {
-        let (node, _, count) = stack.pop().expect("pop on empty stack");
+        let Some((node, _, count)) = stack.pop() else {
+            return;
+        };
         if let Some(below) = stack.last_mut() {
             below.2 += count;
         }
@@ -44,16 +46,17 @@ pub fn structural_join_count(
         // Decide the next event: the smaller of the two list heads, with
         // ancestors winning ties so that a node present in both lists
         // self-matches.
-        let take_ancestor = match (anc_iter.peek(), descendants.get(d)) {
-            (Some(&a), Some(&dd)) => a <= dd,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
+        let (take_ancestor, event) = match (anc_iter.peek(), descendants.get(d)) {
+            (Some(&a), Some(&dd)) => {
+                if a <= dd {
+                    (true, a)
+                } else {
+                    (false, dd)
+                }
+            }
+            (Some(&a), None) => (true, a),
+            (None, Some(&dd)) => (false, dd),
             (None, None) => break,
-        };
-        let event = if take_ancestor {
-            *anc_iter.peek().expect("peeked")
-        } else {
-            descendants[d]
         };
         // Retire frames whose subtree lies entirely before the event.
         while let Some(top) = stack.last() {
@@ -63,8 +66,8 @@ pub fn structural_join_count(
             pop(&mut stack, &mut out);
         }
         if take_ancestor {
-            let anc = anc_iter.next().expect("peeked");
-            stack.push((anc, store.end_key(anc).as_u32(), 0));
+            anc_iter.next();
+            stack.push((event, store.end_key(event).as_u32(), 0));
         } else {
             // Credit the deepest covering frame; propagation on pop carries
             // the count to every enclosing ancestor.
@@ -178,16 +181,17 @@ pub fn structural_join_pairs(
     let mut anc_iter = ancestors.into_iter().peekable();
     let mut d = 0usize;
     loop {
-        let take_ancestor = match (anc_iter.peek(), descendants.get(d)) {
-            (Some(&a), Some(&dd)) => a <= dd,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
+        let (take_ancestor, event) = match (anc_iter.peek(), descendants.get(d)) {
+            (Some(&a), Some(&dd)) => {
+                if a <= dd {
+                    (true, a)
+                } else {
+                    (false, dd)
+                }
+            }
+            (Some(&a), None) => (true, a),
+            (None, Some(&dd)) => (false, dd),
             (None, None) => break,
-        };
-        let event = if take_ancestor {
-            *anc_iter.peek().expect("peeked")
-        } else {
-            descendants[d]
         };
         while let Some(&(top, end)) = stack.last() {
             let covers =
@@ -198,11 +202,11 @@ pub fn structural_join_pairs(
             stack.pop();
         }
         if take_ancestor {
-            let anc = anc_iter.next().expect("peeked");
-            stack.push((anc, store.end_key(anc).as_u32()));
+            anc_iter.next();
+            stack.push((event, store.end_key(event).as_u32()));
         } else {
             for &(anc, _) in stack.iter().rev() {
-                out.push((anc, descendants[d]));
+                out.push((anc, event));
             }
             d += 1;
         }

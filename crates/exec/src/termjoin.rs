@@ -88,10 +88,11 @@ impl SimpleScorer {
     }
 
     fn weight(&self, term: usize) -> f64 {
-        *self
-            .weights
+        self.weights
             .get(term)
-            .unwrap_or_else(|| self.weights.last().expect("non-empty"))
+            .or(self.weights.last())
+            .copied()
+            .unwrap_or(1.0)
     }
 }
 
@@ -111,7 +112,7 @@ impl TermJoinScorer for SimpleScorer {
         counters
             .iter()
             .enumerate()
-            .map(|(i, &c)| self.weight(i) * c as f64)
+            .map(|(i, &c)| self.weight(i) * f64::from(c))
             .sum()
     }
 }
@@ -161,14 +162,14 @@ impl ComplexScorer {
         hits.sort_unstable_by_key(|h| (h.node, h.offset));
         let mut best: Option<f64> = None;
         for pair in hits.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
+            let &[a, b] = pair else { continue };
             if a.term == b.term {
                 continue;
             }
             let d = if a.node == b.node {
-                (b.offset - a.offset) as f64
+                f64::from(b.offset - a.offset)
             } else {
-                (b.node.as_u32() - a.node.as_u32()) as f64 * self.node_distance_factor
+                f64::from(b.node.as_u32() - a.node.as_u32()) * self.node_distance_factor
             };
             best = Some(best.map_or(d, |x: f64| x.min(d)));
         }
@@ -189,14 +190,17 @@ impl TermJoinScorer for ComplexScorer {
         detail: &[TermHit],
         nonzero_children: u32,
     ) -> f64 {
+        // No hits anywhere in the subtree: the product below is zero no
+        // matter what, so skip the child-count data access. Checking the
+        // integer counters avoids comparing floats for equality.
+        if counters.iter().all(|&c| c == 0) {
+            return 0.0;
+        }
         let base: f64 = counters
             .iter()
             .enumerate()
-            .map(|(i, &c)| self.base.weight(i) * c as f64)
+            .map(|(i, &c)| self.base.weight(i) * f64::from(c))
             .sum();
-        if base == 0.0 {
-            return 0.0;
-        }
         let proximity = match self.min_cross_term_distance(detail) {
             Some(d) => 1.0 + 1.0 / (1.0 + d),
             None => 1.0,
@@ -208,7 +212,7 @@ impl TermJoinScorer for ComplexScorer {
         let ratio = if total_children == 0 {
             1.0
         } else {
-            nonzero_children as f64 / total_children as f64
+            f64::from(nonzero_children) / f64::from(total_children)
         };
         base * proximity * ratio
     }
@@ -285,8 +289,8 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
     /// with its term index.
     fn next_min(&mut self) -> Option<(u16, Posting)> {
         let mut best: Option<(usize, Posting)> = None;
-        for (i, list) in self.lists.iter().enumerate() {
-            if let Some(&p) = list.get(self.cursors[i]) {
+        for (i, (list, &cursor)) in self.lists.iter().zip(&self.cursors).enumerate() {
+            if let Some(&p) = list.get(cursor) {
                 let better = match &best {
                     Some((_, b)) => (p.doc, p.node, p.offset) < (b.doc, b.node, b.offset),
                     None => true,
@@ -297,8 +301,10 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
             }
         }
         let (term, posting) = best?;
-        self.cursors[term] += 1;
-        Some((term as u16, posting))
+        if let Some(cursor) = self.cursors.get_mut(term) {
+            *cursor += 1;
+        }
+        Some((u16::try_from(term).unwrap_or(u16::MAX), posting))
     }
 
     /// True when `frame`'s subtree contains `node` (ancestor-or-self).
@@ -307,8 +313,11 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
     }
 
     /// Pop the top frame, fold it into its parent, and emit its score.
+    /// A no-op on an empty stack (callers only invoke it with frames left).
     fn pop_and_emit(&mut self) {
-        let frame = self.stack.pop().expect("pop on empty stack");
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
         if let Some(parent) = self.stack.last_mut() {
             for (pc, fc) in parent.counters.iter_mut().zip(&frame.counters) {
                 *pc += fc;
@@ -334,10 +343,12 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
     fn absorb(&mut self, term: u16, posting: Posting) {
         let text_node = posting.node_ref();
         debug_assert_eq!(self.store.kind(text_node), NodeKind::Text);
-        let anchor = self
-            .store
-            .parent(text_node)
-            .expect("text node always has an element parent");
+        let Some(anchor) = self.store.parent(text_node) else {
+            // A text node is never a document root; a parentless posting
+            // means the index and store disagree. Drop it rather than panic.
+            debug_assert!(false, "posting for a parentless text node");
+            return;
+        };
         // Pop completed subtrees.
         while let Some(top) = self.stack.last() {
             if Self::covers(top, anchor) {
@@ -369,9 +380,22 @@ impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
                 });
             }
         }
-        let top = self.stack.last_mut().expect("anchor frame just ensured");
+        // Fig. 11's loop invariant: the stack always holds one contiguous
+        // ancestor chain, every frame covering the frames above it.
+        tix_invariants::check! {
+            tix_invariants::assert_stack_ancestor_chain(self.stack.len(), |anc, desc| {
+                // lint:allow(no-slice-index): anc/desc < stack.len() by the try_ contract
+                let (a, d) = (&self.stack[anc], &self.stack[desc]);
+                Self::covers(a, d.node)
+            });
+        }
+        let Some(top) = self.stack.last_mut() else {
+            return;
+        };
         debug_assert_eq!(top.node, anchor);
-        top.counters[term as usize] += 1;
+        if let Some(counter) = top.counters.get_mut(usize::from(term)) {
+            *counter += 1;
+        }
         if self.keep_detail {
             top.detail.push(TermHit {
                 node: posting.node,
@@ -428,13 +452,16 @@ where
         // node until one level below `node`.
         let mut cursor = text_ref;
         while store.level(cursor) > level + 1 {
-            cursor = store.parent(cursor).expect("levels decrease to root");
+            match store.parent(cursor) {
+                Some(parent) => cursor = parent,
+                None => break,
+            }
         }
         if !seen.contains(&cursor.node) {
             seen.push(cursor.node);
         }
     }
-    seen.len() as u32
+    u32::try_from(seen.len()).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]
@@ -617,7 +644,7 @@ impl TermJoinScorer for IdfScorer {
         counters
             .iter()
             .zip(&self.idf)
-            .map(|(&c, &w)| c as f64 * w)
+            .map(|(&c, &w)| f64::from(c) * w)
             .sum()
     }
 }

@@ -14,7 +14,7 @@ struct MinByScore(ScoredNode);
 
 impl PartialEq for MinByScore {
     fn eq(&self, other: &Self) -> bool {
-        self.0.score == other.0.score
+        matches!(self.0.score.total_cmp(&other.0.score), Ordering::Equal)
     }
 }
 impl Eq for MinByScore {}
@@ -25,20 +25,21 @@ impl PartialOrd for MinByScore {
 }
 impl Ord for MinByScore {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; NaN scores sort as smallest so they are
-        // evicted first.
-        other
-            .0
-            .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(Ordering::Equal)
+        // Reverse for a min-heap; `total_cmp` keeps Eq and Ord consistent
+        // and makes NaN the largest value, so reversed it is evicted first.
+        other.0.score.total_cmp(&self.0.score)
     }
 }
 
 /// Keep only nodes scoring strictly above `min` (the paper's value
 /// condition `V`).
 pub fn min_score<I: IntoIterator<Item = ScoredNode>>(input: I, min: f64) -> Vec<ScoredNode> {
-    input.into_iter().filter(|s| s.score > min).collect()
+    let out: Vec<ScoredNode> = input.into_iter().filter(|s| s.score > min).collect();
+    // §4.2: nothing at or below the value threshold survives.
+    tix_invariants::check! {
+        tix_invariants::assert_scores_above(out.iter().map(|s| s.score), min);
+    }
+    out
 }
 
 /// The `k` highest-scoring nodes, in descending score order, computed with
@@ -55,7 +56,11 @@ pub fn top_k<I: IntoIterator<Item = ScoredNode>>(input: I, k: usize) -> Vec<Scor
         }
     }
     let mut out: Vec<ScoredNode> = heap.into_iter().map(|m| m.0).collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
+    // §4.2: the top-k view is emitted in descending score order.
+    tix_invariants::check! {
+        tix_invariants::assert_scores_sorted_desc(out.iter().map(|s| s.score));
+    }
     out
 }
 

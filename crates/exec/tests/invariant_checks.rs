@@ -1,0 +1,139 @@
+//! The invariant layer's debug/release contract, exercised end to end:
+//! deliberately corrupted inputs must make the checkers panic exactly when
+//! checking is compiled in (`debug_assertions` or the `check-invariants`
+//! feature) and cost nothing when it is not.
+//!
+//! Every assertion here is phrased as
+//! `panicked == tix_invariants::ACTIVE`, so this file passes — and means
+//! something different — under `cargo test`, `cargo test --release`, and
+//! `cargo test --release --features check-invariants`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tix_exec::modify::{scored_union, Combine};
+use tix_exec::pick::{pick_stream, PickParams};
+use tix_exec::scored::ScoredNode;
+use tix_store::{DocId, NodeIdx, NodeRef, Store};
+
+fn sn(doc: u32, node: u32, score: f64) -> ScoredNode {
+    ScoredNode::new(NodeRef::new(DocId(doc), NodeIdx(node)), score)
+}
+
+/// Run `f`, swallow any panic, and report whether one happened.
+fn panics(f: impl FnOnce()) -> bool {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+    let result = catch_unwind(AssertUnwindSafe(f)).is_err();
+    std::panic::set_hook(prev);
+    result
+}
+
+#[test]
+fn corrupt_pick_stream_trips_the_checker_iff_active() {
+    let mut store = Store::new();
+    store.load_str("t.xml", "<a><b>x</b><c>y</c></a>").unwrap();
+    // Out of document order: node 3 before node 1.
+    let corrupted = vec![sn(0, 3, 1.0), sn(0, 1, 1.0)];
+    let tripped = panics(|| {
+        let _ = pick_stream(&store, &corrupted, &PickParams::paper());
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+fn corrupt_scored_union_input_trips_the_checker_iff_active() {
+    let sorted = vec![sn(0, 1, 1.0), sn(0, 2, 1.0)];
+    let duplicated = vec![sn(0, 2, 1.0), sn(0, 2, 2.0)];
+    let tripped = panics(|| {
+        let _ = scored_union(&sorted, &duplicated, 1.0, 1.0, Combine::WeightedSum);
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+fn corrupt_posting_list_trips_the_checker_iff_active() {
+    // A posting list whose second entry went backwards — the shape a
+    // corrupted index would hand the merge joins.
+    let postings = [(0u32, 5u32, 0u32), (0, 2, 0)];
+    let tripped = panics(|| {
+        tix_invariants::check! {
+            tix_invariants::assert_postings_sorted(postings.len(), |i| postings[i]);
+        }
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+fn corrupt_region_pair_trips_the_checker_iff_active() {
+    // Two sibling regions that overlap without nesting — laminar
+    // containment (Sec. 2's region algebra) forbids exactly this.
+    let regions = [
+        tix_invariants::Region {
+            end: 3,
+            parent: tix_invariants::NO_PARENT,
+            level: 0,
+        },
+        tix_invariants::Region {
+            end: 4, // escapes its parent's [0, 3] region
+            parent: 0,
+            level: 1,
+        },
+    ];
+    let tripped = panics(|| {
+        tix_invariants::check! {
+            tix_invariants::assert_regions_well_formed(regions.len() as u32, |i| {
+                regions[i as usize]
+            });
+        }
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+fn corrupt_pick_stack_trips_the_checker_iff_active() {
+    // A "stack" whose second frame is not contained in its first — the
+    // ancestor-chain discipline of TermJoin (Fig. 8/9) and Pick (Fig. 12).
+    let frames = [(0u32, 3u32), (5, 9)];
+    let tripped = panics(|| {
+        tix_invariants::check! {
+            tix_invariants::assert_stack_ancestor_chain(frames.len(), |anc, desc| {
+                let (a_start, a_end) = frames[anc];
+                let (d_start, d_end) = frames[desc];
+                a_start <= d_start && d_end <= a_end
+            });
+        }
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+fn sub_threshold_score_trips_the_checker_iff_active() {
+    let tripped = panics(|| {
+        tix_invariants::check! {
+            // §4.2: 0.4 does not clear the 0.5 value condition.
+            tix_invariants::assert_scores_above([1.0, 0.4], 0.5);
+        }
+    });
+    assert_eq!(tripped, tix_invariants::ACTIVE);
+}
+
+#[test]
+// The initializer is dead exactly when the check! body runs — that
+// asymmetry is the behavior under test.
+#[allow(unused_assignments)]
+fn checks_are_compiled_out_in_plain_release() {
+    // `ACTIVE` is the single source of truth the assertions above compare
+    // against; in a plain release build it must be false and the `check!`
+    // bodies must not run at all.
+    let mut ran = false;
+    tix_invariants::check! {
+        ran = true;
+    }
+    let active = tix_invariants::ACTIVE;
+    assert_eq!(ran, active);
+    if !cfg!(debug_assertions) && !cfg!(feature = "check-invariants") {
+        assert!(!active);
+        assert!(!ran);
+    }
+    let _ = &mut ran;
+}

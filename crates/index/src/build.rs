@@ -30,6 +30,7 @@ impl InvertedIndex {
         for doc_id in store.doc_ids() {
             index.index_document(store, doc_id);
         }
+        index.check_postings_sorted();
         index
     }
 
@@ -60,7 +61,24 @@ impl InvertedIndex {
                 }
             }
         }
+        index.check_postings_sorted();
         index
+    }
+
+    /// Debug/check-invariants postcondition: every posting list must be
+    /// strictly increasing on `(doc, node, offset)` (Fig. 8's posting
+    /// order), which is what `count_in_subtree`'s binary searches and the
+    /// merge-based access methods rely on.
+    fn check_postings_sorted(&self) {
+        tix_invariants::check! {
+            for list in &self.lists {
+                let ps = list.postings();
+                tix_invariants::assert_postings_sorted(ps.len(), |i| {
+                    let p = &ps[i];
+                    (p.doc.0, p.node.as_u32(), p.offset)
+                });
+            }
+        }
     }
 
     fn index_document(&mut self, store: &Store, doc_id: DocId) {

@@ -104,8 +104,9 @@ impl InvertedIndex {
         }
         let mut version = [0u8; 1];
         r.read_exact(&mut version)?;
-        if version[0] != VERSION {
-            return Err(IndexSnapshotError::UnsupportedVersion(version[0]));
+        let version = u8::from_le_bytes(version);
+        if version != VERSION {
+            return Err(IndexSnapshotError::UnsupportedVersion(version));
         }
         let mut total = [0u8; 8];
         r.read_exact(&mut total)?;
@@ -114,14 +115,19 @@ impl InvertedIndex {
         let mut index = InvertedIndex::default();
         for _ in 0..term_count {
             let name_len = r_u32(r)? as usize;
-            let mut name = vec![0u8; name_len];
-            r.read_exact(&mut name)?;
+            // Cap speculative pre-allocation: a corrupt length prefix must
+            // not force a huge up-front allocation.
+            let mut name = Vec::with_capacity(name_len.min(1 << 20));
+            let read = r.by_ref().take(name_len as u64).read_to_end(&mut name)?;
+            if read != name_len {
+                return Err(IndexSnapshotError::Corrupt("truncated term"));
+            }
             let name = String::from_utf8(name)
                 .map_err(|_| IndexSnapshotError::Corrupt("non-UTF-8 term"))?;
             let doc_frequency = r_u32(r)?;
             let node_frequency = r_u32(r)?;
             let posting_count = r_u32(r)? as usize;
-            let mut postings = Vec::with_capacity(posting_count);
+            let mut postings = Vec::with_capacity(posting_count.min(1 << 20));
             let mut last: Option<Posting> = None;
             for _ in 0..posting_count {
                 let posting = Posting {

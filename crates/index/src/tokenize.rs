@@ -29,6 +29,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             }
         } else if let Some(s) = start.take() {
             tokens.push(Token {
+                // lint:allow(no-slice-index): s and i are char boundaries from char_indices
                 term: text[s..i].to_lowercase(),
                 byte_offset: s,
             });
@@ -36,6 +37,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
     }
     if let Some(s) = start {
         tokens.push(Token {
+            // lint:allow(no-slice-index): s is a char boundary from char_indices
             term: text[s..].to_lowercase(),
             byte_offset: s,
         });

@@ -1,0 +1,114 @@
+//! Regression tests feeding truncated and garbage bytes to the inverted-
+//! index snapshot loader: corruption must surface as
+//! `Err(IndexSnapshotError)`, never as a panic or an index with broken
+//! posting order.
+
+use tix_index::{IndexSnapshotError, InvertedIndex};
+use tix_store::Store;
+
+fn sample_index() -> InvertedIndex {
+    let mut store = Store::new();
+    store
+        .load_str("a.xml", "<a><p>alpha beta alpha</p><p>gamma beta</p></a>")
+        .unwrap();
+    store.load_str("b.xml", "<a><p>beta alpha</p></a>").unwrap();
+    InvertedIndex::build(&store)
+}
+
+fn snapshot_bytes(index: &InvertedIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    index.save_snapshot(&mut buf).unwrap();
+    buf
+}
+
+/// Walk the snapshot layout and return, for the first term with at least
+/// two postings, the byte offsets of (first name byte, first posting).
+fn first_multi_posting_term(buf: &[u8]) -> (usize, usize) {
+    let u32_at = |pos: usize| u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+    let mut pos = 6 + 1 + 8; // magic + version + total_tokens
+    let term_count = u32_at(pos);
+    pos += 4;
+    for _ in 0..term_count {
+        let name_len = u32_at(pos) as usize;
+        let name_at = pos + 4;
+        pos = name_at + name_len;
+        pos += 4 + 4; // doc_frequency + node_frequency
+        let posting_count = u32_at(pos) as usize;
+        pos += 4;
+        if posting_count >= 2 {
+            return (name_at, pos);
+        }
+        pos += posting_count * 12;
+    }
+    panic!("sample index has no term with two postings");
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    let buf = snapshot_bytes(&sample_index());
+    for cut in 0..buf.len() {
+        assert!(
+            InvertedIndex::load_snapshot(&buf[..cut]).is_err(),
+            "prefix of {cut} bytes loaded successfully"
+        );
+    }
+}
+
+#[test]
+fn out_of_order_postings_rejected() {
+    // Swap the first two posting records of a multi-posting term; the
+    // loader must notice the broken `(doc, node, offset)` order.
+    let mut buf = snapshot_bytes(&sample_index());
+    let (_, postings_at) = first_multi_posting_term(&buf);
+    let (a, b) = (postings_at, postings_at + 12);
+    let first: [u8; 12] = buf[a..a + 12].try_into().unwrap();
+    let second: [u8; 12] = buf[b..b + 12].try_into().unwrap();
+    buf[a..a + 12].copy_from_slice(&second);
+    buf[b..b + 12].copy_from_slice(&first);
+    let err = InvertedIndex::load_snapshot(buf.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, IndexSnapshotError::Corrupt("postings out of order")),
+        "{err}"
+    );
+}
+
+#[test]
+fn duplicate_postings_rejected() {
+    let mut buf = snapshot_bytes(&sample_index());
+    let (_, postings_at) = first_multi_posting_term(&buf);
+    let first: [u8; 12] = buf[postings_at..postings_at + 12].try_into().unwrap();
+    buf[postings_at + 12..postings_at + 24].copy_from_slice(&first);
+    let err = InvertedIndex::load_snapshot(buf.as_slice()).unwrap_err();
+    assert!(matches!(err, IndexSnapshotError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn non_utf8_term_rejected() {
+    let mut buf = snapshot_bytes(&sample_index());
+    let (name_at, _) = first_multi_posting_term(&buf);
+    buf[name_at] = 0xFF; // never valid UTF-8
+    let err = InvertedIndex::load_snapshot(buf.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, IndexSnapshotError::Corrupt("non-UTF-8 term")),
+        "{err}"
+    );
+}
+
+#[test]
+fn byte_flips_never_panic() {
+    let base = snapshot_bytes(&sample_index());
+    for i in 0..base.len() {
+        let mut buf = base.clone();
+        buf[i] ^= 0xFF;
+        let _ = InvertedIndex::load_snapshot(buf.as_slice());
+    }
+}
+
+#[test]
+fn random_garbage_after_header_is_rejected() {
+    let mut buf = snapshot_bytes(&sample_index());
+    for (i, byte) in buf.iter_mut().enumerate().skip(7) {
+        *byte = (i.wrapping_mul(199).wrapping_add(23) % 249) as u8;
+    }
+    assert!(InvertedIndex::load_snapshot(buf.as_slice()).is_err());
+}

@@ -1,0 +1,631 @@
+//! Algorithmic invariant checks for the TIX engine.
+//!
+//! The TIX algebra's correctness rests on structural contracts the type
+//! system cannot express: region encodings must nest laminarly (paper
+//! §4.1), posting lists must stay sorted by `(doc, start)` (§4.2),
+//! TermJoin's and Pick's stacks must hold exactly one ancestor chain at
+//! all times (Fig. 11, Fig. 12), Threshold must only ever filter (§4.2),
+//! and Pick's output must be an antichain under the ancestor/descendant
+//! order (§4.3). This crate encodes each contract as a checkable
+//! predicate and lets the rest of the workspace assert them at operator
+//! boundaries without paying for the checks in optimized builds.
+//!
+//! # Usage
+//!
+//! Every predicate comes in two flavors:
+//!
+//! * `try_*` — returns `Result<(), InvariantError>`; always compiled.
+//!   Loaders use these to turn structural corruption into typed errors
+//!   (`SnapshotError::Corrupt`) on *untrusted* input, in every build.
+//! * `assert_*` — panics with the violation's description. Operators call
+//!   these on *trusted* internal state, wrapped in [`check!`] so the call
+//!   only exists in debug builds or under `--features check-invariants`.
+//!
+//! ```
+//! # struct Posting { doc: u32, node: u32, offset: u32 }
+//! # let postings = [Posting { doc: 0, node: 1, offset: 0 }];
+//! tix_invariants::check! {
+//!     tix_invariants::assert_postings_sorted(postings.len(), |i| {
+//!         let p = &postings[i];
+//!         (p.doc, p.node, p.offset)
+//!     });
+//! }
+//! ```
+//!
+//! The predicates take closures rather than concrete types so this crate
+//! depends on nothing and every layer (store, index, exec, core) can call
+//! it without dependency cycles.
+
+/// True when invariant checks are compiled into **this** crate. Consumers
+/// gate their call sites with [`check!`], whose `cfg` is evaluated in the
+/// consuming crate; this constant exists so tests can assert that both
+/// evaluate the same way for a given profile.
+pub const ACTIVE: bool = cfg!(any(debug_assertions, feature = "check-invariants"));
+
+/// Run a block only when invariant checking is compiled in (debug builds,
+/// or any build with the `check-invariants` feature).
+///
+/// The `cfg` is expanded in the *calling* crate, so each caller must
+/// declare its own `check-invariants` feature (forwarding to its
+/// dependencies' features); all TIX workspace crates do.
+#[macro_export]
+macro_rules! check {
+    ($($body:tt)*) => {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        {
+            $($body)*
+        }
+    };
+}
+
+/// A violated invariant: which contract, and what the offending state was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantError {
+    /// The contract's name (e.g. `"postings-sorted"`).
+    pub invariant: &'static str,
+    /// Human-readable description of the violation site.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+fn violation(invariant: &'static str, detail: String) -> Result<(), InvariantError> {
+    Err(InvariantError { invariant, detail })
+}
+
+/// Sentinel parent value for a document root, mirroring the store's
+/// `NO_PARENT`.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One node's region-encoding record, as seen by
+/// [`try_regions_well_formed`]. The node's preorder index is its region
+/// start; `end` is the largest preorder index in its subtree.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Region end key (inclusive): last preorder index in the subtree.
+    pub end: u32,
+    /// Parent's preorder index, or [`NO_PARENT`] for the root.
+    pub parent: u32,
+    /// Depth; the root is level 0.
+    pub level: u32,
+}
+
+/// Region well-formedness (§4.1): for a document of `len` nodes in
+/// preorder, node `i`'s region is `[i, end(i)]` and the encoding must
+/// satisfy, for every node:
+///
+/// * `i <= end(i) < len` — a region contains its own start and stays in
+///   bounds;
+/// * the root (and only node 0) has [`NO_PARENT`] and level 0;
+/// * `parent(i) < i` — parents precede children in preorder;
+/// * `level(i) == level(parent(i)) + 1`;
+/// * `end(i) <= end(parent(i))` — regions nest **laminarly**: a child's
+///   region never escapes its parent's.
+pub fn try_regions_well_formed(
+    len: u32,
+    get: impl Fn(u32) -> Region,
+) -> Result<(), InvariantError> {
+    const NAME: &str = "regions-well-formed";
+    for i in 0..len {
+        let r = get(i);
+        if r.end < i || r.end >= len {
+            return violation(NAME, format!("node {i}: end {} out of [{i}, {len})", r.end));
+        }
+        if r.parent == NO_PARENT {
+            if i != 0 {
+                return violation(NAME, format!("node {i}: NO_PARENT on a non-root node"));
+            }
+            if r.level != 0 {
+                return violation(NAME, format!("root has level {} (want 0)", r.level));
+            }
+            continue;
+        }
+        if i == 0 {
+            return violation(NAME, format!("root node has parent {}", r.parent));
+        }
+        if r.parent >= i {
+            return violation(NAME, format!("node {i}: parent {} not before it", r.parent));
+        }
+        let p = get(r.parent);
+        if r.level != p.level.saturating_add(1) {
+            return violation(
+                NAME,
+                format!(
+                    "node {i}: level {} but parent {} has level {}",
+                    r.level, r.parent, p.level
+                ),
+            );
+        }
+        if r.end > p.end {
+            return violation(
+                NAME,
+                format!(
+                    "node {i}: region [{i}, {}] escapes parent {}'s region [{}, {}]",
+                    r.end, r.parent, r.parent, p.end
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_regions_well_formed`]; wrap calls in [`check!`].
+pub fn assert_regions_well_formed(len: u32, get: impl Fn(u32) -> Region) {
+    if let Err(e) = try_regions_well_formed(len, &get) {
+        panic!("{e}");
+    }
+}
+
+/// Posting-list sort order (§4.2): `(doc, node, offset)` must be strictly
+/// increasing — document-ordered, no duplicates. `get(i)` returns the
+/// `i`-th posting's key.
+pub fn try_postings_sorted(
+    len: usize,
+    get: impl Fn(usize) -> (u32, u32, u32),
+) -> Result<(), InvariantError> {
+    for i in 1..len {
+        let prev = get(i - 1);
+        let cur = get(i);
+        if prev >= cur {
+            return violation(
+                "postings-sorted",
+                format!("posting {i}: {cur:?} not after {prev:?}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_postings_sorted`]; wrap calls in [`check!`].
+pub fn assert_postings_sorted(len: usize, get: impl Fn(usize) -> (u32, u32, u32)) {
+    if let Err(e) = try_postings_sorted(len, &get) {
+        panic!("{e}");
+    }
+}
+
+/// Scored-stream order: `(doc, node)` strictly increasing — the
+/// precondition of every stream-merging operator (Pick, Meet, union).
+pub fn try_stream_sorted_unique(
+    len: usize,
+    get: impl Fn(usize) -> (u32, u32),
+) -> Result<(), InvariantError> {
+    for i in 1..len {
+        let prev = get(i - 1);
+        let cur = get(i);
+        if prev >= cur {
+            return violation(
+                "stream-sorted-unique",
+                format!("item {i}: {cur:?} not after {prev:?}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_stream_sorted_unique`]; wrap calls in [`check!`].
+pub fn assert_stream_sorted_unique(len: usize, get: impl Fn(usize) -> (u32, u32)) {
+    if let Err(e) = try_stream_sorted_unique(len, &get) {
+        panic!("{e}");
+    }
+}
+
+/// Stack discipline (Fig. 11 TermJoin, Fig. 12 Pick): a merge stack must
+/// always hold a single ancestor chain — each entry strictly contains the
+/// entry above it. `covers(i, j)` reports whether stack slot `i`'s region
+/// contains slot `j`'s (slot 0 is the bottom).
+pub fn try_stack_ancestor_chain(
+    depth: usize,
+    covers: impl Fn(usize, usize) -> bool,
+) -> Result<(), InvariantError> {
+    for i in 1..depth {
+        if !covers(i - 1, i) {
+            return violation(
+                "stack-ancestor-chain",
+                format!("stack slot {} does not contain slot {i}", i - 1),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_stack_ancestor_chain`]; wrap calls in [`check!`].
+pub fn assert_stack_ancestor_chain(depth: usize, covers: impl Fn(usize, usize) -> bool) {
+    if let Err(e) = try_stack_ancestor_chain(depth, &covers) {
+        panic!("{e}");
+    }
+}
+
+/// Pick-output antichain (§4.3): no result may be an ancestor of another.
+/// `get(i)` returns `(doc, start, end)` region keys; the sequence must be
+/// sorted by `(doc, start)` (which Pick's streaming output guarantees), so
+/// containment reduces to "a later start falls inside an earlier
+/// still-open region".
+pub fn try_antichain(
+    len: usize,
+    get: impl Fn(usize) -> (u32, u32, u32),
+) -> Result<(), InvariantError> {
+    const NAME: &str = "pick-antichain";
+    let mut cur_doc = 0u32;
+    let mut max_end = 0u32;
+    let mut prev_start = 0u32;
+    for i in 0..len {
+        let (doc, start, end) = get(i);
+        if i > 0 && (doc, start) <= (cur_doc, prev_start) {
+            return violation(
+                NAME,
+                format!("item {i}: ({doc}, {start}) not after ({cur_doc}, {prev_start})"),
+            );
+        }
+        if i == 0 || doc != cur_doc {
+            cur_doc = doc;
+            max_end = end;
+        } else {
+            if start <= max_end {
+                return violation(
+                    NAME,
+                    format!("item {i} (doc {doc}, [{start}, {end}]) is inside an earlier result"),
+                );
+            }
+            max_end = max_end.max(end);
+        }
+        prev_start = start;
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_antichain`]; wrap calls in [`check!`].
+pub fn assert_antichain(len: usize, get: impl Fn(usize) -> (u32, u32, u32)) {
+    if let Err(e) = try_antichain(len, &get) {
+        panic!("{e}");
+    }
+}
+
+/// Threshold monotonicity (§4.2): a `MinScore` threshold only filters —
+/// every retained score must exceed `min`.
+pub fn try_scores_above(
+    scores: impl IntoIterator<Item = f64>,
+    min: f64,
+) -> Result<(), InvariantError> {
+    for (i, s) in scores.into_iter().enumerate() {
+        // NaN is never "above" anything — it is a violation too.
+        if s.is_nan() || s <= min {
+            return violation(
+                "threshold-min-score",
+                format!("retained item {i} has score {s} <= threshold {min}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_scores_above`]; wrap calls in [`check!`].
+pub fn assert_scores_above(scores: impl IntoIterator<Item = f64>, min: f64) {
+    if let Err(e) = try_scores_above(scores, min) {
+        panic!("{e}");
+    }
+}
+
+/// Top-k output order (§4.2): scores non-increasing, NaN-free.
+pub fn try_scores_sorted_desc(scores: impl IntoIterator<Item = f64>) -> Result<(), InvariantError> {
+    const NAME: &str = "topk-sorted-desc";
+    let mut prev: Option<f64> = None;
+    for (i, s) in scores.into_iter().enumerate() {
+        if s.is_nan() {
+            return violation(NAME, format!("item {i} has a NaN score"));
+        }
+        if let Some(p) = prev {
+            if s > p {
+                return violation(NAME, format!("item {i}: score {s} > predecessor {p}"));
+            }
+        }
+        prev = Some(s);
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_scores_sorted_desc`]; wrap calls in [`check!`].
+pub fn assert_scores_sorted_desc(scores: impl IntoIterator<Item = f64>) {
+    if let Err(e) = try_scores_sorted_desc(scores) {
+        panic!("{e}");
+    }
+}
+
+/// Pick vertical exclusivity (Sec. 3.3.2 / Fig. 12): no picked node may
+/// have a picked **direct parent** — the parent/child redundancy-
+/// elimination rule. Picking a node together with a deeper descendant is
+/// legitimate when the intermediate node is unpicked: in the paper's Fig. 8
+/// both the chapter and a section-title beneath an unpicked section are
+/// returned. `picked(i)` and `parent(i)` describe the candidate forest in
+/// any indexing scheme the caller likes.
+pub fn try_picked_exclusive(
+    len: usize,
+    picked: impl Fn(usize) -> bool,
+    parent: impl Fn(usize) -> Option<usize>,
+) -> Result<(), InvariantError> {
+    for i in 0..len {
+        if !picked(i) {
+            continue;
+        }
+        if let Some(p) = parent(i) {
+            if picked(p) {
+                return violation(
+                    "pick-vertical-exclusive",
+                    format!("picked node {i} has picked parent {p}"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_picked_exclusive`]; wrap calls in [`check!`].
+pub fn assert_picked_exclusive(
+    len: usize,
+    picked: impl Fn(usize) -> bool,
+    parent: impl Fn(usize) -> Option<usize>,
+) {
+    if let Err(e) = try_picked_exclusive(len, &picked, &parent) {
+        panic!("{e}");
+    }
+}
+
+/// Horizontal (sibling) redundancy elimination (Sec. 3.3.2): among the
+/// items a horizontal Pick keeps, no two distinct items may be same-class
+/// siblings — the paper's "returning only the first author of the relevant
+/// article" rule leaves at most one representative per (parent, class)
+/// group. `kept(i)` says whether item `i` survived; `same_class_siblings`
+/// says whether two items share both a parent and a class.
+pub fn try_horizontal_dedup(
+    len: usize,
+    kept: impl Fn(usize) -> bool,
+    same_class_siblings: impl Fn(usize, usize) -> bool,
+) -> Result<(), InvariantError> {
+    for i in 0..len {
+        if !kept(i) {
+            continue;
+        }
+        for j in (i + 1)..len {
+            if kept(j) && same_class_siblings(i, j) {
+                return violation(
+                    "pick-horizontal-dedup",
+                    format!("kept items {i} and {j} are same-class siblings"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_horizontal_dedup`]; wrap calls in [`check!`].
+pub fn assert_horizontal_dedup(
+    len: usize,
+    kept: impl Fn(usize) -> bool,
+    same_class_siblings: impl Fn(usize, usize) -> bool,
+) {
+    if let Err(e) = try_horizontal_dedup(len, &kept, &same_class_siblings) {
+        panic!("{e}");
+    }
+}
+
+/// Chunk-partition correctness (the parallel layer's contract): ranges
+/// must tile `0..len` contiguously, in order, with no empty range (unless
+/// `len == 0`, when there must be no ranges at all).
+pub fn try_partition(len: usize, ranges: &[std::ops::Range<usize>]) -> Result<(), InvariantError> {
+    const NAME: &str = "chunk-partition";
+    if len == 0 {
+        return if ranges.is_empty() {
+            Ok(())
+        } else {
+            violation(
+                NAME,
+                format!("{} ranges cover an empty domain", ranges.len()),
+            )
+        };
+    }
+    let mut expected = 0usize;
+    for (i, r) in ranges.iter().enumerate() {
+        if r.start != expected {
+            return violation(
+                NAME,
+                format!("range {i} starts at {} (want {expected})", r.start),
+            );
+        }
+        if r.end <= r.start {
+            return violation(NAME, format!("range {i} ({r:?}) is empty or reversed"));
+        }
+        expected = r.end;
+    }
+    if expected != len {
+        return violation(NAME, format!("ranges cover 0..{expected}, want 0..{len}"));
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_partition`]; wrap calls in [`check!`].
+pub fn assert_partition(len: usize, ranges: &[std::ops::Range<usize>]) {
+    if let Err(e) = try_partition(len, ranges) {
+        panic!("{e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(v: &[(u32, u32, u32)]) -> impl Fn(u32) -> Region + '_ {
+        |i| {
+            let (end, parent, level) = v[i as usize];
+            Region { end, parent, level }
+        }
+    }
+
+    #[test]
+    fn well_formed_regions_pass() {
+        // <a><b><c/></b><d/></a>: a=[0,3] b=[1,2] c=[2,2] d=[3,3]
+        let v = [(3, NO_PARENT, 0), (2, 0, 1), (2, 1, 2), (3, 0, 1)];
+        assert!(try_regions_well_formed(4, regions(&v)).is_ok());
+        assert!(try_regions_well_formed(0, regions(&[])).is_ok());
+    }
+
+    #[test]
+    fn region_violations_caught() {
+        // end before start
+        let v = [(0, NO_PARENT, 0), (0, 0, 1)];
+        let bad = [(1, NO_PARENT, 0), (0, 0, 1)];
+        assert!(try_regions_well_formed(2, regions(&v)).is_err()); // root end 0 < node 1
+        assert!(try_regions_well_formed(2, regions(&bad)).is_err()); // child end 0 < 1
+                                                                     // child escapes parent
+        let escape = [(2, NO_PARENT, 0), (2, 0, 1), (2, 1, 2), (3, 0, 1)];
+        assert!(try_regions_well_formed(3, regions(&escape)).is_ok());
+        let esc2 = [(1, NO_PARENT, 0), (2, 0, 1), (2, 1, 2)];
+        let err = try_regions_well_formed(3, regions(&esc2)).unwrap_err();
+        assert_eq!(err.invariant, "regions-well-formed");
+        // wrong level
+        let lvl = [(1, NO_PARENT, 0), (1, 0, 2)];
+        assert!(try_regions_well_formed(2, regions(&lvl)).is_err());
+        // non-root without parent
+        let orphan = [(1, NO_PARENT, 0), (1, NO_PARENT, 0)];
+        assert!(try_regions_well_formed(2, regions(&orphan)).is_err());
+    }
+
+    #[test]
+    fn postings_order() {
+        let good = [(0, 1, 0), (0, 1, 1), (1, 0, 0)];
+        assert!(try_postings_sorted(good.len(), |i| good[i]).is_ok());
+        let dup = [(0, 1, 0), (0, 1, 0)];
+        assert!(try_postings_sorted(dup.len(), |i| dup[i]).is_err());
+        let back = [(1, 0, 0), (0, 1, 1)];
+        let err = try_postings_sorted(back.len(), |i| back[i]).unwrap_err();
+        assert_eq!(err.invariant, "postings-sorted");
+    }
+
+    #[test]
+    fn stream_order() {
+        let good = [(0, 1), (0, 5), (2, 0)];
+        assert!(try_stream_sorted_unique(good.len(), |i| good[i]).is_ok());
+        let dup = [(0, 5), (0, 5)];
+        assert!(try_stream_sorted_unique(dup.len(), |i| dup[i]).is_err());
+    }
+
+    #[test]
+    fn stack_chain() {
+        // Entries as regions; entry i must contain entry i+1.
+        let chain = [(0u32, 10u32), (1, 8), (2, 5)];
+        let covers = |a: usize, b: usize| chain[a].0 < chain[b].0 && chain[b].1 <= chain[a].1;
+        assert!(try_stack_ancestor_chain(3, covers).is_ok());
+        let broken = [(0u32, 10u32), (1, 3), (4, 8)];
+        let covers = |a: usize, b: usize| broken[a].0 < broken[b].0 && broken[b].1 <= broken[a].1;
+        assert!(try_stack_ancestor_chain(3, covers).is_err());
+    }
+
+    #[test]
+    fn antichain() {
+        let good = [(0, 1, 3), (0, 4, 9), (1, 0, 5)];
+        assert!(try_antichain(good.len(), |i| good[i]).is_ok());
+        // Second item nested in the first.
+        let nested = [(0, 1, 9), (0, 4, 5)];
+        let err = try_antichain(nested.len(), |i| nested[i]).unwrap_err();
+        assert_eq!(err.invariant, "pick-antichain");
+        // Same node twice (unsorted/duplicate input is also rejected).
+        let dup = [(0, 4, 5), (0, 4, 5)];
+        assert!(try_antichain(dup.len(), |i| dup[i]).is_err());
+        // Nesting across documents is fine (regions are per-document).
+        let cross = [(0, 1, 9), (1, 4, 5)];
+        assert!(try_antichain(cross.len(), |i| cross[i]).is_ok());
+    }
+
+    #[test]
+    fn threshold_scores() {
+        assert!(try_scores_above([1.0, 0.6], 0.5).is_ok());
+        assert!(try_scores_above([1.0, 0.5], 0.5).is_err());
+        assert!(try_scores_above([f64::NAN], 0.5).is_err());
+        assert!(try_scores_above([], 0.5).is_ok());
+    }
+
+    #[test]
+    fn topk_order() {
+        assert!(try_scores_sorted_desc([3.0, 2.0, 2.0, 0.5]).is_ok());
+        assert!(try_scores_sorted_desc([1.0, 2.0]).is_err());
+        assert!(try_scores_sorted_desc([1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn pick_exclusivity() {
+        // 0 -> 1 -> 2 chain (parent(i) = i - 1).
+        let parent = |i: usize| if i == 0 { None } else { Some(i - 1) };
+        assert!(try_picked_exclusive(3, |i| i == 2, parent).is_ok());
+        // Grandparent + grandchild is fine when the middle node is unpicked
+        // (paper Fig. 8: a chapter plus a title under an unpicked section).
+        assert!(try_picked_exclusive(3, |i| i == 0 || i == 2, parent).is_ok());
+        let err = try_picked_exclusive(3, |i| i == 1 || i == 2, parent).unwrap_err();
+        assert_eq!(err.invariant, "pick-vertical-exclusive");
+    }
+
+    #[test]
+    fn horizontal_dedup() {
+        // Items 0..3 under one parent; 0 and 2 share a class, 1 differs.
+        let same = |i: usize, j: usize| (i, j) == (0, 2) || (i, j) == (2, 0);
+        assert!(try_horizontal_dedup(3, |i| i == 0 || i == 1, same).is_ok());
+        let err = try_horizontal_dedup(3, |_| true, same).unwrap_err();
+        assert_eq!(err.invariant, "pick-horizontal-dedup");
+        // Dropping one member of the clashing pair restores the invariant.
+        assert!(try_horizontal_dedup(3, |i| i != 2, same).is_ok());
+    }
+
+    #[test]
+    fn partitions() {
+        assert!(try_partition(10, &[0..4, 4..7, 7..10]).is_ok());
+        assert!(try_partition(0, &[]).is_ok());
+        assert!(try_partition(10, &[0..4, 5..10]).is_err()); // gap
+        assert!(try_partition(10, &[0..4, 4..4, 4..10]).is_err()); // empty
+        assert!(try_partition(10, &[0..4, 4..9]).is_err()); // short
+        assert!(try_partition(0, std::slice::from_ref(&(0..0))).is_err());
+    }
+
+    #[test]
+    // The initializer is dead exactly when the check! body runs — that
+    // asymmetry is the behavior under test.
+    #[allow(unused_assignments)]
+    fn check_macro_gates_on_cfg() {
+        let mut ran = false;
+        check! {
+            ran = true;
+        }
+        // In this crate the macro's cfg and ACTIVE agree by construction;
+        // debug test builds run the body, release builds without the
+        // feature skip it entirely.
+        assert_eq!(ran, ACTIVE);
+        let _ = &mut ran;
+    }
+
+    #[test]
+    fn assert_forms_panic_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            assert_postings_sorted(2, |_| (0, 0, 0));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("postings-sorted"), "{msg}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = InvariantError {
+            invariant: "postings-sorted",
+            detail: "posting 3 out of order".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invariant `postings-sorted` violated: posting 3 out of order"
+        );
+    }
+}

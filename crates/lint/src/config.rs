@@ -1,0 +1,95 @@
+//! Which rules apply where, and the standing allowlist.
+//!
+//! Scopes are expressed as crate directory names under `crates/`. The
+//! allowlist entries are deliberate, reviewed exceptions — every entry
+//! carries the reason it is sound, and the reason is printed when
+//! `--list-allows` is passed so exceptions stay visible.
+
+/// Crates whose library code must be panic-free (`no-unwrap`).
+/// `cli` is included: the CLI must report errors, not abort.
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "core", "exec", "index", "store", "xml", "query", "parallel", "cli",
+];
+
+/// Crates whose library code is checked for unchecked slice indexing.
+pub const INDEX_CHECKED_CRATES: &[&str] =
+    &["core", "exec", "index", "store", "xml", "query", "parallel"];
+
+/// Crates checked for direct float equality on scores.
+pub const FLOAT_EQ_CRATES: &[&str] =
+    &["core", "exec", "index", "store", "xml", "query", "parallel"];
+
+/// Crates whose public items require doc comments.
+pub const DOC_CRATES: &[&str] = &["core", "exec"];
+
+/// The only crate allowed to spawn threads.
+pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel"];
+
+/// Scoring-path files: no `as` numeric casts here — conversions must be
+/// `From`/`TryFrom` or a helper with a justified inline allow. These are
+/// the files where a silently wrapping cast would corrupt a relevance
+/// score rather than crash.
+pub const SCORING_PATHS: &[&str] = &[
+    "crates/core/src/scoring.rs",
+    "crates/core/src/histogram.rs",
+    "crates/core/src/ops/pick.rs",
+    "crates/core/src/ops/threshold.rs",
+    "crates/exec/src/termjoin.rs",
+    "crates/exec/src/phrase.rs",
+    "crates/exec/src/pick.rs",
+    "crates/exec/src/topk.rs",
+    "crates/exec/src/modify.rs",
+];
+
+/// A standing per-rule, per-file exception with its justification.
+pub struct Allow {
+    pub rule: &'static str,
+    pub path_suffix: &'static str,
+    pub reason: &'static str,
+}
+
+/// Reviewed exceptions. Prefer an inline `// lint:allow(rule): reason`
+/// for single sites; use a file-level entry only when a whole file's
+/// pattern is justified by construction.
+pub const ALLOWS: &[Allow] = &[
+    Allow {
+        rule: "no-slice-index",
+        path_suffix: "crates/index/src/build.rs",
+        reason: "term ids are dense indices handed out by intern(); lists.len() == term_names.len() by construction",
+    },
+    Allow {
+        rule: "no-slice-index",
+        path_suffix: "crates/xml/src/reader.rs",
+        reason: "byte-offset cursor is bounds-checked by the is_eof/peek protocol before every access",
+    },
+    Allow {
+        rule: "no-slice-index",
+        path_suffix: "crates/xml/src/error.rs",
+        reason: "line/column resolution clamps offsets to the source length before slicing",
+    },
+    Allow {
+        rule: "no-slice-index",
+        path_suffix: "crates/query/src/lexer.rs",
+        reason: "ASCII byte-scanner; every index is guarded by an i/j < bytes.len() loop bound and slices sit on ASCII boundaries",
+    },
+];
+
+/// True if `rel` (workspace-relative path) belongs to `krate`'s sources.
+pub fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name)
+}
+
+/// True if the file is test-only by location (integration tests, benches,
+/// examples) rather than by `#[cfg(test)]` span.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/") || rel.contains("/benches/") || rel.contains("/examples/")
+}
+
+/// Standing allow for (rule, file)?
+pub fn allowed(rule: &str, rel: &str) -> Option<&'static Allow> {
+    ALLOWS
+        .iter()
+        .find(|a| a.rule == rule && rel.ends_with(a.path_suffix))
+}

@@ -1,0 +1,418 @@
+//! A lightweight Rust lexer, sufficient for line-accurate lint rules.
+//!
+//! This is deliberately not a full parser: the rules in this crate only
+//! need a token stream that correctly skips comments, strings (including
+//! raw strings), and character literals, distinguishes lifetimes from char
+//! literals, and knows which lines carry comments. Anything structural
+//! (attribute spans, `#[cfg(test)]` modules) is recovered by small
+//! post-passes over the token stream in `rules.rs`.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `pub`, `as`, names, ...).
+    Ident,
+    /// Numeric literal; `is_float` is recorded in [`Token::is_float`].
+    Number,
+    /// String or byte-string literal (raw or not).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Outer doc comment (`///` or `/** ... */`).
+    DocComment,
+    /// Punctuation; multi-char operators `==`, `!=`, `::`, `->`, `=>`,
+    /// `..` are kept as single tokens.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub is_float: bool,
+}
+
+/// A non-doc comment and the line it starts on, kept out of the token
+/// stream but available for rules that read comments (`// SAFETY:`,
+/// `// lint:allow(...)`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Invalid input never panics; the
+/// lexer skips what it cannot classify.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let push = |out: &mut Lexed, kind: TokenKind, text: String, line: u32, is_float: bool| {
+        out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            is_float,
+        });
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            // `///` and `/**`-style outer docs become tokens so the
+            // pub-doc rule can see them adjacent to items; `//!` inner
+            // docs and plain comments go to the comment list.
+            if text.starts_with("///") && !text.starts_with("////") {
+                push(&mut out, TokenKind::DocComment, text, start_line, false);
+            } else {
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+            }
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text: String = chars[i..j].iter().collect();
+            if text.starts_with("/**") && !text.starts_with("/***") {
+                push(&mut out, TokenKind::DocComment, text, start_line, false);
+            } else {
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+            }
+            i = j;
+            continue;
+        }
+        // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            if let Some(j) = raw_or_byte_string_end(&chars, i) {
+                let start_line = line;
+                line += chars[i..j].iter().filter(|&&ch| ch == '\n').count() as u32;
+                push(&mut out, TokenKind::Str, String::new(), start_line, false);
+                i = j;
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            push(&mut out, TokenKind::Str, String::new(), start_line, false);
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                push(&mut out, TokenKind::Char, String::new(), line, false);
+                i = (j + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                push(&mut out, TokenKind::Char, String::new(), line, false);
+                i += 3;
+                continue;
+            }
+            // Lifetime or loop label.
+            let mut j = i + 1;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            push(
+                &mut out,
+                TokenKind::Lifetime,
+                chars[i..j].iter().collect(),
+                line,
+                false,
+            );
+            i = j.max(i + 1);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            while j < n {
+                let d = chars[j];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    if (d == 'e' || d == 'E')
+                        && j + 1 < n
+                        && (chars[j + 1] == '+' || chars[j + 1] == '-')
+                        && is_float
+                    {
+                        j += 2;
+                        continue;
+                    }
+                    j += 1;
+                } else if d == '.' {
+                    // `1..x` is a range, `1.0` is a float, `1.foo()` is rare
+                    // but real (`1.to_string()`): only consume the dot when
+                    // a digit follows.
+                    if j + 1 < n && chars[j + 1].is_ascii_digit() {
+                        is_float = true;
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            push(
+                &mut out,
+                TokenKind::Number,
+                chars[i..j].iter().collect(),
+                line,
+                is_float,
+            );
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            push(
+                &mut out,
+                TokenKind::Ident,
+                chars[i..j].iter().collect(),
+                line,
+                false,
+            );
+            i = j;
+            continue;
+        }
+        // Multi-char operators the rules care about.
+        let two: Option<&str> = if i + 1 < n {
+            match (c, chars[i + 1]) {
+                ('=', '=') => Some("=="),
+                ('!', '=') => Some("!="),
+                (':', ':') => Some("::"),
+                ('-', '>') => Some("->"),
+                ('=', '>') => Some("=>"),
+                ('.', '.') => Some(".."),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(op) = two {
+            push(&mut out, TokenKind::Punct, op.to_string(), line, false);
+            i += 2;
+            continue;
+        }
+        push(&mut out, TokenKind::Punct, c.to_string(), line, false);
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a raw or byte string literal, return the index
+/// one past its closing quote; otherwise `None`.
+fn raw_or_byte_string_end(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == 'r' {
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || chars[j] != '"' {
+        return None;
+    }
+    // A plain `b"..."` (hashes == 0, no `r`) is a byte string; it still
+    // supports escapes, while raw strings do not.
+    let raw = chars[i] == 'r' || (chars[i] == 'b' && i + 1 < n && chars[i + 1] == 'r');
+    j += 1;
+    while j < n {
+        if !raw && chars[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && chars[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("// hello\nfn main() {} /* block */");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(idents("// x.unwrap()\nlet y = 1;"), ["let", "y"]);
+    }
+
+    #[test]
+    fn doc_comments_are_tokens() {
+        let l = lex("/// docs\npub fn f() {}");
+        assert_eq!(l.tokens[0].kind, TokenKind::DocComment);
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let l = lex(r#"let s = "a.unwrap()";"#);
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        assert!(idents(r##"let s = r#"x.unwrap()"#; let t = 1;"##).contains(&"t".to_string()));
+        assert!(l.tokens.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        let l = lex("let a = 1.5; let b = 0..10; let c = 3;");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .collect();
+        assert!(nums[0].is_float);
+        assert!(!nums[1].is_float); // 0 in 0..10
+        assert!(!nums[2].is_float); // 10
+        assert!(!nums[3].is_float); // 3
+    }
+
+    #[test]
+    fn multichar_ops() {
+        let l = lex("a == b != c::d");
+        let ops: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

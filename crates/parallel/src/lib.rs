@@ -64,11 +64,13 @@ where
         for _ in 0..workers {
             handles.push(scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                let Some(slot) = slots.get(i) else { break };
+                // A poisoned slot only means another worker panicked while
+                // storing; that panic is resumed after join, so recovering
+                // the lock here is sound.
+                *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             }));
         }
         for handle in handles {
@@ -81,7 +83,10 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|p| p.into_inner())
+                // A worker that failed to fill its slot panicked, and that
+                // panic was resumed above, so every slot holds a result here.
+                // lint:allow(no-unwrap): see above
                 .expect("every item was processed")
         })
         .collect()
@@ -102,6 +107,9 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
         let size = base + usize::from(i < extra);
         ranges.push(start..start + size);
         start += size;
+    }
+    tix_invariants::check! {
+        tix_invariants::assert_partition(len, &ranges);
     }
     ranges
 }

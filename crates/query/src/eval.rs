@@ -155,11 +155,15 @@ fn compile_for(
     }
     let var_node = current
         .ok_or_else(|| QueryError::Unsupported("a For path needs at least one step".to_string()))?;
+    // `root_node` is set alongside the first step that sets `current`, so
+    // it is Some whenever `current` is — but report, don't assert.
+    let root_node = root_node
+        .ok_or_else(|| QueryError::Unsupported("a For path needs at least one step".to_string()))?;
     pattern.strengthen(&compiled_attr_constraints);
     Ok(CompiledFor {
         pattern,
         var_node,
-        root_node: root_node.expect("set with the first step"),
+        root_node,
         input,
     })
 }
@@ -176,7 +180,11 @@ fn attach_score_foo(compiled: &mut CompiledFor, primary: &[String], secondary: &
 }
 
 fn eval_single(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError> {
-    let clause = &query.fors[0];
+    let Some(clause) = query.fors.first() else {
+        return Err(QueryError::Unsupported(
+            "eval_single requires a For clause".to_string(),
+        ));
+    };
     let mut compiled = compile_for(store, clause, 1)?;
     for score in &query.scores {
         match score {
@@ -238,7 +246,11 @@ fn eval_single(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryErr
 }
 
 fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError> {
-    let (left_for, right_for) = (&query.fors[0], &query.fors[1]);
+    let [left_for, right_for] = query.fors.as_slice() else {
+        return Err(QueryError::Unsupported(
+            "eval_join requires exactly two For clauses".to_string(),
+        ));
+    };
     let mut left = compile_for(store, left_for, 1)?;
     // Disjoint id space for the right side.
     let mut right = compile_for(store, right_for, 100)?;
@@ -323,8 +335,10 @@ fn eval_join(store: &Store, query: &Query) -> Result<Vec<ResultItem>, QueryError
                 "ScoreBar's first argument ${join} must be the ScoreSim output ${sim_out}"
             )));
         }
+        // lint:allow(no-float-eq): String comparison of variable names
         let scored_node = if scored == &left_for.var {
             left.var_node
+        // lint:allow(no-float-eq): String comparison of variable names
         } else if scored == &right_for.var {
             right.var_node
         } else {
@@ -371,6 +385,7 @@ fn finalize(query: &Query, score_var: &str, items: &mut Vec<ResultItem>) -> Resu
     {
         // A threshold on the join-score variable was already applied inside
         // the join; only apply here when it names the result variable.
+        // lint:allow(no-float-eq): String comparison of variable names
         if var == score_var || Some(var.as_str()) == query.return_var() {
             items.retain(|item| item.score.is_some_and(|s| s > *min_score));
             if let Some(k) = stop_after {

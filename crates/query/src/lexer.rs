@@ -78,7 +78,7 @@ impl Lexer {
                 '$' => {
                     let start = i + 1;
                     let mut j = start;
-                    while j < bytes.len() && (bytes[j] as char).is_alphanumeric() {
+                    while j < bytes.len() && bytes[j].is_ascii_alphanumeric() {
                         j += 1;
                     }
                     if j == start {
@@ -119,12 +119,17 @@ impl Lexer {
                     tokens.push(Token::Num(value));
                     i = j;
                 }
-                _ if c.is_alphabetic() || c == '_' => {
+                // Idents are ASCII-only: the scan is byte-indexed, and
+                // treating a multi-byte character's lead byte as alphabetic
+                // would split the slice inside the character. Non-ASCII
+                // text is still fine inside quoted strings, whose
+                // boundaries are the ASCII quote bytes.
+                _ if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
                     let mut j = i;
                     while j < bytes.len() {
                         let cj = bytes[j] as char;
-                        if cj.is_alphanumeric() || cj == '_' || cj == '-' {
+                        if cj.is_ascii_alphanumeric() || cj == '_' || cj == '-' {
                             j += 1;
                         } else {
                             break;
@@ -207,5 +212,19 @@ mod tests {
         assert!(Lexer::tokenize("$").is_err());
         assert!(Lexer::tokenize("a : b").is_err());
         assert!(Lexer::tokenize("#").is_err());
+    }
+
+    #[test]
+    fn non_ascii_outside_strings_errors_not_panics() {
+        // Multi-byte characters must not be byte-sliced into idents.
+        assert!(Lexer::tokenize("é").is_err());
+        assert!(Lexer::tokenize("Für $a").is_err());
+        assert!(Lexer::tokenize("$héllo").is_err());
+    }
+
+    #[test]
+    fn non_ascii_inside_strings_ok() {
+        let tokens = Lexer::tokenize("\"héllo wörld\"").unwrap();
+        assert_eq!(tokens, vec![Token::Str("héllo wörld".into())]);
     }
 }

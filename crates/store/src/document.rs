@@ -105,6 +105,7 @@ impl DocData {
     /// # Panics
     /// Panics if `idx` is out of bounds.
     pub fn node(&self, idx: NodeIdx) -> &NodeRec {
+        // lint:allow(no-slice-index): documented contract; indexes come from iterating 0..len
         &self.nodes[idx.index()]
     }
 
@@ -113,38 +114,47 @@ impl DocData {
         let rec = self.node(idx);
         match rec.kind {
             NodeKind::Text => {
-                let (off, len) = self.texts[rec.payload as usize];
-                &self.text_bytes[off as usize..(off + len) as usize]
+                // Payload slots and byte ranges are built by load() and
+                // validated on snapshot load; tolerate corruption anyway.
+                let Some(&(off, len)) = self.texts.get(rec.payload as usize) else {
+                    return "";
+                };
+                self.text_bytes
+                    .get(off as usize..(off as usize + len as usize))
+                    .unwrap_or("")
             }
             NodeKind::Element => "",
         }
     }
 
+    /// Attribute values for `a`, defensively empty on a corrupt range.
+    fn attr_value(&self, a: &AttrRec) -> &str {
+        self.attr_bytes
+            .get(a.value_start as usize..(a.value_start as usize + a.value_len as usize))
+            .unwrap_or("")
+    }
+
     /// Attribute `name` of element `idx`, if present.
     pub(crate) fn attribute(&self, idx: NodeIdx, name: Symbol) -> Option<&str> {
         let start = self.attrs.partition_point(|a| a.node < idx.as_u32());
-        self.attrs[start..]
+        self.attrs
+            .get(start..)
+            .unwrap_or(&[])
             .iter()
             .take_while(|a| a.node == idx.as_u32())
             .find(|a| a.name == name)
-            .map(|a| {
-                &self.attr_bytes[a.value_start as usize..(a.value_start + a.value_len) as usize]
-            })
+            .map(|a| self.attr_value(a))
     }
 
     /// All attributes of element `idx` as `(name symbol, value)` pairs.
     pub(crate) fn attributes(&self, idx: NodeIdx) -> impl Iterator<Item = (Symbol, &str)> {
         let start = self.attrs.partition_point(|a| a.node < idx.as_u32());
-        self.attrs[start..]
+        self.attrs
+            .get(start..)
+            .unwrap_or(&[])
             .iter()
             .take_while(move |a| a.node == idx.as_u32())
-            .map(|a| {
-                (
-                    a.name,
-                    &self.attr_bytes
-                        [a.value_start as usize..(a.value_start + a.value_len) as usize],
-                )
-            })
+            .map(|a| (a.name, self.attr_value(a)))
     }
 
     /// Parse `xml` into a node table. `tags` and `attr_names` are the
@@ -180,10 +190,16 @@ impl DocData {
                     open.push(idx);
                 }
                 Event::End { .. } => {
-                    let idx = open.pop().expect("reader guarantees balance");
+                    // The reader rejects unbalanced close tags, so the
+                    // stack cannot underflow; skip defensively if it ever
+                    // did rather than panicking on malformed input.
+                    let Some(idx) = open.pop() else { continue };
                     // All descendants have been pushed; the last node pushed
                     // is this element's last descendant.
-                    doc.nodes[idx as usize].end = (doc.nodes.len() - 1) as u32;
+                    let last = (doc.nodes.len() - 1) as u32;
+                    if let Some(rec) = doc.nodes.get_mut(idx as usize) {
+                        rec.end = last;
+                    }
                 }
                 Event::Text(text) => {
                     // Inter-element (whitespace-only) text carries no
@@ -198,8 +214,10 @@ impl DocData {
                     doc.texts.push((off, text.len() as u32));
                     let idx =
                         doc.push_node(NodeKind::Text, Symbol::from_u32(0), open.last().copied())?;
-                    doc.nodes[idx as usize].payload = slot;
-                    doc.nodes[idx as usize].end = idx;
+                    if let Some(rec) = doc.nodes.get_mut(idx as usize) {
+                        rec.payload = slot;
+                        rec.end = idx;
+                    }
                 }
                 Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
                 Event::Eof => break,
@@ -221,6 +239,9 @@ impl DocData {
         }
         let level = match parent {
             Some(p) => {
+                // Parents come off the open-element stack, whose entries
+                // were minted by this function, so the index is valid.
+                // lint:allow(no-slice-index): open-stack entries are valid node indexes
                 let parent_rec = &mut self.nodes[p as usize];
                 // Elements use `payload` as their child count.
                 parent_rec.payload += 1;

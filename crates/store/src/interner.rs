@@ -60,6 +60,7 @@ impl Interner {
     /// # Panics
     /// Panics if `sym` did not come from this interner.
     pub fn resolve(&self, sym: Symbol) -> &str {
+        // lint:allow(no-slice-index): documented panic contract above
         &self.names[sym.0 as usize]
     }
 

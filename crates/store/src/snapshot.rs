@@ -94,10 +94,15 @@ fn w_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
     w.write_all(b)
 }
 
+/// Cap on speculative pre-allocation while reading untrusted snapshot
+/// bytes: a corrupt length prefix must not cause a huge up-front
+/// allocation, so reads reserve at most this much and grow on demand.
+const PREALLOC_CAP: usize = 1 << 20;
+
 fn r_u8(r: &mut impl Read) -> io::Result<u8> {
     let mut buf = [0u8; 1];
     r.read_exact(&mut buf)?;
-    Ok(buf[0])
+    Ok(u8::from_le_bytes(buf))
 }
 
 fn r_u16(r: &mut impl Read) -> io::Result<u16> {
@@ -114,8 +119,11 @@ fn r_u32(r: &mut impl Read) -> io::Result<u32> {
 
 fn r_string(r: &mut impl Read) -> Result<String, SnapshotError> {
     let len = r_u32(r)? as usize;
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    let mut buf = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let read = r.by_ref().take(len as u64).read_to_end(&mut buf)?;
+    if read != len {
+        return Err(SnapshotError::Corrupt("truncated string"));
+    }
     String::from_utf8(buf).map_err(|_| SnapshotError::Corrupt("non-UTF-8 string"))
 }
 
@@ -200,11 +208,11 @@ impl Store {
         let tags = r_interner(r)?;
         let attr_names = r_interner(r)?;
         let doc_count = r_u32(r)?;
-        let mut docs = Vec::with_capacity(doc_count as usize);
+        let mut docs = Vec::with_capacity((doc_count as usize).min(PREALLOC_CAP));
         for _ in 0..doc_count {
             let name = r_string(r)?;
             let node_count = r_u32(r)? as usize;
-            let mut nodes = Vec::with_capacity(node_count);
+            let mut nodes = Vec::with_capacity(node_count.min(PREALLOC_CAP));
             for _ in 0..node_count {
                 let end = r_u32(r)?;
                 let parent = r_u32(r)?;
@@ -228,8 +236,21 @@ impl Store {
                     payload,
                 });
             }
+            // The region encoding of untrusted snapshot bytes must satisfy
+            // the paper's well-formedness conditions (laminar containment,
+            // level discipline) before navigation is allowed to trust it.
+            tix_invariants::try_regions_well_formed(nodes.len() as u32, |i| {
+                // lint:allow(no-slice-index): i < nodes.len() by the try_ contract
+                let rec = &nodes[i as usize];
+                tix_invariants::Region {
+                    end: rec.end,
+                    parent: rec.parent,
+                    level: u32::from(rec.level),
+                }
+            })
+            .map_err(|_| SnapshotError::Corrupt("malformed region encoding"))?;
             let text_count = r_u32(r)? as usize;
-            let mut texts = Vec::with_capacity(text_count);
+            let mut texts = Vec::with_capacity(text_count.min(PREALLOC_CAP));
             for _ in 0..text_count {
                 texts.push((r_u32(r)?, r_u32(r)?));
             }
@@ -240,7 +261,7 @@ impl Store {
                 }
             }
             let attr_count = r_u32(r)? as usize;
-            let mut attrs = Vec::with_capacity(attr_count);
+            let mut attrs = Vec::with_capacity(attr_count.min(PREALLOC_CAP));
             for _ in 0..attr_count {
                 attrs.push(AttrRec {
                     node: r_u32(r)?,
@@ -267,8 +288,7 @@ impl Store {
                 attr_bytes,
             });
         }
-        Store::from_parts(tags, attr_names, docs)
-            .map_err(|_| SnapshotError::Corrupt("duplicate document name"))
+        Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
     }
 }
 

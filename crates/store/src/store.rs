@@ -41,6 +41,7 @@ impl Store {
         self.tag_elements.resize(self.tags.len(), Vec::new());
         for (i, rec) in doc.nodes.iter().enumerate() {
             if rec.kind == NodeKind::Element {
+                // lint:allow(no-slice-index): resized to tags.len() above
                 self.tag_elements[rec.tag.as_u32() as usize]
                     .push(NodeRef::new(id, NodeIdx(i as u32)));
             }
@@ -58,7 +59,11 @@ impl Store {
     }
 
     /// The document data for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this store.
     pub fn doc(&self, id: DocId) -> &DocData {
+        // lint:allow(no-slice-index): documented panic contract above
         &self.docs[id.0 as usize]
     }
 
@@ -216,7 +221,7 @@ impl Store {
         let child_level = rec.level + 1;
         let mut count = 0u32;
         for i in node.node.as_u32() + 1..=rec.end {
-            if doc.nodes[i as usize].level == child_level {
+            if doc.node(NodeIdx(i)).level == child_level {
                 count += 1;
             }
         }
@@ -237,7 +242,7 @@ impl Store {
         let rec = doc.node(node.node);
         let mut out = String::new();
         for i in node.node.as_u32()..=rec.end {
-            if doc.nodes[i as usize].kind == NodeKind::Text {
+            if doc.node(NodeIdx(i)).kind == NodeKind::Text {
                 out.push_str(doc.text(NodeIdx(i)));
             }
         }
@@ -274,7 +279,7 @@ impl Store {
     /// is forced through (structural join against the full element list),
     /// which is why its cost is large but flat in Table 1.
     pub fn elements_of(&self, doc: DocId) -> impl Iterator<Item = NodeRef> + '_ {
-        self.docs[doc.0 as usize]
+        self.doc(doc)
             .nodes
             .iter()
             .enumerate()
@@ -291,12 +296,9 @@ impl Store {
         // Explicit close-stack over the region encoding.
         let mut open: Vec<(u32, String)> = Vec::new();
         for i in node.node.as_u32()..=doc.node(node.node).end {
-            while let Some(&(end, _)) = open.last() {
-                if i > end {
-                    let (_, tag) = open.pop().expect("checked non-empty");
+            while open.last().is_some_and(|&(end, _)| i > end) {
+                if let Some((_, tag)) = open.pop() {
                     writer.end_element(&tag);
-                } else {
-                    break;
                 }
             }
             let idx = NodeIdx(i);
@@ -346,12 +348,13 @@ impl Store {
 
     /// Rebuild a store from deserialized parts (snapshot loading): the
     /// name map and tag index are reconstructed from the node tables.
-    /// Fails if two documents share a name.
+    /// Fails if two documents share a name or a tag symbol is out of
+    /// range for the interner — snapshot bytes are untrusted input.
     pub(crate) fn from_parts(
         tags: Interner,
         attr_names: Interner,
         docs: Vec<DocData>,
-    ) -> Result<Store, ()> {
+    ) -> Result<Store, &'static str> {
         let mut store = Store {
             docs: Vec::new(),
             by_name: HashMap::new(),
@@ -363,11 +366,14 @@ impl Store {
         for doc in docs {
             let id = DocId(store.docs.len() as u32);
             if store.by_name.insert(doc.name.clone(), id).is_some() {
-                return Err(());
+                return Err("duplicate document name");
             }
             for (i, rec) in doc.nodes.iter().enumerate() {
                 if rec.kind == NodeKind::Element {
-                    store.tag_elements[rec.tag.as_u32() as usize]
+                    store
+                        .tag_elements
+                        .get_mut(rec.tag.as_u32() as usize)
+                        .ok_or("tag symbol out of range")?
                         .push(NodeRef::new(id, NodeIdx(i as u32)));
                 }
             }

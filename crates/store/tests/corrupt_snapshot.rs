@@ -1,0 +1,145 @@
+//! Regression tests feeding truncated and garbage bytes to the store
+//! snapshot loader: corruption must surface as `Err(SnapshotError)`, never
+//! as a panic or a silently-wrong store.
+
+use tix_store::{SnapshotError, Store};
+
+fn sample_store() -> Store {
+    let mut store = Store::new();
+    store
+        .load_str(
+            "a.xml",
+            "<book id=\"1\"><title>xml db</title><chap><p>querying text</p></chap></book>",
+        )
+        .unwrap();
+    store
+        .load_str("b.xml", "<a><b>structured</b><c/></a>")
+        .unwrap();
+    store
+}
+
+fn snapshot_bytes(store: &Store) -> Vec<u8> {
+    let mut buf = Vec::new();
+    store.save_snapshot(&mut buf).unwrap();
+    buf
+}
+
+/// Cursor for walking the snapshot layout up to the first node record.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_len_prefixed(&mut self) {
+        let len = self.u32() as usize;
+        self.skip(len);
+    }
+
+    fn skip_interner(&mut self) {
+        let count = self.u32();
+        for _ in 0..count {
+            self.skip_len_prefixed();
+        }
+    }
+}
+
+/// Byte offset of the first document's first node record (its `end` field).
+fn first_node_offset(buf: &[u8]) -> usize {
+    let mut cur = Cur { buf, pos: 8 }; // magic + version
+    cur.skip_interner(); // tags
+    cur.skip_interner(); // attribute names
+    let doc_count = cur.u32();
+    assert!(doc_count >= 1);
+    cur.skip_len_prefixed(); // document name
+    let node_count = cur.u32();
+    assert!(node_count >= 2);
+    cur.pos
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    let buf = snapshot_bytes(&sample_store());
+    for cut in 0..buf.len() {
+        assert!(
+            Store::load_snapshot(&buf[..cut]).is_err(),
+            "prefix of {cut} bytes loaded successfully"
+        );
+    }
+}
+
+#[test]
+fn garbage_region_bytes_rejected() {
+    // Zero out the root node's `end` key: with more than one node in the
+    // document the region encoding is no longer laminar.
+    let mut buf = snapshot_bytes(&sample_store());
+    let off = first_node_offset(&buf);
+    buf[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+    let err = Store::load_snapshot(buf.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::Corrupt("malformed region encoding")),
+        "{err}"
+    );
+}
+
+#[test]
+fn garbage_parent_pointer_rejected() {
+    // Point the second node's parent outside the document.
+    let mut buf = snapshot_bytes(&sample_store());
+    let off = first_node_offset(&buf) + 19 + 4; // second record's `parent`
+    buf[off..off + 4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    let err = Store::load_snapshot(buf.as_slice()).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn byte_flips_never_panic() {
+    // Flip every byte of the snapshot, one at a time. Most flips corrupt
+    // something structural and must be rejected; a flip inside a text
+    // arena merely changes content. Either way the loader must not panic.
+    let base = snapshot_bytes(&sample_store());
+    for i in 0..base.len() {
+        let mut buf = base.clone();
+        buf[i] ^= 0xFF;
+        let _ = Store::load_snapshot(buf.as_slice());
+    }
+}
+
+#[test]
+fn random_garbage_after_header_is_rejected() {
+    // A valid header followed by deterministic pseudo-random junk.
+    let mut buf = snapshot_bytes(&sample_store());
+    for (i, byte) in buf.iter_mut().enumerate().skip(8) {
+        *byte = (i.wrapping_mul(167).wrapping_add(41) % 251) as u8;
+    }
+    assert!(Store::load_snapshot(buf.as_slice()).is_err());
+}
+
+#[test]
+fn malformed_xml_is_an_error_not_a_panic() {
+    let mut store = Store::new();
+    for bad in [
+        "<a><b></a>",       // mismatched close
+        "<a>",              // truncated: unclosed element
+        "<a attr=>x</a>",   // bad attribute syntax
+        "text only",        // no root element
+        "<a>&nosuch;</a>",  // unknown entity
+        "<a><b>x</b>",      // truncated after child
+        "\u{0}\u{1}\u{2}<", // binary garbage
+        "",                 // empty input
+    ] {
+        assert!(store.load_str("bad.xml", bad).is_err(), "input {bad:?}");
+    }
+    // The failed loads left no partial documents behind.
+    assert_eq!(store.doc_count(), 0);
+}

@@ -89,25 +89,27 @@ impl Document {
         let mut reader = Reader::new(input);
         let mut open = vec![VIRTUAL_ROOT];
         loop {
+            // The reader rejects unbalanced markup, so the stack never
+            // underflows below the virtual root; fall back to it anyway
+            // rather than trusting that across crate boundaries.
+            let parent = open.last().copied().unwrap_or(VIRTUAL_ROOT);
             match reader.next_event()? {
                 Event::Start { tag, attributes } => {
-                    let parent = *open.last().expect("open stack never empty");
                     let id = doc.append(parent, NodeKind::Element { tag, attributes });
                     open.push(id);
                 }
                 Event::End { .. } => {
-                    open.pop();
+                    if open.len() > 1 {
+                        open.pop();
+                    }
                 }
                 Event::Text(text) => {
-                    let parent = *open.last().expect("open stack never empty");
                     doc.append(parent, NodeKind::Text(text));
                 }
                 Event::Comment(text) => {
-                    let parent = *open.last().expect("open stack never empty");
                     doc.append(parent, NodeKind::Comment(text));
                 }
                 Event::ProcessingInstruction { target, data } => {
-                    let parent = *open.last().expect("open stack never empty");
                     doc.append(parent, NodeKind::ProcessingInstruction { target, data });
                 }
                 Event::Eof => return Ok(doc),
@@ -131,6 +133,21 @@ impl Document {
             .find(|&id| matches!(self.kind(id), NodeKind::Element { .. }))
     }
 
+    /// Arena access. `NodeId`s are minted densely by [`append`](Self::append)
+    /// and arena slots are never removed, so an id is always in range for
+    /// the document that created it.
+    fn data(&self, id: NodeId) -> &NodeData {
+        // lint:allow(no-slice-index): ids are minted densely and never removed
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable arena access; see [`data`](Self::data) for why this is in
+    /// bounds.
+    fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        // lint:allow(no-slice-index): ids are minted densely and never removed
+        &mut self.nodes[id.index()]
+    }
+
     /// Append a new node as the last child of `parent` and return its id.
     pub fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
@@ -141,11 +158,11 @@ impl Document {
             last_child: None,
             next_sibling: None,
         });
-        let parent_data = &mut self.nodes[parent.index()];
+        let parent_data = self.data_mut(parent);
         match parent_data.last_child {
             Some(last) => {
                 parent_data.last_child = Some(id);
-                self.nodes[last.index()].next_sibling = Some(id);
+                self.data_mut(last).next_sibling = Some(id);
             }
             None => {
                 parent_data.first_child = Some(id);
@@ -178,7 +195,7 @@ impl Document {
 
     /// The kind of `id`.
     pub fn kind(&self, id: NodeId) -> &NodeKind {
-        &self.nodes[id.index()].kind
+        &self.data(id).kind
     }
 
     /// Tag name of `id` if it is an element, or `""`.
@@ -203,14 +220,14 @@ impl Document {
     /// Parent of `id` (`None` for the virtual root; the document element's
     /// parent is the virtual root).
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.nodes[id.index()].parent
+        self.data(id).parent
     }
 
     /// Iterate over the children of `id` in document order.
     pub fn children(&self, id: NodeId) -> Children<'_> {
         Children {
             doc: self,
-            next: self.nodes[id.index()].first_child,
+            next: self.data(id).first_child,
         }
     }
 
@@ -251,7 +268,7 @@ impl Document {
     fn write_node(&self, id: NodeId, writer: &mut Writer) {
         match self.kind(id) {
             NodeKind::Element { tag, attributes } => {
-                if self.nodes[id.index()].first_child.is_none() {
+                if self.data(id).first_child.is_none() {
                     writer.empty_element(tag, attributes);
                 } else {
                     writer.start_element(tag, attributes);
@@ -283,7 +300,7 @@ impl Iterator for Children<'_> {
 
     fn next(&mut self) -> Option<NodeId> {
         let id = self.next?;
-        self.next = self.doc.nodes[id.index()].next_sibling;
+        self.next = self.doc.data(id).next_sibling;
         Some(id)
     }
 }
@@ -302,17 +319,17 @@ impl Iterator for Descendants<'_> {
         let id = self.next?;
         // Pre-order successor: first child, else next sibling of the nearest
         // ancestor (not escaping the subtree root).
-        let data = &self.doc.nodes[id.index()];
+        let data = self.doc.data(id);
         self.next = data.first_child.or_else(|| {
             let mut cursor = id;
             loop {
                 if cursor == self.top {
                     return None;
                 }
-                if let Some(sib) = self.doc.nodes[cursor.index()].next_sibling {
+                if let Some(sib) = self.doc.data(cursor).next_sibling {
                     return Some(sib);
                 }
-                cursor = self.doc.nodes[cursor.index()].parent?;
+                cursor = self.doc.data(cursor).parent?;
             }
         });
         Some(id)

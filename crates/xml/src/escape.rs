@@ -55,25 +55,25 @@ pub fn unescape(text: &str, offset: usize) -> Result<Cow<'_, str>> {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     let mut pos = offset;
-    while let Some(amp) = rest.find('&') {
-        out.push_str(&rest[..amp]);
-        pos += amp;
-        let after = &rest[amp + 1..];
-        let semi = after
-            .find(';')
-            .ok_or_else(|| Error::new(ErrorKind::UnknownEntity(clip(after)), pos))?;
-        let name = &after[..semi];
+    while let Some((before, after)) = rest.split_once('&') {
+        out.push_str(before);
+        pos += before.len();
+        let Some((name, tail)) = after.split_once(';') else {
+            return Err(Error::new(ErrorKind::UnknownEntity(clip(after)), pos));
+        };
         match name {
             "lt" => out.push('<'),
             "gt" => out.push('>'),
             "amp" => out.push('&'),
             "apos" => out.push('\''),
             "quot" => out.push('"'),
-            _ if name.starts_with('#') => out.push(parse_char_ref(&name[1..], pos)?),
-            _ => return Err(Error::new(ErrorKind::UnknownEntity(name.to_string()), pos)),
+            _ => match name.strip_prefix('#') {
+                Some(body) => out.push(parse_char_ref(body, pos)?),
+                None => return Err(Error::new(ErrorKind::UnknownEntity(name.to_string()), pos)),
+            },
         }
-        rest = &after[semi + 1..];
-        pos += 1 + semi + 1;
+        rest = tail;
+        pos += 1 + name.len() + 1;
     }
     out.push_str(rest);
     Ok(Cow::Owned(out))

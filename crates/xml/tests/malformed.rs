@@ -1,0 +1,47 @@
+//! Deterministic regression tests for the XML reader on truncated and
+//! garbage input. The proptest in `roundtrip.rs` fuzzes broadly; these pin
+//! the specific failure shapes a corrupted corpus file produces.
+
+use tix_xml::Document;
+
+#[test]
+fn truncated_documents_are_errors() {
+    for bad in [
+        "<a>",                 // unclosed root
+        "<a><b>x</b>",         // truncated after child
+        "<a><b>x</b></a",      // cut inside the closing tag
+        "<a attr=\"v",         // cut inside an attribute value
+        "<a><![CDATA[payload", // cut inside CDATA
+        "<a><!-- comment",     // cut inside a comment
+        "<",                   // lone angle bracket
+    ] {
+        assert!(Document::parse(bad).is_err(), "input {bad:?}");
+    }
+}
+
+#[test]
+fn garbage_documents_are_errors() {
+    for bad in [
+        "<a><b></a>",     // mismatched close tag
+        "</a>",           // close without open
+        "<a></a><b></b>", // two roots
+        "<a>&bogus;</a>", // unknown entity
+        "<1tag/>",        // invalid tag name
+        "<a attr=>x</a>", // attribute with no value
+        "\u{0}\u{1}junk", // binary garbage
+        "",               // empty input
+    ] {
+        assert!(Document::parse(bad).is_err(), "input {bad:?}");
+    }
+}
+
+#[test]
+fn truncating_a_valid_document_never_panics() {
+    let valid = "<book id=\"1\"><title>xml &amp; db</title><!-- c --><p>text</p></book>";
+    for cut in 0..valid.len() {
+        if let Some(prefix) = valid.get(..cut) {
+            let _ = Document::parse(prefix);
+        }
+    }
+    assert!(Document::parse(valid).is_ok());
+}
