@@ -9,6 +9,9 @@
 //! tix phrase <snapshot> <term> <term>… [--threads N]
 //!                                        exact-phrase lookup (PhraseFinder)
 //! tix query  <snapshot> <file|->         run an extended-XQuery query
+//! tix serve  <snapshot> [--addr A] [--workers N] [--queue N] [--cache N]
+//!                       [--deadline-ms N] [--threads N]
+//!                                        serve queries over HTTP
 //! ```
 
 use std::fs;
@@ -149,6 +152,17 @@ mod commands {
         Ok(out)
     }
 
+    /// Serve queries over HTTP until the process is killed.
+    pub fn serve(snapshot: &str, config: tix_server::ServerConfig) -> Result<String, String> {
+        let db = database(snapshot, None)?;
+        let server = tix_server::Server::start(db, config).map_err(|e| e.to_string())?;
+        // Print eagerly: `join` blocks for the lifetime of the server, and
+        // callers (humans, the CI smoke job) need the ephemeral port now.
+        println!("tix-server listening on http://{}", server.addr());
+        server.join();
+        Ok(String::new())
+    }
+
     /// Open a snapshot plus its sidecar index (`<snapshot>.idx`), building
     /// and caching the index on first use. `threads` overrides the default
     /// worker count (`TIX_THREADS` / machine parallelism) for the index
@@ -202,9 +216,14 @@ usage:
   tix search <snapshot> <term>… [-k N] [-t THRESHOLD] [--threads N]
   tix phrase <snapshot> <term> <term>… [--threads N]
   tix query  <snapshot> <file|->          run an extended-XQuery query
+  tix serve  <snapshot> [--addr HOST:PORT] [--workers N] [--queue N]
+             [--cache N] [--deadline-ms N] [--threads N]
+                                          serve queries over HTTP
 
 Query commands run document-partitioned over worker threads (--threads,
 else TIX_THREADS, else all cores); results are identical at any count.
+`serve` answers /search, /phrase, /search/batch, /query, /health and
+/metrics with JSON; see README §Serving for the wire format.
 ";
 
 fn main() -> ExitCode {
@@ -303,9 +322,66 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let source = rest.get(1).ok_or("query: query file (or -) required")?;
             commands::query(snapshot, source)
         }
+        "serve" => {
+            let (snapshot, config) = parse_serve_args(rest)?;
+            commands::serve(&snapshot, config)
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Parse `serve` arguments into a snapshot path and a [`ServerConfig`].
+/// Split out from `dispatch` so argument handling is testable without
+/// binding a socket.
+fn parse_serve_args(rest: &[String]) -> Result<(String, tix_server::ServerConfig), String> {
+    let snapshot = rest.first().ok_or("serve: snapshot path required")?.clone();
+    let mut config = tix_server::ServerConfig {
+        // A CLI server should be reachable on a stable port by default;
+        // tests and the smoke job override with --addr 127.0.0.1:0.
+        addr: "127.0.0.1:7878".to_string(),
+        ..tix_server::ServerConfig::default()
+    };
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_of("--addr")?.clone(),
+            "--workers" => {
+                let v = value_of("--workers")?;
+                config.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value {v:?}"))?;
+            }
+            "--queue" => {
+                let v = value_of("--queue")?;
+                config.queue_capacity =
+                    v.parse().map_err(|_| format!("bad --queue value {v:?}"))?;
+            }
+            "--cache" => {
+                let v = value_of("--cache")?;
+                config.cache_capacity =
+                    v.parse().map_err(|_| format!("bad --cache value {v:?}"))?;
+            }
+            "--deadline-ms" => {
+                let v = value_of("--deadline-ms")?;
+                config.default_deadline_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                config.request_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+            }
+            "--debug-endpoints" => config.debug_endpoints = true,
+            other => return Err(format!("serve: unknown flag {other:?}")),
+        }
+    }
+    Ok((snapshot, config))
 }
 
 #[cfg(test)]
@@ -432,5 +508,53 @@ mod tests {
     fn help_prints_usage() {
         let out = dispatch(&["help".into()]).unwrap();
         assert!(out.contains("usage:"));
+        assert!(out.contains("serve"));
+    }
+
+    #[test]
+    fn serve_args_parse_into_config() {
+        let args: Vec<String> = [
+            "snap.bin",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--queue",
+            "32",
+            "--cache",
+            "100",
+            "--deadline-ms",
+            "250",
+            "--threads",
+            "2",
+            "--debug-endpoints",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (snapshot, config) = parse_serve_args(&args).unwrap();
+        assert_eq!(snapshot, "snap.bin");
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.queue_capacity, 32);
+        assert_eq!(config.cache_capacity, 100);
+        assert_eq!(config.default_deadline_ms, 250);
+        assert_eq!(config.request_threads, 2);
+        assert!(config.debug_endpoints);
+    }
+
+    #[test]
+    fn serve_arg_errors() {
+        assert!(parse_serve_args(&[]).is_err());
+        let bad = |args: &[&str]| {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_serve_args(&owned).unwrap_err()
+        };
+        assert!(bad(&["s", "--workers"]).contains("needs a value"));
+        assert!(bad(&["s", "--workers", "many"]).contains("bad --workers"));
+        assert!(bad(&["s", "--deadline-ms", "-1"]).contains("bad --deadline-ms"));
+        assert!(bad(&["s", "--frobnicate"]).contains("unknown flag"));
+        // Serving a missing snapshot fails cleanly through dispatch.
+        assert!(dispatch(&["serve".into(), "/nonexistent/x.snap".into()]).is_err());
     }
 }

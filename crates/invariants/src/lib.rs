@@ -417,6 +417,34 @@ pub fn assert_horizontal_dedup(
     }
 }
 
+/// Serving-cache coherence (the serving layer's contract): a cached query
+/// result may only be served when it was computed at the store/index
+/// generation that is current at serve time. `tix-server` keys its result
+/// cache on `Database::generation`, so a lookup can only ever surface an
+/// entry whose recorded generation matches — this check asserts that the
+/// keying actually enforces the contract at the cache-lookup boundary.
+pub fn try_cache_coherent(
+    entry_generation: u64,
+    current_generation: u64,
+) -> Result<(), InvariantError> {
+    if entry_generation != current_generation {
+        return violation(
+            "cache-coherent",
+            format!(
+                "cached result from generation {entry_generation} served at generation {current_generation}"
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_cache_coherent`]; wrap calls in [`check!`].
+pub fn assert_cache_coherent(entry_generation: u64, current_generation: u64) {
+    if let Err(e) = try_cache_coherent(entry_generation, current_generation) {
+        panic!("{e}");
+    }
+}
+
 /// Chunk-partition correctness (the parallel layer's contract): ranges
 /// must tile `0..len` contiguously, in order, with no empty range (unless
 /// `len == 0`, when there must be no ranges at all).
@@ -580,6 +608,14 @@ mod tests {
         assert_eq!(err.invariant, "pick-horizontal-dedup");
         // Dropping one member of the clashing pair restores the invariant.
         assert!(try_horizontal_dedup(3, |i| i != 2, same).is_ok());
+    }
+
+    #[test]
+    fn cache_coherence() {
+        assert!(try_cache_coherent(3, 3).is_ok());
+        let err = try_cache_coherent(2, 3).unwrap_err();
+        assert_eq!(err.invariant, "cache-coherent");
+        assert!(err.to_string().contains("generation 2"), "{err}");
     }
 
     #[test]

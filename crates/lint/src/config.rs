@@ -6,9 +6,11 @@
 //! `--list-allows` is passed so exceptions stay visible.
 
 /// Crates whose library code must be panic-free (`no-unwrap`).
-/// `cli` is included: the CLI must report errors, not abort.
+/// `cli` is included: the CLI must report errors, not abort. `server` is
+/// included: a panic in a worker kills a request, never the process, but
+/// it still must answer 500 — so the handler code itself stays panic-free.
 pub const PANIC_FREE_CRATES: &[&str] = &[
-    "core", "exec", "index", "store", "xml", "query", "parallel", "cli",
+    "core", "exec", "index", "store", "xml", "query", "parallel", "cli", "server",
 ];
 
 /// Crates whose library code is checked for unchecked slice indexing.
@@ -22,8 +24,17 @@ pub const FLOAT_EQ_CRATES: &[&str] =
 /// Crates whose public items require doc comments.
 pub const DOC_CRATES: &[&str] = &["core", "exec"];
 
-/// The only crate allowed to spawn threads.
-pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel"];
+/// Crates allowed to spawn threads: `parallel` (the document-partitioned
+/// access methods) and `server` (its accept loop and worker pool are
+/// long-lived service threads, not data-parallel workers — routing them
+/// through `parallel_map` would serialize the pool behind one call).
+pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "server"];
+
+/// Crates whose request-path collections must be bounded
+/// (`no-unbounded-channel`): a queue that grows with client demand is a
+/// memory-exhaustion vector, so any `Vec`/`VecDeque` used as a queue here
+/// must sit behind an explicit capacity check.
+pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server"];
 
 /// Scoring-path files: no `as` numeric casts here — conversions must be
 /// `From`/`TryFrom` or a helper with a justified inline allow. These are

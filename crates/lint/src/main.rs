@@ -50,7 +50,14 @@ const RULES: &[(&str, &str)] = &[
         "safety-comment",
         "every unsafe block carries a // SAFETY: justification",
     ),
-    ("no-thread-spawn", "thread::spawn only inside tix-parallel"),
+    (
+        "no-thread-spawn",
+        "thread::spawn only inside tix-parallel and tix-server",
+    ),
+    (
+        "no-unbounded-channel",
+        "request queues in serving code must carry a capacity check",
+    ),
     ("pub-doc", "public items in core/exec require doc comments"),
     ("no-float-eq", "no direct f64 equality on scores"),
 ];

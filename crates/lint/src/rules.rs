@@ -77,6 +77,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     no_as_cast(ctx, out);
     safety_comment(ctx, out);
     no_thread_spawn(ctx, out);
+    no_unbounded_channel(ctx, out);
     pub_doc(ctx, out);
     no_float_eq(ctx, out);
 }
@@ -255,6 +256,66 @@ fn no_thread_spawn(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 toks[i].line,
                 "thread spawning outside tix-parallel".to_string(),
                 "use `tix_parallel::parallel_map` so the document-partitioned equivalence guarantees apply",
+            );
+        }
+    }
+}
+
+/// `no-unbounded-channel`: request-path queues in serving code must be
+/// bounded. Flags `VecDeque` (the natural queue type) and `Vec`s whose
+/// surrounding identifiers say "queue", unless the file also contains an
+/// explicit capacity comparison — the admission check that turns a buffer
+/// into a bounded queue. A queue that grows with client demand converts a
+/// traffic burst into memory exhaustion; load must be shed at admission.
+fn no_unbounded_channel(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !config::BOUNDED_QUEUE_CRATES.contains(&ctx.krate) {
+        return;
+    }
+    let toks = &ctx.lx.tokens;
+    // A capacity guard anywhere in the file vouches for its queues: some
+    // comparison operator within a few tokens of a `capacity`-named value,
+    // e.g. `items.len() >= self.capacity`.
+    const GUARD_WINDOW: usize = 4;
+    let has_capacity_guard = toks.iter().enumerate().any(|(i, t)| {
+        if t.kind != TokenKind::Punct || !matches!(t.text.as_str(), ">=" | "<=" | ">" | "<") {
+            return false;
+        }
+        let lo = i.saturating_sub(GUARD_WINDOW);
+        let hi = (i + GUARD_WINDOW + 1).min(toks.len());
+        toks[lo..hi]
+            .iter()
+            .any(|n| n.kind == TokenKind::Ident && n.text.to_lowercase().contains("capacity"))
+    });
+    if has_capacity_guard {
+        return;
+    }
+    const QUEUE_WINDOW: usize = 6;
+    let mut in_use = false;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.text == "use" && t.kind == TokenKind::Ident {
+            in_use = true; // imports name the type without buffering anything
+        } else if t.text == ";" {
+            in_use = false;
+        }
+        if ctx.is_test(i) || in_use || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let queue_like = t.text == "VecDeque"
+            || (t.text == "Vec" && {
+                let lo = i.saturating_sub(QUEUE_WINDOW);
+                toks[lo..i]
+                    .iter()
+                    .any(|p| p.kind == TokenKind::Ident && p.text.to_lowercase().contains("queue"))
+            });
+        if queue_like {
+            push(
+                out,
+                ctx,
+                "no-unbounded-channel",
+                t.line,
+                format!("`{}` used as a request queue with no capacity check in this file", t.text),
+                "bound it: compare the length against a capacity before pushing (admission control), and shed load (503) when full",
             );
         }
     }
@@ -601,6 +662,59 @@ mod tests {
             "fn f() { std::thread::spawn(|| {}); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn unbounded_queue_flagged_in_server() {
+        // A VecDeque with no capacity comparison anywhere in the file.
+        let f = findings_in(
+            "crates/server/src/x.rs",
+            "struct Q { items: VecDeque<u32> }\nfn push(q: &mut Q, v: u32) { q.items.push_back(v); }",
+        );
+        assert_eq!(rules_of(&f), ["no-unbounded-channel"]);
+        // A Vec named like a queue counts too.
+        let f = findings_in(
+            "crates/server/src/x.rs",
+            "struct S { request_queue: Vec<u32> }",
+        );
+        assert_eq!(rules_of(&f), ["no-unbounded-channel"]);
+    }
+
+    #[test]
+    fn bounded_queue_with_capacity_check_passes() {
+        let src = "struct Q { items: VecDeque<u32>, capacity: usize }\n\
+                   fn try_push(q: &mut Q, v: u32) -> bool {\n\
+                       if q.items.len() >= q.capacity { return false; }\n\
+                       q.items.push_back(v); true\n\
+                   }";
+        assert!(findings_in("crates/server/src/x.rs", src).is_empty());
+        // Imports alone don't buffer anything.
+        assert!(findings_in(
+            "crates/server/src/x.rs",
+            "use std::collections::VecDeque;\nfn f() {}"
+        )
+        .is_empty());
+        // A plain Vec that is not a queue is fine.
+        assert!(findings_in(
+            "crates/server/src/x.rs",
+            "fn f() { let results: Vec<u32> = g(); }"
+        )
+        .is_empty());
+        // Other crates are out of scope.
+        assert!(
+            findings_in("crates/exec/src/x.rs", "struct Q { items: VecDeque<u32> }").is_empty()
+        );
+    }
+
+    #[test]
+    fn server_joins_spawn_exempt_and_panic_free() {
+        assert!(findings_in(
+            "crates/server/src/x.rs",
+            "fn f() { std::thread::spawn(|| {}); }"
+        )
+        .is_empty());
+        let f = findings_in("crates/server/src/x.rs", "fn f() { y.unwrap(); }");
+        assert_eq!(rules_of(&f), ["no-unwrap"]);
     }
 
     #[test]

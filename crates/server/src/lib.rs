@@ -1,0 +1,57 @@
+//! # tix-server — the query-serving subsystem
+//!
+//! A dependency-free (std-only) multi-threaded query server over
+//! [`std::net::TcpListener`], speaking a minimal HTTP/1.1 subset. The
+//! paper ran TIX inside TIMBER — a database *system* answering concurrent
+//! clients — and this crate supplies that missing serving layer for the
+//! reproduction:
+//!
+//! * **Bounded admission** — a fixed worker pool behind a fixed-capacity
+//!   queue; saturation answers `503` + `Retry-After` at the accept loop
+//!   instead of buffering without bound ([`queue`]).
+//! * **Deadlines** — every request carries a deadline (default or
+//!   `deadline_ms`), checked cooperatively between the pipeline's operator
+//!   stages; expiry answers `504` and stops paying for dead work.
+//! * **Result caching** — a normalized-query LRU keyed on
+//!   `(endpoint, terms, pick params, k, generation)`; `build_index`/`load`
+//!   bump the database generation, so a reload invalidates by key
+//!   ([`cache`], checked by `tix_invariants::try_cache_coherent`).
+//! * **Live metrics** — counters, queue-depth and worker-utilization
+//!   gauges, and log-bucketed latency histograms with p50/p95/p99, as the
+//!   JSON `/metrics` document ([`metrics`]).
+//! * **Graceful shutdown** — refuse new connections, drain the admitted
+//!   queue, finish in-flight requests, join every thread.
+//!
+//! ## Endpoints
+//!
+//! | route | method | description |
+//! |-------|--------|-------------|
+//! | `/search?q=rust+xml&k=10&threshold=0.5&fraction=0.5` | GET | TermJoin → Pick → top-k |
+//! | `/phrase?q=xml+database` | GET | PhraseFinder exact-phrase lookup |
+//! | `/search/batch?k=10` | POST | one query per body line, deduplicated |
+//! | `/query` | POST | extended-XQuery dialect (body = query text) |
+//! | `/health` | GET | liveness + corpus stats |
+//! | `/metrics` | GET | the metrics registry as JSON |
+//!
+//! Every response is JSON with `Connection: close` (one request per
+//! connection).
+//!
+//! ```no_run
+//! use tix::Database;
+//! use tix_server::{Server, ServerConfig};
+//!
+//! let mut db = Database::new();
+//! db.load("a.xml", "<a><p>rust xml</p></a>").unwrap();
+//! let server = Server::start(db, ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! server.join();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod render;
+mod server;
+
+pub use server::{Server, ServerConfig, MAX_BATCH_QUERIES};

@@ -1,0 +1,290 @@
+//! The serving metrics registry: lock-free counters and gauges plus
+//! log-bucketed latency histograms, rendered as the `/metrics` JSON
+//! document. Everything is atomic — recording a sample on the hot path is
+//! a handful of `fetch_add`s, never a lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds, so 40 buckets span 1 µs to ~13 days.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram with atomic buckets.
+///
+/// Percentile estimates are upper bucket bounds, so they over-report by at
+/// most 2× — the right bias for latency SLOs (never claims faster than
+/// reality) at a fixed 320-byte footprint.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = usize::try_from(micros.max(1).ilog2())
+            .unwrap_or(0)
+            .min(BUCKETS - 1);
+        if let Some(slot) = self.buckets.get(bucket) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds, as the upper bound
+    /// of the bucket where the cumulative count crosses it. 0 with no
+    /// samples.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 2u64.saturating_pow(u32::try_from(i + 1).unwrap_or(u32::MAX));
+            }
+        }
+        2u64.saturating_pow(BUCKETS as u32)
+    }
+
+    /// Render as a JSON object with count, mean, and p50/p95/p99.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            self.count(),
+            self.mean_micros(),
+            self.quantile_micros(0.50),
+            self.quantile_micros(0.95),
+            self.quantile_micros(0.99)
+        )
+    }
+}
+
+/// Per-endpoint request counter set.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    /// `/search` requests.
+    pub search: AtomicU64,
+    /// `/phrase` requests.
+    pub phrase: AtomicU64,
+    /// `/search/batch` requests.
+    pub batch: AtomicU64,
+    /// `/query` requests.
+    pub query: AtomicU64,
+    /// `/health` requests.
+    pub health: AtomicU64,
+    /// `/metrics` requests.
+    pub metrics: AtomicU64,
+    /// Everything else (404s, debug endpoints).
+    pub other: AtomicU64,
+}
+
+/// The registry behind `/metrics`. One instance per server, shared by the
+/// accept loop and every worker.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests admitted past the accept loop (includes ones that later
+    /// fail parsing or time out).
+    pub requests_total: AtomicU64,
+    /// Responses by status class: index 0 ↔ 1xx, … index 4 ↔ 5xx.
+    pub responses_by_class: [AtomicU64; 5],
+    /// 503s sent because the admission queue was full.
+    pub rejected_saturated: AtomicU64,
+    /// 503s sent because the server was shutting down.
+    pub rejected_shutdown: AtomicU64,
+    /// 504s sent because a deadline expired.
+    pub deadline_expired: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Current admission-queue depth (gauge).
+    pub queue_depth: AtomicUsize,
+    /// Workers currently handling a request (gauge).
+    pub workers_busy: AtomicUsize,
+    /// Size of the worker pool (constant).
+    pub workers_total: usize,
+    /// Per-endpoint request counts.
+    pub endpoints: EndpointCounters,
+    /// End-to-end latency (admission to response flushed).
+    pub latency: LatencyHistogram,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A zeroed registry for a pool of `workers_total` workers.
+    pub fn new(workers_total: usize) -> Self {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            responses_by_class: Default::default(),
+            rejected_saturated: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            workers_busy: AtomicUsize::new(0),
+            workers_total,
+            endpoints: EndpointCounters::default(),
+            latency: LatencyHistogram::default(),
+            queue_wait: LatencyHistogram::default(),
+        }
+    }
+
+    /// Count one response with `status`.
+    pub fn record_status(&self, status: u16) {
+        let class = usize::from(status / 100).saturating_sub(1);
+        if let Some(slot) = self.responses_by_class.get(class) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Render the whole registry as the `/metrics` JSON document.
+    pub fn to_json(&self) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let busy = self.workers_busy.load(Ordering::Relaxed);
+        let utilization = if self.workers_total == 0 {
+            0.0
+        } else {
+            busy as f64 / self.workers_total as f64
+        };
+        format!(
+            concat!(
+                "{{\"requests_total\":{},",
+                "\"responses\":{{\"1xx\":{},\"2xx\":{},\"3xx\":{},\"4xx\":{},\"5xx\":{}}},",
+                "\"rejected_saturated\":{},",
+                "\"rejected_shutdown\":{},",
+                "\"deadline_expired\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                "\"queue\":{{\"depth\":{},\"wait\":{}}},",
+                "\"workers\":{{\"busy\":{},\"total\":{},\"utilization\":{:.3}}},",
+                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"health\":{},\"metrics\":{},\"other\":{}}},",
+                "\"latency\":{}}}"
+            ),
+            load(&self.requests_total),
+            load(&self.responses_by_class[0]),
+            load(&self.responses_by_class[1]),
+            load(&self.responses_by_class[2]),
+            load(&self.responses_by_class[3]),
+            load(&self.responses_by_class[4]),
+            load(&self.rejected_saturated),
+            load(&self.rejected_shutdown),
+            load(&self.deadline_expired),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.queue_wait.to_json(),
+            busy,
+            self.workers_total,
+            utilization,
+            load(&self.endpoints.search),
+            load(&self.endpoints.phrase),
+            load(&self.endpoints.batch),
+            load(&self.endpoints.query),
+            load(&self.endpoints.health),
+            load(&self.endpoints.metrics),
+            load(&self.endpoints.other),
+            self.latency.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for micros in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        // p50 falls in the 100 µs bucket [64, 128) → upper bound 128.
+        assert_eq!(h.quantile_micros(0.50), 128);
+        // p99 falls in the 10 ms bucket [8192, 16384) → upper bound 16384.
+        assert_eq!(h.quantile_micros(0.99), 16384);
+        assert!(h.mean_micros() >= 100 && h.mean_micros() <= 10_000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn histogram_extremes_clamp() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 50));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_micros(1.0) > 0);
+    }
+
+    #[test]
+    fn status_classes_counted() {
+        let m = Metrics::new(4);
+        m.record_status(200);
+        m.record_status(201);
+        m.record_status(404);
+        m.record_status(503);
+        assert_eq!(m.responses_by_class[1].load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_by_class[3].load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_by_class[4].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let m = Metrics::new(2);
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.record_status(200);
+        m.latency.record(Duration::from_millis(5));
+        let json = m.to_json();
+        for key in [
+            "\"requests_total\":3",
+            "\"2xx\":1",
+            "\"cache\"",
+            "\"queue\"",
+            "\"utilization\"",
+            "\"p95_us\"",
+            "\"endpoints\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

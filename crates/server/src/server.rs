@@ -1,0 +1,571 @@
+//! The serving core: accept loop, bounded admission, fixed worker pool,
+//! request routing, deadlines, the generation-keyed result cache, and
+//! graceful shutdown.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use tix::exec::pick::PickParams;
+use tix::query::run_query;
+use tix::{normalize_query, Database};
+
+use crate::cache::{QueryKey, QueryKind, ResultCache};
+use crate::http::{self, Limits, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::render;
+
+/// Most queries accepted in one `/search/batch` request.
+pub const MAX_BATCH_QUERIES: usize = 512;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size (minimum 1).
+    pub workers: usize,
+    /// Admission-queue capacity (minimum 1). A full queue answers 503.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (minimum 1).
+    pub cache_capacity: usize,
+    /// Default per-request deadline; requests may lower (never raise) it
+    /// with a `deadline_ms` query parameter.
+    pub default_deadline_ms: u64,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Worker threads used *inside* one query evaluation. Kept at 1 by
+    /// default: with a pool of concurrent workers, per-request parallelism
+    /// would oversubscribe the machine.
+    pub request_threads: usize,
+    /// Expose `/debug/sleep` (used by the saturation and deadline tests
+    /// and the load generator's worst-case mode).
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline_ms: 10_000,
+            max_body: 1024 * 1024,
+            request_threads: 1,
+            debug_endpoints: false,
+        }
+    }
+}
+
+/// One admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    admitted: Instant,
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    db: RwLock<Database>,
+    cache: Mutex<ResultCache>,
+    metrics: Metrics,
+    queue: BoundedQueue<Job>,
+    limits: Limits,
+    default_deadline: Duration,
+    debug_endpoints: bool,
+    shutdown: AtomicBool,
+}
+
+/// A running query server. Dropping the handle detaches the threads; call
+/// [`Server::shutdown`] for a graceful stop or [`Server::join`] to serve
+/// until the process exits.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `db`. Builds the index first if the caller
+    /// has not. Returns once the listener and worker pool are running.
+    pub fn start(mut db: Database, config: ServerConfig) -> std::io::Result<Server> {
+        if !db.has_index() {
+            db.build_index();
+        }
+        db.set_threads(config.request_threads.max(1));
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            db: RwLock::new(db),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: Metrics::new(workers),
+            queue: BoundedQueue::new(config.queue_capacity),
+            limits: Limits {
+                max_body: config.max_body,
+            },
+            default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
+            debug_endpoints: config.debug_endpoints,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut worker_threads = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        let accept_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        Ok(Server {
+            addr,
+            shared,
+            listener_thread: Some(listener_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current `/metrics` document, without a request.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.to_json()
+    }
+
+    /// Mutate the database (e.g. load fresh documents and rebuild the
+    /// index) while serving. Takes the write lock — in-flight queries
+    /// finish first, new ones wait — and the generation bump performed by
+    /// the mutation invalidates every cached result by key.
+    pub fn reload<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut db = write_lock(&self.shared.db);
+        f(&mut db)
+    }
+
+    /// Graceful shutdown: refuse new connections, drain the admission
+    /// queue, finish in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+        // The listener no longer admits; close the queue so workers drain
+        // the remaining jobs and exit.
+        self.shared.queue.close();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Serve until the process exits (the CLI `serve` command's main
+    /// loop). Never returns under normal operation.
+    pub fn join(mut self) {
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.queue.close();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Recover a read guard even if a panicking holder poisoned the lock — the
+/// database itself is only mutated under `reload`, which keeps it valid.
+fn read_lock(lock: &RwLock<Database>) -> std::sync::RwLockReadGuard<'_, Database> {
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_lock(lock: &RwLock<Database>) -> std::sync::RwLockWriteGuard<'_, Database> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_cache(cache: &Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCache> {
+    cache.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            refuse(shared, stream, "server is shutting down", false);
+            break;
+        }
+        shared
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            stream,
+            admitted: Instant::now(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(depth) => {
+                shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
+            }
+            Err(PushError::Full(job)) => {
+                shared
+                    .metrics
+                    .rejected_saturated
+                    .fetch_add(1, Ordering::Relaxed);
+                refuse(shared, job.stream, "admission queue full", true);
+            }
+            Err(PushError::Closed(job)) => {
+                refuse(shared, job.stream, "server is shutting down", false);
+            }
+        }
+    }
+}
+
+/// Answer 503 directly from the accept loop — overload and shutdown never
+/// touch the worker pool.
+fn refuse(shared: &Shared, mut stream: TcpStream, message: &str, retryable: bool) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut response = Response::error(503, message);
+    if retryable {
+        response = response.with_header("Retry-After", "1".to_string());
+    }
+    shared.metrics.record_status(503);
+    let _ = response.write_to(&mut stream);
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared
+            .metrics
+            .queue_depth
+            .store(shared.queue.len(), Ordering::Relaxed);
+        shared.metrics.queue_wait.record(job.admitted.elapsed());
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        // A panic inside one request must not kill the worker: catch it,
+        // count a 500, and move on. The engine crates are panic-free by
+        // lint policy; this is defense in depth.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, job);
+        }));
+        if result.is_err() {
+            shared.metrics.record_status(500);
+        }
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(shared: &Shared, job: Job) {
+    let Job { stream, admitted } = job;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut stream = stream;
+    let response = match http::read_request(&mut reader, &shared.limits) {
+        Ok(request) => respond(shared, &request, admitted),
+        Err(e) => {
+            let (status, _) = e.status();
+            Response::error(status, &e.to_string())
+        }
+    };
+    shared.metrics.record_status(response.status);
+    if response.status == 504 {
+        shared
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = response.write_to(&mut stream);
+    shared.metrics.latency.record(admitted.elapsed());
+}
+
+/// Per-request deadline: the default, lowered by a `deadline_ms` query
+/// parameter. Anchored at admission time, so queue wait counts against it.
+fn deadline_of(shared: &Shared, request: &Request, admitted: Instant) -> Result<Instant, Response> {
+    let budget = match request.query_param("deadline_ms") {
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| Response::error(400, &format!("bad deadline_ms {raw:?}")))?;
+            Duration::from_millis(ms.max(1)).min(shared.default_deadline)
+        }
+        None => shared.default_deadline,
+    };
+    Ok(admitted + budget)
+}
+
+fn parse_f64(request: &Request, name: &str, default: f64) -> Result<f64, Response> {
+    match request.query_param(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
+fn parse_usize(request: &Request, name: &str, default: usize) -> Result<usize, Response> {
+    match request.query_param(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
+fn pick_params(request: &Request) -> Result<PickParams, Response> {
+    Ok(PickParams {
+        relevance_threshold: parse_f64(request, "threshold", 0.5)?,
+        fraction: parse_f64(request, "fraction", 0.5)?,
+    })
+}
+
+fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
+    let deadline = match deadline_of(shared, request, admitted) {
+        Ok(deadline) => deadline,
+        Err(response) => return response,
+    };
+    let counters = &shared.metrics.endpoints;
+    let bump = |c: &std::sync::atomic::AtomicU64| {
+        c.fetch_add(1, Ordering::Relaxed);
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            bump(&counters.health);
+            handle_health(shared)
+        }
+        ("GET", "/metrics") => {
+            bump(&counters.metrics);
+            Response::json(200, shared.metrics.to_json())
+        }
+        ("GET", "/search") => {
+            bump(&counters.search);
+            handle_search(shared, request, deadline)
+        }
+        ("GET", "/phrase") => {
+            bump(&counters.phrase);
+            handle_phrase(shared, request, deadline)
+        }
+        ("POST", "/search/batch") => {
+            bump(&counters.batch);
+            handle_batch(shared, request, deadline)
+        }
+        ("POST", "/query") => {
+            bump(&counters.query);
+            handle_query(shared, request, deadline)
+        }
+        ("GET", "/debug/sleep") if shared.debug_endpoints => {
+            bump(&counters.other);
+            handle_sleep(request, deadline)
+        }
+        (_, "/health" | "/metrics" | "/search" | "/phrase") => {
+            bump(&counters.other);
+            Response::error(405, "method not allowed").with_header("Allow", "GET".to_string())
+        }
+        (_, "/search/batch" | "/query") => {
+            bump(&counters.other);
+            Response::error(405, "method not allowed").with_header("Allow", "POST".to_string())
+        }
+        (_, path) => {
+            bump(&counters.other);
+            Response::error(404, &format!("no such endpoint {path:?}"))
+        }
+    }
+}
+
+fn handle_health(shared: &Shared) -> Response {
+    let db = read_lock(&shared.db);
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"docs\":{},\"nodes\":{},\"generation\":{},\"workers\":{}}}",
+            db.store().doc_count(),
+            db.store().node_count(),
+            db.generation(),
+            shared.metrics.workers_total
+        ),
+    )
+}
+
+/// Split a `q` parameter into normalized terms; 400 when absent or empty.
+fn terms_of(request: &Request) -> Result<Vec<String>, Response> {
+    let raw = request
+        .query_param("q")
+        .ok_or_else(|| Response::error(400, "missing q parameter"))?;
+    let split: Vec<&str> = raw.split_whitespace().collect();
+    let terms = normalize_query(&split);
+    if terms.is_empty() {
+        return Err(Response::error(400, "q has no terms"));
+    }
+    Ok(terms)
+}
+
+fn expired(deadline: Instant) -> bool {
+    Instant::now() >= deadline
+}
+
+fn handle_search(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let terms = match terms_of(request) {
+        Ok(terms) => terms,
+        Err(response) => return response,
+    };
+    let k = match parse_usize(request, "k", 10) {
+        Ok(k) => k,
+        Err(response) => return response,
+    };
+    let pick = match pick_params(request) {
+        Ok(pick) => pick,
+        Err(response) => return response,
+    };
+    let db = read_lock(&shared.db);
+    let generation = db.generation();
+    let key = QueryKey {
+        kind: QueryKind::Search,
+        terms: terms.clone(),
+        threshold_bits: pick.relevance_threshold.to_bits(),
+        fraction_bits: pick.fraction.to_bits(),
+        k,
+        generation,
+    };
+    if let Some(body) = lock_cache(&shared.cache).get(&key, generation) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, body);
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    let cancelled = || expired(deadline);
+    match db.search_cancellable(&term_refs, pick, k, &cancelled) {
+        Some(results) => {
+            let body = render::search_body(db.store(), &terms, pick, k, &results);
+            lock_cache(&shared.cache).insert(key, body.clone());
+            Response::json(200, body)
+        }
+        None => Response::error(504, "deadline exceeded"),
+    }
+}
+
+fn handle_phrase(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let terms = match terms_of(request) {
+        Ok(terms) => terms,
+        Err(response) => return response,
+    };
+    if terms.len() < 2 {
+        return Response::error(400, "phrase needs at least two terms");
+    }
+    let db = read_lock(&shared.db);
+    let generation = db.generation();
+    let key = QueryKey {
+        kind: QueryKind::Phrase,
+        terms: terms.clone(),
+        threshold_bits: 0,
+        fraction_bits: 0,
+        k: 0,
+        generation,
+    };
+    if let Some(body) = lock_cache(&shared.cache).get(&key, generation) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, body);
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    let matches = db.find_phrase(&term_refs);
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let body = render::phrase_body(db.store(), &terms, &matches);
+    lock_cache(&shared.cache).insert(key, body.clone());
+    Response::json(200, body)
+}
+
+fn handle_batch(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "batch body is not UTF-8");
+    };
+    let queries: Vec<Vec<String>> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            let split: Vec<&str> = line.split_whitespace().collect();
+            normalize_query(&split)
+        })
+        .collect();
+    if queries.is_empty() {
+        return Response::error(400, "batch body has no queries (one per line)");
+    }
+    if queries.len() > MAX_BATCH_QUERIES {
+        return Response::error(
+            400,
+            &format!(
+                "batch of {} exceeds the {MAX_BATCH_QUERIES}-query cap",
+                queries.len()
+            ),
+        );
+    }
+    let k = match parse_usize(request, "k", 10) {
+        Ok(k) => k,
+        Err(response) => return response,
+    };
+    let pick = match pick_params(request) {
+        Ok(pick) => pick,
+        Err(response) => return response,
+    };
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let db = read_lock(&shared.db);
+    let query_refs: Vec<Vec<&str>> = queries
+        .iter()
+        .map(|q| q.iter().map(String::as_str).collect())
+        .collect();
+    let results = db.search_batch(&query_refs, pick, k);
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    Response::json(
+        200,
+        render::batch_body(db.store(), &queries, pick, k, &results),
+    )
+}
+
+fn handle_query(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "query body is not UTF-8");
+    };
+    if text.trim().is_empty() {
+        return Response::error(400, "query body is empty");
+    }
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let db = read_lock(&shared.db);
+    match run_query(db.store(), text) {
+        Ok(items) => Response::json(200, render::query_body(&items)),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// `/debug/sleep?ms=N` — hold a worker for `ms`, checking the deadline
+/// cooperatively every few milliseconds. Exists so tests and the load
+/// generator can create precise overload and deadline-expiry conditions.
+fn handle_sleep(request: &Request, deadline: Instant) -> Response {
+    let ms = match parse_usize(request, "ms", 100) {
+        Ok(ms) => ms,
+        Err(response) => return response,
+    };
+    let until = Instant::now() + Duration::from_millis(u64::try_from(ms).unwrap_or(u64::MAX));
+    while Instant::now() < until {
+        if expired(deadline) {
+            return Response::error(504, "deadline exceeded");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+}

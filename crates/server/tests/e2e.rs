@@ -1,0 +1,417 @@
+//! End-to-end serving tests over raw `TcpStream`s: byte-identical results
+//! vs. direct `Database` calls, cache behavior across reloads, deadline
+//! expiry, bounded-admission saturation, and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tix::exec::pick::PickParams;
+use tix::{normalize_query, Database};
+use tix_server::{render, Server, ServerConfig};
+
+const DOCS: &[(&str, &str)] = &[
+    (
+        "a.xml",
+        "<article><sec><p>rust xml database systems</p></sec>\
+         <sec><p>cooking with rust the metal</p></sec></article>",
+    ),
+    (
+        "b.xml",
+        "<article><sec><title>xml storage</title><p>rust engines for xml</p></sec>\
+         <sec><p>unrelated text here</p></sec></article>",
+    ),
+    (
+        "c.xml",
+        "<review><p>the database was fast</p><p>rust xml database again</p></review>",
+    ),
+];
+
+fn corpus_db() -> Database {
+    let mut db = Database::new();
+    for (name, xml) in DOCS {
+        db.load(name, xml).unwrap();
+    }
+    db.build_index();
+    db
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(corpus_db(), config).unwrap()
+}
+
+/// Issue one raw HTTP request and return `(status, headers, body)`.
+fn raw_request(server: &Server, request: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body separator");
+    let headers = String::from_utf8_lossy(&raw[..split]).into_owned();
+    let body = raw[split + 4..].to_vec();
+    let status: u16 = headers
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, headers, body)
+}
+
+/// Poll the live metrics document until `needle` appears (10 s cap).
+fn wait_for_metric(server: &Server, needle: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = server.metrics_json();
+        if metrics.contains(needle) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {needle} in {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn get(server: &Server, target: &str) -> (u16, String, Vec<u8>) {
+    raw_request(server, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(server: &Server, target: &str, body: &str) -> (u16, String, Vec<u8>) {
+    raw_request(
+        server,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn health_reports_corpus() {
+    let server = start(ServerConfig::default());
+    let (status, _, body) = get(&server, "/health");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+    assert!(text.contains(&format!("\"docs\":{}", DOCS.len())), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn search_is_byte_identical_to_direct_database_search() {
+    let server = start(ServerConfig::default());
+    let reference = corpus_db();
+    let pick = PickParams {
+        relevance_threshold: 1.0,
+        fraction: 0.5,
+    };
+    let terms = normalize_query(&["rust", "xml"]);
+    let expected_results = reference.search(&["rust", "xml"], pick, 5);
+    let expected = render::search_body(reference.store(), &terms, pick, 5, &expected_results);
+
+    let (status, _, body) = get(&server, "/search?q=rust+xml&k=5&threshold=1.0&fraction=0.5");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        expected.as_bytes(),
+        "served bytes differ from direct search"
+    );
+    assert!(!expected_results.is_empty(), "fixture should produce hits");
+    server.shutdown();
+}
+
+#[test]
+fn phrase_is_byte_identical_to_direct_find_phrase() {
+    let server = start(ServerConfig::default());
+    let reference = corpus_db();
+    let terms = normalize_query(&["xml", "database"]);
+    let matches = reference.find_phrase(&["xml", "database"]);
+    let expected = render::phrase_body(reference.store(), &terms, &matches);
+
+    let (status, _, body) = get(&server, "/phrase?q=xml+database");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected.as_bytes());
+    assert!(!matches.is_empty(), "fixture should contain the phrase");
+    server.shutdown();
+}
+
+#[test]
+fn batch_matches_per_query_searches() {
+    let server = start(ServerConfig::default());
+    let reference = corpus_db();
+    let pick = PickParams {
+        relevance_threshold: 1.0,
+        fraction: 0.5,
+    };
+    let raw_queries = ["rust", "xml database", "nosuchterm", "rust"];
+    let queries: Vec<Vec<String>> = raw_queries
+        .iter()
+        .map(|q| {
+            let split: Vec<&str> = q.split_whitespace().collect();
+            normalize_query(&split)
+        })
+        .collect();
+    let per_query: Vec<_> = queries
+        .iter()
+        .map(|terms| {
+            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+            reference.search(&refs, pick, 5)
+        })
+        .collect();
+    let expected = render::batch_body(reference.store(), &queries, pick, 5, &per_query);
+
+    let body_text = raw_queries.join("\n");
+    let (status, _, body) = post(
+        &server,
+        "/search/batch?k=5&threshold=1.0&fraction=0.5",
+        &body_text,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, expected.as_bytes());
+    server.shutdown();
+}
+
+#[test]
+fn query_endpoint_runs_the_dialect() {
+    let server = start(ServerConfig::default());
+    let query = r#"
+        For $a in document("a.xml")//article/descendant-or-self::*
+        Score $a using ScoreFoo($a, {"xml database"}, {})
+        Sortby(score)
+        Threshold $a/@score > 0.5
+    "#;
+    let (status, _, body) = post(&server, "/query", query);
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"count\":"), "{text}");
+    assert!(text.contains("score"), "{text}");
+
+    let (status, _, body) = post(&server, "/query", "this is not the dialect");
+    assert_eq!(status, 400);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("error"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn repeated_search_hits_the_cache() {
+    let server = start(ServerConfig::default());
+    let (_, _, first) = get(&server, "/search?q=rust&k=3");
+    let (_, _, second) = get(&server, "/search?q=rust&k=3");
+    assert_eq!(first, second);
+    // Normalized variants share the cache entry.
+    let (_, _, third) = get(&server, "/search?q=%20rust%20&k=3");
+    assert_eq!(first, third);
+    let metrics = server.metrics_json();
+    let hits: u64 = metrics
+        .split("\"hits\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(hits >= 2, "expected ≥2 cache hits, metrics: {metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn reload_invalidates_cached_results() {
+    let server = start(ServerConfig::default());
+    let (_, _, before) = get(&server, "/search?q=freshterm&k=3");
+    let before = String::from_utf8(before).unwrap();
+    assert!(before.contains("\"count\":0"), "{before}");
+    // Serve it again so the entry is hot in the cache.
+    let _ = get(&server, "/search?q=freshterm&k=3");
+
+    server.reload(|db| {
+        db.load("d.xml", "<article><p>freshterm appears here</p></article>")
+            .unwrap();
+        db.build_index();
+    });
+
+    let (_, _, after) = get(&server, "/search?q=freshterm&k=3");
+    let after = String::from_utf8(after).unwrap();
+    assert!(
+        !after.contains("\"count\":0"),
+        "stale cached result served after reload: {after}"
+    );
+    assert!(after.contains("d.xml"), "{after}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unroutable_requests_get_4xx() {
+    let server = start(ServerConfig::default());
+    let (status, _, _) = raw_request(&server, "NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _, _) = raw_request(&server, "GET /health SMTP/1.0\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _, _) = get(&server, "/no/such/endpoint");
+    assert_eq!(status, 404);
+    let (status, headers, _) = raw_request(&server, "POST /search HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(headers.contains("Allow: GET"), "{headers}");
+    let (status, _, _) = get(&server, "/search?k=3"); // no q
+    assert_eq!(status, 400);
+    let (status, _, _) = get(&server, "/search?q=rust&k=banana");
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413_not_a_panic() {
+    let server = Server::start(
+        corpus_db(),
+        ServerConfig {
+            max_body: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (status, _, _) = raw_request(
+        &server,
+        "POST /search/batch HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+    // The server is still healthy afterwards.
+    let (status, _, _) = get(&server, "/health");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_504() {
+    let server = Server::start(
+        corpus_db(),
+        ServerConfig {
+            debug_endpoints: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (status, _, body) = get(&server, "/debug/sleep?ms=2000&deadline_ms=40");
+    assert_eq!(status, 504, "{}", String::from_utf8_lossy(&body));
+    let metrics = server.metrics_json();
+    assert!(
+        metrics.contains("\"deadline_expired\":1"),
+        "metrics: {metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturation_returns_503_with_retry_after() {
+    let server = Server::start(
+        corpus_db(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            debug_endpoints: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // Occupy the single worker, confirmed via the busy-workers gauge (a
+    // fixed sleep here is flaky when the whole suite shares one core).
+    let mut busy = TcpStream::connect(server.addr()).unwrap();
+    busy.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    busy.write_all(b"GET /debug/sleep?ms=3000 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    wait_for_metric(&server, "\"busy\":1");
+    // …fill the single queue slot (it stays queued: the worker is busy)…
+    let mut queued = TcpStream::connect(server.addr()).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    queued
+        .write_all(b"GET /debug/sleep?ms=10 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    wait_for_metric(&server, "\"depth\":1");
+    // …and the next request must be rejected immediately, not buffered.
+    let start = std::time::Instant::now();
+    let (status, headers, _) = get(&server, "/health");
+    assert_eq!(status, 503);
+    assert!(headers.contains("Retry-After:"), "{headers}");
+    assert!(
+        start.elapsed() < Duration::from_millis(1500),
+        "503 took {:?} — the full queue blocked behind the 3 s sleep instead of rejecting",
+        start.elapsed()
+    );
+    // The in-flight and queued requests still complete.
+    let (status, _, _) = read_response(&mut busy);
+    assert_eq!(status, 200);
+    let (status, _, _) = read_response(&mut queued);
+    assert_eq!(status, 200);
+    let metrics = server.metrics_json();
+    assert!(
+        metrics.contains("\"rejected_saturated\":1"),
+        "metrics: {metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_work() {
+    let server = Server::start(
+        corpus_db(),
+        ServerConfig {
+            workers: 2,
+            debug_endpoints: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut in_flight = TcpStream::connect(addr).unwrap();
+    in_flight
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    in_flight
+        .write_all(b"GET /debug/sleep?ms=300 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    wait_for_metric(&server, "\"busy\":1");
+    server.shutdown();
+    // The in-flight request was drained, not dropped.
+    let (status, _, _) = read_response(&mut in_flight);
+    assert_eq!(status, 200);
+    // New connections are refused once shutdown completes.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
+
+#[test]
+fn metrics_track_requests_and_latency() {
+    let server = start(ServerConfig::default());
+    for _ in 0..3 {
+        let (status, _, _) = get(&server, "/search?q=rust");
+        assert_eq!(status, 200);
+    }
+    let (status, _, body) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    for key in [
+        "\"requests_total\":",
+        "\"2xx\":",
+        "\"p50_us\":",
+        "\"p95_us\":",
+        "\"p99_us\":",
+        "\"utilization\":",
+        "\"search\":3",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    server.shutdown();
+}

@@ -30,6 +30,7 @@ pub struct Database {
     store: Store,
     index: Option<InvertedIndex>,
     threads: usize,
+    generation: u64,
 }
 
 impl Default for Database {
@@ -38,8 +39,26 @@ impl Default for Database {
             store: Store::new(),
             index: None,
             threads: tix_parallel::default_threads(),
+            generation: 0,
         }
     }
+}
+
+/// Canonical query-term normalization shared by every result-caching and
+/// batching layer: trim surrounding whitespace and drop empty terms. The
+/// term *case* is preserved — index lookups are exact-string, so case
+/// folding here would change results.
+///
+/// [`Database::search`] applies this to its input, so two queries with the
+/// same normalized form are guaranteed identical results; `tix-server`'s
+/// result cache and [`Database::search_batch`]'s deduplication both key on
+/// this form for exactly that reason.
+pub fn normalize_query<S: AsRef<str>>(terms: &[S]) -> Vec<String> {
+    terms
+        .iter()
+        .map(|t| t.as_ref().trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 impl Database {
@@ -59,22 +78,37 @@ impl Database {
         self.threads
     }
 
-    /// Parse and load a document. Invalidates the index.
+    /// Parse and load a document. Invalidates the index and bumps the
+    /// [generation](Database::generation).
     pub fn load(&mut self, name: &str, xml: &str) -> Result<DocId, LoadError> {
         self.index = None;
+        self.generation += 1;
         self.store.load_str(name, xml)
     }
 
     /// Build (or rebuild) the inverted index over everything loaded,
     /// fanning per-document extraction out over the configured threads.
+    /// Bumps the [generation](Database::generation).
     pub fn build_index(&mut self) {
         self.index = Some(InvertedIndex::build_with_threads(&self.store, self.threads));
+        self.generation += 1;
     }
 
     /// Install a pre-built index (e.g. loaded from an index snapshot). The
-    /// caller is responsible for it matching the loaded store.
+    /// caller is responsible for it matching the loaded store. Bumps the
+    /// [generation](Database::generation).
     pub fn set_index(&mut self, index: InvertedIndex) {
         self.index = Some(index);
+        self.generation += 1;
+    }
+
+    /// The store/index **generation**: a counter bumped by every mutation
+    /// ([`Database::load`], [`Database::build_index`],
+    /// [`Database::set_index`], [`Database::store_mut`]). Result caches key
+    /// on it so entries computed against an older store or index can never
+    /// be served after a reload.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The underlying store.
@@ -83,9 +117,11 @@ impl Database {
     }
 
     /// Mutable store access (e.g. for the corpus generator's `load_into`).
-    /// Invalidates the index.
+    /// Invalidates the index and bumps the
+    /// [generation](Database::generation).
     pub fn store_mut(&mut self) -> &mut Store {
         self.index = None;
+        self.generation += 1;
         &mut self.store
     }
 
@@ -98,6 +134,11 @@ impl Database {
         self.index
             .as_ref()
             .expect("call Database::build_index() after loading documents")
+    }
+
+    /// Has an index been built (or installed) since the last mutation?
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
     }
 
     /// A scoring context carrying the store and index.
@@ -140,42 +181,112 @@ impl Database {
 
     /// The classic end-to-end IR pipeline: TermJoin scoring → stack-based
     /// Pick (parent/child redundancy elimination) → top-k. Returns at most
-    /// `k` picked elements, best first.
+    /// `k` picked elements, best first. Terms are normalized with
+    /// [`normalize_query`] first, so e.g. `" rust "` and `"rust"` are the
+    /// same query.
     pub fn search(&self, terms: &[&str], pick: PickParams, k: usize) -> Vec<ScoredNode> {
+        // Never cancelled, so always Some.
+        self.search_cancellable(terms, pick, k, &|| false)
+            .unwrap_or_default()
+    }
+
+    /// [`Database::search`] with cooperative cancellation: `cancelled` is
+    /// consulted between the pipeline's operator stages (before TermJoin,
+    /// between TermJoin and Pick, and between Pick and top-k) and the
+    /// search returns `None` as soon as it reports `true`. This is the
+    /// serving layer's deadline hook — an expired request stops paying for
+    /// the remaining stages instead of computing a result nobody reads.
+    pub fn search_cancellable(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Vec<ScoredNode>> {
+        let normalized = normalize_query(terms);
+        self.search_stages(&normalized, pick, k, cancelled)
+    }
+
+    /// The staged pipeline behind [`Database::search_cancellable`];
+    /// `terms` must already be in [`normalize_query`] form.
+    fn search_stages(
+        &self,
+        terms: &[String],
+        pick: PickParams,
+        k: usize,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Vec<ScoredNode>> {
+        self.search_stages_threads(terms, pick, k, cancelled, self.threads)
+    }
+
+    fn search_stages_threads(
+        &self,
+        terms: &[String],
+        pick: PickParams,
+        k: usize,
+        cancelled: &dyn Fn() -> bool,
+        threads: usize,
+    ) -> Option<Vec<ScoredNode>> {
+        if cancelled() {
+            return None;
+        }
+        let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
         let scorer = SimpleScorer::uniform();
         let scored = sort_by_node(term_join_parallel(
             &self.store,
             self.index(),
-            terms,
+            &term_refs,
             &scorer,
-            self.threads,
+            threads,
         ));
-        let picked = pick_stream_parallel(&self.store, &scored, &pick, self.threads);
-        topk::top_k(picked, k)
+        if cancelled() {
+            return None;
+        }
+        let picked = pick_stream_parallel(&self.store, &scored, &pick, threads);
+        if cancelled() {
+            return None;
+        }
+        Some(topk::top_k(picked, k))
     }
 
     /// Run [`Database::search`] for several queries, fanning the *queries*
     /// out over the configured threads (each individual search runs
     /// sequentially, so workers are never oversubscribed). Results are in
     /// query order and identical to calling `search` per query.
+    ///
+    /// Queries that are identical after [`normalize_query`] are
+    /// deduplicated before dispatch — the search runs once and the result
+    /// is fanned back out to every occurrence — so a batch of popular
+    /// repeated queries costs one evaluation each.
     pub fn search_batch(
         &self,
         queries: &[Vec<&str>],
         pick: PickParams,
         k: usize,
     ) -> Vec<Vec<ScoredNode>> {
-        tix_parallel::parallel_map(queries, self.threads, |terms| {
-            let scorer = SimpleScorer::uniform();
-            let scored = sort_by_node(term_join_parallel(
-                &self.store,
-                self.index(),
-                terms,
-                &scorer,
-                1,
-            ));
-            let picked = pick_stream_parallel(&self.store, &scored, &pick, 1);
-            topk::top_k(picked, k)
-        })
+        let normalized: Vec<Vec<String>> = queries.iter().map(|q| normalize_query(q)).collect();
+        // First occurrence index of each distinct normalized query, and
+        // each query's slot in the deduplicated dispatch list.
+        let mut first_of: std::collections::HashMap<&[String], usize> =
+            std::collections::HashMap::new();
+        let mut unique: Vec<&Vec<String>> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(queries.len());
+        for q in &normalized {
+            let slot = *first_of.entry(q.as_slice()).or_insert_with(|| {
+                unique.push(q);
+                unique.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        let unique_results: Vec<Vec<ScoredNode>> =
+            tix_parallel::parallel_map(&unique, self.threads, |terms| {
+                self.search_stages_threads(terms, pick, k, &|| false, 1)
+                    .unwrap_or_default()
+            });
+        slot_of
+            .into_iter()
+            .map(|slot| unique_results.get(slot).cloned().unwrap_or_default())
+            .collect()
     }
 }
 
@@ -318,5 +429,95 @@ mod tests {
         let mut db = Database::new();
         db.set_threads(0);
         assert_eq!(db.threads(), 1);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut db = Database::new();
+        assert_eq!(db.generation(), 0);
+        db.load("a.xml", "<a>x</a>").unwrap();
+        let after_load = db.generation();
+        assert!(after_load > 0);
+        db.build_index();
+        let after_build = db.generation();
+        assert!(after_build > after_load);
+        let _ = db.store_mut();
+        assert!(db.generation() > after_build);
+        db.build_index();
+        let g = db.generation();
+        let index = InvertedIndex::build(db.store());
+        db.set_index(index);
+        assert!(db.generation() > g);
+    }
+
+    #[test]
+    fn normalize_query_trims_and_drops_empty() {
+        assert_eq!(
+            crate::normalize_query(&[" rust ", "xml", "", "  "]),
+            vec!["rust".to_string(), "xml".to_string()]
+        );
+        // Case is preserved: index lookups are exact-string.
+        assert_eq!(crate::normalize_query(&["Rust"]), vec!["Rust".to_string()]);
+    }
+
+    #[test]
+    fn search_normalizes_terms() {
+        let db = db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        assert_eq!(
+            db.search(&[" rust ", ""], pick, 5),
+            db.search(&["rust"], pick, 5)
+        );
+    }
+
+    #[test]
+    fn search_cancellable_stops_between_stages() {
+        let db = db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        assert!(db
+            .search_cancellable(&["rust"], pick, 5, &|| true)
+            .is_none());
+        let full = db.search_cancellable(&["rust"], pick, 5, &|| false);
+        assert_eq!(full, Some(db.search(&["rust"], pick, 5)));
+        // Cancel only after the first checkpoint has passed: flip on the
+        // second poll.
+        let polls = std::cell::Cell::new(0u32);
+        let late = db.search_cancellable(&["rust"], pick, 5, &|| {
+            polls.set(polls.get() + 1);
+            polls.get() >= 2
+        });
+        assert!(late.is_none());
+        assert!(polls.get() >= 2);
+    }
+
+    #[test]
+    fn search_batch_dedupes_identical_queries() {
+        let db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        // Duplicates both literal and up-to-normalization.
+        let queries: Vec<Vec<&str>> = vec![
+            vec!["rust"],
+            vec![" rust "],
+            vec!["rust", "xml"],
+            vec!["rust"],
+            vec!["xml", "rust"],
+        ];
+        let batch = db.search_batch(&queries, pick, 5);
+        assert_eq!(batch.len(), queries.len());
+        for (terms, result) in queries.iter().zip(&batch) {
+            assert_eq!(result, &db.search(terms, pick, 5), "{terms:?}");
+        }
+        // Fanned-out duplicates are identical, not merely equivalent.
+        assert_eq!(batch[0], batch[1]);
+        assert_eq!(batch[0], batch[3]);
     }
 }

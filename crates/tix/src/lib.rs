@@ -47,4 +47,4 @@ pub use tix_xml as xml;
 
 mod db;
 
-pub use db::Database;
+pub use db::{normalize_query, Database};
