@@ -15,7 +15,7 @@
 //! ```
 
 use std::fs;
-use std::io::{BufReader, BufWriter, Read};
+use std::io::Read;
 use std::process::ExitCode;
 
 use tix::corpus::{CorpusSpec, Generator, PlantSpec};
@@ -164,9 +164,13 @@ mod commands {
     }
 
     /// Open a snapshot plus its sidecar index (`<snapshot>.idx`), building
-    /// and caching the index on first use. `threads` overrides the default
-    /// worker count (`TIX_THREADS` / machine parallelism) for the index
-    /// build and all queries; results are identical either way.
+    /// and caching the index on first use. A corrupt or truncated sidecar
+    /// is *recovered from* — the index is rebuilt from the store and the
+    /// sidecar rewritten (atomically) — never a fatal error: the sidecar
+    /// is a cache, and the store snapshot is the source of truth. `threads`
+    /// overrides the default worker count (`TIX_THREADS` / machine
+    /// parallelism) for the index build and all queries; results are
+    /// identical either way.
     fn database(snapshot: &str, threads: Option<usize>) -> Result<Database, String> {
         let store = read_snapshot(snapshot)?;
         let mut db = Database::new();
@@ -175,34 +179,32 @@ mod commands {
         }
         *db.store_mut() = store;
         let idx_path = format!("{snapshot}.idx");
-        match fs::File::open(&idx_path) {
-            Ok(file) => {
-                let index = tix::index::InvertedIndex::load_snapshot(BufReader::new(file))
-                    .map_err(|e| format!("{idx_path}: {e}"))?;
-                db.set_index(index);
+        if let Err(err) = db.load_index_from(&idx_path) {
+            // A missing sidecar is the normal first run; anything else is
+            // damage worth reporting before rebuilding over it.
+            let missing = matches!(
+                &err,
+                tix::PersistError::Io(e) if e.kind() == std::io::ErrorKind::NotFound
+            );
+            if !missing {
+                eprintln!("warning: {idx_path}: {err}; rebuilding index from the snapshot");
             }
-            Err(_) => {
-                db.build_index();
-                if let Ok(file) = fs::File::create(&idx_path) {
-                    db.index()
-                        .save_snapshot(BufWriter::new(file))
-                        .map_err(|e| e.to_string())?;
-                }
+            db.build_index();
+            if let Err(err) = db.save_index_to(&idx_path) {
+                // The database still works from the in-memory index; only
+                // the cache for the next run could not be written.
+                eprintln!("warning: cannot write {idx_path}: {err}");
             }
         }
         Ok(db)
     }
 
     fn read_snapshot(path: &str) -> Result<Store, String> {
-        let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        Store::load_snapshot(BufReader::new(file)).map_err(|e| e.to_string())
+        tix::persist::load_store(path).map_err(|e| format!("cannot open {path}: {e}"))
     }
 
     fn write_snapshot(store: &Store, path: &str) -> Result<(), String> {
-        let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        store
-            .save_snapshot(BufWriter::new(file))
-            .map_err(|e| e.to_string())
+        tix::persist::save_store(store, path).map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 
@@ -494,6 +496,56 @@ mod tests {
         .unwrap();
         assert_eq!(phrase_par, phrase_base);
         assert!(dispatch(&["search".into(), "x".into(), "--threads".into()]).is_err());
+    }
+
+    #[test]
+    fn corrupt_index_sidecar_recovers_and_repairs() {
+        let xml_path = tmp("sidecar.xml");
+        fs::write(
+            &xml_path,
+            "<article><p>resilient rust database</p></article>",
+        )
+        .unwrap();
+        let snap = tmp("sidecar.snap");
+        dispatch(&["load".into(), snap.clone(), xml_path]).unwrap();
+        let search = || dispatch(&["search".into(), snap.clone(), "rust".into()]);
+        let expected = search().unwrap();
+        let idx_path = format!("{snap}.idx");
+        assert!(
+            fs::metadata(&idx_path).is_ok(),
+            "first search caches the sidecar"
+        );
+
+        // Bit-flipped, truncated, and garbage sidecars must all be
+        // recovered from — same results, not an error — and the sidecar
+        // must come back valid.
+        let good = fs::read(&idx_path).unwrap();
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x04;
+        for bad in [flipped, good[..good.len() / 3].to_vec(), b"junk".to_vec()] {
+            fs::write(&idx_path, &bad).unwrap();
+            assert_eq!(search().unwrap(), expected);
+            assert_eq!(
+                fs::read(&idx_path).unwrap(),
+                good,
+                "sidecar repaired to a byte-identical snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn unwritable_sidecar_is_not_fatal() {
+        // Point the snapshot into a directory that exists but where the
+        // sidecar path is itself a directory, so the rewrite always fails;
+        // the search must still answer from the in-memory index.
+        let xml_path = tmp("nosidecar.xml");
+        fs::write(&xml_path, "<article><p>memory only rust</p></article>").unwrap();
+        let snap = tmp("nosidecar.snap");
+        dispatch(&["load".into(), snap.clone(), xml_path]).unwrap();
+        fs::create_dir_all(format!("{snap}.idx")).unwrap();
+        let out = dispatch(&["search".into(), snap, "rust".into()]).unwrap();
+        assert!(out.contains("results"), "{out}");
     }
 
     #[test]

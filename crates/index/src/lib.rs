@@ -37,5 +37,7 @@ mod tokenize;
 
 pub use build::InvertedIndex;
 pub use postings::{Posting, PostingList, TermId, TermStats};
-pub use snapshot::IndexSnapshotError;
+pub use snapshot::{
+    IndexSnapshotError, INDEX_SNAPSHOT_MAGIC, INDEX_SNAPSHOT_MIN_VERSION, INDEX_SNAPSHOT_VERSION,
+};
 pub use tokenize::{terms, tokenize, Token};

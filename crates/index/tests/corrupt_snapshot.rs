@@ -15,9 +15,13 @@ fn sample_index() -> InvertedIndex {
     InvertedIndex::build(&store)
 }
 
+// These tests target the *structural* validation layer (posting order,
+// UTF-8, bounds), so they walk the flat v1 byte layout where every field
+// sits at a computable offset. v2 shares the same per-term decoder, and
+// its checksum layer has its own exhaustive sweeps in crash_safety.rs.
 fn snapshot_bytes(index: &InvertedIndex) -> Vec<u8> {
     let mut buf = Vec::new();
-    index.save_snapshot(&mut buf).unwrap();
+    index.save_snapshot_v1(&mut buf).unwrap();
     buf
 }
 

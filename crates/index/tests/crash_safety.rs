@@ -1,0 +1,175 @@
+//! Fault-injection sweeps over the v2 inverted-index snapshot, mirroring
+//! the store's: torn writes never damage the committed sidecar, every
+//! single-bit flip is rejected with a typed error, and interrupt storms /
+//! short I/O are survived transparently.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use tix_index::{IndexSnapshotError, InvertedIndex};
+use tix_store::faultio::{CorruptingReader, FailingReader, FailingWriter};
+use tix_store::persist::atomic_write;
+use tix_store::Store;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tix-crash-index-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn index_a() -> InvertedIndex {
+    let mut store = Store::new();
+    store
+        .load_str("a.xml", "<a><p>alpha beta alpha</p><p>gamma beta</p></a>")
+        .unwrap();
+    store.load_str("b.xml", "<a><p>beta alpha</p></a>").unwrap();
+    InvertedIndex::build(&store)
+}
+
+fn index_b() -> InvertedIndex {
+    let mut store = Store::new();
+    store
+        .load_str("c.xml", "<r><p>delta epsilon</p></r>")
+        .unwrap();
+    InvertedIndex::build(&store)
+}
+
+fn snapshot_bytes(index: &InvertedIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    index.save_snapshot(&mut buf).unwrap();
+    buf
+}
+
+fn temp_litter(dir: &PathBuf) -> Vec<String> {
+    fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect()
+}
+
+#[test]
+fn torn_write_sweep_preserves_committed_sidecar_at_every_offset() {
+    let dir = tmp_dir("torn");
+    let path = dir.join("corpus.idx");
+    let committed = snapshot_bytes(&index_a());
+    atomic_write::<io::Error, _>(&path, |w| w.write_all(&committed)).unwrap();
+    let replacement = snapshot_bytes(&index_b());
+
+    for limit in 0..replacement.len() {
+        let torn = atomic_write::<io::Error, _>(&path, |w| {
+            let mut failing = FailingWriter::fail_after(w, limit as u64);
+            failing.write_all(&replacement)
+        });
+        assert!(
+            torn.is_err(),
+            "write crashed after {limit} bytes yet committed"
+        );
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            committed,
+            "crash after {limit} bytes damaged the committed sidecar"
+        );
+        let litter = temp_litter(&dir);
+        assert!(
+            litter.is_empty(),
+            "crash after {limit} bytes left {litter:?}"
+        );
+    }
+    let loaded = InvertedIndex::load_snapshot(fs::read(&path).unwrap().as_slice()).unwrap();
+    assert_eq!(loaded.term_count(), index_a().term_count());
+
+    atomic_write::<io::Error, _>(&path, |w| w.write_all(&replacement)).unwrap();
+    assert_eq!(fs::read(&path).unwrap(), replacement);
+}
+
+/// Index magic is 6 bytes, version byte sits at offset 6; everything past
+/// it is covered by section checksums and the whole-file seal.
+fn assert_flip_rejected(err: &IndexSnapshotError, offset: usize, bit: u8) {
+    match (offset, err) {
+        (0..=5, IndexSnapshotError::BadMagic) => {}
+        (6, IndexSnapshotError::UnsupportedVersion(_)) => {}
+        (_, IndexSnapshotError::Corrupt(_)) if offset > 6 => {}
+        _ => panic!("flip at byte {offset} bit {bit} mis-classified: {err:?}"),
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let base = snapshot_bytes(&index_a());
+    for offset in 0..base.len() {
+        for bit in 0..8u8 {
+            let mut flipped = base.clone();
+            flipped[offset] ^= 1 << bit;
+            let err = InvertedIndex::load_snapshot(flipped.as_slice())
+                .err()
+                .unwrap_or_else(|| panic!("flip at byte {offset} bit {bit} loaded cleanly"));
+            assert_flip_rejected(&err, offset, bit);
+        }
+    }
+}
+
+#[test]
+fn corrupting_reader_flips_are_equally_rejected() {
+    let base = snapshot_bytes(&index_a());
+    let offsets = [0, 6, 7, base.len() / 2, base.len() - 1];
+    for &offset in &offsets {
+        for bit in [0u8, 3, 7] {
+            let reader = CorruptingReader::flip_bit(base.as_slice(), offset as u64, bit);
+            let err = InvertedIndex::load_snapshot(reader)
+                .err()
+                .unwrap_or_else(|| panic!("streamed flip at byte {offset} bit {bit} loaded"));
+            assert_flip_rejected(&err, offset, bit);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    let base = snapshot_bytes(&index_a());
+    for cut in 0..base.len() {
+        assert!(
+            InvertedIndex::load_snapshot(&base[..cut]).is_err(),
+            "v2 prefix of {cut} bytes loaded successfully"
+        );
+    }
+    let mut extended = base.clone();
+    extended.push(0);
+    assert!(InvertedIndex::load_snapshot(extended.as_slice()).is_err());
+}
+
+#[test]
+fn interrupt_storms_and_short_io_are_survived() {
+    let index = index_a();
+    let mut stormy = Vec::new();
+    index
+        .save_snapshot(
+            FailingWriter::unlimited(&mut stormy)
+                .short()
+                .interrupt_every(2),
+        )
+        .unwrap();
+    assert_eq!(stormy, snapshot_bytes(&index));
+
+    let loaded = InvertedIndex::load_snapshot(
+        FailingReader::unlimited(stormy.as_slice())
+            .short()
+            .interrupt_every(3),
+    )
+    .unwrap();
+    assert_eq!(loaded.term_count(), index.term_count());
+    assert_eq!(loaded.total_tokens(), index.total_tokens());
+}
+
+#[test]
+fn hard_read_failures_error_at_every_offset() {
+    let base = snapshot_bytes(&index_a());
+    for limit in 0..base.len() {
+        let reader = FailingReader::fail_after(base.as_slice(), limit as u64);
+        assert!(
+            InvertedIndex::load_snapshot(reader).is_err(),
+            "read dying after {limit} bytes produced an index"
+        );
+    }
+}

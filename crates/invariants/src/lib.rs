@@ -445,6 +445,120 @@ pub fn assert_cache_coherent(entry_generation: u64, current_generation: u64) {
     }
 }
 
+// ---- snapshot sealing -------------------------------------------------------
+
+/// Lookup table for CRC-32 (IEEE 802.3, reflected, polynomial
+/// `0xEDB88320`) — the checksum sealing every v2 snapshot section and
+/// file. Hand-rolled so the persistence layer stays dependency-free.
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 (IEEE) digest. Feed bytes with [`Crc32::update`];
+/// [`Crc32::finish`] yields the checksum without consuming the state, so
+/// a running file digest can be inspected mid-stream.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            let idx = ((c ^ u32::from(b)) & 0xFF) as usize;
+            c = CRC32_TABLE[idx] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut digest = Crc32::new();
+    digest.update(bytes);
+    digest.finish()
+}
+
+/// Snapshot seal (the persistence layer's durability contract): `bytes`
+/// must be a complete image of a **sealed** snapshot file — it starts with
+/// `magic`, carries a checksummed format version (`>= 2`; v1 predates
+/// sealing), and its trailing four bytes are the little-endian CRC-32 of
+/// everything before them. Writers assert this on the exact bytes they are
+/// about to publish; loaders check it before trusting any length field in
+/// the body.
+pub fn try_snapshot_sealed(magic: &[u8], bytes: &[u8]) -> Result<(), InvariantError> {
+    const NAME: &str = "snapshot-sealed";
+    let min = magic.len() + 1 + 4;
+    if bytes.len() < min {
+        return violation(
+            NAME,
+            format!("{} bytes cannot hold magic, version, and seal", bytes.len()),
+        );
+    }
+    if !bytes.starts_with(magic) {
+        return violation(NAME, "magic bytes do not match".to_string());
+    }
+    let version = bytes.get(magic.len()).copied().unwrap_or(0);
+    if version < 2 {
+        return violation(NAME, format!("format version {version} predates sealing"));
+    }
+    let body_len = bytes.len() - 4;
+    let mut tail = [0u8; 4];
+    tail.copy_from_slice(&bytes[body_len..]);
+    let stored = u32::from_le_bytes(tail);
+    let actual = crc32(&bytes[..body_len]);
+    if stored != actual {
+        return violation(
+            NAME,
+            format!("trailing checksum {stored:#010x} != computed {actual:#010x}"),
+        );
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_snapshot_sealed`]; wrap calls in [`check!`].
+pub fn assert_snapshot_sealed(magic: &[u8], bytes: &[u8]) {
+    if let Err(e) = try_snapshot_sealed(magic, bytes) {
+        panic!("{e}");
+    }
+}
+
 /// Chunk-partition correctness (the parallel layer's contract): ranges
 /// must tile `0..len` contiguously, in order, with no empty range (unless
 /// `len == 0`, when there must be no ranges at all).
@@ -616,6 +730,66 @@ mod tests {
         let err = try_cache_coherent(2, 3).unwrap_err();
         assert_eq!(err.invariant, "cache-coherent");
         assert!(err.to_string().contains("generation 2"), "{err}");
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental and one-shot digests agree on split input.
+        let mut d = Crc32::new();
+        d.update(b"1234");
+        d.update(b"56789");
+        assert_eq!(d.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn snapshot_seal_accepts_well_sealed_bytes() {
+        let magic = b"TESTMAG";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(magic);
+        bytes.push(2); // version
+        bytes.extend_from_slice(b"payload");
+        let seal = crc32(&bytes);
+        bytes.extend_from_slice(&seal.to_le_bytes());
+        assert!(try_snapshot_sealed(magic, &bytes).is_ok());
+    }
+
+    #[test]
+    fn snapshot_seal_violations_caught() {
+        let magic = b"TESTMAG";
+        let build = |version: u8| {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(magic);
+            bytes.push(version);
+            bytes.extend_from_slice(b"payload");
+            let seal = crc32(&bytes);
+            bytes.extend_from_slice(&seal.to_le_bytes());
+            bytes
+        };
+        // Too short.
+        let err = try_snapshot_sealed(magic, b"TE").unwrap_err();
+        assert_eq!(err.invariant, "snapshot-sealed");
+        // Wrong magic.
+        let mut bad = build(2);
+        bad[0] ^= 0xFF;
+        // (recompute nothing: magic is checked before the seal)
+        assert!(try_snapshot_sealed(magic, &bad).is_err());
+        // Unsealed (v1) format.
+        assert!(try_snapshot_sealed(magic, &build(1)).is_err());
+        // Any single bit flip in body or seal breaks the seal.
+        let good = build(2);
+        for i in magic.len() + 1..good.len() {
+            for bit in 0..8 {
+                let mut flipped = good.clone();
+                flipped[i] ^= 1 << bit;
+                assert!(
+                    try_snapshot_sealed(magic, &flipped).is_err(),
+                    "flip at byte {i} bit {bit} kept the seal intact"
+                );
+            }
+        }
     }
 
     #[test]

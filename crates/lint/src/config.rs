@@ -36,6 +36,12 @@ pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "server"];
 /// must sit behind an explicit capacity check.
 pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server"];
 
+/// Crates that write snapshot/sidecar files (`no-bare-file-create`): a
+/// bare `File::create` puts partial bytes at the final path, so a crash
+/// mid-write replaces good data with a torn file. All durable writes in
+/// these crates must go through `tix_store::persist::atomic_write`.
+pub const DURABLE_WRITE_CRATES: &[&str] = &["store", "index", "tix", "cli", "server"];
+
 /// Scoring-path files: no `as` numeric casts here — conversions must be
 /// `From`/`TryFrom` or a helper with a justified inline allow. These are
 /// the files where a silently wrapping cast would corrupt a relevance
@@ -82,6 +88,11 @@ pub const ALLOWS: &[Allow] = &[
         rule: "no-slice-index",
         path_suffix: "crates/query/src/lexer.rs",
         reason: "ASCII byte-scanner; every index is guarded by an i/j < bytes.len() loop bound and slices sit on ASCII boundaries",
+    },
+    Allow {
+        rule: "no-bare-file-create",
+        path_suffix: "crates/store/src/persist.rs",
+        reason: "this file IS the atomic_write implementation — it creates only sibling temp files that are fsynced and renamed over the destination",
     },
 ];
 

@@ -60,6 +60,10 @@ const RULES: &[(&str, &str)] = &[
     ),
     ("pub-doc", "public items in core/exec require doc comments"),
     ("no-float-eq", "no direct f64 equality on scores"),
+    (
+        "no-bare-file-create",
+        "snapshot writes must use atomic_write, not a bare File::create",
+    ),
 ];
 
 fn main() -> ExitCode {

@@ -80,6 +80,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     no_unbounded_channel(ctx, out);
     pub_doc(ctx, out);
     no_float_eq(ctx, out);
+    no_bare_file_create(ctx, out);
 }
 
 fn push(
@@ -435,6 +436,36 @@ fn no_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// `no-bare-file-create`: in snapshot-writing crates, `File::create`
+/// writes partial bytes at the final path — a crash mid-write replaces
+/// committed data with a torn file. Durable writes must go through
+/// `tix_store::persist::atomic_write` (sibling temp + fsync + rename).
+fn no_bare_file_create(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !config::DURABLE_WRITE_CRATES.contains(&ctx.krate) {
+        return;
+    }
+    let toks = &ctx.lx.tokens;
+    for i in 0..toks.len().saturating_sub(2) {
+        if ctx.is_test(i) {
+            continue;
+        }
+        if toks[i].text == "File"
+            && toks[i].kind == TokenKind::Ident
+            && toks[i + 1].text == "::"
+            && toks[i + 2].text == "create"
+        {
+            push(
+                out,
+                ctx,
+                "no-bare-file-create",
+                toks[i].line,
+                "`File::create` writes in place; a crash mid-write leaves a torn file at the final path".to_string(),
+                "route the write through `tix_store::persist::atomic_write`, or justify with `// lint:allow(no-bare-file-create): <why atomic>`",
+            );
+        }
+    }
+}
+
 /// Mark the token spans covered by `#[cfg(test)]` / `#[test]` items.
 fn mark_test_spans(toks: &[Token]) -> Vec<bool> {
     let mut marked = vec![false; toks.len()];
@@ -748,6 +779,39 @@ mod tests {
         );
         assert_eq!(rules_of(&f), ["no-float-eq"]);
         assert!(findings_in("crates/exec/src/x.rs", "fn f(n: u32) -> bool { n == 0 }").is_empty());
+    }
+
+    #[test]
+    fn bare_file_create_flagged_in_durable_write_crates() {
+        let f = findings_in(
+            "crates/cli/src/main.rs",
+            "fn f() { let file = fs::File::create(path); }",
+        );
+        assert_eq!(rules_of(&f), ["no-bare-file-create"]);
+        // The atomic_write implementation itself is allowlisted.
+        assert!(findings_in(
+            "crates/store/src/persist.rs",
+            "fn f() { let file = File::create(tmp); }"
+        )
+        .is_empty());
+        // Crates outside the durable-write scope are unaffected.
+        assert!(findings_in(
+            "crates/corpus/src/x.rs",
+            "fn f() { let file = File::create(path); }"
+        )
+        .is_empty());
+        // Tests may create files directly.
+        assert!(findings_in(
+            "crates/cli/src/main.rs",
+            "#[cfg(test)]\nmod tests { fn f() { fs::File::create(p); } }"
+        )
+        .is_empty());
+        // An inline allow with a justification suppresses it.
+        assert!(findings_in(
+            "crates/server/src/x.rs",
+            "fn f() {\n    // lint:allow(no-bare-file-create): scratch file in a per-run temp dir\n    let file = File::create(p);\n}"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -250,6 +250,63 @@ fn reload_invalidates_cached_results() {
 }
 
 #[test]
+fn reload_after_crash_recovery_serves_identical_results() {
+    // The full durability story, end to end: a serving database whose
+    // snapshot survives a torn overwrite, whose corrupted index sidecar is
+    // detected and rebuilt, and whose recovered state is hot-swapped in
+    // with `reload` — answering exactly what the pre-crash server answered.
+    let dir = std::env::temp_dir().join(format!("tix-e2e-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("corpus.tix");
+    let idx = dir.join("corpus.tix.idx");
+
+    let db = corpus_db();
+    db.save_store_to(&snap).unwrap();
+    db.save_index_to(&idx).unwrap();
+    let committed = std::fs::read(&snap).unwrap();
+
+    let server = Server::start(db, ServerConfig::default()).unwrap();
+    let (_, _, before) = get(&server, "/search?q=rust+xml&k=5");
+
+    // Crash mid-overwrite of the store snapshot: the committed bytes on
+    // disk must be untouched.
+    let torn: Result<(), tix::PersistError> = tix::store::persist::atomic_write(&snap, |w| {
+        w.write_all(&committed[..committed.len() / 2])?;
+        Err(tix::PersistError::Io(std::io::Error::other(
+            "injected crash",
+        )))
+    });
+    assert!(torn.is_err());
+    assert_eq!(
+        std::fs::read(&snap).unwrap(),
+        committed,
+        "torn write damaged the snapshot"
+    );
+
+    // Bit-flip the index sidecar: recovery detects it, rebuilds, repairs.
+    let mut sidecar = std::fs::read(&idx).unwrap();
+    let mid = sidecar.len() / 2;
+    sidecar[mid] ^= 0x20;
+    std::fs::write(&idx, &sidecar).unwrap();
+
+    let mut recovered = Database::open(&snap).unwrap();
+    if recovered.load_index_from(&idx).is_err() {
+        recovered.build_index();
+        recovered.save_index_to(&idx).unwrap();
+    } else {
+        panic!("corrupt sidecar loaded without complaint");
+    }
+
+    server.reload(|db| *db = recovered);
+    let (_, _, after) = get(&server, "/search?q=rust+xml&k=5");
+    assert_eq!(after, before, "recovered database answers differently");
+    // And the repaired sidecar now loads cleanly.
+    let mut check = Database::open(&snap).unwrap();
+    check.load_index_from(&idx).unwrap();
+    server.shutdown();
+}
+
+#[test]
 fn malformed_and_unroutable_requests_get_4xx() {
     let server = start(ServerConfig::default());
     let (status, _, _) = raw_request(&server, "NONSENSE\r\n\r\n");

@@ -1,0 +1,306 @@
+//! Fault-injection I/O wrappers for crash-safety and corruption testing.
+//!
+//! The durability claims of the persistence layer ([`crate::persist`]) are
+//! only claims until something tries to break them. These adapters
+//! simulate the real-world failure modes a snapshot write or read can
+//! meet, deterministically:
+//!
+//! * [`FailingWriter`] — dies with a configurable [`io::ErrorKind`] after
+//!   exactly N bytes (a crash / full disk mid-write), optionally delivers
+//!   **short writes** (accepts one byte per call, exercising `write_all`
+//!   retry loops), and optionally raises periodic
+//!   [`io::ErrorKind::Interrupted`] storms (which correct callers must
+//!   retry through).
+//! * [`FailingReader`] — the same fail-after-N and interrupt-storm
+//!   behavior on the read side.
+//! * [`CorruptingReader`] — flips a single chosen bit at a chosen byte
+//!   offset, the minimal corruption a checksummed format must detect.
+//!
+//! They live in the library (not a test module) so every crate's
+//! integration tests — store, index, cli, server — can drive the same
+//! sweeps against their own formats.
+
+use std::io::{self, Read, Write};
+
+/// A writer that injects failures: hard errors after a byte budget, short
+/// writes, and `Interrupted` storms. See the module docs.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    written: u64,
+    fail_after: u64,
+    kind: io::ErrorKind,
+    short_writes: bool,
+    interrupt_every: u64,
+    calls: u64,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Fail with [`io::ErrorKind::Other`] once `limit` bytes have been
+    /// accepted; bytes up to the limit pass through to `inner`.
+    pub fn fail_after(inner: W, limit: u64) -> Self {
+        FailingWriter {
+            inner,
+            written: 0,
+            fail_after: limit,
+            kind: io::ErrorKind::Other,
+            short_writes: false,
+            interrupt_every: 0,
+            calls: 0,
+        }
+    }
+
+    /// A writer that never hard-fails (the byte budget is unlimited) —
+    /// combine with [`FailingWriter::short`] or
+    /// [`FailingWriter::interrupt_every`] to stress retry paths only.
+    pub fn unlimited(inner: W) -> Self {
+        FailingWriter::fail_after(inner, u64::MAX)
+    }
+
+    /// Use `kind` for the injected hard failure instead of `Other`.
+    pub fn with_kind(mut self, kind: io::ErrorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Deliver short writes: each call accepts at most one byte.
+    pub fn short(mut self) -> Self {
+        self.short_writes = true;
+        self
+    }
+
+    /// Raise `ErrorKind::Interrupted` on every `n`-th write call (before
+    /// consuming any bytes). `write_all` retries these, so a save through
+    /// an interrupt storm must still succeed byte-for-byte.
+    pub fn interrupt_every(mut self, n: u64) -> Self {
+        self.interrupt_every = n;
+        self
+    }
+
+    /// Total bytes accepted so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.calls += 1;
+        if self.interrupt_every > 0 && self.calls.is_multiple_of(self.interrupt_every) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected interrupt",
+            ));
+        }
+        if self.written >= self.fail_after {
+            return Err(io::Error::new(self.kind, "injected write failure"));
+        }
+        let budget = self.fail_after - self.written;
+        let mut take = buf.len().min(usize::try_from(budget).unwrap_or(usize::MAX));
+        if self.short_writes {
+            take = take.min(1);
+        }
+        let chunk = buf.get(..take).unwrap_or(buf);
+        let n = self.inner.write(chunk)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that injects failures: hard errors after a byte budget, short
+/// reads, and `Interrupted` storms — the read-side mirror of
+/// [`FailingWriter`].
+#[derive(Debug)]
+pub struct FailingReader<R> {
+    inner: R,
+    read: u64,
+    fail_after: u64,
+    kind: io::ErrorKind,
+    short_reads: bool,
+    interrupt_every: u64,
+    calls: u64,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Fail with [`io::ErrorKind::Other`] once `limit` bytes have been
+    /// delivered.
+    pub fn fail_after(inner: R, limit: u64) -> Self {
+        FailingReader {
+            inner,
+            read: 0,
+            fail_after: limit,
+            kind: io::ErrorKind::Other,
+            short_reads: false,
+            interrupt_every: 0,
+            calls: 0,
+        }
+    }
+
+    /// A reader that never hard-fails; combine with
+    /// [`FailingReader::short`] / [`FailingReader::interrupt_every`].
+    pub fn unlimited(inner: R) -> Self {
+        FailingReader::fail_after(inner, u64::MAX)
+    }
+
+    /// Use `kind` for the injected hard failure instead of `Other`.
+    pub fn with_kind(mut self, kind: io::ErrorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Deliver short reads: each call yields at most one byte.
+    pub fn short(mut self) -> Self {
+        self.short_reads = true;
+        self
+    }
+
+    /// Raise `ErrorKind::Interrupted` on every `n`-th read call.
+    pub fn interrupt_every(mut self, n: u64) -> Self {
+        self.interrupt_every = n;
+        self
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.calls += 1;
+        if self.interrupt_every > 0 && self.calls.is_multiple_of(self.interrupt_every) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected interrupt",
+            ));
+        }
+        if self.read >= self.fail_after {
+            return Err(io::Error::new(self.kind, "injected read failure"));
+        }
+        let budget = self.fail_after - self.read;
+        let mut take = buf.len().min(usize::try_from(budget).unwrap_or(usize::MAX));
+        if self.short_reads {
+            take = take.min(1);
+        }
+        let target = buf.get_mut(..take).unwrap_or_default();
+        let n = self.inner.read(target)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+/// A reader that flips one bit: byte `offset` of the stream has `1 << bit`
+/// XORed in as it passes through. Everything else is delivered verbatim.
+#[derive(Debug)]
+pub struct CorruptingReader<R> {
+    inner: R,
+    offset: u64,
+    mask: u8,
+    pos: u64,
+}
+
+impl<R: Read> CorruptingReader<R> {
+    /// Flip bit `bit` (0–7) of the byte at absolute stream `offset`.
+    pub fn flip_bit(inner: R, offset: u64, bit: u8) -> Self {
+        CorruptingReader {
+            inner,
+            offset,
+            mask: 1u8.checked_shl(u32::from(bit)).unwrap_or(1),
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for CorruptingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        let end = self.pos + n as u64;
+        if self.offset >= self.pos && self.offset < end {
+            let idx = usize::try_from(self.offset - self.pos).unwrap_or(0);
+            if let Some(b) = buf.get_mut(idx) {
+                *b ^= self.mask;
+            }
+        }
+        self.pos = end;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_writer_fails_at_exact_offset() {
+        for limit in [0u64, 1, 7, 20] {
+            let mut out = Vec::new();
+            let mut w = FailingWriter::fail_after(&mut out, limit);
+            let err = w.write_all(&[0xAB; 21]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Other);
+            assert_eq!(out.len() as u64, limit, "limit {limit}");
+        }
+        // Exactly at the budget, the full write succeeds.
+        let mut out = Vec::new();
+        let mut w = FailingWriter::fail_after(&mut out, 21);
+        w.write_all(&[0xAB; 21]).unwrap();
+        assert_eq!(out.len(), 21);
+    }
+
+    #[test]
+    fn short_writes_and_interrupt_storms_are_survivable() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let mut out = Vec::new();
+        let mut w = FailingWriter::unlimited(&mut out)
+            .short()
+            .interrupt_every(2);
+        w.write_all(&payload).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn custom_error_kind() {
+        let mut w = FailingWriter::fail_after(Vec::new(), 0).with_kind(io::ErrorKind::WriteZero);
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn failing_reader_fails_at_exact_offset() {
+        let data = [0x5Au8; 16];
+        let mut r = FailingReader::fail_after(data.as_slice(), 9);
+        let mut buf = Vec::new();
+        let err = r.read_to_end(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(buf.len(), 9);
+    }
+
+    #[test]
+    fn short_reads_and_interrupts_still_deliver_everything() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut r = FailingReader::unlimited(data.as_slice())
+            .short()
+            .interrupt_every(3);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn corrupting_reader_flips_exactly_one_bit() {
+        let data = vec![0u8; 32];
+        for (offset, bit) in [(0u64, 0u8), (5, 3), (31, 7)] {
+            let mut r = CorruptingReader::flip_bit(data.as_slice(), offset, bit);
+            let mut buf = Vec::new();
+            r.read_to_end(&mut buf).unwrap();
+            let mut expected = data.clone();
+            expected[usize::try_from(offset).unwrap()] ^= 1 << bit;
+            assert_eq!(buf, expected, "offset {offset} bit {bit}");
+        }
+        // One-byte reads still hit the right offset.
+        let mut r =
+            FailingReader::unlimited(CorruptingReader::flip_bit(data.as_slice(), 7, 1)).short();
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf[7], 0b10);
+    }
+}

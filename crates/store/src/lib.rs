@@ -33,8 +33,10 @@
 //! ```
 
 mod document;
+pub mod faultio;
 mod interner;
 mod node;
+pub mod persist;
 mod snapshot;
 mod stats;
 mod store;
@@ -42,6 +44,6 @@ mod store;
 pub use document::{DocData, LoadError};
 pub use interner::{Interner, Symbol};
 pub use node::{DocId, NodeIdx, NodeKind, NodeRec, NodeRef};
-pub use snapshot::SnapshotError;
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION};
 pub use stats::StoreStats;
 pub use store::Store;

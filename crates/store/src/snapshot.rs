@@ -8,10 +8,25 @@
 //! re-parsing and no re-numbering (node ids are stable across
 //! save/load, so saved query results stay valid).
 //!
-//! The format is deliberately simple and versioned:
+//! Format **v2** (current) wraps every logical unit in the checksummed
+//! section framing of [`crate::persist`] and seals the whole file with a
+//! trailing CRC-32, so a flipped bit is rejected as [`SnapshotError::Corrupt`]
+//! before any structural parsing:
 //!
 //! ```text
-//! magic "TIXSNAP" + version u8
+//! magic "TIXSNAP" + version u8 (= 2)
+//! header section  : u32 len, payload, u32 crc32(payload)
+//!     payload = tag interner, attr-name interner, u32 doc count
+//! doc section     : one per document, same framing
+//!     payload = name, nodes, texts, text_bytes, attrs, attr_bytes
+//! seal            : u32 crc32(all preceding bytes)
+//! ```
+//!
+//! Format **v1** (still loadable) is the same payload encoding streamed
+//! directly after the header with no checksums:
+//!
+//! ```text
+//! magic "TIXSNAP" + version u8 (= 1)
 //! tag interner      : u32 count, then (u32 len, bytes)*
 //! attr-name interner: same
 //! documents         : u32 count, then per document
@@ -29,12 +44,19 @@ use std::io::{self, Read, Write};
 use crate::document::{AttrRec, DocData};
 use crate::interner::{Interner, Symbol};
 use crate::node::{NodeKind, NodeRec};
+use crate::persist::{read_section, write_section, SealReader, SealWriter, SectionError};
 use crate::store::Store;
 
-const MAGIC: &[u8; 7] = b"TIXSNAP";
-const VERSION: u8 = 1;
+/// Leading magic of every store snapshot, any version.
+pub const SNAPSHOT_MAGIC: &[u8; 7] = b"TIXSNAP";
+/// Snapshot version written by [`Store::save_snapshot`].
+pub const SNAPSHOT_VERSION: u8 = 2;
+/// Oldest version [`Store::load_snapshot`] still accepts.
+pub const SNAPSHOT_MIN_VERSION: u8 = 1;
 
-/// Errors raised while reading a snapshot.
+const MAGIC: &[u8; 7] = SNAPSHOT_MAGIC;
+
+/// Errors raised while reading or writing a snapshot.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Underlying I/O failure.
@@ -43,8 +65,11 @@ pub enum SnapshotError {
     BadMagic,
     /// The snapshot version is not supported by this build.
     UnsupportedVersion(u8),
-    /// Structural corruption (an offset or symbol out of range).
+    /// Structural or checksum corruption.
     Corrupt(&'static str),
+    /// A collection is too large for the u32 length prefixes of the
+    /// on-disk format; the snapshot is refused rather than truncated.
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -56,6 +81,9 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "unsupported snapshot version {v}")
             }
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::TooLarge(what) => {
+                write!(f, "snapshot not written: {what} exceeds format limit")
+            }
         }
     }
 }
@@ -75,6 +103,15 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
+fn section_err(e: SectionError) -> SnapshotError {
+    match e {
+        SectionError::Io(e) => SnapshotError::Io(e),
+        SectionError::TooLarge => SnapshotError::TooLarge("section"),
+        SectionError::Truncated => SnapshotError::Corrupt("truncated section"),
+        SectionError::ChecksumMismatch => SnapshotError::Corrupt("section checksum mismatch"),
+    }
+}
+
 // ---- primitive writers/readers ---------------------------------------------
 
 fn w_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
@@ -89,9 +126,18 @@ fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn w_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
-    w_u32(w, b.len() as u32)?;
-    w.write_all(b)
+/// Write a collection length as u32, refusing (rather than silently
+/// truncating) anything that does not fit.
+fn w_count(w: &mut impl Write, n: usize, what: &'static str) -> Result<(), SnapshotError> {
+    let v = u32::try_from(n).map_err(|_| SnapshotError::TooLarge(what))?;
+    w_u32(w, v)?;
+    Ok(())
+}
+
+fn w_bytes(w: &mut impl Write, b: &[u8], what: &'static str) -> Result<(), SnapshotError> {
+    w_count(w, b.len(), what)?;
+    w.write_all(b)?;
+    Ok(())
 }
 
 /// Cap on speculative pre-allocation while reading untrusted snapshot
@@ -127,10 +173,10 @@ fn r_string(r: &mut impl Read) -> Result<String, SnapshotError> {
     String::from_utf8(buf).map_err(|_| SnapshotError::Corrupt("non-UTF-8 string"))
 }
 
-fn w_interner(w: &mut impl Write, interner: &Interner) -> io::Result<()> {
-    w_u32(w, interner.len() as u32)?;
+fn w_interner(w: &mut impl Write, interner: &Interner) -> Result<(), SnapshotError> {
+    w_count(w, interner.len(), "interner")?;
     for (_, name) in interner.iter() {
-        w_bytes(w, name.as_bytes())?;
+        w_bytes(w, name.as_bytes(), "interned string")?;
     }
     Ok(())
 }
@@ -144,56 +190,170 @@ fn r_interner(r: &mut impl Read) -> Result<Interner, SnapshotError> {
     Ok(interner)
 }
 
+// ---- shared per-document encoding (identical in v1 and v2) -----------------
+
+fn write_doc(w: &mut impl Write, doc: &DocData) -> Result<(), SnapshotError> {
+    w_bytes(w, doc.name.as_bytes(), "document name")?;
+    w_count(w, doc.nodes.len(), "node table")?;
+    for rec in &doc.nodes {
+        w_u32(w, rec.end)?;
+        w_u32(w, rec.parent)?;
+        w_u16(w, rec.level)?;
+        w_u8(
+            w,
+            match rec.kind {
+                NodeKind::Element => 0,
+                NodeKind::Text => 1,
+            },
+        )?;
+        w_u32(w, rec.tag.as_u32())?;
+        w_u32(w, rec.payload)?;
+    }
+    w_count(w, doc.texts.len(), "text table")?;
+    for &(off, len) in &doc.texts {
+        w_u32(w, off)?;
+        w_u32(w, len)?;
+    }
+    w_bytes(w, doc.text_bytes.as_bytes(), "text arena")?;
+    w_count(w, doc.attrs.len(), "attribute table")?;
+    for attr in &doc.attrs {
+        w_u32(w, attr.node)?;
+        w_u32(w, attr.name.as_u32())?;
+        w_u32(w, attr.value_start)?;
+        w_u32(w, attr.value_len)?;
+    }
+    w_bytes(w, doc.attr_bytes.as_bytes(), "attribute arena")?;
+    Ok(())
+}
+
+fn read_doc(
+    r: &mut impl Read,
+    tags: &Interner,
+    attr_names: &Interner,
+) -> Result<DocData, SnapshotError> {
+    let name = r_string(r)?;
+    let node_count = r_u32(r)? as usize;
+    let mut nodes = Vec::with_capacity(node_count.min(PREALLOC_CAP));
+    for _ in 0..node_count {
+        let end = r_u32(r)?;
+        let parent = r_u32(r)?;
+        let level = r_u16(r)?;
+        let kind = match r_u8(r)? {
+            0 => NodeKind::Element,
+            1 => NodeKind::Text,
+            _ => return Err(SnapshotError::Corrupt("unknown node kind")),
+        };
+        let tag_raw = r_u32(r)?;
+        if kind == NodeKind::Element && tag_raw as usize >= tags.len() {
+            return Err(SnapshotError::Corrupt("tag symbol out of range"));
+        }
+        let payload = r_u32(r)?;
+        nodes.push(NodeRec {
+            end,
+            parent,
+            level,
+            kind,
+            tag: Symbol::from_u32(tag_raw),
+            payload,
+        });
+    }
+    // The region encoding of untrusted snapshot bytes must satisfy
+    // the paper's well-formedness conditions (laminar containment,
+    // level discipline) before navigation is allowed to trust it.
+    tix_invariants::try_regions_well_formed(nodes.len() as u32, |i| {
+        // lint:allow(no-slice-index): i < nodes.len() by the try_ contract
+        let rec = &nodes[i as usize];
+        tix_invariants::Region {
+            end: rec.end,
+            parent: rec.parent,
+            level: u32::from(rec.level),
+        }
+    })
+    .map_err(|_| SnapshotError::Corrupt("malformed region encoding"))?;
+    let text_count = r_u32(r)? as usize;
+    let mut texts = Vec::with_capacity(text_count.min(PREALLOC_CAP));
+    for _ in 0..text_count {
+        texts.push((r_u32(r)?, r_u32(r)?));
+    }
+    let text_bytes = r_string(r)?;
+    for &(off, len) in &texts {
+        if (off as usize + len as usize) > text_bytes.len() {
+            return Err(SnapshotError::Corrupt("text range out of bounds"));
+        }
+    }
+    let attr_count = r_u32(r)? as usize;
+    let mut attrs = Vec::with_capacity(attr_count.min(PREALLOC_CAP));
+    for _ in 0..attr_count {
+        attrs.push(AttrRec {
+            node: r_u32(r)?,
+            name: Symbol::from_u32(r_u32(r)?),
+            value_start: r_u32(r)?,
+            value_len: r_u32(r)?,
+        });
+    }
+    let attr_bytes = r_string(r)?;
+    for attr in &attrs {
+        if (attr.value_start as usize + attr.value_len as usize) > attr_bytes.len() {
+            return Err(SnapshotError::Corrupt("attribute range out of bounds"));
+        }
+        if attr.name.as_u32() as usize >= attr_names.len() {
+            return Err(SnapshotError::Corrupt("attribute symbol out of range"));
+        }
+    }
+    Ok(DocData {
+        name,
+        nodes,
+        texts,
+        text_bytes,
+        attrs,
+        attr_bytes,
+    })
+}
+
 // ---- store-level API --------------------------------------------------------
 
 impl Store {
-    /// Serialize the whole store into `w`.
-    pub fn save_snapshot(&self, mut w: impl Write) -> io::Result<()> {
+    /// Serialize the whole store into `w` in the current (v2, checksummed)
+    /// format.
+    pub fn save_snapshot(&self, w: impl Write) -> Result<(), SnapshotError> {
+        let mut w = SealWriter::new(w);
+        w.write_all(MAGIC)?;
+        w_u8(&mut w, SNAPSHOT_VERSION)?;
+        let mut payload = Vec::new();
+        w_interner(&mut payload, self.tags_interner())?;
+        w_interner(&mut payload, self.attr_names_interner())?;
+        let docs = self.docs();
+        w_count(&mut payload, docs.len(), "document table")?;
+        write_section(&mut w, &mut payload).map_err(section_err)?;
+        for doc in docs {
+            write_doc(&mut payload, doc)?;
+            write_section(&mut w, &mut payload).map_err(section_err)?;
+        }
+        w.write_seal()?;
+        Ok(())
+    }
+
+    /// Serialize in the legacy v1 (unchecksummed) format. Kept for
+    /// backward-compatibility and structural-corruption tests; new code
+    /// should use [`Store::save_snapshot`].
+    #[doc(hidden)]
+    pub fn save_snapshot_v1(&self, mut w: impl Write) -> Result<(), SnapshotError> {
         let w = &mut w;
         w.write_all(MAGIC)?;
-        w_u8(w, VERSION)?;
+        w_u8(w, 1)?;
         w_interner(w, self.tags_interner())?;
         w_interner(w, self.attr_names_interner())?;
         let docs = self.docs();
-        w_u32(w, docs.len() as u32)?;
+        w_count(w, docs.len(), "document table")?;
         for doc in docs {
-            w_bytes(w, doc.name.as_bytes())?;
-            w_u32(w, doc.nodes.len() as u32)?;
-            for rec in &doc.nodes {
-                w_u32(w, rec.end)?;
-                w_u32(w, rec.parent)?;
-                w_u16(w, rec.level)?;
-                w_u8(
-                    w,
-                    match rec.kind {
-                        NodeKind::Element => 0,
-                        NodeKind::Text => 1,
-                    },
-                )?;
-                w_u32(w, rec.tag.as_u32())?;
-                w_u32(w, rec.payload)?;
-            }
-            w_u32(w, doc.texts.len() as u32)?;
-            for &(off, len) in &doc.texts {
-                w_u32(w, off)?;
-                w_u32(w, len)?;
-            }
-            w_bytes(w, doc.text_bytes.as_bytes())?;
-            w_u32(w, doc.attrs.len() as u32)?;
-            for attr in &doc.attrs {
-                w_u32(w, attr.node)?;
-                w_u32(w, attr.name.as_u32())?;
-                w_u32(w, attr.value_start)?;
-                w_u32(w, attr.value_len)?;
-            }
-            w_bytes(w, doc.attr_bytes.as_bytes())?;
+            write_doc(w, doc)?;
         }
         Ok(())
     }
 
     /// Load a store from a snapshot previously written by
-    /// [`Store::save_snapshot`]. Node and document ids are identical to the
-    /// saved store's.
+    /// [`Store::save_snapshot`] (v2) or the legacy v1 writer. Node and
+    /// document ids are identical to the saved store's.
     pub fn load_snapshot(mut r: impl Read) -> Result<Store, SnapshotError> {
         let r = &mut r;
         let mut magic = [0u8; 7];
@@ -202,94 +362,52 @@ impl Store {
             return Err(SnapshotError::BadMagic);
         }
         let version = r_u8(r)?;
-        if version != VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
+        match version {
+            1 => load_v1(r),
+            SNAPSHOT_VERSION => load_v2(r),
+            other => Err(SnapshotError::UnsupportedVersion(other)),
         }
-        let tags = r_interner(r)?;
-        let attr_names = r_interner(r)?;
-        let doc_count = r_u32(r)?;
-        let mut docs = Vec::with_capacity((doc_count as usize).min(PREALLOC_CAP));
-        for _ in 0..doc_count {
-            let name = r_string(r)?;
-            let node_count = r_u32(r)? as usize;
-            let mut nodes = Vec::with_capacity(node_count.min(PREALLOC_CAP));
-            for _ in 0..node_count {
-                let end = r_u32(r)?;
-                let parent = r_u32(r)?;
-                let level = r_u16(r)?;
-                let kind = match r_u8(r)? {
-                    0 => NodeKind::Element,
-                    1 => NodeKind::Text,
-                    _ => return Err(SnapshotError::Corrupt("unknown node kind")),
-                };
-                let tag_raw = r_u32(r)?;
-                if kind == NodeKind::Element && tag_raw as usize >= tags.len() {
-                    return Err(SnapshotError::Corrupt("tag symbol out of range"));
-                }
-                let payload = r_u32(r)?;
-                nodes.push(NodeRec {
-                    end,
-                    parent,
-                    level,
-                    kind,
-                    tag: Symbol::from_u32(tag_raw),
-                    payload,
-                });
-            }
-            // The region encoding of untrusted snapshot bytes must satisfy
-            // the paper's well-formedness conditions (laminar containment,
-            // level discipline) before navigation is allowed to trust it.
-            tix_invariants::try_regions_well_formed(nodes.len() as u32, |i| {
-                // lint:allow(no-slice-index): i < nodes.len() by the try_ contract
-                let rec = &nodes[i as usize];
-                tix_invariants::Region {
-                    end: rec.end,
-                    parent: rec.parent,
-                    level: u32::from(rec.level),
-                }
-            })
-            .map_err(|_| SnapshotError::Corrupt("malformed region encoding"))?;
-            let text_count = r_u32(r)? as usize;
-            let mut texts = Vec::with_capacity(text_count.min(PREALLOC_CAP));
-            for _ in 0..text_count {
-                texts.push((r_u32(r)?, r_u32(r)?));
-            }
-            let text_bytes = r_string(r)?;
-            for &(off, len) in &texts {
-                if (off as usize + len as usize) > text_bytes.len() {
-                    return Err(SnapshotError::Corrupt("text range out of bounds"));
-                }
-            }
-            let attr_count = r_u32(r)? as usize;
-            let mut attrs = Vec::with_capacity(attr_count.min(PREALLOC_CAP));
-            for _ in 0..attr_count {
-                attrs.push(AttrRec {
-                    node: r_u32(r)?,
-                    name: Symbol::from_u32(r_u32(r)?),
-                    value_start: r_u32(r)?,
-                    value_len: r_u32(r)?,
-                });
-            }
-            let attr_bytes = r_string(r)?;
-            for attr in &attrs {
-                if (attr.value_start as usize + attr.value_len as usize) > attr_bytes.len() {
-                    return Err(SnapshotError::Corrupt("attribute range out of bounds"));
-                }
-                if attr.name.as_u32() as usize >= attr_names.len() {
-                    return Err(SnapshotError::Corrupt("attribute symbol out of range"));
-                }
-            }
-            docs.push(DocData {
-                name,
-                nodes,
-                texts,
-                text_bytes,
-                attrs,
-                attr_bytes,
-            });
-        }
-        Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
     }
+}
+
+/// Legacy streaming loader: everything after the header is structural
+/// bytes with no checksums.
+fn load_v1(r: &mut impl Read) -> Result<Store, SnapshotError> {
+    let tags = r_interner(r)?;
+    let attr_names = r_interner(r)?;
+    let doc_count = r_u32(r)?;
+    let mut docs = Vec::with_capacity((doc_count as usize).min(PREALLOC_CAP));
+    for _ in 0..doc_count {
+        docs.push(read_doc(r, &tags, &attr_names)?);
+    }
+    Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
+}
+
+/// Checksummed loader: every section's CRC-32 is verified before its
+/// bytes are parsed, and the trailing whole-file seal is verified last.
+fn load_v2(r: &mut impl Read) -> Result<Store, SnapshotError> {
+    let mut sealed = SealReader::new(r);
+    sealed.seed(MAGIC);
+    sealed.seed(&[SNAPSHOT_VERSION]);
+    let header = read_section(&mut sealed).map_err(section_err)?;
+    let hr = &mut header.as_slice();
+    let tags = r_interner(hr)?;
+    let attr_names = r_interner(hr)?;
+    let doc_count = r_u32(hr)?;
+    if !hr.is_empty() {
+        return Err(SnapshotError::Corrupt("trailing bytes in header section"));
+    }
+    let mut docs = Vec::with_capacity((doc_count as usize).min(PREALLOC_CAP));
+    for _ in 0..doc_count {
+        let section = read_section(&mut sealed).map_err(section_err)?;
+        let dr = &mut section.as_slice();
+        docs.push(read_doc(dr, &tags, &attr_names)?);
+        if !dr.is_empty() {
+            return Err(SnapshotError::Corrupt("trailing bytes in document section"));
+        }
+    }
+    sealed.verify_seal().map_err(section_err)?;
+    Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
 }
 
 #[cfg(test)]
@@ -337,6 +455,29 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshot_still_loads() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_snapshot_v1(&mut buf).unwrap();
+        assert_eq!(buf[7], 1, "v1 writer stamps version 1");
+        let loaded = Store::load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(store.stats(), loaded.stats());
+        for doc in store.doc_ids() {
+            let root = NodeRef::new(doc, NodeIdx(0));
+            assert_eq!(store.subtree_xml(root), loaded.subtree_xml(root));
+        }
+    }
+
+    #[test]
+    fn v2_snapshot_is_sealed() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_snapshot(&mut buf).unwrap();
+        assert_eq!(buf[7], SNAPSHOT_VERSION);
+        tix_invariants::try_snapshot_sealed(MAGIC, &buf).unwrap();
+    }
+
+    #[test]
     fn node_ids_are_stable() {
         let store = sample_store();
         let loaded = roundtrip(&store);
@@ -368,6 +509,14 @@ mod tests {
         buf[7] = 99; // version byte
         let err = Store::load_snapshot(buf.as_slice()).unwrap_err();
         assert!(matches!(err, SnapshotError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn oversized_count_refused_not_truncated() {
+        let mut buf = Vec::new();
+        let err = w_count(&mut buf, u32::MAX as usize + 1, "node table").unwrap_err();
+        assert!(matches!(err, SnapshotError::TooLarge("node table")));
+        assert!(buf.is_empty(), "nothing written for a refused count");
     }
 
     #[test]

@@ -18,9 +18,14 @@ fn sample_store() -> Store {
     store
 }
 
+// These tests target the *structural* validation layer (region encoding,
+// parent pointers, bounds), so they walk the flat v1 byte layout where
+// every field sits at a computable offset. v2 shares the same per-document
+// decoder, and its checksum layer has its own exhaustive sweeps in
+// crash_safety.rs.
 fn snapshot_bytes(store: &Store) -> Vec<u8> {
     let mut buf = Vec::new();
-    store.save_snapshot(&mut buf).unwrap();
+    store.save_snapshot_v1(&mut buf).unwrap();
     buf
 }
 

@@ -46,5 +46,7 @@ pub use tix_store as store;
 pub use tix_xml as xml;
 
 mod db;
+pub mod persist;
 
 pub use db::{normalize_query, Database};
+pub use persist::PersistError;
