@@ -1,0 +1,195 @@
+//! Live-ingestion benchmark for `tix-ingest`.
+//!
+//! Measures the four costs that matter for the write path, over a
+//! generated corpus in a scratch ingestion directory:
+//!
+//! 1. **Ingest throughput** — WAL-append + fsync + parse + incremental
+//!    index maintenance per document (docs/s, MB/s, per-doc latency);
+//! 2. **Incremental maintenance vs rebuild** — time to maintain the index
+//!    through one insert vs a from-scratch `InvertedIndex::build` at the
+//!    same corpus size (the ratio is the point of incrementality);
+//! 3. **Checkpoint** — snapshotting store+index and truncating the WAL;
+//! 4. **Recovery** — replaying a WAL of N records over the last
+//!    checkpoint at startup (records/s).
+//!
+//! Writes `results/BENCH_ingest.json`. Environment:
+//! * `TIX_INGEST_ARTICLES` — corpus size in articles (default 200);
+//! * `TIX_INGEST_SEED`     — corpus seed (default 11).
+//!
+//! Numbers from CI come from a single shared core with fsyncs hitting
+//! whatever the container's filesystem provides — treat absolute figures
+//! as indicative and the ratios (incremental vs rebuild, replay vs
+//! ingest) as the result.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tix_corpus::{CorpusSpec, Generator, PlantSpec};
+use tix_index::InvertedIndex;
+use tix_ingest::{Ingest, IngestOptions};
+use tix_server::metrics::LatencyHistogram;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let articles: usize = env_parse("TIX_INGEST_ARTICLES", 200).max(2);
+    let seed: u64 = env_parse("TIX_INGEST_SEED", 11);
+
+    eprintln!("generating {articles} articles (seed {seed}) …");
+    let spec = CorpusSpec {
+        articles,
+        seed,
+        ..CorpusSpec::small()
+    };
+    let generator = Generator::new(spec, PlantSpec::default()).expect("valid corpus spec");
+    let docs: Vec<(String, String)> = (0..generator.document_count())
+        .map(|i| generator.document(i))
+        .collect();
+    let xml_bytes: usize = docs.iter().map(|(_, xml)| xml.len()).sum();
+
+    let dir = std::env::temp_dir().join("tix-bench-ingest");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: ingest the whole corpus, one WAL-committed insert at a time.
+    let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).expect("open dir");
+    let insert_latency = LatencyHistogram::default();
+    let ingest_started = Instant::now();
+    for (name, xml) in &docs {
+        let begin = Instant::now();
+        ingest
+            .insert_document(&mut db, name, xml)
+            .expect("insert succeeds");
+        insert_latency.record(begin.elapsed());
+    }
+    let ingest_wall = ingest_started.elapsed();
+    let wal_len = ingest.wal_len();
+
+    // Phase 2: maintain-one-insert vs from-scratch rebuild at this size.
+    // Remove + re-insert the last document so the maintained path runs at
+    // full corpus size, then time a cold rebuild over the same store.
+    let (last_name, last_xml) = docs.last().expect("at least one doc").clone();
+    ingest
+        .remove_document(&mut db, &last_name)
+        .expect("remove succeeds");
+    let begin = Instant::now();
+    ingest
+        .insert_document(&mut db, &last_name, &last_xml)
+        .expect("re-insert succeeds");
+    let incremental = begin.elapsed();
+    let begin = Instant::now();
+    let rebuilt = InvertedIndex::build(db.store());
+    let rebuild = begin.elapsed();
+    assert_eq!(rebuilt.term_count(), db.index().term_count());
+
+    // Phase 3: checkpoint (snapshot + meta commit + WAL truncation).
+    let begin = Instant::now();
+    ingest.checkpoint(&mut db).expect("checkpoint succeeds");
+    let checkpoint = begin.elapsed();
+    assert_eq!(
+        ingest.wal_len(),
+        tix_ingest::WAL_HEADER_LEN,
+        "checkpoint truncates the WAL to its header"
+    );
+
+    // Phase 4: replay. Rebuild a WAL tail of half the corpus by removing
+    // and re-inserting, then reopen and time startup recovery.
+    let replayed: Vec<&(String, String)> = docs.iter().take(articles / 2).collect();
+    for (name, _) in &replayed {
+        ingest
+            .remove_document(&mut db, name)
+            .expect("remove succeeds");
+    }
+    for (name, xml) in &replayed {
+        ingest
+            .insert_document(&mut db, name, xml)
+            .expect("re-insert succeeds");
+    }
+    let replay_records = 2 * replayed.len();
+    drop((ingest, db));
+    let begin = Instant::now();
+    let (_ingest, db) = Ingest::open(&dir, IngestOptions::default()).expect("recovery succeeds");
+    let recovery = begin.elapsed();
+    assert_eq!(
+        db.store().doc_count(),
+        articles,
+        "recovery restores all docs"
+    );
+
+    let docs_per_s = articles as f64 / ingest_wall.as_secs_f64().max(1e-9);
+    let mb_per_s = xml_bytes as f64 / 1e6 / ingest_wall.as_secs_f64().max(1e-9);
+    let speedup = rebuild.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
+    let replay_per_s = replay_records as f64 / recovery.as_secs_f64().max(1e-9);
+
+    println!("\n## Ingest benchmark ({articles} articles, {xml_bytes} XML bytes)\n");
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!("| ingest wall (s) | {:.3} |", ingest_wall.as_secs_f64());
+    println!("| ingest (docs/s) | {docs_per_s:.1} |");
+    println!("| ingest (MB/s) | {mb_per_s:.2} |");
+    println!(
+        "| insert p50/p95/p99 (µs) | {}/{}/{} |",
+        insert_latency.quantile_micros(0.50),
+        insert_latency.quantile_micros(0.95),
+        insert_latency.quantile_micros(0.99)
+    );
+    println!("| WAL after ingest (bytes) | {wal_len} |");
+    println!("| incremental insert (µs) | {} |", us(incremental));
+    println!("| full rebuild (µs) | {} |", us(rebuild));
+    println!("| rebuild / incremental | {speedup:.1}× |");
+    println!("| checkpoint (µs) | {} |", us(checkpoint));
+    println!(
+        "| recovery of {replay_records} records (µs) | {} |",
+        us(recovery)
+    );
+    println!("| replay (records/s) | {replay_per_s:.1} |");
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"experiment\": \"ingest\",").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"single shared CI core, container fsyncs: ratios are the result, absolute figures are indicative\","
+    )
+    .unwrap();
+    writeln!(json, "  \"articles\": {articles},").unwrap();
+    writeln!(json, "  \"xml_bytes\": {xml_bytes},").unwrap();
+    writeln!(
+        json,
+        "  \"ingest_wall_s\": {:.4},",
+        ingest_wall.as_secs_f64()
+    )
+    .unwrap();
+    writeln!(json, "  \"ingest_docs_per_s\": {docs_per_s:.2},").unwrap();
+    writeln!(json, "  \"ingest_mb_per_s\": {mb_per_s:.3},").unwrap();
+    writeln!(
+        json,
+        "  \"insert_latency_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {} }},",
+        insert_latency.quantile_micros(0.50),
+        insert_latency.quantile_micros(0.95),
+        insert_latency.quantile_micros(0.99),
+        insert_latency.mean_micros()
+    )
+    .unwrap();
+    writeln!(json, "  \"wal_bytes_after_ingest\": {wal_len},").unwrap();
+    writeln!(json, "  \"incremental_insert_us\": {},", us(incremental)).unwrap();
+    writeln!(json, "  \"full_rebuild_us\": {},", us(rebuild)).unwrap();
+    writeln!(json, "  \"rebuild_over_incremental\": {speedup:.2},").unwrap();
+    writeln!(json, "  \"checkpoint_us\": {},", us(checkpoint)).unwrap();
+    writeln!(json, "  \"recovery_records\": {replay_records},").unwrap();
+    writeln!(json, "  \"recovery_us\": {},", us(recovery)).unwrap();
+    writeln!(json, "  \"replay_records_per_s\": {replay_per_s:.2}").unwrap();
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote results/BENCH_ingest.json");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}

@@ -65,6 +65,83 @@ impl InvertedIndex {
         index
     }
 
+    /// Incrementally index one newly loaded document — the insert half of
+    /// live index maintenance. No other list entry is touched, so the cost
+    /// is proportional to the new document's tokens, not the collection.
+    ///
+    /// `doc_id` must be the **highest** document id in `store` (documents
+    /// are appended by `Store::load_str`), so the new postings extend every
+    /// affected list at its tail and global `(doc, node, offset)` order is
+    /// preserved. New terms are interned in first-occurrence order, which
+    /// is exactly where a from-scratch [`InvertedIndex::build`] over the
+    /// grown store would put them — the maintained index stays
+    /// byte-identical to a rebuild (see `canonicalize` for the delete-side
+    /// argument).
+    pub fn add_document(&mut self, store: &Store, doc_id: DocId) {
+        tix_invariants::check! {
+            assert!(
+                doc_id.0 as usize + 1 == store.doc_count(),
+                "add_document requires the appended (highest) document id"
+            );
+        }
+        self.index_document(store, doc_id);
+        self.check_postings_sorted();
+    }
+
+    /// Incrementally un-index a removed document — the delete half of live
+    /// index maintenance, mirroring the dense-id compaction performed by
+    /// `Store::remove_document`: `doc_id`'s postings are dropped and every
+    /// posting of a later document is renumbered down by one. No
+    /// re-tokenization happens; the cost is one pass over the posting
+    /// lists.
+    pub fn remove_document(&mut self, doc_id: DocId) {
+        let mut removed_tokens = 0u64;
+        for list in &mut self.lists {
+            removed_tokens += list.remove_doc(doc_id) as u64;
+        }
+        self.total_tokens = self.total_tokens.saturating_sub(removed_tokens);
+        self.canonicalize();
+        self.check_postings_sorted();
+    }
+
+    /// Restore the canonical (from-scratch-rebuild) dictionary after a
+    /// delete: drop terms whose posting lists emptied, and re-sort the
+    /// dictionary into first-occurrence order.
+    ///
+    /// A sequential [`InvertedIndex::build`] interns each term when its
+    /// first occurrence is scanned, and the scan visits occurrences in
+    /// `(doc, node, offset)` order — so rebuild term-id order is exactly
+    /// ascending order of each term's first posting, a key we can compute
+    /// from the maintained lists alone. Sorting by it (first postings are
+    /// unique: one token position holds one term) makes the maintained
+    /// index serialize byte-identically to a rebuild over the mutated
+    /// store, which is what the differential tests and the
+    /// `check-invariants` equivalence assertion in `tix::Database` verify.
+    fn canonicalize(&mut self) {
+        let names = std::mem::take(&mut self.term_names);
+        let lists = std::mem::take(&mut self.lists);
+        let mut entries: Vec<(String, PostingList)> = names
+            .into_iter()
+            .zip(lists)
+            .filter(|(_, list)| !list.is_empty())
+            .collect();
+        entries.sort_by_key(|(_, list)| {
+            list.postings()
+                .first()
+                .map(|p| (p.doc.0, p.node.as_u32(), p.offset))
+                .unwrap_or((u32::MAX, u32::MAX, u32::MAX))
+        });
+        self.dictionary.clear();
+        self.term_names = Vec::with_capacity(entries.len());
+        self.lists = Vec::with_capacity(entries.len());
+        for (name, list) in entries {
+            let id = TermId(self.term_names.len() as u32);
+            self.dictionary.insert(name.clone(), id);
+            self.term_names.push(name);
+            self.lists.push(list);
+        }
+    }
+
     /// Debug/check-invariants postcondition: every posting list must be
     /// strictly increasing on `(doc, node, offset)` (Fig. 8's posting
     /// order), which is what `count_in_subtree`'s binary searches and the
@@ -346,6 +423,99 @@ mod tests {
         assert_eq!(index.count_in_subtree(&store, "w", q), 3);
         assert_eq!(index.count_in_subtree(&store, "w", p), 1);
         assert_eq!(index.count_in_subtree(&store, "missing", a), 0);
+    }
+
+    fn snapshot_bytes(index: &InvertedIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        index.save_snapshot(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn add_document_matches_rebuild_byte_for_byte() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a><p>alpha beta</p></a>").unwrap();
+        store.load_str("b.xml", "<a>gamma alpha</a>").unwrap();
+        let mut maintained = InvertedIndex::build(&store);
+        let c = store
+            .load_str("c.xml", "<a><p>beta delta</p><p>alpha</p></a>")
+            .unwrap();
+        maintained.add_document(&store, c);
+        let rebuilt = InvertedIndex::build(&store);
+        assert_eq!(snapshot_bytes(&maintained), snapshot_bytes(&rebuilt));
+        assert_eq!(maintained.total_tokens(), rebuilt.total_tokens());
+    }
+
+    #[test]
+    fn remove_document_matches_rebuild_byte_for_byte() {
+        // "zeta" first occurs in the removed document but survives in a
+        // later one: the rebuild interns it later, so this exercises the
+        // canonical re-ordering, the empty-term drop ("only"), and the
+        // dense renumbering all at once.
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a>zeta alpha only</a>").unwrap();
+        store.load_str("b.xml", "<a>beta</a>").unwrap();
+        store.load_str("c.xml", "<a>alpha zeta</a>").unwrap();
+        let mut maintained = InvertedIndex::build(&store);
+        let removed = store.remove_document("a.xml").unwrap();
+        maintained.remove_document(removed);
+        let rebuilt = InvertedIndex::build(&store);
+        assert_eq!(snapshot_bytes(&maintained), snapshot_bytes(&rebuilt));
+        assert_eq!(maintained.collection_frequency("only"), 0);
+        assert_eq!(maintained.term_id("only"), None);
+        assert_eq!(maintained.doc_frequency("zeta"), 1);
+        assert_eq!(maintained.total_tokens(), rebuilt.total_tokens());
+    }
+
+    #[test]
+    fn remove_all_documents_empties_the_index() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a>x y</a>").unwrap();
+        store.load_str("b.xml", "<a>x</a>").unwrap();
+        let mut maintained = InvertedIndex::build(&store);
+        for name in ["a.xml", "b.xml"] {
+            let id = store.remove_document(name).unwrap();
+            maintained.remove_document(id);
+        }
+        assert_eq!(maintained.term_count(), 0);
+        assert_eq!(maintained.total_tokens(), 0);
+        assert_eq!(
+            snapshot_bytes(&maintained),
+            snapshot_bytes(&InvertedIndex::build(&store))
+        );
+    }
+
+    #[test]
+    fn interleaved_maintenance_matches_rebuild() {
+        let mut store = Store::new();
+        let mut maintained = InvertedIndex::build(&store);
+        let steps: Vec<(&str, Option<&str>)> = vec![
+            ("d0.xml", Some("<a><p>red green</p></a>")),
+            ("d1.xml", Some("<a>blue red</a>")),
+            ("d0.xml", None),
+            ("d2.xml", Some("<a><p>green green</p><p>yellow</p></a>")),
+            ("d3.xml", Some("<a>red</a>")),
+            ("d1.xml", None),
+            ("d4.xml", Some("<a>blue</a>")),
+            ("d3.xml", None),
+        ];
+        for (name, xml) in steps {
+            match xml {
+                Some(xml) => {
+                    let id = store.load_str(name, xml).unwrap();
+                    maintained.add_document(&store, id);
+                }
+                None => {
+                    let id = store.remove_document(name).unwrap();
+                    maintained.remove_document(id);
+                }
+            }
+            assert_eq!(
+                snapshot_bytes(&maintained),
+                snapshot_bytes(&InvertedIndex::build(&store)),
+                "after mutating {name}"
+            );
+        }
     }
 
     #[test]

@@ -80,6 +80,40 @@ impl PostingList {
         }
     }
 
+    /// Incremental-maintenance primitive: drop every posting of `doc` and
+    /// renumber postings of later documents down by one, mirroring the
+    /// dense-id compaction `Store::remove_document` performs. Frequencies
+    /// are recomputed from the surviving postings. Returns the number of
+    /// postings removed (= the term's occurrences in `doc`).
+    pub(crate) fn remove_doc(&mut self, doc: DocId) -> usize {
+        let before = self.postings.len();
+        self.postings.retain(|p| p.doc != doc);
+        let removed = before - self.postings.len();
+        for p in &mut self.postings {
+            if p.doc > doc {
+                p.doc = DocId(p.doc.0 - 1);
+            }
+        }
+        self.doc_frequency = 0;
+        self.node_frequency = 0;
+        let mut last: Option<Posting> = None;
+        for p in &self.postings {
+            match last {
+                Some(prev) if prev.doc == p.doc => {
+                    if prev.node != p.node {
+                        self.node_frequency += 1;
+                    }
+                }
+                _ => {
+                    self.doc_frequency += 1;
+                    self.node_frequency += 1;
+                }
+            }
+            last = Some(*p);
+        }
+        removed
+    }
+
     pub(crate) fn push(&mut self, posting: Posting) {
         debug_assert!(
             self.postings.last().is_none_or(|last| *last < posting),

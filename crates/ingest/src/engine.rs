@@ -1,0 +1,568 @@
+//! The ingestion engine: crash recovery, logged mutations, and
+//! checkpoint/compaction over a directory of durable state.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/
+//!   CHECKPOINT          # tiny meta file: which snapshot pair is live, and
+//!                       # through which LSN it is complete
+//!   store.{seq}.tixsnap # v2 store snapshot written by checkpoint `seq`
+//!   index.{seq}.tixidx  # v2 index snapshot written by checkpoint `seq`
+//!   wal.log             # the write-ahead log (see `wal` module docs)
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! A mutation is *committed* when its WAL frame is fsynced; the in-memory
+//! [`Database`] (store + incrementally maintained index) is updated only
+//! after that. If the in-memory apply fails (duplicate name, XML parse
+//! error, document limits), the frame is truncated back off the log before
+//! the error returns — so every frame that survives in the log applied
+//! cleanly once, and replaying the same frames over the same base state is
+//! deterministic. Recovery therefore treats an apply failure the same way:
+//! it can only be an append whose rollback truncation never reached disk,
+//! and it is dropped (it is by construction the last frame).
+//!
+//! ## Checkpoint protocol
+//!
+//! Checkpoint `N` (sequence numbers increase monotonically):
+//!
+//! 1. write `store.{N}.tixsnap` and `index.{N}.tixidx` — **fresh names**,
+//!    so the pair the current meta points to is never touched;
+//! 2. atomically replace `CHECKPOINT` with `{seq: N, lsn: last_lsn}` —
+//!    this is the commit point;
+//! 3. atomically reset `wal.log` to empty;
+//! 4. best-effort delete the previous snapshot pair.
+//!
+//! A crash between any two steps recovers correctly: before step 2 the old
+//! meta + full WAL replay reproduce the state; between steps 2 and 3 the
+//! WAL still holds pre-checkpoint records, but replay skips every record
+//! with `lsn <= meta.lsn`, so nothing is applied twice.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use tix::persist::PersistError;
+use tix::Database;
+use tix_store::persist::atomic_write;
+use tix_store::{DocId, LoadError, RemoveError};
+
+use crate::wal::{Wal, WalRecord};
+
+/// Magic bytes opening the `CHECKPOINT` meta file.
+pub const CHECKPOINT_MAGIC: &[u8] = b"TIXCKPT";
+/// Current meta-file format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+const META_FILE: &str = "CHECKPOINT";
+const WAL_FILE: &str = "wal.log";
+/// magic + version + seq + lsn + crc32.
+const META_LEN: usize = CHECKPOINT_MAGIC.len() + 1 + 8 + 8 + 4;
+
+fn store_file(seq: u64) -> String {
+    format!("store.{seq}.tixsnap")
+}
+
+fn index_file(seq: u64) -> String {
+    format!("index.{seq}.tixidx")
+}
+
+/// Errors raised by the ingestion engine.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying I/O failure (WAL append, truncation, directory setup).
+    Io(io::Error),
+    /// A document failed to load (duplicate name, XML parse error,
+    /// document limits). The mutation was rolled back off the WAL.
+    Load(LoadError),
+    /// A removal named a document that does not exist. The mutation was
+    /// rolled back off the WAL.
+    Remove(RemoveError),
+    /// A snapshot failed to save or load.
+    Persist(PersistError),
+    /// The `CHECKPOINT` meta file exists but is damaged. The meta is
+    /// written atomically, so this is disk corruption, not a torn write —
+    /// it needs operator attention rather than a silent empty start.
+    CorruptMeta(&'static str),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest I/O error: {e}"),
+            IngestError::Load(e) => write!(f, "{e}"),
+            IngestError::Remove(e) => write!(f, "{e}"),
+            IngestError::Persist(e) => write!(f, "{e}"),
+            IngestError::CorruptMeta(why) => write!(f, "corrupt checkpoint meta: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Load(e) => Some(e),
+            IngestError::Remove(e) => Some(e),
+            IngestError::Persist(e) => Some(e),
+            IngestError::CorruptMeta(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<PersistError> for IngestError {
+    fn from(e: PersistError) -> Self {
+        IngestError::Persist(e)
+    }
+}
+
+/// Tuning knobs for the engine.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// [`Ingest::maybe_checkpoint`] fires once the WAL file reaches this
+    /// many bytes. `u64::MAX` disables size-triggered checkpoints.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            // Small WALs replay in well under a second; 8 MiB keeps
+            // recovery cheap without checkpointing on every mutation.
+            checkpoint_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CheckpointMeta {
+    seq: u64,
+    lsn: u64,
+}
+
+fn read_u64_at(bytes: &[u8], at: usize) -> Option<u64> {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(bytes.get(at..at + 8)?);
+    Some(u64::from_le_bytes(buf))
+}
+
+fn read_meta(path: &Path) -> Result<Option<CheckpointMeta>, IngestError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(IngestError::Io(e)),
+    };
+    if bytes.len() != META_LEN {
+        return Err(IngestError::CorruptMeta("wrong length"));
+    }
+    if !bytes.starts_with(CHECKPOINT_MAGIC) {
+        return Err(IngestError::CorruptMeta("bad magic"));
+    }
+    if bytes.get(CHECKPOINT_MAGIC.len()).copied() != Some(CHECKPOINT_VERSION) {
+        return Err(IngestError::CorruptMeta("unsupported version"));
+    }
+    let body_len = META_LEN - 4;
+    let (body, tail) = (bytes.get(..body_len), bytes.get(body_len..));
+    let (Some(body), Some(tail)) = (body, tail) else {
+        return Err(IngestError::CorruptMeta("wrong length"));
+    };
+    let mut crc_buf = [0u8; 4];
+    crc_buf.copy_from_slice(tail);
+    if u32::from_le_bytes(crc_buf) != tix_invariants::crc32(body) {
+        return Err(IngestError::CorruptMeta("checksum mismatch"));
+    }
+    let base = CHECKPOINT_MAGIC.len() + 1;
+    match (read_u64_at(&bytes, base), read_u64_at(&bytes, base + 8)) {
+        (Some(seq), Some(lsn)) => Ok(Some(CheckpointMeta { seq, lsn })),
+        _ => Err(IngestError::CorruptMeta("wrong length")),
+    }
+}
+
+fn write_meta(path: &Path, meta: CheckpointMeta) -> Result<(), IngestError> {
+    let mut body = Vec::with_capacity(META_LEN);
+    body.extend_from_slice(CHECKPOINT_MAGIC);
+    body.push(CHECKPOINT_VERSION);
+    body.extend_from_slice(&meta.seq.to_le_bytes());
+    body.extend_from_slice(&meta.lsn.to_le_bytes());
+    let crc = tix_invariants::crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    atomic_write::<io::Error, _>(path, |w| w.write_all(&body))?;
+    Ok(())
+}
+
+/// The single-writer ingestion engine for one durable directory. Pair it
+/// with the [`Database`] returned by [`Ingest::open`]; every mutation goes
+/// through the engine (WAL first), never through the database directly.
+#[derive(Debug)]
+pub struct Ingest {
+    dir: PathBuf,
+    wal: Wal,
+    last_lsn: u64,
+    seq: u64,
+    options: IngestOptions,
+}
+
+impl Ingest {
+    /// Open (creating if needed) the durable directory and recover its
+    /// state: load the snapshot pair named by `CHECKPOINT` (or start
+    /// empty), then replay every WAL record with `lsn > meta.lsn` through
+    /// the incremental maintenance path. Returns the engine and the
+    /// recovered, fully indexed database.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        options: IngestOptions,
+    ) -> Result<(Ingest, Database), IngestError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let meta = read_meta(&dir.join(META_FILE))?;
+        let mut db = Database::new();
+        let (seq, base_lsn) = match meta {
+            Some(m) => {
+                let mut opened = Database::open(dir.join(store_file(m.seq)))?;
+                opened.load_index_from(dir.join(index_file(m.seq)))?;
+                db = opened;
+                (m.seq, m.lsn)
+            }
+            None => {
+                // Fresh directory: an empty store with an empty (but
+                // present) index, so maintenance starts immediately.
+                db.build_index();
+                (0, 0)
+            }
+        };
+        let (mut wal, scan) = Wal::open(dir.join(WAL_FILE))?;
+        let mut last_lsn = base_lsn;
+        for entry in scan.entries {
+            if entry.lsn <= base_lsn {
+                // Already folded into the checkpoint: the crash window
+                // between meta commit and WAL reset leaves these behind.
+                continue;
+            }
+            let applied = match &entry.record {
+                WalRecord::AddDocument { name, xml } => {
+                    db.insert_document(name, xml).map(|_| ()).is_ok()
+                }
+                WalRecord::RemoveDocument { name } => db.remove_document(name).is_ok(),
+            };
+            if !applied {
+                // Every surviving frame applied cleanly when it was
+                // written, so a replay failure can only be an append whose
+                // rollback truncation raced a crash — necessarily the last
+                // frame. Drop it.
+                wal.truncate_to(entry.offset)?;
+                break;
+            }
+            last_lsn = entry.lsn;
+        }
+        Ok((
+            Ingest {
+                dir,
+                wal,
+                last_lsn,
+                seq,
+                options,
+            },
+            db,
+        ))
+    }
+
+    /// Log and apply a document insertion. The WAL frame is fsynced before
+    /// the in-memory apply; on apply failure the frame is truncated back
+    /// off the log and the typed error returns.
+    pub fn insert_document(
+        &mut self,
+        db: &mut Database,
+        name: &str,
+        xml: &str,
+    ) -> Result<DocId, IngestError> {
+        let lsn = self.last_lsn + 1;
+        let record = WalRecord::AddDocument {
+            name: name.to_string(),
+            xml: xml.to_string(),
+        };
+        let offset = self.wal.append(lsn, &record)?;
+        match db.insert_document(name, xml) {
+            Ok(id) => {
+                self.last_lsn = lsn;
+                Ok(id)
+            }
+            Err(e) => {
+                self.wal.truncate_to(offset)?;
+                Err(IngestError::Load(e))
+            }
+        }
+    }
+
+    /// Log and apply a document removal. Same contract as
+    /// [`Ingest::insert_document`].
+    pub fn remove_document(&mut self, db: &mut Database, name: &str) -> Result<DocId, IngestError> {
+        let lsn = self.last_lsn + 1;
+        let record = WalRecord::RemoveDocument {
+            name: name.to_string(),
+        };
+        let offset = self.wal.append(lsn, &record)?;
+        match db.remove_document(name) {
+            Ok(id) => {
+                self.last_lsn = lsn;
+                Ok(id)
+            }
+            Err(e) => {
+                self.wal.truncate_to(offset)?;
+                Err(IngestError::Remove(e))
+            }
+        }
+    }
+
+    /// Write a checkpoint: persist store + index snapshots under a fresh
+    /// sequence number, commit the meta file, reset the WAL, and delete
+    /// the superseded snapshot pair. Returns the new sequence number.
+    ///
+    /// See the module docs for why each crash window recovers correctly.
+    pub fn checkpoint(&mut self, db: &mut Database) -> Result<u64, IngestError> {
+        if !db.has_index() {
+            db.build_index();
+        }
+        let seq = self.seq + 1;
+        db.save_store_to(self.dir.join(store_file(seq)))?;
+        db.save_index_to(self.dir.join(index_file(seq)))?;
+        write_meta(
+            &self.dir.join(META_FILE),
+            CheckpointMeta {
+                seq,
+                lsn: self.last_lsn,
+            },
+        )?;
+        let old = self.seq;
+        self.seq = seq;
+        self.wal.reset()?;
+        if old > 0 {
+            // Best-effort: the meta no longer references these, so a
+            // failed delete costs disk space, not correctness.
+            let _ = fs::remove_file(self.dir.join(store_file(old)));
+            let _ = fs::remove_file(self.dir.join(index_file(old)));
+        }
+        Ok(seq)
+    }
+
+    /// Checkpoint iff the WAL has reached the configured size threshold.
+    /// Returns the new sequence number when one was taken.
+    pub fn maybe_checkpoint(&mut self, db: &mut Database) -> Result<Option<u64>, IngestError> {
+        if self.wal.len() >= self.options.checkpoint_bytes {
+            return self.checkpoint(db).map(Some);
+        }
+        Ok(None)
+    }
+
+    /// The last committed log sequence number (0 before any mutation).
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// The live checkpoint sequence number (0 before any checkpoint).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current WAL file size in bytes (header included).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// The durable directory this engine owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tix::exec::pick::PickParams;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tix-ingest-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pick() -> PickParams {
+        PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn fresh_directory_starts_empty_and_indexed() {
+        let (ingest, db) = Ingest::open(tmp_dir("fresh"), IngestOptions::default()).unwrap();
+        assert_eq!(db.store().doc_count(), 0);
+        assert!(db.has_index());
+        assert_eq!(ingest.last_lsn(), 0);
+        assert_eq!(ingest.checkpoint_seq(), 0);
+    }
+
+    #[test]
+    fn mutations_survive_reopen_via_replay() {
+        let dir = tmp_dir("replay");
+        {
+            let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+            ingest
+                .insert_document(&mut db, "a.xml", "<a><p>rust xml</p></a>")
+                .unwrap();
+            ingest
+                .insert_document(&mut db, "b.xml", "<b><p>gone soon</p></b>")
+                .unwrap();
+            ingest.remove_document(&mut db, "b.xml").unwrap();
+            assert_eq!(ingest.last_lsn(), 3);
+            // No checkpoint: everything lives in the WAL.
+        }
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        assert_eq!(ingest.last_lsn(), 3);
+        assert_eq!(db.store().doc_count(), 1);
+        assert!(!db.search(&["rust"], pick(), 5).is_empty());
+        assert!(db.search(&["gone"], pick(), 5).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_uses_snapshots() {
+        let dir = tmp_dir("checkpoint");
+        {
+            let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+            ingest
+                .insert_document(&mut db, "a.xml", "<a>alpha</a>")
+                .unwrap();
+            assert_eq!(ingest.checkpoint(&mut db).unwrap(), 1);
+            assert_eq!(ingest.wal_len(), crate::wal::WAL_HEADER_LEN);
+            // Post-checkpoint mutations land in the fresh WAL.
+            ingest
+                .insert_document(&mut db, "b.xml", "<b>beta</b>")
+                .unwrap();
+        }
+        assert!(dir.join("store.1.tixsnap").exists());
+        assert!(dir.join("index.1.tixidx").exists());
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        assert_eq!(ingest.checkpoint_seq(), 1);
+        assert_eq!(db.store().doc_count(), 2);
+        assert!(!db.search(&["alpha"], pick(), 5).is_empty());
+        assert!(!db.search(&["beta"], pick(), 5).is_empty());
+    }
+
+    #[test]
+    fn second_checkpoint_deletes_the_superseded_pair() {
+        let dir = tmp_dir("compact");
+        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>x</a>")
+            .unwrap();
+        ingest.checkpoint(&mut db).unwrap();
+        ingest
+            .insert_document(&mut db, "b.xml", "<b>y</b>")
+            .unwrap();
+        ingest.checkpoint(&mut db).unwrap();
+        assert!(!dir.join("store.1.tixsnap").exists());
+        assert!(!dir.join("index.1.tixidx").exists());
+        assert!(dir.join("store.2.tixsnap").exists());
+        assert!(dir.join("index.2.tixidx").exists());
+    }
+
+    #[test]
+    fn failed_apply_is_rolled_back_off_the_wal() {
+        let dir = tmp_dir("rollback");
+        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>x</a>")
+            .unwrap();
+        let wal_after_good = ingest.wal_len();
+        // Duplicate name, unparsable XML, missing removal target: each is
+        // a typed error and leaves the WAL exactly as it was.
+        assert!(matches!(
+            ingest.insert_document(&mut db, "a.xml", "<a>dup</a>"),
+            Err(IngestError::Load(LoadError::DuplicateName(_)))
+        ));
+        assert!(matches!(
+            ingest.insert_document(&mut db, "b.xml", "<unclosed>"),
+            Err(IngestError::Load(LoadError::Xml(_)))
+        ));
+        assert!(matches!(
+            ingest.remove_document(&mut db, "nope.xml"),
+            Err(IngestError::Remove(RemoveError::NotFound(_)))
+        ));
+        assert_eq!(ingest.wal_len(), wal_after_good);
+        assert_eq!(ingest.last_lsn(), 1);
+        // Reopen sees only the good mutation.
+        drop(ingest);
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        assert_eq!(ingest.last_lsn(), 1);
+        assert_eq!(db.store().doc_count(), 1);
+    }
+
+    #[test]
+    fn size_threshold_triggers_maybe_checkpoint() {
+        let dir = tmp_dir("threshold");
+        let options = IngestOptions {
+            checkpoint_bytes: 64,
+        };
+        let (mut ingest, mut db) = Ingest::open(&dir, options).unwrap();
+        assert_eq!(ingest.maybe_checkpoint(&mut db).unwrap(), None);
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>some words to cross the threshold</a>")
+            .unwrap();
+        assert_eq!(ingest.maybe_checkpoint(&mut db).unwrap(), Some(1));
+        assert_eq!(ingest.maybe_checkpoint(&mut db).unwrap(), None);
+    }
+
+    #[test]
+    fn crash_window_between_meta_and_wal_reset_skips_replay() {
+        let dir = tmp_dir("lsn-gate");
+        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>alpha</a>")
+            .unwrap();
+        let wal_bytes = fs::read(dir.join(WAL_FILE)).unwrap();
+        ingest.checkpoint(&mut db).unwrap();
+        // Simulate the crash: the meta committed but the WAL reset was
+        // lost — restore the pre-reset WAL contents.
+        fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+        drop(ingest);
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        // The add of a.xml must not apply twice (it would be a duplicate).
+        assert_eq!(db.store().doc_count(), 1);
+        assert_eq!(ingest.last_lsn(), 1);
+        assert!(!db.search(&["alpha"], pick(), 5).is_empty());
+    }
+
+    #[test]
+    fn corrupt_meta_is_a_typed_error() {
+        let dir = tmp_dir("meta");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(META_FILE), b"garbage").unwrap();
+        let err = Ingest::open(&dir, IngestOptions::default()).unwrap_err();
+        assert!(matches!(err, IngestError::CorruptMeta(_)), "{err:?}");
+    }
+
+    #[test]
+    fn meta_roundtrip_and_bitflip_rejection() {
+        let dir = tmp_dir("meta-crc");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(META_FILE);
+        write_meta(&path, CheckpointMeta { seq: 7, lsn: 42 }).unwrap();
+        let meta = read_meta(&path).unwrap().unwrap();
+        assert_eq!((meta.seq, meta.lsn), (7, 42));
+        let mut bytes = fs::read(&path).unwrap();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x04;
+            fs::write(&path, &bytes).unwrap();
+            assert!(read_meta(&path).is_err(), "flip at byte {i} accepted");
+            bytes[i] ^= 0x04;
+        }
+    }
+}

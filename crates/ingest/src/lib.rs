@@ -1,0 +1,51 @@
+//! # tix-ingest — live ingestion for TIX
+//!
+//! The paper's TIMBER host was a full database: documents arrived and
+//! departed while queries ran. This crate grows our reproduction the same
+//! capability on top of the batch-built store and index:
+//!
+//! * a **write-ahead log** ([`wal`]) — every mutation is an appended,
+//!   CRC-32-checksummed, fsynced frame; recovery replays the log over the
+//!   last checkpoint and truncates at the first torn or corrupt tail
+//!   record (prefix durability — never a panic, never a silently wrong
+//!   load);
+//! * **incremental index maintenance** — mutations flow through
+//!   [`tix::Database::insert_document`] / [`remove_document`], which keep
+//!   the inverted index byte-identical to a from-scratch rebuild (asserted
+//!   under `debug_assertions` / `--features check-invariants`) instead of
+//!   rebuilding it per mutation;
+//! * **checkpointing and log compaction** ([`engine`]) — a checkpoint
+//!   persists v2 store + index snapshots through the atomic-replace
+//!   protocol, commits a tiny checksummed meta file, then truncates the
+//!   WAL; crashes between any two steps recover correctly because replay
+//!   is gated on the checkpoint's LSN.
+//!
+//! ## Usage
+//!
+//! ```
+//! use tix_ingest::{Ingest, IngestOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("tix-ingest-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+//! ingest.insert_document(&mut db, "a.xml", "<a><p>live rust docs</p></a>").unwrap();
+//! assert_eq!(db.store().doc_count(), 1);
+//! // A crash here loses nothing: reopening replays the WAL.
+//! let (_ingest2, db2) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+//! assert_eq!(db2.store().doc_count(), 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! The engine is **single-writer / multi-reader**: exactly one [`Ingest`]
+//! may own a durable directory at a time (the serving layer enforces this
+//! with a mutex ordered before the database lock), while any number of
+//! readers see coherent pre- or post-mutation views through their usual
+//! read lock.
+//!
+//! [`remove_document`]: tix::Database::remove_document
+
+pub mod engine;
+pub mod wal;
+
+pub use engine::{Ingest, IngestError, IngestOptions, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use wal::{Wal, WalEntry, WalRecord, WalScan, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};

@@ -10,16 +10,18 @@
 /// included: a panic in a worker kills a request, never the process, but
 /// it still must answer 500 — so the handler code itself stays panic-free.
 pub const PANIC_FREE_CRATES: &[&str] = &[
-    "core", "exec", "index", "store", "xml", "query", "parallel", "cli", "server",
+    "core", "exec", "index", "store", "xml", "query", "parallel", "cli", "server", "ingest",
 ];
 
 /// Crates whose library code is checked for unchecked slice indexing.
-pub const INDEX_CHECKED_CRATES: &[&str] =
-    &["core", "exec", "index", "store", "xml", "query", "parallel"];
+pub const INDEX_CHECKED_CRATES: &[&str] = &[
+    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest",
+];
 
 /// Crates checked for direct float equality on scores.
-pub const FLOAT_EQ_CRATES: &[&str] =
-    &["core", "exec", "index", "store", "xml", "query", "parallel"];
+pub const FLOAT_EQ_CRATES: &[&str] = &[
+    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest",
+];
 
 /// Crates whose public items require doc comments.
 pub const DOC_CRATES: &[&str] = &["core", "exec"];
@@ -40,7 +42,7 @@ pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server"];
 /// bare `File::create` puts partial bytes at the final path, so a crash
 /// mid-write replaces good data with a torn file. All durable writes in
 /// these crates must go through `tix_store::persist::atomic_write`.
-pub const DURABLE_WRITE_CRATES: &[&str] = &["store", "index", "tix", "cli", "server"];
+pub const DURABLE_WRITE_CRATES: &[&str] = &["store", "index", "tix", "cli", "server", "ingest"];
 
 /// Scoring-path files: no `as` numeric casts here — conversions must be
 /// `From`/`TryFrom` or a helper with a justified inline allow. These are

@@ -30,8 +30,17 @@
 //! | `/phrase?q=xml+database` | GET | PhraseFinder exact-phrase lookup |
 //! | `/search/batch?k=10` | POST | one query per body line, deduplicated |
 //! | `/query` | POST | extended-XQuery dialect (body = query text) |
+//! | `/documents?name=X` | POST | ingest a document (body = XML); live servers only |
+//! | `/documents/{name}` | DELETE | remove a document by name; live servers only |
 //! | `/health` | GET | liveness + corpus stats |
 //! | `/metrics` | GET | the metrics registry as JSON |
+//!
+//! A server started with [`Server::start`] is **read-only** (document
+//! mutations answer 403). [`Server::start_live`] serves a durable
+//! ingestion directory instead — mutations are write-ahead logged,
+//! applied through incremental index maintenance, and checkpointed when
+//! the log crosses its size threshold (see `tix-ingest`); one writer at a
+//! time mutates under the ingest mutex while readers keep querying.
 //!
 //! Every response is JSON with `Connection: close` (one request per
 //! connection).

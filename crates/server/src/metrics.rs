@@ -102,6 +102,8 @@ pub struct EndpointCounters {
     pub batch: AtomicU64,
     /// `/query` requests.
     pub query: AtomicU64,
+    /// `/documents` mutations (POST and DELETE).
+    pub documents: AtomicU64,
     /// `/health` requests.
     pub health: AtomicU64,
     /// `/metrics` requests.
@@ -125,6 +127,15 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// 504s sent because a deadline expired.
     pub deadline_expired: AtomicU64,
+    /// Documents ingested through `POST /documents`.
+    pub ingest_inserts: AtomicU64,
+    /// Documents removed through `DELETE /documents/{name}`.
+    pub ingest_removes: AtomicU64,
+    /// Checkpoints taken by the serving layer (size-triggered).
+    pub ingest_checkpoints: AtomicU64,
+    /// Size-triggered checkpoints that failed (the mutation itself was
+    /// already durable; the WAL simply keeps growing until the next try).
+    pub ingest_checkpoint_errors: AtomicU64,
     /// Result-cache hits.
     pub cache_hits: AtomicU64,
     /// Result-cache misses.
@@ -152,6 +163,10 @@ impl Metrics {
             rejected_saturated: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            ingest_inserts: AtomicU64::new(0),
+            ingest_removes: AtomicU64::new(0),
+            ingest_checkpoints: AtomicU64::new(0),
+            ingest_checkpoint_errors: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
@@ -187,10 +202,11 @@ impl Metrics {
                 "\"rejected_saturated\":{},",
                 "\"rejected_shutdown\":{},",
                 "\"deadline_expired\":{},",
+                "\"ingest\":{{\"inserts\":{},\"removes\":{},\"checkpoints\":{},\"checkpoint_errors\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"queue\":{{\"depth\":{},\"wait\":{}}},",
                 "\"workers\":{{\"busy\":{},\"total\":{},\"utilization\":{:.3}}},",
-                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"health\":{},\"metrics\":{},\"other\":{}}},",
+                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"documents\":{},\"health\":{},\"metrics\":{},\"other\":{}}},",
                 "\"latency\":{}}}"
             ),
             load(&self.requests_total),
@@ -202,6 +218,10 @@ impl Metrics {
             load(&self.rejected_saturated),
             load(&self.rejected_shutdown),
             load(&self.deadline_expired),
+            load(&self.ingest_inserts),
+            load(&self.ingest_removes),
+            load(&self.ingest_checkpoints),
+            load(&self.ingest_checkpoint_errors),
             load(&self.cache_hits),
             load(&self.cache_misses),
             self.queue_depth.load(Ordering::Relaxed),
@@ -213,6 +233,7 @@ impl Metrics {
             load(&self.endpoints.phrase),
             load(&self.endpoints.batch),
             load(&self.endpoints.query),
+            load(&self.endpoints.documents),
             load(&self.endpoints.health),
             load(&self.endpoints.metrics),
             load(&self.endpoints.other),
@@ -283,6 +304,8 @@ mod tests {
             "\"utilization\"",
             "\"p95_us\"",
             "\"endpoints\"",
+            "\"documents\":0",
+            "\"ingest\":{\"inserts\":0,\"removes\":0,\"checkpoints\":0,\"checkpoint_errors\":0}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

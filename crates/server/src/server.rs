@@ -4,13 +4,16 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use tix::exec::pick::PickParams;
 use tix::query::run_query;
+use tix::store::{LoadError, RemoveError};
 use tix::{normalize_query, Database};
+use tix_ingest::{Ingest, IngestError, IngestOptions};
 
 use crate::cache::{QueryKey, QueryKind, ResultCache};
 use crate::http::{self, Limits, Request, Response};
@@ -68,8 +71,17 @@ struct Job {
 }
 
 /// State shared by the accept loop and every worker.
+///
+/// Lock ordering for mutations: the `ingest` mutex is always taken
+/// **before** the `db` write lock (the single-writer discipline — at most
+/// one mutation is logged and applied at a time), and the `db` lock is
+/// never held while waiting on `ingest`. Readers take only the `db` read
+/// lock, so they see a coherent pre- or post-mutation view.
 struct Shared {
     db: RwLock<Database>,
+    /// `Some` when serving a durable directory (live ingestion enabled);
+    /// `None` for a read-only in-memory server.
+    ingest: Option<Mutex<Ingest>>,
     cache: Mutex<ResultCache>,
     metrics: Metrics,
     queue: BoundedQueue<Job>,
@@ -92,7 +104,27 @@ pub struct Server {
 impl Server {
     /// Bind and start serving `db`. Builds the index first if the caller
     /// has not. Returns once the listener and worker pool are running.
-    pub fn start(mut db: Database, config: ServerConfig) -> std::io::Result<Server> {
+    /// The server is read-only: `POST`/`DELETE /documents` answer 403.
+    pub fn start(db: Database, config: ServerConfig) -> std::io::Result<Server> {
+        Server::start_inner(db, None, config)
+    }
+
+    /// Open (or create) the durable ingestion directory at `dir` — store +
+    /// index snapshots, checkpoint meta, write-ahead log — recover its
+    /// state, and serve it live: `POST /documents?name=X` and
+    /// `DELETE /documents/{name}` mutate the database under the
+    /// single-writer discipline while queries keep reading.
+    pub fn start_live(dir: impl Into<PathBuf>, config: ServerConfig) -> std::io::Result<Server> {
+        let (ingest, db) =
+            Ingest::open(dir, IngestOptions::default()).map_err(std::io::Error::other)?;
+        Server::start_inner(db, Some(ingest), config)
+    }
+
+    fn start_inner(
+        mut db: Database,
+        ingest: Option<Ingest>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         if !db.has_index() {
             db.build_index();
         }
@@ -102,6 +134,7 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
+            ingest: ingest.map(Mutex::new),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             metrics: Metrics::new(workers),
             queue: BoundedQueue::new(config.queue_capacity),
@@ -190,6 +223,10 @@ fn write_lock(lock: &RwLock<Database>) -> std::sync::RwLockWriteGuard<'_, Databa
 
 fn lock_cache(cache: &Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCache> {
     cache.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_ingest(ingest: &Mutex<Ingest>) -> std::sync::MutexGuard<'_, Ingest> {
+    ingest.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
@@ -359,6 +396,15 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             bump(&counters.query);
             handle_query(shared, request, deadline)
         }
+        ("POST", "/documents") => {
+            bump(&counters.documents);
+            handle_insert_document(shared, request)
+        }
+        ("DELETE", path) if path.starts_with("/documents/") => {
+            bump(&counters.documents);
+            let name = path.strip_prefix("/documents/").unwrap_or("");
+            handle_remove_document(shared, name)
+        }
         ("GET", "/debug/sleep") if shared.debug_endpoints => {
             bump(&counters.other);
             handle_sleep(request, deadline)
@@ -367,9 +413,13 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             bump(&counters.other);
             Response::error(405, "method not allowed").with_header("Allow", "GET".to_string())
         }
-        (_, "/search/batch" | "/query") => {
+        (_, "/search/batch" | "/query" | "/documents") => {
             bump(&counters.other);
             Response::error(405, "method not allowed").with_header("Allow", "POST".to_string())
+        }
+        (_, path) if path.starts_with("/documents/") => {
+            bump(&counters.other);
+            Response::error(405, "method not allowed").with_header("Allow", "DELETE".to_string())
         }
         (_, path) => {
             bump(&counters.other);
@@ -549,6 +599,143 @@ fn handle_query(shared: &Shared, request: &Request, deadline: Instant) -> Respon
     match run_query(db.store(), text) {
         Ok(items) => Response::json(200, render::query_body(&items)),
         Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// The response both document mutations share: what changed, the WAL
+/// position, the new generation, and the checkpoint sequence when the
+/// size threshold fired.
+fn mutation_body(
+    action: &str,
+    name: &str,
+    doc: u32,
+    lsn: u64,
+    generation: u64,
+    checkpoint: Option<u64>,
+) -> String {
+    let checkpoint = match checkpoint {
+        Some(seq) => format!(",\"checkpoint\":{seq}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"{action}\":{},\"doc\":{doc},\"lsn\":{lsn},\"generation\":{generation}{checkpoint}}}",
+        render::json_string(name)
+    )
+}
+
+/// Run the size-threshold checkpoint check after a successful mutation.
+/// A checkpoint failure never fails the request — the mutation is already
+/// durable in the WAL; the log simply keeps growing until the next try.
+fn checkpoint_after_mutation(
+    shared: &Shared,
+    ingest: &mut Ingest,
+    db: &mut Database,
+) -> Option<u64> {
+    match ingest.maybe_checkpoint(db) {
+        Ok(Some(seq)) => {
+            shared
+                .metrics
+                .ingest_checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+            Some(seq)
+        }
+        Ok(None) => None,
+        Err(_) => {
+            shared
+                .metrics
+                .ingest_checkpoint_errors
+                .fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// `POST /documents?name=X` with the XML document as the body: log the
+/// insertion to the WAL, apply it through incremental index maintenance,
+/// and answer 201 — or 409 on a duplicate name, 400 on bad input, 403 on
+/// a read-only server.
+fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
+    let Some(ingest_lock) = &shared.ingest else {
+        return Response::error(403, "read-only server: ingestion needs a durable directory");
+    };
+    let Some(name) = request.query_param("name") else {
+        return Response::error(400, "missing name parameter");
+    };
+    if name.is_empty() {
+        return Response::error(400, "name must not be empty");
+    }
+    let Ok(xml) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "document body is not UTF-8");
+    };
+    if xml.trim().is_empty() {
+        return Response::error(400, "document body is empty");
+    }
+    // Single-writer discipline: ingest mutex first, then the db write
+    // lock (see the `Shared` lock-ordering contract).
+    let mut ingest = lock_ingest(ingest_lock);
+    let mut db = write_lock(&shared.db);
+    match ingest.insert_document(&mut db, name, xml) {
+        Ok(id) => {
+            shared
+                .metrics
+                .ingest_inserts
+                .fetch_add(1, Ordering::Relaxed);
+            let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+            Response::json(
+                201,
+                mutation_body(
+                    "inserted",
+                    name,
+                    id.0,
+                    ingest.last_lsn(),
+                    db.generation(),
+                    checkpoint,
+                ),
+            )
+        }
+        Err(IngestError::Load(LoadError::DuplicateName(_))) => {
+            Response::error(409, &format!("document {name:?} already exists"))
+        }
+        Err(IngestError::Load(e)) => Response::error(400, &e.to_string()),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `DELETE /documents/{name}`: log the removal, apply it (dropping the
+/// document's postings and renumbering), and answer 200 — or 404 for an
+/// unknown name, 403 on a read-only server.
+fn handle_remove_document(shared: &Shared, name: &str) -> Response {
+    let Some(ingest_lock) = &shared.ingest else {
+        return Response::error(403, "read-only server: ingestion needs a durable directory");
+    };
+    if name.is_empty() {
+        return Response::error(400, "missing document name in path");
+    }
+    let mut ingest = lock_ingest(ingest_lock);
+    let mut db = write_lock(&shared.db);
+    match ingest.remove_document(&mut db, name) {
+        Ok(id) => {
+            shared
+                .metrics
+                .ingest_removes
+                .fetch_add(1, Ordering::Relaxed);
+            let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+            Response::json(
+                200,
+                mutation_body(
+                    "removed",
+                    name,
+                    id.0,
+                    ingest.last_lsn(),
+                    db.generation(),
+                    checkpoint,
+                ),
+            )
+        }
+        Err(IngestError::Remove(RemoveError::NotFound(_))) => {
+            Response::error(404, &format!("no document named {name:?}"))
+        }
+        Err(e) => Response::error(500, &e.to_string()),
     }
 }
 

@@ -472,3 +472,124 @@ fn metrics_track_requests_and_latency() {
     }
     server.shutdown();
 }
+
+fn delete(server: &Server, target: &str) -> (u16, String, Vec<u8>) {
+    raw_request(
+        server,
+        &format!("DELETE {target} HTTP/1.1\r\nHost: t\r\n\r\n"),
+    )
+}
+
+fn live_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tix-e2e-live-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn read_only_server_refuses_document_mutations() {
+    let server = start(ServerConfig::default());
+    let (status, _, _) = post(&server, "/documents?name=x.xml", "<a>x</a>");
+    assert_eq!(status, 403);
+    let (status, _, _) = delete(&server, "/documents/a.xml");
+    assert_eq!(status, 403);
+    server.shutdown();
+}
+
+#[test]
+fn live_ingestion_mutates_while_serving() {
+    let server = Server::start_live(live_dir("mutate"), ServerConfig::default()).unwrap();
+    // Empty corpus serves (no results) before any ingestion.
+    let (status, _, _) = get(&server, "/search?q=ingested");
+    assert_eq!(status, 200);
+
+    let (status, _, body) = post(
+        &server,
+        "/documents?name=live.xml",
+        "<a><p>ingested rust text</p></a>",
+    );
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"inserted\":\"live.xml\""), "{text}");
+    assert!(text.contains("\"lsn\":1"), "{text}");
+
+    // The searcher sees the new document immediately.
+    let (status, _, body) = get(&server, "/search?q=ingested&threshold=1.0");
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8(body).unwrap().contains("ingested"),
+        "search does not see the ingested document"
+    );
+
+    // Duplicate name: 409, nothing changed.
+    let (status, _, _) = post(&server, "/documents?name=live.xml", "<a>dup</a>");
+    assert_eq!(status, 409);
+    // Unparsable XML: 400.
+    let (status, _, _) = post(&server, "/documents?name=bad.xml", "<unclosed>");
+    assert_eq!(status, 400);
+    // Unknown removal target: 404.
+    let (status, _, _) = delete(&server, "/documents/nope.xml");
+    assert_eq!(status, 404);
+    // Wrong methods: 405 with the right Allow.
+    let (status, headers, _) = get(&server, "/documents/live.xml");
+    assert_eq!(status, 405);
+    assert!(headers.contains("Allow: DELETE"), "{headers}");
+
+    // Remove a second document end to end.
+    let (status, _, _) = post(&server, "/documents?name=gone.xml", "<a>ephemeral</a>");
+    assert_eq!(status, 201);
+    let (status, _, body) = delete(&server, "/documents/gone.xml");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("\"removed\":\"gone.xml\""),);
+    let (status, _, body) = get(&server, "/search?q=ephemeral&threshold=1.0");
+    assert_eq!(status, 200);
+    assert!(!String::from_utf8(body).unwrap().contains("gone.xml"));
+
+    let metrics = server.metrics_json();
+    assert!(metrics.contains("\"inserts\":2"), "{metrics}");
+    assert!(metrics.contains("\"removes\":1"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn ingested_documents_survive_restart_with_identical_results() {
+    let dir = live_dir("restart");
+    let query = "/search?q=durable+rust&threshold=1.0&k=5";
+    let before = {
+        let server = Server::start_live(&dir, ServerConfig::default()).unwrap();
+        let (status, _, _) = post(
+            &server,
+            "/documents?name=a.xml",
+            "<article><p>durable rust words</p><p>more rust</p></article>",
+        );
+        assert_eq!(status, 201);
+        let (status, _, _) = post(
+            &server,
+            "/documents?name=b.xml",
+            "<article><p>durable xml</p></article>",
+        );
+        assert_eq!(status, 201);
+        let (status, _, _) = delete(&server, "/documents/b.xml");
+        assert_eq!(status, 200);
+        let (status, _, body) = get(&server, query);
+        assert_eq!(status, 200);
+        // The "kill": shutdown does NOT checkpoint, so everything lives
+        // only in the WAL at this point.
+        server.shutdown();
+        String::from_utf8(body).unwrap()
+    };
+    assert!(
+        !std::fs::exists(dir.join("store.1.tixsnap")).unwrap(),
+        "no checkpoint should have been taken"
+    );
+    // Restart: recovery replays the WAL and answers byte-identically.
+    let server = Server::start_live(&dir, ServerConfig::default()).unwrap();
+    let (status, _, body) = get(&server, query);
+    assert_eq!(status, 200);
+    assert_eq!(String::from_utf8(body).unwrap(), before);
+    let (status, _, _) = post(&server, "/documents?name=a.xml", "<a>dup</a>");
+    assert_eq!(status, 409, "replayed state lost the duplicate-name guard");
+    server.shutdown();
+}

@@ -45,7 +45,7 @@ use crate::document::{AttrRec, DocData};
 use crate::interner::{Interner, Symbol};
 use crate::node::{NodeKind, NodeRec};
 use crate::persist::{read_section, write_section, SealReader, SealWriter, SectionError};
-use crate::store::Store;
+use crate::store::{FromPartsError, Store};
 
 /// Leading magic of every store snapshot, any version.
 pub const SNAPSHOT_MAGIC: &[u8; 7] = b"TIXSNAP";
@@ -67,6 +67,11 @@ pub enum SnapshotError {
     UnsupportedVersion(u8),
     /// Structural or checksum corruption.
     Corrupt(&'static str),
+    /// Two documents in the snapshot share a registered name. Kept
+    /// distinct from [`SnapshotError::Corrupt`] so loaders (and the WAL
+    /// replay path, which funnels through the same name registry) can
+    /// report the offending name.
+    DuplicateName(String),
     /// A collection is too large for the u32 length prefixes of the
     /// on-disk format; the snapshot is refused rather than truncated.
     TooLarge(&'static str),
@@ -81,6 +86,9 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "unsupported snapshot version {v}")
             }
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::DuplicateName(name) => {
+                write!(f, "corrupt snapshot: duplicate document name {name:?}")
+            }
             SnapshotError::TooLarge(what) => {
                 write!(f, "snapshot not written: {what} exceeds format limit")
             }
@@ -100,6 +108,13 @@ impl std::error::Error for SnapshotError {
 impl From<io::Error> for SnapshotError {
     fn from(e: io::Error) -> Self {
         SnapshotError::Io(e)
+    }
+}
+
+fn from_parts_err(e: FromPartsError) -> SnapshotError {
+    match e {
+        FromPartsError::DuplicateName(name) => SnapshotError::DuplicateName(name),
+        FromPartsError::TagOutOfRange => SnapshotError::Corrupt("tag symbol out of range"),
     }
 }
 
@@ -380,7 +395,7 @@ fn load_v1(r: &mut impl Read) -> Result<Store, SnapshotError> {
     for _ in 0..doc_count {
         docs.push(read_doc(r, &tags, &attr_names)?);
     }
-    Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
+    Store::from_parts(tags, attr_names, docs).map_err(from_parts_err)
 }
 
 /// Checksummed loader: every section's CRC-32 is verified before its
@@ -407,7 +422,7 @@ fn load_v2(r: &mut impl Read) -> Result<Store, SnapshotError> {
         }
     }
     sealed.verify_seal().map_err(section_err)?;
-    Store::from_parts(tags, attr_names, docs).map_err(SnapshotError::Corrupt)
+    Store::from_parts(tags, attr_names, docs).map_err(from_parts_err)
 }
 
 #[cfg(test)]
@@ -524,5 +539,27 @@ mod tests {
         let store = Store::new();
         let loaded = roundtrip(&store);
         assert_eq!(loaded.doc_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_document_name_is_a_typed_error() {
+        // Hand-assemble a v1 snapshot carrying the same document twice:
+        // structurally valid bytes, so the name registry — not the framing
+        // — must catch it, with the offending name in the error.
+        let mut store = Store::new();
+        store.load_str("dup.xml", "<a>x</a>").unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        w_u8(&mut buf, 1).unwrap();
+        w_interner(&mut buf, store.tags_interner()).unwrap();
+        w_interner(&mut buf, store.attr_names_interner()).unwrap();
+        w_count(&mut buf, 2, "document table").unwrap();
+        let doc = &store.docs()[0];
+        write_doc(&mut buf, doc).unwrap();
+        write_doc(&mut buf, doc).unwrap();
+        match Store::load_snapshot(buf.as_slice()) {
+            Err(SnapshotError::DuplicateName(name)) => assert_eq!(name, "dup.xml"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
     }
 }

@@ -2,11 +2,40 @@
 //! used by every layer above.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::document::{DocData, LoadError};
 use crate::interner::{Interner, Symbol};
 use crate::node::{DocId, NodeIdx, NodeKind, NodeRef, NO_PARENT};
 use crate::stats::StoreStats;
+
+/// Errors raised by [`Store::remove_document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoveError {
+    /// No document is registered under this name.
+    NotFound(String),
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::NotFound(name) => write!(f, "no document named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoveError {}
+
+/// Why [`Store::from_parts`] refused to assemble a store from snapshot
+/// parts. Snapshot bytes are untrusted input, so both conditions are
+/// loader errors rather than panics.
+#[derive(Debug)]
+pub(crate) enum FromPartsError {
+    /// Two documents share a registered name.
+    DuplicateName(String),
+    /// A node references a tag symbol past the interner's table.
+    TagOutOfRange,
+}
 
 /// An in-memory XML database: documents, tag index, navigation.
 ///
@@ -49,6 +78,48 @@ impl Store {
         self.by_name.insert(name.to_string(), id);
         self.docs.push(doc);
         Ok(id)
+    }
+
+    /// Remove the document registered under `name`, returning the id it
+    /// occupied.
+    ///
+    /// Document ids are dense: every document after the removed one shifts
+    /// down by one, so outstanding [`NodeRef`]s (and index postings) are
+    /// invalidated by a removal. Callers maintaining derived structures —
+    /// the inverted index, caches keyed on node identity — must remap or
+    /// rebuild them in the same mutation step; `tix::Database` does exactly
+    /// that for its index.
+    pub fn remove_document(&mut self, name: &str) -> Result<DocId, RemoveError> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| RemoveError::NotFound(name.to_string()))?;
+        self.docs.remove(id.0 as usize);
+        self.reindex();
+        Ok(id)
+    }
+
+    /// Rebuild the name map and tag index from the document table (after a
+    /// removal renumbers document ids). The interners are left as-is: a
+    /// symbol that no longer occurs simply has an empty element list, which
+    /// keeps every surviving symbol stable.
+    fn reindex(&mut self) {
+        self.by_name.clear();
+        for list in &mut self.tag_elements {
+            list.clear();
+        }
+        self.tag_elements.resize(self.tags.len(), Vec::new());
+        for (d, doc) in self.docs.iter().enumerate() {
+            let id = DocId(d as u32);
+            self.by_name.insert(doc.name.clone(), id);
+            for (i, rec) in doc.nodes.iter().enumerate() {
+                if rec.kind == NodeKind::Element {
+                    // lint:allow(no-slice-index): resized to tags.len() above
+                    self.tag_elements[rec.tag.as_u32() as usize]
+                        .push(NodeRef::new(id, NodeIdx(i as u32)));
+                }
+            }
+        }
     }
 
     // ---- documents -------------------------------------------------------
@@ -354,7 +425,7 @@ impl Store {
         tags: Interner,
         attr_names: Interner,
         docs: Vec<DocData>,
-    ) -> Result<Store, &'static str> {
+    ) -> Result<Store, FromPartsError> {
         let mut store = Store {
             docs: Vec::new(),
             by_name: HashMap::new(),
@@ -366,14 +437,14 @@ impl Store {
         for doc in docs {
             let id = DocId(store.docs.len() as u32);
             if store.by_name.insert(doc.name.clone(), id).is_some() {
-                return Err("duplicate document name");
+                return Err(FromPartsError::DuplicateName(doc.name.clone()));
             }
             for (i, rec) in doc.nodes.iter().enumerate() {
                 if rec.kind == NodeKind::Element {
                     store
                         .tag_elements
                         .get_mut(rec.tag.as_u32() as usize)
-                        .ok_or("tag symbol out of range")?
+                        .ok_or(FromPartsError::TagOutOfRange)?
                         .push(NodeRef::new(id, NodeIdx(i as u32)));
                 }
             }
@@ -526,6 +597,51 @@ mod tests {
             store.load_str("articles.xml", "<b/>"),
             Err(LoadError::DuplicateName(_))
         ));
+    }
+
+    #[test]
+    fn remove_document_renumbers_and_reindexes() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a><p/></a>").unwrap();
+        store.load_str("b.xml", "<b><p/><p/></b>").unwrap();
+        store.load_str("c.xml", "<a><p/></a>").unwrap();
+        let removed = store.remove_document("b.xml").unwrap();
+        assert_eq!(removed, DocId(1));
+        assert_eq!(store.doc_count(), 2);
+        // Later documents shift down: c.xml is now DocId(1).
+        assert_eq!(store.doc_by_name("a.xml"), Some(DocId(0)));
+        assert_eq!(store.doc_by_name("c.xml"), Some(DocId(1)));
+        assert_eq!(store.doc_by_name("b.xml"), None);
+        // Tag index reflects only the surviving documents, renumbered.
+        assert_eq!(
+            store.elements_with_tag("p"),
+            &[nref(DocId(0), 1), nref(DocId(1), 1)]
+        );
+        // The name can be reused after removal.
+        let reused = store.load_str("b.xml", "<b>back</b>").unwrap();
+        assert_eq!(reused, DocId(2));
+    }
+
+    #[test]
+    fn remove_document_unknown_name_is_typed() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a/>").unwrap();
+        assert_eq!(
+            store.remove_document("nope.xml"),
+            Err(RemoveError::NotFound("nope.xml".to_string()))
+        );
+        assert_eq!(store.doc_count(), 1);
+    }
+
+    #[test]
+    fn remove_last_document_leaves_empty_store() {
+        let mut store = Store::new();
+        store.load_str("only.xml", "<a><b/>text</a>").unwrap();
+        store.remove_document("only.xml").unwrap();
+        assert_eq!(store.doc_count(), 0);
+        assert_eq!(store.node_count(), 0);
+        assert!(store.elements_with_tag("a").is_empty());
+        assert!(store.elements_with_tag("b").is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use tix_exec::scored::{sort_by_node, ScoredNode};
 use tix_exec::termjoin::{SimpleScorer, TermJoinScorer};
 use tix_exec::topk;
 use tix_index::InvertedIndex;
-use tix_store::{DocId, LoadError, Store};
+use tix_store::{DocId, LoadError, RemoveError, Store};
 
 /// An XML database with IR-style querying: a [`Store`], an on-demand
 /// [`InvertedIndex`], and shortcuts to the most common access-method
@@ -84,6 +84,68 @@ impl Database {
         self.index = None;
         self.generation += 1;
         self.store.load_str(name, xml)
+    }
+
+    /// Parse and load a document **without** invalidating the index: when
+    /// an index is present it is maintained incrementally (the new
+    /// document's postings are appended in document order), so the
+    /// database stays queryable across the mutation. This is the live-
+    /// ingestion entry point; batch loading should keep using
+    /// [`Database::load`] + one [`Database::build_index`]. Bumps the
+    /// [generation](Database::generation).
+    ///
+    /// Under `debug_assertions` or `--features check-invariants` the
+    /// maintained index is asserted byte-identical to a from-scratch
+    /// rebuild after the mutation.
+    pub fn insert_document(&mut self, name: &str, xml: &str) -> Result<DocId, LoadError> {
+        let id = self.store.load_str(name, xml)?;
+        if let Some(index) = &mut self.index {
+            index.add_document(&self.store, id);
+        }
+        self.generation += 1;
+        self.assert_index_matches_rebuild();
+        Ok(id)
+    }
+
+    /// Remove a document by name, maintaining the index incrementally
+    /// (postings dropped, later document ids renumbered down — mirroring
+    /// the store's dense-id compaction). Bumps the
+    /// [generation](Database::generation).
+    ///
+    /// Under `debug_assertions` or `--features check-invariants` the
+    /// maintained index is asserted byte-identical to a from-scratch
+    /// rebuild after the mutation.
+    pub fn remove_document(&mut self, name: &str) -> Result<DocId, RemoveError> {
+        let id = self.store.remove_document(name)?;
+        if let Some(index) = &mut self.index {
+            index.remove_document(id);
+        }
+        self.generation += 1;
+        self.assert_index_matches_rebuild();
+        Ok(id)
+    }
+
+    /// The incremental-maintenance acceptance check: the maintained index
+    /// must serialize **byte-identically** to `InvertedIndex::build` over
+    /// the current store. Compiled only under `debug_assertions` or
+    /// `--features check-invariants`; a no-op without an index.
+    fn assert_index_matches_rebuild(&self) {
+        tix_invariants::check! {
+            if let Some(index) = &self.index {
+                let mut maintained = Vec::new();
+                index
+                    .save_snapshot(&mut maintained)
+                    .expect("serialize maintained index");
+                let mut rebuilt = Vec::new();
+                InvertedIndex::build(&self.store)
+                    .save_snapshot(&mut rebuilt)
+                    .expect("serialize rebuilt index");
+                assert!(
+                    maintained == rebuilt,
+                    "incrementally maintained index diverged from a from-scratch rebuild"
+                );
+            }
+        }
     }
 
     /// Build (or rebuild) the inverted index over everything loaded,
@@ -448,6 +510,64 @@ mod tests {
         let index = InvertedIndex::build(db.store());
         db.set_index(index);
         assert!(db.generation() > g);
+    }
+
+    #[test]
+    fn insert_document_keeps_index_live() {
+        let mut db = db();
+        let gen_before = db.generation();
+        let id = db
+            .insert_document("b.xml", "<b><p>fresh rust</p></b>")
+            .unwrap();
+        // No rebuild needed: the index was maintained in place (the
+        // check-invariants hook inside insert_document already asserted
+        // byte-identity with a rebuild).
+        assert!(db.has_index());
+        assert!(db.generation() > gen_before);
+        assert_eq!(db.index().collection_frequency("fresh"), 1);
+        let hits = db.term_join(&["fresh"]);
+        assert!(hits.iter().all(|h| h.node.doc == id));
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn remove_document_keeps_index_live() {
+        let mut db = multi_doc_db();
+        let before = db.term_join(&["number3"]);
+        assert!(!before.is_empty());
+        db.remove_document("d3.xml").unwrap();
+        assert!(db.has_index());
+        assert!(db.term_join(&["number3"]).is_empty());
+        // The surviving documents are still fully queryable.
+        assert!(!db.term_join(&["rust"]).is_empty());
+        assert!(matches!(
+            db.remove_document("d3.xml"),
+            Err(RemoveError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn insert_duplicate_name_is_typed_and_mutation_free() {
+        let mut db = db();
+        let gen_before = db.generation();
+        assert!(matches!(
+            db.insert_document("a.xml", "<a>dup</a>"),
+            Err(LoadError::DuplicateName(_))
+        ));
+        assert_eq!(db.generation(), gen_before);
+        assert_eq!(db.index().collection_frequency("dup"), 0);
+    }
+
+    #[test]
+    fn mutations_without_index_defer_to_build() {
+        let mut db = Database::new();
+        db.insert_document("a.xml", "<a>x</a>").unwrap();
+        db.insert_document("b.xml", "<a>y</a>").unwrap();
+        db.remove_document("a.xml").unwrap();
+        assert!(!db.has_index());
+        db.build_index();
+        assert_eq!(db.index().collection_frequency("x"), 0);
+        assert_eq!(db.index().collection_frequency("y"), 1);
     }
 
     #[test]
