@@ -1,0 +1,290 @@
+//! Planner benchmark: for each EXPERIMENTS.md workload shape, time
+//! **every** fixed physical plan and compare against the cost-based
+//! planner's choice. Also reports the Threshold pushdown's postings
+//! savings (`postings_scanned` vs `postings_total`) — the WAND-style
+//! early exit is only worth choosing if it actually skips work.
+//!
+//! All plans produce byte-identical results (enforced exhaustively by
+//! `crates/query/tests/plan_equivalence.rs`; spot-checked here), so the
+//! comparison is purely about time and postings touched.
+//!
+//! Results go to stdout as a markdown table and to
+//! `results/BENCH_planner.json`.
+//!
+//! Environment:
+//! * `TIX_ARTICLES` — corpus size (default 200, the small fixture shape);
+//! * `TIX_SCALE`    — plant-frequency scale (default 0.1).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tix::query::logical::{PhraseSearch, TermSearch};
+use tix::query::{candidates, choose, execute, LogicalPlan, PlanInputs, Scoring};
+use tix_bench::{fmt_ms, paper_timing, Fixture};
+use tix_corpus::workloads;
+use tix_corpus::CorpusSpec;
+
+struct Workload {
+    name: &'static str,
+    logical: LogicalPlan,
+}
+
+struct PlanRowTiming {
+    label: String,
+    cost: u64,
+    wall: Duration,
+    postings_scanned: u64,
+    postings_total: u64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    chosen: String,
+    rows: Vec<PlanRowTiming>,
+}
+
+impl WorkloadResult {
+    fn wall_of(&self, label: &str) -> Duration {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .expect("chosen plan was timed")
+            .wall
+    }
+
+    fn best_wall(&self) -> Duration {
+        self.rows.iter().map(|r| r.wall).min().expect("non-empty")
+    }
+}
+
+fn term_search(terms: &[&str], scoring: Scoring, k: usize, min_score: Option<f64>) -> LogicalPlan {
+    LogicalPlan::TermSearch(TermSearch {
+        terms: terms.iter().map(|t| t.to_string()).collect(),
+        scoring,
+        pick: None,
+        k,
+        min_score,
+    })
+}
+
+fn main() {
+    let articles: usize = env_parse("TIX_ARTICLES", 200);
+    let scale: f64 = env_parse("TIX_SCALE", 0.1);
+    let spec = CorpusSpec {
+        articles,
+        ..CorpusSpec::small()
+    };
+    eprintln!("building fixture: {articles} articles, scale {scale} …");
+    let fixture = Fixture::build(spec, scale);
+    eprintln!(
+        "corpus: {} docs, {} terms, {} tokens",
+        fixture.store.doc_ids().count(),
+        fixture.index.term_count(),
+        fixture.index.total_tokens()
+    );
+
+    let t3v = workloads::table3_term2(3000);
+    let t4: Vec<String> = (0..4).map(workloads::table4_term).collect();
+    let t4_refs: Vec<&str> = t4.iter().map(String::as_str).collect();
+    let (ph_a, ph_b) = workloads::table5_terms(0);
+    let workloads: Vec<Workload> = vec![
+        Workload {
+            name: "table3-2term",
+            logical: term_search(&["t3fix", &t3v], Scoring::SimpleUniform, usize::MAX, None),
+        },
+        Workload {
+            name: "table4-4term",
+            logical: term_search(&t4_refs, Scoring::SimpleUniform, usize::MAX, None),
+        },
+        Workload {
+            name: "table3-complex",
+            logical: term_search(&["t3fix", &t3v], Scoring::Complex, usize::MAX, None),
+        },
+        Workload {
+            name: "threshold-top10",
+            logical: term_search(&["t3fix", &t3v], Scoring::SimpleUniform, 10, Some(0.5)),
+        },
+        Workload {
+            name: "table5-phrase",
+            logical: LogicalPlan::Phrase(PhraseSearch {
+                terms: vec![ph_a, ph_b],
+                k: usize::MAX,
+                min_score: None,
+            }),
+        },
+    ];
+
+    let mut results: Vec<WorkloadResult> = Vec::new();
+    for w in &workloads {
+        let inputs = PlanInputs::gather(&fixture.store, &fixture.index, w.logical.terms());
+        let choice = choose(&w.logical, &inputs);
+        let chosen = choice.chosen.plan.label();
+        eprintln!("{}: planner chose {chosen}", w.name);
+        let baseline = execute(
+            &fixture.store,
+            &fixture.index,
+            &w.logical,
+            &choice.chosen.plan,
+            1,
+            &|| false,
+        )
+        .expect("never cancelled");
+        let mut rows = Vec::new();
+        for candidate in candidates(&w.logical, &inputs) {
+            let run = execute(
+                &fixture.store,
+                &fixture.index,
+                &w.logical,
+                &candidate.plan,
+                1,
+                &|| false,
+            )
+            .expect("never cancelled");
+            // Every plan must agree with the planner's choice — the
+            // exhaustive proof lives in plan_equivalence.rs; this keeps
+            // the benchmark honest about what it compares.
+            assert_eq!(
+                run.results.len(),
+                baseline.results.len(),
+                "{}: {} disagrees with {chosen}",
+                w.name,
+                candidate.plan.label()
+            );
+            let wall = paper_timing(|| {
+                let r = execute(
+                    &fixture.store,
+                    &fixture.index,
+                    &w.logical,
+                    &candidate.plan,
+                    1,
+                    &|| false,
+                )
+                .expect("never cancelled");
+                assert!(r.results.len() == baseline.results.len());
+            });
+            eprintln!(
+                "  {:<28} cost={:<12} {} ms  postings {}/{}",
+                candidate.plan.label(),
+                candidate.cost,
+                fmt_ms(wall),
+                run.postings_scanned,
+                run.postings_total
+            );
+            rows.push(PlanRowTiming {
+                label: candidate.plan.label(),
+                cost: candidate.cost,
+                wall,
+                postings_scanned: run.postings_scanned,
+                postings_total: run.postings_total,
+            });
+        }
+        results.push(WorkloadResult {
+            name: w.name,
+            chosen,
+            rows,
+        });
+    }
+
+    // The pushdown workload must actually skip postings.
+    let pushdown = results
+        .iter()
+        .find(|r| r.name == "threshold-top10")
+        .expect("threshold workload present");
+    assert_eq!(pushdown.chosen, "term-join+pushdown");
+    let row = pushdown
+        .rows
+        .iter()
+        .find(|r| r.label == "term-join+pushdown")
+        .expect("pushdown candidate timed");
+    assert!(
+        row.postings_scanned < row.postings_total,
+        "pushdown scanned {}/{} postings — no early exit",
+        row.postings_scanned,
+        row.postings_total
+    );
+
+    print_and_save(&results, articles, scale);
+}
+
+fn print_and_save(results: &[WorkloadResult], articles: usize, scale: f64) {
+    let mut table = String::from(
+        "| workload | chosen plan | chosen (ms) | best fixed (ms) | ratio | postings scanned/total |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    for r in results {
+        let chosen_wall = r.wall_of(&r.chosen);
+        let best = r.best_wall();
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row.label == r.chosen)
+            .expect("chosen row");
+        writeln!(
+            table,
+            "| {} | {} | {} | {} | {:.2} | {}/{} |",
+            r.name,
+            r.chosen,
+            fmt_ms(chosen_wall),
+            fmt_ms(best),
+            chosen_wall.as_secs_f64() / best.as_secs_f64().max(1e-12),
+            row.postings_scanned,
+            row.postings_total
+        )
+        .unwrap();
+    }
+    println!("\n## Planner vs fixed plans ({articles} articles, scale {scale})\n\n{table}");
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"experiment\": \"planner\",").unwrap();
+    writeln!(json, "  \"articles\": {articles},").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    json.push_str("  \"workloads\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let chosen_wall = r.wall_of(&r.chosen).as_secs_f64() * 1e3;
+        let best = r.best_wall().as_secs_f64() * 1e3;
+        writeln!(json, "    \"{}\": {{", r.name).unwrap();
+        writeln!(json, "      \"chosen\": \"{}\",", r.chosen).unwrap();
+        writeln!(json, "      \"chosen_wall_ms\": {chosen_wall:.4},").unwrap();
+        writeln!(json, "      \"best_fixed_wall_ms\": {best:.4},").unwrap();
+        writeln!(
+            json,
+            "      \"chosen_over_best\": {:.3},",
+            chosen_wall / best.max(1e-12)
+        )
+        .unwrap();
+        json.push_str("      \"plans\": [\n");
+        for (j, row) in r.rows.iter().enumerate() {
+            write!(
+                json,
+                "        {{\"plan\": \"{}\", \"cost\": {}, \"wall_ms\": {:.4}, \
+                 \"postings_scanned\": {}, \"postings_total\": {}}}",
+                row.label,
+                row.cost,
+                row.wall.as_secs_f64() * 1e3,
+                row.postings_scanned,
+                row.postings_total
+            )
+            .unwrap();
+            json.push_str(if j + 1 == r.rows.len() { "\n" } else { ",\n" });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_planner.json";
+    std::fs::write(path, &json).expect("write BENCH_planner.json");
+    eprintln!("wrote {path}");
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str, default: T) -> T {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

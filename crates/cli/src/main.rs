@@ -9,6 +9,8 @@
 //! tix phrase <snapshot> <term> <term>… [--threads N]
 //!                                        exact-phrase lookup (PhraseFinder)
 //! tix query  <snapshot> <file|->         run an extended-XQuery query
+//! tix explain <snapshot> <term>… [-k N] [-t THRESHOLD] [--min-score X]
+//!             [--query <file|->]         costed plan choice for a search
 //! tix ingest <dir> add <name> <file.xml> WAL-logged insert into a live directory
 //! tix ingest <dir> remove <name>         WAL-logged removal from a live directory
 //! tix checkpoint <dir>                   snapshot a live directory, truncate its WAL
@@ -138,6 +140,47 @@ mod commands {
             out.push_str(&format!("  … and {} more\n", matches.len() - 20));
         }
         Ok(out)
+    }
+
+    /// The planner's view of a search: gathered statistics, every costed
+    /// candidate access method, and the chosen physical plan. With
+    /// `--query` the text of an extended-XQuery file (or stdin with `-`)
+    /// is lowered and explained instead of a term list.
+    pub fn explain(
+        snapshot: &str,
+        terms: &[String],
+        k: usize,
+        threshold: f64,
+        min_score: Option<f64>,
+        query_source: Option<&str>,
+    ) -> Result<String, String> {
+        let db = database(snapshot, None)?;
+        if let Some(source) = query_source {
+            let text = if source == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| e.to_string())?;
+                buf
+            } else {
+                fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"))?
+            };
+            return tix::query::explain_query(db.store(), db.index(), &text)
+                .map_err(|e| format!("cannot explain query: {e}"));
+        }
+        if terms.is_empty() {
+            return Err("explain: at least one term required (or --query <file|->)".into());
+        }
+        let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+        Ok(db.explain(
+            &term_refs,
+            PickParams {
+                relevance_threshold: threshold,
+                fraction: 0.5,
+            },
+            k,
+            min_score,
+        ))
     }
 
     /// Run an extended-XQuery query from a file (or stdin with `-`).
@@ -293,6 +336,8 @@ usage:
   tix search <snapshot> <term>… [-k N] [-t THRESHOLD] [--threads N]
   tix phrase <snapshot> <term> <term>… [--threads N]
   tix query  <snapshot> <file|->          run an extended-XQuery query
+  tix explain <snapshot> <term>… [-k N] [-t THRESHOLD] [--min-score X]
+              [--query <file|->]          show the costed plan choice
   tix ingest <dir> add <name> <file.xml>  WAL-logged insert into a live dir
   tix ingest <dir> remove <name>          WAL-logged removal from a live dir
   tix checkpoint <dir>                    snapshot a live dir, truncate WAL
@@ -302,8 +347,8 @@ usage:
 
 Query commands run document-partitioned over worker threads (--threads,
 else TIX_THREADS, else all cores); results are identical at any count.
-`serve` answers /search, /phrase, /search/batch, /query, /health and
-/metrics with JSON; with --live it serves a durable ingestion directory
+`serve` answers /search, /phrase, /search/batch, /query, /explain,
+/health and /metrics with JSON; with --live it serves a durable ingestion directory
 and also accepts POST /documents and DELETE /documents/{name}. See
 README §Serving and §Live ingestion for the wire format.
 ";
@@ -403,6 +448,46 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let snapshot = rest.first().ok_or("query: snapshot path required")?;
             let source = rest.get(1).ok_or("query: query file (or -) required")?;
             commands::query(snapshot, source)
+        }
+        "explain" => {
+            let snapshot = rest.first().ok_or("explain: snapshot path required")?;
+            let mut terms = Vec::new();
+            let mut k = 10usize;
+            let mut threshold = 0.5f64;
+            let mut min_score = None;
+            let mut query_source = None;
+            let mut it = rest[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "-k" => {
+                        let v = it.next().ok_or("-k needs a value")?;
+                        k = v.parse().map_err(|_| format!("bad -k value {v:?}"))?;
+                    }
+                    "-t" => {
+                        let v = it.next().ok_or("-t needs a value")?;
+                        threshold = v.parse().map_err(|_| format!("bad -t value {v:?}"))?;
+                    }
+                    "--min-score" => {
+                        let v = it.next().ok_or("--min-score needs a value")?;
+                        min_score = Some(
+                            v.parse::<f64>()
+                                .map_err(|_| format!("bad --min-score value {v:?}"))?,
+                        );
+                    }
+                    "--query" => {
+                        query_source = Some(it.next().ok_or("--query needs a file (or -)")?);
+                    }
+                    term => terms.push(term.to_string()),
+                }
+            }
+            commands::explain(
+                snapshot,
+                &terms,
+                k,
+                threshold,
+                min_score,
+                query_source.map(String::as_str),
+            )
         }
         "ingest" => {
             let dir = rest.first().ok_or("ingest: directory required")?;
@@ -551,6 +636,70 @@ mod tests {
         .unwrap();
         let out = dispatch(&["query".into(), snap, query_path]).unwrap();
         assert!(out.contains("<result><score>"), "{out}");
+    }
+
+    #[test]
+    fn explain_terms_and_query_modes() {
+        let xml_path = tmp("explain.xml");
+        fs::write(
+            &xml_path,
+            "<article><sec><p>rust planner costs</p></sec><sec><p>rust again</p></sec></article>",
+        )
+        .unwrap();
+        let snap = tmp("explain.snap");
+        dispatch(&["load".into(), snap.clone(), xml_path]).unwrap();
+
+        let out = dispatch(&[
+            "explain".into(),
+            snap.clone(),
+            "rust".into(),
+            "planner".into(),
+            "-k".into(),
+            "3".into(),
+            "--min-score".into(),
+            "1.5".into(),
+        ])
+        .unwrap();
+        for needle in [
+            "explain: term-search",
+            "statistics:",
+            "candidates:",
+            "chosen:",
+            "threshold: score > 1.5",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in {out}");
+        }
+
+        let query_path = tmp("explain.tixql");
+        fs::write(
+            &query_path,
+            r#"
+            For $a in document("explain.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"rust"}, {})
+            Sortby(score)
+            Threshold $a/@score > 0.5 stop after 2
+            "#,
+        )
+        .unwrap();
+        let out =
+            dispatch(&["explain".into(), snap.clone(), "--query".into(), query_path]).unwrap();
+        assert!(out.contains("chosen:"), "{out}");
+        assert!(out.contains("k=2"), "{out}");
+
+        // Errors: no terms, bad flag values, unparseable query text.
+        assert!(dispatch(&["explain".into(), snap.clone()]).is_err());
+        assert!(dispatch(&[
+            "explain".into(),
+            snap.clone(),
+            "rust".into(),
+            "--min-score".into(),
+            "high".into(),
+        ])
+        .is_err());
+        let bad_query = tmp("explain-bad.tixql");
+        fs::write(&bad_query, "For broken $").unwrap();
+        let err = dispatch(&["explain".into(), snap, "--query".into(), bad_query]).unwrap_err();
+        assert!(err.contains("cannot explain query"), "{err}");
     }
 
     #[test]

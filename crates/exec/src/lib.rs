@@ -40,7 +40,12 @@
 //!   evaluating parent/child redundancy elimination in one blocking pass
 //!   over a document-ordered scored-node stream.
 //! * [`topk`] — Threshold evaluation: streaming min-score filtering and
-//!   heap-based top-k (the techniques referenced from [8, 5]).
+//!   heap-based top-k (the techniques referenced from [8, 5]), with a
+//!   deterministic arrival-order tie-break.
+//! * [`pushdown`] — `Threshold … stop after k` pushed into TermJoin: a
+//!   WAND-style document-at-a-time driver that stops scanning postings as
+//!   soon as the §4.2 score bound proves the unscanned tail cannot change
+//!   the top-k result; byte-identical to the full pipeline.
 //!
 //! ## Parallel execution
 //!
@@ -68,6 +73,7 @@ pub mod modify;
 pub mod parallel;
 pub mod phrase;
 pub mod pick;
+pub mod pushdown;
 pub mod scored;
 pub mod stream;
 pub mod structural;

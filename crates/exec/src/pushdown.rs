@@ -1,0 +1,444 @@
+//! **Threshold pushdown**: a WAND-style early-exit driver for the
+//! TermJoin → Pick → top-k pipeline (`Threshold … stop after k` pushed
+//! into the access method, Sec. 5.3 meets §4.2).
+//!
+//! The driver scans the query terms' posting lists **one document at a
+//! time**, in document order, running the full per-document pipeline
+//! (TermJoin → document-order sort → Pick → optional value threshold) and
+//! feeding survivors into a deterministic [`TopK`] accumulator. After each
+//! document it computes `bound = scorer.max_score_bound(remaining)` over
+//! the postings of *not-yet-scanned* documents and stops as soon as
+//!
+//! * the accumulator holds `k` entries and the k-th score **strictly**
+//!   exceeds `bound` (no unseen node can enter or even tie), or
+//! * a value threshold `min` is present and `bound ≤ min` (no unseen node
+//!   survives the strict `score > min` filter).
+//!
+//! ## Why this is byte-identical to the full scan
+//!
+//! Every stage is document-local: TermJoin's ancestor stack drains at
+//! document boundaries, and Pick's containment hierarchy never spans
+//! documents (the same facts that make [`crate::parallel`]'s
+//! document-partitioned execution *exactly* equal to sequential
+//! execution). So the concatenation of per-document pipeline outputs *is*
+//! the sequential pipeline's stream, element for element, bit for bit.
+//! The accumulator's total order (score, then arrival) makes offering an
+//! element that scores strictly below the k-th retained score a no-op —
+//! and the §4.2 bound proves every skipped element is such an element —
+//! so stopping early cannot change the retained set, its tie-breaks, or
+//! its emitted order. The exit condition itself is guarded by
+//! [`tix_invariants::assert_topk_early_exit_safe`] under
+//! `debug_assertions` / `check-invariants`.
+
+use tix_index::{InvertedIndex, Posting};
+use tix_store::{DocId, Store};
+
+use crate::pick::{pick_stream, PickParams};
+use crate::scored::{sort_by_node, ScoredNode};
+use crate::termjoin::{TermJoin, TermJoinScorer};
+use crate::topk::TopK;
+
+/// A pushdown run's results plus the scan accounting the planner bench
+/// and the EXPLAIN rendering report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushdownRun {
+    /// Top-k results, best first — byte-identical to the full pipeline
+    /// `top_k(min_score(pick_stream(sort_by_node(term_join(…)))), k)`.
+    pub results: Vec<ScoredNode>,
+    /// Postings actually consumed before the exit condition held.
+    pub postings_scanned: u64,
+    /// Postings the full-scan pipeline would consume.
+    pub postings_total: u64,
+}
+
+impl PushdownRun {
+    /// Did the §4.2 bound prove the tail unreachable before the scan
+    /// finished?
+    pub fn early_exit(&self) -> bool {
+        self.postings_scanned < self.postings_total
+    }
+}
+
+/// Run the pushed-down pipeline over `terms`. `pick` is the optional Pick
+/// stage (skipped entirely when `None`); `min` is the optional value
+/// threshold (keep `score > min`, applied after Pick); `k` bounds the
+/// result count. `cancelled` is polled on entry, before every document,
+/// and before the final sort; a `true` poll aborts with `None`.
+#[allow(clippy::too_many_arguments)] // mirrors the full pipeline's stage list
+pub fn search_topk<S: TermJoinScorer>(
+    store: &Store,
+    index: &InvertedIndex,
+    terms: &[&str],
+    scorer: &S,
+    pick: Option<&PickParams>,
+    k: usize,
+    min: Option<f64>,
+    cancelled: &dyn Fn() -> bool,
+) -> Option<PushdownRun> {
+    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
+    search_topk_on_lists(store, &lists, scorer, pick, k, min, cancelled)
+}
+
+/// [`search_topk`] over explicit posting-list slices (same order as the
+/// query terms) — the testable core.
+pub fn search_topk_on_lists<S: TermJoinScorer>(
+    store: &Store,
+    lists: &[&[Posting]],
+    scorer: &S,
+    pick: Option<&PickParams>,
+    k: usize,
+    min: Option<f64>,
+    cancelled: &dyn Fn() -> bool,
+) -> Option<PushdownRun> {
+    if cancelled() {
+        return None;
+    }
+    let postings_total: u64 = lists
+        .iter()
+        .map(|l| u64::try_from(l.len()).unwrap_or(u64::MAX))
+        .sum();
+    let mut cursors = vec![0usize; lists.len()];
+    // Per-term counts of postings in not-yet-scanned documents; saturating
+    // to u32::MAX only loosens (never tightens) the bound.
+    let mut remaining: Vec<u32> = lists
+        .iter()
+        .map(|l| u32::try_from(l.len()).unwrap_or(u32::MAX))
+        .collect();
+    let mut acc = TopK::new(k);
+    let mut scanned: u64 = 0;
+    loop {
+        // The smallest document id any list still holds.
+        let mut next_doc: Option<DocId> = None;
+        for (list, &cursor) in lists.iter().zip(&cursors) {
+            if let Some(p) = list.get(cursor) {
+                next_doc = Some(match next_doc {
+                    Some(d) if d <= p.doc => d,
+                    _ => p.doc,
+                });
+            }
+        }
+        let Some(doc) = next_doc else { break };
+        if cancelled() {
+            return None;
+        }
+        // Slice each list's run of postings for `doc` off its front.
+        let mut doc_lists: Vec<&[Posting]> = Vec::with_capacity(lists.len());
+        for ((list, cursor), rem) in lists.iter().zip(&mut cursors).zip(&mut remaining) {
+            let tail = list.get(*cursor..).unwrap_or(&[]);
+            let run = tail.partition_point(|p| p.doc <= doc);
+            doc_lists.push(tail.get(..run).unwrap_or(&[]));
+            *cursor += run;
+            *rem = rem.saturating_sub(u32::try_from(run).unwrap_or(u32::MAX));
+            scanned += u64::try_from(run).unwrap_or(u64::MAX);
+        }
+        // The full pipeline, restricted to this document. Document-local
+        // stages make the concatenation over documents equal the global
+        // stream (see module docs).
+        let joined = sort_by_node(TermJoin::with_lists(store, doc_lists, scorer).run());
+        let survivors = match pick {
+            Some(p) => pick_stream(store, &joined, p),
+            None => joined,
+        };
+        for survivor in survivors {
+            let passes = match min {
+                Some(m) => survivor.score > m,
+                None => true,
+            };
+            if passes {
+                acc.push(survivor);
+            }
+        }
+        // §4.2 exit checks against the unscanned suffix.
+        let bound = scorer.max_score_bound(&remaining);
+        if let Some(kth) = acc.kth_score() {
+            if kth > bound {
+                tix_invariants::check! {
+                    tix_invariants::assert_topk_early_exit_safe(kth, bound);
+                }
+                break;
+            }
+        }
+        if let Some(m) = min {
+            // Strict filter: nothing scoring ≤ bound ≤ min survives it.
+            if bound <= m {
+                break;
+            }
+        }
+    }
+    if cancelled() {
+        return None;
+    }
+    Some(PushdownRun {
+        results: acc.into_sorted(),
+        postings_scanned: scanned,
+        postings_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{pick_stream_parallel, term_join_parallel};
+    use crate::termjoin::{ChildCountMode, ComplexScorer, IdfScorer, SimpleScorer};
+    use crate::topk;
+
+    /// Many small documents with skewed term frequencies, so top-k exits
+    /// have a real tail to skip.
+    fn fixture() -> (Store, InvertedIndex) {
+        let mut store = Store::new();
+        for i in 0..40u32 {
+            // Earlier documents are denser in "x", so the best results
+            // live early in document order and the bound closes fast.
+            let hits = 40 - i;
+            let mut body = String::from("<doc><sec><p>");
+            for _ in 0..hits {
+                body.push_str("x ");
+            }
+            body.push_str("</p></sec><sec><p>y filler</p></sec></doc>");
+            store.load_str(&format!("d{i}.xml"), &body).unwrap();
+        }
+        let index = InvertedIndex::build(&store);
+        (store, index)
+    }
+
+    fn full_pipeline<S: TermJoinScorer>(
+        store: &Store,
+        index: &InvertedIndex,
+        terms: &[&str],
+        scorer: &S,
+        pick: Option<&PickParams>,
+        k: usize,
+        min: Option<f64>,
+    ) -> Vec<ScoredNode> {
+        let joined = sort_by_node(term_join_parallel(store, index, terms, scorer, 1));
+        let picked = match pick {
+            Some(p) => pick_stream_parallel(store, &joined, p, 1),
+            None => joined,
+        };
+        let filtered = match min {
+            Some(m) => topk::min_score(picked, m),
+            None => picked,
+        };
+        topk::top_k(filtered, k)
+    }
+
+    #[test]
+    fn matches_full_pipeline_and_exits_early() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        let run = search_topk(
+            &store,
+            &index,
+            &["x", "y"],
+            &scorer,
+            Some(&pick),
+            3,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        let full = full_pipeline(&store, &index, &["x", "y"], &scorer, Some(&pick), 3, None);
+        assert_eq!(run.results, full);
+        assert!(run.early_exit(), "k=3 over 40 docs must not scan the tail");
+        assert!(run.postings_scanned < run.postings_total);
+    }
+
+    #[test]
+    fn every_k_matches_full_pipeline() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::paper();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        for k in [0, 1, 2, 5, 17, 1000] {
+            let run = search_topk(
+                &store,
+                &index,
+                &["x", "y"],
+                &scorer,
+                Some(&pick),
+                k,
+                None,
+                &|| false,
+            )
+            .unwrap();
+            let full = full_pipeline(&store, &index, &["x", "y"], &scorer, Some(&pick), k, None);
+            assert_eq!(run.results, full, "k={k}");
+        }
+    }
+
+    #[test]
+    fn min_score_exit_matches_filter() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        for min in [0.5, 10.0, 1e9] {
+            let run = search_topk(
+                &store,
+                &index,
+                &["x"],
+                &scorer,
+                Some(&pick),
+                1000,
+                Some(min),
+                &|| false,
+            )
+            .unwrap();
+            let full = full_pipeline(
+                &store,
+                &index,
+                &["x"],
+                &scorer,
+                Some(&pick),
+                1000,
+                Some(min),
+            );
+            assert_eq!(run.results, full, "min={min}");
+        }
+    }
+
+    #[test]
+    fn complex_and_idf_scorers_match() {
+        let (store, index) = fixture();
+        let pick = PickParams::paper();
+        let complex = ComplexScorer::uniform(ChildCountMode::Index);
+        let run = search_topk(
+            &store,
+            &index,
+            &["x", "y"],
+            &complex,
+            Some(&pick),
+            4,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        let full = full_pipeline(&store, &index, &["x", "y"], &complex, Some(&pick), 4, None);
+        assert_eq!(run.results, full);
+
+        let idf = IdfScorer::new(&index, store.doc_count(), &["x", "y"]);
+        let run = search_topk(
+            &store,
+            &index,
+            &["x", "y"],
+            &idf,
+            Some(&pick),
+            4,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        let full = full_pipeline(&store, &index, &["x", "y"], &idf, Some(&pick), 4, None);
+        assert_eq!(run.results, full);
+    }
+
+    #[test]
+    fn unknown_terms_and_empty_query() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        let run = search_topk(
+            &store,
+            &index,
+            &["nosuch"],
+            &scorer,
+            Some(&pick),
+            5,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.postings_total, 0);
+        assert!(!run.early_exit());
+        let run = search_topk(&store, &index, &[], &scorer, Some(&pick), 5, None, &|| {
+            false
+        })
+        .unwrap();
+        assert!(run.results.is_empty());
+    }
+
+    #[test]
+    fn cancellation_polls_and_aborts() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        assert!(search_topk(
+            &store,
+            &index,
+            &["x"],
+            &scorer,
+            Some(&pick),
+            3,
+            None,
+            &|| true
+        )
+        .is_none());
+        let polls = std::cell::Cell::new(0u32);
+        let late = search_topk(
+            &store,
+            &index,
+            &["x"],
+            &scorer,
+            Some(&pick),
+            3,
+            None,
+            &|| {
+                polls.set(polls.get() + 1);
+                polls.get() >= 2
+            },
+        );
+        assert!(late.is_none());
+        assert!(polls.get() >= 2);
+    }
+
+    #[test]
+    fn no_pick_stage_matches_full_pipeline() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let run = search_topk(&store, &index, &["x", "y"], &scorer, None, 3, None, &|| {
+            false
+        })
+        .unwrap();
+        let full = full_pipeline(&store, &index, &["x", "y"], &scorer, None, 3, None);
+        assert_eq!(run.results, full);
+        assert!(run.early_exit());
+    }
+
+    #[test]
+    fn unbounded_scorer_disables_early_exit() {
+        struct NoBound;
+        impl TermJoinScorer for NoBound {
+            fn needs_detail(&self) -> bool {
+                false
+            }
+            fn score(
+                &self,
+                _store: &Store,
+                _node: tix_store::NodeRef,
+                counters: &[u32],
+                _detail: &[crate::scored::TermHit],
+                _nonzero: u32,
+            ) -> f64 {
+                counters.iter().map(|&c| f64::from(c)).sum()
+            }
+        }
+        let (store, index) = fixture();
+        let pick = PickParams::paper();
+        let run = search_topk(
+            &store,
+            &index,
+            &["x"],
+            &NoBound,
+            Some(&pick),
+            1,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        assert!(!run.early_exit(), "INFINITY bound must never exit early");
+        assert_eq!(run.postings_scanned, run.postings_total);
+    }
+}

@@ -57,6 +57,19 @@ pub trait TermJoinScorer: Send + Sync {
         detail: &[TermHit],
         nonzero_children: u32,
     ) -> f64;
+
+    /// An upper bound on [`TermJoinScorer::score`] over **any** node whose
+    /// per-term counter vector is componentwise ≤ `remaining`, for any hit
+    /// detail and child configuration. The Threshold-pushdown executor
+    /// ([`crate::pushdown`]) uses this to prove that unscanned postings
+    /// cannot beat the current k-th result (the §4.2 score bounds).
+    ///
+    /// The default, `f64::INFINITY`, is always sound — it simply disables
+    /// early exit for scorers that do not provide a tighter bound.
+    fn max_score_bound(&self, remaining: &[u32]) -> f64 {
+        let _ = remaining;
+        f64::INFINITY
+    }
 }
 
 /// The paper's *simple* scoring function: "a weighted sum of the
@@ -113,6 +126,17 @@ impl TermJoinScorer for SimpleScorer {
             .iter()
             .enumerate()
             .map(|(i, &c)| self.weight(i) * f64::from(c))
+            .sum()
+    }
+
+    /// Σᵢ max(wᵢ, 0) · remainingᵢ: the weighted sum is monotone in each
+    /// counter for non-negative weights, and a negative weight contributes
+    /// at most 0 (counters are non-negative).
+    fn max_score_bound(&self, remaining: &[u32]) -> f64 {
+        remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.weight(i).max(0.0) * f64::from(c))
             .sum()
     }
 }
@@ -215,6 +239,14 @@ impl TermJoinScorer for ComplexScorer {
             f64::from(nonzero_children) / f64::from(total_children)
         };
         base * proximity * ratio
+    }
+
+    /// `score = base · proximity · ratio` with `proximity ∈ [1, 2]`
+    /// (distances are ≥ 0, so `1/(1+d) ≤ 1`) and `ratio ∈ [0, 1]`
+    /// (`nonzero_children ≤ total_children`), so twice the base scorer's
+    /// bound covers every configuration.
+    fn max_score_bound(&self, remaining: &[u32]) -> f64 {
+        2.0 * self.base.max_score_bound(remaining)
     }
 }
 
@@ -645,6 +677,16 @@ impl TermJoinScorer for IdfScorer {
             .iter()
             .zip(&self.idf)
             .map(|(&c, &w)| f64::from(c) * w)
+            .sum()
+    }
+
+    /// Σᵢ max(idfᵢ, 0) · remainingᵢ (smoothed idf is non-negative; the
+    /// clamp keeps the bound sound for hand-built weight vectors too).
+    fn max_score_bound(&self, remaining: &[u32]) -> f64 {
+        remaining
+            .iter()
+            .zip(&self.idf)
+            .map(|(&c, &w)| w.max(0.0) * f64::from(c))
             .sum()
     }
 }

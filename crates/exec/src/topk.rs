@@ -3,31 +3,136 @@
 //! Value-based thresholding is a streaming filter; rank-based (top-k)
 //! thresholding keeps a bounded min-heap, the standard technique from the
 //! top-k literature the paper cites ([8, 5]).
+//!
+//! The accumulator's ordering is **total**: ties on score are broken by
+//! arrival order (earlier wins), so both the kept set and the emitted
+//! order are a pure function of the input *sequence* — independent of the
+//! heap's internal layout. The Threshold-pushdown executor
+//! ([`crate::pushdown`]) depends on exactly this property: it may stop
+//! feeding the accumulator once the §4.2 score bound proves every
+//! unscanned candidate scores strictly below the current k-th entry, and
+//! the output is still byte-identical to the full scan, because feeding
+//! a strictly-below-minimum element into a full accumulator is a no-op.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::scored::ScoredNode;
 
-/// Min-heap wrapper ordering scored nodes by ascending score.
-struct MinByScore(ScoredNode);
+/// Heap entry ordered **worst-first**: a lower score is `Greater`, and
+/// among equal scores a *later* arrival is `Greater` (so earlier arrivals
+/// win ties). `total_cmp` keeps `Eq` and `Ord` consistent; a NaN score
+/// compares largest, matching the previous heap's behavior (the
+/// `scores_sorted_desc` invariant rejects NaN output under checks anyway).
+struct WorstFirst {
+    node: ScoredNode,
+    arrival: u64,
+}
 
-impl PartialEq for MinByScore {
+impl PartialEq for WorstFirst {
     fn eq(&self, other: &Self) -> bool {
-        matches!(self.0.score.total_cmp(&other.0.score), Ordering::Equal)
+        matches!(self.cmp(other), Ordering::Equal)
     }
 }
-impl Eq for MinByScore {}
-impl PartialOrd for MinByScore {
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for MinByScore {
+impl Ord for WorstFirst {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; `total_cmp` keeps Eq and Ord consistent
-        // and makes NaN the largest value, so reversed it is evicted first.
-        other.0.score.total_cmp(&self.0.score)
+        other
+            .node
+            .score
+            .total_cmp(&self.node.score)
+            .then(self.arrival.cmp(&other.arrival))
+    }
+}
+
+/// A bounded top-k accumulator with deterministic tie-breaking: keeps the
+/// `k` best entries by `(score descending, arrival ascending)`.
+///
+/// Because the ordering is a strict total order (arrival indices are
+/// unique), the retained set after any prefix of pushes is exactly the
+/// `k` minimal entries of that prefix under worst-first order — no
+/// dependence on `BinaryHeap` layout — which is what lets the pushdown
+/// executor reason about early exit byte-for-byte.
+pub struct TopK {
+    k: usize,
+    arrivals: u64,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    /// An empty accumulator retaining at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            arrivals: 0,
+            heap: BinaryHeap::with_capacity(k.min(4096).saturating_add(1)),
+        }
+    }
+
+    /// Offer one scored node. Strictly-worse-than-k-th offers leave the
+    /// retained set untouched (but still consume an arrival index, so a
+    /// skipped offer and a discarded offer are indistinguishable).
+    pub fn push(&mut self, node: ScoredNode) {
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        if self.k == 0 {
+            return;
+        }
+        let entry = WorstFirst { node, arrival };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.cmp(worst) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Entries currently retained (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when the accumulator holds `k` entries (always true for
+    /// `k == 0`).
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The score of the current k-th (worst retained) entry, when full.
+    /// This is the bar an unseen candidate must *strictly* beat to change
+    /// the result.
+    pub fn kth_score(&self) -> Option<f64> {
+        if self.is_full() {
+            self.heap.peek().map(|w| w.node.score)
+        } else {
+            None
+        }
+    }
+
+    /// The retained entries, best first: descending score, ties in
+    /// arrival order.
+    pub fn into_sorted(self) -> Vec<ScoredNode> {
+        let mut entries = self.heap.into_vec();
+        // Worst-first ascending == best-first.
+        entries.sort();
+        let out: Vec<ScoredNode> = entries.into_iter().map(|e| e.node).collect();
+        // §4.2: the top-k view is emitted in descending score order.
+        tix_invariants::check! {
+            tix_invariants::assert_scores_sorted_desc(out.iter().map(|s| s.score));
+        }
+        out
     }
 }
 
@@ -43,25 +148,14 @@ pub fn min_score<I: IntoIterator<Item = ScoredNode>>(input: I, min: f64) -> Vec<
 }
 
 /// The `k` highest-scoring nodes, in descending score order, computed with
-/// a bounded heap (O(n log k)); ties broken by document order of arrival.
+/// a bounded heap (O(n log k)); ties broken by order of arrival (for a
+/// document-ordered input stream, by document order).
 pub fn top_k<I: IntoIterator<Item = ScoredNode>>(input: I, k: usize) -> Vec<ScoredNode> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<MinByScore> = BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopK::new(k);
     for node in input {
-        heap.push(MinByScore(node));
-        if heap.len() > k {
-            heap.pop();
-        }
+        acc.push(node);
     }
-    let mut out: Vec<ScoredNode> = heap.into_iter().map(|m| m.0).collect();
-    out.sort_by(|a, b| b.score.total_cmp(&a.score));
-    // §4.2: the top-k view is emitted in descending score order.
-    tix_invariants::check! {
-        tix_invariants::assert_scores_sorted_desc(out.iter().map(|s| s.score));
-    }
-    out
+    acc.into_sorted()
 }
 
 #[cfg(test)]
@@ -101,5 +195,49 @@ mod tests {
         let expect: Vec<f64> = sorted[..10].iter().map(|s| s.score).collect();
         let got: Vec<f64> = top.iter().map(|s| s.score).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ties_resolved_by_arrival_order() {
+        // Four equal scores, k = 2: the first two arrivals are kept, in
+        // arrival order.
+        let input = vec![sn(7, 1.0), sn(3, 1.0), sn(9, 1.0), sn(1, 1.0)];
+        assert_eq!(top_k(input, 2), vec![sn(7, 1.0), sn(3, 1.0)]);
+    }
+
+    #[test]
+    fn strictly_worse_offers_do_not_disturb_ties() {
+        // Ties at the boundary, then a strictly smaller element: the
+        // retained set and order must be identical to never offering it.
+        let base = vec![sn(0, 2.0), sn(1, 2.0), sn(2, 2.0)];
+        let mut with_noise = base.clone();
+        with_noise.push(sn(3, 1.0));
+        assert_eq!(top_k(base, 3), top_k(with_noise, 3));
+    }
+
+    #[test]
+    fn accumulator_reports_kth_and_fullness() {
+        let mut acc = TopK::new(2);
+        assert!(acc.is_empty());
+        assert!(!acc.is_full());
+        assert_eq!(acc.kth_score(), None);
+        acc.push(sn(0, 1.0));
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc.kth_score(), None);
+        acc.push(sn(1, 3.0));
+        assert!(acc.is_full());
+        assert_eq!(acc.kth_score(), Some(1.0));
+        acc.push(sn(2, 2.0));
+        assert_eq!(acc.kth_score(), Some(2.0));
+        assert_eq!(acc.into_sorted(), vec![sn(1, 3.0), sn(2, 2.0)]);
+    }
+
+    #[test]
+    fn zero_capacity_accumulator() {
+        let mut acc = TopK::new(0);
+        assert!(acc.is_full());
+        acc.push(sn(0, 5.0));
+        assert_eq!(acc.kth_score(), None);
+        assert!(acc.into_sorted().is_empty());
     }
 }

@@ -340,6 +340,40 @@ pub fn assert_scores_sorted_desc(scores: impl IntoIterator<Item = f64>) {
     }
 }
 
+/// Top-k pushdown early exit (§4.2): the scan may stop only when the
+/// current k-th score **strictly** exceeds the upper bound on every
+/// unscanned candidate's score — strict, so a tying candidate (which
+/// could never displace a retained entry but would tie it) provably does
+/// not exist either. NaN on either side is a violation: no ordering claim
+/// can be made from it.
+pub fn try_topk_early_exit_safe(
+    kth_score: f64,
+    remaining_bound: f64,
+) -> Result<(), InvariantError> {
+    const NAME: &str = "topk-early-exit";
+    if kth_score.is_nan() || remaining_bound.is_nan() {
+        return violation(
+            NAME,
+            format!("NaN in exit decision: kth {kth_score}, bound {remaining_bound}"),
+        );
+    }
+    if kth_score > remaining_bound {
+        Ok(())
+    } else {
+        violation(
+            NAME,
+            format!("exited with kth score {kth_score} <= remaining bound {remaining_bound}"),
+        )
+    }
+}
+
+/// Panicking form of [`try_topk_early_exit_safe`]; wrap calls in [`check!`].
+pub fn assert_topk_early_exit_safe(kth_score: f64, remaining_bound: f64) {
+    if let Err(e) = try_topk_early_exit_safe(kth_score, remaining_bound) {
+        panic!("{e}");
+    }
+}
+
 /// Pick vertical exclusivity (Sec. 3.3.2 / Fig. 12): no picked node may
 /// have a picked **direct parent** — the parent/child redundancy-
 /// elimination rule. Picking a node together with a deeper descendant is
@@ -692,6 +726,18 @@ mod tests {
         assert!(try_scores_above([1.0, 0.5], 0.5).is_err());
         assert!(try_scores_above([f64::NAN], 0.5).is_err());
         assert!(try_scores_above([], 0.5).is_ok());
+    }
+
+    #[test]
+    fn topk_early_exit() {
+        assert!(try_topk_early_exit_safe(2.0, 1.0).is_ok());
+        // Equality is NOT safe: a tying candidate may exist.
+        assert!(try_topk_early_exit_safe(1.0, 1.0).is_err());
+        assert!(try_topk_early_exit_safe(0.5, 1.0).is_err());
+        assert!(try_topk_early_exit_safe(f64::NAN, 0.0).is_err());
+        assert!(try_topk_early_exit_safe(1.0, f64::NAN).is_err());
+        // An infinite bound (scorer without a bound) never admits an exit.
+        assert!(try_topk_early_exit_safe(1e300, f64::INFINITY).is_err());
     }
 
     #[test]

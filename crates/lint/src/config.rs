@@ -58,6 +58,12 @@ pub const SCORING_PATHS: &[&str] = &[
     "crates/exec/src/pick.rs",
     "crates/exec/src/topk.rs",
     "crates/exec/src/modify.rs",
+    "crates/exec/src/pushdown.rs",
+    "crates/query/src/stats.rs",
+    "crates/query/src/logical.rs",
+    "crates/query/src/physical.rs",
+    "crates/query/src/execute.rs",
+    "crates/query/src/explain.rs",
 ];
 
 /// A standing per-rule, per-file exception with its justification.

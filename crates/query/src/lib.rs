@@ -49,7 +49,18 @@ mod eval;
 mod lexer;
 mod parser;
 
+pub mod execute;
+pub mod explain;
+pub mod logical;
+pub mod physical;
+pub mod stats;
+
 pub use ast::{ForClause, PathExpr, PickClause, Query, ScoreClause, Step, ThresholdClause};
 pub use eval::{run, run_query, QueryError, ResultItem};
+pub use execute::{execute, execute_phrase, execute_term_search, PlanRun};
+pub use explain::explain_query;
 pub use lexer::{Lexer, Token};
+pub use logical::{LogicalPlan, PhraseSearch, Scoring, TermSearch};
 pub use parser::{parse, ParseError};
+pub use physical::{candidates, choose, AccessMethod, CostedPlan, PhysicalPlan, PlanChoice};
+pub use stats::{CorpusStats, PlanInputs, PlanStats, TermStats};

@@ -1,0 +1,280 @@
+//! Logical query plans: what the engine must compute, with no commitment
+//! to *how*.
+//!
+//! The planner's pipeline is AST → [`LogicalPlan`] → costed
+//! [`crate::physical::PhysicalPlan`]. A logical plan captures exactly the
+//! information the cost model and the executor need — the terms, the
+//! scoring function, the optional Pick stage, and the Threshold clause's
+//! `k` / min-score — and nothing else, so tests can fabricate one in a
+//! line and the `Database` facade can build one straight from its
+//! `search(terms, pick, k)` arguments without going through the dialect
+//! parser.
+
+use tix_exec::pick::PickParams;
+
+use crate::ast::{Query, ScoreClause};
+use crate::eval::QueryError;
+
+/// ScoreFoo's primary-phrase weight (the paper's 0.8).
+pub const PRIMARY_WEIGHT: f64 = 0.8;
+/// ScoreFoo's secondary-phrase weight (the paper's 0.6).
+pub const SECONDARY_WEIGHT: f64 = 0.6;
+
+/// How matched nodes are scored — selects the scorer the executor
+/// constructs and the access methods the planner may consider (Complex
+/// scoring unlocks Enhanced TermJoin's child-count index).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scoring {
+    /// Every term weighs 1 (the `Database::search` default).
+    SimpleUniform,
+    /// Per-term weights, in term order (ScoreFoo's 0.8/0.6 scheme).
+    SimpleWeighted(Vec<f64>),
+    /// The paper's complex scorer: proximity and child-coverage factors
+    /// on top of the weighted counts.
+    Complex,
+    /// tf·idf weighting from the index's document frequencies.
+    Idf,
+}
+
+impl Scoring {
+    /// Stable label used by EXPLAIN.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scoring::SimpleUniform => "simple-uniform",
+            Scoring::SimpleWeighted(_) => "simple-weighted",
+            Scoring::Complex => "complex",
+            Scoring::Idf => "idf",
+        }
+    }
+}
+
+/// A scored containment search: the TermJoin-family workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermSearch {
+    /// Query terms, normalized, in query order.
+    pub terms: Vec<String>,
+    /// The scoring function.
+    pub scoring: Scoring,
+    /// Optional Pick stage (parent/child redundancy elimination).
+    pub pick: Option<PickParams>,
+    /// Result-count cap (`Threshold … stop after k`); `usize::MAX` when
+    /// the query has no rank cutoff.
+    pub k: usize,
+    /// Exclusive minimum score (`Threshold $v/@score > min`).
+    pub min_score: Option<f64>,
+}
+
+/// A phrase containment search: the PhraseFinder workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhraseSearch {
+    /// The phrase's terms, in phrase order (at least two).
+    pub terms: Vec<String>,
+    /// Result-count cap; `usize::MAX` when unbounded.
+    pub k: usize,
+    /// Exclusive minimum score (occurrence count).
+    pub min_score: Option<f64>,
+}
+
+/// What the query computes, planner-visible form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scored containment search.
+    TermSearch(TermSearch),
+    /// Phrase search.
+    Phrase(PhraseSearch),
+}
+
+impl LogicalPlan {
+    /// The query terms, whatever the plan kind.
+    pub fn terms(&self) -> &[String] {
+        match self {
+            LogicalPlan::TermSearch(s) => &s.terms,
+            LogicalPlan::Phrase(p) => &p.terms,
+        }
+    }
+
+    /// Lower a parsed dialect query to a logical plan for costing.
+    ///
+    /// The dialect evaluator (`crate::eval`) is untouched by the planner —
+    /// this lowering exists so `tix explain --query` can cost the scoring
+    /// workload a dialect query induces. Rules:
+    ///
+    /// * single-`For` queries with one `ScoreFoo` clause are supported
+    ///   (joins score during the join itself; there is nothing for the
+    ///   TermJoin-family planner to choose);
+    /// * a ScoreFoo consisting of exactly one multi-word phrase lowers to
+    ///   a [`PhraseSearch`];
+    /// * otherwise every phrase is flattened to its words, each carrying
+    ///   the phrase's weight (primary 0.8 / secondary 0.6) — an
+    ///   approximation of ScoreFoo's per-phrase scoring that preserves
+    ///   the posting-list footprint the cost model charges for.
+    pub fn from_query(query: &Query) -> Result<LogicalPlan, QueryError> {
+        if query.fors.len() != 1 {
+            return Err(QueryError::Unsupported(
+                "EXPLAIN covers single-source queries (joins are scored \
+                 during the join itself)"
+                    .to_string(),
+            ));
+        }
+        let mut score_foo: Option<(&Vec<String>, &Vec<String>)> = None;
+        for score in &query.scores {
+            match score {
+                ScoreClause::Foo {
+                    primary, secondary, ..
+                } => {
+                    if score_foo.is_some() {
+                        return Err(QueryError::Unsupported(
+                            "EXPLAIN covers a single ScoreFoo clause".to_string(),
+                        ));
+                    }
+                    score_foo = Some((primary, secondary));
+                }
+                other => {
+                    return Err(QueryError::Unsupported(format!(
+                        "EXPLAIN cannot cost {other:?} (join scoring)"
+                    )));
+                }
+            }
+        }
+        let Some((primary, secondary)) = score_foo else {
+            return Err(QueryError::Unsupported(
+                "the query has no Score clause to plan".to_string(),
+            ));
+        };
+        let (k, min_score) = match &query.threshold {
+            Some(t) => (t.stop_after.unwrap_or(usize::MAX), Some(t.min_score)),
+            None => (usize::MAX, None),
+        };
+        let pick = query.picks.first().map(|p| PickParams {
+            relevance_threshold: p.threshold,
+            fraction: p.fraction,
+        });
+
+        let phrase_words: Vec<Vec<&str>> = primary
+            .iter()
+            .chain(secondary)
+            .map(|p| p.split_whitespace().collect())
+            .collect();
+        if phrase_words.iter().all(|w| w.is_empty()) {
+            return Err(QueryError::Unsupported(
+                "ScoreFoo has no query terms".to_string(),
+            ));
+        }
+        // A single multi-word phrase is the PhraseFinder workload.
+        if let [words] = phrase_words.as_slice() {
+            if words.len() >= 2 {
+                return Ok(LogicalPlan::Phrase(PhraseSearch {
+                    terms: words.iter().map(|w| (*w).to_string()).collect(),
+                    k,
+                    min_score,
+                }));
+            }
+        }
+        let mut terms = Vec::new();
+        let mut weights = Vec::new();
+        for (i, phrase) in primary.iter().chain(secondary).enumerate() {
+            let weight = if i < primary.len() {
+                PRIMARY_WEIGHT
+            } else {
+                SECONDARY_WEIGHT
+            };
+            for word in phrase.split_whitespace() {
+                terms.push(word.to_string());
+                weights.push(weight);
+            }
+        }
+        Ok(LogicalPlan::TermSearch(TermSearch {
+            terms,
+            scoring: Scoring::SimpleWeighted(weights),
+            pick,
+            k,
+            min_score,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn fig1_query_lowers_to_weighted_term_search() {
+        let query = parse(
+            r#"
+            For $a in document("articles.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"search engine"}, {"internet"})
+            Return $a
+            Sortby(score)
+            Threshold $a/@score > 0.5 stop after 10
+            "#,
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_query(&query).unwrap();
+        let LogicalPlan::TermSearch(search) = plan else {
+            panic!("expected a term search, got {plan:?}");
+        };
+        assert_eq!(search.terms, ["search", "engine", "internet"]);
+        assert_eq!(search.scoring, Scoring::SimpleWeighted(vec![0.8, 0.8, 0.6]));
+        assert_eq!(search.k, 10);
+        assert_eq!(search.min_score, Some(0.5));
+        assert!(search.pick.is_none());
+    }
+
+    #[test]
+    fn single_multiword_phrase_lowers_to_phrase_search() {
+        let query = parse(
+            r#"
+            For $a in document("a.xml")//article
+            Score $a using ScoreFoo($a, {"search engine"}, {})
+            "#,
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_query(&query).unwrap();
+        let LogicalPlan::Phrase(phrase) = plan else {
+            panic!("expected a phrase search, got {plan:?}");
+        };
+        assert_eq!(phrase.terms, ["search", "engine"]);
+        assert_eq!(phrase.k, usize::MAX);
+        assert_eq!(phrase.min_score, None);
+    }
+
+    #[test]
+    fn pick_clause_carries_into_plan() {
+        let query = parse(
+            r#"
+            For $a in document("a.xml")//article/descendant-or-self::*
+            Score $a using ScoreFoo($a, {"rust"}, {})
+            Pick $a using PickFoo($a, 0.9, 0.25)
+            "#,
+        )
+        .unwrap();
+        let LogicalPlan::TermSearch(search) = LogicalPlan::from_query(&query).unwrap() else {
+            panic!("expected a term search");
+        };
+        let pick = search.pick.unwrap();
+        assert!((pick.relevance_threshold - 0.9).abs() < 1e-12);
+        assert!((pick.fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joins_and_scoreless_queries_are_rejected() {
+        let join = parse(
+            r#"
+            For $a in document("a.xml")//article
+            For $b in document("b.xml")//review
+            Score $j using ScoreSim($a/t, $b/t)
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            LogicalPlan::from_query(&join),
+            Err(QueryError::Unsupported(_))
+        ));
+        let scoreless = parse(r#"For $a in document("a.xml")//article"#).unwrap();
+        assert!(matches!(
+            LogicalPlan::from_query(&scoreless),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,490 @@
+//! Costed physical plans: which access method evaluates a
+//! [`LogicalPlan`], and whether `Threshold … stop after k` is pushed down
+//! into it.
+//!
+//! ## The cost model
+//!
+//! Costs are **abstract work units** (posting touches, node visits,
+//! comparison steps), computed entirely in saturating `u64` arithmetic —
+//! no floats, so plan choice is exactly reproducible across platforms and
+//! can never depend on rounding. Fractional statistics (average depth d̄,
+//! average fan-out c̄) arrive in *milli* units from [`crate::stats`].
+//!
+//! With `t` query terms, `F` total postings, `E` elements, `D` documents,
+//! and `A = min(E, F·d̄ + t)` the bound on distinct scored ancestors
+//! (every posting contributes its ancestor chain, capped by the element
+//! count):
+//!
+//! | plan | cost | why |
+//! |------|------|-----|
+//! | TermJoin | `F·t + 2A` | one merge pass over `F` postings with a `t`-wide counter stack, then sort + Pick over `A` outputs |
+//! | Enhanced TermJoin | TermJoin `+ 2A` | one child-count index probe (≈ two node visits) per scored node |
+//! | TermJoin (complex, navigate) | TermJoin `+ A + A·c̄` | child counting by navigation visits each scored node's children |
+//! | Comp1 | `4·x + x·log₂x + 2A`, `x = F·(d̄+1)` | materialize every (occurrence, ancestor) record, sort it, group, union |
+//! | Comp2 | `t·E + F + 2A` | per term, a structural join scans the full element list |
+//! | Generalized Meet | `3·x + 2A` | ancestor expansion into a hash of groups (no sort) |
+//! | PhraseFinder | `F·t + F` | posting merge with in-intersection adjacency checks |
+//! | Comp3 | `F·t + 3F` | intersect, materialize, then re-verify offsets |
+//! | +pushdown | `base·frac + k·log₂k + 32` | scans `frac ≈ (k+1)/docs(∪terms)` of the postings before the §4.2 bound closes; `+32` per-document bound checks |
+//!
+//! The pushdown fraction is a deliberately *optimistic* estimate of the
+//! WAND-style early exit (it assumes the top-k documents arrive early in
+//! document order); the `+32` constant and the `k·log₂k` accumulator term
+//! keep it from winning on corpora too small for early exit to pay. Since
+//! **every candidate returns byte-identical results** (the plan-
+//! equivalence differential suite enforces this), a mis-estimate costs
+//! only time, never correctness.
+
+use crate::logical::{LogicalPlan, Scoring, TermSearch};
+use crate::stats::PlanInputs;
+
+/// Physical access methods (Sec. 5 and the Sec. 6 baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMethod {
+    /// Stack-based posting merge (Fig. 11), child counts by navigation.
+    TermJoin,
+    /// TermJoin with the store's child-count index (complex scoring).
+    EnhancedTermJoin,
+    /// Standard-operator composition: expand → sort → group → union.
+    Comp1,
+    /// Structural joins of the full element list against each term.
+    Comp2,
+    /// Generalized Meet (hash-grouped ancestor expansion).
+    GeneralizedMeet,
+    /// In-intersection phrase adjacency verification.
+    PhraseFinder,
+    /// Intersect-then-filter phrase baseline.
+    Comp3,
+}
+
+impl AccessMethod {
+    /// Stable label used by EXPLAIN and the plan-override CLI/API.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessMethod::TermJoin => "term-join",
+            AccessMethod::EnhancedTermJoin => "enhanced-term-join",
+            AccessMethod::Comp1 => "comp1",
+            AccessMethod::Comp2 => "comp2",
+            AccessMethod::GeneralizedMeet => "generalized-meet",
+            AccessMethod::PhraseFinder => "phrase-finder",
+            AccessMethod::Comp3 => "comp3",
+        }
+    }
+}
+
+/// An executable physical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysicalPlan {
+    /// The access method.
+    pub access: AccessMethod,
+    /// Is `Threshold … stop after k` pushed into the scan (WAND-style
+    /// early exit)? Only meaningful for the TermJoin family.
+    pub pushdown: bool,
+}
+
+impl PhysicalPlan {
+    /// A full-scan plan for `access`.
+    pub fn scan(access: AccessMethod) -> Self {
+        PhysicalPlan {
+            access,
+            pushdown: false,
+        }
+    }
+
+    /// A pushdown plan for `access`.
+    pub fn pushed(access: AccessMethod) -> Self {
+        PhysicalPlan {
+            access,
+            pushdown: true,
+        }
+    }
+
+    /// Stable label used by EXPLAIN (`term-join+pushdown`).
+    pub fn label(&self) -> String {
+        if self.pushdown {
+            format!("{}+pushdown", self.access.label())
+        } else {
+            self.access.label().to_string()
+        }
+    }
+}
+
+/// A candidate plan with its estimated cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostedPlan {
+    /// The plan.
+    pub plan: PhysicalPlan,
+    /// Estimated work units (saturating; `u64::MAX` means "never pick
+    /// this unless it is the only option").
+    pub cost: u64,
+}
+
+/// The planner's decision: the chosen plan plus every candidate costed,
+/// in canonical candidate order (EXPLAIN prints this list verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChoice {
+    /// The minimum-cost candidate (first wins ties).
+    pub chosen: CostedPlan,
+    /// All candidates, in canonical order.
+    pub candidates: Vec<CostedPlan>,
+}
+
+/// `(value · milli) / 1000` without overflow surprises.
+fn mul_milli(value: u64, milli: u64) -> u64 {
+    // Split to keep value·milli out of overflow range for realistic
+    // inputs; saturate beyond that.
+    value
+        .checked_mul(milli)
+        .map(|p| p / 1000)
+        .unwrap_or_else(|| (value / 1000).saturating_mul(milli))
+}
+
+/// `n·log₂(n)` (sort cost), saturating.
+fn sort_cost(n: u64) -> u64 {
+    n.saturating_mul(u64::from(n.max(2).ilog2()))
+}
+
+/// Cost terms shared by every access method for one term search.
+struct CostContext {
+    /// Number of query terms.
+    t: u64,
+    /// Total postings across the query terms.
+    f: u64,
+    /// Elements in the corpus.
+    e: u64,
+    /// Distinct-ancestor bound `A = min(E, F·d̄ + t)`.
+    a: u64,
+    /// Materialized (occurrence, ancestor-or-self) records
+    /// `x = F·(d̄+1)`.
+    x: u64,
+    /// Average element fan-out, milli.
+    c_milli: u64,
+    /// `min(D, Σ df)` — documents that can contain any query term.
+    docs_union: u64,
+}
+
+impl CostContext {
+    fn new(search_terms: usize, inputs: &PlanInputs) -> Self {
+        let t = u64::try_from(search_terms).unwrap_or(u64::MAX);
+        let f = inputs.total_postings();
+        let d_milli = inputs.corpus.avg_depth_milli;
+        let a = mul_milli(f, d_milli)
+            .saturating_add(t)
+            .min(inputs.corpus.elements.max(1));
+        CostContext {
+            t,
+            f,
+            e: inputs.corpus.elements,
+            a,
+            x: mul_milli(f, d_milli.saturating_add(1000)),
+            c_milli: inputs.corpus.avg_children_milli,
+            docs_union: inputs.docs_union_bound(),
+        }
+    }
+
+    fn term_join(&self, scoring: &Scoring, enhanced: bool) -> u64 {
+        let merge = self.f.saturating_mul(self.t).saturating_add(
+            self.a.saturating_mul(2), // document-order sort + Pick pass
+        );
+        match scoring {
+            // A child-count probe costs about two navigation visits, so
+            // the index wins exactly when the average fan-out exceeds 1.
+            Scoring::Complex if enhanced => merge.saturating_add(self.a.saturating_mul(2)),
+            Scoring::Complex => merge
+                .saturating_add(self.a)
+                .saturating_add(mul_milli(self.a, self.c_milli)),
+            _ => merge,
+        }
+    }
+
+    fn comp1(&self) -> u64 {
+        self.x
+            .saturating_mul(4)
+            .saturating_add(sort_cost(self.x))
+            .saturating_add(self.a.saturating_mul(2))
+    }
+
+    fn comp2(&self) -> u64 {
+        self.t
+            .saturating_mul(self.e)
+            .saturating_add(self.f)
+            .saturating_add(self.a.saturating_mul(2))
+    }
+
+    fn meet(&self) -> u64 {
+        self.x
+            .saturating_mul(3)
+            .saturating_add(self.a.saturating_mul(2))
+    }
+
+    /// The early-exit discount for pushing top-k into `base`.
+    fn pushdown(&self, base: u64, k: usize) -> u64 {
+        let k = u64::try_from(k).unwrap_or(u64::MAX);
+        // Expected scanned fraction, milli: the exit needs at least k+1
+        // result-bearing documents before the bound can close.
+        let frac_milli = k
+            .saturating_add(1)
+            .saturating_mul(1000)
+            .checked_div(self.docs_union.max(1))
+            .unwrap_or(1000)
+            .min(1000);
+        mul_milli(base, frac_milli)
+            .saturating_add(sort_cost(k))
+            .saturating_add(32)
+    }
+}
+
+/// Cost every applicable candidate for a term search, canonical order.
+fn term_search_candidates(search: &TermSearch, inputs: &PlanInputs) -> Vec<CostedPlan> {
+    let ctx = CostContext::new(search.terms.len(), inputs);
+    let complex = matches!(search.scoring, Scoring::Complex);
+    let mut out = Vec::new();
+    let mut push = |plan: PhysicalPlan, cost: u64| out.push(CostedPlan { plan, cost });
+
+    if complex {
+        let enhanced = ctx.term_join(&search.scoring, true);
+        push(PhysicalPlan::scan(AccessMethod::EnhancedTermJoin), enhanced);
+        push(
+            PhysicalPlan::pushed(AccessMethod::EnhancedTermJoin),
+            ctx.pushdown(enhanced, search.k),
+        );
+    }
+    let term_join = ctx.term_join(&search.scoring, false);
+    push(PhysicalPlan::scan(AccessMethod::TermJoin), term_join);
+    push(
+        PhysicalPlan::pushed(AccessMethod::TermJoin),
+        ctx.pushdown(term_join, search.k),
+    );
+    push(
+        PhysicalPlan::scan(AccessMethod::GeneralizedMeet),
+        ctx.meet(),
+    );
+    push(PhysicalPlan::scan(AccessMethod::Comp1), ctx.comp1());
+    push(PhysicalPlan::scan(AccessMethod::Comp2), ctx.comp2());
+    out
+}
+
+/// Cost every applicable candidate for a phrase search.
+fn phrase_candidates(terms: usize, inputs: &PlanInputs) -> Vec<CostedPlan> {
+    let ctx = CostContext::new(terms, inputs);
+    let merge = ctx.f.saturating_mul(ctx.t);
+    vec![
+        CostedPlan {
+            plan: PhysicalPlan::scan(AccessMethod::PhraseFinder),
+            cost: merge.saturating_add(ctx.f),
+        },
+        CostedPlan {
+            plan: PhysicalPlan::scan(AccessMethod::Comp3),
+            cost: merge.saturating_add(ctx.f.saturating_mul(3)),
+        },
+    ]
+}
+
+/// Every candidate plan for `logical`, costed, in canonical order.
+pub fn candidates(logical: &LogicalPlan, inputs: &PlanInputs) -> Vec<CostedPlan> {
+    match logical {
+        LogicalPlan::TermSearch(search) => term_search_candidates(search, inputs),
+        LogicalPlan::Phrase(phrase) => phrase_candidates(phrase.terms.len(), inputs),
+    }
+}
+
+/// Choose the minimum-cost plan (earlier candidate wins ties, so the
+/// choice is deterministic and stable under candidate-list extension).
+pub fn choose(logical: &LogicalPlan, inputs: &PlanInputs) -> PlanChoice {
+    let candidates = candidates(logical, inputs);
+    let chosen = candidates
+        .iter()
+        .copied()
+        .reduce(|best, c| if c.cost < best.cost { c } else { best })
+        .unwrap_or(CostedPlan {
+            plan: PhysicalPlan::scan(AccessMethod::TermJoin),
+            cost: 0,
+        });
+    PlanChoice { chosen, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{CorpusStats, TermStats};
+
+    /// A fabricated corpus shape (the knobs plan-flip tests turn).
+    fn corpus(documents: u64, elements: u64, avg_depth_milli: u64) -> CorpusStats {
+        CorpusStats {
+            documents,
+            elements,
+            total_nodes: elements.saturating_mul(2),
+            distinct_tags: 8,
+            max_depth: 6,
+            avg_depth_milli,
+            avg_children_milli: 2000,
+            total_tokens: 1_000_000,
+        }
+    }
+
+    fn term(term: &str, cf: u64, df: u64) -> TermStats {
+        TermStats {
+            term: term.to_string(),
+            collection_frequency: cf,
+            document_frequency: df,
+            node_frequency: cf,
+        }
+    }
+
+    fn search(terms: &[&str], k: usize) -> TermSearch {
+        TermSearch {
+            terms: terms.iter().map(|t| (*t).to_string()).collect(),
+            scoring: Scoring::SimpleUniform,
+            pick: None,
+            k,
+            min_score: None,
+        }
+    }
+
+    #[test]
+    fn typical_corpus_chooses_term_join() {
+        let inputs = PlanInputs {
+            corpus: corpus(1000, 100_000, 3000),
+            terms: vec![term("rust", 500, 300), term("xml", 800, 400)],
+        };
+        let choice = choose(
+            &LogicalPlan::TermSearch(search(&["rust", "xml"], usize::MAX)),
+            &inputs,
+        );
+        assert_eq!(
+            choice.chosen.plan,
+            PhysicalPlan::scan(AccessMethod::TermJoin)
+        );
+        assert_eq!(choice.candidates.len(), 5);
+    }
+
+    #[test]
+    fn small_k_over_many_documents_chooses_pushdown() {
+        let inputs = PlanInputs {
+            corpus: corpus(100_000, 10_000_000, 3000),
+            terms: vec![term("rust", 400_000, 90_000)],
+        };
+        let choice = choose(&LogicalPlan::TermSearch(search(&["rust"], 10)), &inputs);
+        assert_eq!(
+            choice.chosen.plan,
+            PhysicalPlan::pushed(AccessMethod::TermJoin)
+        );
+    }
+
+    #[test]
+    fn tiny_element_list_with_huge_postings_chooses_comp2() {
+        // E ≪ F: scanning the element list once per term beats a posting
+        // merge that touches every occurrence t times.
+        let inputs = PlanInputs {
+            corpus: CorpusStats {
+                avg_depth_milli: 9000,
+                ..corpus(10, 50, 9000)
+            },
+            terms: vec![term("a", 200_000, 10), term("b", 200_000, 10)],
+        };
+        let choice = choose(
+            &LogicalPlan::TermSearch(search(&["a", "b"], usize::MAX)),
+            &inputs,
+        );
+        assert_eq!(choice.chosen.plan, PhysicalPlan::scan(AccessMethod::Comp2));
+    }
+
+    #[test]
+    fn complex_scoring_fans_out_between_navigate_and_index() {
+        let mut inputs = PlanInputs {
+            corpus: corpus(1000, 100_000, 3000),
+            terms: vec![term("rust", 5000, 900)],
+        };
+        let mut s = search(&["rust"], usize::MAX);
+        s.scoring = Scoring::Complex;
+        let logical = LogicalPlan::TermSearch(s);
+        // Bushy elements: the child-count index wins.
+        inputs.corpus.avg_children_milli = 50_000;
+        let bushy = choose(&logical, &inputs);
+        assert_eq!(
+            bushy.chosen.plan,
+            PhysicalPlan::scan(AccessMethod::EnhancedTermJoin)
+        );
+        // Near-linear documents: navigation is as cheap as the probe, and
+        // plain TermJoin avoids the index lookups... the Enhanced variant
+        // stays ahead only while c̄ > 1.
+        inputs.corpus.avg_children_milli = 500;
+        let skinny = choose(&logical, &inputs);
+        assert_eq!(
+            skinny.chosen.plan,
+            PhysicalPlan::scan(AccessMethod::TermJoin)
+        );
+    }
+
+    #[test]
+    fn unbounded_k_never_chooses_pushdown() {
+        let inputs = PlanInputs {
+            corpus: corpus(100_000, 10_000_000, 3000),
+            terms: vec![term("rust", 400_000, 90_000)],
+        };
+        let choice = choose(
+            &LogicalPlan::TermSearch(search(&["rust"], usize::MAX)),
+            &inputs,
+        );
+        assert!(!choice.chosen.plan.pushdown);
+        // The pushdown candidate is still listed (and still executable).
+        assert!(choice.candidates.iter().any(|c| c.plan.pushdown));
+    }
+
+    #[test]
+    fn phrase_chooses_phrase_finder_over_comp3() {
+        let inputs = PlanInputs {
+            corpus: corpus(1000, 100_000, 3000),
+            terms: vec![term("search", 500, 300), term("engine", 200, 150)],
+        };
+        let logical = LogicalPlan::Phrase(crate::logical::PhraseSearch {
+            terms: vec!["search".to_string(), "engine".to_string()],
+            k: usize::MAX,
+            min_score: None,
+        });
+        let choice = choose(&logical, &inputs);
+        assert_eq!(
+            choice.chosen.plan,
+            PhysicalPlan::scan(AccessMethod::PhraseFinder)
+        );
+        assert_eq!(choice.candidates.len(), 2);
+    }
+
+    #[test]
+    fn ties_resolve_to_the_earlier_candidate() {
+        // An empty query costs every plan its constant floor; the first
+        // candidate must win deterministically.
+        let inputs = PlanInputs {
+            corpus: corpus(1, 1, 0),
+            terms: vec![],
+        };
+        let choice = choose(&LogicalPlan::TermSearch(search(&[], usize::MAX)), &inputs);
+        assert_eq!(choice.chosen.plan, choice.candidates[0].plan);
+    }
+
+    #[test]
+    fn costs_saturate_instead_of_overflowing() {
+        let inputs = PlanInputs {
+            corpus: CorpusStats {
+                documents: u64::MAX,
+                elements: u64::MAX,
+                total_nodes: u64::MAX,
+                distinct_tags: u64::MAX,
+                max_depth: u64::MAX,
+                avg_depth_milli: u64::MAX,
+                avg_children_milli: u64::MAX,
+                total_tokens: u64::MAX,
+            },
+            terms: vec![term("t", u64::MAX, u64::MAX)],
+        };
+        // The real assertion is that costing completes without the
+        // overflow panic a debug build would raise on unchecked
+        // arithmetic; the costs themselves pin saturation.
+        let choice = choose(
+            &LogicalPlan::TermSearch(search(&["t"], usize::MAX)),
+            &inputs,
+        );
+        assert!(!choice.candidates.is_empty());
+        assert!(choice.candidates.iter().any(|c| c.cost == u64::MAX));
+    }
+}

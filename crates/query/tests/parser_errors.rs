@@ -1,0 +1,176 @@
+//! Error-path coverage for the dialect front end the planner sits on:
+//! malformed `Threshold` clauses, broken paths, keyword case rules — plus
+//! the lowering and EXPLAIN rendering edge cases those clauses feed.
+
+use tix_query::{explain_query, parse, LogicalPlan, QueryError};
+
+use tix_index::InvertedIndex;
+use tix_store::Store;
+
+const PREFIX: &str = r#"
+    For $a in document("a.xml")//article/descendant-or-self::*
+    Score $a using ScoreFoo($a, {"rust"}, {})
+    Sortby(score)
+"#;
+
+fn with_threshold(clause: &str) -> String {
+    format!("{PREFIX}\n{clause}")
+}
+
+fn fixture() -> (Store, InvertedIndex) {
+    let mut store = Store::new();
+    store
+        .load_str("a.xml", "<article><p>rust text here</p></article>")
+        .unwrap();
+    let index = InvertedIndex::build(&store);
+    (store, index)
+}
+
+#[test]
+fn threshold_without_stop_after_is_valid_and_unbounded() {
+    let q = parse(&with_threshold("Threshold $a/@score > 0.5")).unwrap();
+    let t = q.threshold.as_ref().unwrap();
+    assert_eq!(t.min_score, 0.5);
+    assert_eq!(t.stop_after, None);
+    // Lowering: no `stop after` means an unbounded budget — the planner
+    // must never pick the pushdown (its cost saturates), but the value
+    // filter survives.
+    match LogicalPlan::from_query(&q).unwrap() {
+        LogicalPlan::TermSearch(search) => {
+            assert_eq!(search.k, usize::MAX);
+            assert_eq!(search.min_score, Some(0.5));
+        }
+        other => panic!("unexpected lowering: {other:?}"),
+    }
+}
+
+#[test]
+fn threshold_stop_without_after_is_an_error() {
+    let err = parse(&with_threshold("Threshold $a/@score > 0.5 stop 3"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("after"), "{err}");
+    let err = parse(&with_threshold("Threshold $a/@score > 0.5 stop after"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("number"), "{err}");
+    let err = parse(&with_threshold("Threshold $a/@score > 0.5 stop after soon"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("number"), "{err}");
+}
+
+#[test]
+fn threshold_malformed_paths_are_errors() {
+    for clause in [
+        "Threshold $a @score > 1",       // missing slash
+        "Threshold $a/score > 1",        // missing @
+        "Threshold $a/@relevance > 1",   // wrong attribute
+        "Threshold $a/@score 1",         // missing comparator
+        "Threshold $a/@score > high",    // non-numeric bound
+        "Threshold articles/@score > 1", // not a variable
+    ] {
+        assert!(
+            parse(&with_threshold(clause)).is_err(),
+            "{clause:?} should not parse"
+        );
+    }
+}
+
+#[test]
+fn keywords_are_case_insensitive() {
+    let q = parse(
+        r#"
+        FOR $a IN document("a.xml")//article/descendant-or-self::*
+        score $a USING scorefoo($a, {"rust"}, {})
+        SORTBY(score)
+        threshold $a/@score > 0.25 STOP AFTER 3
+    "#,
+    )
+    .unwrap();
+    let t = q.threshold.as_ref().unwrap();
+    assert_eq!(t.stop_after, Some(3));
+    match LogicalPlan::from_query(&q).unwrap() {
+        LogicalPlan::TermSearch(search) => {
+            assert_eq!(search.k, 3);
+            assert_eq!(search.min_score, Some(0.25));
+        }
+        other => panic!("unexpected lowering: {other:?}"),
+    }
+}
+
+#[test]
+fn explain_renders_unbounded_and_stop_after_budgets() {
+    let (store, index) = fixture();
+    let unbounded =
+        explain_query(&store, &index, &with_threshold("Threshold $a/@score > 0.5")).unwrap();
+    assert!(unbounded.contains("k=unbounded"), "{unbounded}");
+    let pushdown_chosen = unbounded
+        .lines()
+        .any(|l| l.contains("+pushdown") && l.contains("<- chosen"));
+    assert!(
+        !pushdown_chosen,
+        "unbounded budget must not choose the pushdown:\n{unbounded}"
+    );
+    assert!(unbounded.contains("threshold: score > 0.5"), "{unbounded}");
+
+    let bounded = explain_query(
+        &store,
+        &index,
+        &with_threshold("Threshold $a/@score > 0.5 stop after 2"),
+    )
+    .unwrap();
+    assert!(bounded.contains("k=2"), "{bounded}");
+}
+
+#[test]
+fn explain_propagates_front_end_errors() {
+    let (store, index) = fixture();
+    // Parse error.
+    assert!(matches!(
+        explain_query(&store, &index, "For broken $"),
+        Err(QueryError::Parse(_))
+    ));
+    // Outside the plannable dialect: a scoreless query has no terms to
+    // cost.
+    let scoreless = r#"
+        For $a in document("a.xml")//article/descendant-or-self::*
+        Return $a
+    "#;
+    assert!(matches!(
+        explain_query(&store, &index, scoreless),
+        Err(QueryError::Unsupported(_))
+    ));
+    // A two-source join is evaluated by the algebra, not the term
+    // planner.
+    let join = r#"
+        For $a in document("a.xml")//article
+        For $b in document("a.xml")//article
+        Score $j using ScoreSim($a/p, $b/p)
+        Threshold $j/@score > 1
+    "#;
+    assert!(matches!(
+        explain_query(&store, &index, join),
+        Err(QueryError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn unknown_terms_still_plan_and_explain() {
+    // Zero-frequency terms are a legal (empty) plan, not an error: the
+    // cost table degenerates but stays deterministic.
+    let (store, index) = fixture();
+    let text = explain_query(
+        &store,
+        &index,
+        r#"
+        For $a in document("a.xml")//article/descendant-or-self::*
+        Score $a using ScoreFoo($a, {"nosuchterm"}, {})
+        Sortby(score)
+        Threshold $a/@score > 0.1 stop after 5
+    "#,
+    )
+    .unwrap();
+    assert!(text.contains("cf=0 df=0 nf=0"), "{text}");
+    assert!(text.contains("chosen:"), "{text}");
+}

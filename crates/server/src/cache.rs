@@ -31,6 +31,11 @@ pub struct QueryKey {
     pub threshold_bits: u64,
     /// `PickParams::fraction`, bit-exact.
     pub fraction_bits: u64,
+    /// The value threshold (`min_score`), bit-exact; `u64::MAX` when the
+    /// request had none. The sentinel is distinct from `0.0f64.to_bits()`,
+    /// so "no filter" and "filter at 0" — which differ, the filter is
+    /// strict — can never share an entry.
+    pub min_score_bits: u64,
     /// Result budget.
     pub k: usize,
     /// Database generation the result was computed at.
@@ -146,6 +151,7 @@ mod tests {
             terms: terms.iter().map(|t| t.to_string()).collect(),
             threshold_bits: 0.5f64.to_bits(),
             fraction_bits: 0.5f64.to_bits(),
+            min_score_bits: u64::MAX,
             k: 10,
             generation,
         }
@@ -181,6 +187,24 @@ mod tests {
         let mut phrase = key(&["rust"], 1);
         phrase.kind = QueryKind::Phrase;
         assert_eq!(c.get(&phrase, 1), None);
+    }
+
+    #[test]
+    fn min_score_is_part_of_the_key() {
+        // Regression: a cached unfiltered result must never be served for
+        // a request carrying a min_score filter — and "no filter" must be
+        // distinct from "filter at 0.0" (the filter is strict).
+        let mut c = ResultCache::new(8);
+        c.insert(key(&["rust"], 1), "unfiltered".into());
+        let mut filtered = key(&["rust"], 1);
+        filtered.min_score_bits = 2.5f64.to_bits();
+        assert_eq!(c.get(&filtered, 1), None);
+        let mut zero = key(&["rust"], 1);
+        zero.min_score_bits = 0.0f64.to_bits();
+        assert_eq!(c.get(&zero, 1), None);
+        c.insert(filtered.clone(), "filtered".into());
+        assert_eq!(c.get(&filtered, 1), Some("filtered".into()));
+        assert_eq!(c.get(&key(&["rust"], 1), 1), Some("unfiltered".into()));
     }
 
     #[test]

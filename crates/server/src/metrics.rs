@@ -108,6 +108,8 @@ pub struct EndpointCounters {
     pub health: AtomicU64,
     /// `/metrics` requests.
     pub metrics: AtomicU64,
+    /// `/explain` requests.
+    pub explain: AtomicU64,
     /// Everything else (404s, debug endpoints).
     pub other: AtomicU64,
 }
@@ -206,7 +208,7 @@ impl Metrics {
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"queue\":{{\"depth\":{},\"wait\":{}}},",
                 "\"workers\":{{\"busy\":{},\"total\":{},\"utilization\":{:.3}}},",
-                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"documents\":{},\"health\":{},\"metrics\":{},\"other\":{}}},",
+                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"documents\":{},\"health\":{},\"metrics\":{},\"explain\":{},\"other\":{}}},",
                 "\"latency\":{}}}"
             ),
             load(&self.requests_total),
@@ -236,6 +238,7 @@ impl Metrics {
             load(&self.endpoints.documents),
             load(&self.endpoints.health),
             load(&self.endpoints.metrics),
+            load(&self.endpoints.explain),
             load(&self.endpoints.other),
             self.latency.to_json(),
         )

@@ -346,6 +346,25 @@ fn parse_f64(request: &Request, name: &str, default: f64) -> Result<f64, Respons
     }
 }
 
+/// An optional float parameter: `None` when absent (no default — absence
+/// is meaningful, e.g. "no min_score filter" differs from "filter at 0").
+fn parse_opt_f64(request: &Request, name: &str) -> Result<Option<f64>, Response> {
+    match request.query_param(name) {
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+        None => Ok(None),
+    }
+}
+
+/// The cache-key encoding of an optional `min_score`: bit-exact when
+/// present, `u64::MAX` (an unreachable NaN pattern for parsed floats)
+/// when absent — `None` and `Some(0.0)` must never share an entry.
+fn min_score_bits(min_score: Option<f64>) -> u64 {
+    min_score.map_or(u64::MAX, f64::to_bits)
+}
+
 fn parse_usize(request: &Request, name: &str, default: usize) -> Result<usize, Response> {
     match request.query_param(name) {
         Some(raw) => raw
@@ -388,6 +407,10 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             bump(&counters.phrase);
             handle_phrase(shared, request, deadline)
         }
+        ("GET", "/explain") => {
+            bump(&counters.explain);
+            handle_explain(shared, request)
+        }
         ("POST", "/search/batch") => {
             bump(&counters.batch);
             handle_batch(shared, request, deadline)
@@ -409,7 +432,7 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             bump(&counters.other);
             handle_sleep(request, deadline)
         }
-        (_, "/health" | "/metrics" | "/search" | "/phrase") => {
+        (_, "/health" | "/metrics" | "/search" | "/phrase" | "/explain") => {
             bump(&counters.other);
             Response::error(405, "method not allowed").with_header("Allow", "GET".to_string())
         }
@@ -472,6 +495,10 @@ fn handle_search(shared: &Shared, request: &Request, deadline: Instant) -> Respo
         Ok(pick) => pick,
         Err(response) => return response,
     };
+    let min_score = match parse_opt_f64(request, "min_score") {
+        Ok(min_score) => min_score,
+        Err(response) => return response,
+    };
     let db = read_lock(&shared.db);
     let generation = db.generation();
     let key = QueryKey {
@@ -479,6 +506,7 @@ fn handle_search(shared: &Shared, request: &Request, deadline: Instant) -> Respo
         terms: terms.clone(),
         threshold_bits: pick.relevance_threshold.to_bits(),
         fraction_bits: pick.fraction.to_bits(),
+        min_score_bits: min_score_bits(min_score),
         k,
         generation,
     };
@@ -489,7 +517,7 @@ fn handle_search(shared: &Shared, request: &Request, deadline: Instant) -> Respo
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
     let cancelled = || expired(deadline);
-    match db.search_cancellable(&term_refs, pick, k, &cancelled) {
+    match db.search_filtered(&term_refs, pick, k, min_score, &cancelled) {
         Some(results) => {
             let body = render::search_body(db.store(), &terms, pick, k, &results);
             lock_cache(&shared.cache).insert(key, body.clone());
@@ -514,6 +542,7 @@ fn handle_phrase(shared: &Shared, request: &Request, deadline: Instant) -> Respo
         terms: terms.clone(),
         threshold_bits: 0,
         fraction_bits: 0,
+        min_score_bits: u64::MAX,
         k: 0,
         generation,
     };
@@ -533,6 +562,36 @@ fn handle_phrase(shared: &Shared, request: &Request, deadline: Instant) -> Respo
     let body = render::phrase_body(db.store(), &terms, &matches);
     lock_cache(&shared.cache).insert(key, body.clone());
     Response::json(200, body)
+}
+
+/// `GET /explain?q=…` — the planner's view of the query: gathered
+/// statistics, every costed candidate plan, and the chosen access method.
+/// Same parameters as `/search`; never cached (it *describes* planning
+/// rather than running the query, and must reflect current statistics).
+fn handle_explain(shared: &Shared, request: &Request) -> Response {
+    let terms = match terms_of(request) {
+        Ok(terms) => terms,
+        Err(response) => return response,
+    };
+    let k = match parse_usize(request, "k", 10) {
+        Ok(k) => k,
+        Err(response) => return response,
+    };
+    let pick = match pick_params(request) {
+        Ok(pick) => pick,
+        Err(response) => return response,
+    };
+    let min_score = match parse_opt_f64(request, "min_score") {
+        Ok(min_score) => min_score,
+        Err(response) => return response,
+    };
+    let db = read_lock(&shared.db);
+    let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    let text = db.explain(&term_refs, pick, k, min_score);
+    Response::json(
+        200,
+        format!("{{\"explain\":{}}}", render::json_string(&text)),
+    )
 }
 
 fn handle_batch(shared: &Shared, request: &Request, deadline: Instant) -> Response {

@@ -593,3 +593,98 @@ fn ingested_documents_survive_restart_with_identical_results() {
     assert_eq!(status, 409, "replayed state lost the duplicate-name guard");
     server.shutdown();
 }
+
+#[test]
+fn min_score_is_never_served_from_the_unfiltered_cache() {
+    // Regression: before the key carried min_score, a cached unfiltered
+    // body could be replayed verbatim for a stricter request.
+    let server = start(ServerConfig::default());
+    let reference = corpus_db();
+    let pick = PickParams {
+        relevance_threshold: 1.0,
+        fraction: 0.5,
+    };
+    let terms = normalize_query(&["rust", "xml"]);
+
+    // Prime the cache with the unfiltered query.
+    let (status, _, unfiltered) = get(&server, "/search?q=rust+xml&k=5&threshold=1.0");
+    assert_eq!(status, 200);
+
+    // A min_score no result can clear must come back empty — not the
+    // cached unfiltered body.
+    let (status, _, filtered) = get(
+        &server,
+        "/search?q=rust+xml&k=5&threshold=1.0&min_score=1e9",
+    );
+    assert_eq!(status, 200);
+    assert_ne!(filtered, unfiltered, "stricter request served stale cache");
+    let expected_results = reference
+        .search_filtered(&["rust", "xml"], pick, 5, Some(1e9), &|| false)
+        .unwrap();
+    assert!(expected_results.is_empty());
+    let expected = render::search_body(reference.store(), &terms, pick, 5, &expected_results);
+    assert_eq!(filtered, expected.as_bytes());
+
+    // The filtered entry caches under its own key and replays bit-exactly.
+    let (status, _, again) = get(
+        &server,
+        "/search?q=rust+xml&k=5&threshold=1.0&min_score=1e9",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(again, filtered);
+
+    // And the unfiltered entry is still intact under its own key.
+    let (status, _, unfiltered_again) = get(&server, "/search?q=rust+xml&k=5&threshold=1.0");
+    assert_eq!(status, 200);
+    assert_eq!(unfiltered_again, unfiltered);
+
+    // min_score=0.0 is a real (strict) filter — distinct key from "none".
+    let (status, _, _) = get(
+        &server,
+        "/search?q=rust+xml&k=5&threshold=1.0&min_score=0.0",
+    );
+    assert_eq!(status, 200);
+
+    let (status, _, _) = get(
+        &server,
+        "/search?q=rust+xml&k=5&threshold=1.0&min_score=nope",
+    );
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn explain_reports_the_chosen_plan() {
+    let server = start(ServerConfig::default());
+    let (status, headers, body) = get(&server, "/explain?q=rust+xml&k=5&min_score=1.5");
+    assert_eq!(status, 200);
+    assert!(headers.contains("application/json"), "{headers}");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.starts_with("{\"explain\":\""), "{text}");
+    for needle in ["term-join", "chosen:", "candidates:", "statistics:"] {
+        assert!(text.contains(needle), "missing {needle:?} in {text}");
+    }
+    assert!(text.contains("threshold: score > 1.5"), "{text}");
+
+    // Matches the direct Database::explain rendering exactly.
+    let reference = corpus_db();
+    let pick = PickParams {
+        relevance_threshold: 0.5,
+        fraction: 0.5,
+    };
+    let expected = format!(
+        "{{\"explain\":{}}}",
+        render::json_string(&reference.explain(&["rust", "xml"], pick, 5, Some(1.5)))
+    );
+    assert_eq!(text, expected);
+
+    let (status, headers, _) = raw_request(
+        &server,
+        "POST /explain HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    assert!(headers.contains("Allow: GET"), "{headers}");
+    let (status, _, _) = get(&server, "/explain");
+    assert_eq!(status, 400);
+    server.shutdown();
+}

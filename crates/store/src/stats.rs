@@ -20,6 +20,10 @@ pub struct StoreStats {
     pub text_bytes: usize,
     /// Deepest nesting level observed (root = 0).
     pub max_depth: u16,
+    /// Sum of every node's nesting level — `level_sum / total_nodes()` is
+    /// the average depth, the ancestor-expansion factor the query planner
+    /// charges materializing baselines (Comp1, Generalized Meet) for.
+    pub level_sum: u64,
     /// Distinct tag names.
     pub distinct_tags: usize,
 }
@@ -32,6 +36,7 @@ impl StoreStats {
             text_nodes: 0,
             text_bytes: 0,
             max_depth: 0,
+            level_sum: 0,
             distinct_tags: 0,
         };
         let mut seen_tags = std::collections::HashSet::new();
@@ -39,6 +44,7 @@ impl StoreStats {
             stats.text_bytes += doc.text_bytes.len();
             for rec in &doc.nodes {
                 stats.max_depth = stats.max_depth.max(rec.level());
+                stats.level_sum += u64::from(rec.level());
                 match rec.kind() {
                     NodeKind::Element => {
                         stats.elements += 1;
@@ -89,6 +95,8 @@ mod tests {
         assert_eq!(stats.text_nodes, 2);
         assert_eq!(stats.text_bytes, 4);
         assert_eq!(stats.max_depth, 2);
+        // a=0, hi=1, b=1, c=2, yo=2, x=0.
+        assert_eq!(stats.level_sum, 6);
         assert_eq!(stats.distinct_tags, 4);
         assert_eq!(stats.total_nodes(), 6);
     }

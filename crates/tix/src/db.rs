@@ -1,12 +1,14 @@
 //! The high-level convenience wrapper around the layered system.
 
+use std::sync::{Arc, Mutex};
+
 use tix_core::scoring::ScoreContext;
-use tix_exec::parallel::{phrase_finder_parallel, pick_stream_parallel, term_join_parallel};
+use tix_exec::parallel::{phrase_finder_parallel, term_join_parallel};
 use tix_exec::pick::PickParams;
 use tix_exec::scored::{sort_by_node, ScoredNode};
 use tix_exec::termjoin::{SimpleScorer, TermJoinScorer};
-use tix_exec::topk;
 use tix_index::InvertedIndex;
+use tix_query::{LogicalPlan, PhysicalPlan, PlanChoice, PlanStats, Scoring, TermSearch};
 use tix_store::{DocId, LoadError, RemoveError, Store};
 
 /// An XML database with IR-style querying: a [`Store`], an on-demand
@@ -31,6 +33,10 @@ pub struct Database {
     index: Option<InvertedIndex>,
     threads: usize,
     generation: u64,
+    /// Planner-statistics cache, keyed by [`Database::generation`] so a
+    /// snapshot computed against an older store or index is never reused
+    /// after a mutation.
+    plan_stats: Mutex<Option<(u64, Arc<PlanStats>)>>,
 }
 
 impl Default for Database {
@@ -40,6 +46,7 @@ impl Default for Database {
             index: None,
             threads: tix_parallel::default_threads(),
             generation: 0,
+            plan_stats: Mutex::new(None),
         }
     }
 }
@@ -241,11 +248,17 @@ impl Database {
         ))
     }
 
-    /// The classic end-to-end IR pipeline: TermJoin scoring → stack-based
-    /// Pick (parent/child redundancy elimination) → top-k. Returns at most
-    /// `k` picked elements, best first. Terms are normalized with
+    /// The classic end-to-end IR pipeline: scoring → stack-based Pick
+    /// (parent/child redundancy elimination) → top-k. Returns at most `k`
+    /// picked elements, best first. Terms are normalized with
     /// [`normalize_query`] first, so e.g. `" rust "` and `"rust"` are the
     /// same query.
+    ///
+    /// The physical evaluation is chosen by the **cost-based planner**
+    /// ([`Database::plan`]): TermJoin, one of the Sec. 6 baselines, or the
+    /// Threshold-pushdown scan. Every candidate returns byte-identical
+    /// results, so the choice affects time only; [`Database::explain`]
+    /// shows it, [`Database::search_with_plan`] overrides it.
     pub fn search(&self, terms: &[&str], pick: PickParams, k: usize) -> Vec<ScoredNode> {
         // Never cancelled, so always Some.
         self.search_cancellable(terms, pick, k, &|| false)
@@ -289,26 +302,140 @@ impl Database {
         cancelled: &dyn Fn() -> bool,
         threads: usize,
     ) -> Option<Vec<ScoredNode>> {
-        if cancelled() {
-            return None;
+        self.search_planned(terms, pick, k, None, cancelled, threads)
+    }
+
+    /// The logical plan behind every `search*` entry point.
+    fn term_search(
+        terms: &[String],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+    ) -> LogicalPlan {
+        LogicalPlan::TermSearch(TermSearch {
+            terms: terms.to_vec(),
+            scoring: Scoring::SimpleUniform,
+            pick: Some(pick),
+            k,
+            min_score,
+        })
+    }
+
+    /// The per-generation planner-statistics snapshot (gathered at most
+    /// once per mutation, then shared).
+    fn plan_stats(&self) -> Arc<PlanStats> {
+        let mut guard = self.plan_stats.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((generation, stats)) = guard.as_ref() {
+            if *generation == self.generation {
+                return Arc::clone(stats);
+            }
         }
-        let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
-        let scorer = SimpleScorer::uniform();
-        let scored = sort_by_node(term_join_parallel(
+        let stats = Arc::new(PlanStats::gather(&self.store, self.index()));
+        *guard = Some((self.generation, Arc::clone(&stats)));
+        stats
+    }
+
+    /// Plan and execute: the cost-based route every search takes.
+    fn search_planned(
+        &self,
+        terms: &[String],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+        cancelled: &dyn Fn() -> bool,
+        threads: usize,
+    ) -> Option<Vec<ScoredNode>> {
+        let logical = Self::term_search(terms, pick, k, min_score);
+        let stats = self.plan_stats();
+        let inputs = stats.inputs(self.index(), terms);
+        let choice = tix_query::choose(&logical, &inputs);
+        let run = tix_query::execute(
             &self.store,
             self.index(),
-            &term_refs,
-            &scorer,
+            &logical,
+            &choice.chosen.plan,
             threads,
-        ));
-        if cancelled() {
-            return None;
-        }
-        let picked = pick_stream_parallel(&self.store, &scored, &pick, threads);
-        if cancelled() {
-            return None;
-        }
-        Some(topk::top_k(picked, k))
+            cancelled,
+        )?;
+        Some(run.results)
+    }
+
+    /// [`Database::search`] with a value threshold pushed into the
+    /// pipeline: only nodes with `score > min_score` are returned (the
+    /// dialect's `Threshold $v/@score > min stop after k`). With a low
+    /// `k` or a high threshold the planner can choose the pushdown scan,
+    /// which stops reading postings once the §4.2 score bound proves the
+    /// tail irrelevant.
+    pub fn search_filtered(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Vec<ScoredNode>> {
+        let normalized = normalize_query(terms);
+        self.search_planned(&normalized, pick, k, min_score, cancelled, self.threads)
+    }
+
+    /// The planner's decision for a search, without executing it: every
+    /// candidate plan with its cost estimate, and the chosen one.
+    pub fn plan(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+    ) -> PlanChoice {
+        let normalized = normalize_query(terms);
+        let logical = Self::term_search(&normalized, pick, k, min_score);
+        let stats = self.plan_stats();
+        let inputs = stats.inputs(self.index(), &normalized);
+        tix_query::choose(&logical, &inputs)
+    }
+
+    /// Run a search with an explicitly chosen physical plan, bypassing
+    /// the cost model — the differential-testing and experimentation
+    /// hook. Results are byte-identical to [`Database::search_filtered`]
+    /// for **every** candidate plan (enforced by the plan-equivalence
+    /// suite).
+    pub fn search_with_plan(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+        plan: &PhysicalPlan,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Vec<ScoredNode>> {
+        let normalized = normalize_query(terms);
+        let logical = Self::term_search(&normalized, pick, k, min_score);
+        let run = tix_query::execute(
+            &self.store,
+            self.index(),
+            &logical,
+            plan,
+            self.threads,
+            cancelled,
+        )?;
+        Some(run.results)
+    }
+
+    /// Render the EXPLAIN report for a search: the statistics the planner
+    /// read, every candidate plan with its cost, and the chosen plan.
+    pub fn explain(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+        min_score: Option<f64>,
+    ) -> String {
+        let normalized = normalize_query(terms);
+        let logical = Self::term_search(&normalized, pick, k, min_score);
+        let stats = self.plan_stats();
+        let inputs = stats.inputs(self.index(), &normalized);
+        let choice = tix_query::choose(&logical, &inputs);
+        tix_query::explain::render(&logical, &inputs, &choice, stats.df_histogram.as_ref())
     }
 
     /// Run [`Database::search`] for several queries, fanning the *queries*
@@ -614,6 +741,87 @@ mod tests {
         });
         assert!(late.is_none());
         assert!(polls.get() >= 2);
+    }
+
+    #[test]
+    fn search_filtered_applies_min_score() {
+        let db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let all = db.search(&["rust"], pick, 100);
+        let cutoff = all[all.len() / 2].score;
+        let filtered = db
+            .search_filtered(&["rust"], pick, 100, Some(cutoff), &|| false)
+            .unwrap();
+        let expected: Vec<ScoredNode> = all.iter().filter(|n| n.score > cutoff).cloned().collect();
+        assert_eq!(filtered, expected);
+        assert!(!filtered.is_empty());
+        assert!(filtered.len() < all.len());
+        // No filter = plain search.
+        assert_eq!(
+            db.search_filtered(&["rust"], pick, 100, None, &|| false)
+                .unwrap(),
+            all
+        );
+    }
+
+    #[test]
+    fn every_candidate_plan_matches_the_planner_choice() {
+        let db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        for (k, min) in [(3, None), (100, Some(1.5)), (1, Some(0.0))] {
+            let chosen = db
+                .search_filtered(&["rust", "xml"], pick, k, min, &|| false)
+                .unwrap();
+            let choice = db.plan(&["rust", "xml"], pick, k, min);
+            assert!(choice
+                .candidates
+                .iter()
+                .any(|c| c.plan == choice.chosen.plan));
+            for c in &choice.candidates {
+                let forced = db
+                    .search_with_plan(&["rust", "xml"], pick, k, min, &c.plan, &|| false)
+                    .unwrap();
+                assert_eq!(forced, chosen, "plan {} diverged", c.plan.label());
+            }
+        }
+    }
+
+    #[test]
+    fn explain_reports_statistics_and_choice() {
+        let db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let text = db.explain(&["rust"], pick, 5, None);
+        assert!(text.contains("term-search"));
+        assert!(text.contains("documents=7"));
+        assert!(text.contains("term \"rust\""));
+        assert!(text.contains("dictionary df:"));
+        assert!(text.contains("chosen: "));
+        // Deterministic rendering.
+        assert_eq!(text, db.explain(&["rust"], pick, 5, None));
+    }
+
+    #[test]
+    fn plan_stats_cache_tracks_generation() {
+        let mut db = db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let before = db.explain(&["rust"], pick, 5, None);
+        db.insert_document("extra.xml", "<a><p>rust rust rust</p></a>")
+            .unwrap();
+        let after = db.explain(&["rust"], pick, 5, None);
+        assert_ne!(before, after, "stats must refresh after a mutation");
+        assert!(after.contains("documents=2"));
     }
 
     #[test]
