@@ -1,0 +1,430 @@
+//! Cluster benchmark and durability drill for `tix-cluster`.
+//!
+//! Two experiments, written to `results/BENCH_cluster.json`:
+//!
+//! 1. **kill -9 durability drill** (multi-process) — boots a 2-shard ×
+//!    1-replica cluster as real `tix` processes (one per node, plus a
+//!    coordinator), loads documents through the coordinator, SIGKILLs a
+//!    shard primary mid-load, keeps loading, restarts the dead node, and
+//!    then proves **zero acknowledged documents were lost**: every name
+//!    that got a 201 must answer a routed `/query`. A replica is
+//!    SIGKILLed and restarted the same way (reads keep flowing from the
+//!    primary while it is down). The coordinator holds no state, so its
+//!    restart story is trivial and not drilled.
+//! 2. **read throughput vs replica count** (in-process) — a 1-shard
+//!    cluster at 0, 1, and 2 replicas, hammered with concurrent
+//!    `/search` clients through the coordinator for a fixed window.
+//!
+//! Environment:
+//! * `TIX_BIN` — path to the `tix` binary (default: next to this binary
+//!   in the target directory);
+//! * `TIX_CLUSTER_DOCS` — documents for the drill (default 40);
+//! * `TIX_CLUSTER_SECS` — seconds per throughput window (default 2).
+//!
+//! The CI box is a single shared core, so the replica scaling numbers
+//! measure routing overhead, not parallel speedup — see EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tix_cluster::{client, local::scratch_dir, LocalCluster};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `tix` binary to spawn: `TIX_BIN`, or a sibling of this binary in
+/// the cargo target directory.
+fn tix_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("TIX_BIN") {
+        return PathBuf::from(path);
+    }
+    let me = std::env::current_exe().expect("current_exe");
+    for dir in me.ancestors().skip(1).take(3) {
+        let candidate = dir.join("tix");
+        if candidate.is_file() {
+            return candidate;
+        }
+    }
+    panic!("cannot find the tix binary next to {me:?}; set TIX_BIN");
+}
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+/// A spawned cluster node process with its address and respawn recipe.
+struct NodeProc {
+    label: String,
+    addr: String,
+    args: Vec<String>,
+    child: Child,
+}
+
+impl NodeProc {
+    fn spawn(bin: &PathBuf, label: &str, addr: &str, args: &[String]) -> NodeProc {
+        let child = Command::new(bin)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {label}: {e}"));
+        NodeProc {
+            label: label.to_string(),
+            addr: addr.to_string(),
+            args: args.to_vec(),
+            child,
+        }
+    }
+
+    /// SIGKILL — no shutdown hooks, no flushes: the crash the WAL's
+    /// fsync-before-ack contract exists for.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn respawn(&mut self, bin: &PathBuf) {
+        self.child = Command::new(bin)
+            .args(&self.args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| panic!("respawn {}: {e}", self.label));
+    }
+}
+
+fn wait_healthy(addr: &str, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(r) = client::get(addr, "/health", Duration::from_millis(500)) {
+            if r.status == 200 {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} at {addr} never became healthy"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn doc_xml(i: usize) -> String {
+    format!(
+        "<article><sec><p>alpha beta shard{} payload</p></sec><sec><p>gamma delta {}</p></sec></article>",
+        i % 7,
+        i
+    )
+}
+
+struct DrillResult {
+    docs_attempted: usize,
+    docs_acked: usize,
+    writes_failed_during_outage: usize,
+    docs_lost: usize,
+    primary_downtime_writes: usize,
+    wall_s: f64,
+}
+
+/// The multi-process drill. Returns what happened; panics if any
+/// acknowledged document is missing afterwards.
+fn durability_drill(docs: usize) -> DrillResult {
+    let bin = tix_bin();
+    let dir = scratch_dir("bench-drill");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    // Hand-build the topology from individually probed free ports (the
+    // CLI's `cluster init` assigns a consecutive range, which is less
+    // robust on a busy CI box).
+    let topology = tix_cluster::Topology {
+        shards: (0..2)
+            .map(|_| tix_cluster::ShardTopology {
+                primary: format!("127.0.0.1:{}", free_port()),
+                replicas: vec![format!("127.0.0.1:{}", free_port())],
+            })
+            .collect(),
+    };
+    topology.save(&dir).expect("save topology");
+    let dir_arg = dir.to_string_lossy().into_owned();
+    let coordinator_addr = format!("127.0.0.1:{}", free_port());
+
+    let mut nodes: Vec<NodeProc> = Vec::new();
+    for (shard, group) in topology.shards.iter().enumerate() {
+        nodes.push(NodeProc::spawn(
+            &bin,
+            &format!("shard-{shard}-primary"),
+            &group.primary,
+            &[
+                "cluster".into(),
+                "serve".into(),
+                dir_arg.clone(),
+                "--node".into(),
+                format!("{shard}:primary"),
+            ],
+        ));
+        for (r, addr) in group.replicas.iter().enumerate() {
+            nodes.push(NodeProc::spawn(
+                &bin,
+                &format!("shard-{shard}-replica-{r}"),
+                addr,
+                &[
+                    "cluster".into(),
+                    "serve".into(),
+                    dir_arg.clone(),
+                    "--node".into(),
+                    format!("{shard}:replica:{r}"),
+                ],
+            ));
+        }
+    }
+    let mut coordinator = NodeProc::spawn(
+        &bin,
+        "coordinator",
+        &coordinator_addr,
+        &[
+            "cluster".into(),
+            "serve".into(),
+            dir_arg.clone(),
+            "--coordinator".into(),
+            "--addr".into(),
+            coordinator_addr.clone(),
+        ],
+    );
+    for node in &nodes {
+        wait_healthy(&node.addr, &node.label);
+    }
+    wait_healthy(&coordinator_addr, "coordinator");
+
+    let started = Instant::now();
+    let mut acked: Vec<String> = Vec::new();
+    let mut failed_during_outage = 0usize;
+    let mut downtime_writes = 0usize;
+    let kill_primary_at = docs / 3;
+    let restart_primary_at = 2 * docs / 3;
+    let kill_replica_at = docs / 2;
+    // nodes[0] is shard 0's primary, nodes[3] is shard 1's replica.
+    for i in 0..docs {
+        if i == kill_primary_at {
+            eprintln!("kill -9 {} mid-load", nodes[0].label);
+            nodes[0].kill9();
+        }
+        if i == kill_replica_at {
+            eprintln!("kill -9 {} mid-load", nodes[3].label);
+            nodes[3].kill9();
+        }
+        if i == restart_primary_at {
+            eprintln!("restarting {} and {}", nodes[0].label, nodes[3].label);
+            nodes[0].respawn(&bin);
+            nodes[3].respawn(&bin);
+            wait_healthy(&nodes[0].addr, &nodes[0].label);
+            wait_healthy(&nodes[3].addr, &nodes[3].label);
+        }
+        let name = format!("doc-{i}.xml");
+        let path = format!("/documents?name={}", client::encode_component(&name));
+        let primary_down = i >= kill_primary_at && i < restart_primary_at;
+        if primary_down && tix_cluster::shard_of(&name, 2) == 0 {
+            downtime_writes += 1;
+        }
+        match client::request(
+            &coordinator_addr,
+            "POST",
+            &path,
+            doc_xml(i).as_bytes(),
+            TIMEOUT,
+        ) {
+            Ok(r) if r.status == 201 => acked.push(name),
+            Ok(_) | Err(_) => failed_during_outage += 1,
+        }
+    }
+
+    // Every acknowledged document must be queryable after the crash and
+    // restart — the acked-write durability contract.
+    let mut lost = 0usize;
+    for name in &acked {
+        let query = format!("For $p in document(\"{name}\")//p Return $p");
+        let ok = (0..3).any(|attempt| {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            matches!(
+                client::request(&coordinator_addr, "POST", "/query", query.as_bytes(), TIMEOUT),
+                Ok(r) if r.status == 200
+            )
+        });
+        if !ok {
+            eprintln!("LOST acked document {name}");
+            lost += 1;
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    coordinator.kill9();
+    for node in &mut nodes {
+        node.kill9();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(lost, 0, "{lost} acknowledged documents lost after kill -9");
+    DrillResult {
+        docs_attempted: docs,
+        docs_acked: acked.len(),
+        writes_failed_during_outage: failed_during_outage,
+        docs_lost: lost,
+        primary_downtime_writes: downtime_writes,
+        wall_s,
+    }
+}
+
+struct ThroughputPoint {
+    replicas: usize,
+    requests: u64,
+    errors: u64,
+    window_s: f64,
+    rps: f64,
+}
+
+/// Concurrent `/search` clients against a 1-shard in-process cluster at
+/// each replica count.
+fn read_throughput(window: Duration) -> Vec<ThroughputPoint> {
+    const CLIENTS: usize = 4;
+    let mut points = Vec::new();
+    for replicas in [0usize, 1, 2] {
+        let dir = scratch_dir(&format!("bench-read-{replicas}"));
+        let cluster = LocalCluster::start(&dir, 1, replicas).expect("start cluster");
+        for i in 0..30 {
+            let name = format!("doc-{i}.xml");
+            let (status, body) = cluster.insert(&name, &doc_xml(i)).expect("insert");
+            assert_eq!(status, 201, "{body}");
+        }
+        assert!(cluster.wait_replicated(Duration::from_secs(20)));
+        let addr = cluster.coordinator_addr();
+        let stop = Instant::now() + window;
+        let (requests, errors) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let mut ok = 0u64;
+                        let mut err = 0u64;
+                        let query = ["alpha", "beta", "gamma", "delta"][c % 4];
+                        while Instant::now() < stop {
+                            match client::get(&addr, &format!("/search?q={query}&k=10"), TIMEOUT) {
+                                Ok(r) if r.status == 200 => ok += 1,
+                                _ => err += 1,
+                            }
+                        }
+                        (ok, err)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+        });
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        let window_s = window.as_secs_f64();
+        points.push(ThroughputPoint {
+            replicas,
+            requests,
+            errors,
+            window_s,
+            rps: requests as f64 / window_s.max(1e-9),
+        });
+    }
+    points
+}
+
+fn main() {
+    let docs: usize = env_parse("TIX_CLUSTER_DOCS", 40).max(9);
+    let secs: u64 = env_parse("TIX_CLUSTER_SECS", 2).max(1);
+
+    eprintln!("durability drill: {docs} docs through a 2×1 multi-process cluster …");
+    let drill = durability_drill(docs);
+    eprintln!("read throughput: {secs}s windows at 0/1/2 replicas …");
+    let reads = read_throughput(Duration::from_secs(secs));
+
+    println!("\n## Cluster benchmark\n");
+    println!("### kill -9 durability drill (2 shards × 1 replica, real processes)\n");
+    println!("| metric | value |");
+    println!("|---|---:|");
+    println!("| documents attempted | {} |", drill.docs_attempted);
+    println!("| documents acknowledged | {} |", drill.docs_acked);
+    println!(
+        "| writes refused during outage | {} |",
+        drill.writes_failed_during_outage
+    );
+    println!(
+        "| writes aimed at the dead shard | {} |",
+        drill.primary_downtime_writes
+    );
+    println!(
+        "| **acknowledged documents lost** | **{}** |",
+        drill.docs_lost
+    );
+    println!("| drill wall (s) | {:.2} |", drill.wall_s);
+    println!("\n### read throughput vs replicas (1 shard, 4 clients, single core)\n");
+    println!("| replicas | requests | errors | req/s |");
+    println!("|---:|---:|---:|---:|");
+    for p in &reads {
+        println!(
+            "| {} | {} | {} | {:.1} |",
+            p.replicas, p.requests, p.errors, p.rps
+        );
+    }
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"experiment\": \"cluster\",").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"single shared CI core: replica scaling measures routing overhead, not parallel speedup; the drill result is docs_lost == 0\","
+    )
+    .unwrap();
+    writeln!(json, "  \"durability_drill\": {{").unwrap();
+    writeln!(json, "    \"shards\": 2,").unwrap();
+    writeln!(json, "    \"replicas_per_shard\": 1,").unwrap();
+    writeln!(json, "    \"docs_attempted\": {},", drill.docs_attempted).unwrap();
+    writeln!(json, "    \"docs_acked\": {},", drill.docs_acked).unwrap();
+    writeln!(
+        json,
+        "    \"writes_failed_during_outage\": {},",
+        drill.writes_failed_during_outage
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"writes_aimed_at_dead_shard\": {},",
+        drill.primary_downtime_writes
+    )
+    .unwrap();
+    writeln!(json, "    \"docs_lost\": {},", drill.docs_lost).unwrap();
+    writeln!(json, "    \"wall_s\": {:.3}", drill.wall_s).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"read_throughput\": [").unwrap();
+    for (i, p) in reads.iter().enumerate() {
+        let comma = if i + 1 < reads.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{ \"replicas\": {}, \"requests\": {}, \"errors\": {}, \"window_s\": {:.1}, \"requests_per_s\": {:.2} }}{comma}",
+            p.replicas, p.requests, p.errors, p.window_s, p.rps
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    eprintln!("wrote results/BENCH_cluster.json");
+}

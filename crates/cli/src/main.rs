@@ -17,6 +17,13 @@
 //! tix serve  <snapshot|--live dir> [--addr A] [--workers N] [--queue N]
 //!                       [--cache N] [--deadline-ms N] [--threads N]
 //!                                        serve queries over HTTP
+//! tix cluster init   <dir> [--shards N] [--replicas M] [--base-port P]
+//!                                        write a cluster.json topology
+//! tix cluster serve  <dir> [--node S:primary|S:replica:R]
+//!                          [--coordinator] [--addr A] [--workers N]
+//!                                        serve one node, the coordinator,
+//!                                        or (no flags) the whole cluster
+//! tix cluster status <dir>               poll every node's /health
 //! ```
 //!
 //! `ingest`, `checkpoint`, and `serve --live` operate on a *durable
@@ -281,6 +288,246 @@ mod commands {
         ))
     }
 
+    /// Write a `cluster.json` topology: `shards` primaries with
+    /// `replicas` followers each, on consecutive loopback ports starting
+    /// at `base_port` (primary first, then its replicas, shard by shard).
+    pub fn cluster_init(
+        dir: &str,
+        shards: usize,
+        replicas: usize,
+        base_port: u16,
+    ) -> Result<String, String> {
+        let shards = shards.max(1);
+        let mut port = base_port;
+        let mut next = || -> Result<String, String> {
+            let addr = format!("127.0.0.1:{port}");
+            port = port
+                .checked_add(1)
+                .ok_or_else(|| format!("port range overflows past {port}"))?;
+            Ok(addr)
+        };
+        let mut map = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let primary = next()?;
+            let mut reps = Vec::with_capacity(replicas);
+            for _ in 0..replicas {
+                reps.push(next()?);
+            }
+            map.push(tix_cluster::ShardTopology {
+                primary,
+                replicas: reps,
+            });
+        }
+        let topology = tix_cluster::Topology { shards: map };
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        topology.save(dir).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "initialized {dir}: {shards} shard(s) × {replicas} replica(s) on ports {base_port}..{port}; topology in {dir}/{}",
+            tix_cluster::TOPOLOGY_FILE
+        ))
+    }
+
+    /// Serve from a cluster directory. With `--node S:primary` or
+    /// `--node S:replica:R` this process becomes that one node (data
+    /// under `dir/shard-S/...`, address from the topology); with
+    /// `--coordinator` it becomes the scatter-gather front end; with
+    /// neither, every node plus a coordinator runs in this process — the
+    /// single-machine quickstart.
+    pub fn cluster_serve(
+        dir: &str,
+        node: Option<&str>,
+        coordinator: bool,
+        addr: Option<&str>,
+        workers: Option<usize>,
+    ) -> Result<String, String> {
+        let topology = tix_cluster::Topology::load(dir).map_err(|e| e.to_string())?;
+        let config_for = |listen: &str| {
+            let mut config = tix_server::ServerConfig {
+                addr: listen.to_string(),
+                ..tix_server::ServerConfig::default()
+            };
+            if let Some(workers) = workers {
+                config.workers = workers;
+            }
+            config
+        };
+        if coordinator {
+            let mut config = tix_cluster::CoordinatorConfig {
+                addr: addr.unwrap_or("127.0.0.1:7979").to_string(),
+                ..Default::default()
+            };
+            if let Some(workers) = workers {
+                config.workers = workers;
+            }
+            let front =
+                tix_cluster::Coordinator::start(topology, config).map_err(|e| e.to_string())?;
+            println!(
+                "tix-cluster coordinator listening on http://{}",
+                front.addr()
+            );
+            front.join();
+            return Ok(String::new());
+        }
+        if let Some(spec) = node {
+            let (shard, role) = parse_node_spec(spec, topology.shard_count())?;
+            let base = std::path::Path::new(dir).join(format!("shard-{shard}"));
+            let group = &topology.shards[shard];
+            let server = match role {
+                NodeRole::Primary => tix_server::Server::start_primary(
+                    base.join("primary"),
+                    config_for(&group.primary),
+                )
+                .map_err(|e| e.to_string())?,
+                NodeRole::Replica(r) => {
+                    let listen = group.replicas.get(r).ok_or_else(|| {
+                        format!(
+                            "shard {shard} has {} replica(s), no index {r}",
+                            group.replicas.len()
+                        )
+                    })?;
+                    tix_server::Server::start_follower(
+                        base.join(format!("replica-{r}")),
+                        Some(group.primary.clone()),
+                        config_for(listen),
+                    )
+                    .map_err(|e| e.to_string())?
+                }
+            };
+            println!(
+                "tix-cluster node {spec} listening on http://{} (data under {})",
+                server.addr(),
+                base.display()
+            );
+            server.join();
+            return Ok(String::new());
+        }
+        // Whole cluster in one process: every node on its topology
+        // address, coordinator in the foreground.
+        let mut servers = Vec::new();
+        for (shard, group) in topology.shards.iter().enumerate() {
+            let base = std::path::Path::new(dir).join(format!("shard-{shard}"));
+            let primary =
+                tix_server::Server::start_primary(base.join("primary"), config_for(&group.primary))
+                    .map_err(|e| format!("shard {shard} primary: {e}"))?;
+            println!("shard {shard} primary on http://{}", primary.addr());
+            servers.push(primary);
+            for (r, listen) in group.replicas.iter().enumerate() {
+                let replica = tix_server::Server::start_follower(
+                    base.join(format!("replica-{r}")),
+                    Some(group.primary.clone()),
+                    config_for(listen),
+                )
+                .map_err(|e| format!("shard {shard} replica {r}: {e}"))?;
+                println!("shard {shard} replica {r} on http://{}", replica.addr());
+                servers.push(replica);
+            }
+        }
+        let config = tix_cluster::CoordinatorConfig {
+            addr: addr.unwrap_or("127.0.0.1:7979").to_string(),
+            ..Default::default()
+        };
+        let front = tix_cluster::Coordinator::start(topology, config).map_err(|e| e.to_string())?;
+        println!(
+            "tix-cluster coordinator listening on http://{}",
+            front.addr()
+        );
+        front.join();
+        for server in servers {
+            server.shutdown();
+        }
+        Ok(String::new())
+    }
+
+    /// Poll `/health` on every node in the topology and render a table.
+    /// Unreachable nodes are reported, not errors — that is what status
+    /// is for.
+    pub fn cluster_status(dir: &str) -> Result<String, String> {
+        let topology = tix_cluster::Topology::load(dir).map_err(|e| e.to_string())?;
+        let timeout = std::time::Duration::from_secs(2);
+        let mut out = format!(
+            "{} shard(s), {} node(s)\n{:<6} {:<9} {:<21} {:<6} {:>6} {:>11} {:>5}\n",
+            topology.shard_count(),
+            topology.all_nodes().len(),
+            "shard",
+            "role",
+            "addr",
+            "state",
+            "docs",
+            "applied_lsn",
+            "ckpt"
+        );
+        let mut down = 0usize;
+        for (shard, addr, is_primary) in topology.all_nodes() {
+            let role = if is_primary { "primary" } else { "replica" };
+            match tix_cluster::client::get(addr, "/health", timeout) {
+                Ok(r) if r.status == 200 => {
+                    let doc = r.json().unwrap_or(tix_cluster::Json::Null);
+                    let field = |k: &str| {
+                        doc.get(k)
+                            .and_then(tix_cluster::Json::u64)
+                            .map_or_else(|| "?".to_string(), |v| v.to_string())
+                    };
+                    out.push_str(&format!(
+                        "{shard:<6} {role:<9} {addr:<21} {:<6} {:>6} {:>11} {:>5}\n",
+                        "up",
+                        field("docs"),
+                        field("applied_lsn"),
+                        field("checkpoint_seq")
+                    ));
+                }
+                Ok(r) => {
+                    down += 1;
+                    out.push_str(&format!(
+                        "{shard:<6} {role:<9} {addr:<21} {:<6} (status {})\n",
+                        "odd", r.status
+                    ));
+                }
+                Err(_) => {
+                    down += 1;
+                    out.push_str(&format!("{shard:<6} {role:<9} {addr:<21} {:<6}\n", "down"));
+                }
+            }
+        }
+        out.push_str(if down == 0 {
+            "cluster: ok\n"
+        } else {
+            "cluster: degraded\n"
+        });
+        Ok(out)
+    }
+
+    /// A node selector from `--node`: `S:primary` or `S:replica:R`.
+    pub enum NodeRole {
+        Primary,
+        Replica(usize),
+    }
+
+    pub fn parse_node_spec(spec: &str, shards: usize) -> Result<(usize, NodeRole), String> {
+        let mut parts = spec.split(':');
+        let shard: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad --node {spec:?} (want S:primary or S:replica:R)"))?;
+        if shard >= shards {
+            return Err(format!(
+                "--node {spec:?}: shard {shard} out of range (0..{shards})"
+            ));
+        }
+        let role = match (parts.next(), parts.next(), parts.next()) {
+            (Some("primary"), None, None) => NodeRole::Primary,
+            (Some("replica"), Some(r), None) => NodeRole::Replica(
+                r.parse()
+                    .map_err(|_| format!("bad replica index in --node {spec:?}"))?,
+            ),
+            _ => {
+                return Err(format!(
+                    "bad --node {spec:?} (want S:primary or S:replica:R)"
+                ))
+            }
+        };
+        Ok((shard, role))
+    }
+
     /// Open a snapshot plus its sidecar index (`<snapshot>.idx`), building
     /// and caching the index on first use. A corrupt or truncated sidecar
     /// is *recovered from* — the index is rebuilt from the store and the
@@ -344,6 +591,13 @@ usage:
   tix serve  <snapshot|--live dir> [--addr HOST:PORT] [--workers N]
              [--queue N] [--cache N] [--deadline-ms N] [--threads N]
                                           serve queries over HTTP
+  tix cluster init   <dir> [--shards N] [--replicas M] [--base-port P]
+                                          write a cluster.json topology
+  tix cluster serve  <dir> [--node S:primary|S:replica:R] [--coordinator]
+                     [--addr HOST:PORT] [--workers N]
+                                          serve one node, the coordinator,
+                                          or the whole cluster in-process
+  tix cluster status <dir>                poll every node's /health
 
 Query commands run document-partitioned over worker threads (--threads,
 else TIX_THREADS, else all cores); results are identical at any count.
@@ -501,6 +755,88 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "serve" => {
             let (path, live, config) = parse_serve_args(rest)?;
             commands::serve(&path, live, config)
+        }
+        "cluster" => {
+            let sub = rest
+                .first()
+                .ok_or("cluster: subcommand required (init|serve|status)")?;
+            let dir = rest
+                .get(1)
+                .ok_or_else(|| format!("cluster {sub}: directory required"))?;
+            let flags = &rest[2..];
+            match sub.as_str() {
+                "init" => {
+                    let mut shards = 2usize;
+                    let mut replicas = 1usize;
+                    let mut base_port = 7900u16;
+                    let mut it = flags.iter();
+                    while let Some(arg) = it.next() {
+                        let mut value_of = |flag: &str| -> Result<&String, String> {
+                            it.next().ok_or_else(|| format!("{flag} needs a value"))
+                        };
+                        match arg.as_str() {
+                            "--shards" => {
+                                let v = value_of("--shards")?;
+                                shards =
+                                    v.parse().map_err(|_| format!("bad --shards value {v:?}"))?;
+                            }
+                            "--replicas" => {
+                                let v = value_of("--replicas")?;
+                                replicas = v
+                                    .parse()
+                                    .map_err(|_| format!("bad --replicas value {v:?}"))?;
+                            }
+                            "--base-port" => {
+                                let v = value_of("--base-port")?;
+                                base_port = v
+                                    .parse()
+                                    .map_err(|_| format!("bad --base-port value {v:?}"))?;
+                            }
+                            other => return Err(format!("cluster init: unknown flag {other:?}")),
+                        }
+                    }
+                    commands::cluster_init(dir, shards, replicas, base_port)
+                }
+                "serve" => {
+                    let mut node = None;
+                    let mut coordinator = false;
+                    let mut addr = None;
+                    let mut workers = None;
+                    let mut it = flags.iter();
+                    while let Some(arg) = it.next() {
+                        let mut value_of = |flag: &str| -> Result<&String, String> {
+                            it.next().ok_or_else(|| format!("{flag} needs a value"))
+                        };
+                        match arg.as_str() {
+                            "--node" => node = Some(value_of("--node")?.clone()),
+                            "--coordinator" => coordinator = true,
+                            "--addr" => addr = Some(value_of("--addr")?.clone()),
+                            "--workers" => {
+                                let v = value_of("--workers")?;
+                                workers = Some(
+                                    v.parse()
+                                        .map_err(|_| format!("bad --workers value {v:?}"))?,
+                                );
+                            }
+                            other => return Err(format!("cluster serve: unknown flag {other:?}")),
+                        }
+                    }
+                    if node.is_some() && coordinator {
+                        return Err("cluster serve: --node and --coordinator are exclusive".into());
+                    }
+                    commands::cluster_serve(
+                        dir,
+                        node.as_deref(),
+                        coordinator,
+                        addr.as_deref(),
+                        workers,
+                    )
+                }
+                "status" => commands::cluster_status(dir),
+                other => Err(format!(
+                    "cluster: unknown subcommand {other:?} (init|serve|status)"
+                )),
+            }
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
@@ -881,6 +1217,109 @@ mod tests {
         let out = dispatch(&["help".into()]).unwrap();
         assert!(out.contains("usage:"));
         assert!(out.contains("serve"));
+        assert!(out.contains("cluster init"));
+    }
+
+    #[test]
+    fn cluster_init_writes_a_loadable_topology() {
+        let dir = tmp("cluster-init");
+        let _ = fs::remove_dir_all(&dir);
+        let out = dispatch(&[
+            "cluster".into(),
+            "init".into(),
+            dir.clone(),
+            "--shards".into(),
+            "3".into(),
+            "--replicas".into(),
+            "2".into(),
+            "--base-port".into(),
+            "7600".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("3 shard(s) × 2 replica(s)"), "{out}");
+        let topology = tix_cluster::Topology::load(&dir).unwrap();
+        assert_eq!(topology.shard_count(), 3);
+        assert_eq!(topology.shards[0].primary, "127.0.0.1:7600");
+        assert_eq!(
+            topology.shards[0].replicas,
+            ["127.0.0.1:7601", "127.0.0.1:7602"]
+        );
+        assert_eq!(topology.shards[2].primary, "127.0.0.1:7606");
+        // Addresses never collide across the whole map.
+        let all: std::collections::HashSet<&str> =
+            topology.all_nodes().iter().map(|&(_, a, _)| a).collect();
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn cluster_status_reports_down_nodes_without_failing() {
+        let dir = tmp("cluster-status");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch(&[
+            "cluster".into(),
+            "init".into(),
+            dir.clone(),
+            "--shards".into(),
+            "1".into(),
+            "--replicas".into(),
+            "1".into(),
+            "--base-port".into(),
+            // A port nothing listens on in the test environment.
+            "1".into(),
+        ])
+        .unwrap();
+        let out = dispatch(&["cluster".into(), "status".into(), dir]).unwrap();
+        assert!(out.contains("down"), "{out}");
+        assert!(out.contains("cluster: degraded"), "{out}");
+    }
+
+    #[test]
+    fn cluster_arg_errors() {
+        assert!(dispatch(&["cluster".into()]).is_err());
+        assert!(dispatch(&["cluster".into(), "frobnicate".into(), "d".into()]).is_err());
+        assert!(dispatch(&["cluster".into(), "init".into()]).is_err());
+        let err = dispatch(&[
+            "cluster".into(),
+            "init".into(),
+            "d".into(),
+            "--shards".into(),
+            "many".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad --shards"), "{err}");
+        // serve on a directory with no topology fails cleanly.
+        let missing = tmp("cluster-missing");
+        let _ = fs::remove_dir_all(&missing);
+        assert!(dispatch(&["cluster".into(), "serve".into(), missing.clone()]).is_err());
+        assert!(dispatch(&["cluster".into(), "status".into(), missing]).is_err());
+        // --node and --coordinator are exclusive; node specs validate.
+        let dir = tmp("cluster-spec");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch(&["cluster".into(), "init".into(), dir.clone()]).unwrap();
+        let err = dispatch(&[
+            "cluster".into(),
+            "serve".into(),
+            dir.clone(),
+            "--node".into(),
+            "0:primary".into(),
+            "--coordinator".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("exclusive"), "{err}");
+        for bad in ["x:primary", "0:boss", "9:primary", "0:replica:x"] {
+            let err = dispatch(&[
+                "cluster".into(),
+                "serve".into(),
+                dir.clone(),
+                "--node".into(),
+                bad.into(),
+            ])
+            .unwrap_err();
+            assert!(
+                err.contains("--node") || err.contains("out of range"),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

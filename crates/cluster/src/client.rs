@@ -1,0 +1,99 @@
+//! Typed node-to-node calls: thin wrappers over the server crate's
+//! blocking HTTP client, plus the percent-encoding needed to rebuild a
+//! query string from decoded parameters.
+
+use std::io;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A response from another node: status, raw body, and the body parsed
+/// as JSON when it is JSON.
+#[derive(Debug)]
+pub struct NodeResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl NodeResponse {
+    /// The body as UTF-8 (lossy — node bodies are our own JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON, if it parses.
+    pub fn json(&self) -> Option<Json> {
+        Json::parse(&self.text()).ok()
+    }
+}
+
+/// Issue one request to `addr` and read the full response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<NodeResponse> {
+    let (status, body) =
+        tix_server::http::client_request(addr, method, path_and_query, body, timeout)?;
+    Ok(NodeResponse { status, body })
+}
+
+/// `GET` shorthand.
+pub fn get(addr: &str, path_and_query: &str, timeout: Duration) -> io::Result<NodeResponse> {
+    request(addr, "GET", path_and_query, &[], timeout)
+}
+
+/// Percent-encode one query-string component (strict: everything but
+/// unreserved characters is escaped, so values decoded by
+/// `tix_server::http` round-trip exactly — including `+`, `&`, `=` and
+/// spaces inside document names or query terms).
+pub fn encode_component(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for byte in value.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+/// Rebuild a query string (`a=1&b=two%20words`) from decoded pairs.
+pub fn encode_query(params: &[(&str, &str)]) -> String {
+    params
+        .iter()
+        .map(|(k, v)| format!("{}={}", encode_component(k), encode_component(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrips_through_the_server_decoder() {
+        // The server decodes `+` as space in query strings; strict
+        // encoding never emits a bare `+`, so tricky names survive.
+        for raw in ["a b", "a+b", "x&y=z", "ünïcode.xml", "100%"] {
+            let encoded = encode_component(raw);
+            assert!(
+                encoded
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric()
+                        || matches!(b, b'-' | b'_' | b'.' | b'~' | b'%')),
+                "{encoded}"
+            );
+        }
+        assert_eq!(
+            encode_query(&[("q", "rust xml"), ("k", "5")]),
+            "q=rust%20xml&k=5"
+        );
+    }
+}

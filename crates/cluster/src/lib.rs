@@ -1,0 +1,51 @@
+//! # tix-cluster — the sharded, replicated serving tier
+//!
+//! The paper ran TIX inside TIMBER on one machine; this crate scales
+//! that serving layer out, std-only, on top of the workspace's existing
+//! pieces:
+//!
+//! * **Sharded ingest** ([`router`], [`topology`]) — documents route to
+//!   shards by a deterministic hash of the document *name* (the same
+//!   CRC-32 the storage formats use), so placement needs no directory
+//!   service. Each shard primary is an unmodified `tix-ingest`
+//!   WAL + checkpoint pipeline with its own LSN sequence.
+//! * **Scatter-gather top-k** ([`coordinator`], [`merge`]) — the
+//!   coordinator fans queries out to every shard's `/cluster/*`
+//!   endpoint, which answers its local top-k **with ties** plus an
+//!   exclusive §4.2 bound on every score it withheld. The merge is
+//!   provably exact: the global k-th score must dominate every
+//!   truncated shard's bound, asserted through
+//!   [`tix_invariants::assert_scatter_merge_bound`] under
+//!   `check-invariants`. Scores cross the wire as raw `f64` bits, and
+//!   hits are addressed by `(document name, node index)` — not by
+//!   layout-dependent `DocId`s — so the merged response is
+//!   byte-identical to a single node over the union corpus (checked by
+//!   the differential suite in `tests/`).
+//! * **Replication** — followers pull `/wal?from_lsn=` from their
+//!   primary; the transfer payload *is* the on-disk WAL format
+//!   (header + CRC-framed records), re-scanned with the prefix-durable
+//!   scanner on apply, so a torn or corrupted transfer can never apply
+//!   a bad frame. Reads carry the coordinator's acked-LSN watermark as
+//!   `min_lsn`; a behind replica answers 403 and the coordinator routes
+//!   around it — a read after an acknowledged write never observes a
+//!   replica that missed the write.
+//!
+//! [`local::LocalCluster`] boots a whole cluster (real sockets, real
+//! WAL shipping) inside one process for tests and the CLI quickstart;
+//! `tix-bench --bin cluster` runs the multi-process version, including
+//! the kill -9 durability drill.
+
+pub mod client;
+pub mod coordinator;
+pub mod json;
+pub mod local;
+pub mod merge;
+pub mod router;
+pub mod topology;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use json::{Json, JsonError};
+pub use local::{LocalCluster, LocalShard};
+pub use merge::{Hit, PhraseHit, ShardPhrase, ShardSearch};
+pub use router::shard_of;
+pub use topology::{ShardTopology, Topology, TopologyError, TOPOLOGY_FILE};

@@ -1,0 +1,51 @@
+//! Deterministic document→shard routing.
+//!
+//! Placement is a pure function of the document **name** — the one
+//! property every request that touches a document carries (ingest,
+//! removal, `document("…")` in a query). Hashing the name with the same
+//! CRC-32 the storage formats already use means any node, client, or
+//! test can compute a document's home shard with no directory service
+//! and no state: the routing table IS the function.
+
+/// The shard (0-based) that owns the document named `name` in an
+/// `shards`-way cluster. `shards == 0` is treated as 1 (everything on
+/// shard 0) so a degenerate topology can never panic the router.
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    tix_invariants::crc32(name.as_bytes()) as usize % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for i in 0..200 {
+                let name = format!("doc-{i}.xml");
+                let s = shard_of(&name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(&name, shards), "same name, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_degenerates_to_one() {
+        assert_eq!(shard_of("a.xml", 0), 0);
+        assert_eq!(shard_of("a.xml", 1), 0);
+    }
+
+    #[test]
+    fn spread_is_not_degenerate() {
+        // 200 distinct names over 4 shards: every shard gets something.
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            seen[shard_of(&format!("doc-{i}.xml"), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards populated: {seen:?}");
+    }
+}

@@ -1,0 +1,216 @@
+//! The cluster map: which address is the primary for each shard, and
+//! which addresses replicate it.
+//!
+//! Persisted as `cluster.json` in a cluster directory (written by
+//! `tix cluster init`, read by `tix cluster serve|status` and the
+//! coordinator). The file is written with the store's crash-safe
+//! [`atomic_write`](tix::store::persist::atomic_write), so a torn write
+//! can never leave a half-readable map.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// File name of the persisted topology inside a cluster directory.
+pub const TOPOLOGY_FILE: &str = "cluster.json";
+
+/// One shard's serving group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// Address (`host:port`) of the shard primary (accepts writes,
+    /// serves the WAL feed).
+    pub primary: String,
+    /// Addresses of follower replicas (read-only, pull the WAL).
+    pub replicas: Vec<String>,
+}
+
+/// The whole cluster map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// One entry per shard; shard id is the index.
+    pub shards: Vec<ShardTopology>,
+}
+
+/// Why a topology could not be loaded or was rejected.
+#[derive(Debug)]
+pub enum TopologyError {
+    /// Reading or writing the file failed.
+    Io(io::Error),
+    /// The file was not the expected JSON shape.
+    Malformed(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Io(e) => write!(f, "topology i/o error: {e}"),
+            TopologyError::Malformed(m) => write!(f, "malformed topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl From<io::Error> for TopologyError {
+    fn from(e: io::Error) -> Self {
+        TopologyError::Io(e)
+    }
+}
+
+impl Topology {
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning document `name` (see [`crate::router::shard_of`]).
+    pub fn shard_of(&self, name: &str) -> usize {
+        crate::router::shard_of(name, self.shards.len())
+    }
+
+    /// Every node address in the map: each shard's primary, then its
+    /// replicas, in shard order.
+    pub fn all_nodes(&self) -> Vec<(usize, &str, bool)> {
+        let mut out = Vec::new();
+        for (shard, group) in self.shards.iter().enumerate() {
+            out.push((shard, group.primary.as_str(), true));
+            for replica in &group.replicas {
+                out.push((shard, replica.as_str(), false));
+            }
+        }
+        out
+    }
+
+    /// Render as the `cluster.json` document.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let replicas: Vec<String> = s
+                    .replicas
+                    .iter()
+                    .map(|r| tix_server::render::json_string(r))
+                    .collect();
+                format!(
+                    "{{\"primary\":{},\"replicas\":[{}]}}",
+                    tix_server::render::json_string(&s.primary),
+                    replicas.join(",")
+                )
+            })
+            .collect();
+        format!("{{\"shards\":[{}]}}", shards.join(","))
+    }
+
+    /// Parse a `cluster.json` document.
+    pub fn from_json(text: &str) -> Result<Topology, TopologyError> {
+        let doc = Json::parse(text).map_err(|e| TopologyError::Malformed(e.to_string()))?;
+        let shards_json = doc
+            .get("shards")
+            .ok_or_else(|| TopologyError::Malformed("missing \"shards\" field".to_string()))?;
+        let mut shards = Vec::new();
+        for (i, shard) in shards_json.items().iter().enumerate() {
+            let primary = shard
+                .get("primary")
+                .and_then(Json::str)
+                .ok_or_else(|| {
+                    TopologyError::Malformed(format!("shard {i}: missing \"primary\" string"))
+                })?
+                .to_string();
+            let mut replicas = Vec::new();
+            if let Some(list) = shard.get("replicas") {
+                for (j, replica) in list.items().iter().enumerate() {
+                    let addr = replica.str().ok_or_else(|| {
+                        TopologyError::Malformed(format!("shard {i} replica {j}: not a string"))
+                    })?;
+                    replicas.push(addr.to_string());
+                }
+            }
+            shards.push(ShardTopology { primary, replicas });
+        }
+        if shards.is_empty() {
+            return Err(TopologyError::Malformed(
+                "topology has no shards".to_string(),
+            ));
+        }
+        Ok(Topology { shards })
+    }
+
+    /// Load `cluster.json` from a cluster directory.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Topology, TopologyError> {
+        let text = std::fs::read_to_string(dir.as_ref().join(TOPOLOGY_FILE))?;
+        Topology::from_json(&text)
+    }
+
+    /// Persist as `cluster.json` in `dir`, atomically and durably.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), TopologyError> {
+        use std::io::Write;
+        let rendered = self.to_json();
+        tix::store::persist::atomic_write::<TopologyError, _>(
+            dir.as_ref().join(TOPOLOGY_FILE),
+            |w| {
+                w.write_all(rendered.as_bytes())?;
+                w.write_all(b"\n")?;
+                Ok(())
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Topology {
+        Topology {
+            shards: vec![
+                ShardTopology {
+                    primary: "127.0.0.1:7001".to_string(),
+                    replicas: vec!["127.0.0.1:7101".to_string(), "127.0.0.1:7201".to_string()],
+                },
+                ShardTopology {
+                    primary: "127.0.0.1:7002".to_string(),
+                    replicas: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let parsed = Topology::from_json(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tix-topology-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample();
+        t.save(&dir).unwrap();
+        assert_eq!(Topology::load(&dir).unwrap(), t);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_topologies_are_rejected() {
+        assert!(Topology::from_json("{}").is_err());
+        assert!(Topology::from_json("{\"shards\":[]}").is_err());
+        assert!(Topology::from_json("{\"shards\":[{\"replicas\":[]}]}").is_err());
+        assert!(Topology::from_json("{\"shards\":[{\"primary\":7}]}").is_err());
+        assert!(Topology::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn all_nodes_lists_primaries_first_per_shard() {
+        let t = sample();
+        let nodes = t.all_nodes();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0], (0, "127.0.0.1:7001", true));
+        assert_eq!(nodes[1], (0, "127.0.0.1:7101", false));
+        assert_eq!(nodes[3], (1, "127.0.0.1:7002", true));
+    }
+}

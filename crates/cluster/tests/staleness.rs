@@ -1,0 +1,201 @@
+//! Replica-staleness end-to-end tests: a follower that has not applied
+//! the coordinator's acked-LSN watermark must answer 403 to gated reads
+//! — never a divergent result — and the coordinator must route around
+//! it until it catches up.
+//!
+//! The followers here are started **detached** (`primary: None`, no
+//! pull loop), so the tests control exactly when replication happens by
+//! pulling `/wal?from_lsn=` themselves and feeding the image through
+//! [`Server::apply_wal_image`].
+
+use std::time::Duration;
+
+use tix_cluster::topology::{ShardTopology, Topology};
+use tix_cluster::{client, local::scratch_dir, Coordinator, CoordinatorConfig, Json};
+use tix_server::{Server, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn node_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..ServerConfig::default()
+    }
+}
+
+const CORPUS: [(&str, &str); 3] = [
+    ("a.xml", "<d><s><p>alpha beta gamma</p></s></d>"),
+    ("b.xml", "<d><p>beta beta delta</p><p>alpha</p></d>"),
+    ("c.xml", "<d><p>zeta alpha beta</p></d>"),
+];
+
+fn load(addr: &str) {
+    for (name, xml) in CORPUS {
+        let path = format!("/documents?name={}", client::encode_component(name));
+        let r = client::request(addr, "POST", &path, xml.as_bytes(), TIMEOUT).unwrap();
+        assert_eq!(r.status, 201, "{}", r.text());
+    }
+}
+
+#[test]
+fn behind_follower_answers_403_until_caught_up_and_never_diverges() {
+    let dir = scratch_dir("stale-direct");
+    let primary = Server::start_primary(dir.join("primary"), node_config()).unwrap();
+    let follower = Server::start_follower(dir.join("follower"), None, node_config()).unwrap();
+    let p = primary.addr().to_string();
+    let f = follower.addr().to_string();
+
+    load(&p);
+    let watermark = primary.applied_lsn();
+    assert_eq!(watermark, CORPUS.len() as u64);
+    assert_eq!(follower.applied_lsn(), 0);
+
+    // A gated read against the behind follower is refused outright.
+    let path = format!("/search?q=alpha&k=10&min_lsn={watermark}");
+    let r = client::get(&f, &path, TIMEOUT).unwrap();
+    assert_eq!(r.status, 403, "{}", r.text());
+    let doc = r.json().unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().str(),
+        Some("replica behind watermark")
+    );
+    assert_eq!(doc.get("applied_lsn").unwrap().u64(), Some(0));
+    assert_eq!(doc.get("min_lsn").unwrap().u64(), Some(watermark));
+    assert_eq!(doc.get("role").unwrap().str(), Some("follower"));
+
+    // The cluster read path is gated identically.
+    let path = format!("/cluster/search?q=alpha&k=10&min_lsn={watermark}");
+    let r = client::get(&f, &path, TIMEOUT).unwrap();
+    assert_eq!(r.status, 403, "{}", r.text());
+
+    // Ungated, the follower serves its honest (empty) prefix of history
+    // — stale is allowed without a watermark, divergence never is: every
+    // hit it could return is one the primary also returned at that LSN.
+    let r = client::get(&f, "/search?q=alpha&k=10", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.json().unwrap().get("count").unwrap().u64(), Some(0));
+
+    // Ship the WAL by hand: the transfer payload is a verbatim WAL
+    // image, applied through the follower's own durable pipeline.
+    let image = client::get(&p, "/wal?from_lsn=0", TIMEOUT).unwrap();
+    assert_eq!(image.status, 200);
+    let applied = follower.apply_wal_image(&image.body).unwrap();
+    assert_eq!(applied, watermark);
+    assert_eq!(follower.applied_lsn(), watermark);
+
+    // The same gated read now succeeds, byte-identical to the primary.
+    let path = format!("/search?q=alpha&k=10&min_lsn={watermark}");
+    let from_follower = client::get(&f, &path, TIMEOUT).unwrap();
+    assert_eq!(from_follower.status, 200, "{}", from_follower.text());
+    let from_primary = client::get(&p, "/search?q=alpha&k=10", TIMEOUT).unwrap();
+    assert_eq!(from_primary.status, 200);
+    assert_eq!(
+        from_follower.body, from_primary.body,
+        "caught-up follower diverged"
+    );
+
+    follower.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn coordinator_routes_around_a_stale_replica_and_uses_it_after_catch_up() {
+    let dir = scratch_dir("stale-route");
+    let primary = Server::start_primary(dir.join("primary"), node_config()).unwrap();
+    // Detached follower: it will NOT catch up on its own, so every
+    // coordinator read that tries it first must fall back to the primary.
+    let replica = Server::start_follower(dir.join("replica"), None, node_config()).unwrap();
+    let topology = Topology {
+        shards: vec![ShardTopology {
+            primary: primary.addr().to_string(),
+            replicas: vec![replica.addr().to_string()],
+        }],
+    };
+    let coordinator = Coordinator::start(topology, CoordinatorConfig::default()).unwrap();
+    let c = coordinator.addr().to_string();
+
+    load(&c);
+    let watermark = primary.applied_lsn();
+    assert_eq!(
+        coordinator.watermark(0),
+        watermark,
+        "write acks drive the watermark"
+    );
+
+    // Reads stay correct while the replica lags: the coordinator eats
+    // the replica's 403 and answers from the primary — byte-identical
+    // to a single node holding the corpus.
+    let expected = expected_alpha_body();
+    for _ in 0..4 {
+        let r = client::get(&c, "/search?q=alpha&k=10", TIMEOUT).unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        assert_eq!(r.text(), expected, "stale replica leaked into a read");
+    }
+    let metrics = Json::parse(&coordinator.metrics_json()).unwrap();
+    let fanout = metrics.get("fanout").unwrap();
+    assert!(
+        fanout.get("stale_retries").unwrap().u64().unwrap() >= 1,
+        "no 403 observed"
+    );
+    assert!(fanout.get("replica_fallbacks").unwrap().u64().unwrap() >= 1);
+    // The stale replica never served a cluster read.
+    let replica_metrics = Json::parse(&replica.metrics_json()).unwrap();
+    let stale_rejects = replica_metrics
+        .get("replication")
+        .and_then(|r| r.get("stale_rejects"))
+        .and_then(Json::u64)
+        .unwrap_or(0);
+    assert!(
+        stale_rejects >= 1,
+        "replica never rejected a gated read: {replica_metrics:?}"
+    );
+
+    // Catch the replica up by hand; gated reads against it now pass, so
+    // the coordinator's round-robin can use it again.
+    let image = client::get(&primary.addr().to_string(), "/wal?from_lsn=0", TIMEOUT).unwrap();
+    assert_eq!(replica.apply_wal_image(&image.body).unwrap(), watermark);
+    let before = cluster_reads_served(&replica);
+    for _ in 0..4 {
+        let r = client::get(&c, "/search?q=alpha&k=10", TIMEOUT).unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        assert_eq!(r.text(), expected, "replica-served read diverged");
+    }
+    assert!(
+        cluster_reads_served(&replica) > before,
+        "caught-up replica still bypassed"
+    );
+
+    coordinator.shutdown();
+    replica.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The coordinator `/search?q=alpha&k=10` body a correct cluster must
+/// produce: the canonical single-node ranking over the corpus, rendered
+/// with the server's default pick parameters.
+fn expected_alpha_body() -> String {
+    let mut db = tix::Database::new();
+    for (name, xml) in CORPUS {
+        db.load(name, xml).unwrap();
+    }
+    db.build_index();
+    let pick = tix::exec::pick::PickParams {
+        relevance_threshold: 0.5,
+        fraction: 0.5,
+    };
+    tix_cluster::merge::expected_search_body(&db, &["alpha"], pick, 10)
+}
+
+/// How many scatter-gather reads this node has answered (its
+/// `endpoints.cluster` counter).
+fn cluster_reads_served(node: &Server) -> u64 {
+    Json::parse(&node.metrics_json())
+        .unwrap()
+        .get("endpoints")
+        .and_then(|e| e.get("cluster"))
+        .and_then(Json::u64)
+        .unwrap_or(0)
+}

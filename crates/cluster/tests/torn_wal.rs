@@ -1,0 +1,234 @@
+//! Torn and corrupted `/wal` transfers: the replication payload is a
+//! verbatim WAL image, so the follower's prefix-durability scanner must
+//! turn every damaged transfer into "apply the committed prefix, pull
+//! the rest later" — never into a decoded bad frame.
+//!
+//! Damage is injected with `tix::store::faultio` — the same single-bit
+//! and short-read fault harness the storage formats are tested with —
+//! driven over a real image pulled from a live primary's `/wal`.
+
+use std::io::Read;
+use std::time::Duration;
+
+use tix::store::faultio::CorruptingReader;
+use tix_cluster::{client, local::scratch_dir};
+use tix_ingest::{scan_bytes, WAL_HEADER_LEN};
+use tix_server::{Server, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn node_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..ServerConfig::default()
+    }
+}
+
+const CORPUS: [(&str, &str); 3] = [
+    ("a.xml", "<d><s><p>alpha beta gamma</p></s></d>"),
+    ("b.xml", "<d><p>beta beta delta</p><p>alpha</p></d>"),
+    ("c.xml", "<d><p>zeta alpha beta</p></d>"),
+];
+
+/// A primary loaded with the corpus, a detached follower, and the
+/// pristine `/wal?from_lsn=0` image shipped between them.
+fn rig(label: &str) -> (Server, Server, Vec<u8>, std::path::PathBuf) {
+    let dir = scratch_dir(label);
+    let primary = Server::start_primary(dir.join("primary"), node_config()).unwrap();
+    let follower = Server::start_follower(dir.join("follower"), None, node_config()).unwrap();
+    let p = primary.addr().to_string();
+    for (name, xml) in CORPUS {
+        let path = format!("/documents?name={}", client::encode_component(name));
+        let r = client::request(&p, "POST", &path, xml.as_bytes(), TIMEOUT).unwrap();
+        assert_eq!(r.status, 201, "{}", r.text());
+    }
+    let image = client::get(&p, "/wal?from_lsn=0", TIMEOUT).unwrap();
+    assert_eq!(image.status, 200);
+    (primary, follower, image.body, dir)
+}
+
+fn teardown(primary: Server, follower: Server, dir: std::path::PathBuf) {
+    follower.shutdown();
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Byte offsets where each frame starts, plus the image end.
+fn frame_offsets(image: &[u8]) -> Vec<usize> {
+    let scan = scan_bytes(image).unwrap();
+    let mut offsets: Vec<usize> = scan
+        .entries
+        .iter()
+        .map(|e| usize::try_from(e.offset).unwrap())
+        .collect();
+    offsets.push(usize::try_from(scan.valid_len).unwrap());
+    offsets
+}
+
+#[test]
+fn torn_tail_applies_only_the_committed_prefix_and_the_next_pull_resumes() {
+    let (primary, follower, image, dir) = rig("torn-tail");
+    let offsets = frame_offsets(&image);
+    assert_eq!(offsets.len(), CORPUS.len() + 1);
+
+    // Cut mid-way through the last frame, as a connection dropped during
+    // the transfer would.
+    let cut = (offsets[CORPUS.len() - 1] + offsets[CORPUS.len()]) / 2;
+    let torn = &image[..cut];
+    let applied = follower.apply_wal_image(torn).unwrap();
+    assert_eq!(
+        applied,
+        CORPUS.len() as u64 - 1,
+        "torn frame leaked through"
+    );
+    assert_eq!(follower.applied_lsn(), CORPUS.len() as u64 - 1);
+
+    // The follower's next pull picks up from its applied LSN and lands
+    // the missing record; re-applying the overlap is harmless.
+    let from = follower.applied_lsn();
+    let resume = client::get(
+        &primary.addr().to_string(),
+        &format!("/wal?from_lsn={from}"),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resume.status, 200);
+    assert_eq!(follower.apply_wal_image(&resume.body).unwrap(), 1);
+    assert_eq!(follower.applied_lsn(), primary.applied_lsn());
+    let docs = follower.reload(|db| db.store().doc_count());
+    assert_eq!(docs, CORPUS.len());
+
+    teardown(primary, follower, dir);
+}
+
+#[test]
+fn bit_flip_in_a_frame_stops_apply_before_the_bad_record() {
+    // Flip one bit in each interesting spot of the first frame — length
+    // prefix, payload, CRC — and in the middle frame. In every case the
+    // scanner must stop at the damaged frame: records before it apply,
+    // the bad frame and everything after never do.
+    let (primary, follower, image, dir) = rig("bit-flip");
+    let offsets = frame_offsets(&image);
+    let header = usize::try_from(WAL_HEADER_LEN).unwrap();
+    let cases: [(usize, u64); 4] = [
+        (0, header as u64 + 1),         // first frame's length prefix
+        (0, header as u64 + 4 + 2),     // first frame's payload
+        (0, offsets[1] as u64 - 1),     // first frame's CRC
+        (1, offsets[1] as u64 + 4 + 3), // middle frame's payload
+    ];
+    for (frame, offset) in cases {
+        let mut corrupted = Vec::new();
+        CorruptingReader::flip_bit(&image[..], offset, 3)
+            .read_to_end(&mut corrupted)
+            .unwrap();
+        assert_ne!(corrupted, image, "offset {offset} out of range");
+        let scan = scan_bytes(&corrupted).unwrap();
+        assert_eq!(
+            scan.entries.len(),
+            frame,
+            "offset {offset}: bad frame decoded"
+        );
+    }
+
+    // Apply a payload-corrupted image end-to-end: nothing lands, and the
+    // pristine image afterwards brings the follower fully up to date.
+    let mut corrupted = Vec::new();
+    CorruptingReader::flip_bit(&image[..], header as u64 + 4 + 2, 3)
+        .read_to_end(&mut corrupted)
+        .unwrap();
+    assert_eq!(follower.apply_wal_image(&corrupted).unwrap(), 0);
+    assert_eq!(follower.applied_lsn(), 0);
+    assert_eq!(
+        follower.apply_wal_image(&image).unwrap(),
+        CORPUS.len() as u64
+    );
+    assert_eq!(follower.applied_lsn(), primary.applied_lsn());
+
+    teardown(primary, follower, dir);
+}
+
+#[test]
+fn mangled_header_is_a_hard_error_not_a_silent_skip() {
+    let (primary, follower, image, dir) = rig("bad-header");
+    // A damaged header means the image itself is garbage — that is disk
+    // or transport damage past what frame CRCs cover, so apply refuses.
+    for offset in 0..WAL_HEADER_LEN {
+        let mut corrupted = Vec::new();
+        CorruptingReader::flip_bit(&image[..], offset, 0)
+            .read_to_end(&mut corrupted)
+            .unwrap();
+        let err = follower.apply_wal_image(&corrupted).unwrap_err();
+        assert!(err.contains("bad WAL image"), "offset {offset}: {err}");
+    }
+    // Truncated-to-nothing transfers fail the same way.
+    assert!(follower.apply_wal_image(&[]).is_err());
+    assert!(follower
+        .apply_wal_image(&image[..WAL_HEADER_LEN as usize - 1])
+        .is_err());
+    assert_eq!(
+        follower.applied_lsn(),
+        0,
+        "damaged images mutated the follower"
+    );
+
+    teardown(primary, follower, dir);
+}
+
+#[test]
+fn wal_feed_reports_caught_up_and_gap_conditions() {
+    let (primary, follower, image, dir) = rig("feed-edges");
+    let p = primary.addr().to_string();
+
+    // A caught-up requester gets a header-only image; applying it is a
+    // no-op.
+    let last = primary.applied_lsn();
+    let empty = client::get(&p, &format!("/wal?from_lsn={last}"), TIMEOUT).unwrap();
+    assert_eq!(empty.status, 200);
+    assert_eq!(empty.body.len(), WAL_HEADER_LEN as usize);
+    assert_eq!(follower.apply_wal_image(&empty.body).unwrap(), 0);
+    // Same for a requester claiming an LSN from the future.
+    let ahead = client::get(&p, &format!("/wal?from_lsn={}", last + 10), TIMEOUT).unwrap();
+    assert_eq!(ahead.status, 200);
+    assert_eq!(ahead.body.len(), WAL_HEADER_LEN as usize);
+
+    // An image that skips past the follower's applied LSN is a hard
+    // error (discontinuity), applied only up to the gap.
+    let offsets = frame_offsets(&image);
+    let mut gapped = image[..usize::try_from(WAL_HEADER_LEN).unwrap()].to_vec();
+    gapped.extend_from_slice(&image[offsets[1]..]); // frames 2.. without frame 1
+    let err = follower.apply_wal_image(&gapped).unwrap_err();
+    assert!(err.contains("discontinuity"), "{err}");
+    assert_eq!(follower.applied_lsn(), 0);
+
+    // A server that does NOT retain its WAL across checkpoints answers
+    // 410 with the earliest servable LSN once the suffix is gone — the
+    // signal that a follower must resync from a snapshot instead.
+    let standalone_dir = dir.join("standalone");
+    let standalone = Server::start_live(&standalone_dir, node_config()).unwrap();
+    let s = standalone.addr().to_string();
+    let r = client::request(
+        &s,
+        "POST",
+        "/documents?name=solo.xml",
+        b"<d><p>alpha</p></d>",
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.status, 201, "{}", r.text());
+    let r = client::request(&s, "POST", "/admin/checkpoint", &[], TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let gap = client::get(&s, "/wal?from_lsn=0", TIMEOUT).unwrap();
+    assert_eq!(gap.status, 410, "{}", gap.text());
+    let doc = gap.json().unwrap();
+    assert_eq!(doc.get("error").unwrap().str(), Some("wal gap"));
+    assert_eq!(doc.get("requested").unwrap().u64(), Some(0));
+    assert!(
+        doc.get("earliest").unwrap().u64().unwrap() >= 1,
+        "{}",
+        gap.text()
+    );
+    standalone.shutdown();
+
+    teardown(primary, follower, dir);
+}

@@ -50,7 +50,7 @@ use tix::Database;
 use tix_store::persist::atomic_write;
 use tix_store::{DocId, LoadError, RemoveError};
 
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{Wal, WalRecord, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};
 
 /// Magic bytes opening the `CHECKPOINT` meta file.
 pub const CHECKPOINT_MAGIC: &[u8] = b"TIXCKPT";
@@ -87,6 +87,15 @@ pub enum IngestError {
     /// written atomically, so this is disk corruption, not a torn write —
     /// it needs operator attention rather than a silent empty start.
     CorruptMeta(&'static str),
+    /// A WAL suffix was requested from an LSN the log no longer holds
+    /// (a checkpoint without [`IngestOptions::retain_wal`] truncated it).
+    /// The requester must fall back to a full resync.
+    WalGap {
+        /// The LSN the suffix was requested from (exclusive).
+        requested: u64,
+        /// The earliest LSN the log can still serve a suffix from.
+        earliest: u64,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -97,6 +106,13 @@ impl fmt::Display for IngestError {
             IngestError::Remove(e) => write!(f, "{e}"),
             IngestError::Persist(e) => write!(f, "{e}"),
             IngestError::CorruptMeta(why) => write!(f, "corrupt checkpoint meta: {why}"),
+            IngestError::WalGap {
+                requested,
+                earliest,
+            } => write!(
+                f,
+                "WAL gap: suffix from lsn {requested} requested but the log starts at {earliest}"
+            ),
         }
     }
 }
@@ -109,6 +125,7 @@ impl std::error::Error for IngestError {
             IngestError::Remove(e) => Some(e),
             IngestError::Persist(e) => Some(e),
             IngestError::CorruptMeta(_) => None,
+            IngestError::WalGap { .. } => None,
         }
     }
 }
@@ -131,6 +148,18 @@ pub struct IngestOptions {
     /// [`Ingest::maybe_checkpoint`] fires once the WAL file reaches this
     /// many bytes. `u64::MAX` disables size-triggered checkpoints.
     pub checkpoint_bytes: u64,
+    /// Keep the WAL intact across checkpoints instead of resetting it.
+    ///
+    /// Recovery is already correct either way — replay skips every record
+    /// with `lsn <= CHECKPOINT.lsn`, so a retained log merely replays
+    /// nothing for its pre-checkpoint prefix. Retention exists for
+    /// **WAL-shipping replication**: a shard primary that retains its log
+    /// can serve [`Ingest::wal_suffix`] from any LSN a follower asks for,
+    /// so a replica (even a brand-new one starting at LSN 0) can always
+    /// catch up from the op stream alone. The cost is an append-only log
+    /// that grows with total history; see DESIGN.md §13 for the
+    /// snapshot-shipping follow-up that would bound it.
+    pub retain_wal: bool,
 }
 
 impl Default for IngestOptions {
@@ -139,6 +168,7 @@ impl Default for IngestOptions {
             // Small WALs replay in well under a second; 8 MiB keeps
             // recovery cheap without checkpointing on every mutation.
             checkpoint_bytes: 8 * 1024 * 1024,
+            retain_wal: false,
         }
     }
 }
@@ -209,6 +239,11 @@ pub struct Ingest {
     last_lsn: u64,
     seq: u64,
     options: IngestOptions,
+    /// WAL size when the live checkpoint was taken. With
+    /// [`IngestOptions::retain_wal`] the log never resets, so the
+    /// size-triggered checkpoint fires on growth *since* the last
+    /// checkpoint, not on absolute length.
+    wal_len_at_checkpoint: u64,
 }
 
 impl Ingest {
@@ -263,6 +298,14 @@ impl Ingest {
             }
             last_lsn = entry.lsn;
         }
+        let wal_len_at_checkpoint = if options.retain_wal {
+            // The retained log's pre-`base_lsn` prefix predates the live
+            // checkpoint; only growth past the recovered length should
+            // count toward the next size-triggered checkpoint.
+            wal.len()
+        } else {
+            0
+        };
         Ok((
             Ingest {
                 dir,
@@ -270,6 +313,7 @@ impl Ingest {
                 last_lsn,
                 seq,
                 options,
+                wal_len_at_checkpoint,
             },
             db,
         ))
@@ -343,7 +387,10 @@ impl Ingest {
         )?;
         let old = self.seq;
         self.seq = seq;
-        self.wal.reset()?;
+        if !self.options.retain_wal {
+            self.wal.reset()?;
+        }
+        self.wal_len_at_checkpoint = self.wal.len();
         if old > 0 {
             // Best-effort: the meta no longer references these, so a
             // failed delete costs disk space, not correctness.
@@ -356,7 +403,8 @@ impl Ingest {
     /// Checkpoint iff the WAL has reached the configured size threshold.
     /// Returns the new sequence number when one was taken.
     pub fn maybe_checkpoint(&mut self, db: &mut Database) -> Result<Option<u64>, IngestError> {
-        if self.wal.len() >= self.options.checkpoint_bytes {
+        let grown = self.wal.len().saturating_sub(self.wal_len_at_checkpoint);
+        if grown >= self.options.checkpoint_bytes {
             return self.checkpoint(db).map(Some);
         }
         Ok(None)
@@ -380,6 +428,86 @@ impl Ingest {
     /// The durable directory this engine owns.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Serve the WAL suffix strictly after `from_lsn` as a standalone WAL
+    /// image (header + CRC frames), capped at roughly `max_bytes` but
+    /// always carrying at least one frame when one is due. This is the
+    /// payload of the replication `/wal?from_lsn=` endpoint: because the
+    /// wire format *is* the on-disk format, a follower runs the response
+    /// through [`crate::wal::scan_bytes`] and gets torn-transfer safety
+    /// for free.
+    ///
+    /// An up-to-date requester (`from_lsn >= last_lsn`) gets an empty
+    /// image (header only). If the log no longer holds `from_lsn + 1`
+    /// (a checkpoint without [`IngestOptions::retain_wal`] truncated it),
+    /// returns [`IngestError::WalGap`] and the requester must resync from
+    /// a snapshot instead.
+    pub fn wal_suffix(&self, from_lsn: u64, max_bytes: u64) -> Result<Vec<u8>, IngestError> {
+        let header = || {
+            let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            out.extend_from_slice(WAL_MAGIC);
+            out.push(WAL_VERSION);
+            out
+        };
+        if from_lsn >= self.last_lsn {
+            return Ok(header());
+        }
+        let bytes = fs::read(self.dir.join(WAL_FILE))?;
+        let scan = crate::wal::scan_bytes(&bytes)?;
+        let start = match scan.entries.iter().position(|e| e.lsn > from_lsn) {
+            Some(i) => i,
+            None => {
+                // Mutations exist past `from_lsn` (checked above) but the
+                // log holds none of them: everything is folded into the
+                // checkpoint and gone.
+                return Err(IngestError::WalGap {
+                    requested: from_lsn,
+                    earliest: self.last_lsn + 1,
+                });
+            }
+        };
+        let entries = scan.entries.get(start..).unwrap_or_default();
+        let Some(first) = entries.first() else {
+            return Err(IngestError::WalGap {
+                requested: from_lsn,
+                earliest: self.last_lsn + 1,
+            });
+        };
+        if first.lsn != from_lsn + 1 {
+            return Err(IngestError::WalGap {
+                requested: from_lsn,
+                earliest: first.lsn,
+            });
+        }
+        // Cut at a frame boundary: frame i ends where frame i+1 starts
+        // (or at the committed prefix's end). Slicing the raw file keeps
+        // the shipped frames byte-identical to the durable ones, CRCs
+        // included.
+        let start_off = usize::try_from(first.offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL offset overflow"))?;
+        let committed_end = usize::try_from(scan.valid_len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL length overflow"))?;
+        let mut cut = start_off;
+        for (i, _) in entries.iter().enumerate() {
+            let frame_end = match entries.get(i + 1) {
+                Some(next) => usize::try_from(next.offset).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "WAL offset overflow")
+                })?,
+                None => committed_end,
+            };
+            let image_len = WAL_HEADER_LEN + (frame_end - start_off) as u64;
+            if i > 0 && image_len > max_bytes {
+                break;
+            }
+            cut = frame_end;
+        }
+        let mut out = header();
+        let frames = bytes
+            .get(start_off..cut)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "WAL cut out of range"))?;
+        out.extend_from_slice(frames);
+        Ok(out)
     }
 }
 
@@ -510,6 +638,7 @@ mod tests {
         let dir = tmp_dir("threshold");
         let options = IngestOptions {
             checkpoint_bytes: 64,
+            ..IngestOptions::default()
         };
         let (mut ingest, mut db) = Ingest::open(&dir, options).unwrap();
         assert_eq!(ingest.maybe_checkpoint(&mut db).unwrap(), None);
@@ -564,5 +693,125 @@ mod tests {
             assert!(read_meta(&path).is_err(), "flip at byte {i} accepted");
             bytes[i] ^= 0x04;
         }
+    }
+
+    fn retained() -> IngestOptions {
+        IngestOptions {
+            retain_wal: true,
+            ..IngestOptions::default()
+        }
+    }
+
+    #[test]
+    fn retain_wal_checkpoint_keeps_full_history_and_recovers() {
+        let dir = tmp_dir("retain");
+        {
+            let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+            ingest
+                .insert_document(&mut db, "a.xml", "<a>alpha</a>")
+                .unwrap();
+            let before = ingest.wal_len();
+            ingest.checkpoint(&mut db).unwrap();
+            // The log survives the checkpoint byte-for-byte.
+            assert_eq!(ingest.wal_len(), before);
+            ingest
+                .insert_document(&mut db, "b.xml", "<b>beta</b>")
+                .unwrap();
+        }
+        // Recovery replays only lsn > checkpoint lsn from the retained log.
+        let (ingest, db) = Ingest::open(&dir, retained()).unwrap();
+        assert_eq!(ingest.last_lsn(), 2);
+        assert_eq!(db.store().doc_count(), 2);
+        // The full history from LSN 1 is still servable.
+        let image = ingest.wal_suffix(0, u64::MAX).unwrap();
+        let scan = crate::wal::scan_bytes(&image).unwrap();
+        assert_eq!(
+            scan.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn wal_suffix_roundtrips_through_scan_bytes() {
+        let dir = tmp_dir("suffix");
+        let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+        for i in 1..=4 {
+            ingest
+                .insert_document(&mut db, &format!("d{i}.xml"), &format!("<d>doc {i}</d>"))
+                .unwrap();
+        }
+        let image = ingest.wal_suffix(2, u64::MAX).unwrap();
+        let scan = crate::wal::scan_bytes(&image).unwrap();
+        let lsns: Vec<u64> = scan.entries.iter().map(|e| e.lsn).collect();
+        assert_eq!(lsns, vec![3, 4]);
+        match &scan.entries[0].record {
+            WalRecord::AddDocument { name, xml } => {
+                assert_eq!(name, "d3.xml");
+                assert_eq!(xml, "<d>doc 3</d>");
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+        // Caught-up requester gets a bare header.
+        let empty = ingest.wal_suffix(4, u64::MAX).unwrap();
+        assert_eq!(empty.len() as u64, WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn wal_suffix_respects_max_bytes_but_ships_at_least_one_frame() {
+        let dir = tmp_dir("suffix-cap");
+        let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+        for i in 1..=3 {
+            ingest
+                .insert_document(&mut db, &format!("d{i}.xml"), "<d>payload body</d>")
+                .unwrap();
+        }
+        // A 1-byte budget still carries the first due frame.
+        let image = ingest.wal_suffix(0, 1).unwrap();
+        let scan = crate::wal::scan_bytes(&image).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].lsn, 1);
+        // A budget covering two frames ships exactly two.
+        let two = ingest.wal_suffix(0, image.len() as u64 * 2).unwrap();
+        let scan2 = crate::wal::scan_bytes(&two).unwrap();
+        assert_eq!(
+            scan2.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn wal_suffix_reports_gap_after_unretained_checkpoint() {
+        let dir = tmp_dir("suffix-gap");
+        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>x</a>")
+            .unwrap();
+        ingest
+            .insert_document(&mut db, "b.xml", "<b>y</b>")
+            .unwrap();
+        ingest.checkpoint(&mut db).unwrap();
+        ingest
+            .insert_document(&mut db, "c.xml", "<c>z</c>")
+            .unwrap();
+        // LSNs 1–2 were truncated away; asking from 0 must not silently
+        // skip them.
+        match ingest.wal_suffix(0, u64::MAX) {
+            Err(IngestError::WalGap {
+                requested,
+                earliest,
+            }) => {
+                assert_eq!(requested, 0);
+                assert_eq!(earliest, 3);
+            }
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        // From the checkpoint LSN onward the suffix is servable.
+        let image = ingest.wal_suffix(2, u64::MAX).unwrap();
+        let scan = crate::wal::scan_bytes(&image).unwrap();
+        assert_eq!(
+            scan.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![3]
+        );
     }
 }

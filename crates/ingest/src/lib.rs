@@ -48,4 +48,7 @@ pub mod engine;
 pub mod wal;
 
 pub use engine::{Ingest, IngestError, IngestOptions, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
-pub use wal::{Wal, WalEntry, WalRecord, WalScan, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};
+pub use wal::{
+    encode_entries, scan_bytes, Wal, WalEntry, WalRecord, WalScan, WAL_HEADER_LEN, WAL_MAGIC,
+    WAL_VERSION,
+};

@@ -198,6 +198,35 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
 }
 
 /// Scan `bytes` (a whole WAL file image) for the committed prefix.
+///
+/// Public because WAL-shipping replication reuses the exact same framing
+/// for its wire format: a follower pulling `/wal?from_lsn=` receives a
+/// valid WAL image and runs it through this scanner, so a torn or
+/// bit-flipped transfer yields only the committed prefix — a corrupt
+/// frame is **never** decoded into an op, let alone applied.
+pub fn scan_bytes(bytes: &[u8]) -> io::Result<WalScan> {
+    scan(bytes)
+}
+
+/// Serialize `entries` back into a standalone WAL image (header +
+/// frames), the inverse of [`scan_bytes`]. Used by tests and the
+/// replication layer to synthesize op streams.
+pub fn encode_entries(entries: &[(u64, WalRecord)]) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    out.extend_from_slice(WAL_MAGIC);
+    out.push(WAL_VERSION);
+    for (lsn, record) in entries {
+        let payload = encode_payload(*lsn, record)?;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record too large"))?;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&tix_invariants::crc32(&payload).to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Scan `bytes` (a whole WAL file image) for the committed prefix.
 fn scan(bytes: &[u8]) -> io::Result<WalScan> {
     let header_len = WAL_HEADER_LEN as usize;
     let header_ok = bytes.len() >= header_len

@@ -374,6 +374,52 @@ pub fn assert_topk_early_exit_safe(kth_score: f64, remaining_bound: f64) {
     }
 }
 
+/// Scatter-gather merge correctness (§4.2 bounds applied across shards):
+/// a coordinator's global top-k over per-shard top-k streams is exact iff
+/// the global k-th score is at least every truncated shard's **exclusive**
+/// upper bound on its unreturned scores. Each bound in `shard_bounds` is
+/// `Some(b)` when that shard truncated its response and proved every
+/// unreturned score `< b` (shards return their k-th-score ties, so the
+/// bound excludes equality); `None` when the shard returned everything it
+/// had. Unlike [`try_topk_early_exit_safe`], equality is safe here:
+/// `global_kth == b` still implies every hidden score `< b <= global_kth`
+/// cannot displace or tie a retained entry. NaN anywhere is a violation.
+pub fn try_scatter_merge_bound(
+    global_kth: f64,
+    shard_bounds: impl IntoIterator<Item = Option<f64>>,
+) -> Result<(), InvariantError> {
+    const NAME: &str = "scatter-merge-bound";
+    if global_kth.is_nan() {
+        return violation(NAME, "global k-th score is NaN".to_string());
+    }
+    for (shard, bound) in shard_bounds.into_iter().enumerate() {
+        let Some(b) = bound else { continue };
+        if b.is_nan() {
+            return violation(NAME, format!("shard {shard} reported a NaN bound"));
+        }
+        if global_kth < b {
+            return violation(
+                NAME,
+                format!(
+                    "global k-th score {global_kth} < shard {shard} unreturned-score \
+                     bound {b}: a hidden result could belong in the top k"
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_scatter_merge_bound`]; wrap calls in [`check!`].
+pub fn assert_scatter_merge_bound(
+    global_kth: f64,
+    shard_bounds: impl IntoIterator<Item = Option<f64>>,
+) {
+    if let Err(e) = try_scatter_merge_bound(global_kth, shard_bounds) {
+        panic!("{e}");
+    }
+}
+
 /// Pick vertical exclusivity (Sec. 3.3.2 / Fig. 12): no picked node may
 /// have a picked **direct parent** — the parent/child redundancy-
 /// elimination rule. Picking a node together with a deeper descendant is
@@ -738,6 +784,16 @@ mod tests {
         assert!(try_topk_early_exit_safe(1.0, f64::NAN).is_err());
         // An infinite bound (scorer without a bound) never admits an exit.
         assert!(try_topk_early_exit_safe(1e300, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn scatter_merge_bound_allows_equality_and_untruncated_shards() {
+        assert!(try_scatter_merge_bound(2.0, [Some(1.0), None, Some(2.0)]).is_ok());
+        assert!(try_scatter_merge_bound(2.0, [None, None]).is_ok());
+        assert!(try_scatter_merge_bound(2.0, []).is_ok());
+        assert!(try_scatter_merge_bound(1.0, [Some(1.5)]).is_err());
+        assert!(try_scatter_merge_bound(f64::NAN, [Some(0.0)]).is_err());
+        assert!(try_scatter_merge_bound(1.0, [Some(f64::NAN)]).is_err());
     }
 
     #[test]

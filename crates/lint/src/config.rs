@@ -11,6 +11,7 @@
 /// it still must answer 500 — so the handler code itself stays panic-free.
 pub const PANIC_FREE_CRATES: &[&str] = &[
     "core", "exec", "index", "store", "xml", "query", "parallel", "cli", "server", "ingest",
+    "cluster",
 ];
 
 /// Crates whose library code is checked for unchecked slice indexing.
@@ -27,22 +28,26 @@ pub const FLOAT_EQ_CRATES: &[&str] = &[
 pub const DOC_CRATES: &[&str] = &["core", "exec"];
 
 /// Crates allowed to spawn threads: `parallel` (the document-partitioned
-/// access methods) and `server` (its accept loop and worker pool are
+/// access methods), `server` (its accept loop and worker pool are
 /// long-lived service threads, not data-parallel workers — routing them
-/// through `parallel_map` would serialize the pool behind one call).
-pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "server"];
+/// through `parallel_map` would serialize the pool behind one call), and
+/// `cluster` (the coordinator's worker pool plus scoped per-shard
+/// fan-out threads, which are I/O-bound waits, not compute).
+pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "server", "cluster"];
 
 /// Crates whose request-path collections must be bounded
 /// (`no-unbounded-channel`): a queue that grows with client demand is a
 /// memory-exhaustion vector, so any `Vec`/`VecDeque` used as a queue here
 /// must sit behind an explicit capacity check.
-pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server"];
+pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server", "cluster"];
 
 /// Crates that write snapshot/sidecar files (`no-bare-file-create`): a
 /// bare `File::create` puts partial bytes at the final path, so a crash
 /// mid-write replaces good data with a torn file. All durable writes in
 /// these crates must go through `tix_store::persist::atomic_write`.
-pub const DURABLE_WRITE_CRATES: &[&str] = &["store", "index", "tix", "cli", "server", "ingest"];
+pub const DURABLE_WRITE_CRATES: &[&str] = &[
+    "store", "index", "tix", "cli", "server", "ingest", "cluster",
+];
 
 /// Scoring-path files: no `as` numeric casts here — conversions must be
 /// `From`/`TryFrom` or a helper with a justified inline allow. These are

@@ -3,7 +3,7 @@
 //! bodies, hard limits on every variable-length input, and typed parse
 //! errors that map onto 4xx status codes instead of panics.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Longest accepted request line (method + target + version), in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -280,13 +280,16 @@ fn percent_decode(s: &str, plus_as_space: bool) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// A response ready to serialize. All bodies are JSON in this server.
+/// A response ready to serialize. Bodies are JSON except for the binary
+/// WAL images the replication endpoint serves.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: u16,
     /// Reason phrase.
     pub reason: &'static str,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the always-present `Content-Type`,
     /// `Content-Length`, and `Connection: close`.
     pub extra_headers: Vec<(&'static str, String)>,
@@ -300,8 +303,21 @@ impl Response {
         Response {
             status,
             reason: reason(status),
+            content_type: "application/json",
             extra_headers: Vec::new(),
             body: body.into_bytes(),
+        }
+    }
+
+    /// A binary response (`application/octet-stream`) — the `/wal`
+    /// replication endpoint's WAL-image payload.
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            reason: reason(status),
+            content_type: "application/octet-stream",
+            extra_headers: Vec::new(),
+            body,
         }
     }
 
@@ -323,9 +339,10 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason,
+            self.content_type,
             self.body.len()
         )?;
         for (name, value) in &self.extra_headers {
@@ -342,18 +359,71 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Content Too Large",
         414 => "URI Too Long",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
+}
+
+/// A minimal blocking HTTP client for node-to-node calls (the follower's
+/// WAL pulls, the coordinator's scatter-gather fan-out). Sends
+/// `Connection: close` and reads the peer's response to EOF, so no
+/// keep-alive state is ever shared between requests. Returns the status
+/// code and the raw body bytes.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: std::time::Duration,
+) -> io::Result<(u16, Vec<u8>)> {
+    use std::net::{TcpStream, ToSocketAddrs};
+
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response has no header end"))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    Ok((status, raw[header_end + 4..].to_vec()))
 }
 
 #[cfg(test)]

@@ -32,8 +32,16 @@
 //! | `/query` | POST | extended-XQuery dialect (body = query text) |
 //! | `/documents?name=X` | POST | ingest a document (body = XML); live servers only |
 //! | `/documents/{name}` | DELETE | remove a document by name; live servers only |
-//! | `/health` | GET | liveness + corpus stats |
+//! | `/health` | GET | liveness, role, corpus stats, applied LSN |
 //! | `/metrics` | GET | the metrics registry as JSON |
+//! | `/wal?from_lsn=N` | GET | binary WAL suffix for follower replication |
+//! | `/cluster/search?q=…&k=…` | GET | shard top-k **with ties** + §4.2 bound, scores as raw bits |
+//! | `/cluster/phrase?q=…` | GET | shard phrase matches, counts as raw bits |
+//! | `/admin/checkpoint` | POST | force a checkpoint now |
+//!
+//! Reads carrying `min_lsn=N` answer 403 until this node has applied LSN
+//! `N` — the replica-staleness watermark the coordinator uses to route
+//! around lagging followers.
 //!
 //! A server started with [`Server::start`] is **read-only** (document
 //! mutations answer 403). [`Server::start_live`] serves a durable
@@ -63,4 +71,4 @@ pub mod queue;
 pub mod render;
 mod server;
 
-pub use server::{Server, ServerConfig, MAX_BATCH_QUERIES};
+pub use server::{Server, ServerConfig, ServerRole, MAX_BATCH_QUERIES, WAL_PULL_MAX_BYTES};

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 /// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^(i+1))`
 /// microseconds, so 40 buckets span 1 µs to ~13 days.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
 
 /// A log₂-bucketed latency histogram with atomic buckets.
 ///
@@ -78,15 +78,33 @@ impl LatencyHistogram {
         2u64.saturating_pow(BUCKETS as u32)
     }
 
-    /// Render as a JSON object with count, mean, and p50/p95/p99.
+    /// A snapshot of the raw bucket counts, index `i` covering
+    /// `[2^i, 2^(i+1))` µs. The coordinator merges per-node histograms by
+    /// summing these bucket-wise, which is exact (unlike merging
+    /// quantiles).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total recorded microseconds (for exact merged means).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Render as a JSON object with count, mean, p50/p95/p99, and the raw
+    /// log₂ `buckets` array (so multi-node aggregation can merge
+    /// histograms exactly instead of averaging quantiles).
     pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.bucket_counts().iter().map(|c| c.to_string()).collect();
         format!(
-            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"buckets\":[{}]}}",
             self.count(),
+            self.sum_micros(),
             self.mean_micros(),
             self.quantile_micros(0.50),
             self.quantile_micros(0.95),
-            self.quantile_micros(0.99)
+            self.quantile_micros(0.99),
+            buckets.join(",")
         )
     }
 }
@@ -110,6 +128,10 @@ pub struct EndpointCounters {
     pub metrics: AtomicU64,
     /// `/explain` requests.
     pub explain: AtomicU64,
+    /// `/wal` replication pulls served.
+    pub wal: AtomicU64,
+    /// `/cluster/*` scatter-gather requests.
+    pub cluster: AtomicU64,
     /// Everything else (404s, debug endpoints).
     pub other: AtomicU64,
 }
@@ -138,6 +160,17 @@ pub struct Metrics {
     /// Size-triggered checkpoints that failed (the mutation itself was
     /// already durable; the WAL simply keeps growing until the next try).
     pub ingest_checkpoint_errors: AtomicU64,
+    /// WAL suffixes this node pulled from its primary (followers only).
+    pub replication_pulls: AtomicU64,
+    /// Logical ops applied from pulled WAL images (followers only).
+    pub replication_records: AtomicU64,
+    /// Failed pulls or rejected images (gap, lsn discontinuity, apply
+    /// error). Torn transfers are *not* errors — the scanner just yields
+    /// the committed prefix and the next pull resumes.
+    pub replication_errors: AtomicU64,
+    /// Reads answered 403 because this replica's applied LSN was behind
+    /// the request's `min_lsn` watermark.
+    pub stale_rejects: AtomicU64,
     /// Result-cache hits.
     pub cache_hits: AtomicU64,
     /// Result-cache misses.
@@ -169,6 +202,10 @@ impl Metrics {
             ingest_removes: AtomicU64::new(0),
             ingest_checkpoints: AtomicU64::new(0),
             ingest_checkpoint_errors: AtomicU64::new(0),
+            replication_pulls: AtomicU64::new(0),
+            replication_records: AtomicU64::new(0),
+            replication_errors: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
@@ -205,10 +242,11 @@ impl Metrics {
                 "\"rejected_shutdown\":{},",
                 "\"deadline_expired\":{},",
                 "\"ingest\":{{\"inserts\":{},\"removes\":{},\"checkpoints\":{},\"checkpoint_errors\":{}}},",
+                "\"replication\":{{\"pulls\":{},\"records\":{},\"errors\":{},\"stale_rejects\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"queue\":{{\"depth\":{},\"wait\":{}}},",
                 "\"workers\":{{\"busy\":{},\"total\":{},\"utilization\":{:.3}}},",
-                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"documents\":{},\"health\":{},\"metrics\":{},\"explain\":{},\"other\":{}}},",
+                "\"endpoints\":{{\"search\":{},\"phrase\":{},\"batch\":{},\"query\":{},\"documents\":{},\"health\":{},\"metrics\":{},\"explain\":{},\"wal\":{},\"cluster\":{},\"other\":{}}},",
                 "\"latency\":{}}}"
             ),
             load(&self.requests_total),
@@ -224,6 +262,10 @@ impl Metrics {
             load(&self.ingest_removes),
             load(&self.ingest_checkpoints),
             load(&self.ingest_checkpoint_errors),
+            load(&self.replication_pulls),
+            load(&self.replication_records),
+            load(&self.replication_errors),
+            load(&self.stale_rejects),
             load(&self.cache_hits),
             load(&self.cache_misses),
             self.queue_depth.load(Ordering::Relaxed),
@@ -239,6 +281,8 @@ impl Metrics {
             load(&self.endpoints.health),
             load(&self.endpoints.metrics),
             load(&self.endpoints.explain),
+            load(&self.endpoints.wal),
+            load(&self.endpoints.cluster),
             load(&self.endpoints.other),
             self.latency.to_json(),
         )
@@ -278,6 +322,19 @@ mod tests {
         h.record(Duration::from_secs(1 << 50));
         assert_eq!(h.count(), 2);
         assert!(h.quantile_micros(1.0) > 0);
+    }
+
+    #[test]
+    fn histogram_json_exposes_raw_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(100));
+        let json = h.to_json();
+        assert!(json.contains("\"buckets\":["), "{json}");
+        assert!(json.contains("\"sum_us\":200"), "{json}");
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 2);
+        // 100 µs lands in bucket 6 ([64, 128)).
+        assert_eq!(h.bucket_counts()[6], 2);
     }
 
     #[test]

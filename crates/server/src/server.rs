@@ -5,7 +5,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -23,6 +23,36 @@ use crate::render;
 
 /// Most queries accepted in one `/search/batch` request.
 pub const MAX_BATCH_QUERIES: usize = 512;
+
+/// Largest WAL image one `/wal` response ships (frames are never split,
+/// so a single oversized frame still goes through whole).
+pub const WAL_PULL_MAX_BYTES: u64 = 4 * 1024 * 1024;
+
+/// What this node is in a cluster (reported by `/health`, enforced on the
+/// write path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// A single-node server — the pre-cluster behavior, writes allowed
+    /// when a durable directory is attached.
+    Standalone,
+    /// A shard primary: accepts writes, retains its WAL, and serves
+    /// `/wal` suffixes to followers.
+    Primary,
+    /// A read replica: applies its primary's WAL stream; direct writes
+    /// answer 403.
+    Follower,
+}
+
+impl ServerRole {
+    /// The `/health` string for this role.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServerRole::Standalone => "standalone",
+            ServerRole::Primary => "primary",
+            ServerRole::Follower => "follower",
+        }
+    }
+}
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +119,27 @@ struct Shared {
     default_deadline: Duration,
     debug_endpoints: bool,
     shutdown: AtomicBool,
+    role: ServerRole,
+    /// The last applied LSN, mirrored out of the ingest engine so read
+    /// paths (`/health`, `min_lsn` gating) never contend on the ingest
+    /// mutex. Updated after every mutation/replicated apply, while the
+    /// ingest mutex is still held — so it never runs ahead of the engine.
+    applied_lsn: AtomicU64,
+    /// Mirror of [`Ingest::checkpoint_seq`], same discipline.
+    checkpoint_seq: AtomicU64,
+    /// Mirror of [`Ingest::wal_len`], same discipline.
+    wal_len: AtomicU64,
+}
+
+impl Shared {
+    /// Refresh the lock-free mirrors from the engine. Call with the
+    /// ingest mutex held (right after a mutation, apply, or checkpoint).
+    fn publish_ingest_state(&self, ingest: &Ingest) {
+        self.applied_lsn.store(ingest.last_lsn(), Ordering::SeqCst);
+        self.checkpoint_seq
+            .store(ingest.checkpoint_seq(), Ordering::SeqCst);
+        self.wal_len.store(ingest.wal_len(), Ordering::SeqCst);
+    }
 }
 
 /// A running query server. Dropping the handle detaches the threads; call
@@ -99,6 +150,7 @@ pub struct Server {
     shared: Arc<Shared>,
     listener_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    replication_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -106,7 +158,7 @@ impl Server {
     /// has not. Returns once the listener and worker pool are running.
     /// The server is read-only: `POST`/`DELETE /documents` answer 403.
     pub fn start(db: Database, config: ServerConfig) -> std::io::Result<Server> {
-        Server::start_inner(db, None, config)
+        Server::start_inner(db, None, ServerRole::Standalone, None, config)
     }
 
     /// Open (or create) the durable ingestion directory at `dir` — store +
@@ -117,12 +169,46 @@ impl Server {
     pub fn start_live(dir: impl Into<PathBuf>, config: ServerConfig) -> std::io::Result<Server> {
         let (ingest, db) =
             Ingest::open(dir, IngestOptions::default()).map_err(std::io::Error::other)?;
-        Server::start_inner(db, Some(ingest), config)
+        Server::start_inner(db, Some(ingest), ServerRole::Standalone, None, config)
+    }
+
+    /// [`Server::start_live`] as a **shard primary**: the WAL is retained
+    /// across checkpoints so `GET /wal?from_lsn=` can serve any suffix of
+    /// the op history to followers.
+    pub fn start_primary(dir: impl Into<PathBuf>, config: ServerConfig) -> std::io::Result<Server> {
+        let options = IngestOptions {
+            retain_wal: true,
+            ..IngestOptions::default()
+        };
+        let (ingest, db) = Ingest::open(dir, options).map_err(std::io::Error::other)?;
+        Server::start_inner(db, Some(ingest), ServerRole::Primary, None, config)
+    }
+
+    /// Start a **follower replica** over its own durable directory.
+    /// Direct writes answer 403; state arrives by pulling the primary's
+    /// `/wal?from_lsn=` endpoint and applying each frame through the
+    /// follower's own WAL + incremental-maintenance pipeline (so the
+    /// follower is itself crash-safe and could be promoted). With
+    /// `primary: None` no pull loop runs — tests drive replication by
+    /// hand through [`Server::apply_wal_image`].
+    pub fn start_follower(
+        dir: impl Into<PathBuf>,
+        primary: Option<String>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let options = IngestOptions {
+            retain_wal: true,
+            ..IngestOptions::default()
+        };
+        let (ingest, db) = Ingest::open(dir, options).map_err(std::io::Error::other)?;
+        Server::start_inner(db, Some(ingest), ServerRole::Follower, primary, config)
     }
 
     fn start_inner(
         mut db: Database,
         ingest: Option<Ingest>,
+        role: ServerRole,
+        primary: Option<String>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         if !db.has_index() {
@@ -132,6 +218,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let (applied_lsn, checkpoint_seq, wal_len) = ingest
+            .as_ref()
+            .map(|i| (i.last_lsn(), i.checkpoint_seq(), i.wal_len()))
+            .unwrap_or((0, 0, 0));
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
             ingest: ingest.map(Mutex::new),
@@ -144,6 +234,10 @@ impl Server {
             default_deadline: Duration::from_millis(config.default_deadline_ms.max(1)),
             debug_endpoints: config.debug_endpoints,
             shutdown: AtomicBool::new(false),
+            role,
+            applied_lsn: AtomicU64::new(applied_lsn),
+            checkpoint_seq: AtomicU64::new(checkpoint_seq),
+            wal_len: AtomicU64::new(wal_len),
         });
 
         let mut worker_threads = Vec::with_capacity(workers);
@@ -153,12 +247,17 @@ impl Server {
         }
         let accept_shared = Arc::clone(&shared);
         let listener_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        let replication_thread = primary.map(|primary| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || replication_loop(&shared, &primary))
+        });
 
         Ok(Server {
             addr,
             shared,
             listener_thread: Some(listener_thread),
             worker_threads,
+            replication_thread,
         })
     }
 
@@ -170,6 +269,30 @@ impl Server {
     /// The current `/metrics` document, without a request.
     pub fn metrics_json(&self) -> String {
         self.shared.metrics.to_json()
+    }
+
+    /// This node's role.
+    pub fn role(&self) -> ServerRole {
+        self.shared.role
+    }
+
+    /// The last applied LSN (0 for a read-only in-memory server).
+    pub fn applied_lsn(&self) -> u64 {
+        self.shared.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Apply a pulled WAL image (header + CRC frames) to this node —
+    /// the follower's replication step, exposed so tests can inject
+    /// hand-built (including deliberately corrupted) transfer payloads.
+    /// Returns the number of newly applied records.
+    ///
+    /// The image is run through the same prefix-durability scanner as a
+    /// local WAL file: a torn or bit-flipped tail yields only the
+    /// committed prefix, so a corrupt frame is never applied. Frames at
+    /// or below the applied LSN are skipped (pull overlap is harmless);
+    /// a frame that skips past `applied + 1` is a hard error.
+    pub fn apply_wal_image(&self, bytes: &[u8]) -> Result<u64, String> {
+        apply_wal_image(&self.shared, bytes)
     }
 
     /// Mutate the database (e.g. load fresh documents and rebuild the
@@ -194,6 +317,9 @@ impl Server {
         // the remaining jobs and exit.
         self.shared.queue.close();
         for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.replication_thread.take() {
             let _ = handle.join();
         }
     }
@@ -295,6 +421,107 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// The follower's pull loop: ask the primary for the WAL suffix past our
+/// applied LSN, apply it, repeat — immediately while catching up, with a
+/// short idle sleep once level. Every failure (unreachable primary, gap,
+/// bad image) is counted and retried after a backoff; the loop only exits
+/// at shutdown.
+fn replication_loop(shared: &Arc<Shared>, primary: &str) {
+    const IDLE: Duration = Duration::from_millis(25);
+    const BACKOFF: Duration = Duration::from_millis(250);
+    const PULL_TIMEOUT: Duration = Duration::from_secs(5);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let from = shared.applied_lsn.load(Ordering::SeqCst);
+        let path = format!("/wal?from_lsn={from}&max_bytes={WAL_PULL_MAX_BYTES}");
+        let pulled = http::client_request(primary, "GET", &path, &[], PULL_TIMEOUT);
+        let pause = match pulled {
+            Ok((200, bytes)) => {
+                shared
+                    .metrics
+                    .replication_pulls
+                    .fetch_add(1, Ordering::Relaxed);
+                match apply_wal_image(shared, &bytes) {
+                    Ok(applied) if applied > 0 => Duration::ZERO,
+                    Ok(_) => IDLE,
+                    Err(_) => {
+                        shared
+                            .metrics
+                            .replication_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        BACKOFF
+                    }
+                }
+            }
+            Ok(_) | Err(_) => {
+                shared
+                    .metrics
+                    .replication_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                BACKOFF
+            }
+        };
+        // Sleep in small slices so shutdown stays responsive.
+        let mut left = pause;
+        while !left.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = left.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+}
+
+/// Apply one pulled WAL image under the single-writer discipline. See
+/// [`Server::apply_wal_image`] for the contract.
+fn apply_wal_image(shared: &Shared, bytes: &[u8]) -> Result<u64, String> {
+    let Some(ingest_lock) = &shared.ingest else {
+        return Err("read-only server cannot apply replicated writes".to_string());
+    };
+    // Torn transfers are not errors: the scanner returns the committed
+    // prefix and the next pull re-requests the rest. Only a mangled
+    // header fails outright.
+    let scan = tix_ingest::scan_bytes(bytes).map_err(|e| format!("bad WAL image: {e}"))?;
+    let mut ingest = lock_ingest(ingest_lock);
+    let mut db = write_lock(&shared.db);
+    let mut applied = 0u64;
+    for entry in scan.entries {
+        let last = ingest.last_lsn();
+        if entry.lsn <= last {
+            continue;
+        }
+        if entry.lsn != last + 1 {
+            shared.publish_ingest_state(&ingest);
+            return Err(format!(
+                "lsn discontinuity: image jumps to {} with {} applied",
+                entry.lsn, last
+            ));
+        }
+        let result = match &entry.record {
+            tix_ingest::WalRecord::AddDocument { name, xml } => ingest
+                .insert_document(&mut db, name, xml)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            tix_ingest::WalRecord::RemoveDocument { name } => ingest
+                .remove_document(&mut db, name)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        };
+        if let Err(e) = result {
+            shared.publish_ingest_state(&ingest);
+            return Err(format!("apply of lsn {} failed: {e}", entry.lsn));
+        }
+        applied += 1;
+    }
+    if applied > 0 {
+        shared
+            .metrics
+            .replication_records
+            .fetch_add(applied, Ordering::Relaxed);
+        let _ = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+    }
+    shared.publish_ingest_state(&ingest);
+    Ok(applied)
+}
+
 fn handle_connection(shared: &Shared, job: Job) {
     let Job { stream, admitted } = job;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
@@ -365,6 +592,15 @@ fn min_score_bits(min_score: Option<f64>) -> u64 {
     min_score.map_or(u64::MAX, f64::to_bits)
 }
 
+fn parse_u64(request: &Request, name: &str, default: u64) -> Result<u64, Response> {
+    match request.query_param(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("bad {name} {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
 fn parse_usize(request: &Request, name: &str, default: usize) -> Result<usize, Response> {
     match request.query_param(name) {
         Some(raw) => raw
@@ -390,6 +626,21 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
     let bump = |c: &std::sync::atomic::AtomicU64| {
         c.fetch_add(1, Ordering::Relaxed);
     };
+    // LSN-watermark gating: a read carrying `min_lsn=N` must see state at
+    // least that fresh. A behind replica answers 403 so the coordinator
+    // retries elsewhere (ultimately the primary) instead of serving a
+    // stale — potentially divergent — result.
+    if matches!(
+        (request.method.as_str(), request.path.as_str()),
+        (
+            "GET",
+            "/search" | "/phrase" | "/cluster/search" | "/cluster/phrase"
+        ) | ("POST", "/search/batch" | "/query")
+    ) {
+        if let Some(response) = stale_reject(shared, request) {
+            return response;
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
             bump(&counters.health);
@@ -411,6 +662,18 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             bump(&counters.explain);
             handle_explain(shared, request)
         }
+        ("GET", "/wal") => {
+            bump(&counters.wal);
+            handle_wal(shared, request)
+        }
+        ("GET", "/cluster/search") => {
+            bump(&counters.cluster);
+            handle_cluster_search(shared, request, deadline)
+        }
+        ("GET", "/cluster/phrase") => {
+            bump(&counters.cluster);
+            handle_cluster_phrase(shared, request, deadline)
+        }
         ("POST", "/search/batch") => {
             bump(&counters.batch);
             handle_batch(shared, request, deadline)
@@ -428,15 +691,23 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
             let name = path.strip_prefix("/documents/").unwrap_or("");
             handle_remove_document(shared, name)
         }
+        ("POST", "/admin/checkpoint") => {
+            bump(&counters.other);
+            handle_admin_checkpoint(shared)
+        }
         ("GET", "/debug/sleep") if shared.debug_endpoints => {
             bump(&counters.other);
             handle_sleep(request, deadline)
         }
-        (_, "/health" | "/metrics" | "/search" | "/phrase" | "/explain") => {
+        (
+            _,
+            "/health" | "/metrics" | "/search" | "/phrase" | "/explain" | "/wal"
+            | "/cluster/search" | "/cluster/phrase",
+        ) => {
             bump(&counters.other);
             Response::error(405, "method not allowed").with_header("Allow", "GET".to_string())
         }
-        (_, "/search/batch" | "/query" | "/documents") => {
+        (_, "/search/batch" | "/query" | "/documents" | "/admin/checkpoint") => {
             bump(&counters.other);
             Response::error(405, "method not allowed").with_header("Allow", "POST".to_string())
         }
@@ -456,11 +727,202 @@ fn handle_health(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"docs\":{},\"nodes\":{},\"generation\":{},\"workers\":{}}}",
+            "{{\"status\":\"ok\",\"role\":\"{}\",\"docs\":{},\"nodes\":{},\"generation\":{},\"applied_lsn\":{},\"checkpoint_seq\":{},\"wal_len\":{},\"workers\":{}}}",
+            shared.role.as_str(),
             db.store().doc_count(),
             db.store().node_count(),
             db.generation(),
+            shared.applied_lsn.load(Ordering::SeqCst),
+            shared.checkpoint_seq.load(Ordering::SeqCst),
+            shared.wal_len.load(Ordering::SeqCst),
             shared.metrics.workers_total
+        ),
+    )
+}
+
+/// Evaluate the `min_lsn` watermark for a read. `Some(403)` when this
+/// node has not yet applied the required LSN.
+fn stale_reject(shared: &Shared, request: &Request) -> Option<Response> {
+    let raw = request.query_param("min_lsn")?;
+    let Ok(min_lsn) = raw.parse::<u64>() else {
+        return Some(Response::error(400, &format!("bad min_lsn {raw:?}")));
+    };
+    let applied = shared.applied_lsn.load(Ordering::SeqCst);
+    if applied >= min_lsn {
+        return None;
+    }
+    shared.metrics.stale_rejects.fetch_add(1, Ordering::Relaxed);
+    Some(Response::json(
+        403,
+        format!(
+            "{{\"error\":\"replica behind watermark\",\"applied_lsn\":{applied},\"min_lsn\":{min_lsn},\"role\":\"{}\"}}",
+            shared.role.as_str()
+        ),
+    ))
+}
+
+/// `GET /wal?from_lsn=N[&max_bytes=M]` — the replication feed: a binary
+/// WAL image holding the committed frames strictly after `N`, capped
+/// near `M` bytes but never splitting a frame. 410 with the earliest
+/// servable LSN when the suffix was checkpointed away (the follower must
+/// resync), 403 on a server without a durable directory.
+fn handle_wal(shared: &Shared, request: &Request) -> Response {
+    let Some(ingest_lock) = &shared.ingest else {
+        return Response::error(403, "read-only server has no WAL");
+    };
+    let from_lsn = match parse_u64(request, "from_lsn", 0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let max_bytes = match parse_u64(request, "max_bytes", WAL_PULL_MAX_BYTES) {
+        Ok(v) => v.min(WAL_PULL_MAX_BYTES),
+        Err(response) => return response,
+    };
+    let ingest = lock_ingest(ingest_lock);
+    match ingest.wal_suffix(from_lsn, max_bytes) {
+        Ok(image) => Response::binary(200, image),
+        Err(IngestError::WalGap {
+            requested,
+            earliest,
+        }) => Response::json(
+            410,
+            format!("{{\"error\":\"wal gap\",\"requested\":{requested},\"earliest\":{earliest}}}"),
+        ),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /admin/checkpoint` — force a checkpoint now (the cluster CLI and
+/// the differential harness use this to exercise checkpoint interleavings
+/// without waiting for the size trigger).
+fn handle_admin_checkpoint(shared: &Shared) -> Response {
+    let Some(ingest_lock) = &shared.ingest else {
+        return Response::error(403, "read-only server has nothing to checkpoint");
+    };
+    let mut ingest = lock_ingest(ingest_lock);
+    let mut db = write_lock(&shared.db);
+    match ingest.checkpoint(&mut db) {
+        Ok(seq) => {
+            shared
+                .metrics
+                .ingest_checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+            shared.publish_ingest_state(&ingest);
+            Response::json(
+                200,
+                format!("{{\"checkpoint\":{seq},\"lsn\":{}}}", ingest.last_lsn()),
+            )
+        }
+        Err(e) => {
+            shared
+                .metrics
+                .ingest_checkpoint_errors
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(500, &e.to_string())
+        }
+    }
+}
+
+/// `GET /cluster/search?q=…&k=…` — the scatter-gather shard endpoint:
+/// top-k **with ties** plus the exclusive §4.2 bound on withheld scores,
+/// every score as raw `f64` bits, and results addressed by document
+/// *name* + node index (both shard-layout-independent, unlike `DocId`).
+fn handle_cluster_search(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let terms = match terms_of(request) {
+        Ok(terms) => terms,
+        Err(response) => return response,
+    };
+    let k = match parse_usize(request, "k", 10) {
+        Ok(k) => k,
+        Err(response) => return response,
+    };
+    let pick = match pick_params(request) {
+        Ok(pick) => pick,
+        Err(response) => return response,
+    };
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let db = read_lock(&shared.db);
+    let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    let (results, bound) = db.search_with_ties(&term_refs, pick, k);
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let items: Vec<String> = results
+        .iter()
+        .map(|s| {
+            let store = db.store();
+            let snippet: String = store
+                .text_content(s.node)
+                .chars()
+                .take(render::SNIPPET_CHARS)
+                .collect();
+            format!(
+                "{{\"name\":{},\"node_idx\":{},\"score_bits\":{},\"tag\":{},\"text\":{}}}",
+                render::json_string(store.doc(s.node.doc).name()),
+                s.node.node.0,
+                s.score.to_bits(),
+                store
+                    .tag_name(s.node)
+                    .map(render::json_string)
+                    .unwrap_or_else(|| "null".to_string()),
+                render::json_string(&snippet)
+            )
+        })
+        .collect();
+    let bound_bits = bound.map_or("null".to_string(), |b| b.to_bits().to_string());
+    Response::json(
+        200,
+        format!(
+            "{{\"generation\":{},\"applied_lsn\":{},\"count\":{},\"bound_bits\":{bound_bits},\"results\":[{}]}}",
+            db.generation(),
+            shared.applied_lsn.load(Ordering::SeqCst),
+            items.len(),
+            items.join(",")
+        ),
+    )
+}
+
+/// `GET /cluster/phrase?q=…` — shard endpoint for phrase scatter-gather:
+/// every match (phrase results are not top-k), occurrence counts as raw
+/// score bits, addressed by name + node index.
+fn handle_cluster_phrase(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let terms = match terms_of(request) {
+        Ok(terms) => terms,
+        Err(response) => return response,
+    };
+    if terms.len() < 2 {
+        return Response::error(400, "phrase needs at least two terms");
+    }
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let db = read_lock(&shared.db);
+    let term_refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    let matches = db.find_phrase(&term_refs);
+    if expired(deadline) {
+        return Response::error(504, "deadline exceeded");
+    }
+    let items: Vec<String> = matches
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\":{},\"node_idx\":{},\"occ_bits\":{}}}",
+                render::json_string(db.store().doc(m.node.doc).name()),
+                m.node.node.0,
+                m.score.to_bits()
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"generation\":{},\"applied_lsn\":{},\"count\":{},\"results\":[{}]}}",
+            db.generation(),
+            shared.applied_lsn.load(Ordering::SeqCst),
+            items.len(),
+            items.join(",")
         ),
     )
 }
@@ -717,6 +1179,9 @@ fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
     let Some(ingest_lock) = &shared.ingest else {
         return Response::error(403, "read-only server: ingestion needs a durable directory");
     };
+    if shared.role == ServerRole::Follower {
+        return Response::error(403, "follower replica: writes go to the primary");
+    }
     let Some(name) = request.query_param("name") else {
         return Response::error(400, "missing name parameter");
     };
@@ -740,6 +1205,7 @@ fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
                 .ingest_inserts
                 .fetch_add(1, Ordering::Relaxed);
             let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+            shared.publish_ingest_state(&ingest);
             Response::json(
                 201,
                 mutation_body(
@@ -767,6 +1233,9 @@ fn handle_remove_document(shared: &Shared, name: &str) -> Response {
     let Some(ingest_lock) = &shared.ingest else {
         return Response::error(403, "read-only server: ingestion needs a durable directory");
     };
+    if shared.role == ServerRole::Follower {
+        return Response::error(403, "follower replica: writes go to the primary");
+    }
     if name.is_empty() {
         return Response::error(400, "missing document name in path");
     }
@@ -779,6 +1248,7 @@ fn handle_remove_document(shared: &Shared, name: &str) -> Response {
                 .ingest_removes
                 .fetch_add(1, Ordering::Relaxed);
             let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+            shared.publish_ingest_state(&ingest);
             Response::json(
                 200,
                 mutation_body(

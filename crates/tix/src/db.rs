@@ -378,6 +378,41 @@ impl Database {
         self.search_planned(&normalized, pick, k, min_score, cancelled, self.threads)
     }
 
+    /// [`Database::search`] variant for the cluster's scatter-gather
+    /// merge: the top `k` results **with ties** — every result whose
+    /// score ties the k-th is included, so truncation never splits a tie
+    /// — plus an *exclusive* upper bound on the scores it withheld
+    /// (`None` when nothing was withheld).
+    ///
+    /// The bound is exactly the k-th score: all k-th-score ties are
+    /// returned, so every hidden score is strictly below it. A
+    /// coordinator merging per-shard responses proves its global top-k
+    /// exact against these bounds with
+    /// [`tix_invariants::try_scatter_merge_bound`]. `k == 0` is treated
+    /// as `k == 1` (no finite exclusive bound covers "everything
+    /// withheld").
+    pub fn search_with_ties(
+        &self,
+        terms: &[&str],
+        pick: PickParams,
+        k: usize,
+    ) -> (Vec<ScoredNode>, Option<f64>) {
+        let k = k.max(1);
+        let all = self.search(terms, pick, usize::MAX);
+        if all.len() <= k {
+            return (all, None);
+        }
+        let kth = all[k - 1].score;
+        // Sorted descending, so `score >= kth` is a prefix.
+        let cut = all.partition_point(|s| s.score >= kth);
+        if cut >= all.len() {
+            return (all, None);
+        }
+        let mut kept = all;
+        kept.truncate(cut);
+        (kept, Some(kth))
+    }
+
     /// The planner's decision for a search, without executing it: every
     /// candidate plan with its cost estimate, and the chosen one.
     pub fn plan(
@@ -764,6 +799,38 @@ mod tests {
             db.search_filtered(&["rust"], pick, 100, None, &|| false)
                 .unwrap(),
             all
+        );
+    }
+
+    #[test]
+    fn search_with_ties_never_splits_a_tie_and_bounds_the_rest() {
+        let db = multi_doc_db();
+        let pick = PickParams {
+            relevance_threshold: 1.0,
+            fraction: 0.5,
+        };
+        let all = db.search(&["rust"], pick, usize::MAX);
+        assert!(all.len() >= 3, "need a multi-result corpus");
+        for k in 1..=all.len() + 1 {
+            let (kept, bound) = db.search_with_ties(&["rust"], pick, k);
+            // The kept prefix is exactly the full ranking's head.
+            assert_eq!(kept[..], all[..kept.len()]);
+            assert!(kept.len() >= k.min(all.len()));
+            match bound {
+                None => assert_eq!(kept.len(), all.len()),
+                Some(b) => {
+                    // Exclusive: every withheld score is strictly below,
+                    // every kept score at least b.
+                    assert!(kept.iter().all(|s| s.score >= b));
+                    assert!(all[kept.len()..].iter().all(|s| s.score < b));
+                    tix_invariants::assert_scatter_merge_bound(kept[k - 1].score, [Some(b)]);
+                }
+            }
+        }
+        // k == 0 behaves as k == 1.
+        assert_eq!(
+            db.search_with_ties(&["rust"], pick, 0),
+            db.search_with_ties(&["rust"], pick, 1)
         );
     }
 
