@@ -22,11 +22,13 @@
 //! ingest) as the result.
 
 use std::fmt::Write as _;
+use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
 use tix_corpus::{CorpusSpec, Generator, PlantSpec};
 use tix_index::InvertedIndex;
-use tix_ingest::{Ingest, IngestOptions};
+use tix_ingest::{CommitStats, DurabilityMode, Ingest, IngestOptions};
+use tix_parallel::parallel_map;
 use tix_server::metrics::LatencyHistogram;
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -56,7 +58,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // Phase 1: ingest the whole corpus, one WAL-committed insert at a time.
-    let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).expect("open dir");
+    let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).expect("open dir");
     let insert_latency = LatencyHistogram::default();
     let ingest_started = Instant::now();
     for (name, xml) in &docs {
@@ -120,6 +122,30 @@ fn main() {
         "recovery restores all docs"
     );
 
+    // Phase 5: durability modes under concurrency. A Strict single-writer
+    // baseline (one fsync per document, no batching opportunity), then
+    // Strict/Batched/Flush with concurrent clients staging under a shared
+    // write lock and riding group commit. On a single shared core the
+    // clients interleave rather than truly overlap, but commits still
+    // queue behind one leader, so the fsync amortization is real.
+    let clients: usize = env_parse("TIX_INGEST_CLIENTS", 8).max(2);
+    let strict_1 = durability_run(&docs, DurabilityMode::Strict, 1);
+    let strict_n = durability_run(&docs, DurabilityMode::Strict, clients);
+    let batched_n = durability_run(
+        &docs,
+        DurabilityMode::Batched {
+            max_delay: Duration::from_millis(5),
+        },
+        clients,
+    );
+    let flush_n = durability_run(&docs, DurabilityMode::Flush, clients);
+    let mode_runs = [
+        ("strict", 1usize, &strict_1),
+        ("strict", clients, &strict_n),
+        ("batched:5", clients, &batched_n),
+        ("flush", clients, &flush_n),
+    ];
+
     let docs_per_s = articles as f64 / ingest_wall.as_secs_f64().max(1e-9);
     let mb_per_s = xml_bytes as f64 / 1e6 / ingest_wall.as_secs_f64().max(1e-9);
     let speedup = rebuild.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
@@ -147,6 +173,23 @@ fn main() {
         us(recovery)
     );
     println!("| replay (records/s) | {replay_per_s:.1} |");
+
+    println!("\n## Durability modes ({articles} docs, group commit)\n");
+    println!("| mode | clients | docs/s | fsyncs | fsyncs saved | max batch | stall (µs) |");
+    println!("|---|---:|---:|---:|---:|---:|---:|");
+    for (mode, n, run) in &mode_runs {
+        println!(
+            "| {mode} | {n} | {:.1} | {} | {} | {} | {} |",
+            run.docs_per_s(articles),
+            run.stats.fsyncs,
+            run.stats.fsyncs_saved(),
+            run.stats.max_batch_frames,
+            run.stats.checkpoint_stall_us
+        );
+    }
+    let group_commit_speedup =
+        batched_n.docs_per_s(articles) / strict_1.docs_per_s(articles).max(1e-9);
+    println!("\ngroup commit (batched, {clients} clients) vs strict single-writer: {group_commit_speedup:.1}×");
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"experiment\": \"ingest\",").unwrap();
@@ -181,7 +224,33 @@ fn main() {
     writeln!(json, "  \"checkpoint_us\": {},", us(checkpoint)).unwrap();
     writeln!(json, "  \"recovery_records\": {replay_records},").unwrap();
     writeln!(json, "  \"recovery_us\": {},", us(recovery)).unwrap();
-    writeln!(json, "  \"replay_records_per_s\": {replay_per_s:.2}").unwrap();
+    writeln!(json, "  \"replay_records_per_s\": {replay_per_s:.2},").unwrap();
+    writeln!(json, "  \"durability\": {{").unwrap();
+    writeln!(json, "    \"clients\": {clients},").unwrap();
+    writeln!(
+        json,
+        "    \"group_commit_speedup_vs_strict_single\": {group_commit_speedup:.2},"
+    )
+    .unwrap();
+    writeln!(json, "    \"runs\": [").unwrap();
+    for (i, (mode, n, run)) in mode_runs.iter().enumerate() {
+        let comma = if i + 1 < mode_runs.len() { "," } else { "" };
+        writeln!(
+            json,
+            "      {{ \"mode\": \"{mode}\", \"clients\": {n}, \"wall_s\": {:.4}, \"docs_per_s\": {:.2}, \"batches\": {}, \"frames\": {}, \"fsyncs\": {}, \"fsyncs_saved\": {}, \"max_batch_frames\": {}, \"checkpoint_stall_us\": {} }}{comma}",
+            run.wall.as_secs_f64(),
+            run.docs_per_s(articles),
+            run.stats.batches,
+            run.stats.frames,
+            run.stats.fsyncs,
+            run.stats.fsyncs_saved(),
+            run.stats.max_batch_frames,
+            run.stats.checkpoint_stall_us
+        )
+        .unwrap();
+    }
+    writeln!(json, "    ]").unwrap();
+    writeln!(json, "  }}").unwrap();
     json.push_str("}\n");
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
@@ -192,4 +261,63 @@ fn main() {
 
 fn us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One durability-mode ingest run: wall time and commit-pipeline stats.
+struct ModeRun {
+    wall: Duration,
+    stats: CommitStats,
+}
+
+impl ModeRun {
+    fn docs_per_s(&self, docs: usize) -> f64 {
+        docs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Ingest the whole corpus into a fresh directory under `mode`. With one
+/// client this is the classic apply+commit loop; with several, clients
+/// stage under a shared write lock and commit with no lock held, so
+/// concurrent commits coalesce into one leader's batch. A final `flush`
+/// is included in the wall time so every mode pays for full durability
+/// before the clock stops.
+fn durability_run(docs: &[(String, String)], mode: DurabilityMode, clients: usize) -> ModeRun {
+    let dir = std::env::temp_dir().join(format!(
+        "tix-bench-ingest-{}-{clients}",
+        mode.to_string().replace(':', "-")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = IngestOptions {
+        durability: mode,
+        ..IngestOptions::default()
+    };
+    let (ingest, db) = Ingest::open(&dir, options).expect("open mode dir");
+    let started = Instant::now();
+    if clients <= 1 {
+        let mut db = db;
+        for (name, xml) in docs {
+            ingest
+                .insert_document(&mut db, name, xml)
+                .expect("insert succeeds");
+        }
+        ingest.flush().expect("flush succeeds");
+    } else {
+        let db = RwLock::new(db);
+        let indices: Vec<usize> = (0..docs.len()).collect();
+        parallel_map(&indices, clients, |&i| {
+            let (name, xml) = &docs[i];
+            let staged = {
+                let mut db = db.write().expect("db lock");
+                ingest.stage_insert(&mut db, name, xml)
+            };
+            let (_, ticket) = staged.expect("stage succeeds");
+            ingest.commit(ticket).expect("commit succeeds");
+        });
+        ingest.flush().expect("flush succeeds");
+    }
+    let wall = started.elapsed();
+    let stats = ingest.commit_stats();
+    drop(ingest);
+    let _ = std::fs::remove_dir_all(&dir);
+    ModeRun { wall, stats }
 }

@@ -237,9 +237,8 @@ mod commands {
     /// way the record is fsynced to the log before it applies, and an
     /// oversized log is checkpointed away before the command returns.
     pub fn ingest(dir: &str, action: &str, rest: &[String]) -> Result<String, String> {
-        let (mut ingest, mut db) =
-            tix_ingest::Ingest::open(dir, tix_ingest::IngestOptions::default())
-                .map_err(|e| format!("cannot open ingest dir {dir}: {e}"))?;
+        let (ingest, mut db) = tix_ingest::Ingest::open(dir, tix_ingest::IngestOptions::default())
+            .map_err(|e| format!("cannot open ingest dir {dir}: {e}"))?;
         let summary = match action {
             "add" => {
                 let name = rest.first().ok_or("ingest add: document name required")?;
@@ -275,9 +274,8 @@ mod commands {
     /// Force a checkpoint of a durable ingestion directory: write fresh
     /// store+index snapshots, commit the CHECKPOINT meta, truncate the WAL.
     pub fn checkpoint(dir: &str) -> Result<String, String> {
-        let (mut ingest, mut db) =
-            tix_ingest::Ingest::open(dir, tix_ingest::IngestOptions::default())
-                .map_err(|e| format!("cannot open ingest dir {dir}: {e}"))?;
+        let (ingest, mut db) = tix_ingest::Ingest::open(dir, tix_ingest::IngestOptions::default())
+            .map_err(|e| format!("cannot open ingest dir {dir}: {e}"))?;
         let seq = ingest
             .checkpoint(&mut db)
             .map_err(|e| format!("checkpoint failed: {e}"))?;
@@ -339,6 +337,7 @@ mod commands {
         coordinator: bool,
         addr: Option<&str>,
         workers: Option<usize>,
+        durability: Option<tix_ingest::DurabilityMode>,
     ) -> Result<String, String> {
         let topology = tix_cluster::Topology::load(dir).map_err(|e| e.to_string())?;
         let config_for = |listen: &str| {
@@ -348,6 +347,9 @@ mod commands {
             };
             if let Some(workers) = workers {
                 config.workers = workers;
+            }
+            if let Some(durability) = durability {
+                config.durability = durability;
             }
             config
         };
@@ -445,7 +447,7 @@ mod commands {
         let topology = tix_cluster::Topology::load(dir).map_err(|e| e.to_string())?;
         let timeout = std::time::Duration::from_secs(2);
         let mut out = format!(
-            "{} shard(s), {} node(s)\n{:<6} {:<9} {:<21} {:<6} {:>6} {:>11} {:>5}\n",
+            "{} shard(s), {} node(s)\n{:<6} {:<9} {:<21} {:<6} {:>6} {:>11} {:>11} {:>5} {:<10} {:<5}\n",
             topology.shard_count(),
             topology.all_nodes().len(),
             "shard",
@@ -454,9 +456,13 @@ mod commands {
             "state",
             "docs",
             "applied_lsn",
-            "ckpt"
+            "durable_lsn",
+            "ckpt",
+            "durability",
+            "ckpt-health"
         );
         let mut down = 0usize;
+        let mut degraded_nodes = 0usize;
         for (shard, addr, is_primary) in topology.all_nodes() {
             let role = if is_primary { "primary" } else { "replica" };
             match tix_cluster::client::get(addr, "/health", timeout) {
@@ -467,12 +473,27 @@ mod commands {
                             .and_then(tix_cluster::Json::u64)
                             .map_or_else(|| "?".to_string(), |v| v.to_string())
                     };
+                    let durability = doc
+                        .get("durability")
+                        .and_then(tix_cluster::Json::str)
+                        .unwrap_or("?")
+                        .to_string();
+                    let ckpt_degraded = matches!(
+                        doc.get("checkpoint_degraded"),
+                        Some(tix_cluster::Json::Bool(true))
+                    );
+                    if ckpt_degraded {
+                        degraded_nodes += 1;
+                    }
                     out.push_str(&format!(
-                        "{shard:<6} {role:<9} {addr:<21} {:<6} {:>6} {:>11} {:>5}\n",
+                        "{shard:<6} {role:<9} {addr:<21} {:<6} {:>6} {:>11} {:>11} {:>5} {:<10} {:<5}\n",
                         "up",
                         field("docs"),
                         field("applied_lsn"),
-                        field("checkpoint_seq")
+                        field("durable_lsn"),
+                        field("checkpoint_seq"),
+                        durability,
+                        if ckpt_degraded { "DEGRADED" } else { "ok" }
                     ));
                 }
                 Ok(r) => {
@@ -488,8 +509,10 @@ mod commands {
                 }
             }
         }
-        out.push_str(if down == 0 {
+        out.push_str(if down == 0 && degraded_nodes == 0 {
             "cluster: ok\n"
+        } else if down == 0 {
+            "cluster: degraded (checkpointing failing on some nodes)\n"
         } else {
             "cluster: degraded\n"
         });
@@ -590,11 +613,13 @@ usage:
   tix checkpoint <dir>                    snapshot a live dir, truncate WAL
   tix serve  <snapshot|--live dir> [--addr HOST:PORT] [--workers N]
              [--queue N] [--cache N] [--deadline-ms N] [--threads N]
+             [--durability strict|batched[:MS]|flush]
                                           serve queries over HTTP
   tix cluster init   <dir> [--shards N] [--replicas M] [--base-port P]
                                           write a cluster.json topology
   tix cluster serve  <dir> [--node S:primary|S:replica:R] [--coordinator]
                      [--addr HOST:PORT] [--workers N]
+                     [--durability strict|batched[:MS]|flush]
                                           serve one node, the coordinator,
                                           or the whole cluster in-process
   tix cluster status <dir>                poll every node's /health
@@ -802,6 +827,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                     let mut coordinator = false;
                     let mut addr = None;
                     let mut workers = None;
+                    let mut durability = None;
                     let mut it = flags.iter();
                     while let Some(arg) = it.next() {
                         let mut value_of = |flag: &str| -> Result<&String, String> {
@@ -818,6 +844,13 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                                         .map_err(|_| format!("bad --workers value {v:?}"))?,
                                 );
                             }
+                            "--durability" => {
+                                let v = value_of("--durability")?;
+                                durability = Some(
+                                    tix_ingest::DurabilityMode::parse(v)
+                                        .map_err(|e| format!("bad --durability value: {e}"))?,
+                                );
+                            }
                             other => return Err(format!("cluster serve: unknown flag {other:?}")),
                         }
                     }
@@ -830,6 +863,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                         coordinator,
                         addr.as_deref(),
                         workers,
+                        durability,
                     )
                 }
                 "status" => commands::cluster_status(dir),
@@ -898,6 +932,11 @@ fn parse_serve_args(rest: &[String]) -> Result<(String, bool, tix_server::Server
                     .map_err(|_| format!("bad --threads value {v:?}"))?;
             }
             "--debug-endpoints" => config.debug_endpoints = true,
+            "--durability" => {
+                let v = value_of("--durability")?;
+                config.durability = tix_ingest::DurabilityMode::parse(v)
+                    .map_err(|e| format!("bad --durability value: {e}"))?;
+            }
             other => return Err(format!("serve: unknown flag {other:?}")),
         }
     }

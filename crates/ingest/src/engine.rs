@@ -10,47 +10,77 @@
 //!   store.{seq}.tixsnap # v2 store snapshot written by checkpoint `seq`
 //!   index.{seq}.tixidx  # v2 index snapshot written by checkpoint `seq`
 //!   wal.log             # the write-ahead log (see `wal` module docs)
+//!   wal.prev            # rotated-away log of an in-flight checkpoint
+//!                       # (transient; consolidated on recovery)
 //! ```
 //!
 //! ## Commit protocol
 //!
-//! A mutation is *committed* when its WAL frame is fsynced; the in-memory
-//! [`Database`] (store + incrementally maintained index) is updated only
-//! after that. If the in-memory apply fails (duplicate name, XML parse
-//! error, document limits), the frame is truncated back off the log before
-//! the error returns — so every frame that survives in the log applied
-//! cleanly once, and replaying the same frames over the same base state is
-//! deterministic. Recovery therefore treats an apply failure the same way:
-//! it can only be an append whose rollback truncation never reached disk,
-//! and it is dropped (it is by construction the last frame).
+//! A mutation runs apply-first through the group-commit pipeline (see the
+//! [`crate::commit`] module docs for the full protocol):
+//!
+//! 1. **admission** — [`crate::commit`]'s admission check rejects up
+//!    front (poisoned pipeline, full commit queue) while nothing has been
+//!    applied yet;
+//! 2. **apply** — the mutation runs against the in-memory [`Database`]
+//!    under the caller's exclusive access; a typed failure (duplicate
+//!    name, XML parse error, missing removal target) returns here and
+//!    never touches the log;
+//! 3. **stage** — the pipeline assigns the next LSN and queues the
+//!    encoded frame ([`Ingest::stage_insert`] / [`Ingest::stage_remove`]
+//!    return a [`CommitTicket`]);
+//! 4. **commit** — [`Ingest::commit`] rides the group-commit batch and
+//!    returns once the frame meets the configured
+//!    [`DurabilityMode`]'s bar.
+//!
+//! Because only successfully applied mutations are ever staged, every
+//! frame in the log applied cleanly once, and replaying the same frames
+//! over the same base state is deterministic.
 //!
 //! ## Checkpoint protocol
 //!
-//! Checkpoint `N` (sequence numbers increase monotonically):
+//! Checkpoints are split so the expensive half runs without stalling
+//! writers. [`Ingest::begin_checkpoint`] (caller holds the database
+//! exclusively; cheap):
 //!
-//! 1. write `store.{N}.tixsnap` and `index.{N}.tixidx` — **fresh names**,
-//!    so the pair the current meta points to is never touched;
-//! 2. atomically replace `CHECKPOINT` with `{seq: N, lsn: last_lsn}` —
-//!    this is the commit point;
-//! 3. atomically reset `wal.log` to empty;
-//! 4. best-effort delete the previous snapshot pair.
+//! 1. quiesce the commit pipeline: write + fsync every staged frame, so
+//!    the checkpoint LSN `L` covers everything applied;
+//! 2. unless the log is retained, **rotate** `wal.log` aside to
+//!    `wal.prev` — new appends go to a fresh log immediately;
+//! 3. O(documents) freeze of the store (Arc-clone per document — no node
+//!    data is copied).
 //!
-//! A crash between any two steps recovers correctly: before step 2 the old
-//! meta + full WAL replay reproduce the state; between steps 2 and 3 the
-//! WAL still holds pre-checkpoint records, but replay skips every record
-//! with `lsn <= meta.lsn`, so nothing is applied twice.
+//! [`Ingest::complete_checkpoint`] (database lock released; slow):
+//!
+//! 4. thaw the frozen store, write `store.{N}.tixsnap`, rebuild and write
+//!    `index.{N}.tixidx` — fresh names, never touching the live pair;
+//! 5. atomically replace `CHECKPOINT` with `{seq: N, lsn: L}` — the
+//!    commit point;
+//! 6. best-effort delete `wal.prev` and the superseded snapshot pair.
+//!
+//! A crash in any window recovers correctly: before step 5 the old meta
+//! plus the full history (consolidated from `wal.prev` ++ `wal.log`, both
+//! fsynced through `L` by step 1) reproduce the state; after step 5 a
+//! surviving `wal.prev` holds only records with `lsn <= meta.lsn`, which
+//! consolidation discards. Replay always skips `lsn <= meta.lsn`, so
+//! nothing applies twice.
 
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
 
 use tix::persist::PersistError;
 use tix::Database;
+use tix_index::InvertedIndex;
 use tix_store::persist::atomic_write;
-use tix_store::{DocId, LoadError, RemoveError};
+use tix_store::{DocId, FrozenStore, LoadError, RemoveError};
 
-use crate::wal::{Wal, WalRecord, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION};
+use crate::commit::{CommitAck, CommitPipeline, CommitStats, CommitTicket, DurabilityMode};
+use crate::wal::{
+    encode_entries, len_u64, scan_bytes, Wal, WalRecord, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+};
 
 /// Magic bytes opening the `CHECKPOINT` meta file.
 pub const CHECKPOINT_MAGIC: &[u8] = b"TIXCKPT";
@@ -59,6 +89,7 @@ pub const CHECKPOINT_VERSION: u8 = 1;
 
 const META_FILE: &str = "CHECKPOINT";
 const WAL_FILE: &str = "wal.log";
+const WAL_PREV_FILE: &str = "wal.prev";
 /// magic + version + seq + lsn + crc32.
 const META_LEN: usize = CHECKPOINT_MAGIC.len() + 1 + 8 + 8 + 4;
 
@@ -73,13 +104,17 @@ fn index_file(seq: u64) -> String {
 /// Errors raised by the ingestion engine.
 #[derive(Debug)]
 pub enum IngestError {
-    /// Underlying I/O failure (WAL append, truncation, directory setup).
+    /// Underlying I/O failure (WAL append, truncation, directory setup),
+    /// including a poisoned commit pipeline (`ErrorKind::Other` with a
+    /// "poisoned" message) and a full commit queue
+    /// (`ErrorKind::WouldBlock`).
     Io(io::Error),
     /// A document failed to load (duplicate name, XML parse error,
-    /// document limits). The mutation was rolled back off the WAL.
+    /// document limits). Applies run before staging, so the mutation
+    /// never reached the WAL.
     Load(LoadError),
-    /// A removal named a document that does not exist. The mutation was
-    /// rolled back off the WAL.
+    /// A removal named a document that does not exist. The mutation
+    /// never reached the WAL.
     Remove(RemoveError),
     /// A snapshot failed to save or load.
     Persist(PersistError),
@@ -148,7 +183,7 @@ pub struct IngestOptions {
     /// [`Ingest::maybe_checkpoint`] fires once the WAL file reaches this
     /// many bytes. `u64::MAX` disables size-triggered checkpoints.
     pub checkpoint_bytes: u64,
-    /// Keep the WAL intact across checkpoints instead of resetting it.
+    /// Keep the WAL intact across checkpoints instead of rotating it.
     ///
     /// Recovery is already correct either way — replay skips every record
     /// with `lsn <= CHECKPOINT.lsn`, so a retained log merely replays
@@ -160,6 +195,13 @@ pub struct IngestOptions {
     /// that grows with total history; see DESIGN.md §13 for the
     /// snapshot-shipping follow-up that would bound it.
     pub retain_wal: bool,
+    /// When a committed mutation's acknowledgement is released relative
+    /// to its WAL frame reaching stable storage. See [`DurabilityMode`].
+    pub durability: DurabilityMode,
+    /// Bound on staged-but-unwritten frames: admission fails with
+    /// `ErrorKind::WouldBlock` once this many frames are queued, instead
+    /// of buffering without limit while writers outrun the log.
+    pub commit_queue: usize,
 }
 
 impl Default for IngestOptions {
@@ -169,6 +211,10 @@ impl Default for IngestOptions {
             // recovery cheap without checkpointing on every mutation.
             checkpoint_bytes: 8 * 1024 * 1024,
             retain_wal: false,
+            durability: DurabilityMode::Strict,
+            // Roomy enough that admission only trips when the disk is
+            // genuinely behind, small enough to bound memory.
+            commit_queue: 1024,
         }
     }
 }
@@ -229,26 +275,108 @@ fn write_meta(path: &Path, meta: CheckpointMeta) -> Result<(), IngestError> {
     Ok(())
 }
 
-/// The single-writer ingestion engine for one durable directory. Pair it
-/// with the [`Database`] returned by [`Ingest::open`]; every mutation goes
-/// through the engine (WAL first), never through the database directly.
+/// A `wal.prev` left behind means a checkpoint rotated the log aside but
+/// died before (or while) committing its meta: the durable history is
+/// split across two files, with `wal.prev` holding the older frames.
+/// Merge both committed prefixes back into a single `wal.log`, dropping
+/// frames the live meta already covers, so the rest of recovery — and
+/// suffix serving — sees one log again.
+fn consolidate_rotated_log(prev: &Path, live: &Path, base_lsn: u64) -> Result<(), IngestError> {
+    let prev_bytes = fs::read(prev)?;
+    let mut entries = scan_bytes(&prev_bytes)?.entries;
+    match fs::read(live) {
+        Ok(bytes) => entries.extend(scan_bytes(&bytes)?.entries),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // Died between the rename and the fresh header: the rotated
+            // file *is* the whole log.
+        }
+        Err(e) => return Err(IngestError::Io(e)),
+    }
+    let surviving: Vec<(u64, WalRecord)> = entries
+        .into_iter()
+        .filter(|e| e.lsn > base_lsn)
+        .map(|e| (e.lsn, e.record))
+        .collect();
+    let image = encode_entries(&surviving)?;
+    atomic_write::<io::Error, _>(live, |w| w.write_all(&image))?;
+    fs::remove_file(prev)?;
+    Ok(())
+}
+
+/// Mutable checkpoint bookkeeping, serialized by its own lock so at most
+/// one checkpoint runs at a time while mutations keep flowing.
+#[derive(Debug)]
+struct CkptState {
+    /// The live checkpoint sequence number (0 before any checkpoint).
+    seq: u64,
+    /// WAL size when the live checkpoint was taken; the size-triggered
+    /// checkpoint fires on growth *since* then, not on absolute length.
+    wal_growth_base: u64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned std mutex only means another thread panicked while
+    // holding it; the commit pipeline's own poison flag tracks logical
+    // damage.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A begun-but-uncompleted checkpoint: the frozen store, the checkpoint
+/// LSN, and the exclusive checkpoint slot. Dropping it without calling
+/// [`Ingest::complete_checkpoint`] abandons the checkpoint (recovery
+/// consolidates the rotated log; nothing is lost).
+#[must_use = "a begun checkpoint persists nothing until completed"]
+pub struct PreparedCheckpoint<'a> {
+    guard: MutexGuard<'a, CkptState>,
+    frozen: FrozenStore,
+    lsn: u64,
+    seq: u64,
+    wal_len_after_prepare: u64,
+}
+
+impl PreparedCheckpoint<'_> {
+    /// The LSN this checkpoint covers: every mutation with `lsn <= L` is
+    /// both durable and captured in the frozen store.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// The sequence number the completed checkpoint will carry.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Debug for PreparedCheckpoint<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedCheckpoint")
+            .field("lsn", &self.lsn)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The ingestion engine for one durable directory. Pair it with the
+/// [`Database`] returned by [`Ingest::open`]; every mutation goes through
+/// the engine (apply, stage, group-commit), never through the database
+/// alone.
+///
+/// All methods take `&self`: concurrent writers stage under whatever
+/// exclusive access they hold on the [`Database`] (a `&mut` borrow or a
+/// write lock) and then ride the same group-commit batch with no lock
+/// held, which is what collapses N concurrent fsyncs into one.
 #[derive(Debug)]
 pub struct Ingest {
     dir: PathBuf,
-    wal: Wal,
-    last_lsn: u64,
-    seq: u64,
     options: IngestOptions,
-    /// WAL size when the live checkpoint was taken. With
-    /// [`IngestOptions::retain_wal`] the log never resets, so the
-    /// size-triggered checkpoint fires on growth *since* the last
-    /// checkpoint, not on absolute length.
-    wal_len_at_checkpoint: u64,
+    pipeline: CommitPipeline,
+    ckpt: Mutex<CkptState>,
 }
 
 impl Ingest {
     /// Open (creating if needed) the durable directory and recover its
-    /// state: load the snapshot pair named by `CHECKPOINT` (or start
+    /// state: consolidate a rotated log left by an interrupted
+    /// checkpoint, load the snapshot pair named by `CHECKPOINT` (or start
     /// empty), then replay every WAL record with `lsn > meta.lsn` through
     /// the incremental maintenance path. Returns the engine and the
     /// recovered, fully indexed database.
@@ -274,12 +402,18 @@ impl Ingest {
                 (0, 0)
             }
         };
-        let (mut wal, scan) = Wal::open(dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let prev_path = dir.join(WAL_PREV_FILE);
+        if prev_path.exists() {
+            consolidate_rotated_log(&prev_path, &wal_path, base_lsn)?;
+        }
+        let (mut wal, scan) = Wal::open(wal_path)?;
         let mut last_lsn = base_lsn;
         for entry in scan.entries {
             if entry.lsn <= base_lsn {
                 // Already folded into the checkpoint: the crash window
-                // between meta commit and WAL reset leaves these behind.
+                // between meta commit and wal.prev deletion leaves these
+                // behind (on a retained log they are simply history).
                 continue;
             }
             let applied = match &entry.record {
@@ -290,15 +424,15 @@ impl Ingest {
             };
             if !applied {
                 // Every surviving frame applied cleanly when it was
-                // written, so a replay failure can only be an append whose
-                // rollback truncation raced a crash — necessarily the last
-                // frame. Drop it.
+                // written, so a replay failure can only be a batch whose
+                // rollback truncation raced a crash — necessarily the
+                // tail. Drop it.
                 wal.truncate_to(entry.offset)?;
                 break;
             }
             last_lsn = entry.lsn;
         }
-        let wal_len_at_checkpoint = if options.retain_wal {
+        let wal_growth_base = if options.retain_wal {
             // The retained log's pre-`base_lsn` prefix predates the live
             // checkpoint; only growth past the recovered length should
             // count toward the next size-triggered checkpoint.
@@ -306,128 +440,276 @@ impl Ingest {
         } else {
             0
         };
+        let pipeline = CommitPipeline::new(wal, options.durability, last_lsn, options.commit_queue);
         Ok((
             Ingest {
                 dir,
-                wal,
-                last_lsn,
-                seq,
                 options,
-                wal_len_at_checkpoint,
+                pipeline,
+                ckpt: Mutex::new(CkptState {
+                    seq,
+                    wal_growth_base,
+                }),
             },
             db,
         ))
     }
 
-    /// Log and apply a document insertion. The WAL frame is fsynced before
-    /// the in-memory apply; on apply failure the frame is truncated back
-    /// off the log and the typed error returns.
+    /// Apply a document insertion and stage its WAL frame, returning the
+    /// new id plus the [`CommitTicket`] to pass to [`Ingest::commit`].
+    ///
+    /// The caller's exclusive access to `db` (the `&mut` borrow, or the
+    /// write lock it came from) is what orders concurrent stagers: LSN
+    /// order equals apply order. Release that access *before* committing
+    /// so other writers can stage into the same batch.
+    pub fn stage_insert(
+        &self,
+        db: &mut Database,
+        name: &str,
+        xml: &str,
+    ) -> Result<(DocId, CommitTicket), IngestError> {
+        self.pipeline.check_admission()?;
+        let id = db.insert_document(name, xml).map_err(IngestError::Load)?;
+        let ticket = self.pipeline.stage(&WalRecord::AddDocument {
+            name: name.to_string(),
+            xml: xml.to_string(),
+        })?;
+        Ok((id, ticket))
+    }
+
+    /// Apply a document removal and stage its WAL frame. Same contract as
+    /// [`Ingest::stage_insert`].
+    pub fn stage_remove(
+        &self,
+        db: &mut Database,
+        name: &str,
+    ) -> Result<(DocId, CommitTicket), IngestError> {
+        self.pipeline.check_admission()?;
+        let id = db.remove_document(name).map_err(IngestError::Remove)?;
+        let ticket = self.pipeline.stage(&WalRecord::RemoveDocument {
+            name: name.to_string(),
+        })?;
+        Ok((id, ticket))
+    }
+
+    /// Wait until a staged mutation meets the configured
+    /// [`DurabilityMode`]'s bar, leading a group-commit batch if no other
+    /// writer is already flushing. Call with no database access held.
+    pub fn commit(&self, ticket: CommitTicket) -> Result<CommitAck, IngestError> {
+        self.pipeline.commit(ticket).map_err(IngestError::Io)
+    }
+
+    /// Stage and commit a document insertion in one call (the
+    /// single-writer convenience path).
     pub fn insert_document(
-        &mut self,
+        &self,
         db: &mut Database,
         name: &str,
         xml: &str,
     ) -> Result<DocId, IngestError> {
-        let lsn = self.last_lsn + 1;
-        let record = WalRecord::AddDocument {
-            name: name.to_string(),
-            xml: xml.to_string(),
-        };
-        let offset = self.wal.append(lsn, &record)?;
-        match db.insert_document(name, xml) {
-            Ok(id) => {
-                self.last_lsn = lsn;
-                Ok(id)
-            }
-            Err(e) => {
-                self.wal.truncate_to(offset)?;
-                Err(IngestError::Load(e))
-            }
-        }
+        let (id, ticket) = self.stage_insert(db, name, xml)?;
+        self.commit(ticket)?;
+        Ok(id)
     }
 
-    /// Log and apply a document removal. Same contract as
-    /// [`Ingest::insert_document`].
-    pub fn remove_document(&mut self, db: &mut Database, name: &str) -> Result<DocId, IngestError> {
-        let lsn = self.last_lsn + 1;
-        let record = WalRecord::RemoveDocument {
-            name: name.to_string(),
-        };
-        let offset = self.wal.append(lsn, &record)?;
-        match db.remove_document(name) {
-            Ok(id) => {
-                self.last_lsn = lsn;
-                Ok(id)
-            }
-            Err(e) => {
-                self.wal.truncate_to(offset)?;
-                Err(IngestError::Remove(e))
-            }
-        }
+    /// Stage and commit a document removal in one call.
+    pub fn remove_document(&self, db: &mut Database, name: &str) -> Result<DocId, IngestError> {
+        let (id, ticket) = self.stage_remove(db, name)?;
+        self.commit(ticket)?;
+        Ok(id)
     }
 
-    /// Write a checkpoint: persist store + index snapshots under a fresh
-    /// sequence number, commit the meta file, reset the WAL, and delete
-    /// the superseded snapshot pair. Returns the new sequence number.
-    ///
-    /// See the module docs for why each crash window recovers correctly.
-    pub fn checkpoint(&mut self, db: &mut Database) -> Result<u64, IngestError> {
+    /// Begin a checkpoint: quiesce the commit pipeline (every staged
+    /// frame becomes durable), rotate the log aside (unless retained),
+    /// and freeze the store. Cheap — O(documents) reference bumps, one
+    /// fsync, one rename — and the only part that needs the database held
+    /// exclusively. Pass the result to [`Ingest::complete_checkpoint`]
+    /// after releasing the database.
+    pub fn begin_checkpoint<'a>(
+        &'a self,
+        db: &mut Database,
+    ) -> Result<PreparedCheckpoint<'a>, IngestError> {
         if !db.has_index() {
             db.build_index();
         }
-        let seq = self.seq + 1;
-        db.save_store_to(self.dir.join(store_file(seq)))?;
-        db.save_index_to(self.dir.join(index_file(seq)))?;
-        write_meta(
-            &self.dir.join(META_FILE),
-            CheckpointMeta {
-                seq,
-                lsn: self.last_lsn,
-            },
-        )?;
-        let old = self.seq;
-        self.seq = seq;
-        if !self.options.retain_wal {
-            self.wal.reset()?;
-        }
-        self.wal_len_at_checkpoint = self.wal.len();
+        let guard = lock(&self.ckpt);
+        let prev = self.dir.join(WAL_PREV_FILE);
+        // Never rotate over an existing wal.prev (left by a failed
+        // complete): it still holds the only copy of frames the live meta
+        // does not cover. Skipping rotation is safe — this checkpoint's
+        // meta will cover both files, and recovery consolidates.
+        let rotate_to = if self.options.retain_wal || prev.exists() {
+            None
+        } else {
+            Some(prev)
+        };
+        let lsn = self.pipeline.prepare_checkpoint(rotate_to.as_deref())?;
+        let frozen = db.store().freeze();
+        let seq = guard.seq + 1;
+        let wal_len_after_prepare = self.pipeline.wal_len();
+        Ok(PreparedCheckpoint {
+            guard,
+            frozen,
+            lsn,
+            seq,
+            wal_len_after_prepare,
+        })
+    }
+
+    /// Complete a begun checkpoint: thaw the frozen store, persist the
+    /// snapshot pair under the fresh sequence number, commit the meta
+    /// file, and clean up the rotated log plus the superseded pair.
+    /// Writers run concurrently throughout. Returns the new sequence
+    /// number.
+    ///
+    /// The persisted index is rebuilt from the frozen store rather than
+    /// serialized from the live one (which has moved on past the
+    /// checkpoint LSN); incremental maintenance keeps the live index
+    /// byte-identical to a rebuild, so recovery sees the exact index
+    /// state at the checkpoint LSN either way.
+    pub fn complete_checkpoint(
+        &self,
+        prepared: PreparedCheckpoint<'_>,
+    ) -> Result<u64, IngestError> {
+        let PreparedCheckpoint {
+            mut guard,
+            frozen,
+            lsn,
+            seq,
+            wal_len_after_prepare,
+        } = prepared;
+        let store = frozen.thaw();
+        tix::persist::save_store(&store, self.dir.join(store_file(seq)))?;
+        let index = InvertedIndex::build(&store);
+        tix::persist::save_index(&index, self.dir.join(index_file(seq)))?;
+        write_meta(&self.dir.join(META_FILE), CheckpointMeta { seq, lsn })?;
+        // The meta is committed: everything `<= lsn` is folded into the
+        // snapshot pair, so the rotated-away log is redundant and the
+        // remaining deletes are best-effort (a failed delete costs disk
+        // space; recovery discards the stale frames regardless).
+        let old = guard.seq;
+        guard.seq = seq;
+        guard.wal_growth_base = wal_len_after_prepare;
+        let _ = fs::remove_file(self.dir.join(WAL_PREV_FILE));
         if old > 0 {
-            // Best-effort: the meta no longer references these, so a
-            // failed delete costs disk space, not correctness.
             let _ = fs::remove_file(self.dir.join(store_file(old)));
             let _ = fs::remove_file(self.dir.join(index_file(old)));
         }
         Ok(seq)
     }
 
-    /// Checkpoint iff the WAL has reached the configured size threshold.
-    /// Returns the new sequence number when one was taken.
-    pub fn maybe_checkpoint(&mut self, db: &mut Database) -> Result<Option<u64>, IngestError> {
-        let grown = self.wal.len().saturating_sub(self.wal_len_at_checkpoint);
-        if grown >= self.options.checkpoint_bytes {
-            return self.checkpoint(db).map(Some);
-        }
-        Ok(None)
+    /// Run a full checkpoint — begin and complete back to back — holding
+    /// the database for the whole duration. See
+    /// [`Ingest::begin_checkpoint`] for the non-blocking split.
+    pub fn checkpoint(&self, db: &mut Database) -> Result<u64, IngestError> {
+        let prepared = self.begin_checkpoint(db)?;
+        self.complete_checkpoint(prepared)
     }
 
-    /// The last committed log sequence number (0 before any mutation).
+    /// Checkpoint iff the WAL has grown past the configured threshold
+    /// since the last one. Returns the new sequence number when one was
+    /// taken. Blocking variant of [`Ingest::maybe_begin_checkpoint`].
+    pub fn maybe_checkpoint(&self, db: &mut Database) -> Result<Option<u64>, IngestError> {
+        if !self.checkpoint_due() {
+            return Ok(None);
+        }
+        self.checkpoint(db).map(Some)
+    }
+
+    /// Begin a checkpoint iff the WAL has grown past the configured
+    /// threshold since the last one; the caller completes it after
+    /// releasing the database.
+    pub fn maybe_begin_checkpoint<'a>(
+        &'a self,
+        db: &mut Database,
+    ) -> Result<Option<PreparedCheckpoint<'a>>, IngestError> {
+        if !self.checkpoint_due() {
+            return Ok(None);
+        }
+        self.begin_checkpoint(db).map(Some)
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        // try_lock, not lock: the guard is held across the whole (slow)
+        // complete phase of an in-flight checkpoint, and while one runs
+        // another is definitionally not due — writers checking after
+        // their commit must not stall behind it.
+        let guard = match self.ckpt.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+        };
+        let base = guard.wal_growth_base;
+        self.pipeline.wal_len().saturating_sub(base) >= self.options.checkpoint_bytes
+    }
+
+    /// The durability mode acknowledgements run under.
+    pub fn durability(&self) -> DurabilityMode {
+        self.pipeline.mode()
+    }
+
+    /// Write and fsync everything staged, regardless of mode; returns the
+    /// durable LSN. The explicit flush for [`DurabilityMode::Flush`] and
+    /// the shutdown path for every mode.
+    pub fn flush(&self) -> Result<u64, IngestError> {
+        self.pipeline.flush().map_err(IngestError::Io)
+    }
+
+    /// Under [`DurabilityMode::Batched`], flush if the oldest unsynced
+    /// frame has exceeded `max_delay` — the background flusher's entry
+    /// point. Returns the durable LSN if a flush ran.
+    pub fn flush_if_due(&self) -> Result<Option<u64>, IngestError> {
+        self.pipeline.flush_if_due().map_err(IngestError::Io)
+    }
+
+    /// The last staged log sequence number (0 before any mutation): the
+    /// LSN of the newest mutation applied in memory.
     pub fn last_lsn(&self) -> u64 {
-        self.last_lsn
+        self.pipeline.staged_lsn()
+    }
+
+    /// Highest LSN known fsynced. Equal to [`Ingest::last_lsn`] under
+    /// [`DurabilityMode::Strict`] whenever no commit is in flight; may
+    /// lag under `Batched`/`Flush`.
+    pub fn durable_lsn(&self) -> u64 {
+        self.pipeline.durable_lsn()
     }
 
     /// The live checkpoint sequence number (0 before any checkpoint).
     pub fn checkpoint_seq(&self) -> u64 {
-        self.seq
+        lock(&self.ckpt).seq
     }
 
     /// Current WAL file size in bytes (header included).
     pub fn wal_len(&self) -> u64 {
-        self.wal.len()
+        self.pipeline.wal_len()
+    }
+
+    /// Snapshot of the group-commit counters (batches, frames, fsyncs,
+    /// checkpoint stall time).
+    pub fn commit_stats(&self) -> CommitStats {
+        self.pipeline.stats()
+    }
+
+    /// The fatal-failure reason if the write path has poisoned itself
+    /// (a batch write failed after its mutations were applied in memory).
+    /// A poisoned engine rejects every further mutation; restarting the
+    /// process recovers the durable prefix.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.pipeline.poison_reason()
     }
 
     /// The durable directory this engine owns.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Test hook: make the underlying WAL fail after `fail_after` more
+    /// bytes of frame data have been written (see
+    /// [`Wal::inject_write_fault`](crate::wal::Wal::inject_write_fault)).
+    #[doc(hidden)]
+    pub fn inject_wal_write_fault(&self, fail_after: u64) {
+        self.pipeline.with_wal(|w| w.inject_write_fault(fail_after));
     }
 
     /// Serve the WAL suffix strictly after `from_lsn` as a standalone WAL
@@ -438,32 +720,40 @@ impl Ingest {
     /// through [`crate::wal::scan_bytes`] and gets torn-transfer safety
     /// for free.
     ///
-    /// An up-to-date requester (`from_lsn >= last_lsn`) gets an empty
-    /// image (header only). If the log no longer holds `from_lsn + 1`
-    /// (a checkpoint without [`IngestOptions::retain_wal`] truncated it),
-    /// returns [`IngestError::WalGap`] and the requester must resync from
-    /// a snapshot instead.
+    /// Only **durable** frames are served: under `Batched`/`Flush`
+    /// durability a written-but-unsynced frame could vanish in a crash,
+    /// and a replica must never hold state its primary can lose. A
+    /// requester at or past the durable LSN gets an empty image (header
+    /// only). If the log no longer holds `from_lsn + 1` (a checkpoint
+    /// without [`IngestOptions::retain_wal`] truncated it), returns
+    /// [`IngestError::WalGap`] and the requester must resync from a
+    /// snapshot instead.
     pub fn wal_suffix(&self, from_lsn: u64, max_bytes: u64) -> Result<Vec<u8>, IngestError> {
         let header = || {
-            let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+            let mut out = Vec::new();
             out.extend_from_slice(WAL_MAGIC);
             out.push(WAL_VERSION);
             out
         };
-        if from_lsn >= self.last_lsn {
+        let durable = self.pipeline.durable_lsn();
+        if from_lsn >= durable {
             return Ok(header());
         }
-        let bytes = fs::read(self.dir.join(WAL_FILE))?;
-        let scan = crate::wal::scan_bytes(&bytes)?;
+        // Read under the WAL lock so no batch write or rotation moves the
+        // file mid-read; the bytes are a clean committed prefix.
+        let bytes = self
+            .pipeline
+            .with_wal(|_| fs::read(self.dir.join(WAL_FILE)))?;
+        let scan = scan_bytes(&bytes)?;
         let start = match scan.entries.iter().position(|e| e.lsn > from_lsn) {
             Some(i) => i,
             None => {
-                // Mutations exist past `from_lsn` (checked above) but the
-                // log holds none of them: everything is folded into the
-                // checkpoint and gone.
+                // Durable mutations exist past `from_lsn` (checked above)
+                // but the log holds none of them: everything is folded
+                // into the checkpoint and gone.
                 return Err(IngestError::WalGap {
                     requested: from_lsn,
-                    earliest: self.last_lsn + 1,
+                    earliest: durable + 1,
                 });
             }
         };
@@ -471,7 +761,7 @@ impl Ingest {
         let Some(first) = entries.first() else {
             return Err(IngestError::WalGap {
                 requested: from_lsn,
-                earliest: self.last_lsn + 1,
+                earliest: durable + 1,
             });
         };
         if first.lsn != from_lsn + 1 {
@@ -489,14 +779,17 @@ impl Ingest {
         let committed_end = usize::try_from(scan.valid_len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WAL length overflow"))?;
         let mut cut = start_off;
-        for (i, _) in entries.iter().enumerate() {
+        for (i, entry) in entries.iter().enumerate() {
+            if entry.lsn > durable {
+                break;
+            }
             let frame_end = match entries.get(i + 1) {
                 Some(next) => usize::try_from(next.offset).map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "WAL offset overflow")
                 })?,
                 None => committed_end,
             };
-            let image_len = WAL_HEADER_LEN + (frame_end - start_off) as u64;
+            let image_len = WAL_HEADER_LEN + len_u64(frame_end - start_off);
             if i > 0 && image_len > max_bytes {
                 break;
             }
@@ -535,6 +828,7 @@ mod tests {
         assert_eq!(db.store().doc_count(), 0);
         assert!(db.has_index());
         assert_eq!(ingest.last_lsn(), 0);
+        assert_eq!(ingest.durable_lsn(), 0);
         assert_eq!(ingest.checkpoint_seq(), 0);
     }
 
@@ -542,7 +836,7 @@ mod tests {
     fn mutations_survive_reopen_via_replay() {
         let dir = tmp_dir("replay");
         {
-            let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+            let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
             ingest
                 .insert_document(&mut db, "a.xml", "<a><p>rust xml</p></a>")
                 .unwrap();
@@ -551,6 +845,7 @@ mod tests {
                 .unwrap();
             ingest.remove_document(&mut db, "b.xml").unwrap();
             assert_eq!(ingest.last_lsn(), 3);
+            assert_eq!(ingest.durable_lsn(), 3, "strict commits are durable");
             // No checkpoint: everything lives in the WAL.
         }
         let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
@@ -561,15 +856,16 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_truncates_wal_and_reopen_uses_snapshots() {
+    fn checkpoint_rotates_wal_and_reopen_uses_snapshots() {
         let dir = tmp_dir("checkpoint");
         {
-            let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+            let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
             ingest
                 .insert_document(&mut db, "a.xml", "<a>alpha</a>")
                 .unwrap();
             assert_eq!(ingest.checkpoint(&mut db).unwrap(), 1);
             assert_eq!(ingest.wal_len(), crate::wal::WAL_HEADER_LEN);
+            assert!(!dir.join(WAL_PREV_FILE).exists(), "rotated log cleaned up");
             // Post-checkpoint mutations land in the fresh WAL.
             ingest
                 .insert_document(&mut db, "b.xml", "<b>beta</b>")
@@ -587,7 +883,7 @@ mod tests {
     #[test]
     fn second_checkpoint_deletes_the_superseded_pair() {
         let dir = tmp_dir("compact");
-        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<a>x</a>")
             .unwrap();
@@ -603,9 +899,9 @@ mod tests {
     }
 
     #[test]
-    fn failed_apply_is_rolled_back_off_the_wal() {
+    fn failed_apply_never_reaches_the_wal() {
         let dir = tmp_dir("rollback");
-        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<a>x</a>")
             .unwrap();
@@ -640,7 +936,7 @@ mod tests {
             checkpoint_bytes: 64,
             ..IngestOptions::default()
         };
-        let (mut ingest, mut db) = Ingest::open(&dir, options).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, options).unwrap();
         assert_eq!(ingest.maybe_checkpoint(&mut db).unwrap(), None);
         ingest
             .insert_document(&mut db, "a.xml", "<a>some words to cross the threshold</a>")
@@ -650,23 +946,84 @@ mod tests {
     }
 
     #[test]
-    fn crash_window_between_meta_and_wal_reset_skips_replay() {
+    fn crash_window_between_meta_and_wal_cleanup_skips_replay() {
         let dir = tmp_dir("lsn-gate");
-        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<a>alpha</a>")
             .unwrap();
         let wal_bytes = fs::read(dir.join(WAL_FILE)).unwrap();
         ingest.checkpoint(&mut db).unwrap();
-        // Simulate the crash: the meta committed but the WAL reset was
-        // lost — restore the pre-reset WAL contents.
-        fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+        // Simulate the crash: the meta committed but the rotated log's
+        // cleanup was lost — restore the pre-checkpoint WAL contents.
+        fs::write(dir.join(WAL_PREV_FILE), &wal_bytes).unwrap();
         drop(ingest);
         let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
         // The add of a.xml must not apply twice (it would be a duplicate).
         assert_eq!(db.store().doc_count(), 1);
         assert_eq!(ingest.last_lsn(), 1);
+        assert!(!dir.join(WAL_PREV_FILE).exists(), "stale rotation removed");
         assert!(!db.search(&["alpha"], pick(), 5).is_empty());
+    }
+
+    #[test]
+    fn abandoned_checkpoint_recovers_from_the_rotated_log() {
+        let dir = tmp_dir("abandon");
+        {
+            let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+            ingest
+                .insert_document(&mut db, "a.xml", "<a>alpha</a>")
+                .unwrap();
+            // Begin rotates wal.log aside; dropping the preparation
+            // models a crash before complete_checkpoint committed meta.
+            let prepared = ingest.begin_checkpoint(&mut db).unwrap();
+            assert_eq!(prepared.lsn(), 1);
+            drop(prepared);
+            assert!(dir.join(WAL_PREV_FILE).exists());
+            // Writers kept going after the rotation.
+            ingest
+                .insert_document(&mut db, "b.xml", "<b>beta</b>")
+                .unwrap();
+        }
+        // Recovery consolidates wal.prev ++ wal.log into one log and
+        // replays the full history (no meta was ever committed).
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        assert!(!dir.join(WAL_PREV_FILE).exists());
+        assert_eq!(ingest.last_lsn(), 2);
+        assert_eq!(db.store().doc_count(), 2);
+        assert!(!db.search(&["alpha"], pick(), 5).is_empty());
+        assert!(!db.search(&["beta"], pick(), 5).is_empty());
+        // The consolidated log is a single servable stream.
+        let image = ingest.wal_suffix(0, u64::MAX).unwrap();
+        let scan = scan_bytes(&image).unwrap();
+        assert_eq!(
+            scan.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn checkpoint_after_abandoned_checkpoint_skips_rotation_and_heals() {
+        let dir = tmp_dir("abandon-heal");
+        let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        ingest
+            .insert_document(&mut db, "a.xml", "<a>alpha</a>")
+            .unwrap();
+        drop(ingest.begin_checkpoint(&mut db).unwrap());
+        assert!(dir.join(WAL_PREV_FILE).exists());
+        ingest
+            .insert_document(&mut db, "b.xml", "<b>beta</b>")
+            .unwrap();
+        // The next full checkpoint must not rename over the stranded
+        // rotation; its meta covers both files, then the leftover goes.
+        // (The abandoned attempt never committed, so seq 1 is reused.)
+        assert_eq!(ingest.checkpoint(&mut db).unwrap(), 1);
+        assert!(!dir.join(WAL_PREV_FILE).exists());
+        drop(ingest);
+        let (ingest, db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        assert_eq!(ingest.checkpoint_seq(), 1);
+        assert_eq!(ingest.last_lsn(), 2);
+        assert_eq!(db.store().doc_count(), 2);
     }
 
     #[test]
@@ -695,6 +1052,25 @@ mod tests {
         }
     }
 
+    #[test]
+    fn flush_mode_defers_durability_until_flush() {
+        let dir = tmp_dir("flush-mode");
+        let options = IngestOptions {
+            durability: DurabilityMode::Flush,
+            ..IngestOptions::default()
+        };
+        let (ingest, mut db) = Ingest::open(&dir, options).unwrap();
+        let (_, ticket) = ingest.stage_insert(&mut db, "a.xml", "<a>x</a>").unwrap();
+        let ack = ingest.commit(ticket).unwrap();
+        assert_eq!(ack.lsn, 1);
+        assert_eq!(ack.durable_lsn, 0, "written, not yet fsynced");
+        assert_eq!(ingest.flush().unwrap(), 1);
+        assert_eq!(ingest.durable_lsn(), 1);
+        let stats = ingest.commit_stats();
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.fsyncs, 1, "only the explicit flush synced");
+    }
+
     fn retained() -> IngestOptions {
         IngestOptions {
             retain_wal: true,
@@ -706,7 +1082,7 @@ mod tests {
     fn retain_wal_checkpoint_keeps_full_history_and_recovers() {
         let dir = tmp_dir("retain");
         {
-            let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+            let (ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
             ingest
                 .insert_document(&mut db, "a.xml", "<a>alpha</a>")
                 .unwrap();
@@ -714,6 +1090,10 @@ mod tests {
             ingest.checkpoint(&mut db).unwrap();
             // The log survives the checkpoint byte-for-byte.
             assert_eq!(ingest.wal_len(), before);
+            assert!(
+                !dir.join(WAL_PREV_FILE).exists(),
+                "retained logs never rotate"
+            );
             ingest
                 .insert_document(&mut db, "b.xml", "<b>beta</b>")
                 .unwrap();
@@ -735,7 +1115,7 @@ mod tests {
     #[test]
     fn wal_suffix_roundtrips_through_scan_bytes() {
         let dir = tmp_dir("suffix");
-        let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
         for i in 1..=4 {
             ingest
                 .insert_document(&mut db, &format!("d{i}.xml"), &format!("<d>doc {i}</d>"))
@@ -758,9 +1138,46 @@ mod tests {
     }
 
     #[test]
+    fn wal_suffix_serves_only_durable_frames() {
+        let dir = tmp_dir("suffix-durable");
+        let options = IngestOptions {
+            durability: DurabilityMode::Flush,
+            retain_wal: true,
+            ..IngestOptions::default()
+        };
+        let (ingest, mut db) = Ingest::open(&dir, options).unwrap();
+        let (_, t1) = ingest.stage_insert(&mut db, "a.xml", "<a>x</a>").unwrap();
+        ingest.commit(t1).unwrap();
+        ingest.flush().unwrap();
+        let (_, t2) = ingest.stage_insert(&mut db, "b.xml", "<b>y</b>").unwrap();
+        ingest.commit(t2).unwrap();
+        assert_eq!(ingest.last_lsn(), 2);
+        assert_eq!(ingest.durable_lsn(), 1);
+        // Frame 2 is written but not fsynced: a crash could lose it, so
+        // it must never ship to a replica.
+        let image = ingest.wal_suffix(0, u64::MAX).unwrap();
+        let scan = crate::wal::scan_bytes(&image).unwrap();
+        assert_eq!(
+            scan.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![1]
+        );
+        // An up-to-date-with-durable requester gets an empty image.
+        let empty = ingest.wal_suffix(1, u64::MAX).unwrap();
+        assert_eq!(empty.len() as u64, WAL_HEADER_LEN);
+        // Once flushed, the frame becomes servable.
+        ingest.flush().unwrap();
+        let caught_up = ingest.wal_suffix(1, u64::MAX).unwrap();
+        let scan2 = crate::wal::scan_bytes(&caught_up).unwrap();
+        assert_eq!(
+            scan2.entries.iter().map(|e| e.lsn).collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
     fn wal_suffix_respects_max_bytes_but_ships_at_least_one_frame() {
         let dir = tmp_dir("suffix-cap");
-        let (mut ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, retained()).unwrap();
         for i in 1..=3 {
             ingest
                 .insert_document(&mut db, &format!("d{i}.xml"), "<d>payload body</d>")
@@ -783,7 +1200,7 @@ mod tests {
     #[test]
     fn wal_suffix_reports_gap_after_unretained_checkpoint() {
         let dir = tmp_dir("suffix-gap");
-        let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<a>x</a>")
             .unwrap();
@@ -794,7 +1211,7 @@ mod tests {
         ingest
             .insert_document(&mut db, "c.xml", "<c>z</c>")
             .unwrap();
-        // LSNs 1–2 were truncated away; asking from 0 must not silently
+        // LSNs 1–2 were rotated away; asking from 0 must not silently
         // skip them.
         match ingest.wal_suffix(0, u64::MAX) {
             Err(IngestError::WalGap {

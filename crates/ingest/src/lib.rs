@@ -5,20 +5,27 @@
 //! capability on top of the batch-built store and index:
 //!
 //! * a **write-ahead log** ([`wal`]) — every mutation is an appended,
-//!   CRC-32-checksummed, fsynced frame; recovery replays the log over the
-//!   last checkpoint and truncates at the first torn or corrupt tail
-//!   record (prefix durability — never a panic, never a silently wrong
-//!   load);
+//!   CRC-32-checksummed frame; a failed append rolls the torn bytes back
+//!   off the file, and recovery replays the log over the last checkpoint,
+//!   truncating at the first torn or corrupt tail record (prefix
+//!   durability — never a panic, never a silently wrong load);
+//! * **group commit** ([`commit`]) — concurrent writers stage frames into
+//!   a bounded queue; one leader writes and fsyncs the whole batch, so N
+//!   concurrent commits cost one fsync instead of N. Acknowledgement
+//!   timing is configurable per engine via [`DurabilityMode`]
+//!   (`Strict` / `Batched` / `Flush`);
 //! * **incremental index maintenance** — mutations flow through
 //!   [`tix::Database::insert_document`] / [`remove_document`], which keep
 //!   the inverted index byte-identical to a from-scratch rebuild (asserted
 //!   under `debug_assertions` / `--features check-invariants`) instead of
 //!   rebuilding it per mutation;
-//! * **checkpointing and log compaction** ([`engine`]) — a checkpoint
-//!   persists v2 store + index snapshots through the atomic-replace
-//!   protocol, commits a tiny checksummed meta file, then truncates the
-//!   WAL; crashes between any two steps recover correctly because replay
-//!   is gated on the checkpoint's LSN.
+//! * **non-blocking checkpoints** ([`engine`]) — `begin_checkpoint`
+//!   quiesces the log, rotates it aside, and O(documents)-freezes the
+//!   store; `complete_checkpoint` persists the v2 store + index snapshots
+//!   and commits a tiny checksummed meta file while writers keep
+//!   mutating. Crashes in any window recover correctly because replay is
+//!   gated on the checkpoint's LSN and an interrupted rotation is
+//!   consolidated on open.
 //!
 //! ## Usage
 //!
@@ -27,7 +34,7 @@
 //!
 //! let dir = std::env::temp_dir().join(format!("tix-ingest-doc-{}", std::process::id()));
 //! # let _ = std::fs::remove_dir_all(&dir);
-//! let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+//! let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
 //! ingest.insert_document(&mut db, "a.xml", "<a><p>live rust docs</p></a>").unwrap();
 //! assert_eq!(db.store().doc_count(), 1);
 //! // A crash here loses nothing: reopening replays the WAL.
@@ -36,18 +43,22 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
-//! The engine is **single-writer / multi-reader**: exactly one [`Ingest`]
-//! may own a durable directory at a time (the serving layer enforces this
-//! with a mutex ordered before the database lock), while any number of
-//! readers see coherent pre- or post-mutation views through their usual
-//! read lock.
+//! Concurrent writers split the call: [`Ingest::stage_insert`] /
+//! [`Ingest::stage_remove`] under exclusive database access (a `&mut`
+//! borrow or a held write lock), then [`Ingest::commit`] with no lock
+//! held — committers ride the same group-commit batch. Readers see
+//! coherent pre- or post-mutation views through their usual read lock.
 //!
 //! [`remove_document`]: tix::Database::remove_document
 
+pub mod commit;
 pub mod engine;
 pub mod wal;
 
-pub use engine::{Ingest, IngestError, IngestOptions, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use commit::{CommitAck, CommitStats, CommitTicket, DurabilityMode};
+pub use engine::{
+    Ingest, IngestError, IngestOptions, PreparedCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use wal::{
     encode_entries, scan_bytes, Wal, WalEntry, WalRecord, WalScan, WAL_HEADER_LEN, WAL_MAGIC,
     WAL_VERSION,

@@ -28,8 +28,15 @@
 //!   [`tix_store::persist::atomic_write`] — a WAL file either has a
 //!   complete, valid header or does not exist.
 //! * [`Wal::append`] writes one whole frame with a single `write_all`
-//!   followed by `sync_all`; a record is **committed** iff its full frame
-//!   (including the trailing CRC) reached the file.
+//!   followed by `sync_all`; [`Wal::append_frames`] does the same for a
+//!   group-commit batch of pre-encoded frames. A record is **committed**
+//!   iff its full frame (including the trailing CRC) reached the file.
+//! * A failed write or sync **rolls back**: the file is truncated to the
+//!   pre-append offset so a torn frame never lingers ahead of the write
+//!   cursor (where the next append would strand it as unreachable
+//!   garbage, silently cutting replay short). If the rollback truncation
+//!   itself fails the log is **poisoned**: every later operation errors
+//!   out instead of appending after bytes in an unknown state.
 //! * [`Wal::open`] scans the log and recovers the longest committed
 //!   prefix: the scan stops at the first frame that is torn (short),
 //!   fails its CRC, decodes to a malformed payload, or breaks LSN
@@ -48,17 +55,28 @@ pub const WAL_MAGIC: &[u8] = b"TIXWAL";
 /// Current WAL format version.
 pub const WAL_VERSION: u8 = 1;
 
+/// Header length in bytes (magic + version), as a usize for slicing.
+const WAL_HEADER_USIZE: usize = WAL_MAGIC.len() + 1;
+
 /// Header length in bytes: magic + version.
-pub const WAL_HEADER_LEN: u64 = WAL_MAGIC.len() as u64 + 1;
+// lint:allow(no-as-cast): widening usize -> u64 of a 7-byte constant
+pub const WAL_HEADER_LEN: u64 = WAL_HEADER_USIZE as u64;
 
 const OP_ADD: u8 = 1;
 const OP_REMOVE: u8 = 2;
+
+/// Checked `usize -> u64` widening. Infallible on every supported target
+/// (usize is at most 64 bits); the saturating fallback only exists so no
+/// `as` cast and no panic path is needed.
+pub(crate) fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
 
 /// One logged mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
     /// Load a new document (fails on a duplicate name — see the engine's
-    /// truncate-on-apply-failure protocol).
+    /// apply-before-stage protocol).
     AddDocument {
         /// Unique document name.
         name: String,
@@ -103,6 +121,13 @@ pub struct Wal {
     path: PathBuf,
     file: File,
     len: u64,
+    /// Set when a failed append could not be rolled back: the bytes past
+    /// `len` are in an unknown state, so every further operation must
+    /// error instead of appending after potential garbage.
+    poisoned: Option<String>,
+    /// Test-only injected write fault: fail after this many bytes of the
+    /// next frame write (see [`Wal::inject_write_fault`]).
+    write_fault: Option<u64>,
 }
 
 /// Minimal bounds-checked cursor over a record payload. Every accessor
@@ -138,7 +163,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn string(&mut self) -> Option<String> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?).ok()?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
@@ -171,6 +196,19 @@ fn encode_payload(lsn: u64, record: &WalRecord) -> io::Result<Vec<u8>> {
         }
     }
     Ok(payload)
+}
+
+/// Encode one record as a complete frame (length prefix + payload + CRC),
+/// ready to be concatenated into a group-commit batch.
+pub(crate) fn encode_frame(lsn: u64, record: &WalRecord) -> io::Result<Vec<u8>> {
+    let payload = encode_payload(lsn, record)?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record too large"))?;
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&tix_invariants::crc32(&payload).to_le_bytes());
+    Ok(frame)
 }
 
 fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
@@ -209,27 +247,21 @@ pub fn scan_bytes(bytes: &[u8]) -> io::Result<WalScan> {
 }
 
 /// Serialize `entries` back into a standalone WAL image (header +
-/// frames), the inverse of [`scan_bytes`]. Used by tests and the
-/// replication layer to synthesize op streams.
+/// frames), the inverse of [`scan_bytes`]. Used by tests, recovery-time
+/// log consolidation, and the replication layer to synthesize op streams.
 pub fn encode_entries(entries: &[(u64, WalRecord)]) -> io::Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    let mut out = Vec::with_capacity(WAL_HEADER_USIZE);
     out.extend_from_slice(WAL_MAGIC);
     out.push(WAL_VERSION);
     for (lsn, record) in entries {
-        let payload = encode_payload(*lsn, record)?;
-        let len = u32::try_from(payload.len())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record too large"))?;
-        out.extend_from_slice(&len.to_le_bytes());
-        out.extend_from_slice(&payload);
-        out.extend_from_slice(&tix_invariants::crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&encode_frame(*lsn, record)?);
     }
     Ok(out)
 }
 
 /// Scan `bytes` (a whole WAL file image) for the committed prefix.
 fn scan(bytes: &[u8]) -> io::Result<WalScan> {
-    let header_len = WAL_HEADER_LEN as usize;
-    let header_ok = bytes.len() >= header_len
+    let header_ok = bytes.len() >= WAL_HEADER_USIZE
         && bytes.starts_with(WAL_MAGIC)
         && bytes.get(WAL_MAGIC.len()).copied() == Some(WAL_VERSION);
     if !header_ok {
@@ -241,7 +273,7 @@ fn scan(bytes: &[u8]) -> io::Result<WalScan> {
         ));
     }
     let mut entries = Vec::new();
-    let mut pos = header_len;
+    let mut pos = WAL_HEADER_USIZE;
     let mut prev_lsn: Option<u64> = None;
     loop {
         let frame_start = pos;
@@ -250,7 +282,9 @@ fn scan(bytes: &[u8]) -> io::Result<WalScan> {
         };
         let mut len_buf = [0u8; 4];
         len_buf.copy_from_slice(len_bytes);
-        let payload_len = u32::from_le_bytes(len_buf) as usize;
+        // u32 -> usize cannot fail on supported targets; saturate instead
+        // of casting so a (hypothetical) 16-bit build still just stops.
+        let payload_len = usize::try_from(u32::from_le_bytes(len_buf)).unwrap_or(usize::MAX);
         let Some(payload_end) = (pos + 4).checked_add(payload_len) else {
             break;
         };
@@ -273,7 +307,7 @@ fn scan(bytes: &[u8]) -> io::Result<WalScan> {
         }
         prev_lsn = Some(lsn);
         entries.push(WalEntry {
-            offset: frame_start as u64,
+            offset: len_u64(frame_start),
             lsn,
             record,
         });
@@ -281,7 +315,7 @@ fn scan(bytes: &[u8]) -> io::Result<WalScan> {
     }
     Ok(WalScan {
         entries,
-        valid_len: pos as u64,
+        valid_len: len_u64(pos),
         torn: pos < bytes.len(),
     })
 }
@@ -301,7 +335,9 @@ impl Wal {
         let mut wal = Wal {
             path,
             file,
-            len: bytes.len() as u64,
+            len: len_u64(bytes.len()),
+            poisoned: None,
+            write_fault: None,
         };
         if scan.torn {
             wal.truncate_to(scan.valid_len)?;
@@ -319,22 +355,84 @@ impl Wal {
         self.len <= WAL_HEADER_LEN
     }
 
+    /// The poison reason, if a failed rollback has poisoned this log.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        match &self.poisoned {
+            Some(reason) => Err(io::Error::other(format!("WAL poisoned: {reason}"))),
+            None => Ok(()),
+        }
+    }
+
     /// Append one record durably: the whole frame is written with a single
     /// `write_all` and fsynced before this returns. Returns the frame's
-    /// byte offset so an apply failure can [`Wal::truncate_to`] it away.
+    /// byte offset.
+    ///
+    /// On a write or sync error the file is truncated back to the
+    /// pre-append offset, so the torn frame never sits ahead of the write
+    /// cursor (where the next append would strand it as unreachable
+    /// garbage and silently cut replay short). If that rollback fails, the
+    /// log is poisoned and every later operation errors.
     pub fn append(&mut self, lsn: u64, record: &WalRecord) -> io::Result<u64> {
-        let payload = encode_payload(lsn, record)?;
-        let len = u32::try_from(payload.len())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL record too large"))?;
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame.extend_from_slice(&tix_invariants::crc32(&payload).to_le_bytes());
+        let frame = encode_frame(lsn, record)?;
         let offset = self.len;
-        self.file.write_all(&frame)?;
-        self.file.sync_all()?;
-        self.len += frame.len() as u64;
+        self.append_frames(&frame, true)?;
         Ok(offset)
+    }
+
+    /// Append a batch of pre-encoded frames (see [`encode_frame`]) with a
+    /// single `write_all`, fsyncing iff `sync`. Same rollback/poison
+    /// contract as [`Wal::append`]: on any error nothing of the batch
+    /// remains in the committed region.
+    pub(crate) fn append_frames(&mut self, frames: &[u8], sync: bool) -> io::Result<()> {
+        self.check_poisoned()?;
+        let offset = self.len;
+        let write_result = match self.write_fault.take() {
+            None => self.file.write_all(frames),
+            Some(limit) => {
+                // Route the write through the shared fault-injection
+                // writer so integration tests can exercise a mid-frame
+                // failure against the real file: the first `limit` bytes
+                // genuinely land on disk, then the write errors.
+                let mut failing = tix_store::faultio::FailingWriter::fail_after(&self.file, limit);
+                failing.write_all(frames)
+            }
+        };
+        let result = write_result.and_then(|()| if sync { self.file.sync_all() } else { Ok(()) });
+        match result {
+            Ok(()) => {
+                self.len += len_u64(frames.len());
+                Ok(())
+            }
+            Err(e) => {
+                if let Err(rollback) = self
+                    .file
+                    .set_len(offset)
+                    .and_then(|()| self.file.sync_all())
+                {
+                    self.poisoned = Some(format!(
+                        "append failed ({e}) and rollback truncation failed ({rollback})"
+                    ));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Fsync every previously written frame (the group-commit leader's
+    /// deferred flush under `Batched`/`Flush` durability). The frames are
+    /// already acknowledged as written, so a failed sync cannot be rolled
+    /// back — it poisons the log instead.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        if let Err(e) = self.file.sync_all() {
+            self.poisoned = Some(format!("deferred fsync failed: {e}"));
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Truncate the log back to `offset` bytes (used to drop a frame whose
@@ -350,11 +448,48 @@ impl Wal {
     /// during reset leaves either the old log or the fresh one, never a
     /// partial file. Used by checkpointing after the meta file commits.
     pub fn reset(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
         write_header(&self.path)?;
         // The rename replaced the inode our append handle points at.
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         self.len = WAL_HEADER_LEN;
         Ok(())
+    }
+
+    /// Rotate the log aside for a non-blocking checkpoint: the current
+    /// file moves to `prev` and a fresh header-only log takes its place,
+    /// so new appends proceed while the checkpoint folds the frozen state.
+    ///
+    /// Crash safety: if the process dies after the rename but before the
+    /// fresh header lands, recovery finds `prev` without a current log,
+    /// creates a fresh one, and consolidates — no committed frame is lost
+    /// (see `Ingest::open`).
+    pub(crate) fn rotate(&mut self, prev: &Path) -> io::Result<()> {
+        self.check_poisoned()?;
+        fs::rename(&self.path, prev)?;
+        let reopened = write_header(&self.path)
+            .and_then(|()| OpenOptions::new().append(true).open(&self.path));
+        match reopened {
+            Ok(file) => {
+                self.file = file;
+                self.len = WAL_HEADER_LEN;
+                Ok(())
+            }
+            Err(e) => {
+                // The old log is already renamed away; without a fresh
+                // file there is nowhere safe to append.
+                self.poisoned = Some(format!("rotation failed after rename: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Test-only: make the next frame write fail after `fail_after` bytes,
+    /// leaving a genuinely torn frame on disk (driven through
+    /// `tix_store::faultio::FailingWriter`).
+    #[doc(hidden)]
+    pub fn inject_write_fault(&mut self, fail_after: u64) {
+        self.write_fault = Some(fail_after);
     }
 }
 
@@ -447,6 +582,54 @@ mod tests {
     }
 
     #[test]
+    fn failed_append_rolls_back_the_torn_frame() {
+        let path = tmp_dir("rollback").join("wal.log");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(1, &add("a.xml", "<a>keep</a>")).unwrap();
+        let committed_end = wal.len();
+        // Fail mid-frame: 5 bytes of the second frame land, then an error.
+        wal.inject_write_fault(5);
+        let err = wal.append(2, &add("b.xml", "<b>torn</b>")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The torn bytes were truncated away, on disk and in the cursor.
+        assert_eq!(wal.len(), committed_end);
+        assert_eq!(fs::metadata(&path).unwrap().len(), committed_end);
+        assert!(wal.poison_reason().is_none());
+        // A retry (the same LSN — the failed append never committed) and a
+        // later record both land cleanly after the rollback.
+        wal.append(2, &add("b.xml", "<b>retry</b>")).unwrap();
+        wal.append(3, &add("c.xml", "<c/>")).unwrap();
+        drop(wal);
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert!(!scan.torn);
+        let lsns: Vec<u64> = scan.entries.iter().map(|e| e.lsn).collect();
+        assert_eq!(lsns, [1, 2, 3]);
+        assert_eq!(scan.entries[1].record, add("b.xml", "<b>retry</b>"));
+    }
+
+    #[test]
+    fn batch_append_is_all_or_nothing() {
+        let path = tmp_dir("batch").join("wal.log");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let mut batch = Vec::new();
+        batch.extend_from_slice(&encode_frame(1, &add("a.xml", "<a/>")).unwrap());
+        batch.extend_from_slice(&encode_frame(2, &add("b.xml", "<b/>")).unwrap());
+        wal.append_frames(&batch, true).unwrap();
+        drop(wal);
+        let (mut wal, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        let committed_end = wal.len();
+        // A batch that tears mid-way rolls back entirely.
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&encode_frame(3, &add("c.xml", "<c/>")).unwrap());
+        torn.extend_from_slice(&encode_frame(4, &add("d.xml", "<d/>")).unwrap());
+        wal.inject_write_fault(len_u64(torn.len()) - 3);
+        wal.append_frames(&torn, true).unwrap_err();
+        assert_eq!(wal.len(), committed_end);
+        assert_eq!(fs::metadata(&path).unwrap().len(), committed_end);
+    }
+
+    #[test]
     fn corrupt_record_stops_the_scan() {
         let dir = tmp_dir("corrupt");
         let path = dir.join("wal.log");
@@ -501,6 +684,25 @@ mod tests {
         let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.entries.len(), 1);
         assert_eq!(scan.entries[0].lsn, 9);
+    }
+
+    #[test]
+    fn rotate_moves_records_aside_and_appends_continue() {
+        let dir = tmp_dir("rotate");
+        let path = dir.join("wal.log");
+        let prev = dir.join("wal.prev");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(1, &add("a.xml", "<a/>")).unwrap();
+        wal.append(2, &add("b.xml", "<b/>")).unwrap();
+        wal.rotate(&prev).unwrap();
+        assert!(wal.is_empty());
+        wal.append(3, &add("c.xml", "<c/>")).unwrap();
+        drop(wal);
+        let prev_scan = scan_bytes(&fs::read(&prev).unwrap()).unwrap();
+        assert_eq!(prev_scan.entries.len(), 2);
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].lsn, 3);
     }
 
     #[test]

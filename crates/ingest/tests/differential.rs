@@ -61,7 +61,7 @@ fn store_fingerprint(db: &Database) -> Vec<(String, usize)> {
 /// cross-reopen comparison.
 fn run_workload(ops: &[Op], threads: usize) -> (Vec<(String, usize)>, Vec<u8>) {
     let dir = fresh_dir();
-    let (mut ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
+    let (ingest, mut db) = Ingest::open(&dir, IngestOptions::default()).unwrap();
     db.set_threads(threads);
     for (step, &(kind, name_i, doc_i)) in ops.iter().enumerate() {
         let name = NAMES[name_i as usize % NAMES.len()];

@@ -53,7 +53,7 @@ fn torn_append_sweep_recovers_committed_prefix_at_every_offset() {
     let base = test_dir("sweep-base");
     let base_lsn;
     {
-        let (mut ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<d><p>alpha beta</p></d>")
             .unwrap();
@@ -123,7 +123,7 @@ fn torn_append_sweep_recovers_committed_prefix_at_every_offset() {
 fn recovered_directory_keeps_accepting_writes() {
     let base = test_dir("resume-base");
     {
-        let (mut ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
+        let (ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
         ingest
             .insert_document(&mut db, "a.xml", "<d><p>alpha</p></d>")
             .unwrap();
@@ -135,7 +135,7 @@ fn recovered_directory_keeps_accepting_writes() {
     let wal = fs::read(base.join("wal.log")).unwrap();
     fs::write(base.join("wal.log"), &wal[..wal.len() - 3]).unwrap();
 
-    let (mut ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
+    let (ingest, mut db) = Ingest::open(&base, IngestOptions::default()).unwrap();
     assert_eq!(doc_names(&db), ["a.xml"], "torn second insert dropped");
     ingest
         .insert_document(&mut db, "c.xml", "<d><p>gamma</p></d>")

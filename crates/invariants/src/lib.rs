@@ -525,6 +525,38 @@ pub fn assert_cache_coherent(entry_generation: u64, current_generation: u64) {
     }
 }
 
+// ---- group commit -----------------------------------------------------------
+
+/// Group-commit watermark coherence (the write path's contract): the
+/// three LSN watermarks of the commit pipeline must always satisfy
+/// `durable <= written <= staged` — a frame can only be fsynced once
+/// written, and only written once staged. A violation means an
+/// acknowledgement could name an LSN the log does not actually hold at
+/// that durability level, which is exactly the lie prefix durability
+/// forbids.
+pub fn try_commit_watermarks(
+    durable: u64,
+    written: u64,
+    staged: u64,
+) -> Result<(), InvariantError> {
+    if durable > written || written > staged {
+        return violation(
+            "commit-watermarks",
+            format!(
+                "watermarks out of order: durable {durable} <= written {written} <= staged {staged} must hold"
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_commit_watermarks`]; wrap calls in [`check!`].
+pub fn assert_commit_watermarks(durable: u64, written: u64, staged: u64) {
+    if let Err(e) = try_commit_watermarks(durable, written, staged) {
+        panic!("{e}");
+    }
+}
+
 // ---- snapshot sealing -------------------------------------------------------
 
 /// Lookup table for CRC-32 (IEEE 802.3, reflected, polynomial

@@ -39,7 +39,7 @@ pub const SPAWN_EXEMPT_CRATES: &[&str] = &["parallel", "server", "cluster"];
 /// (`no-unbounded-channel`): a queue that grows with client demand is a
 /// memory-exhaustion vector, so any `Vec`/`VecDeque` used as a queue here
 /// must sit behind an explicit capacity check.
-pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server", "cluster"];
+pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server", "cluster", "ingest"];
 
 /// Crates that write snapshot/sidecar files (`no-bare-file-create`): a
 /// bare `File::create` puts partial bytes at the final path, so a crash
@@ -69,6 +69,16 @@ pub const SCORING_PATHS: &[&str] = &[
     "crates/query/src/physical.rs",
     "crates/query/src/execute.rs",
     "crates/query/src/explain.rs",
+];
+
+/// Write-path files: the same no-`as`-cast bar as [`SCORING_PATHS`], for
+/// a different failure mode — here a silently wrapping cast corrupts a
+/// WAL length, LSN, or frame offset, turning crash recovery into data
+/// loss instead of a wrong score.
+pub const WRITE_PATHS: &[&str] = &[
+    "crates/ingest/src/wal.rs",
+    "crates/ingest/src/commit.rs",
+    "crates/ingest/src/engine.rs",
 ];
 
 /// A standing per-rule, per-file exception with its justification.

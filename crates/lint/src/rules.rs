@@ -171,9 +171,14 @@ fn no_slice_index(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// `no-as-cast`: no `as` numeric casts in scoring-path files.
+/// `no-as-cast`: no `as` numeric casts in scoring-path or write-path
+/// files (wrong score vs. corrupted WAL offset — both silent).
 fn no_as_cast(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !config::SCORING_PATHS.iter().any(|p| ctx.rel.ends_with(p)) {
+    let scoped = config::SCORING_PATHS
+        .iter()
+        .chain(config::WRITE_PATHS)
+        .any(|p| ctx.rel.ends_with(p));
+    if !scoped {
         return;
     }
     let toks = &ctx.lx.tokens;

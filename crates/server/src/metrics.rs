@@ -160,6 +160,20 @@ pub struct Metrics {
     /// Size-triggered checkpoints that failed (the mutation itself was
     /// already durable; the WAL simply keeps growing until the next try).
     pub ingest_checkpoint_errors: AtomicU64,
+    /// Group-commit batches led (one WAL write each). Mirrored from the
+    /// ingest engine's [`CommitStats`](tix_ingest::CommitStats) after
+    /// every mutation.
+    pub commit_batches: AtomicU64,
+    /// Frames written through group commit.
+    pub commit_frames: AtomicU64,
+    /// fsyncs the commit pipeline actually issued; `frames - fsyncs` is
+    /// what batching + relaxed durability saved.
+    pub commit_fsyncs: AtomicU64,
+    /// Largest number of frames one leader flushed in a single batch.
+    pub commit_max_batch: AtomicU64,
+    /// Total microseconds commit leaders stalled behind checkpoint
+    /// rotations (should stay near 0 — checkpoints are non-blocking).
+    pub commit_checkpoint_stall_us: AtomicU64,
     /// WAL suffixes this node pulled from its primary (followers only).
     pub replication_pulls: AtomicU64,
     /// Logical ops applied from pulled WAL images (followers only).
@@ -202,6 +216,11 @@ impl Metrics {
             ingest_removes: AtomicU64::new(0),
             ingest_checkpoints: AtomicU64::new(0),
             ingest_checkpoint_errors: AtomicU64::new(0),
+            commit_batches: AtomicU64::new(0),
+            commit_frames: AtomicU64::new(0),
+            commit_fsyncs: AtomicU64::new(0),
+            commit_max_batch: AtomicU64::new(0),
+            commit_checkpoint_stall_us: AtomicU64::new(0),
             replication_pulls: AtomicU64::new(0),
             replication_records: AtomicU64::new(0),
             replication_errors: AtomicU64::new(0),
@@ -242,6 +261,7 @@ impl Metrics {
                 "\"rejected_shutdown\":{},",
                 "\"deadline_expired\":{},",
                 "\"ingest\":{{\"inserts\":{},\"removes\":{},\"checkpoints\":{},\"checkpoint_errors\":{}}},",
+                "\"commit\":{{\"batches\":{},\"frames\":{},\"fsyncs\":{},\"fsyncs_saved\":{},\"max_batch_frames\":{},\"checkpoint_stall_us\":{}}},",
                 "\"replication\":{{\"pulls\":{},\"records\":{},\"errors\":{},\"stale_rejects\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"queue\":{{\"depth\":{},\"wait\":{}}},",
@@ -262,6 +282,12 @@ impl Metrics {
             load(&self.ingest_removes),
             load(&self.ingest_checkpoints),
             load(&self.ingest_checkpoint_errors),
+            load(&self.commit_batches),
+            load(&self.commit_frames),
+            load(&self.commit_fsyncs),
+            load(&self.commit_frames).saturating_sub(load(&self.commit_fsyncs)),
+            load(&self.commit_max_batch),
+            load(&self.commit_checkpoint_stall_us),
             load(&self.replication_pulls),
             load(&self.replication_records),
             load(&self.replication_errors),
@@ -338,6 +364,15 @@ mod tests {
     }
 
     #[test]
+    fn commit_fsyncs_saved_is_frames_minus_fsyncs() {
+        let m = Metrics::new(1);
+        m.commit_frames.store(10, Ordering::Relaxed);
+        m.commit_fsyncs.store(3, Ordering::Relaxed);
+        let json = m.to_json();
+        assert!(json.contains("\"fsyncs_saved\":7"), "{json}");
+    }
+
+    #[test]
     fn status_classes_counted() {
         let m = Metrics::new(4);
         m.record_status(200);
@@ -366,6 +401,7 @@ mod tests {
             "\"endpoints\"",
             "\"documents\":0",
             "\"ingest\":{\"inserts\":0,\"removes\":0,\"checkpoints\":0,\"checkpoint_errors\":0}",
+            "\"commit\":{\"batches\":0,\"frames\":0,\"fsyncs\":0,\"fsyncs_saved\":0,\"max_batch_frames\":0,\"checkpoint_stall_us\":0}",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -13,7 +13,7 @@ use tix::exec::pick::PickParams;
 use tix::query::run_query;
 use tix::store::{LoadError, RemoveError};
 use tix::{normalize_query, Database};
-use tix_ingest::{Ingest, IngestError, IngestOptions};
+use tix_ingest::{DurabilityMode, Ingest, IngestError, IngestOptions};
 
 use crate::cache::{QueryKey, QueryKind, ResultCache};
 use crate::http::{self, Limits, Request, Response};
@@ -77,6 +77,11 @@ pub struct ServerConfig {
     /// Expose `/debug/sleep` (used by the saturation and deadline tests
     /// and the load generator's worst-case mode).
     pub debug_endpoints: bool,
+    /// When a mutation is acknowledged (live servers only): `Strict`
+    /// fsyncs before every ack, `Batched` acks written frames and fsyncs
+    /// on a short timer, `Flush` defers to checkpoints and explicit
+    /// flushes. See [`DurabilityMode`].
+    pub durability: DurabilityMode,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +95,7 @@ impl Default for ServerConfig {
             max_body: 1024 * 1024,
             request_threads: 1,
             debug_endpoints: false,
+            durability: DurabilityMode::Strict,
         }
     }
 }
@@ -102,16 +108,26 @@ struct Job {
 
 /// State shared by the accept loop and every worker.
 ///
-/// Lock ordering for mutations: the `ingest` mutex is always taken
-/// **before** the `db` write lock (the single-writer discipline — at most
-/// one mutation is logged and applied at a time), and the `db` lock is
-/// never held while waiting on `ingest`. Readers take only the `db` read
-/// lock, so they see a coherent pre- or post-mutation view.
+/// Write-path discipline: a mutation **stages** (applies to the database
+/// and reserves its WAL frame) under the `db` write lock — the lock is
+/// what orders concurrent writers, so LSN order equals apply order — and
+/// then **commits** (waits for the frame to be written/fsynced per the
+/// durability mode) with no lock held. That handoff is what lets N
+/// concurrent mutations ride one group-commit batch and one fsync while
+/// readers take only the `db` read lock and see coherent pre- or
+/// post-mutation views.
 struct Shared {
     db: RwLock<Database>,
     /// `Some` when serving a durable directory (live ingestion enabled);
-    /// `None` for a read-only in-memory server.
-    ingest: Option<Mutex<Ingest>>,
+    /// `None` for a read-only in-memory server. The engine is internally
+    /// synchronized (`&self` mutations); exclusivity of *application*
+    /// comes from the `db` write lock held while staging.
+    ingest: Option<Ingest>,
+    /// `Some(reason)` after a checkpoint attempt failed, cleared by the
+    /// next success. Mutations stay durable in the WAL either way, but
+    /// the log keeps growing and recovery gets slower — `/health`
+    /// surfaces this as `checkpoint_degraded` so operators see it.
+    checkpoint_health: Mutex<Option<String>>,
     cache: Mutex<ResultCache>,
     metrics: Metrics,
     queue: BoundedQueue<Job>,
@@ -129,16 +145,31 @@ struct Shared {
     checkpoint_seq: AtomicU64,
     /// Mirror of [`Ingest::wal_len`], same discipline.
     wal_len: AtomicU64,
+    /// Mirror of [`Ingest::durable_lsn`] — what would survive a crash
+    /// right now (trails `applied_lsn` under `Batched`/`Flush`).
+    durable_lsn: AtomicU64,
 }
 
 impl Shared {
-    /// Refresh the lock-free mirrors from the engine. Call with the
-    /// ingest mutex held (right after a mutation, apply, or checkpoint).
+    /// Refresh the lock-free mirrors (and the `/metrics` commit-stats
+    /// copy) from the engine, right after a mutation, apply, flush, or
+    /// checkpoint.
     fn publish_ingest_state(&self, ingest: &Ingest) {
         self.applied_lsn.store(ingest.last_lsn(), Ordering::SeqCst);
         self.checkpoint_seq
             .store(ingest.checkpoint_seq(), Ordering::SeqCst);
         self.wal_len.store(ingest.wal_len(), Ordering::SeqCst);
+        self.durable_lsn
+            .store(ingest.durable_lsn(), Ordering::SeqCst);
+        let stats = ingest.commit_stats();
+        let m = &self.metrics;
+        m.commit_batches.store(stats.batches, Ordering::Relaxed);
+        m.commit_frames.store(stats.frames, Ordering::Relaxed);
+        m.commit_fsyncs.store(stats.fsyncs, Ordering::Relaxed);
+        m.commit_max_batch
+            .store(stats.max_batch_frames, Ordering::Relaxed);
+        m.commit_checkpoint_stall_us
+            .store(stats.checkpoint_stall_us, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +182,9 @@ pub struct Server {
     listener_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     replication_thread: Option<std::thread::JoinHandle<()>>,
+    /// Under [`DurabilityMode::Batched`]: fsyncs frames whose deadline
+    /// passed without a foreground commit doing it first.
+    flusher_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -167,8 +201,11 @@ impl Server {
     /// `DELETE /documents/{name}` mutate the database under the
     /// single-writer discipline while queries keep reading.
     pub fn start_live(dir: impl Into<PathBuf>, config: ServerConfig) -> std::io::Result<Server> {
-        let (ingest, db) =
-            Ingest::open(dir, IngestOptions::default()).map_err(std::io::Error::other)?;
+        let options = IngestOptions {
+            durability: config.durability,
+            ..IngestOptions::default()
+        };
+        let (ingest, db) = Ingest::open(dir, options).map_err(std::io::Error::other)?;
         Server::start_inner(db, Some(ingest), ServerRole::Standalone, None, config)
     }
 
@@ -178,6 +215,7 @@ impl Server {
     pub fn start_primary(dir: impl Into<PathBuf>, config: ServerConfig) -> std::io::Result<Server> {
         let options = IngestOptions {
             retain_wal: true,
+            durability: config.durability,
             ..IngestOptions::default()
         };
         let (ingest, db) = Ingest::open(dir, options).map_err(std::io::Error::other)?;
@@ -198,6 +236,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let options = IngestOptions {
             retain_wal: true,
+            durability: config.durability,
             ..IngestOptions::default()
         };
         let (ingest, db) = Ingest::open(dir, options).map_err(std::io::Error::other)?;
@@ -218,13 +257,21 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let (applied_lsn, checkpoint_seq, wal_len) = ingest
+        let (applied_lsn, checkpoint_seq, wal_len, durable_lsn) = ingest
             .as_ref()
-            .map(|i| (i.last_lsn(), i.checkpoint_seq(), i.wal_len()))
-            .unwrap_or((0, 0, 0));
+            .map(|i| {
+                (
+                    i.last_lsn(),
+                    i.checkpoint_seq(),
+                    i.wal_len(),
+                    i.durable_lsn(),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0));
         let shared = Arc::new(Shared {
             db: RwLock::new(db),
-            ingest: ingest.map(Mutex::new),
+            ingest,
+            checkpoint_health: Mutex::new(None),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             metrics: Metrics::new(workers),
             queue: BoundedQueue::new(config.queue_capacity),
@@ -238,6 +285,7 @@ impl Server {
             applied_lsn: AtomicU64::new(applied_lsn),
             checkpoint_seq: AtomicU64::new(checkpoint_seq),
             wal_len: AtomicU64::new(wal_len),
+            durable_lsn: AtomicU64::new(durable_lsn),
         });
 
         let mut worker_threads = Vec::with_capacity(workers);
@@ -251,6 +299,15 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || replication_loop(&shared, &primary))
         });
+        let flusher_thread = match shared.ingest.as_ref().map(Ingest::durability) {
+            Some(DurabilityMode::Batched { max_delay }) => {
+                let shared = Arc::clone(&shared);
+                // Half the deadline so no frame waits much past it.
+                let tick = (max_delay / 2).max(Duration::from_millis(1));
+                Some(std::thread::spawn(move || flusher_loop(&shared, tick)))
+            }
+            _ => None,
+        };
 
         Ok(Server {
             addr,
@@ -258,6 +315,7 @@ impl Server {
             listener_thread: Some(listener_thread),
             worker_threads,
             replication_thread,
+            flusher_thread,
         })
     }
 
@@ -279,6 +337,13 @@ impl Server {
     /// The last applied LSN (0 for a read-only in-memory server).
     pub fn applied_lsn(&self) -> u64 {
         self.shared.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// The highest fsynced LSN — what survives a crash right now. Equals
+    /// [`Server::applied_lsn`] under [`DurabilityMode::Strict`] at rest;
+    /// may trail it under `Batched`/`Flush`.
+    pub fn durable_lsn(&self) -> u64 {
+        self.shared.durable_lsn.load(Ordering::SeqCst)
     }
 
     /// Apply a pulled WAL image (header + CRC frames) to this node —
@@ -322,6 +387,14 @@ impl Server {
         if let Some(handle) = self.replication_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.flusher_thread.take() {
+            let _ = handle.join();
+        }
+        // Leave nothing riding on the next timer tick: a clean shutdown
+        // makes every acknowledged mutation durable, whatever the mode.
+        if let Some(ingest) = &self.shared.ingest {
+            let _ = ingest.flush();
+        }
     }
 
     /// Serve until the process exits (the CLI `serve` command's main
@@ -351,8 +424,23 @@ fn lock_cache(cache: &Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCac
     cache.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-fn lock_ingest(ingest: &Mutex<Ingest>) -> std::sync::MutexGuard<'_, Ingest> {
-    ingest.lock().unwrap_or_else(|p| p.into_inner())
+fn lock_health(health: &Mutex<Option<String>>) -> std::sync::MutexGuard<'_, Option<String>> {
+    health.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The `Batched`-mode background flusher: wake twice per `max_delay` and
+/// fsync any frame whose deadline passed without a foreground commit
+/// covering it. Errors poison the pipeline (subsequent mutations answer
+/// 500); nothing to do here but keep the durable-LSN mirror fresh.
+fn flusher_loop(shared: &Shared, tick: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(ingest) = &shared.ingest {
+            if let Ok(Some(_)) = ingest.flush_if_due() {
+                shared.publish_ingest_state(ingest);
+            }
+        }
+        std::thread::sleep(tick);
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
@@ -470,55 +558,75 @@ fn replication_loop(shared: &Arc<Shared>, primary: &str) {
     }
 }
 
-/// Apply one pulled WAL image under the single-writer discipline. See
-/// [`Server::apply_wal_image`] for the contract.
+/// Apply one pulled WAL image: stage every record under a single `db`
+/// write-lock hold, then commit the batch **once** — the whole image
+/// costs one WAL write and (under `Strict`) one fsync instead of one per
+/// record. See [`Server::apply_wal_image`] for the contract.
 fn apply_wal_image(shared: &Shared, bytes: &[u8]) -> Result<u64, String> {
-    let Some(ingest_lock) = &shared.ingest else {
+    let Some(ingest) = &shared.ingest else {
         return Err("read-only server cannot apply replicated writes".to_string());
     };
     // Torn transfers are not errors: the scanner returns the committed
     // prefix and the next pull re-requests the rest. Only a mangled
     // header fails outright.
     let scan = tix_ingest::scan_bytes(bytes).map_err(|e| format!("bad WAL image: {e}"))?;
-    let mut ingest = lock_ingest(ingest_lock);
     let mut db = write_lock(&shared.db);
     let mut applied = 0u64;
+    let mut last_ticket = None;
+    let mut failure = None;
     for entry in scan.entries {
         let last = ingest.last_lsn();
         if entry.lsn <= last {
             continue;
         }
         if entry.lsn != last + 1 {
-            shared.publish_ingest_state(&ingest);
-            return Err(format!(
+            failure = Some(format!(
                 "lsn discontinuity: image jumps to {} with {} applied",
                 entry.lsn, last
             ));
+            break;
         }
-        let result = match &entry.record {
-            tix_ingest::WalRecord::AddDocument { name, xml } => ingest
-                .insert_document(&mut db, name, xml)
-                .map(|_| ())
-                .map_err(|e| e.to_string()),
-            tix_ingest::WalRecord::RemoveDocument { name } => ingest
-                .remove_document(&mut db, name)
-                .map(|_| ())
-                .map_err(|e| e.to_string()),
+        let staged = match &entry.record {
+            tix_ingest::WalRecord::AddDocument { name, xml } => {
+                ingest.stage_insert(&mut db, name, xml).map(|(_, t)| t)
+            }
+            tix_ingest::WalRecord::RemoveDocument { name } => {
+                ingest.stage_remove(&mut db, name).map(|(_, t)| t)
+            }
         };
-        if let Err(e) = result {
-            shared.publish_ingest_state(&ingest);
-            return Err(format!("apply of lsn {} failed: {e}", entry.lsn));
+        match staged {
+            Ok(ticket) => {
+                last_ticket = Some(ticket);
+                applied += 1;
+            }
+            Err(e) => {
+                failure = Some(format!("apply of lsn {} failed: {e}", entry.lsn));
+                break;
+            }
         }
-        applied += 1;
+    }
+    drop(db);
+    // Committing the newest ticket covers every earlier staged frame —
+    // the leader flushes the whole pending batch. Runs even on a partial
+    // failure: what was applied in memory must reach the log.
+    if let Some(ticket) = last_ticket {
+        if let Err(e) = ingest.commit(ticket) {
+            shared.publish_ingest_state(ingest);
+            return Err(format!("commit of pulled image failed: {e}"));
+        }
+    }
+    if let Some(e) = failure {
+        shared.publish_ingest_state(ingest);
+        return Err(e);
     }
     if applied > 0 {
         shared
             .metrics
             .replication_records
             .fetch_add(applied, Ordering::Relaxed);
-        let _ = checkpoint_after_mutation(shared, &mut ingest, &mut db);
+        checkpoint_after_mutation(shared, ingest);
     }
-    shared.publish_ingest_state(&ingest);
+    shared.publish_ingest_state(ingest);
     Ok(applied)
 }
 
@@ -724,15 +832,24 @@ fn respond(shared: &Shared, request: &Request, admitted: Instant) -> Response {
 
 fn handle_health(shared: &Shared) -> Response {
     let db = read_lock(&shared.db);
+    let durability = shared
+        .ingest
+        .as_ref()
+        .map_or("null".to_string(), |i| format!("\"{}\"", i.durability()));
+    let degraded = match lock_health(&shared.checkpoint_health).as_deref() {
+        Some(reason) => format!("true,\"checkpoint_error\":{}", render::json_string(reason)),
+        None => "false".to_string(),
+    };
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"role\":\"{}\",\"docs\":{},\"nodes\":{},\"generation\":{},\"applied_lsn\":{},\"checkpoint_seq\":{},\"wal_len\":{},\"workers\":{}}}",
+            "{{\"status\":\"ok\",\"role\":\"{}\",\"docs\":{},\"nodes\":{},\"generation\":{},\"applied_lsn\":{},\"durable_lsn\":{},\"checkpoint_seq\":{},\"wal_len\":{},\"durability\":{durability},\"checkpoint_degraded\":{degraded},\"workers\":{}}}",
             shared.role.as_str(),
             db.store().doc_count(),
             db.store().node_count(),
             db.generation(),
             shared.applied_lsn.load(Ordering::SeqCst),
+            shared.durable_lsn.load(Ordering::SeqCst),
             shared.checkpoint_seq.load(Ordering::SeqCst),
             shared.wal_len.load(Ordering::SeqCst),
             shared.metrics.workers_total
@@ -767,7 +884,7 @@ fn stale_reject(shared: &Shared, request: &Request) -> Option<Response> {
 /// servable LSN when the suffix was checkpointed away (the follower must
 /// resync), 403 on a server without a durable directory.
 fn handle_wal(shared: &Shared, request: &Request) -> Response {
-    let Some(ingest_lock) = &shared.ingest else {
+    let Some(ingest) = &shared.ingest else {
         return Response::error(403, "read-only server has no WAL");
     };
     let from_lsn = match parse_u64(request, "from_lsn", 0) {
@@ -778,7 +895,6 @@ fn handle_wal(shared: &Shared, request: &Request) -> Response {
         Ok(v) => v.min(WAL_PULL_MAX_BYTES),
         Err(response) => return response,
     };
-    let ingest = lock_ingest(ingest_lock);
     match ingest.wal_suffix(from_lsn, max_bytes) {
         Ok(image) => Response::binary(200, image),
         Err(IngestError::WalGap {
@@ -796,28 +912,28 @@ fn handle_wal(shared: &Shared, request: &Request) -> Response {
 /// the differential harness use this to exercise checkpoint interleavings
 /// without waiting for the size trigger).
 fn handle_admin_checkpoint(shared: &Shared) -> Response {
-    let Some(ingest_lock) = &shared.ingest else {
+    let Some(ingest) = &shared.ingest else {
         return Response::error(403, "read-only server has nothing to checkpoint");
     };
-    let mut ingest = lock_ingest(ingest_lock);
-    let mut db = write_lock(&shared.db);
-    match ingest.checkpoint(&mut db) {
+    // Begin under the db write lock (quiesce + O(docs) freeze), complete
+    // — the snapshot IO — after releasing it, so queries and writers run
+    // through the slow part.
+    let prepared = {
+        let mut db = write_lock(&shared.db);
+        ingest.begin_checkpoint(&mut db)
+    };
+    let completed = prepared.and_then(|p| ingest.complete_checkpoint(p));
+    match completed {
         Ok(seq) => {
-            shared
-                .metrics
-                .ingest_checkpoints
-                .fetch_add(1, Ordering::Relaxed);
-            shared.publish_ingest_state(&ingest);
+            record_checkpoint_success(shared);
+            shared.publish_ingest_state(ingest);
             Response::json(
                 200,
                 format!("{{\"checkpoint\":{seq},\"lsn\":{}}}", ingest.last_lsn()),
             )
         }
         Err(e) => {
-            shared
-                .metrics
-                .ingest_checkpoint_errors
-                .fetch_add(1, Ordering::Relaxed);
+            record_checkpoint_failure(shared, &e);
             Response::error(500, &e.to_string())
         }
     }
@@ -1124,13 +1240,16 @@ fn handle_query(shared: &Shared, request: &Request, deadline: Instant) -> Respon
 }
 
 /// The response both document mutations share: what changed, the WAL
-/// position, the new generation, and the checkpoint sequence when the
-/// size threshold fired.
+/// position, how much of the log is fsynced, the new generation, and the
+/// checkpoint sequence when the size threshold fired. `durable_lsn >=
+/// lsn` means this mutation survives a crash; under `Batched`/`Flush` it
+/// may still be pending.
 fn mutation_body(
     action: &str,
     name: &str,
     doc: u32,
     lsn: u64,
+    durable_lsn: u64,
     generation: u64,
     checkpoint: Option<u64>,
 ) -> String {
@@ -1139,36 +1258,69 @@ fn mutation_body(
         None => String::new(),
     };
     format!(
-        "{{\"{action}\":{},\"doc\":{doc},\"lsn\":{lsn},\"generation\":{generation}{checkpoint}}}",
+        "{{\"{action}\":{},\"doc\":{doc},\"lsn\":{lsn},\"durable_lsn\":{durable_lsn},\"generation\":{generation}{checkpoint}}}",
         render::json_string(name)
     )
 }
 
-/// Run the size-threshold checkpoint check after a successful mutation.
-/// A checkpoint failure never fails the request — the mutation is already
-/// durable in the WAL; the log simply keeps growing until the next try.
-fn checkpoint_after_mutation(
-    shared: &Shared,
-    ingest: &mut Ingest,
-    db: &mut Database,
-) -> Option<u64> {
-    match ingest.maybe_checkpoint(db) {
-        Ok(Some(seq)) => {
-            shared
-                .metrics
-                .ingest_checkpoints
-                .fetch_add(1, Ordering::Relaxed);
+fn record_checkpoint_success(shared: &Shared) {
+    shared
+        .metrics
+        .ingest_checkpoints
+        .fetch_add(1, Ordering::Relaxed);
+    *lock_health(&shared.checkpoint_health) = None;
+}
+
+fn record_checkpoint_failure(shared: &Shared, e: &IngestError) {
+    shared
+        .metrics
+        .ingest_checkpoint_errors
+        .fetch_add(1, Ordering::Relaxed);
+    *lock_health(&shared.checkpoint_health) = Some(e.to_string());
+}
+
+/// Run the size-threshold checkpoint check after a successful mutation:
+/// begin (quiesce + freeze) under a fresh short `db` write-lock hold,
+/// complete (snapshot IO) with no lock held. A checkpoint failure never
+/// fails the request — the mutation is already durable in the WAL; the
+/// log keeps growing and `/health` turns `checkpoint_degraded` until a
+/// later attempt succeeds.
+fn checkpoint_after_mutation(shared: &Shared, ingest: &Ingest) -> Option<u64> {
+    let prepared = {
+        let mut db = write_lock(&shared.db);
+        match ingest.maybe_begin_checkpoint(&mut db) {
+            Ok(Some(prepared)) => prepared,
+            Ok(None) => return None,
+            Err(e) => {
+                record_checkpoint_failure(shared, &e);
+                return None;
+            }
+        }
+    };
+    match ingest.complete_checkpoint(prepared) {
+        Ok(seq) => {
+            record_checkpoint_success(shared);
             Some(seq)
         }
-        Ok(None) => None,
-        Err(_) => {
-            shared
-                .metrics
-                .ingest_checkpoint_errors
-                .fetch_add(1, Ordering::Relaxed);
+        Err(e) => {
+            record_checkpoint_failure(shared, &e);
             None
         }
     }
+}
+
+/// Map a write-path failure to a status: 503 + Retry-After for a full
+/// commit queue (back-pressure, not damage), 500 for everything else —
+/// including a poisoned pipeline, where every subsequent mutation fails
+/// until a restart recovers the durable prefix.
+fn ingest_error_response(e: &IngestError) -> Response {
+    if let IngestError::Io(io) = e {
+        if io.kind() == std::io::ErrorKind::WouldBlock {
+            return Response::error(503, &e.to_string())
+                .with_header("Retry-After", "1".to_string());
+        }
+    }
+    Response::error(500, &e.to_string())
 }
 
 /// `POST /documents?name=X` with the XML document as the body: log the
@@ -1176,7 +1328,7 @@ fn checkpoint_after_mutation(
 /// and answer 201 — or 409 on a duplicate name, 400 on bad input, 403 on
 /// a read-only server.
 fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
-    let Some(ingest_lock) = &shared.ingest else {
+    let Some(ingest) = &shared.ingest else {
         return Response::error(403, "read-only server: ingestion needs a durable directory");
     };
     if shared.role == ServerRole::Follower {
@@ -1194,35 +1346,45 @@ fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
     if xml.trim().is_empty() {
         return Response::error(400, "document body is empty");
     }
-    // Single-writer discipline: ingest mutex first, then the db write
-    // lock (see the `Shared` lock-ordering contract).
-    let mut ingest = lock_ingest(ingest_lock);
-    let mut db = write_lock(&shared.db);
-    match ingest.insert_document(&mut db, name, xml) {
-        Ok(id) => {
-            shared
-                .metrics
-                .ingest_inserts
-                .fetch_add(1, Ordering::Relaxed);
-            let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
-            shared.publish_ingest_state(&ingest);
-            Response::json(
-                201,
-                mutation_body(
-                    "inserted",
-                    name,
-                    id.0,
-                    ingest.last_lsn(),
-                    db.generation(),
-                    checkpoint,
-                ),
-            )
-        }
+    // Stage under the db write lock, commit after releasing it: workers
+    // blocked here on their own mutations stage into the same batch and
+    // one leader fsyncs for all of them (see the `Shared` contract).
+    let (staged, generation) = {
+        let mut db = write_lock(&shared.db);
+        (ingest.stage_insert(&mut db, name, xml), db.generation())
+    };
+    match staged {
+        Ok((id, ticket)) => match ingest.commit(ticket) {
+            Ok(ack) => {
+                shared
+                    .metrics
+                    .ingest_inserts
+                    .fetch_add(1, Ordering::Relaxed);
+                let checkpoint = checkpoint_after_mutation(shared, ingest);
+                shared.publish_ingest_state(ingest);
+                Response::json(
+                    201,
+                    mutation_body(
+                        "inserted",
+                        name,
+                        id.0,
+                        ack.lsn,
+                        ack.durable_lsn,
+                        generation,
+                        checkpoint,
+                    ),
+                )
+            }
+            Err(e) => {
+                shared.publish_ingest_state(ingest);
+                ingest_error_response(&e)
+            }
+        },
         Err(IngestError::Load(LoadError::DuplicateName(_))) => {
             Response::error(409, &format!("document {name:?} already exists"))
         }
         Err(IngestError::Load(e)) => Response::error(400, &e.to_string()),
-        Err(e) => Response::error(500, &e.to_string()),
+        Err(e) => ingest_error_response(&e),
     }
 }
 
@@ -1230,7 +1392,7 @@ fn handle_insert_document(shared: &Shared, request: &Request) -> Response {
 /// document's postings and renumbering), and answer 200 — or 404 for an
 /// unknown name, 403 on a read-only server.
 fn handle_remove_document(shared: &Shared, name: &str) -> Response {
-    let Some(ingest_lock) = &shared.ingest else {
+    let Some(ingest) = &shared.ingest else {
         return Response::error(403, "read-only server: ingestion needs a durable directory");
     };
     if shared.role == ServerRole::Follower {
@@ -1239,32 +1401,41 @@ fn handle_remove_document(shared: &Shared, name: &str) -> Response {
     if name.is_empty() {
         return Response::error(400, "missing document name in path");
     }
-    let mut ingest = lock_ingest(ingest_lock);
-    let mut db = write_lock(&shared.db);
-    match ingest.remove_document(&mut db, name) {
-        Ok(id) => {
-            shared
-                .metrics
-                .ingest_removes
-                .fetch_add(1, Ordering::Relaxed);
-            let checkpoint = checkpoint_after_mutation(shared, &mut ingest, &mut db);
-            shared.publish_ingest_state(&ingest);
-            Response::json(
-                200,
-                mutation_body(
-                    "removed",
-                    name,
-                    id.0,
-                    ingest.last_lsn(),
-                    db.generation(),
-                    checkpoint,
-                ),
-            )
-        }
+    let (staged, generation) = {
+        let mut db = write_lock(&shared.db);
+        (ingest.stage_remove(&mut db, name), db.generation())
+    };
+    match staged {
+        Ok((id, ticket)) => match ingest.commit(ticket) {
+            Ok(ack) => {
+                shared
+                    .metrics
+                    .ingest_removes
+                    .fetch_add(1, Ordering::Relaxed);
+                let checkpoint = checkpoint_after_mutation(shared, ingest);
+                shared.publish_ingest_state(ingest);
+                Response::json(
+                    200,
+                    mutation_body(
+                        "removed",
+                        name,
+                        id.0,
+                        ack.lsn,
+                        ack.durable_lsn,
+                        generation,
+                        checkpoint,
+                    ),
+                )
+            }
+            Err(e) => {
+                shared.publish_ingest_state(ingest);
+                ingest_error_response(&e)
+            }
+        },
         Err(IngestError::Remove(RemoveError::NotFound(_))) => {
             Response::error(404, &format!("no document named {name:?}"))
         }
-        Err(e) => Response::error(500, &e.to_string()),
+        Err(e) => ingest_error_response(&e),
     }
 }
 

@@ -688,3 +688,58 @@ fn explain_reports_the_chosen_plan() {
     assert_eq!(status, 400);
     server.shutdown();
 }
+
+#[test]
+fn durability_mode_acks_and_checkpoint_health() {
+    let dir = live_dir("durability");
+    let config = ServerConfig {
+        durability: tix_ingest::DurabilityMode::Batched {
+            max_delay: std::time::Duration::from_millis(2),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start_live(&dir, config).unwrap();
+
+    // Batched acks carry both the assigned and the durable LSN.
+    let (status, _, body) = post(&server, "/documents?name=a.xml", "<a><p>alpha</p></a>");
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"lsn\":1"), "{text}");
+    assert!(text.contains("\"durable_lsn\":"), "{text}");
+
+    let (status, _, body) = get(&server, "/health");
+    assert_eq!(status, 200);
+    let health = String::from_utf8(body).unwrap();
+    assert!(health.contains("\"durability\":\"batched:2\""), "{health}");
+    assert!(health.contains("\"checkpoint_degraded\":false"), "{health}");
+    assert!(health.contains("\"durable_lsn\":"), "{health}");
+
+    // Obstruct the next checkpoint's snapshot targets (a rename cannot
+    // replace a directory), so the admin checkpoint fails...
+    for name in ["store.1.tixsnap", "index.1.tixsnap"] {
+        std::fs::create_dir_all(dir.join(name)).unwrap();
+    }
+    let (status, _, _) = post(&server, "/admin/checkpoint", "");
+    assert_eq!(status, 500);
+    // ...and /health turns degraded, with the reason.
+    let (_, _, body) = get(&server, "/health");
+    let health = String::from_utf8(body).unwrap();
+    assert!(health.contains("\"checkpoint_degraded\":true"), "{health}");
+    assert!(health.contains("\"checkpoint_error\":"), "{health}");
+    // Mutations keep working while degraded — the WAL still hardens them.
+    let (status, _, _) = post(&server, "/documents?name=b.xml", "<a><p>beta</p></a>");
+    assert_eq!(status, 201);
+
+    // Clear the obstruction: the next checkpoint succeeds and the health
+    // flag resets.
+    for name in ["store.1.tixsnap", "index.1.tixsnap"] {
+        let _ = std::fs::remove_dir_all(dir.join(name));
+    }
+    let (status, _, body) = post(&server, "/admin/checkpoint", "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (_, _, body) = get(&server, "/health");
+    let health = String::from_utf8(body).unwrap();
+    assert!(health.contains("\"checkpoint_degraded\":false"), "{health}");
+
+    server.shutdown();
+}

@@ -341,7 +341,7 @@ impl Store {
         w_count(&mut payload, docs.len(), "document table")?;
         write_section(&mut w, &mut payload).map_err(section_err)?;
         for doc in docs {
-            write_doc(&mut payload, doc)?;
+            write_doc(&mut payload, doc.as_ref())?;
             write_section(&mut w, &mut payload).map_err(section_err)?;
         }
         w.write_seal()?;
@@ -361,7 +361,7 @@ impl Store {
         let docs = self.docs();
         w_count(w, docs.len(), "document table")?;
         for doc in docs {
-            write_doc(w, doc)?;
+            write_doc(w, doc.as_ref())?;
         }
         Ok(())
     }
@@ -554,7 +554,7 @@ mod tests {
         w_interner(&mut buf, store.tags_interner()).unwrap();
         w_interner(&mut buf, store.attr_names_interner()).unwrap();
         w_count(&mut buf, 2, "document table").unwrap();
-        let doc = &store.docs()[0];
+        let doc = store.docs()[0].as_ref();
         write_doc(&mut buf, doc).unwrap();
         write_doc(&mut buf, doc).unwrap();
         match Store::load_snapshot(buf.as_slice()) {

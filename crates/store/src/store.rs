@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::document::{DocData, LoadError};
 use crate::interner::{Interner, Symbol};
@@ -39,10 +40,16 @@ pub(crate) enum FromPartsError {
 
 /// An in-memory XML database: documents, tag index, navigation.
 ///
+/// Documents are held behind [`Arc`]s: loaded document data is immutable
+/// (mutations add or remove whole documents), so a copy-on-write
+/// [`Store::freeze`] can capture the document table by reference-count
+/// bumps alone — the epoch snapshot a non-blocking checkpoint folds from
+/// while writers keep mutating the live store.
+///
 /// See the crate docs for the role this plays in the reproduction.
 #[derive(Debug, Default)]
 pub struct Store {
-    docs: Vec<DocData>,
+    docs: Vec<Arc<DocData>>,
     by_name: HashMap<String, DocId>,
     tags: Interner,
     attr_names: Interner,
@@ -76,7 +83,7 @@ impl Store {
             }
         }
         self.by_name.insert(name.to_string(), id);
-        self.docs.push(doc);
+        self.docs.push(Arc::new(doc));
         Ok(id)
     }
 
@@ -150,7 +157,7 @@ impl Store {
 
     /// Total stored nodes across all documents.
     pub fn node_count(&self) -> usize {
-        self.docs.iter().map(DocData::len).sum()
+        self.docs.iter().map(|doc| doc.len()).sum()
     }
 
     // ---- node basics ------------------------------------------------------
@@ -405,8 +412,25 @@ impl Store {
         StoreStats::gather(self)
     }
 
-    pub(crate) fn docs(&self) -> &[DocData] {
+    pub(crate) fn docs(&self) -> &[Arc<DocData>] {
         &self.docs
+    }
+
+    /// Freeze the current document set as a copy-on-write epoch snapshot.
+    ///
+    /// This is O(documents) reference-count bumps plus two interner
+    /// clones — no node table, text arena, or attribute data is copied —
+    /// so a writer holding the database lock pays microseconds, not a
+    /// full-store copy. The frozen epoch is immune to later mutations:
+    /// an insert appends new `Arc`s to the live vec, and a remove (with
+    /// its eager id-compaction) drops `Arc`s from the live vec, neither
+    /// of which touches the clones captured here.
+    pub fn freeze(&self) -> FrozenStore {
+        FrozenStore {
+            tags: self.tags.clone(),
+            attr_names: self.attr_names.clone(),
+            docs: self.docs.clone(),
+        }
     }
 
     pub(crate) fn tags_interner(&self) -> &Interner {
@@ -448,9 +472,48 @@ impl Store {
                         .push(NodeRef::new(id, NodeIdx(i as u32)));
                 }
             }
-            store.docs.push(doc);
+            store.docs.push(Arc::new(doc));
         }
         Ok(store)
+    }
+}
+
+/// A copy-on-write epoch snapshot of a [`Store`], captured by
+/// [`Store::freeze`] while holding the database lock and consumed
+/// **off-lock** by a checkpoint: document ids, node ids, and interner
+/// symbols are exactly the live store's at freeze time, so a snapshot or
+/// index built from the thawed store is byte-identical to one built from
+/// the live store at that instant.
+#[derive(Debug, Clone)]
+pub struct FrozenStore {
+    tags: Interner,
+    attr_names: Interner,
+    docs: Vec<Arc<DocData>>,
+}
+
+impl FrozenStore {
+    /// Number of documents in the frozen epoch.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Reassemble a full [`Store`] (name map and tag index rebuilt) from
+    /// the frozen epoch. Runs without any lock on the live store; the
+    /// document data itself is shared, not copied.
+    ///
+    /// Unlike snapshot loading, the parts here are trusted by
+    /// construction — they came out of a valid live store — so symbols
+    /// cannot be out of range and names cannot collide.
+    pub fn thaw(&self) -> Store {
+        let mut store = Store {
+            docs: self.docs.clone(),
+            by_name: HashMap::new(),
+            tags: self.tags.clone(),
+            attr_names: self.attr_names.clone(),
+            tag_elements: Vec::new(),
+        };
+        store.reindex();
+        store
     }
 }
 
@@ -642,6 +705,43 @@ mod tests {
         assert_eq!(store.node_count(), 0);
         assert!(store.elements_with_tag("a").is_empty());
         assert!(store.elements_with_tag("b").is_empty());
+    }
+
+    #[test]
+    fn freeze_is_isolated_from_later_mutations() {
+        let mut store = Store::new();
+        store.load_str("a.xml", "<a><p/></a>").unwrap();
+        store.load_str("b.xml", "<b><p/><p/></b>").unwrap();
+        let frozen = store.freeze();
+        // Mutate the live store after the freeze: remove (with its eager
+        // id-compaction) and insert must not leak into the epoch.
+        store.remove_document("a.xml").unwrap();
+        store.load_str("c.xml", "<c><p/></c>").unwrap();
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.doc_count(), 2);
+        assert_eq!(thawed.doc_by_name("a.xml"), Some(DocId(0)));
+        assert_eq!(thawed.doc_by_name("b.xml"), Some(DocId(1)));
+        assert_eq!(thawed.elements_with_tag("p").len(), 3);
+        assert_eq!(thawed.doc_by_name("c.xml"), None);
+        // And the live store moved on independently.
+        assert_eq!(store.doc_by_name("a.xml"), None);
+        assert_eq!(store.doc_by_name("c.xml"), Some(DocId(1)));
+    }
+
+    #[test]
+    fn thawed_snapshot_is_byte_identical_to_freeze_time_store() {
+        let mut store = Store::new();
+        store
+            .load_str("a.xml", "<a id=\"1\"><p>text</p></a>")
+            .unwrap();
+        store.load_str("b.xml", "<b><q/>tail</b>").unwrap();
+        let mut at_freeze = Vec::new();
+        store.save_snapshot(&mut at_freeze).unwrap();
+        let frozen = store.freeze();
+        store.load_str("c.xml", "<c/>").unwrap();
+        let mut thawed_bytes = Vec::new();
+        frozen.thaw().save_snapshot(&mut thawed_bytes).unwrap();
+        assert_eq!(at_freeze, thawed_bytes);
     }
 
     #[test]
