@@ -1,0 +1,333 @@
+//! Compression & cold-start benchmark for the v3 `TIXPAK` index format.
+//!
+//! Compares the v2 (`TIXIDX`) and v3 (`TIXPAK`) representations of the
+//! same index on four axes:
+//!
+//! * **bytes on disk** — v2 fixed-width snapshot vs v3 delta+varint
+//!   blocks (plus per-block skip metadata);
+//! * **resident memory** — v2 decodes every posting eagerly; v3 holds
+//!   the raw file bytes and decodes per term on first use, so resident
+//!   size after a query workload = file bytes + the decoded fraction;
+//! * **cold start** — time from bytes-on-disk to the first query
+//!   answer. v3 parses only the header and dictionary before answering
+//!   (the decode counters printed below prove the rest of the file was
+//!   never touched);
+//! * **query latency** — p50/p95 of the Threshold top-k workload with
+//!   block-max skipping (v3 metadata) vs without (v2 path), plus the
+//!   `postings_scanned` reduction against PR 6's scan-everything
+//!   baseline.
+//!
+//! Results go to stdout as markdown and to
+//! `results/BENCH_compression.json`. Wall-clock numbers in the committed
+//! file come from a single-core CI container — treat them as indicative
+//! shapes, not hardware-representative measurements; the byte/postings
+//! counts are exact and machine-independent.
+//!
+//! Environment:
+//! * `TIX_ARTICLES` — corpus size (default 200, the small fixture shape);
+//! * `TIX_SCALE`    — plant-frequency scale (default 0.1).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tix_bench::{fmt_ms, Fixture};
+use tix_corpus::{workloads, CorpusSpec};
+use tix_exec::pick::PickParams;
+use tix_exec::{pushdown, SimpleScorer};
+use tix_index::{IndexReader, InvertedIndex, Posting};
+use tix_pack::{pack_bytes, PackIndex};
+
+/// Samples per latency distribution (p95 needs a populated tail).
+const SAMPLES: usize = 40;
+
+fn main() {
+    let articles: usize = env_parse("TIX_ARTICLES", 200);
+    let scale: f64 = env_parse("TIX_SCALE", 0.1);
+    let spec = CorpusSpec {
+        articles,
+        ..CorpusSpec::small()
+    };
+    eprintln!("building fixture: {articles} articles, scale {scale} …");
+    let fixture = Fixture::build(spec, scale);
+    eprintln!(
+        "corpus: {} docs, {} terms, {} tokens",
+        fixture.store.doc_ids().count(),
+        fixture.index.term_count(),
+        fixture.index.total_tokens()
+    );
+
+    // ---- bytes on disk --------------------------------------------------
+    let mut v2 = Vec::new();
+    fixture.index.save_snapshot(&mut v2).expect("v2 serializes");
+    let v3 = pack_bytes(&fixture.index).expect("v3 serializes");
+    let ratio = v3.len() as f64 / v2.len() as f64;
+    // v2's resident form: every posting decoded, plus the dictionary.
+    let v2_resident = fixture.index.total_tokens() as usize * std::mem::size_of::<Posting>();
+
+    // ---- cold start: bytes → first query answer -------------------------
+    let t3v = workloads::table3_term2(3000);
+    let terms: Vec<&str> = vec!["t3fix", &t3v];
+    let pick = PickParams::paper();
+    let scorer = SimpleScorer::uniform();
+    let first_query = |index: &dyn IndexReader| {
+        pushdown::search_topk(
+            &fixture.store,
+            index,
+            &terms,
+            &scorer,
+            Some(&pick),
+            10,
+            Some(0.5),
+            &|| false,
+        )
+        .expect("never cancelled")
+    };
+
+    let v2_cold = median(SAMPLES, || {
+        let start = Instant::now();
+        let index = InvertedIndex::load_snapshot(&v2[..]).expect("v2 loads");
+        let run = first_query(&index);
+        (start.elapsed(), run.results.len())
+    });
+    let v3_cold = median(SAMPLES, || {
+        let start = Instant::now();
+        let pack = PackIndex::from_bytes(v3.clone()).expect("v3 loads");
+        let run = first_query(&pack);
+        (start.elapsed(), run.results.len())
+    });
+
+    // Decode counters after one cold query: the O(1)-startup evidence.
+    let pack = PackIndex::from_bytes(v3.clone()).expect("v3 loads");
+    let opened_decoded = pack.decoded_terms();
+    let run = first_query(&pack);
+    let after_one_query = (pack.decoded_terms(), pack.decoded_blocks());
+    let total_blocks = pack.total_blocks();
+    assert_eq!(opened_decoded, 0, "open decoded postings eagerly");
+    assert!(
+        after_one_query.1 < total_blocks,
+        "one query decoded all {total_blocks} blocks"
+    );
+    // v3 resident after the workload: raw bytes + decoded blocks.
+    let v3_resident = v3.len()
+        + after_one_query.1 * pack.block_postings() as usize * std::mem::size_of::<Posting>();
+
+    // ---- query latency: block-max skipping on vs off --------------------
+    // Same Threshold top-10 workload as BENCH_planner's threshold-top10
+    // row (PR 6 baseline: 3994/4000 postings scanned with no skipping).
+    let with_run = first_query(&pack);
+    let without_run = first_query(&fixture.index);
+    assert_eq!(
+        with_run.results.len(),
+        without_run.results.len(),
+        "block-max skipping changed the answer"
+    );
+    assert!(
+        with_run.postings_scanned <= without_run.postings_scanned,
+        "skipping scanned more ({} vs {})",
+        with_run.postings_scanned,
+        without_run.postings_scanned
+    );
+
+    let with_samples = distribution(SAMPLES, || {
+        let r = first_query(&pack);
+        assert!(!r.results.is_empty());
+    });
+    let without_samples = distribution(SAMPLES, || {
+        let r = first_query(&fixture.index);
+        assert!(!r.results.is_empty());
+    });
+
+    // ---- report ---------------------------------------------------------
+    let mut table = String::from(
+        "| metric | v2 (TIXIDX) | v3 (TIXPAK) |\n\
+         |---|---:|---:|\n",
+    );
+    writeln!(
+        table,
+        "| bytes on disk | {} | {} ({ratio:.2}×) |",
+        v2.len(),
+        v3.len()
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| resident after 1 query (est. bytes) | {v2_resident} | {v3_resident} |"
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| cold start → first answer | {} ms | {} ms |",
+        fmt_ms(v2_cold),
+        fmt_ms(v3_cold)
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| terms/blocks decoded by 1st query | all | {}/{} terms, {}/{} blocks |",
+        after_one_query.0,
+        pack.term_count(),
+        after_one_query.1,
+        total_blocks
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| top-10 p50 / p95 | {} / {} ms | {} / {} ms |",
+        fmt_ms(percentile(&without_samples, 50)),
+        fmt_ms(percentile(&without_samples, 95)),
+        fmt_ms(percentile(&with_samples, 50)),
+        fmt_ms(percentile(&with_samples, 95))
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| postings scanned (top-10, min 0.5) | {}/{} | {}/{} (+{} skipped) |",
+        without_run.postings_scanned,
+        without_run.postings_total,
+        with_run.postings_scanned,
+        with_run.postings_total,
+        with_run.postings_skipped
+    )
+    .unwrap();
+    println!("\n## v2 vs v3 index format ({articles} articles, scale {scale})\n\n{table}");
+    println!("run: {} results (both formats agree)\n", run.results.len());
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"experiment\": \"compression\",").unwrap();
+    writeln!(json, "  \"articles\": {articles},").unwrap();
+    writeln!(json, "  \"scale\": {scale},").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"wall-clock numbers from a single-core CI container; byte and postings counts are exact\","
+    )
+    .unwrap();
+    writeln!(json, "  \"v2\": {{").unwrap();
+    writeln!(json, "    \"bytes_on_disk\": {},", v2.len()).unwrap();
+    writeln!(json, "    \"resident_bytes_est\": {v2_resident},").unwrap();
+    writeln!(json, "    \"cold_start_ms\": {:.4},", ms(v2_cold)).unwrap();
+    writeln!(
+        json,
+        "    \"topk_p50_ms\": {:.4},",
+        ms(percentile(&without_samples, 50))
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"topk_p95_ms\": {:.4},",
+        ms(percentile(&without_samples, 95))
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"postings_scanned\": {},",
+        without_run.postings_scanned
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"postings_total\": {}",
+        without_run.postings_total
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"v3\": {{").unwrap();
+    writeln!(json, "    \"bytes_on_disk\": {},", v3.len()).unwrap();
+    writeln!(json, "    \"bytes_vs_v2\": {ratio:.4},").unwrap();
+    writeln!(json, "    \"resident_bytes_est\": {v3_resident},").unwrap();
+    writeln!(json, "    \"cold_start_ms\": {:.4},", ms(v3_cold)).unwrap();
+    writeln!(
+        json,
+        "    \"topk_p50_ms\": {:.4},",
+        ms(percentile(&with_samples, 50))
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"topk_p95_ms\": {:.4},",
+        ms(percentile(&with_samples, 95))
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"postings_scanned\": {},",
+        with_run.postings_scanned
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"postings_skipped\": {},",
+        with_run.postings_skipped
+    )
+    .unwrap();
+    writeln!(json, "    \"postings_total\": {},", with_run.postings_total).unwrap();
+    writeln!(
+        json,
+        "    \"first_query_decoded_terms\": {},",
+        after_one_query.0
+    )
+    .unwrap();
+    writeln!(json, "    \"term_count\": {},", pack.term_count()).unwrap();
+    writeln!(
+        json,
+        "    \"first_query_decoded_blocks\": {},",
+        after_one_query.1
+    )
+    .unwrap();
+    writeln!(json, "    \"total_blocks\": {total_blocks}").unwrap();
+    writeln!(json, "  }}\n}}").unwrap();
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/BENCH_compression.json";
+    std::fs::write(path, &json).expect("write BENCH_compression.json");
+    eprintln!("wrote {path}");
+}
+
+/// Median wall time of `run` over `n` samples (the returned payload keeps
+/// the optimizer honest).
+fn median(n: usize, mut run: impl FnMut() -> (Duration, usize)) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let (d, len) = run();
+            std::hint::black_box(len);
+            d
+        })
+        .collect();
+    samples.sort();
+    samples.get(n / 2).copied().unwrap_or_default()
+}
+
+/// Sorted wall-time samples of `run`.
+fn distribution(n: usize, mut run: impl FnMut()) -> Vec<Duration> {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples
+}
+
+/// The `p`-th percentile of pre-sorted samples (nearest-rank).
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted
+        .get(rank.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or_default()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str, default: T) -> T {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -626,6 +626,9 @@ usage:
 
 Query commands run document-partitioned over worker threads (--threads,
 else TIX_THREADS, else all cores); results are identical at any count.
+The index sidecar (<snapshot>.idx) is written in the compressed v3 pack
+format (TIXPAK) and opened by reference — postings decode lazily, per
+term, on first use; v2 (TIXIDX) sidecars still load transparently.
 `serve` answers /search, /phrase, /search/batch, /query, /explain,
 /health and /metrics with JSON; with --live it serves a durable ingestion directory
 and also accepts POST /documents and DELETE /documents/{name}. See

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::{NodeRef, Store};
 
 /// Everything a scoring function may consult.
@@ -19,7 +19,7 @@ pub struct ScoreContext<'a> {
     pub store: &'a Store,
     /// The inverted index, when one has been built (scorers fall back to
     /// scanning subtree text without it).
-    pub index: Option<&'a InvertedIndex>,
+    pub index: Option<&'a dyn IndexReader>,
 }
 
 impl<'a> ScoreContext<'a> {
@@ -29,7 +29,7 @@ impl<'a> ScoreContext<'a> {
     }
 
     /// Context with an index.
-    pub fn with_index(store: &'a Store, index: &'a InvertedIndex) -> Self {
+    pub fn with_index(store: &'a Store, index: &'a dyn IndexReader) -> Self {
         ScoreContext {
             store,
             index: Some(index),

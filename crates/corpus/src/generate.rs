@@ -171,11 +171,19 @@ impl Generator {
         (name, xml)
     }
 
-    /// Generate every document and load it into `store`.
+    /// Stream every document lazily, in order. Each `(name, xml)` pair is
+    /// generated on demand and dropped by the consumer when done, so the
+    /// whole corpus never needs to fit in memory — the way to produce
+    /// INEX-scale collections (see [`CorpusSpec::with_target_bytes`]).
+    pub fn documents(&self) -> impl Iterator<Item = (String, String)> + '_ {
+        (0..self.spec.articles).map(|i| self.document(i))
+    }
+
+    /// Generate every document and load it into `store` (streaming: one
+    /// generated document is alive at a time besides the store itself).
     pub fn load_into(&self, store: &mut Store) -> Result<Vec<DocId>, LoadError> {
         let mut ids = Vec::with_capacity(self.spec.articles);
-        for i in 0..self.spec.articles {
-            let (name, xml) = self.document(i);
+        for (name, xml) in self.documents() {
             ids.push(store.load_str(&name, &xml)?);
         }
         Ok(ids)
@@ -407,6 +415,16 @@ mod tests {
         let too_many = spec.paragraph_count() * 9;
         let err = Generator::new(spec, PlantSpec::default().with_term("alpha", too_many));
         assert!(matches!(err, Err(PlantError::TooDense { .. })));
+    }
+
+    #[test]
+    fn streaming_iterator_matches_indexed_access() {
+        let generator = Generator::new(CorpusSpec::tiny(), PlantSpec::default()).unwrap();
+        let streamed: Vec<_> = generator.documents().collect();
+        assert_eq!(streamed.len(), generator.document_count());
+        for (i, pair) in streamed.iter().enumerate() {
+            assert_eq!(*pair, generator.document(i));
+        }
     }
 
     #[test]

@@ -74,6 +74,39 @@ impl CorpusSpec {
         }
     }
 
+    /// Scale this spec's article count so the generated XML totals
+    /// roughly `bytes` on disk (the per-article shape — sections,
+    /// paragraphs, vocabulary — is kept; only `articles` changes).
+    /// Combined with [`crate::Generator::documents`]' streaming
+    /// generation, corpora far larger than memory can be produced.
+    pub fn with_target_bytes(mut self, bytes: u64) -> Self {
+        let per_article = (self.approx_bytes() / self.articles.max(1) as u64).max(1);
+        self.articles = usize::try_from((bytes / per_article).max(1)).unwrap_or(usize::MAX);
+        self
+    }
+
+    /// The paper's evaluation corpus shape: INEX, "technical articles
+    /// from IEEE Transactions marked up in XML: 18 million XML elements
+    /// with a total size of 500 MB". Generating (let alone loading) this
+    /// takes a while — benches default to a scaled-down fraction and
+    /// accept an override (see `tix-bench`).
+    pub fn inex() -> Self {
+        CorpusSpec::default().with_target_bytes(500 * 1024 * 1024)
+    }
+
+    /// Rough serialized-XML size estimate in bytes, for sizing corpora by
+    /// target footprint. Background words average ~6 bytes plus a
+    /// separator; element overhead is counted per node.
+    pub fn approx_bytes(&self) -> u64 {
+        let word = 7u64;
+        let per_paragraph = self.words_per_paragraph as u64 * word + 9; // <p></p>
+        let per_subsection = 12 + self.paragraphs_per_subsection as u64 * per_paragraph;
+        let per_section = 30 + 4 * word + self.subsections_per_section as u64 * per_subsection;
+        // Front matter: article/fm/bdy tags, title, authors.
+        let per_article = 150 + 6 * word + self.sections_per_article as u64 * per_section;
+        self.articles as u64 * per_article
+    }
+
     /// Total number of `<p>` paragraphs the corpus will contain.
     pub fn paragraph_count(&self) -> usize {
         self.articles
@@ -197,6 +230,31 @@ mod tests {
         let spec = CorpusSpec::default();
         assert!(spec.approx_nodes() > 500_000);
         assert!(spec.approx_nodes() < 3_000_000);
+    }
+
+    #[test]
+    fn target_bytes_scales_article_count() {
+        let base = CorpusSpec::default();
+        let half = base.clone().with_target_bytes(base.approx_bytes() / 2);
+        assert!(half.articles >= base.articles / 2 - 1 && half.articles <= base.articles / 2 + 1);
+        // Only the article count changes; the per-article shape is kept.
+        assert_eq!(half.sections_per_article, base.sections_per_article);
+        assert_eq!(half.vocab_size, base.vocab_size);
+        // A tiny target still yields a generatable corpus.
+        assert!(CorpusSpec::default().with_target_bytes(1).articles >= 1);
+    }
+
+    #[test]
+    fn inex_preset_is_paper_scale() {
+        let inex = CorpusSpec::inex();
+        let bytes = inex.approx_bytes();
+        assert!(
+            (400 * 1024 * 1024..650 * 1024 * 1024).contains(&bytes),
+            "estimated {bytes} bytes"
+        );
+        // The paper quotes 18 M elements for 500 MB; the synthetic shape
+        // lands within a factor of ~4 of that density.
+        assert!(inex.approx_nodes() > 4_000_000, "{}", inex.approx_nodes());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! Both produce results identical to TermJoin (differential-tested),
 //! slower — the whole point of Table 1/2 in the paper.
 
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::{NodeRef, Store};
 
 use crate::scored::{ScoredNode, TermHit};
@@ -38,7 +38,7 @@ struct WitnessRecord {
 /// Comp1: the direct standard-operator composition.
 pub fn comp1<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     terms: &[&str],
     scorer: &S,
 ) -> Vec<ScoredNode> {
@@ -101,7 +101,7 @@ pub fn comp1<S: TermJoinScorer>(
 /// term pays a full scan of the element list.
 pub fn comp2<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     terms: &[&str],
     scorer: &S,
 ) -> Vec<ScoredNode> {
@@ -205,6 +205,7 @@ mod tests {
     use super::*;
     use crate::scored::{results_equal, sort_by_node};
     use crate::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+    use tix_index::InvertedIndex;
 
     fn fixture() -> (Store, InvertedIndex) {
         let mut store = Store::new();

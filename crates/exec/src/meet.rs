@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::{NodeRef, Store};
 
 use crate::scored::{ScoredNode, TermHit};
@@ -27,7 +27,7 @@ struct Group {
 /// occurrence, scored exactly like TermJoin would score it.
 pub fn generalized_meet<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     terms: &[&str],
     scorer: &S,
 ) -> Vec<ScoredNode> {
@@ -79,6 +79,7 @@ mod tests {
     use super::*;
     use crate::scored::{results_equal, sort_by_node};
     use crate::termjoin::{ChildCountMode, ComplexScorer, SimpleScorer, TermJoin};
+    use tix_index::InvertedIndex;
 
     fn fixture() -> (Store, InvertedIndex) {
         let mut store = Store::new();

@@ -17,7 +17,7 @@
 //! size balance) and chunk results are stitched back in input order by
 //! [`tix_parallel::parallel_map`].
 
-use tix_index::{InvertedIndex, Posting};
+use tix_index::{IndexReader, Posting};
 use tix_store::{DocId, Store};
 
 use crate::phrase::{phrase_finder_on_lists, PhraseMatch};
@@ -35,7 +35,7 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// `threads <= 1` runs the sequential algorithm on the calling thread.
 pub fn term_join_parallel<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     terms: &[&str],
     scorer: &S,
     threads: usize,
@@ -55,7 +55,7 @@ pub fn term_join_parallel<S: TermJoinScorer>(
 /// document chunk; identical output for any `threads`.
 pub fn phrase_finder_parallel(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     phrase_terms: &[&str],
     threads: usize,
 ) -> Vec<PhraseMatch> {

@@ -9,7 +9,7 @@
 //! "extra work done at the filter level" the paper measures.
 
 use tix_core::scoring::count_f64;
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::{NodeRef, Store};
 
 use crate::scored::ScoredNode;
@@ -23,7 +23,7 @@ pub type PhraseMatch = ScoredNode;
 /// text node, scored by occurrence count.
 pub fn phrase_finder(
     _store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     phrase_terms: &[&str],
 ) -> Vec<PhraseMatch> {
     let k = phrase_terms.len();
@@ -126,7 +126,7 @@ fn count_adjacent_runs(
 /// every text node containing all terms (in any arrangement); a separate
 /// filter then fetches the node's text from the store, re-tokenizes it,
 /// and scans for the phrase.
-pub fn comp3(store: &Store, index: &InvertedIndex, phrase_terms: &[&str]) -> Vec<PhraseMatch> {
+pub fn comp3(store: &Store, index: &dyn IndexReader, phrase_terms: &[&str]) -> Vec<PhraseMatch> {
     let k = phrase_terms.len();
     assert!(k >= 2, "a phrase has at least two terms");
     // Step 1: per-term text-node id lists.
@@ -178,6 +178,7 @@ pub fn comp3(store: &Store, index: &InvertedIndex, phrase_terms: &[&str]) -> Vec
 mod tests {
     use super::*;
     use crate::scored::{results_equal, sort_by_node};
+    use tix_index::InvertedIndex;
     use tix_store::{DocId, NodeIdx};
 
     fn fixture() -> (Store, InvertedIndex) {

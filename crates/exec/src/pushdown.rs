@@ -29,8 +29,35 @@
 //! its emitted order. The exit condition itself is guarded by
 //! [`tix_invariants::assert_topk_early_exit_safe`] under
 //! `debug_assertions` / `check-invariants`.
+//!
+//! ## Block-max skipping (v3 indexes)
+//!
+//! When the index representation carries per-block skip metadata
+//! ([`tix_index::BlockSummary`], produced by the `tix-pack` v3 format),
+//! the driver additionally runs a true WAND skip discipline:
+//!
+//! * **per-document skip** — before running the pipeline on a candidate
+//!   document, bound its best possible score by the document's per-term
+//!   run lengths (`scorer.max_score_bound(&runs)`); if the accumulator is
+//!   full and the k-th score strictly exceeds that bound (or a `min`
+//!   threshold does, non-strictly), the document's postings are *skipped*
+//!   — consumed off the cursors but never joined, scored, or pushed. The
+//!   same strictly-below-k-th no-op argument proves byte-identity.
+//! * **tightened tail bound** — the §4.2 exit bound uses, per term,
+//!   `min(remaining, suffix-max over unscanned blocks of max_doc_count)`
+//!   instead of raw `remaining`. Any unseen document intersects only
+//!   unscanned blocks, and a block's `max_doc_count` bounds the *whole
+//!   document* posting count of every document intersecting it, so the
+//!   tightened vector still dominates every unseen node's counter vector
+//!   componentwise — the §4.2 invariant is checked against the tightened
+//!   bound, same as before.
+//!
+//! Both disciplines only *remove* work whose results provably cannot
+//! appear in the output, so all byte-identity guarantees above carry
+//! over verbatim; the differential proptests in `crates/pack/tests/`
+//! hold the two index representations to that bar.
 
-use tix_index::{InvertedIndex, Posting};
+use tix_index::{BlockSummary, IndexReader, Posting};
 use tix_store::{DocId, Store};
 
 use crate::pick::{pick_stream, PickParams};
@@ -45,8 +72,13 @@ pub struct PushdownRun {
     /// Top-k results, best first — byte-identical to the full pipeline
     /// `top_k(min_score(pick_stream(sort_by_node(term_join(…)))), k)`.
     pub results: Vec<ScoredNode>,
-    /// Postings actually consumed before the exit condition held.
+    /// Postings fed through the join/score pipeline before the exit
+    /// condition held.
     pub postings_scanned: u64,
+    /// Postings consumed off the cursors but never joined or scored,
+    /// because the per-document block-max bound proved the document
+    /// could not contribute (0 without block metadata).
+    pub postings_skipped: u64,
     /// Postings the full-scan pipeline would consume.
     pub postings_total: u64,
 }
@@ -55,7 +87,7 @@ impl PushdownRun {
     /// Did the §4.2 bound prove the tail unreachable before the scan
     /// finished?
     pub fn early_exit(&self) -> bool {
-        self.postings_scanned < self.postings_total
+        self.postings_scanned.saturating_add(self.postings_skipped) < self.postings_total
     }
 }
 
@@ -67,7 +99,7 @@ impl PushdownRun {
 #[allow(clippy::too_many_arguments)] // mirrors the full pipeline's stage list
 pub fn search_topk<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     terms: &[&str],
     scorer: &S,
     pick: Option<&PickParams>,
@@ -76,14 +108,91 @@ pub fn search_topk<S: TermJoinScorer>(
     cancelled: &dyn Fn() -> bool,
 ) -> Option<PushdownRun> {
     let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
-    search_topk_on_lists(store, &lists, scorer, pick, k, min, cancelled)
+    let blocks: Vec<Option<&[BlockSummary]>> =
+        terms.iter().map(|t| index.block_summaries(t)).collect();
+    search_topk_on_lists_with_blocks(store, &lists, &blocks, scorer, pick, k, min, cancelled)
+}
+
+/// Per-term skip state over the v3 block metadata: the first block not
+/// yet fully consumed, plus the suffix maximum of `max_doc_count` from
+/// each block position to the end of the list.
+struct BlockCursor<'a> {
+    /// Cumulative postings through each block (`ends[j]` = postings in
+    /// blocks `0..=j`), so the block holding the scan cursor is found by
+    /// advancing while `consumed >= ends[pos]`.
+    ends: Vec<u64>,
+    /// `suffix_max[j]` = max `max_doc_count` over blocks `j..`;
+    /// `suffix_max[len] = 0` (term exhausted).
+    suffix_max: Vec<u32>,
+    summaries: &'a [BlockSummary],
+    pos: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    fn new(summaries: &'a [BlockSummary]) -> Self {
+        let mut ends = Vec::with_capacity(summaries.len());
+        let mut cum = 0u64;
+        for b in summaries {
+            cum = cum.saturating_add(u64::from(b.postings));
+            ends.push(cum);
+        }
+        let mut suffix_max = vec![0u32; summaries.len() + 1];
+        for (j, b) in summaries.iter().enumerate().rev() {
+            let tail = suffix_max.get(j + 1).copied().unwrap_or(0);
+            if let Some(slot) = suffix_max.get_mut(j) {
+                *slot = tail.max(b.max_doc_count);
+            }
+        }
+        BlockCursor {
+            ends,
+            suffix_max,
+            summaries,
+            pos: 0,
+        }
+    }
+
+    /// Tightest sound per-term counter cap for documents past the scan
+    /// cursor (`consumed` postings already sliced off this term's list):
+    /// every unseen document intersects only blocks at or after the
+    /// cursor's block, and each such block's `max_doc_count` bounds the
+    /// whole-document posting count of every document intersecting it.
+    fn cap(&mut self, consumed: u64) -> u32 {
+        while self.pos < self.summaries.len()
+            && self.ends.get(self.pos).is_some_and(|&end| consumed >= end)
+        {
+            self.pos += 1;
+        }
+        self.suffix_max.get(self.pos).copied().unwrap_or(0)
+    }
 }
 
 /// [`search_topk`] over explicit posting-list slices (same order as the
-/// query terms) — the testable core.
+/// query terms) — the testable core, with no block metadata (so no
+/// per-document skipping; the §4.2 tail exit alone).
 pub fn search_topk_on_lists<S: TermJoinScorer>(
     store: &Store,
     lists: &[&[Posting]],
+    scorer: &S,
+    pick: Option<&PickParams>,
+    k: usize,
+    min: Option<f64>,
+    cancelled: &dyn Fn() -> bool,
+) -> Option<PushdownRun> {
+    let blocks = vec![None; lists.len()];
+    search_topk_on_lists_with_blocks(store, lists, &blocks, scorer, pick, k, min, cancelled)
+}
+
+/// [`search_topk`] over explicit posting-list slices plus optional
+/// per-term block metadata (same order as the query terms). Terms whose
+/// entry is `Some` contribute tightened tail bounds; if *any* term has
+/// metadata the per-document skip discipline is enabled (it is sound
+/// regardless — run lengths come from the lists themselves — but gating
+/// it keeps v2 scan accounting unchanged for baseline comparison).
+#[allow(clippy::too_many_arguments)] // mirrors the full pipeline's stage list
+pub fn search_topk_on_lists_with_blocks<S: TermJoinScorer>(
+    store: &Store,
+    lists: &[&[Posting]],
+    blocks: &[Option<&[BlockSummary]>],
     scorer: &S,
     pick: Option<&PickParams>,
     k: usize,
@@ -104,8 +213,12 @@ pub fn search_topk_on_lists<S: TermJoinScorer>(
         .iter()
         .map(|l| u32::try_from(l.len()).unwrap_or(u32::MAX))
         .collect();
+    let mut block_cursors: Vec<Option<BlockCursor>> =
+        blocks.iter().map(|b| b.map(BlockCursor::new)).collect();
+    let blockmax = block_cursors.iter().any(|b| b.is_some());
     let mut acc = TopK::new(k);
     let mut scanned: u64 = 0;
+    let mut skipped: u64 = 0;
     loop {
         // The smallest document id any list still holds.
         let mut next_doc: Option<DocId> = None;
@@ -123,33 +236,80 @@ pub fn search_topk_on_lists<S: TermJoinScorer>(
         }
         // Slice each list's run of postings for `doc` off its front.
         let mut doc_lists: Vec<&[Posting]> = Vec::with_capacity(lists.len());
+        let mut runs: Vec<u32> = Vec::with_capacity(lists.len());
+        let mut doc_postings: u64 = 0;
         for ((list, cursor), rem) in lists.iter().zip(&mut cursors).zip(&mut remaining) {
             let tail = list.get(*cursor..).unwrap_or(&[]);
             let run = tail.partition_point(|p| p.doc <= doc);
             doc_lists.push(tail.get(..run).unwrap_or(&[]));
             *cursor += run;
-            *rem = rem.saturating_sub(u32::try_from(run).unwrap_or(u32::MAX));
-            scanned += u64::try_from(run).unwrap_or(u64::MAX);
+            let run32 = u32::try_from(run).unwrap_or(u32::MAX);
+            *rem = rem.saturating_sub(run32);
+            runs.push(run32);
+            doc_postings += u64::try_from(run).unwrap_or(u64::MAX);
         }
-        // The full pipeline, restricted to this document. Document-local
-        // stages make the concatenation over documents equal the global
-        // stream (see module docs).
-        let joined = sort_by_node(TermJoin::with_lists(store, doc_lists, scorer).run());
-        let survivors = match pick {
-            Some(p) => pick_stream(store, &joined, p),
-            None => joined,
-        };
-        for survivor in survivors {
-            let passes = match min {
-                Some(m) => survivor.score > m,
-                None => true,
-            };
-            if passes {
-                acc.push(survivor);
+        // Per-document skip: any node in this document has a counter
+        // vector componentwise ≤ the run lengths, so the scorer's bound
+        // over the runs dominates every score the document could produce.
+        // A full accumulator whose k-th score strictly exceeds it makes
+        // every push a no-op; a `min` threshold at or above it fails the
+        // strict `score > min` filter. Either way the document cannot
+        // change the output, so its postings are skipped unjoined.
+        let mut skip_doc = false;
+        if blockmax {
+            let doc_bound = scorer.max_score_bound(&runs);
+            if let Some(kth) = acc.kth_score() {
+                if kth > doc_bound {
+                    tix_invariants::check! {
+                        tix_invariants::assert_topk_early_exit_safe(kth, doc_bound);
+                    }
+                    skip_doc = true;
+                }
+            }
+            if let Some(m) = min {
+                if doc_bound <= m {
+                    skip_doc = true;
+                }
             }
         }
-        // §4.2 exit checks against the unscanned suffix.
-        let bound = scorer.max_score_bound(&remaining);
+        if skip_doc {
+            skipped += doc_postings;
+        } else {
+            scanned += doc_postings;
+            // The full pipeline, restricted to this document.
+            // Document-local stages make the concatenation over documents
+            // equal the global stream (see module docs).
+            let joined = sort_by_node(TermJoin::with_lists(store, doc_lists, scorer).run());
+            let survivors = match pick {
+                Some(p) => pick_stream(store, &joined, p),
+                None => joined,
+            };
+            for survivor in survivors {
+                let passes = match min {
+                    Some(m) => survivor.score > m,
+                    None => true,
+                };
+                if passes {
+                    acc.push(survivor);
+                }
+            }
+        }
+        // §4.2 exit checks against the unscanned suffix, tightened per
+        // term by the block suffix maxima when metadata is present.
+        let bound = if blockmax {
+            let tightened: Vec<u32> = remaining
+                .iter()
+                .zip(&mut block_cursors)
+                .zip(&cursors)
+                .map(|((&rem, bc), &cursor)| match bc {
+                    Some(bc) => rem.min(bc.cap(u64::try_from(cursor).unwrap_or(u64::MAX))),
+                    None => rem,
+                })
+                .collect();
+            scorer.max_score_bound(&tightened)
+        } else {
+            scorer.max_score_bound(&remaining)
+        };
         if let Some(kth) = acc.kth_score() {
             if kth > bound {
                 tix_invariants::check! {
@@ -171,6 +331,7 @@ pub fn search_topk_on_lists<S: TermJoinScorer>(
     Some(PushdownRun {
         results: acc.into_sorted(),
         postings_scanned: scanned,
+        postings_skipped: skipped,
         postings_total,
     })
 }
@@ -181,6 +342,7 @@ mod tests {
     use crate::parallel::{pick_stream_parallel, term_join_parallel};
     use crate::termjoin::{ChildCountMode, ComplexScorer, IdfScorer, SimpleScorer};
     use crate::topk;
+    use tix_index::InvertedIndex;
 
     /// Many small documents with skewed term frequencies, so top-k exits
     /// have a real tail to skip.
@@ -203,7 +365,7 @@ mod tests {
 
     fn full_pipeline<S: TermJoinScorer>(
         store: &Store,
-        index: &InvertedIndex,
+        index: &dyn IndexReader,
         terms: &[&str],
         scorer: &S,
         pick: Option<&PickParams>,
@@ -405,6 +567,126 @@ mod tests {
         let full = full_pipeline(&store, &index, &["x", "y"], &scorer, None, 3, None);
         assert_eq!(run.results, full);
         assert!(run.early_exit());
+    }
+
+    /// Build sound block metadata for a posting list, the same statistic
+    /// the v3 pack writer persists: chunk into `block` postings, and for
+    /// each chunk take the max over intersecting documents of that
+    /// document's *whole-list* posting count.
+    fn summarize(list: &[Posting], block: usize) -> Vec<BlockSummary> {
+        let mut totals: Vec<(u32, u32)> = Vec::new();
+        for p in list {
+            match totals.last_mut() {
+                Some(t) if t.0 == p.doc.0 => t.1 += 1,
+                _ => totals.push((p.doc.0, 1)),
+            }
+        }
+        list.chunks(block)
+            .map(|chunk| {
+                let first = chunk.first().map(|p| p.doc.0).unwrap_or(0);
+                let last = chunk.last().map(|p| p.doc.0).unwrap_or(0);
+                let lo = totals.partition_point(|t| t.0 < first);
+                let hi = totals.partition_point(|t| t.0 <= last);
+                let max = totals
+                    .get(lo..hi)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|t| t.1)
+                    .max()
+                    .unwrap_or(0);
+                BlockSummary {
+                    first_doc: first,
+                    last_doc: last,
+                    postings: u32::try_from(chunk.len()).unwrap_or(u32::MAX),
+                    max_doc_count: max,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_metadata_skips_documents_and_stays_byte_identical() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        let terms = ["x", "y"];
+        let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
+        let summaries: Vec<Vec<BlockSummary>> = lists.iter().map(|l| summarize(l, 8)).collect();
+        let blocks: Vec<Option<&[BlockSummary]>> =
+            summaries.iter().map(|s| Some(s.as_slice())).collect();
+        for k in [1, 2, 3, 5, 17] {
+            let with = search_topk_on_lists_with_blocks(
+                &store,
+                &lists,
+                &blocks,
+                &scorer,
+                Some(&pick),
+                k,
+                None,
+                &|| false,
+            )
+            .unwrap();
+            let without =
+                search_topk_on_lists(&store, &lists, &scorer, Some(&pick), k, None, &|| false)
+                    .unwrap();
+            assert_eq!(with.results, without.results, "k={k}");
+            assert!(
+                with.postings_scanned <= without.postings_scanned,
+                "k={k}: block metadata must never scan more ({} vs {})",
+                with.postings_scanned,
+                without.postings_scanned,
+            );
+        }
+        // Small k over the skewed fixture must actually skip documents.
+        let with = search_topk_on_lists_with_blocks(
+            &store,
+            &lists,
+            &blocks,
+            &scorer,
+            Some(&pick),
+            2,
+            None,
+            &|| false,
+        )
+        .unwrap();
+        assert!(
+            with.postings_skipped > 0,
+            "skewed fixture with k=2 must skip whole documents"
+        );
+    }
+
+    #[test]
+    fn block_metadata_min_threshold_matches_filter() {
+        let (store, index) = fixture();
+        let scorer = SimpleScorer::uniform();
+        let pick = PickParams::paper();
+        let lists: Vec<&[Posting]> = [index.postings("x")].to_vec();
+        let summaries = summarize(lists.first().unwrap(), 4);
+        let blocks = [Some(summaries.as_slice())];
+        for min in [0.5, 10.0, 1e9] {
+            let with = search_topk_on_lists_with_blocks(
+                &store,
+                &lists,
+                &blocks,
+                &scorer,
+                Some(&pick),
+                1000,
+                Some(min),
+                &|| false,
+            )
+            .unwrap();
+            let without = search_topk_on_lists(
+                &store,
+                &lists,
+                &scorer,
+                Some(&pick),
+                1000,
+                Some(min),
+                &|| false,
+            )
+            .unwrap();
+            assert_eq!(with.results, without.results, "min={min}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use tix_index::{InvertedIndex, Posting};
+use tix_index::{IndexReader, Posting};
 use tix_store::{NodeIdx, NodeKind, NodeRef, Store};
 
 use crate::scored::{ScoredNode, TermHit};
@@ -281,7 +281,12 @@ pub struct TermJoin<'a, S: TermJoinScorer> {
 
 impl<'a, S: TermJoinScorer> TermJoin<'a, S> {
     /// Set up a TermJoin over `terms`, reading posting lists from `index`.
-    pub fn new(store: &'a Store, index: &'a InvertedIndex, terms: &[&str], scorer: &'a S) -> Self {
+    pub fn new(
+        store: &'a Store,
+        index: &'a dyn IndexReader,
+        terms: &[&str],
+        scorer: &'a S,
+    ) -> Self {
         let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
         TermJoin {
             store,
@@ -499,6 +504,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tix_index::InvertedIndex;
     use tix_store::DocId;
 
     fn fixture() -> (Store, InvertedIndex) {
@@ -653,7 +659,7 @@ pub struct IdfScorer {
 
 impl IdfScorer {
     /// Precompute idf weights for `terms` against `index`.
-    pub fn new(index: &InvertedIndex, total_docs: usize, terms: &[&str]) -> Self {
+    pub fn new(index: &dyn IndexReader, total_docs: usize, terms: &[&str]) -> Self {
         IdfScorer {
             idf: terms.iter().map(|t| index.idf(t, total_docs)).collect(),
         }

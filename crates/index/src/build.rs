@@ -179,6 +179,24 @@ impl InvertedIndex {
         }
     }
 
+    /// Assemble an index from per-term lists given in term-id
+    /// (first-occurrence) order, as a pack/snapshot loader produces them.
+    /// The caller guarantees each list is in canonical posting order and
+    /// that the term order matches what a from-scratch rebuild would
+    /// intern — both are re-checked under `check-invariants`.
+    pub fn from_lists(
+        lists: impl IntoIterator<Item = (String, PostingList)>,
+        total_tokens: u64,
+    ) -> Self {
+        let mut index = InvertedIndex::default();
+        for (term, list) in lists {
+            index.insert_list(term, list);
+        }
+        index.set_total_tokens(total_tokens);
+        index.check_postings_sorted();
+        index
+    }
+
     /// Register a fully-built posting list under `term` (snapshot loading).
     pub(crate) fn insert_list(&mut self, term: String, list: PostingList) {
         let id = TermId(self.term_names.len() as u32);
@@ -257,6 +275,11 @@ impl InvertedIndex {
     /// Total tokens indexed across the collection.
     pub fn total_tokens(&self) -> u64 {
         self.total_tokens
+    }
+
+    /// Every posting list, in term-id (first-occurrence) order.
+    pub(crate) fn lists(&self) -> impl Iterator<Item = &PostingList> {
+        self.lists.iter()
     }
 
     /// Statistics for every term (workload tooling).

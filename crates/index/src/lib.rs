@@ -32,11 +32,13 @@
 
 mod build;
 mod postings;
+mod reader;
 mod snapshot;
 mod tokenize;
 
 pub use build::InvertedIndex;
 pub use postings::{Posting, PostingList, TermId, TermStats};
+pub use reader::{BlockSummary, IndexReader, TermSummary};
 pub use snapshot::{
     IndexSnapshotError, INDEX_SNAPSHOT_MAGIC, INDEX_SNAPSHOT_MIN_VERSION, INDEX_SNAPSHOT_VERSION,
 };

@@ -68,6 +68,18 @@ impl PostingList {
 
     /// Reassemble a list from deserialized parts (snapshot loading). The
     /// caller guarantees document order.
+    /// Reassemble a list from postings already in canonical
+    /// `(doc, node, offset)` order with precomputed frequencies. For
+    /// snapshot/pack loaders only: callers are responsible for the order
+    /// and frequency invariants (the loaders validate both before calling).
+    pub fn from_sorted_postings(
+        postings: Vec<Posting>,
+        doc_frequency: u32,
+        node_frequency: u32,
+    ) -> Self {
+        PostingList::from_parts(postings, doc_frequency, node_frequency)
+    }
+
     pub(crate) fn from_parts(
         postings: Vec<Posting>,
         doc_frequency: u32,

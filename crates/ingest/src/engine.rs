@@ -581,7 +581,9 @@ impl Ingest {
         let store = frozen.thaw();
         tix::persist::save_store(&store, self.dir.join(store_file(seq)))?;
         let index = InvertedIndex::build(&store);
-        tix::persist::save_index(&index, self.dir.join(index_file(seq)))?;
+        // v3 pack sidecar: recovery opens it by reference (lazy block
+        // decode), so reopen cost no longer scales with postings.
+        tix::persist::save_index_v3(&index, self.dir.join(index_file(seq)))?;
         write_meta(&self.dir.join(META_FILE), CheckpointMeta { seq, lsn })?;
         // The meta is committed: everything `<= lsn` is folded into the
         // snapshot pair, so the rotated-away log is redundant and the

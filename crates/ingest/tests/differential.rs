@@ -46,6 +46,18 @@ fn rebuilt_bytes(db: &Database) -> Vec<u8> {
     index_bytes(&InvertedIndex::build(db.store()))
 }
 
+/// v2-snapshot bytes of the database's index, whichever representation it
+/// holds: an index recovered from a v3 pack checkpoint must materialize
+/// byte-identically to a rebuild.
+fn db_index_bytes(db: &Database) -> Vec<u8> {
+    if let Some(mem) = db.mem_index() {
+        index_bytes(mem)
+    } else {
+        let pack = db.pack_index().expect("index present");
+        index_bytes(&pack.to_inverted().expect("sealed pack decodes"))
+    }
+}
+
 fn store_fingerprint(db: &Database) -> Vec<(String, usize)> {
     (0..db.store().doc_count())
         .map(|i| {
@@ -80,13 +92,13 @@ fn run_workload(ops: &[Op], threads: usize) -> (Vec<(String, usize)>, Vec<u8>) {
             }
         }
         assert_eq!(
-            index_bytes(db.index()),
+            db_index_bytes(&db),
             rebuilt_bytes(&db),
             "threads={threads} step={step}: maintained index diverged from rebuild"
         );
     }
     let fingerprint = store_fingerprint(&db);
-    let final_index = index_bytes(db.index());
+    let final_index = db_index_bytes(&db);
     drop((ingest, db));
 
     // Crash + recover: replaying the surviving WAL over the last
@@ -98,7 +110,7 @@ fn run_workload(ops: &[Op], threads: usize) -> (Vec<(String, usize)>, Vec<u8>) {
         "threads={threads}: reopen store"
     );
     assert_eq!(
-        index_bytes(reopened.index()),
+        db_index_bytes(&reopened),
         final_index,
         "threads={threads}: reopen index bytes"
     );

@@ -374,6 +374,69 @@ pub fn assert_topk_early_exit_safe(kth_score: f64, remaining_bound: f64) {
     }
 }
 
+/// Block-max skip metadata soundness (v3 `TIXPAK` posting blocks): the
+/// per-block summaries a WAND-style skipping scan trusts must (a) be in
+/// ascending, non-overlapping document order — `first_doc ≤ last_doc`
+/// within a block, and the previous block's `last_doc ≤` the next block's
+/// `first_doc` (equality allowed: a document's postings may straddle a
+/// block boundary) — with a positive posting count, and (b) carry a
+/// `max_doc_count` that dominates the **whole-list** posting total of
+/// every document intersecting the block (`max_doc_total(first, last)`
+/// reports the actual maximum from the decoded postings). (b) is what
+/// makes the suffix-maximum over unscanned blocks a sound componentwise
+/// counter bound in the §4.2 early exit.
+pub fn try_block_summaries_sound(
+    len: usize,
+    get: impl Fn(usize) -> (u32, u32, u32, u32),
+    max_doc_total: impl Fn(u32, u32) -> u32,
+) -> Result<(), InvariantError> {
+    const NAME: &str = "block-summaries";
+    let mut prev_last: Option<u32> = None;
+    for i in 0..len {
+        let (first, last, postings, max_doc_count) = get(i);
+        if first > last {
+            return violation(
+                NAME,
+                format!("block {i}: first_doc {first} > last_doc {last}"),
+            );
+        }
+        if postings == 0 {
+            return violation(NAME, format!("block {i}: empty block"));
+        }
+        if let Some(prev) = prev_last {
+            if prev > first {
+                return violation(
+                    NAME,
+                    format!("block {i}: first_doc {first} before previous last_doc {prev}"),
+                );
+            }
+        }
+        let actual = max_doc_total(first, last);
+        if max_doc_count < actual {
+            return violation(
+                NAME,
+                format!(
+                    "block {i}: max_doc_count {max_doc_count} < actual document total {actual}"
+                ),
+            );
+        }
+        prev_last = Some(last);
+    }
+    Ok(())
+}
+
+/// Panicking form of [`try_block_summaries_sound`]; wrap calls in
+/// [`check!`].
+pub fn assert_block_summaries_sound(
+    len: usize,
+    get: impl Fn(usize) -> (u32, u32, u32, u32),
+    max_doc_total: impl Fn(u32, u32) -> u32,
+) {
+    if let Err(e) = try_block_summaries_sound(len, &get, &max_doc_total) {
+        panic!("{e}");
+    }
+}
+
 /// Scatter-gather merge correctness (§4.2 bounds applied across shards):
 /// a coordinator's global top-k over per-shard top-k streams is exact iff
 /// the global k-th score is at least every truncated shard's **exclusive**
@@ -721,6 +784,24 @@ mod tests {
             let (end, parent, level) = v[i as usize];
             Region { end, parent, level }
         }
+    }
+
+    #[test]
+    fn block_summaries_sound_and_violations_caught() {
+        // Two blocks over docs 0..=3 and 3..=7 (doc 3 straddles).
+        let blocks = [(0u32, 3u32, 128u32, 9u32), (3, 7, 64, 9)];
+        let get = |i: usize| blocks[i];
+        assert!(try_block_summaries_sound(2, get, |_, _| 9).is_ok());
+        assert!(try_block_summaries_sound(0, get, |_, _| 0).is_ok());
+        // max_doc_count below the actual document total.
+        assert!(try_block_summaries_sound(2, get, |_, _| 10).is_err());
+        // first_doc > last_doc.
+        assert!(try_block_summaries_sound(1, |_| (4, 3, 1, 1), |_, _| 0).is_err());
+        // Empty block.
+        assert!(try_block_summaries_sound(1, |_| (0, 0, 0, 1), |_, _| 0).is_err());
+        // Out-of-order blocks: second starts before the first ends.
+        let unordered = [(0u32, 5u32, 8u32, 3u32), (4, 9, 8, 3)];
+        assert!(try_block_summaries_sound(2, |i| unordered[i], |_, _| 1).is_err());
     }
 
     #[test]

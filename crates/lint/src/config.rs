@@ -11,17 +11,17 @@
 /// it still must answer 500 — so the handler code itself stays panic-free.
 pub const PANIC_FREE_CRATES: &[&str] = &[
     "core", "exec", "index", "store", "xml", "query", "parallel", "cli", "server", "ingest",
-    "cluster",
+    "cluster", "pack",
 ];
 
 /// Crates whose library code is checked for unchecked slice indexing.
 pub const INDEX_CHECKED_CRATES: &[&str] = &[
-    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest",
+    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest", "pack",
 ];
 
 /// Crates checked for direct float equality on scores.
 pub const FLOAT_EQ_CRATES: &[&str] = &[
-    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest",
+    "core", "exec", "index", "store", "xml", "query", "parallel", "ingest", "pack",
 ];
 
 /// Crates whose public items require doc comments.
@@ -46,7 +46,7 @@ pub const BOUNDED_QUEUE_CRATES: &[&str] = &["server", "cluster", "ingest"];
 /// mid-write replaces good data with a torn file. All durable writes in
 /// these crates must go through `tix_store::persist::atomic_write`.
 pub const DURABLE_WRITE_CRATES: &[&str] = &[
-    "store", "index", "tix", "cli", "server", "ingest", "cluster",
+    "store", "index", "tix", "cli", "server", "ingest", "cluster", "pack",
 ];
 
 /// Scoring-path files: no `as` numeric casts here — conversions must be

@@ -1,0 +1,659 @@
+//! [`PackIndex`]: the load-by-reference v3 reader.
+//!
+//! Open cost is one streaming CRC pass over the file (the whole-file
+//! seal — every length field below is untrusted until that passes) plus
+//! an O(#terms + #blocks) metadata parse. **No posting is decoded at
+//! open**: each term's blocks decode on first access into a per-term
+//! `OnceLock` slot, so the returned `&[Posting]` slices are stable for
+//! the reader's lifetime and repeat lookups are free.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use tix_index::{
+    BlockSummary, IndexReader, IndexSnapshotError, InvertedIndex, Posting, PostingList, TermSummary,
+};
+use tix_store::{DocId, NodeIdx};
+
+use crate::varint::get_u32;
+use crate::write::{PACK_MAGIC, PACK_VERSION};
+
+/// Cap speculative pre-allocations driven by on-disk length fields. The
+/// seal has already vouched for the bytes, but a defensive bound costs
+/// nothing.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// Per-term metadata parsed eagerly at open.
+struct TermEntry {
+    doc_frequency: u32,
+    node_frequency: u32,
+    posting_count: u32,
+    /// Skip metadata per block, in block order.
+    summaries: Vec<BlockSummary>,
+    /// Byte range of each block's payload within the file image
+    /// (parallel to `summaries`).
+    payloads: Vec<Range<usize>>,
+}
+
+/// A compressed v3 index, loaded by reference: raw file bytes plus parsed
+/// metadata; postings decode lazily per term.
+pub struct PackIndex {
+    bytes: Vec<u8>,
+    total_tokens: u64,
+    block_postings: u32,
+    names: Vec<String>,
+    dictionary: HashMap<String, u32>,
+    terms: Vec<TermEntry>,
+    slots: Vec<OnceLock<Vec<Posting>>>,
+    decoded_terms: AtomicUsize,
+    decoded_blocks: AtomicUsize,
+}
+
+impl std::fmt::Debug for PackIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackIndex")
+            .field("bytes", &self.bytes.len())
+            .field("terms", &self.terms.len())
+            .field("total_tokens", &self.total_tokens)
+            .field("decoded_terms", &self.decoded_terms())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cur { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IndexSnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(IndexSnapshotError::Corrupt("length overflow"))?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(IndexSnapshotError::Corrupt("truncated section payload"))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, IndexSnapshotError> {
+        let arr: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| IndexSnapshotError::Corrupt("short u32"))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64, IndexSnapshotError> {
+        let arr: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| IndexSnapshotError::Corrupt("short u64"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+/// Walk one `[u32 len][payload][u32 crc]` section frame inside
+/// `bytes[..limit]`, returning the payload range. The CRC is re-verified
+/// only when `verify` is set — the whole-file seal already covers every
+/// byte, so block sections skip the second hash at open and re-check it
+/// lazily at decode instead.
+fn section_range(
+    bytes: &[u8],
+    pos: &mut usize,
+    limit: usize,
+    verify: bool,
+) -> Result<Range<usize>, IndexSnapshotError> {
+    let len_end = pos
+        .checked_add(4)
+        .filter(|&e| e <= limit)
+        .ok_or(IndexSnapshotError::Corrupt("truncated section length"))?;
+    let len_raw: [u8; 4] = bytes
+        .get(*pos..len_end)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(IndexSnapshotError::Corrupt("truncated section length"))?;
+    let len = u32::from_le_bytes(len_raw) as usize;
+    let payload_end = len_end
+        .checked_add(len)
+        .filter(|&e| e <= limit)
+        .ok_or(IndexSnapshotError::Corrupt("truncated section payload"))?;
+    let crc_end = payload_end
+        .checked_add(4)
+        .filter(|&e| e <= limit)
+        .ok_or(IndexSnapshotError::Corrupt("truncated section checksum"))?;
+    if verify && !section_crc_ok(bytes, len_end..payload_end, payload_end..crc_end) {
+        return Err(IndexSnapshotError::Corrupt("section checksum mismatch"));
+    }
+    *pos = crc_end;
+    Ok(len_end..payload_end)
+}
+
+fn section_crc_ok(bytes: &[u8], payload: Range<usize>, crc: Range<usize>) -> bool {
+    let (Some(payload), Some(crc_raw)) = (bytes.get(payload), bytes.get(crc)) else {
+        return false;
+    };
+    let Ok(arr) = <[u8; 4]>::try_from(crc_raw) else {
+        return false;
+    };
+    tix_invariants::crc32(payload) == u32::from_le_bytes(arr)
+}
+
+impl PackIndex {
+    /// Open a sealed `TIXPAK` file by reference.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, IndexSnapshotError> {
+        PackIndex::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Take ownership of a complete file image and open it by reference.
+    ///
+    /// Rejection contract (the faultio sweeps in `tests/differential.rs`
+    /// hold this): a wrong magic is `BadMagic`, a wrong version is
+    /// `UnsupportedVersion`, and **any** other damage — torn tail, bit
+    /// flip, trailing garbage — is `Corrupt`, because the whole-file seal
+    /// is verified before any length field is trusted.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, IndexSnapshotError> {
+        if bytes.len() < PACK_MAGIC.len() || !bytes.starts_with(PACK_MAGIC) {
+            return Err(IndexSnapshotError::BadMagic);
+        }
+        let version = bytes
+            .get(PACK_MAGIC.len())
+            .copied()
+            .ok_or(IndexSnapshotError::Corrupt("missing version byte"))?;
+        if version != PACK_VERSION {
+            return Err(IndexSnapshotError::UnsupportedVersion(version));
+        }
+        if tix_invariants::try_snapshot_sealed(PACK_MAGIC, &bytes).is_err() {
+            return Err(IndexSnapshotError::Corrupt("whole-file seal mismatch"));
+        }
+        let seal_off = bytes.len() - 4;
+
+        let mut pos = PACK_MAGIC.len() + 1;
+        let header_range = section_range(&bytes, &mut pos, seal_off, true)?;
+        let mut h = Cur::new(
+            bytes
+                .get(header_range)
+                .ok_or(IndexSnapshotError::Corrupt("header out of range"))?,
+        );
+        let total_tokens = h.u64()?;
+        let term_count = h.u32()? as usize;
+        let block_postings = h.u32()?;
+        if !h.done() {
+            return Err(IndexSnapshotError::Corrupt("oversized header"));
+        }
+        if block_postings == 0 {
+            return Err(IndexSnapshotError::Corrupt("zero block size"));
+        }
+
+        let mut names = Vec::with_capacity(term_count.min(PREALLOC_CAP));
+        let mut dictionary = HashMap::with_capacity(term_count.min(PREALLOC_CAP));
+        let mut terms: Vec<TermEntry> = Vec::with_capacity(term_count.min(PREALLOC_CAP));
+        // Dictionary-declared byte length of every block, in (term, block)
+        // order; resolved against the actual block frames below.
+        let mut declared_lens: Vec<u32> = Vec::new();
+        let mut dict = Cur::new(&[]);
+        while terms.len() < term_count {
+            if dict.done() {
+                let range = section_range(&bytes, &mut pos, seal_off, true)?;
+                let payload = bytes
+                    .get(range)
+                    .ok_or(IndexSnapshotError::Corrupt("dictionary out of range"))?;
+                dict = Cur::new(payload);
+                if dict.done() {
+                    return Err(IndexSnapshotError::Corrupt("empty dictionary section"));
+                }
+            }
+            let name_len = dict.u32()? as usize;
+            let name = std::str::from_utf8(dict.take(name_len)?)
+                .map_err(|_| IndexSnapshotError::Corrupt("non-UTF-8 term"))?
+                .to_string();
+            let doc_frequency = dict.u32()?;
+            let node_frequency = dict.u32()?;
+            let posting_count = dict.u32()?;
+            let block_count = dict.u32()? as usize;
+            let mut summaries = Vec::with_capacity(block_count.min(PREALLOC_CAP));
+            let mut covered: u64 = 0;
+            let mut prev_last: Option<u32> = None;
+            for _ in 0..block_count {
+                let first_doc = dict.u32()?;
+                let last_doc = dict.u32()?;
+                let postings = dict.u32()?;
+                let max_doc_count = dict.u32()?;
+                let byte_len = dict.u32()?;
+                if first_doc > last_doc || postings == 0 || byte_len == 0 {
+                    return Err(IndexSnapshotError::Corrupt("malformed block entry"));
+                }
+                if postings > block_postings || max_doc_count == 0 {
+                    return Err(IndexSnapshotError::Corrupt("malformed block entry"));
+                }
+                if prev_last.is_some_and(|p| first_doc < p) {
+                    return Err(IndexSnapshotError::Corrupt("blocks out of order"));
+                }
+                prev_last = Some(last_doc);
+                covered += u64::from(postings);
+                summaries.push(BlockSummary {
+                    first_doc,
+                    last_doc,
+                    postings,
+                    max_doc_count,
+                });
+                declared_lens.push(byte_len);
+            }
+            if covered != u64::from(posting_count) {
+                return Err(IndexSnapshotError::Corrupt("block postings mismatch"));
+            }
+            let tid = u32::try_from(terms.len())
+                .map_err(|_| IndexSnapshotError::TooLarge("term count"))?;
+            if dictionary.insert(name.clone(), tid).is_some() {
+                return Err(IndexSnapshotError::Corrupt("duplicate term"));
+            }
+            names.push(name);
+            terms.push(TermEntry {
+                doc_frequency,
+                node_frequency,
+                posting_count,
+                summaries,
+                payloads: Vec::new(),
+            });
+        }
+        if !dict.done() {
+            return Err(IndexSnapshotError::Corrupt("oversized dictionary section"));
+        }
+
+        // Block payload walk: one section frame per block, in (term,
+        // block) order; the dictionary's declared length must match each
+        // frame exactly.
+        let mut lens = declared_lens.iter();
+        for entry in &mut terms {
+            let mut payloads = Vec::with_capacity(entry.summaries.len());
+            for _ in 0..entry.summaries.len() {
+                let declared = lens
+                    .next()
+                    .ok_or(IndexSnapshotError::Corrupt("missing block length"))?;
+                let range = section_range(&bytes, &mut pos, seal_off, false)?;
+                if range.len() != *declared as usize {
+                    return Err(IndexSnapshotError::Corrupt("block length mismatch"));
+                }
+                payloads.push(range);
+            }
+            entry.payloads = payloads;
+        }
+        if pos != seal_off {
+            return Err(IndexSnapshotError::Corrupt("unexpected trailing data"));
+        }
+
+        let slots = (0..terms.len()).map(|_| OnceLock::new()).collect();
+        Ok(PackIndex {
+            bytes,
+            total_tokens,
+            block_postings,
+            names,
+            dictionary,
+            terms,
+            slots,
+            decoded_terms: AtomicUsize::new(0),
+            decoded_blocks: AtomicUsize::new(0),
+        })
+    }
+
+    /// The raw sealed file image this reader was opened from.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Postings per block this file was written with.
+    pub fn block_postings(&self) -> u32 {
+        self.block_postings
+    }
+
+    /// Number of terms whose postings have been decoded so far — the
+    /// O(1)-startup observable: 0 right after open.
+    pub fn decoded_terms(&self) -> usize {
+        self.decoded_terms.load(Ordering::Relaxed)
+    }
+
+    /// Number of blocks decoded so far.
+    pub fn decoded_blocks(&self) -> usize {
+        self.decoded_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks in the file.
+    pub fn total_blocks(&self) -> usize {
+        self.terms.iter().map(|t| t.summaries.len()).sum()
+    }
+
+    /// Decode one term's blocks into canonical postings, re-verifying
+    /// each block frame's CRC and the posting-order/count metadata.
+    fn decode_term(&self, tid: usize) -> Result<Vec<Posting>, IndexSnapshotError> {
+        let entry = self
+            .terms
+            .get(tid)
+            .ok_or(IndexSnapshotError::Corrupt("term id out of range"))?;
+        let mut postings = Vec::with_capacity((entry.posting_count as usize).min(PREALLOC_CAP));
+        let mut prev: Option<Posting> = None;
+        for (summary, payload) in entry.summaries.iter().zip(&entry.payloads) {
+            let crc_range = payload.end..payload.end.saturating_add(4);
+            if !section_crc_ok(&self.bytes, payload.clone(), crc_range) {
+                return Err(IndexSnapshotError::Corrupt("block checksum mismatch"));
+            }
+            let block = self
+                .bytes
+                .get(payload.clone())
+                .ok_or(IndexSnapshotError::Corrupt("block out of range"))?;
+            let mut bpos = 0usize;
+            for i in 0..summary.postings {
+                let posting = match prev.filter(|_| i > 0) {
+                    None => {
+                        let doc = get_u32(block, &mut bpos);
+                        let node = get_u32(block, &mut bpos);
+                        let offset = get_u32(block, &mut bpos);
+                        match (doc, node, offset) {
+                            (Some(d), Some(n), Some(o)) => Posting {
+                                doc: DocId(d),
+                                node: NodeIdx(n),
+                                offset: o,
+                            },
+                            _ => return Err(IndexSnapshotError::Corrupt("truncated block")),
+                        }
+                    }
+                    Some(q) => {
+                        let Some(ddoc) = get_u32(block, &mut bpos) else {
+                            return Err(IndexSnapshotError::Corrupt("truncated block"));
+                        };
+                        if ddoc == 0 {
+                            let Some(dnode) = get_u32(block, &mut bpos) else {
+                                return Err(IndexSnapshotError::Corrupt("truncated block"));
+                            };
+                            let Some(off) = get_u32(block, &mut bpos) else {
+                                return Err(IndexSnapshotError::Corrupt("truncated block"));
+                            };
+                            if dnode == 0 {
+                                Posting {
+                                    doc: q.doc,
+                                    node: q.node,
+                                    offset: q.offset.wrapping_add(off),
+                                }
+                            } else {
+                                Posting {
+                                    doc: q.doc,
+                                    node: NodeIdx(q.node.as_u32().wrapping_add(dnode)),
+                                    offset: off,
+                                }
+                            }
+                        } else {
+                            let node = get_u32(block, &mut bpos);
+                            let off = get_u32(block, &mut bpos);
+                            match (node, off) {
+                                (Some(n), Some(o)) => Posting {
+                                    doc: DocId(q.doc.0.wrapping_add(ddoc)),
+                                    node: NodeIdx(n),
+                                    offset: o,
+                                },
+                                _ => return Err(IndexSnapshotError::Corrupt("truncated block")),
+                            }
+                        }
+                    }
+                };
+                if prev.is_some_and(|q| q >= posting) {
+                    return Err(IndexSnapshotError::Corrupt("postings out of order"));
+                }
+                prev = Some(posting);
+                postings.push(posting);
+            }
+            if bpos != block.len() {
+                return Err(IndexSnapshotError::Corrupt("oversized block"));
+            }
+            let first_ok = postings
+                .get(postings.len().wrapping_sub(summary.postings as usize))
+                .is_some_and(|p| p.doc.0 == summary.first_doc);
+            let last_ok = postings.last().is_some_and(|p| p.doc.0 == summary.last_doc);
+            if !first_ok || !last_ok {
+                return Err(IndexSnapshotError::Corrupt("block doc bounds mismatch"));
+            }
+            self.decoded_blocks.fetch_add(1, Ordering::Relaxed);
+        }
+        if postings.len() != entry.posting_count as usize {
+            return Err(IndexSnapshotError::Corrupt("posting count mismatch"));
+        }
+        tix_invariants::check! {
+            // The skip metadata the §4.2 block-max scan trusts must
+            // dominate what the postings actually contain.
+            let mut totals: Vec<(u32, u32)> = Vec::new();
+            for p in &postings {
+                match totals.last_mut() {
+                    Some(t) if t.0 == p.doc.0 => t.1 = t.1.saturating_add(1),
+                    _ => totals.push((p.doc.0, 1)),
+                }
+            }
+            tix_invariants::assert_block_summaries_sound(
+                entry.summaries.len(),
+                |i| entry
+                    .summaries
+                    .get(i)
+                    .map(|b| (b.first_doc, b.last_doc, b.postings, b.max_doc_count))
+                    .unwrap_or((0, 0, 1, u32::MAX)),
+                |first, last| {
+                    let lo = totals.partition_point(|t| t.0 < first);
+                    let hi = totals.partition_point(|t| t.0 <= last);
+                    totals
+                        .get(lo..hi)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|t| t.1)
+                        .max()
+                        .unwrap_or(0)
+                },
+            );
+        }
+        Ok(postings)
+    }
+
+    fn postings_by_id(&self, tid: usize) -> &[Posting] {
+        let Some(slot) = self.slots.get(tid) else {
+            return &[];
+        };
+        slot.get_or_init(|| {
+            self.decoded_terms.fetch_add(1, Ordering::Relaxed);
+            match self.decode_term(tid) {
+                Ok(postings) => postings,
+                Err(err) => {
+                    // Unreachable behind the open-time seal: a decode
+                    // failure here means a writer bug, not bad input.
+                    // Surface it under checks, degrade to an absent term
+                    // otherwise.
+                    tix_invariants::check! {
+                        assert!(false, "sealed pack block failed to decode: {err:?}");
+                    }
+                    let _ = err;
+                    Vec::new()
+                }
+            }
+        })
+    }
+
+    /// Materialize the full in-memory representation. Term order, per-term
+    /// statistics, and postings all round-trip exactly, so saving the
+    /// result as a v2 snapshot is byte-identical to the snapshot of the
+    /// index this file was written from.
+    pub fn to_inverted(&self) -> Result<InvertedIndex, IndexSnapshotError> {
+        let mut lists = Vec::with_capacity(self.terms.len());
+        for (tid, (name, entry)) in self.names.iter().zip(&self.terms).enumerate() {
+            let postings = self.decode_term(tid)?;
+            lists.push((
+                name.clone(),
+                PostingList::from_sorted_postings(
+                    postings,
+                    entry.doc_frequency,
+                    entry.node_frequency,
+                ),
+            ));
+        }
+        Ok(InvertedIndex::from_lists(lists, self.total_tokens))
+    }
+}
+
+impl IndexReader for PackIndex {
+    fn postings(&self, term: &str) -> &[Posting] {
+        match self.dictionary.get(term) {
+            Some(&tid) => self.postings_by_id(tid as usize),
+            None => &[],
+        }
+    }
+
+    fn term_summary(&self, term: &str) -> Option<TermSummary> {
+        let &tid = self.dictionary.get(term)?;
+        let entry = self.terms.get(tid as usize)?;
+        Some(TermSummary {
+            collection_frequency: entry.posting_count as usize,
+            doc_frequency: entry.doc_frequency,
+            node_frequency: entry.node_frequency,
+        })
+    }
+
+    fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    fn doc_frequencies(&self) -> Vec<u32> {
+        self.terms.iter().map(|t| t.doc_frequency).collect()
+    }
+
+    fn block_summaries(&self, term: &str) -> Option<&[BlockSummary]> {
+        let &tid = self.dictionary.get(term)?;
+        self.terms.get(tid as usize).map(|t| t.summaries.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::pack_bytes;
+    use tix_store::Store;
+
+    fn sample_index() -> InvertedIndex {
+        let mut store = Store::new();
+        store
+            .load_str(
+                "a.xml",
+                "<a><p>alpha beta alpha gamma</p><p>beta beta delta</p></a>",
+            )
+            .unwrap();
+        store
+            .load_str("b.xml", "<a><p>gamma alpha</p><p>epsilon</p></a>")
+            .unwrap();
+        InvertedIndex::build(&store)
+    }
+
+    #[test]
+    fn round_trips_postings_and_stats() {
+        let index = sample_index();
+        let pack = PackIndex::from_bytes(pack_bytes(&index).unwrap()).unwrap();
+        assert_eq!(pack.term_count(), index.term_count());
+        assert_eq!(pack.total_tokens(), index.total_tokens());
+        for stats in index.term_stats() {
+            let term = stats.term.as_str();
+            assert_eq!(IndexReader::postings(&pack, term), index.postings(term));
+            assert_eq!(
+                IndexReader::doc_frequency(&pack, term),
+                index.doc_frequency(term)
+            );
+            assert_eq!(
+                IndexReader::collection_frequency(&pack, term),
+                index.collection_frequency(term)
+            );
+        }
+        assert!(IndexReader::postings(&pack, "absent").is_empty());
+    }
+
+    #[test]
+    fn open_decodes_nothing_until_first_lookup() {
+        let index = sample_index();
+        let pack = PackIndex::from_bytes(pack_bytes(&index).unwrap()).unwrap();
+        assert_eq!(pack.decoded_terms(), 0);
+        assert_eq!(pack.decoded_blocks(), 0);
+        let _ = IndexReader::postings(&pack, "alpha");
+        assert_eq!(pack.decoded_terms(), 1);
+        let _ = IndexReader::postings(&pack, "alpha");
+        assert_eq!(pack.decoded_terms(), 1, "repeat lookup re-decoded");
+    }
+
+    #[test]
+    fn materialization_round_trips_to_identical_v2_snapshot() {
+        let index = sample_index();
+        let pack = PackIndex::from_bytes(pack_bytes(&index).unwrap()).unwrap();
+        let back = pack.to_inverted().unwrap();
+        let mut original = Vec::new();
+        index.save_snapshot(&mut original).unwrap();
+        let mut round = Vec::new();
+        back.save_snapshot(&mut round).unwrap();
+        assert_eq!(original, round);
+    }
+
+    #[test]
+    fn block_summaries_bound_doc_counts() {
+        let index = sample_index();
+        let pack = PackIndex::from_bytes(pack_bytes(&index).unwrap()).unwrap();
+        // "beta": 3 occurrences in doc 0 (its max whole-document count).
+        let blocks = IndexReader::block_summaries(&pack, "beta").unwrap();
+        assert_eq!(blocks.len(), 1);
+        let block = blocks.first().unwrap();
+        assert_eq!(block.max_doc_count, 3);
+        assert_eq!(block.first_doc, 0);
+        assert_eq!(block.last_doc, 0);
+        assert_eq!(IndexReader::max_doc_count(&pack, "beta"), Some(3));
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let index = sample_index();
+        let base = pack_bytes(&index).unwrap();
+        for offset in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                if let Some(b) = flipped.get_mut(offset) {
+                    *b ^= 1 << bit;
+                }
+                let err = PackIndex::from_bytes(flipped)
+                    .err()
+                    .unwrap_or_else(|| panic!("flip at byte {offset} bit {bit} loaded cleanly"));
+                match (offset, &err) {
+                    (0..=5, IndexSnapshotError::BadMagic) => {}
+                    (6, IndexSnapshotError::UnsupportedVersion(_)) => {}
+                    (_, IndexSnapshotError::Corrupt(_)) if offset > 6 => {}
+                    _ => panic!("flip at byte {offset} bit {bit} mis-classified: {err:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let index = sample_index();
+        let base = pack_bytes(&index).unwrap();
+        for len in 0..base.len() {
+            let torn = base.get(..len).unwrap_or(&[]).to_vec();
+            assert!(
+                PackIndex::from_bytes(torn).is_err(),
+                "truncation to {len} bytes loaded cleanly"
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! LEB128 variable-length integers (the postings delta encoding).
+
+/// Append `value` to `out` as LEB128 (1–5 bytes; 7 payload bits per byte,
+/// high bit = continuation).
+pub(crate) fn put_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 `u32` from `bytes` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or a value that overflows 32 bits.
+pub(crate) fn get_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos = pos.checked_add(1)?;
+        // At shift 28 only the low 4 payload bits fit in a u32, and the
+        // continuation bit must be clear.
+        if shift == 28 && byte > 0x0F {
+            return None;
+        }
+        value |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        let samples = [0, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX];
+        let mut buf = Vec::new();
+        for &v in &samples {
+            put_u32(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &samples {
+            assert_eq!(get_u32(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_and_overflow_are_rejected() {
+        assert_eq!(get_u32(&[0x80], &mut 0), None);
+        assert_eq!(get_u32(&[], &mut 0), None);
+        // Six continuation bytes: too many groups for 32 bits.
+        assert_eq!(get_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut 0), None);
+        // Fifth byte carries bits that overflow a u32.
+        assert_eq!(get_u32(&[0xFF, 0xFF, 0xFF, 0xFF, 0x1F], &mut 0), None);
+    }
+}

@@ -26,7 +26,7 @@ use tix_exec::pushdown;
 use tix_exec::scored::{sort_by_node, ScoredNode};
 use tix_exec::termjoin::{ChildCountMode, ComplexScorer, IdfScorer, SimpleScorer, TermJoinScorer};
 use tix_exec::topk;
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::Store;
 
 use crate::logical::{LogicalPlan, PhraseSearch, Scoring, TermSearch};
@@ -55,7 +55,7 @@ impl PlanRun {
 /// `cancelled` reported `true` at one of the poll points.
 pub fn execute(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     logical: &LogicalPlan,
     plan: &PhysicalPlan,
     threads: usize,
@@ -74,7 +74,7 @@ pub fn execute(
 /// Execute a term search with the chosen plan.
 pub fn execute_term_search(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     search: &TermSearch,
     plan: &PhysicalPlan,
     threads: usize,
@@ -118,7 +118,7 @@ pub fn execute_term_search(
 }
 
 /// Total postings the query's terms hold in the index.
-fn postings_total(index: &InvertedIndex, terms: &[&str]) -> u64 {
+fn postings_total(index: &dyn IndexReader, terms: &[&str]) -> u64 {
     terms
         .iter()
         .map(|t| u64::try_from(index.postings(t).len()).unwrap_or(u64::MAX))
@@ -128,7 +128,7 @@ fn postings_total(index: &InvertedIndex, terms: &[&str]) -> u64 {
 #[allow(clippy::too_many_arguments)]
 fn run_term_search<S: TermJoinScorer>(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     search: &TermSearch,
     plan: &PhysicalPlan,
     term_refs: &[&str],
@@ -191,7 +191,7 @@ fn run_term_search<S: TermJoinScorer>(
 /// Execute a phrase search with the chosen plan.
 pub fn execute_phrase(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     phrase: &PhraseSearch,
     plan: &PhysicalPlan,
     threads: usize,
@@ -237,6 +237,7 @@ pub fn execute_phrase(
 mod tests {
     use super::*;
     use tix_exec::pick::PickParams;
+    use tix_index::InvertedIndex;
 
     fn fixture() -> (Store, InvertedIndex) {
         let mut store = Store::new();

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use tix_core::histogram::ScoreHistogram;
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::Store;
 
 use crate::eval::QueryError;
@@ -83,11 +83,16 @@ pub fn render(
         milli(c.avg_children_milli),
     );
     for t in &inputs.terms {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  term {:?}: cf={} df={} nf={}",
             t.term, t.collection_frequency, t.document_frequency, t.node_frequency
         );
+        // Only v3 (block-max) indexes carry this; keep v2 renders stable.
+        if let Some(max) = t.max_doc_count {
+            let _ = write!(out, " max_dc={max}");
+        }
+        let _ = writeln!(out);
     }
     if let Some(hist) = df_histogram {
         let _ = writeln!(
@@ -118,7 +123,7 @@ pub fn render(
 /// would get — the `tix explain --query` entry point.
 pub fn explain_query(
     store: &Store,
-    index: &InvertedIndex,
+    index: &dyn IndexReader,
     text: &str,
 ) -> Result<String, QueryError> {
     let query = parse(text)?;
@@ -133,6 +138,7 @@ mod tests {
     use super::*;
     use crate::logical::{Scoring, TermSearch};
     use crate::stats::{CorpusStats, TermStats};
+    use tix_index::InvertedIndex;
 
     fn inputs() -> PlanInputs {
         PlanInputs {
@@ -152,12 +158,14 @@ mod tests {
                     collection_frequency: 500,
                     document_frequency: 300,
                     node_frequency: 450,
+                    max_doc_count: None,
                 },
                 TermStats {
                     term: "engine".to_string(),
                     collection_frequency: 200,
                     document_frequency: 150,
                     node_frequency: 180,
+                    max_doc_count: None,
                 },
             ],
         }

@@ -161,6 +161,9 @@ struct CostContext {
     c_milli: u64,
     /// `min(D, Σ df)` — documents that can contain any query term.
     docs_union: u64,
+    /// All query terms carry v3 block-max metadata, enabling the
+    /// pushdown runner's per-document skip discipline.
+    block_max: bool,
 }
 
 impl CostContext {
@@ -179,6 +182,7 @@ impl CostContext {
             x: mul_milli(f, d_milli.saturating_add(1000)),
             c_milli: inputs.corpus.avg_children_milli,
             docs_union: inputs.docs_union_bound(),
+            block_max: inputs.block_max_available(),
         }
     }
 
@@ -228,9 +232,13 @@ impl CostContext {
             .checked_div(self.docs_union.max(1))
             .unwrap_or(1000)
             .min(1000);
-        mul_milli(base, frac_milli)
-            .saturating_add(sort_cost(k))
-            .saturating_add(32)
+        let scan = mul_milli(base, frac_milli);
+        // v3 block-max metadata lets the runner skip non-contributing
+        // documents unjoined and close the §4.2 bound on a tightened
+        // suffix, so roughly halve the expected scan work. Indexes
+        // without metadata keep the PR 6 formula exactly.
+        let scan = if self.block_max { scan / 2 } else { scan };
+        scan.saturating_add(sort_cost(k)).saturating_add(32)
     }
 }
 
@@ -328,6 +336,7 @@ mod tests {
             collection_frequency: cf,
             document_frequency: df,
             node_frequency: cf,
+            max_doc_count: None,
         }
     }
 
@@ -369,6 +378,47 @@ mod tests {
             choice.chosen.plan,
             PhysicalPlan::pushed(AccessMethod::TermJoin)
         );
+    }
+
+    #[test]
+    fn block_max_metadata_discounts_the_pushdown_candidate() {
+        let base = PlanInputs {
+            corpus: corpus(100_000, 10_000_000, 3000),
+            terms: vec![term("rust", 400_000, 90_000)],
+        };
+        let mut v3 = base.clone();
+        for t in &mut v3.terms {
+            t.max_doc_count = Some(12);
+        }
+        assert!(!base.block_max_available());
+        assert!(v3.block_max_available());
+        // k large enough that the expected scanned fraction is non-zero
+        // in milli units — the discount applies to the scan term only.
+        let logical = LogicalPlan::TermSearch(search(&["rust"], 1000));
+        let cost_of = |inputs: &PlanInputs| {
+            choose(&logical, inputs)
+                .candidates
+                .iter()
+                .find(|c| c.plan == PhysicalPlan::pushed(AccessMethod::TermJoin))
+                .map(|c| c.cost)
+                .unwrap()
+        };
+        let without = cost_of(&base);
+        let with = cost_of(&v3);
+        assert!(
+            with < without,
+            "block-max metadata must discount pushdown ({with} !< {without})"
+        );
+        // Non-pushdown candidates are unaffected by the metadata.
+        let scans = |inputs: &PlanInputs| -> Vec<u64> {
+            choose(&logical, inputs)
+                .candidates
+                .iter()
+                .filter(|c| !c.plan.pushdown)
+                .map(|c| c.cost)
+                .collect()
+        };
+        assert_eq!(scans(&base), scans(&v3));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! platform-dependent plan choices.
 
 use tix_core::histogram::ScoreHistogram;
-use tix_index::InvertedIndex;
+use tix_index::IndexReader;
 use tix_store::Store;
 
 /// Corpus-level statistics (one snapshot per store/index generation).
@@ -43,7 +43,7 @@ pub struct CorpusStats {
 
 impl CorpusStats {
     /// Snapshot the loaded corpus.
-    pub fn gather(store: &Store, index: &InvertedIndex) -> Self {
+    pub fn gather(store: &Store, index: &dyn IndexReader) -> Self {
         let stats = store.stats();
         let documents = u64::try_from(stats.documents).unwrap_or(u64::MAX);
         let elements = u64::try_from(stats.elements).unwrap_or(u64::MAX);
@@ -84,25 +84,32 @@ pub struct TermStats {
     pub document_frequency: u64,
     /// Distinct text nodes containing the term.
     pub node_frequency: u64,
+    /// Maximum whole-document occurrence count, when the index
+    /// representation carries block-max metadata (v3 only). Feeds the
+    /// planner's pushdown estimate: with it the §4.2 early exit provably
+    /// fires near the optimistic point.
+    pub max_doc_count: Option<u64>,
 }
 
 impl TermStats {
     /// Look a term up in the index. Unknown terms get all-zero
     /// frequencies (their posting lists are empty).
-    pub fn lookup(index: &InvertedIndex, term: &str) -> Self {
-        match index.list(term) {
-            Some(list) => TermStats {
+    pub fn lookup(index: &dyn IndexReader, term: &str) -> Self {
+        match index.term_summary(term) {
+            Some(summary) => TermStats {
                 term: term.to_string(),
-                collection_frequency: u64::try_from(list.collection_frequency())
+                collection_frequency: u64::try_from(summary.collection_frequency)
                     .unwrap_or(u64::MAX),
-                document_frequency: u64::from(list.doc_frequency()),
-                node_frequency: u64::from(list.node_frequency()),
+                document_frequency: u64::from(summary.doc_frequency),
+                node_frequency: u64::from(summary.node_frequency),
+                max_doc_count: index.max_doc_count(term).map(u64::from),
             },
             None => TermStats {
                 term: term.to_string(),
                 collection_frequency: 0,
                 document_frequency: 0,
                 node_frequency: 0,
+                max_doc_count: None,
             },
         }
     }
@@ -120,7 +127,7 @@ pub struct PlanInputs {
 
 impl PlanInputs {
     /// Gather inputs for `terms` against a live store + index.
-    pub fn gather<S: AsRef<str>>(store: &Store, index: &InvertedIndex, terms: &[S]) -> Self {
+    pub fn gather<S: AsRef<str>>(store: &Store, index: &dyn IndexReader, terms: &[S]) -> Self {
         PlanInputs {
             corpus: CorpusStats::gather(store, index),
             terms: terms
@@ -136,6 +143,13 @@ impl PlanInputs {
         self.terms
             .iter()
             .fold(0u64, |acc, t| acc.saturating_add(t.collection_frequency))
+    }
+
+    /// Do *all* query terms carry block-max metadata (v3 index)? When
+    /// true the pushdown runner skips provably non-contributing
+    /// documents, and the cost model discounts its scan estimate.
+    pub fn block_max_available(&self) -> bool {
+        !self.terms.is_empty() && self.terms.iter().all(|t| t.max_doc_count.is_some())
     }
 
     /// Upper bound on documents containing *any* query term
@@ -168,11 +182,8 @@ const DF_HISTOGRAM_BUCKETS: usize = 16;
 
 impl PlanStats {
     /// Snapshot statistics for the loaded corpus.
-    pub fn gather(store: &Store, index: &InvertedIndex) -> Self {
-        let dfs: Vec<f64> = index
-            .term_stats()
-            .map(|s| f64::from(s.doc_frequency))
-            .collect();
+    pub fn gather(store: &Store, index: &dyn IndexReader) -> Self {
+        let dfs: Vec<f64> = index.doc_frequencies().into_iter().map(f64::from).collect();
         let df_histogram = if dfs.is_empty() {
             None
         } else {
@@ -186,7 +197,7 @@ impl PlanStats {
 
     /// Per-query inputs from this snapshot (term lookups still hit the
     /// index — posting-list headers are O(1) per term).
-    pub fn inputs<S: AsRef<str>>(&self, index: &InvertedIndex, terms: &[S]) -> PlanInputs {
+    pub fn inputs<S: AsRef<str>>(&self, index: &dyn IndexReader, terms: &[S]) -> PlanInputs {
         PlanInputs {
             corpus: self.corpus.clone(),
             terms: terms
@@ -200,6 +211,7 @@ impl PlanStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tix_index::InvertedIndex;
 
     fn fixture() -> (Store, InvertedIndex) {
         let mut store = Store::new();

@@ -75,6 +75,7 @@ fn term(name: &str, cf: u64, df: u64, nf: u64) -> TermStats {
         collection_frequency: cf,
         document_frequency: df,
         node_frequency: nf,
+        max_doc_count: None,
     }
 }
 

@@ -7,9 +7,31 @@ use tix_exec::parallel::{phrase_finder_parallel, term_join_parallel};
 use tix_exec::pick::PickParams;
 use tix_exec::scored::{sort_by_node, ScoredNode};
 use tix_exec::termjoin::{SimpleScorer, TermJoinScorer};
-use tix_index::InvertedIndex;
+use tix_index::{IndexReader, InvertedIndex};
+use tix_pack::PackIndex;
 use tix_query::{LogicalPlan, PhysicalPlan, PlanChoice, PlanStats, Scoring, TermSearch};
 use tix_store::{DocId, LoadError, RemoveError, Store};
+
+/// The two physical index representations a database can serve from.
+/// Queries read either one through [`IndexReader`] with byte-identical
+/// results; only the in-memory form supports incremental maintenance, so
+/// a pack-backed index is materialized on the first mutation.
+#[derive(Debug)]
+enum IndexRepr {
+    /// Uncompressed in-memory lists (built, or loaded from a v2 snapshot).
+    Mem(InvertedIndex),
+    /// Compressed v3 `TIXPAK` file, loaded by reference with lazy decode.
+    Pack(PackIndex),
+}
+
+impl IndexRepr {
+    fn reader(&self) -> &dyn IndexReader {
+        match self {
+            IndexRepr::Mem(index) => index,
+            IndexRepr::Pack(pack) => pack,
+        }
+    }
+}
 
 /// An XML database with IR-style querying: a [`Store`], an on-demand
 /// [`InvertedIndex`], and shortcuts to the most common access-method
@@ -30,7 +52,7 @@ use tix_store::{DocId, LoadError, RemoveError, Store};
 #[derive(Debug)]
 pub struct Database {
     store: Store,
-    index: Option<InvertedIndex>,
+    index: Option<IndexRepr>,
     threads: usize,
     generation: u64,
     /// Planner-statistics cache, keyed by [`Database::generation`] so a
@@ -106,7 +128,8 @@ impl Database {
     /// rebuild after the mutation.
     pub fn insert_document(&mut self, name: &str, xml: &str) -> Result<DocId, LoadError> {
         let id = self.store.load_str(name, xml)?;
-        if let Some(index) = &mut self.index {
+        self.materialize_index();
+        if let Some(IndexRepr::Mem(index)) = &mut self.index {
             index.add_document(&self.store, id);
         }
         self.generation += 1;
@@ -124,7 +147,8 @@ impl Database {
     /// rebuild after the mutation.
     pub fn remove_document(&mut self, name: &str) -> Result<DocId, RemoveError> {
         let id = self.store.remove_document(name)?;
-        if let Some(index) = &mut self.index {
+        self.materialize_index();
+        if let Some(IndexRepr::Mem(index)) = &mut self.index {
             index.remove_document(id);
         }
         self.generation += 1;
@@ -138,7 +162,7 @@ impl Database {
     /// `--features check-invariants`; a no-op without an index.
     fn assert_index_matches_rebuild(&self) {
         tix_invariants::check! {
-            if let Some(index) = &self.index {
+            if let Some(IndexRepr::Mem(index)) = &self.index {
                 let mut maintained = Vec::new();
                 index
                     .save_snapshot(&mut maintained)
@@ -159,15 +183,42 @@ impl Database {
     /// fanning per-document extraction out over the configured threads.
     /// Bumps the [generation](Database::generation).
     pub fn build_index(&mut self) {
-        self.index = Some(InvertedIndex::build_with_threads(&self.store, self.threads));
+        self.index = Some(IndexRepr::Mem(InvertedIndex::build_with_threads(
+            &self.store,
+            self.threads,
+        )));
         self.generation += 1;
+    }
+
+    /// Convert a pack-backed index into the in-memory representation so it
+    /// can be maintained incrementally. Materialization preserves term
+    /// order and statistics exactly, so the maintained index still matches
+    /// a from-scratch rebuild byte-for-byte. A decode failure is
+    /// unreachable behind the open-time seal; if it happens anyway the
+    /// index is dropped (callers rebuild, matching post-`load` behavior).
+    fn materialize_index(&mut self) {
+        if let Some(IndexRepr::Pack(pack)) = &self.index {
+            self.index = match pack.to_inverted() {
+                Ok(mem) => Some(IndexRepr::Mem(mem)),
+                Err(_) => None,
+            };
+        }
     }
 
     /// Install a pre-built index (e.g. loaded from an index snapshot). The
     /// caller is responsible for it matching the loaded store. Bumps the
     /// [generation](Database::generation).
     pub fn set_index(&mut self, index: InvertedIndex) {
-        self.index = Some(index);
+        self.index = Some(IndexRepr::Mem(index));
+        self.generation += 1;
+    }
+
+    /// Install a compressed v3 pack index loaded by reference (e.g. from a
+    /// `TIXPAK` sidecar). Queries serve straight off the packed bytes with
+    /// lazy per-term decode; the first mutation materializes the in-memory
+    /// form. Bumps the [generation](Database::generation).
+    pub fn set_pack_index(&mut self, pack: PackIndex) {
+        self.index = Some(IndexRepr::Pack(pack));
         self.generation += 1;
     }
 
@@ -199,10 +250,28 @@ impl Database {
     /// # Panics
     /// Panics if [`Database::build_index`] has not been called since the
     /// last load.
-    pub fn index(&self) -> &InvertedIndex {
+    pub fn index(&self) -> &dyn IndexReader {
         self.index
             .as_ref()
             .expect("call Database::build_index() after loading documents")
+            .reader()
+    }
+
+    /// The in-memory index, when that is the active representation
+    /// (v2 snapshot writers need the concrete type).
+    pub fn mem_index(&self) -> Option<&InvertedIndex> {
+        match &self.index {
+            Some(IndexRepr::Mem(index)) => Some(index),
+            _ => None,
+        }
+    }
+
+    /// The pack-backed index, when that is the active representation.
+    pub fn pack_index(&self) -> Option<&PackIndex> {
+        match &self.index {
+            Some(IndexRepr::Pack(pack)) => Some(pack),
+            _ => None,
+        }
     }
 
     /// Has an index been built (or installed) since the last mutation?
@@ -213,7 +282,7 @@ impl Database {
     /// A scoring context carrying the store and index.
     pub fn score_context(&self) -> ScoreContext<'_> {
         match &self.index {
-            Some(index) => ScoreContext::with_index(&self.store, index),
+            Some(repr) => ScoreContext::with_index(&self.store, repr.reader()),
             None => ScoreContext::new(&self.store),
         }
     }

@@ -15,6 +15,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use tix_index::{IndexSnapshotError, InvertedIndex, INDEX_SNAPSHOT_MAGIC, INDEX_SNAPSHOT_VERSION};
+use tix_pack::{PackIndex, PACK_MAGIC};
 use tix_store::persist::atomic_write;
 use tix_store::{SnapshotError, Store, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
@@ -126,6 +127,16 @@ pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, PersistError>
     Ok(InvertedIndex::load_snapshot(bytes.as_slice())?)
 }
 
+/// Save an index as a compressed v3 pack (`TIXPAK`) atomically and
+/// durably. The pack loader ([`tix_pack::PackIndex::open`]) verifies its
+/// own seal, so like [`save_index`] we assert the bytes we just produced
+/// would pass that gate.
+pub fn save_index_v3(index: &InvertedIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let bytes = tix_pack::pack_bytes(index)?;
+    tix_invariants::check! { tix_invariants::assert_snapshot_sealed(PACK_MAGIC, &bytes) }
+    atomic_write(path, |w| w.write_all(&bytes).map_err(PersistError::Io))
+}
+
 impl Database {
     /// Open a database from a store snapshot on disk. No index is loaded;
     /// call [`Database::load_index_from`] or [`Database::build_index`].
@@ -142,21 +153,40 @@ impl Database {
         save_store(self.store(), path)
     }
 
-    /// Save the index sidecar to `path` atomically and durably. Errors
-    /// with [`PersistError::NoIndex`] if no index has been built.
+    /// Save the index sidecar to `path` atomically and durably, in the v3
+    /// pack format (see [`save_index_v3`]). A pack-backed index is written
+    /// back verbatim — its bytes are already a sealed pack. Errors with
+    /// [`PersistError::NoIndex`] if no index has been built.
     pub fn save_index_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        if !self.has_index() {
-            return Err(PersistError::NoIndex);
+        if let Some(index) = self.mem_index() {
+            save_index_v3(index, path)
+        } else if let Some(pack) = self.pack_index() {
+            let bytes = pack.as_bytes();
+            atomic_write(path, |w| w.write_all(bytes).map_err(PersistError::Io))
+        } else {
+            Err(PersistError::NoIndex)
         }
-        save_index(self.index(), path)
     }
 
     /// Load an index sidecar from `path` and install it (bumps the
-    /// generation). The caller is responsible for the sidecar matching the
-    /// loaded store — on corruption, rebuild with
-    /// [`Database::build_index`].
+    /// generation). Sniffs the magic: `TIXPAK` files are installed *by
+    /// reference* (postings decode lazily, per term, on first access);
+    /// v2 `TIXIDX` snapshots load eagerly as before. The caller is
+    /// responsible for the sidecar matching the loaded store — on
+    /// corruption, rebuild with [`Database::build_index`].
     pub fn load_index_from(&mut self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let index = load_index(path)?;
+        let bytes = fs::read(path)?;
+        if bytes.starts_with(PACK_MAGIC) {
+            let pack = PackIndex::from_bytes(bytes)?;
+            self.set_pack_index(pack);
+            return Ok(());
+        }
+        if is_current_version(&bytes, INDEX_SNAPSHOT_MAGIC, INDEX_SNAPSHOT_VERSION) {
+            tix_invariants::try_snapshot_sealed(INDEX_SNAPSHOT_MAGIC, &bytes).map_err(|_| {
+                PersistError::Index(IndexSnapshotError::Corrupt("broken whole-file seal"))
+            })?;
+        }
+        let index = InvertedIndex::load_snapshot(bytes.as_slice())?;
         self.set_index(index);
         Ok(())
     }
